@@ -1,0 +1,342 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. V) on the simulated GeForce 8800 GTS 512, plus
+   Bechamel micro-benchmarks of the compiler itself.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- table1 table2 fig10 fig11 ilpstats coalesce micro
+*)
+
+open Streamit
+
+let arch = Gpusim.Arch.geforce_8800_gts_512
+
+(* Compile results are shared across experiments. *)
+type compiled_bench = {
+  entry : Benchmarks.Registry.entry;
+  graph : Graph.t;
+  swp : Swp_core.Compile.compiled;
+  swpnc : Swp_core.Compile.compiled option;
+}
+
+let compile_all () =
+  List.map
+    (fun (e : Benchmarks.Registry.entry) ->
+      let graph = Flatten.flatten (e.stream ()) in
+      let swp =
+        match Swp_core.Compile.compile graph with
+        | Ok c -> c
+        | Error m -> failwith (e.name ^ ": " ^ m)
+      in
+      let swpnc =
+        match
+          Swp_core.Compile.compile ~scheme:Swp_core.Compile.Swp_non_coalesced
+            graph
+        with
+        | Ok c -> Some c
+        | Error _ -> None
+      in
+      { entry = e; graph; swp; swpnc })
+    Benchmarks.Registry.all
+
+let speedup_of cb cycles =
+  match
+    Swp_core.Executor.speedup ~arch ~graph:cb.graph
+      ~gpu_cycles_per_steady:cycles ()
+  with
+  | Ok s -> s
+  | Error m -> failwith m
+
+let swp_speedup cb ~coarsening c =
+  let cn = Swp_core.Compile.recoarsen c coarsening in
+  speedup_of cb (Swp_core.Executor.time_swp cn).Swp_core.Executor.cycles_per_steady
+
+let geomean xs =
+  exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (List.length xs))
+
+let line () = print_endline (String.make 78 '-')
+
+(* --- Table I: benchmark suite --- *)
+
+let table1 benches =
+  print_endline "\n=== Table I: Benchmarks Evaluated ===";
+  line ();
+  Printf.printf "%-12s %8s %8s %10s %10s  %s\n" "Benchmark" "Filters"
+    "(paper)" "Peeking" "(paper)" "Description";
+  line ();
+  List.iter
+    (fun cb ->
+      let e = cb.entry in
+      Printf.printf "%-12s %8d %8d %10d %10d  %s\n" e.name
+        (Benchmarks.Registry.our_filters e)
+        e.paper_filters
+        (Benchmarks.Registry.our_peeking e)
+        e.paper_peeking e.description)
+    benches;
+  line ();
+  print_endline
+    "note: our re-implementations are somewhat coarser-grained than the\n\
+     StreamIt 2.1.1 sources (fewer but heavier filters); peeking counts\n\
+     match Table I exactly for Filterbank and FMRadio."
+
+(* --- Table II: buffer requirements of SWP8 --- *)
+
+let table2 benches =
+  print_endline "\n=== Table II: Buffer requirements (bytes), SWP8 ===";
+  line ();
+  Printf.printf "%-12s %16s %16s %8s\n" "Benchmark" "ours (SWP8)" "paper" "ratio";
+  line ();
+  List.iter
+    (fun cb ->
+      let c8 = Swp_core.Compile.recoarsen cb.swp 8 in
+      let b = c8.Swp_core.Compile.sizing.Swp_core.Buffer_layout.total_bytes in
+      Printf.printf "%-12s %16d %16d %8.2f\n" cb.entry.name b
+        cb.entry.paper_buffer_bytes
+        (float_of_int b /. float_of_int cb.entry.paper_buffer_bytes))
+    benches;
+  line ()
+
+(* --- Figure 10: SWPNC vs Serial vs SWP8 --- *)
+
+let fig10 benches =
+  print_endline
+    "\n=== Figure 10: speedup over single-threaded CPU (SWPNC / Serial / SWP8) ===";
+  line ();
+  Printf.printf "%-12s %10s %10s %10s\n" "Benchmark" "SWPNC" "Serial" "SWP8";
+  line ();
+  let cols = ref ([], [], []) in
+  List.iter
+    (fun cb ->
+      let c8 = Swp_core.Compile.recoarsen cb.swp 8 in
+      let swp8 = swp_speedup cb ~coarsening:8 cb.swp in
+      let serial =
+        match
+          Swp_core.Executor.time_serial
+            ~batch:(64 * cb.swp.Swp_core.Compile.config.Swp_core.Select.scale)
+            cb.graph
+            ~budget_bytes:c8.Swp_core.Compile.sizing.Swp_core.Buffer_layout.total_bytes
+        with
+        | Ok st -> speedup_of cb st.Swp_core.Executor.cycles_per_steady
+        | Error m -> failwith m
+      in
+      let swpnc =
+        match cb.swpnc with
+        | Some c -> swp_speedup cb ~coarsening:8 c
+        | None -> nan
+      in
+      let a, b, c = !cols in
+      cols := (swpnc :: a, serial :: b, swp8 :: c);
+      Printf.printf "%-12s %10.2f %10.2f %10.2f\n" cb.entry.name swpnc serial swp8)
+    benches;
+  line ();
+  let a, b, c = !cols in
+  Printf.printf "%-12s %10.2f %10.2f %10.2f\n" "GeoMean" (geomean a) (geomean b)
+    (geomean c);
+  line ();
+  print_endline
+    "expected shape (paper): SWP8 wins everywhere except DCT and MatrixMult,\n\
+     where the Serial SAS baseline is slightly ahead; SWPNC collapses except\n\
+     where per-filter working sets fit in shared memory."
+
+(* --- Figure 11: coarsening sweep --- *)
+
+let fig11 benches =
+  print_endline "\n=== Figure 11: SWP coarsening sweep (SWP1/4/8/16) ===";
+  line ();
+  Printf.printf "%-12s %9s %9s %9s %9s\n" "Benchmark" "SWP" "SWP4" "SWP8" "SWP16";
+  line ();
+  let acc = Array.make 4 [] in
+  List.iter
+    (fun cb ->
+      let sp = List.map (fun n -> swp_speedup cb ~coarsening:n cb.swp) [ 1; 4; 8; 16 ] in
+      List.iteri (fun i s -> acc.(i) <- s :: acc.(i)) sp;
+      match sp with
+      | [ a; b; c; d ] ->
+        Printf.printf "%-12s %9.2f %9.2f %9.2f %9.2f\n" cb.entry.name a b c d
+      | _ -> assert false)
+    benches;
+  line ();
+  Printf.printf "%-12s %9.2f %9.2f %9.2f %9.2f\n" "GeoMean" (geomean acc.(0))
+    (geomean acc.(1)) (geomean acc.(2)) (geomean acc.(3));
+  line ();
+  print_endline "expected shape (paper): gains plateau between SWP4 and SWP8."
+
+(* --- ILP statistics (Sec. V-B text) --- *)
+
+let ilpstats benches =
+  print_endline "\n=== ILP / II-search statistics (Sec. V-B) ===";
+  line ();
+  Printf.printf "%-12s %10s %10s %10s %9s %8s %s\n" "Benchmark" "instances"
+    "II bound" "achieved" "relax%" "attempts" "solver";
+  line ();
+  List.iter
+    (fun cb ->
+      let st = cb.swp.Swp_core.Compile.search_stats in
+      Printf.printf "%-12s %10d %10d %10d %9.1f %8d %s\n" cb.entry.name
+        (Swp_core.Instances.num_instances cb.swp.Swp_core.Compile.config)
+        st.Swp_core.Ii_search.lower_bound st.Swp_core.Ii_search.achieved_ii
+        (100.0 *. st.Swp_core.Ii_search.relaxation)
+        st.Swp_core.Ii_search.attempts
+        (if st.Swp_core.Ii_search.used_exact then "exact ILP" else "heuristic"))
+    benches;
+  line ();
+  (* exact-vs-heuristic cross check on a small graph *)
+  print_endline "exact ILP cross-check (2 SMs, 2-filter multirate graph):";
+  let a =
+    Kernel.Build.(
+      Kernel.make_filter ~name:"A" ~pop:1 ~push:2 [ push pop; push (f 0.0) ])
+  in
+  let b =
+    Kernel.Build.(
+      Kernel.make_filter ~name:"B" ~pop:3 ~push:1 [ push (pop +: pop +: pop) ])
+  in
+  let g = Flatten.flatten (Ast.pipeline "ab" [ Ast.Filter a; Ast.Filter b ]) in
+  (match
+     ( Swp_core.Compile.compile ~num_sms:2
+         ~solver:(Swp_core.Ii_search.Exact 4000) g,
+       Swp_core.Compile.compile ~num_sms:2 ~solver:Swp_core.Ii_search.Heuristic g )
+   with
+  | Ok ce, Ok ch ->
+    Printf.printf "  exact II=%d, heuristic II=%d (bound %d)\n"
+      ce.Swp_core.Compile.schedule.Swp_core.Swp_schedule.ii
+      ch.Swp_core.Compile.schedule.Swp_core.Swp_schedule.ii
+      ce.Swp_core.Compile.search_stats.Swp_core.Ii_search.lower_bound
+  | Error m, _ | _, Error m -> Printf.printf "  cross-check failed: %s\n" m);
+  line ()
+
+(* --- Coalescing ablation (Sec. IV-D / Figs. 8-9) --- *)
+
+let coalesce_ablation () =
+  print_endline
+    "\n=== Ablation: buffer-layout coalescing (warp transactions per firing) ===";
+  line ();
+  Printf.printf "%-8s %18s %24s\n" "rate" "natural layout" "shuffled layout (eq. 10)";
+  line ();
+  List.iter
+    (fun rate ->
+      let nat =
+        Gpusim.Coalesce.transactions_per_firing arch ~rate ~threads:512
+          ~shuffled:false
+      in
+      let shf =
+        Gpusim.Coalesce.transactions_per_firing arch ~rate ~threads:512
+          ~shuffled:true
+      in
+      Printf.printf "%-8d %12d trans %18d trans  (%.1fx fewer)\n" rate nat shf
+        (float_of_int nat /. float_of_int shf))
+    [ 1; 2; 4; 8; 16; 64 ];
+  line ();
+  print_endline "shared-memory bank-conflict degrees (16 banks, Fig. 8):";
+  List.iter
+    (fun stride ->
+      Printf.printf "  stride %-3d -> degree %d\n" stride
+        (Gpusim.Coalesce.shared_bank_conflict_degree arch ~tid_to_index:(fun t ->
+             t * stride)))
+    [ 1; 2; 4; 8; 16 ];
+  line ()
+
+(* --- Ablation: SM scaling --- *)
+
+let smsweep () =
+  print_endline
+    "\n=== Ablation: SWP8 speedup vs. number of SMs (pipeline scalability) ===";
+  line ();
+  let sm_counts = [ 2; 4; 8; 16 ] in
+  Printf.printf "%-12s" "Benchmark";
+  List.iter (fun p -> Printf.printf " %8s" (Printf.sprintf "%d SMs" p)) sm_counts;
+  print_newline ();
+  line ();
+  List.iter
+    (fun name ->
+      let e = Option.get (Benchmarks.Registry.find name) in
+      let graph = Flatten.flatten (e.Benchmarks.Registry.stream ()) in
+      Printf.printf "%-12s" name;
+      List.iter
+        (fun num_sms ->
+          match Swp_core.Compile.compile ~num_sms ~coarsening:8 graph with
+          | Error _ -> Printf.printf " %8s" "-"
+          | Ok c ->
+            let gt = Swp_core.Executor.time_swp c in
+            (match
+               Swp_core.Executor.speedup ~arch ~graph
+                 ~gpu_cycles_per_steady:gt.Swp_core.Executor.cycles_per_steady ()
+             with
+            | Ok s -> Printf.printf " %8.2f" s
+            | Error _ -> Printf.printf " %8s" "-"))
+        sm_counts;
+      print_newline ())
+    [ "Bitonic"; "DES"; "FMRadio"; "DCT" ];
+  line ();
+  print_endline
+    "compute-bound programs scale with SMs until the bus or pipeline depth\n\
+     binds; bandwidth-bound ones (DCT) flatten early.";
+  line ()
+
+(* --- Bechamel micro-benchmarks of the compiler itself --- *)
+
+let micro () =
+  print_endline "\n=== Bechamel micro-benchmarks (compiler phases) ===";
+  let open Bechamel in
+  let g = Flatten.flatten (Benchmarks.Fm_radio.stream ()) in
+  let rates = Result.get_ok (Sdf.steady_state g) in
+  let prof = Swp_core.Profile.run arch g ~mode:Swp_core.Profile.Coalesced in
+  let cfg = Result.get_ok (Swp_core.Select.select g rates prof) in
+  let lb = Swp_core.Mii.lower_bound g cfg ~num_sms:16 in
+  let tests =
+    Test.make_grouped ~name:"phases"
+      [
+        Test.make ~name:"flatten(FMRadio)"
+          (Staged.stage (fun () ->
+               ignore (Flatten.flatten (Benchmarks.Fm_radio.stream ()))));
+        Test.make ~name:"sdf_rates(FMRadio)"
+          (Staged.stage (fun () -> ignore (Sdf.steady_state g)));
+        Test.make ~name:"profile(FMRadio)"
+          (Staged.stage (fun () ->
+               ignore (Swp_core.Profile.run arch g ~mode:Swp_core.Profile.Coalesced)));
+        Test.make ~name:"select(FMRadio)"
+          (Staged.stage (fun () -> ignore (Swp_core.Select.select g rates prof)));
+        Test.make ~name:"deps(FMRadio)"
+          (Staged.stage (fun () -> ignore (Swp_core.Instances.deps g cfg)));
+        Test.make ~name:"heuristic_schedule(FMRadio)"
+          (Staged.stage (fun () ->
+               ignore (Swp_core.Heuristic.solve g cfg ~num_sms:16 ~ii:(2 * lb))));
+        Test.make ~name:"interp_steady_state(Bitonic)"
+          (Staged.stage (fun () ->
+               let gb = Flatten.flatten (Benchmarks.Bitonic.stream ()) in
+               ignore
+                 (Interp.run_steady_states gb
+                    ~input:(fun i -> Types.VInt (i mod 97))
+                    ~iters:1)));
+      ]
+  in
+  let cfg_b = Benchmark.cfg ~quota:(Time.second 0.5) () in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg_b instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name o ->
+      match Analyze.OLS.estimates o with
+      | Some [ est ] -> Printf.printf "  %-40s %14.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-40s (no estimate)\n" name)
+    results
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let want x = args = [] || List.mem x args in
+  let benches =
+    if
+      List.exists want [ "table1"; "table2"; "fig10"; "fig11"; "ilpstats" ]
+    then compile_all ()
+    else []
+  in
+  if want "table1" then table1 benches;
+  if want "table2" then table2 benches;
+  if want "fig10" then fig10 benches;
+  if want "fig11" then fig11 benches;
+  if want "ilpstats" then ilpstats benches;
+  if want "coalesce" then coalesce_ablation ();
+  if want "smsweep" then smsweep ();
+  if want "micro" then micro ()

@@ -1,0 +1,302 @@
+(* streamit_gpu: command-line driver for the StreamIt-to-GPU compiler.
+
+   Subcommands:
+     info     <bench|file.str>   graph structure, rates, schedules
+     profile  <bench|file.str>   Fig. 6 profile table + selected configuration
+     compile  <bench|file.str>   full pipeline; prints schedule and buffers
+     emit     <bench|file.str>   generated CUDA source on stdout
+     run      <bench|file.str>   interpret N steady states, print outputs
+     speedup  <bench|file.str>   SWP/SWPNC/Serial speedups vs the CPU model
+     list                        available built-in benchmarks
+*)
+
+open Cmdliner
+open Streamit
+
+let arch = Gpusim.Arch.geforce_8800_gts_512
+
+let load_stream spec =
+  match Benchmarks.Registry.find spec with
+  | Some e -> Ok (e.Benchmarks.Registry.stream (), Some e)
+  | None ->
+    if Sys.file_exists spec then begin
+      let ic = open_in_bin spec in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      try Ok (Frontend.Parser.parse_program src, None) with
+      | Frontend.Parser.Parse_error (m, l, c) ->
+        Error (Printf.sprintf "%s:%d:%d: %s" spec l c m)
+      | Frontend.Lexer.Lex_error (m, l, c) ->
+        Error (Printf.sprintf "%s:%d:%d: %s" spec l c m)
+    end
+    else
+      Error
+        (Printf.sprintf
+           "'%s' is neither a built-in benchmark (try 'list') nor a file" spec)
+
+let with_graph spec f =
+  match load_stream spec with
+  | Error m ->
+    Printf.eprintf "error: %s\n" m;
+    1
+  | Ok (stream, entry) -> (
+    match Ast.validate stream with
+    | Error m ->
+      Printf.eprintf "invalid stream: %s\n" m;
+      1
+    | Ok () -> f (Flatten.flatten stream) entry)
+
+let spec_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROGRAM" ~doc:"Built-in benchmark name or .str file.")
+
+(* --- list --- *)
+
+let list_cmd =
+  let doc = "List the built-in benchmark programs (Table I)." in
+  let run () =
+    List.iter
+      (fun (e : Benchmarks.Registry.entry) ->
+        Printf.printf "%-12s %s\n" e.name e.description)
+      Benchmarks.Registry.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- info --- *)
+
+let info_cmd =
+  let doc = "Show graph structure, steady-state rates and buffer bounds." in
+  let run spec =
+    with_graph spec (fun g entry ->
+        Format.printf "%a@." Graph.pp g;
+        (match Sdf.steady_state g with
+        | Error m -> Format.printf "steady state: %s@." m
+        | Ok r ->
+          Format.printf "repetition vector:";
+          Array.iteri
+            (fun v k -> Format.printf " %s=%d" (Graph.name g v) k)
+            r.Sdf.reps;
+          Format.printf "@.input/steady state: %d tokens, output: %d tokens@."
+            (Sdf.input_tokens g r) (Sdf.output_tokens g r);
+          let sas = Schedule.sas g r in
+          let ml = Schedule.min_latency g r in
+          Format.printf "buffering: SAS %d bytes, min-latency %d bytes@."
+            (Schedule.buffer_bytes g sas)
+            (Schedule.buffer_bytes g ml));
+        (match entry with
+        | Some e ->
+          Format.printf "Table I: %d filters (paper: %d), %d peeking (paper: %d)@."
+            (Benchmarks.Registry.our_filters e)
+            e.Benchmarks.Registry.paper_filters
+            (Benchmarks.Registry.our_peeking e)
+            e.Benchmarks.Registry.paper_peeking
+        | None -> ());
+        0)
+  in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ spec_arg)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let doc =
+    "Run the profiling phase (Fig. 6) and configuration selection (Fig. 7)."
+  in
+  let run spec =
+    with_graph spec (fun g _ ->
+        match Sdf.steady_state g with
+        | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          1
+        | Ok rates ->
+          let data = Swp_core.Profile.run arch g ~mode:Swp_core.Profile.Coalesced in
+          Printf.printf
+            "profile grid: regs in {16,20,32,64} x threads in {128,256,384,512}\n";
+          Printf.printf "%-24s" "node";
+          List.iter
+            (fun th -> Printf.printf "  t=%-10d" th)
+            data.Swp_core.Profile.thread_options;
+          print_newline ();
+          for v = 0 to Graph.num_nodes g - 1 do
+            Printf.printf "%-24s" (Graph.name g v);
+            List.iter
+              (fun th ->
+                let t =
+                  Swp_core.Profile.time_of data ~node:v ~regs:16 ~threads:th
+                in
+                if t = infinity then Printf.printf "  %-12s" "inf"
+                else Printf.printf "  %-12.0f" t)
+              data.Swp_core.Profile.thread_options;
+            print_newline ()
+          done;
+          (match Swp_core.Select.select g rates data with
+          | Ok cfg -> Format.printf "%a@." (Swp_core.Select.pp_config g) cfg
+          | Error m -> Printf.printf "selection failed: %s\n" m);
+          0)
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ spec_arg)
+
+(* --- compile --- *)
+
+let coarsen_arg =
+  Arg.(value & opt int 8 & info [ "coarsening"; "n" ] ~doc:"SWPn coarsening factor.")
+
+let compile_cmd =
+  let doc = "Compile through the full pipeline of Fig. 5; print the schedule." in
+  let run spec n =
+    with_graph spec (fun g _ ->
+        match Swp_core.Compile.compile ~coarsening:n g with
+        | Error m ->
+          Printf.eprintf "compilation failed: %s\n" m;
+          1
+        | Ok c ->
+          Format.printf "%a@." Swp_core.Compile.pp_summary c;
+          Format.printf "%a@."
+            (Swp_core.Swp_schedule.pp g)
+            c.Swp_core.Compile.schedule;
+          let gt = Swp_core.Executor.time_swp c in
+          Printf.printf
+            "executor: II=%d cycles (bus bound %d), kernel=%d cycles, %.1f \
+             cycles/steady state\n"
+            gt.Swp_core.Executor.ii_cycles gt.Swp_core.Executor.bus_cycles
+            gt.Swp_core.Executor.kernel_cycles
+            gt.Swp_core.Executor.cycles_per_steady;
+          0)
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ spec_arg $ coarsen_arg)
+
+(* --- emit --- *)
+
+let emit_cmd =
+  let doc = "Emit the generated CUDA program on stdout (Sec. IV-C)." in
+  let run spec n =
+    with_graph spec (fun g _ ->
+        match Swp_core.Compile.compile ~coarsening:n g with
+        | Error m ->
+          Printf.eprintf "compilation failed: %s\n" m;
+          1
+        | Ok c ->
+          print_string (Cudagen.Kernel_gen.program c);
+          0)
+  in
+  Cmd.v (Cmd.info "emit" ~doc) Term.(const run $ spec_arg $ coarsen_arg)
+
+(* --- run --- *)
+
+let iters_arg =
+  Arg.(value & opt int 1 & info [ "iters"; "i" ] ~doc:"Steady states to execute.")
+
+let max_out_arg =
+  Arg.(value & opt int 32 & info [ "max-output" ] ~doc:"Output tokens to print.")
+
+let run_cmd =
+  let doc = "Interpret the program on the reference interpreter." in
+  let run spec iters max_out =
+    with_graph spec (fun g entry ->
+        let input =
+          match entry with
+          | Some e -> e.Benchmarks.Registry.input
+          | None -> fun i -> Types.VFloat (float_of_int (i mod 16))
+        in
+        let out = Interp.run_steady_states g ~input ~iters in
+        Printf.printf "%d output tokens" (List.length out);
+        List.iteri
+          (fun i v ->
+            if i < max_out then begin
+              if i mod 8 = 0 then Printf.printf "\n  ";
+              Printf.printf "%-10s" (Types.string_of_value v)
+            end)
+          out;
+        if List.length out > max_out then Printf.printf "\n  ...";
+        print_newline ();
+        0)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ spec_arg $ iters_arg $ max_out_arg)
+
+(* --- buffers --- *)
+
+let buffers_cmd =
+  let doc = "Per-channel buffer sizing of the SWPn schedule (Table II detail)." in
+  let run spec n =
+    with_graph spec (fun g _ ->
+        match Swp_core.Compile.compile ~coarsening:n g with
+        | Error m ->
+          Printf.eprintf "compilation failed: %s\n" m;
+          1
+        | Ok c ->
+          let sz = c.Swp_core.Compile.sizing in
+          Printf.printf "SWP%d buffers: %d bytes total, pipeline depth %d\n\n" n
+            sz.Swp_core.Buffer_layout.total_bytes
+            sz.Swp_core.Buffer_layout.stages;
+          Printf.printf "%-28s %-28s %12s\n" "producer" "consumer" "bytes";
+          List.iter
+            (fun ((e : Graph.edge), bytes) ->
+              Printf.printf "%-28s %-28s %12d\n"
+                (Printf.sprintf "%s.%d" (Graph.name g e.Graph.src) e.Graph.src_port)
+                (Printf.sprintf "%s.%d" (Graph.name g e.Graph.dst) e.Graph.dst_port)
+                bytes)
+            sz.Swp_core.Buffer_layout.per_edge;
+          0)
+  in
+  Cmd.v (Cmd.info "buffers" ~doc) Term.(const run $ spec_arg $ coarsen_arg)
+
+(* --- speedup --- *)
+
+let speedup_cmd =
+  let doc = "Report SWP / SWPNC / Serial speedups over the CPU model (Fig. 10)." in
+  let run spec n =
+    with_graph spec (fun g _ ->
+        match Swp_core.Compile.compile ~coarsening:n g with
+        | Error m ->
+          Printf.eprintf "compilation failed: %s\n" m;
+          1
+        | Ok c ->
+          let sp cycles =
+            match
+              Swp_core.Executor.speedup ~arch ~graph:g
+                ~gpu_cycles_per_steady:cycles ()
+            with
+            | Ok s -> s
+            | Error m -> failwith m
+          in
+          let gt = Swp_core.Executor.time_swp c in
+          Printf.printf "SWP%-3d : %6.2fx\n" n
+            (sp gt.Swp_core.Executor.cycles_per_steady);
+          (match
+             Swp_core.Compile.compile
+               ~scheme:Swp_core.Compile.Swp_non_coalesced ~coarsening:n g
+           with
+          | Ok cn ->
+            let gtn = Swp_core.Executor.time_swp cn in
+            Printf.printf "SWPNC  : %6.2fx\n"
+              (sp gtn.Swp_core.Executor.cycles_per_steady)
+          | Error m -> Printf.printf "SWPNC  : failed (%s)\n" m);
+          (match
+             Swp_core.Executor.time_serial
+               ~batch:(64 * c.Swp_core.Compile.config.Swp_core.Select.scale)
+               g
+               ~budget_bytes:
+                 c.Swp_core.Compile.sizing.Swp_core.Buffer_layout.total_bytes
+           with
+          | Ok st ->
+            Printf.printf "Serial : %6.2fx (batch %d steady states)\n"
+              (sp st.Swp_core.Executor.cycles_per_steady)
+              st.Swp_core.Executor.batch
+          | Error m -> Printf.printf "Serial : failed (%s)\n" m);
+          0)
+  in
+  Cmd.v (Cmd.info "speedup" ~doc) Term.(const run $ spec_arg $ coarsen_arg)
+
+let () =
+  let doc = "StreamIt-to-GPU software-pipelining compiler (CGO 2009 reproduction)" in
+  let info = Cmd.info "streamit_gpu" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [
+            list_cmd; info_cmd; profile_cmd; compile_cmd; emit_cmd; run_cmd;
+            buffers_cmd; speedup_cmd;
+          ]))

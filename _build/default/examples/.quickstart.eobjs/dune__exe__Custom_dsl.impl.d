@@ -1,0 +1,1 @@
+examples/custom_dsl.ml: Ast Cudagen Flatten Format Graph Interp Kernel List Printf Streamit String Swp_core Types

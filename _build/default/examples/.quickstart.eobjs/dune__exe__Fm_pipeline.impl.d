@@ -1,0 +1,1 @@
+examples/fm_pipeline.ml: Benchmarks Flatten Format Gpusim Graph Interp List Option Streamit Swp_core Types

@@ -1,0 +1,1 @@
+examples/fm_pipeline.mli:

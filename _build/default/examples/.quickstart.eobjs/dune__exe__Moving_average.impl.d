@@ -1,0 +1,1 @@
+examples/moving_average.ml: Ast Flatten Format Frontend Graph Interp List Printf Streamit String Swp_core Types

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ast Flatten Format Graph Interp Kernel List Result Sdf Streamit String Swp_core Types

@@ -1,0 +1,1 @@
+lib/benchmarks/bitonic.ml: Ast Kernel List Printf Streamit Types

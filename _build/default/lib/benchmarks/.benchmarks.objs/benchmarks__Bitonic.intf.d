@@ -1,0 +1,1 @@
+lib/benchmarks/bitonic.mli: Streamit

@@ -1,0 +1,1 @@
+lib/benchmarks/bitonic_rec.ml: Ast Kernel List Printf Streamit Types

@@ -1,0 +1,1 @@
+lib/benchmarks/bitonic_rec.mli: Streamit

@@ -1,0 +1,1 @@
+lib/benchmarks/dct.ml: Array Ast Float Kernel List Printf Streamit Types

@@ -1,0 +1,1 @@
+lib/benchmarks/des.ml: Array Ast Des_tables Kernel List Printf Streamit Types

@@ -1,0 +1,1 @@
+lib/benchmarks/des_tables.ml: Array Char String

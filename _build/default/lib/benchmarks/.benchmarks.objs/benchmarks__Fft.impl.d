@@ -1,0 +1,1 @@
+lib/benchmarks/fft.ml: Array Ast Float Kernel List Printf Streamit Types

@@ -1,0 +1,1 @@
+lib/benchmarks/filterbank.ml: Array Ast Fir Kernel List Printf Streamit

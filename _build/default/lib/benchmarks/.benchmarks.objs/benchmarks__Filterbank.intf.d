@@ -1,0 +1,1 @@
+lib/benchmarks/filterbank.mli: Streamit

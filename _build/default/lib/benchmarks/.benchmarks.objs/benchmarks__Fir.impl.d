@@ -1,0 +1,1 @@
+lib/benchmarks/fir.ml: Array Float Kernel List Printf Streamit Types

@@ -1,0 +1,1 @@
+lib/benchmarks/fm_radio.ml: Ast Fir Kernel List Printf Streamit

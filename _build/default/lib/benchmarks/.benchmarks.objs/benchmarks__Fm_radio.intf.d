@@ -1,0 +1,1 @@
+lib/benchmarks/fm_radio.mli: Streamit

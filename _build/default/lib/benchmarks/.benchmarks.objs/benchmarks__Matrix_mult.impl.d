@@ -1,0 +1,1 @@
+lib/benchmarks/matrix_mult.ml: Ast Kernel List Printf Streamit

@@ -1,0 +1,1 @@
+lib/benchmarks/matrix_mult.mli: Streamit

@@ -1,0 +1,1 @@
+lib/benchmarks/registry.ml: Ast Bitonic Bitonic_rec Dct Des Fft Filterbank Fm_radio Kernel List Matrix_mult Streamit String Types

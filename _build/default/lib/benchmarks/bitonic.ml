@@ -1,0 +1,61 @@
+open Streamit
+
+let n = 8
+let name = "Bitonic"
+let description = "Bitonic sorting network for sorting 8 integers."
+
+(* Compare-exchange filter over a contiguous block of [2*d] keys:
+   position j is compared with j+d; ascending puts the smaller first. *)
+let compare_exchange ~d ~asc tag =
+  let open Kernel.Build in
+  let lo = if asc then Kernel.Min else Kernel.Max in
+  let hi = if asc then Kernel.Max else Kernel.Min in
+  Kernel.make_filter
+    ~name:(Printf.sprintf "CE%s_d%d_%s" tag d (if asc then "asc" else "desc"))
+    ~pop:(2 * d) ~push:(2 * d) ~in_ty:Types.TInt ~out_ty:Types.TInt
+    [
+      arr "w" (2 * d);
+      for_ "j" (i 0) (i (2 * d)) [ seti "w" (v "j") pop ];
+      for_ "j" (i 0) (i d)
+        [
+          let_ "a" (geti "w" (v "j"));
+          let_ "b" (geti "w" (v "j" +: i d));
+          seti "w" (v "j") (Kernel.Binop (lo, v "a", v "b"));
+          seti "w" (v "j" +: i d) (Kernel.Binop (hi, v "a", v "b"));
+        ];
+      for_ "j" (i 0) (i (2 * d)) [ push (geti "w" (v "j")) ];
+    ]
+
+(* One network stage: comparisons at distance [d], sort direction decided
+   per block of [blk] elements. *)
+let stage ~phase ~d ~blk =
+  let branches = n / (2 * d) in
+  let tag = Printf.sprintf "p%d" phase in
+  if branches = 1 then
+    Ast.Filter (compare_exchange ~d ~asc:true tag)
+  else begin
+    let branch b =
+      let start = 2 * d * b in
+      let asc = start / blk mod 2 = 0 in
+      Ast.Filter (compare_exchange ~d ~asc (Printf.sprintf "%s_b%d" tag b))
+    in
+    let weights = List.init branches (fun _ -> 2 * d) in
+    Ast.round_robin_sj
+      (Printf.sprintf "stage_p%d_d%d" phase d)
+      weights
+      (List.init branches branch)
+      weights
+  end
+
+let stream () =
+  let stages = ref [] in
+  let phase_count = 3 (* log2 n *) in
+  for p = 1 to phase_count do
+    let blk = 1 lsl p in
+    let d = ref (blk / 2) in
+    while !d >= 1 do
+      stages := stage ~phase:p ~d:!d ~blk :: !stages;
+      d := !d / 2
+    done
+  done;
+  Ast.pipeline name (List.rev !stages)

@@ -1,0 +1,15 @@
+(** Bitonic sorting network for 8 integers (Table I, "Bitonic").
+
+    Iterative construction: the classic 6-stage network of 2-input
+    compare-exchange filters, each stage expressed as a round-robin
+    split-join routing element pairs at the stage's comparison distance.
+    The stream is a sequence of 8-integer frames; each frame leaves the
+    network sorted ascending. *)
+
+val n : int
+(** Frame size: 8 keys. *)
+
+val stream : unit -> Streamit.Ast.stream
+
+val name : string
+val description : string

@@ -1,0 +1,62 @@
+open Streamit
+
+let n = 8
+let name = "BitonicRec"
+let description = "Recursive implementation of the bitonic sorting network."
+
+let fresh =
+  let c = ref 0 in
+  fun base ->
+    incr c;
+    Printf.sprintf "%s_%d" base !c
+
+(* 2-key compare-exchange. *)
+let ce ~asc =
+  let open Kernel.Build in
+  let lo = if asc then Kernel.Min else Kernel.Max in
+  let hi = if asc then Kernel.Max else Kernel.Min in
+  Kernel.make_filter
+    ~name:(fresh (if asc then "CEasc" else "CEdesc"))
+    ~pop:2 ~push:2 ~in_ty:Types.TInt ~out_ty:Types.TInt
+    [
+      let_ "a" pop;
+      let_ "b" pop;
+      push (Kernel.Binop (lo, v "a", v "b"));
+      push (Kernel.Binop (hi, v "a", v "b"));
+    ]
+
+(* Merge a bitonic sequence of size [sz] into [asc] order.  The
+   comparison stage pairs element j with j+sz/2 via a 1-weighted
+   round-robin split-join; the halves are then merged recursively. *)
+let rec merge sz ~asc =
+  if sz = 2 then Ast.Filter (ce ~asc)
+  else begin
+    let half = sz / 2 in
+    let ones = List.init half (fun _ -> 1) in
+    let compare_stage =
+      Ast.round_robin_sj (fresh "mergecmp") ones
+        (List.init half (fun _ -> Ast.Filter (ce ~asc)))
+        ones
+    in
+    let halves =
+      Ast.round_robin_sj (fresh "mergerec") [ half; half ]
+        [ merge half ~asc; merge half ~asc ]
+        [ half; half ]
+    in
+    Ast.pipeline (fresh "merge") [ compare_stage; halves ]
+  end
+
+let rec sort sz ~asc =
+  if sz = 2 then Ast.Filter (ce ~asc)
+  else begin
+    let half = sz / 2 in
+    let split =
+      Ast.round_robin_sj (fresh "sorthalves") [ half; half ]
+        [ sort half ~asc:true; sort half ~asc:false ]
+        [ half; half ]
+    in
+    Ast.pipeline (fresh "sort") [ split; merge sz ~asc ]
+  end
+
+let stream () =
+  Ast.pipeline name [ sort n ~asc:true ]

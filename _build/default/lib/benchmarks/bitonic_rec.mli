@@ -1,0 +1,13 @@
+(** Recursive bitonic sorting network (Table I, "BitonicRec").
+
+    The same 8-key sorter expressed the way the StreamIt benchmark builds
+    it: [sort n] recursively sorts two halves in opposite directions
+    through a round-robin split-join and merges the resulting bitonic
+    sequence with a recursive [merge n].  Structurally richer than the
+    iterative network (more, smaller split-joins), which is why the paper
+    reports a different filter count for it. *)
+
+val n : int
+val stream : unit -> Streamit.Ast.stream
+val name : string
+val description : string

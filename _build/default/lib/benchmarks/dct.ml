@@ -1,0 +1,70 @@
+open Streamit
+
+let size = 8
+let name = "DCT"
+let description = "8x8 Discrete Cosine Transform."
+
+(* Orthonormal DCT-II basis: out[k] = c_k * sum_j in[j] cos((2j+1)k pi/16),
+   c_0 = sqrt(1/8), c_k = sqrt(2/8). *)
+let basis =
+  Array.init (size * size) (fun idx ->
+      let k = idx / size and j = idx mod size in
+      let ck =
+        if k = 0 then sqrt (1.0 /. float_of_int size)
+        else sqrt (2.0 /. float_of_int size)
+      in
+      ck
+      *. cos
+           (Float.pi
+           *. float_of_int ((2 * j) + 1)
+           *. float_of_int k
+           /. (2.0 *. float_of_int size)))
+
+let dct_1d_reference input =
+  Array.init size (fun k ->
+      let acc = ref 0.0 in
+      for j = 0 to size - 1 do
+        acc := !acc +. (input.(j) *. basis.((k * size) + j))
+      done;
+      !acc)
+
+(* 1-D DCT-II over one 8-float row via the coefficient table. *)
+let dct_1d tag =
+  let open Kernel.Build in
+  let table =
+    ("coeff", Array.map (fun x -> Types.VFloat x) basis)
+  in
+  Kernel.make_filter
+    ~name:(Printf.sprintf "DCT1D_%s" tag)
+    ~pop:size ~push:size ~tables:[ table ]
+    [
+      arr "row" size;
+      for_ "j" (i 0) (i size) [ seti "row" (v "j") pop ];
+      for_ "k" (i 0) (i size)
+        [
+          let_ "acc" (f 0.0);
+          for_ "j" (i 0) (i size)
+            [
+              set "acc"
+                (v "acc"
+                +: (geti "row" (v "j") *: tbl "coeff" ((v "k" *: i size) +: v "j")));
+            ];
+          push (v "acc");
+        ];
+    ]
+
+(* A rank of eight parallel 1-D DCTs.  The input split deals one row to
+   each branch; the joiner with weight 1 interleaves one output value per
+   branch — i.e. it emits the transpose of the transformed block, so two
+   ranks in sequence implement the full 2-D transform. *)
+let rank tag =
+  let rows = List.init size (fun _ -> size) in
+  let ones = List.init size (fun _ -> 1) in
+  Ast.round_robin_sj
+    (Printf.sprintf "dct_rank_%s" tag)
+    rows
+    (List.init size (fun b -> Ast.Filter (dct_1d (Printf.sprintf "%s%d" tag b))))
+    ones
+
+let stream () =
+  Ast.pipeline name [ rank "rows"; rank "cols" ]

@@ -1,0 +1,20 @@
+(** 8x8 two-dimensional Discrete Cosine Transform (Table I, "DCT").
+
+    The stream is a sequence of 64-float frames (row-major 8x8 blocks).
+    Rows and columns are transformed by separate ranks of eight 1-D
+    DCT-II filters; the round-robin joiner between the ranks performs the
+    transpose for free.  This is the splitter/joiner-heavy, phased
+    structure the paper identifies as the reason the Serial baseline
+    edges out SWP on this benchmark. *)
+
+val size : int
+(** 8: transform dimension. *)
+
+val stream : unit -> Streamit.Ast.stream
+
+val dct_1d_reference : float array -> float array
+(** Host-side orthonormal DCT-II of one length-8 vector, for output
+    validation in the test suite. *)
+
+val name : string
+val description : string

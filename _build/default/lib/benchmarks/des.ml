@@ -1,0 +1,144 @@
+open Streamit
+
+let name = "DES"
+let description = "DES encryption (16 rounds, bit-exact FIPS 46-3)."
+
+module Tables = struct
+  let round_keys = Des_tables.round_keys
+  let default_key = Des_tables.default_key
+end
+
+let vi n = Types.VInt n
+let itable arr = Array.map vi arr
+
+(* 64-bit permutation filter: pop (L, R), push permuted (L', R').
+   Bit 1 is the MSB of L; bit 33 is the MSB of R. *)
+let perm64_filter fname table =
+  let open Kernel.Build in
+  let gather dst range_lo =
+    [
+      let_ dst (i 0);
+      for_ "j" (i range_lo) (i (range_lo + 32))
+        [
+          let_ "src" (tbl "T" (v "j"));
+          let_ "bit"
+            (Kernel.Cond
+               ( v "src" <=: i 32,
+                 (v "l" >>: (i 32 -: v "src")) &: i 1,
+                 (v "r" >>: (i 64 -: v "src")) &: i 1 ));
+          set dst ((v dst <<: i 1) |: v "bit");
+        ];
+    ]
+  in
+  Kernel.make_filter ~name:fname ~pop:2 ~push:2 ~in_ty:Types.TInt
+    ~out_ty:Types.TInt
+    ~tables:[ ("T", itable table) ]
+    ([ let_ "l" pop; let_ "r" pop ]
+    @ gather "outl" 0 @ gather "outr" 32
+    @ [ push (v "outl"); push (v "outr") ])
+
+(* Round filter 1: expansion + key mixing.
+   pop (L, R) -> push (L, R, X1, X2) where X1X2 = E(R) xor K_r. *)
+let expand_filter r (k1, k2) =
+  let open Kernel.Build in
+  let gather dst lo =
+    [
+      let_ dst (i 0);
+      for_ "j" (i lo) (i (lo + 24))
+        [
+          let_ "src" (tbl "E" (v "j"));
+          set dst ((v dst <<: i 1) |: ((v "r" >>: (i 32 -: v "src")) &: i 1));
+        ];
+    ]
+  in
+  Kernel.make_filter
+    ~name:(Printf.sprintf "Expand_r%d" r)
+    ~pop:2 ~push:4 ~in_ty:Types.TInt ~out_ty:Types.TInt
+    ~tables:[ ("E", itable Des_tables.e) ]
+    ([ let_ "l" pop; let_ "r" pop ]
+    @ gather "x1" 0 @ gather "x2" 24
+    @ [
+        push (v "l");
+        push (v "r");
+        push (v "x1" ^: i k1);
+        push (v "x2" ^: i k2);
+      ])
+
+(* Round filter 2: S-box substitution.
+   pop (L, R, X1, X2) -> push (L, R, S) with S the 32-bit sbox output. *)
+let sbox_filter r =
+  let open Kernel.Build in
+  let flat =
+    Array.concat (List.init 8 (fun i -> Des_tables.sbox_flat i))
+  in
+  Kernel.make_filter
+    ~name:(Printf.sprintf "Sbox_r%d" r)
+    ~pop:4 ~push:3 ~in_ty:Types.TInt ~out_ty:Types.TInt
+    ~tables:[ ("S", itable flat) ]
+    [
+      let_ "l" pop;
+      let_ "r" pop;
+      let_ "x1" pop;
+      let_ "x2" pop;
+      let_ "s" (i 0);
+      for_ "b" (i 0) (i 4)
+        [
+          let_ "chunk" ((v "x1" >>: (i 18 -: (i 6 *: v "b"))) &: i 63);
+          set "s" ((v "s" <<: i 4) |: tbl "S" ((v "b" *: i 64) +: v "chunk"));
+        ];
+      for_ "b" (i 0) (i 4)
+        [
+          let_ "chunk" ((v "x2" >>: (i 18 -: (i 6 *: v "b"))) &: i 63);
+          set "s"
+            ((v "s" <<: i 4) |: tbl "S" (((v "b" +: i 4) *: i 64) +: v "chunk"));
+        ];
+      push (v "l");
+      push (v "r");
+      push (v "s");
+    ]
+
+(* Round filter 3: P permutation + Feistel swap.
+   pop (L, R, S) -> push (R, L xor P(S)); the last round omits the swap. *)
+let perm_filter r ~last =
+  let open Kernel.Build in
+  Kernel.make_filter
+    ~name:(Printf.sprintf "PermXor_r%d" r)
+    ~pop:3 ~push:2 ~in_ty:Types.TInt ~out_ty:Types.TInt
+    ~tables:[ ("P", itable Des_tables.p) ]
+    ([
+       let_ "l" pop;
+       let_ "r" pop;
+       let_ "s" pop;
+       let_ "f" (i 0);
+       for_ "j" (i 0) (i 32)
+         [
+           let_ "src" (tbl "P" (v "j"));
+           set "f" ((v "f" <<: i 1) |: ((v "s" >>: (i 32 -: v "src")) &: i 1));
+         ];
+     ]
+    @
+    if last then [ push (v "l" ^: v "f"); push (v "r") ]
+    else [ push (v "r"); push (v "l" ^: v "f") ])
+
+let network keys =
+  let rounds =
+    List.concat
+      (List.init 16 (fun r ->
+           let k1, k2 = keys.(r) in
+           [
+             Ast.Filter (expand_filter (r + 1) (k1, k2));
+             Ast.Filter (sbox_filter (r + 1));
+             Ast.Filter (perm_filter (r + 1) ~last:(r = 15));
+           ]))
+  in
+  [ Ast.Filter (perm64_filter "IP" Des_tables.ip) ]
+  @ rounds
+  @ [ Ast.Filter (perm64_filter "FP" Des_tables.fp) ]
+
+let stream ?(key = Des_tables.default_key) () =
+  Ast.pipeline name (network (Des_tables.round_keys key))
+
+let decrypt_stream ?(key = Des_tables.default_key) () =
+  let keys = Des_tables.round_keys key in
+  let rev = Array.init 16 (fun r -> keys.(15 - r)) in
+  Ast.pipeline "DES_decrypt" (network rev)

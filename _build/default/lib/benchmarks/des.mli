@@ -1,0 +1,24 @@
+(** DES encryption (Table I, "DES").
+
+    A full 16-round FIPS 46-3 DES encoder over a stream of 64-bit blocks
+    carried as pairs of 32-bit integer tokens (L, R).  Each round is
+    three pipeline filters — expansion + key mixing, S-box substitution,
+    and permutation + Feistel swap — bracketed by the initial and final
+    permutations, mirroring the fine-grained structure of the StreamIt
+    benchmark.  Round keys are derived at compile time from a fixed key
+    (the classic FIPS walkthrough key by default). *)
+
+val stream : ?key:string -> unit -> Streamit.Ast.stream
+(** [key] is 16 hex digits; default ["133457799BBCDFF1"]. *)
+
+val decrypt_stream : ?key:string -> unit -> Streamit.Ast.stream
+(** The same network with the round keys reversed — DES decryption; used
+    by round-trip tests. *)
+
+val name : string
+val description : string
+
+module Tables : sig
+  val round_keys : string -> (int * int) array
+  val default_key : string
+end

@@ -1,0 +1,133 @@
+open Streamit
+
+let points = 64
+let groups = 8 (* radix: 64 = 8 x 8 *)
+let name = "FFT"
+let description = "Fast Fourier Transform (64-point, radix-8 Cooley-Tukey)."
+
+let dft_reference input =
+  let n = Array.length input in
+  Array.init n (fun k ->
+      let re = ref 0.0 and im = ref 0.0 in
+      for j = 0 to n - 1 do
+        let xr, xi = input.(j) in
+        let ang = -2.0 *. Float.pi *. float_of_int (j * k) /. float_of_int n in
+        re := !re +. (xr *. cos ang) -. (xi *. sin ang);
+        im := !im +. (xr *. sin ang) +. (xi *. cos ang)
+      done;
+      (!re, !im))
+
+let vfloat x = Types.VFloat x
+
+(* Cooley-Tukey 64 = 8x8 decomposition:
+     X[k1 + 8 k2] = sum_j1 (W64^(j1 k1) * G[j1][k1]) W8^(j1 k2)
+     G[j1][k1]    = sum_j2 x[8 j2 + j1] W8^(j2 k1)
+   Rank 1: branch j1 receives the samples {x[8 j2 + j1]} (round-robin
+   splitter with complex weight 2), computes an 8-point DFT over j2 and
+   applies the twiddles W64^(j1 k1); the joiner (weight 16) concatenates
+   the branch outputs j1-major.
+   Rank 2: branch k1 receives {T[j1][k1]} (round-robin splitter again),
+   computes the DFT over j1; the joiner with weight 2 interleaves one
+   complex value per branch, which is exactly the order X[k1 + 8 k2]. *)
+
+let dft8_tables =
+  let n = groups in
+  let cos_t =
+    Array.init (n * n) (fun idx ->
+        vfloat
+          (cos
+             (-2.0 *. Float.pi
+             *. float_of_int (idx / n * (idx mod n))
+             /. float_of_int n)))
+  in
+  let sin_t =
+    Array.init (n * n) (fun idx ->
+        vfloat
+          (sin
+             (-2.0 *. Float.pi
+             *. float_of_int (idx / n * (idx mod n))
+             /. float_of_int n)))
+  in
+  (cos_t, sin_t)
+
+(* 8-point DFT; optionally post-multiplied by the rank-1 twiddles
+   W64^(j1 k) for a fixed branch index j1. *)
+let dft8_filter ~fname ~twiddle_j1 =
+  let open Kernel.Build in
+  let n = groups in
+  let cos_t, sin_t = dft8_tables in
+  let tw_tables =
+    match twiddle_j1 with
+    | None -> []
+    | Some j1 ->
+      let twc =
+        Array.init n (fun k ->
+            vfloat
+              (cos
+                 (-2.0 *. Float.pi *. float_of_int (j1 * k)
+                 /. float_of_int points)))
+      in
+      let tws =
+        Array.init n (fun k ->
+            vfloat
+              (sin
+                 (-2.0 *. Float.pi *. float_of_int (j1 * k)
+                 /. float_of_int points)))
+      in
+      [ ("twc", twc); ("tws", tws) ]
+  in
+  let post =
+    match twiddle_j1 with
+    | None -> [ push (v "sr"); push (v "si") ]
+    | Some _ ->
+      [
+        let_ "pr" ((v "sr" *: tbl "twc" (v "k")) -: (v "si" *: tbl "tws" (v "k")));
+        let_ "pi" ((v "sr" *: tbl "tws" (v "k")) +: (v "si" *: tbl "twc" (v "k")));
+        push (v "pr");
+        push (v "pi");
+      ]
+  in
+  Kernel.make_filter ~name:fname ~pop:(2 * n) ~push:(2 * n)
+    ~tables:([ ("cosT", cos_t); ("sinT", sin_t) ] @ tw_tables)
+    [
+      arr "re" n;
+      arr "im" n;
+      for_ "j" (i 0) (i n) [ seti "re" (v "j") pop; seti "im" (v "j") pop ];
+      for_ "k" (i 0) (i n)
+        ([
+           let_ "sr" (f 0.0);
+           let_ "si" (f 0.0);
+           for_ "j" (i 0) (i n)
+             [
+               let_ "c" (tbl "cosT" ((v "k" *: i n) +: v "j"));
+               let_ "s" (tbl "sinT" ((v "k" *: i n) +: v "j"));
+               set "sr"
+                 ((v "sr" +: (geti "re" (v "j") *: v "c"))
+                 -: (geti "im" (v "j") *: v "s"));
+               set "si"
+                 ((v "si" +: (geti "re" (v "j") *: v "s"))
+                 +: (geti "im" (v "j") *: v "c"));
+             ];
+         ]
+        @ post);
+    ]
+
+let rank1 =
+  let twos = List.init groups (fun _ -> 2) in
+  let sixteens = List.init groups (fun _ -> 2 * groups) in
+  Ast.round_robin_sj "fft_rank1" twos
+    (List.init groups (fun j1 ->
+         Ast.Filter
+           (dft8_filter ~fname:(Printf.sprintf "DFT8Tw_j%d" j1)
+              ~twiddle_j1:(Some j1))))
+    sixteens
+
+let rank2 =
+  let twos = List.init groups (fun _ -> 2) in
+  Ast.round_robin_sj "fft_rank2" twos
+    (List.init groups (fun k1 ->
+         Ast.Filter
+           (dft8_filter ~fname:(Printf.sprintf "DFT8_k%d" k1) ~twiddle_j1:None)))
+    twos
+
+let stream () = Ast.pipeline name [ rank1; rank2 ]

@@ -1,0 +1,18 @@
+(** Fast Fourier Transform (Table I, "FFT").
+
+    Radix-2 decimation-in-time FFT of 64-point complex frames, streamed
+    as interleaved (re, im) float pairs.  Built the coarse-grained way
+    the StreamIt FFT benchmark is: a bit-reversal reorder filter followed
+    by log2(n) whole-frame butterfly-stage filters with twiddle tables —
+    compute-dense kernels rather than deep split-join routing. *)
+
+val points : int
+(** 64 complex points per frame. *)
+
+val stream : unit -> Streamit.Ast.stream
+
+val dft_reference : (float * float) array -> (float * float) array
+(** Naive O(n^2) DFT for validation. *)
+
+val name : string
+val description : string

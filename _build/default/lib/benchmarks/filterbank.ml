@@ -1,0 +1,51 @@
+open Streamit
+
+let branches = 8
+let taps = 28
+let name = "Filterbank"
+let description = "Filter bank for multirate signal processing (8 bands)."
+
+(* Decimator: keep one sample in [k]. *)
+let downsample k fname =
+  let open Kernel.Build in
+  Kernel.make_filter ~name:fname ~pop:k ~push:1
+    ([ push pop ] @ List.init (k - 1) (fun d -> let_ (Printf.sprintf "_d%d" d) pop))
+
+(* Expander: one sample followed by k-1 zeros. *)
+let upsample k fname =
+  let open Kernel.Build in
+  Kernel.make_filter ~name:fname ~pop:1 ~push:k
+    ([ push pop ] @ List.init (k - 1) (fun _ -> push (f 0.0)))
+
+let band b =
+  let lo = float_of_int b /. float_of_int branches in
+  let hi = float_of_int (b + 1) /. float_of_int branches in
+  let analysis =
+    (* band-pass as a frequency-shifted low-pass: taps of the band's
+       upper cutoff minus taps of the lower cutoff *)
+    let t_hi = Fir.lowpass_taps ~taps ~cutoff:(max 0.02 hi) in
+    let t_lo = Fir.lowpass_taps ~taps ~cutoff:(max 0.01 lo) in
+    Array.init taps (fun i -> t_hi.(i) -. t_lo.(i))
+  in
+  Ast.pipeline
+    (Printf.sprintf "band%d" b)
+    [
+      Ast.Filter
+        (Fir.fir_filter ~fname:(Printf.sprintf "Analysis%d" b) ~taps ~decim:1
+           analysis);
+      Ast.Filter (downsample branches (Printf.sprintf "Down%d" b));
+      Ast.Filter (upsample branches (Printf.sprintf "Up%d" b));
+      Ast.Filter
+        (Fir.lowpass
+           ~fname:(Printf.sprintf "Synthesis%d" b)
+           ~taps ~cutoff:(1.2 /. float_of_int branches) ~decim:1);
+      Ast.Filter (Fir.gain ~fname:(Printf.sprintf "Gain%d" b) 1.0);
+    ]
+
+let stream () =
+  let ones = List.init branches (fun _ -> 1) in
+  Ast.pipeline name
+    [
+      Ast.duplicate_sj "bank" (List.init branches band) ones;
+      Ast.Filter (Fir.adder ~fname:"Combine" branches);
+    ]

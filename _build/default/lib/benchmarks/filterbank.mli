@@ -1,0 +1,13 @@
+(** Multirate filter bank (Table I, "Filterbank"; 16 peeking filters).
+
+    Eight-channel analysis/synthesis bank: the input is duplicated to
+    eight branches, each of which band-filters (peeking FIR), decimates
+    by 8, re-expands, interpolation-filters (second peeking FIR) and
+    applies a per-band gain; the branches are summed back into one
+    signal.  Two peeking FIRs per branch gives the paper's 16 peeking
+    filters. *)
+
+val branches : int
+val stream : unit -> Streamit.Ast.stream
+val name : string
+val description : string

@@ -1,0 +1,56 @@
+(* Shared FIR construction for the signal-processing benchmarks
+   (Filterbank, FMRadio): peeking filters computing a sliding dot product
+   against a windowed-sinc tap table. *)
+
+open Streamit
+
+let pi = Float.pi
+
+(* Hamming-windowed sinc low-pass taps with cutoff [cutoff] (fraction of
+   Nyquist, in (0, 1]). *)
+let lowpass_taps ~taps ~cutoff =
+  let m = taps - 1 in
+  Array.init taps (fun i ->
+      let w =
+        0.54 -. (0.46 *. cos (2.0 *. pi *. float_of_int i /. float_of_int m))
+      in
+      let x = float_of_int i -. (float_of_int m /. 2.0) in
+      let s =
+        if Float.abs x < 1e-9 then cutoff
+        else sin (pi *. cutoff *. x) /. (pi *. x)
+      in
+      w *. s)
+
+(* FIR filter: pop [decim] tokens, push 1, peeking [taps] deep — the
+   StreamIt idiom for combined filtering and decimation.  With
+   [decim = 1] it is a plain sliding-window FIR. *)
+let fir_filter ~fname ~taps ~decim coeffs =
+  let open Kernel.Build in
+  if Array.length coeffs <> taps then invalid_arg "Fir.fir_filter";
+  Kernel.make_filter ~name:fname ~pop:decim ~push:1 ~peek:(max taps decim)
+    ~tables:[ ("taps", Array.map (fun x -> Types.VFloat x) coeffs) ]
+    ([
+       let_ "acc" (f 0.0);
+       for_ "j" (i 0) (i taps)
+         [ set "acc" (v "acc" +: (peek (v "j") *: tbl "taps" (v "j"))) ];
+       push (v "acc");
+     ]
+    @ List.init decim (fun d -> let_ (Printf.sprintf "_d%d" d) pop))
+
+let lowpass ~fname ~taps ~cutoff ~decim =
+  fir_filter ~fname ~taps ~decim (lowpass_taps ~taps ~cutoff)
+
+(* Gain/amplifier stage. *)
+let gain ~fname g =
+  let open Kernel.Build in
+  Kernel.make_filter ~name:fname ~pop:1 ~push:1 [ push (pop *: f g) ]
+
+(* n-way adder: pops one token per input stream round-robin slot. *)
+let adder ~fname n =
+  let open Kernel.Build in
+  Kernel.make_filter ~name:fname ~pop:n ~push:1
+    [
+      let_ "acc" (f 0.0);
+      for_ "j" (i 0) (i n) [ set "acc" (v "acc" +: pop) ];
+      push (v "acc");
+    ]

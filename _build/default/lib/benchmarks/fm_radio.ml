@@ -1,0 +1,56 @@
+open Streamit
+
+let bands = 10
+let taps = 28
+let name = "FMRadio"
+let description = "Software FM radio with equalizer (10 bands)."
+
+(* FM demodulation: the phase difference of adjacent samples, through a
+   rational arctangent approximation (atan x ~ x / (1 + 0.28 x^2)). *)
+let demodulator =
+  let open Kernel.Build in
+  let gain = 0.5 in
+  Kernel.make_filter ~name:"FMDemod" ~pop:1 ~push:1 ~peek:2
+    [
+      let_ "x" (peek (i 0) *: peek (i 1));
+      let_ "y" (v "x" /: (f 1.0 +: (f 0.28 *: v "x" *: v "x")));
+      push (f gain *: v "y");
+      let_ "_d" pop;
+    ]
+
+let subtracter fname =
+  let open Kernel.Build in
+  Kernel.make_filter ~name:fname ~pop:2 ~push:1
+    [ let_ "a" pop; let_ "b" pop; push (v "a" -: v "b") ]
+
+let band b =
+  let lo = 0.05 +. (0.9 *. float_of_int b /. float_of_int bands) in
+  let hi = 0.05 +. (0.9 *. float_of_int (b + 1) /. float_of_int bands) in
+  let lpf cutoff tag =
+    Ast.Filter
+      (Fir.lowpass ~fname:(Printf.sprintf "EqLPF%d_%s" b tag) ~taps
+         ~cutoff ~decim:1)
+  in
+  Ast.pipeline
+    (Printf.sprintf "eqband%d" b)
+    [
+      Ast.duplicate_sj
+        (Printf.sprintf "bpf%d" b)
+        [ lpf hi "hi"; lpf lo "lo" ]
+        [ 1; 1 ];
+      Ast.Filter (subtracter (Printf.sprintf "Subtract%d" b));
+      Ast.Filter
+        (Fir.gain
+           ~fname:(Printf.sprintf "EqGain%d" b)
+           (1.0 +. (0.1 *. float_of_int b)));
+    ]
+
+let stream () =
+  let ones = List.init bands (fun _ -> 1) in
+  Ast.pipeline name
+    [
+      Ast.Filter (Fir.lowpass ~fname:"FrontLPF" ~taps ~cutoff:0.5 ~decim:1);
+      Ast.Filter demodulator;
+      Ast.duplicate_sj "equalizer" (List.init bands band) ones;
+      Ast.Filter (Fir.adder ~fname:"EqCombine" bands);
+    ]

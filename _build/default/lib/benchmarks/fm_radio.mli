@@ -1,0 +1,13 @@
+(** Software FM radio with multi-band equalizer (Table I, "FMRadio";
+    22 peeking filters).
+
+    Front-end low-pass filter (peeking FIR), FM demodulator (peeks a pair
+    of adjacent samples), then a 10-band equalizer: each band computes a
+    band-pass response as the difference of two peeking low-pass FIRs and
+    applies a per-band gain; the bands are summed.  1 + 1 + 2x10 = 22
+    peeking filters, matching Table I. *)
+
+val bands : int
+val stream : unit -> Streamit.Ast.stream
+val name : string
+val description : string

@@ -1,0 +1,76 @@
+open Streamit
+
+let dim = 8
+let name = "MatrixMult"
+let description = "Blocked matrix multiply (8x8 frames)."
+
+(* Replicate a whole [n]-token group [times] times. *)
+let replicate ~fname n times =
+  let open Kernel.Build in
+  Kernel.make_filter ~name:fname ~pop:n ~push:(n * times)
+    [
+      arr "g" n;
+      for_ "j" (i 0) (i n) [ seti "g" (v "j") pop ];
+      for_ "t" (i 0) (i times)
+        [ for_ "j" (i 0) (i n) [ push (geti "g" (v "j")) ] ];
+    ]
+
+(* Replicate each [n]-token group [times] times, interleaved at the
+   row level: used to pair every A row with every B column. *)
+let repeat_rows ~fname rows cols times =
+  let open Kernel.Build in
+  let nn = rows * cols in
+  Kernel.make_filter ~name:fname ~pop:nn ~push:(nn * times)
+    [
+      arr "m" nn;
+      for_ "j" (i 0) (i nn) [ seti "m" (v "j") pop ];
+      for_ "r" (i 0) (i rows)
+        [
+          for_ "t" (i 0) (i times)
+            [ for_ "c" (i 0) (i cols) [ push (geti "m" ((v "r" *: i cols) +: v "c")) ] ];
+        ];
+    ]
+
+(* Transpose by routing: split one token per branch, rejoin a column at a
+   time. *)
+let transpose tag n =
+  let ones = List.init n (fun _ -> 1) in
+  let cols = List.init n (fun _ -> n) in
+  Ast.round_robin_sj
+    (Printf.sprintf "transpose_%s" tag)
+    ones
+    (List.init n (fun b ->
+         Ast.Filter
+           { (Kernel.identity ()) with Kernel.name = Printf.sprintf "T%s%d" tag b }))
+    cols
+
+let dot_product ~fname n =
+  let open Kernel.Build in
+  Kernel.make_filter ~name:fname ~pop:(2 * n) ~push:1
+    [
+      arr "a" n;
+      for_ "j" (i 0) (i n) [ seti "a" (v "j") pop ];
+      let_ "acc" (f 0.0);
+      for_ "j" (i 0) (i n) [ set "acc" (v "acc" +: (geti "a" (v "j") *: pop)) ];
+      push (v "acc");
+    ]
+
+let stream () =
+  let n = dim in
+  let nn = n * n in
+  (* A-side: each row repeated n times (once per B column).
+     B-side: transpose, then the whole matrix repeated n times. *)
+  let a_side =
+    Ast.pipeline "a_side"
+      [ Ast.Filter (repeat_rows ~fname:"RepeatRowsA" n n n) ]
+  in
+  let b_side =
+    Ast.pipeline "b_side"
+      [ transpose "B" n; Ast.Filter (replicate ~fname:"RepeatB" nn n) ]
+  in
+  Ast.pipeline name
+    [
+      (* separate the A frame from the B frame *)
+      Ast.round_robin_sj "opsplit" [ nn; nn ] [ a_side; b_side ] [ n; n ];
+      Ast.Filter (dot_product ~fname:"DotProduct" n);
+    ]

@@ -1,0 +1,14 @@
+(** Matrix multiplication (Table I, "MatrixMult").
+
+    Frames of two 8x8 row-major matrices (A then B) arrive on one
+    stream.  B is transposed by pure split-join routing, both operands
+    are replicated so that every (row, column) pair meets, and a rank of
+    dot-product filters produces the row-major product.  Like the
+    StreamIt benchmark, almost all the traffic is data movement through
+    splitters and joiners — the bandwidth-hungry "phased" shape on which
+    the paper's Serial baseline slightly wins. *)
+
+val dim : int
+val stream : unit -> Streamit.Ast.stream
+val name : string
+val description : string

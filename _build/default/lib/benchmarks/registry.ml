@@ -1,0 +1,117 @@
+open Streamit
+
+type entry = {
+  name : string;
+  description : string;
+  stream : unit -> Ast.stream;
+  paper_filters : int;
+  paper_peeking : int;
+  paper_buffer_bytes : int;
+  input_ty : Types.elem_ty;
+  input : int -> Types.value;
+}
+
+(* Deterministic splitmix-style hash for reproducible input tapes. *)
+let hash_int i =
+  let z = (i + 0x9e3779b9) * 0x85ebca6b land 0x3fffffff in
+  let z = (z lxor (z lsr 13)) * 0xc2b2ae35 land 0x3fffffff in
+  z lxor (z lsr 16)
+
+let int_input i = Types.VInt (hash_int i mod 1000)
+
+let float_input i =
+  Types.VFloat (float_of_int (hash_int i mod 2000 - 1000) /. 500.0)
+
+let all =
+  [
+    {
+      name = Bitonic.name;
+      description = Bitonic.description;
+      stream = Bitonic.stream;
+      paper_filters = 58;
+      paper_peeking = 0;
+      paper_buffer_bytes = 5_308_416;
+      input_ty = Types.TInt;
+      input = int_input;
+    };
+    {
+      name = Bitonic_rec.name;
+      description = Bitonic_rec.description;
+      stream = Bitonic_rec.stream;
+      paper_filters = 61;
+      paper_peeking = 0;
+      paper_buffer_bytes = 4_472_832;
+      input_ty = Types.TInt;
+      input = int_input;
+    };
+    {
+      name = Dct.name;
+      description = Dct.description;
+      stream = Dct.stream;
+      paper_filters = 40;
+      paper_peeking = 0;
+      paper_buffer_bytes = 29_360_128;
+      input_ty = Types.TFloat;
+      input = float_input;
+    };
+    {
+      name = Des.name;
+      description = Des.description;
+      stream = (fun () -> Des.stream ());
+      paper_filters = 55;
+      paper_peeking = 0;
+      paper_buffer_bytes = 59_768_832;
+      input_ty = Types.TInt;
+      input = (fun i -> Types.VInt (hash_int i));
+    };
+    {
+      name = Fft.name;
+      description = Fft.description;
+      stream = Fft.stream;
+      paper_filters = 26;
+      paper_peeking = 0;
+      paper_buffer_bytes = 25_165_824;
+      input_ty = Types.TFloat;
+      input = float_input;
+    };
+    {
+      name = Filterbank.name;
+      description = Filterbank.description;
+      stream = Filterbank.stream;
+      paper_filters = 53;
+      paper_peeking = 16;
+      paper_buffer_bytes = 7_471_104;
+      input_ty = Types.TFloat;
+      input = float_input;
+    };
+    {
+      name = Fm_radio.name;
+      description = Fm_radio.description;
+      stream = Fm_radio.stream;
+      paper_filters = 67;
+      paper_peeking = 22;
+      paper_buffer_bytes = 1_671_168;
+      input_ty = Types.TFloat;
+      input = float_input;
+    };
+    {
+      name = Matrix_mult.name;
+      description = Matrix_mult.description;
+      stream = Matrix_mult.stream;
+      paper_filters = 43;
+      paper_peeking = 0;
+      paper_buffer_bytes = 92_602_368;
+      input_ty = Types.TFloat;
+      input = float_input;
+    };
+  ]
+
+let find n =
+  List.find_opt (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii n) all
+
+let names = List.map (fun e -> e.name) all
+
+let our_filters e = Ast.num_filters (e.stream ())
+
+let our_peeking e =
+  List.length (List.filter Kernel.is_peeking (Ast.filters (e.stream ())))

@@ -1,0 +1,25 @@
+(** Benchmark registry: the eight evaluated programs of Table I with
+    their paper-reported metadata, plus input generators for functional
+    validation. *)
+
+type entry = {
+  name : string;
+  description : string;
+  stream : unit -> Streamit.Ast.stream;
+  paper_filters : int;        (** filter count reported in Table I *)
+  paper_peeking : int;        (** peeking-filter count from Table I *)
+  paper_buffer_bytes : int;   (** SWP8 buffer requirement from Table II *)
+  input_ty : Streamit.Types.elem_ty;
+  input : int -> Streamit.Types.value;
+      (** deterministic pseudo-random input tape for validation *)
+}
+
+val all : entry list
+val find : string -> entry option
+val names : string list
+
+val our_filters : entry -> int
+(** Leaf-filter count of our re-implementation (printed next to
+    [paper_filters] when regenerating Table I). *)
+
+val our_peeking : entry -> int

@@ -1,0 +1,1 @@
+lib/cudagen/emit.ml: Array Buffer Hashtbl Kernel List Printf Streamit String Types

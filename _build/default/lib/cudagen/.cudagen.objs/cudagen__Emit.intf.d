@@ -1,0 +1,1 @@
+lib/cudagen/emit.mli: Streamit

@@ -1,0 +1,1 @@
+lib/cudagen/kernel_gen.ml: Array Ast Buffer Emit Graph Kernel List Printf Streamit String Swp_core

@@ -1,0 +1,1 @@
+lib/cudagen/kernel_gen.mli: Streamit Swp_core

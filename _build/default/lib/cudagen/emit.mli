@@ -1,0 +1,29 @@
+(** CUDA C emission of kernel-IR work functions.
+
+    Lowers {!Streamit.Kernel} work functions to the C-like CUDA source the
+    paper's modified StreamIt compiler generates and hands to nvcc.  The
+    channel primitives [pop()/push()/peek()] become indexed device-memory
+    accesses through the buffer-layout index maps of Sec. IV-D (eqs. (10)
+    and (11)), or plain sequential indices for the non-coalesced baseline.
+
+    Pops are lowered by hoisting them, in evaluation order, into numbered
+    temporaries ahead of each statement, which keeps C evaluation order
+    irrelevant.  Pops inside conditional-expression arms are rejected
+    (they would execute unconditionally after hoisting). *)
+
+type buffer_style =
+  | Coalesced_indices  (** eqs. (10) and (11) *)
+  | Natural_indices
+
+exception Unsupported of string
+
+val c_ident : string -> string
+(** Mangles an arbitrary filter/variable name into a valid C identifier. *)
+
+val work_fn_name : Streamit.Kernel.filter -> string
+
+val c_of_filter : ?style:buffer_style -> Streamit.Kernel.filter -> string
+(** A [__device__] function implementing one firing of the filter:
+    [static __device__ void work_<name>(const T* in, T* out, int tid)],
+    with constant tables emitted as [__constant__] arrays.
+    @raise Unsupported on IR the C lowering cannot express. *)

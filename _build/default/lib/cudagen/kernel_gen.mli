@@ -1,0 +1,26 @@
+(** Whole-program CUDA source generation (Sec. IV-C).
+
+    Emits the single software-pipelined kernel: one [switch] over the
+    block id separates the per-SM code, each SM executes its assigned
+    instances in increasing [o(k,v)] order, and instances are guarded by
+    the staging predicate of the predicated kernel-only schema (Rau et
+    al.), implemented as an array indexed by the instance's stage [f] as
+    in the CellBE scheme the paper cites. *)
+
+val splitter_filter : Streamit.Ast.splitter -> int -> Streamit.Kernel.filter
+(** The data-movement work function a splitter node lowers to. *)
+
+val joiner_filter : int list -> Streamit.Kernel.filter
+
+val swp_kernel : Swp_core.Compile.compiled -> string
+(** The complete [__global__] kernel plus all device work functions. *)
+
+val profile_driver : Streamit.Kernel.filter -> numfirings:int -> string
+(** Stand-alone profiling executable source for one filter (phase 1 of
+    Fig. 5): a kernel that fires the filter [numfirings/blockDim.x]
+    times per thread, plus a [main] timing it with CUDA events. *)
+
+val program : Swp_core.Compile.compiled -> string
+(** Full compilation unit: headers, work functions, the SWP kernel and a
+    host [main] that allocates the channel buffers (Table II sizes),
+    shuffles the input buffer per eq. (9) and launches the kernel. *)

@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Array Ast Kernel Lexer List Printf Streamit Token Types

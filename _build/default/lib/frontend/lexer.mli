@@ -1,0 +1,11 @@
+(** Hand-rolled lexer for the StreamIt-subset surface syntax.
+
+    Supports [//] line comments and [/* ... */] block comments, decimal
+    integer and float literals, identifiers and the operator set of
+    {!Token}. *)
+
+exception Lex_error of string * int * int
+(** [(message, line, column)] *)
+
+val tokenize : string -> (Token.t * int * int) list
+(** Token stream with source positions, terminated by [EOF]. *)

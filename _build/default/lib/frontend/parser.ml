@@ -1,0 +1,487 @@
+open Streamit
+
+exception Parse_error of string * int * int
+
+type state = {
+  mutable toks : (Token.t * int * int) list;
+}
+
+let peek st =
+  match st.toks with (t, _, _) :: _ -> t | [] -> Token.EOF
+
+let pos st = match st.toks with (_, l, c) :: _ -> (l, c) | [] -> (0, 0)
+
+let err st msg =
+  let l, c = pos st in
+  raise (Parse_error (msg, l, c))
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    err st
+      (Printf.sprintf "expected '%s', found '%s'" (Token.to_string tok)
+         (Token.to_string (peek st)))
+
+let expect_kw st kw = expect st (Token.KW kw)
+
+let ident st =
+  match peek st with
+  | Token.IDENT s ->
+    advance st;
+    s
+  | t -> err st (Printf.sprintf "expected identifier, found '%s'" (Token.to_string t))
+
+let int_lit st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    n
+  | t -> err st (Printf.sprintf "expected integer, found '%s'" (Token.to_string t))
+
+(* --- expressions --- *)
+
+let intrinsics1 =
+  [
+    ("sin", Kernel.Sin); ("cos", Kernel.Cos); ("sqrt", Kernel.Sqrt);
+    ("exp", Kernel.Exp); ("log", Kernel.Log); ("abs", Kernel.Abs);
+    ("int", Kernel.ToInt); ("float", Kernel.ToFloat);
+  ]
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_compare st in
+  if peek st = Token.QUESTION then begin
+    advance st;
+    let a = parse_expr st in
+    expect st Token.COLON;
+    let b = parse_ternary st in
+    Kernel.Cond (c, a, b)
+  end
+  else c
+
+and parse_compare st =
+  let lhs = parse_bits st in
+  let op =
+    match peek st with
+    | Token.LT -> Some Kernel.Lt
+    | Token.LE -> Some Kernel.Le
+    | Token.GT -> Some Kernel.Gt
+    | Token.GE -> Some Kernel.Ge
+    | Token.EQ -> Some Kernel.Eq
+    | Token.NE -> Some Kernel.Ne
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance st;
+    Kernel.Binop (op, lhs, parse_bits st)
+
+and parse_bits st =
+  let rec go lhs =
+    match peek st with
+    | Token.AMP ->
+      advance st;
+      go (Kernel.Binop (Kernel.BitAnd, lhs, parse_shift st))
+    | Token.PIPE ->
+      advance st;
+      go (Kernel.Binop (Kernel.BitOr, lhs, parse_shift st))
+    | Token.CARET ->
+      advance st;
+      go (Kernel.Binop (Kernel.BitXor, lhs, parse_shift st))
+    | _ -> lhs
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go lhs =
+    match peek st with
+    | Token.SHL ->
+      advance st;
+      go (Kernel.Binop (Kernel.Shl, lhs, parse_add st))
+    | Token.SHR ->
+      advance st;
+      go (Kernel.Binop (Kernel.Shr, lhs, parse_add st))
+    | _ -> lhs
+  in
+  go (parse_add st)
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Token.PLUS ->
+      advance st;
+      go (Kernel.Binop (Kernel.Add, lhs, parse_mul st))
+    | Token.MINUS ->
+      advance st;
+      go (Kernel.Binop (Kernel.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Token.STAR ->
+      advance st;
+      go (Kernel.Binop (Kernel.Mul, lhs, parse_unary st))
+    | Token.SLASH ->
+      advance st;
+      go (Kernel.Binop (Kernel.Div, lhs, parse_unary st))
+    | Token.PERCENT ->
+      advance st;
+      go (Kernel.Binop (Kernel.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS ->
+    advance st;
+    Kernel.Unop (Kernel.Neg, parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    Kernel.Const (Types.VInt n)
+  | Token.FLOAT f ->
+    advance st;
+    Kernel.Const (Types.VFloat f)
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | Token.KW "pop" ->
+    advance st;
+    expect st Token.LPAREN;
+    expect st Token.RPAREN;
+    Kernel.Pop
+  | Token.KW "peek" ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    Kernel.Peek e
+  | Token.KW ("min" | "max") ->
+    let op = if peek st = Token.KW "min" then Kernel.Min else Kernel.Max in
+    advance st;
+    expect st Token.LPAREN;
+    let a = parse_expr st in
+    expect st Token.COMMA;
+    let b = parse_expr st in
+    expect st Token.RPAREN;
+    Kernel.Binop (op, a, b)
+  | Token.KW kw when List.mem_assoc kw intrinsics1 ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    Kernel.Unop (List.assoc kw intrinsics1, e)
+  | Token.IDENT name ->
+    advance st;
+    if peek st = Token.LBRACKET then begin
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      (* resolved to ArrayRef or TableRef during filter assembly *)
+      Kernel.ArrayRef (name, idx)
+    end
+    else Kernel.Var name
+  | t -> err st (Printf.sprintf "unexpected '%s' in expression" (Token.to_string t))
+
+(* --- statements --- *)
+
+let rec parse_stmt st =
+  match peek st with
+  | Token.KW "push" ->
+    advance st;
+    expect st Token.LPAREN;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    expect st Token.SEMI;
+    Kernel.Push e
+  | Token.KW "let" ->
+    advance st;
+    let x = ident st in
+    expect st Token.ASSIGN;
+    let e = parse_expr st in
+    expect st Token.SEMI;
+    Kernel.Let (x, e)
+  | Token.KW "array" ->
+    advance st;
+    let a = ident st in
+    expect st Token.LBRACKET;
+    let n = int_lit st in
+    expect st Token.RBRACKET;
+    expect st Token.SEMI;
+    Kernel.DeclArray (a, n)
+  | Token.KW "for" ->
+    advance st;
+    let x = ident st in
+    expect st Token.ASSIGN;
+    let lo = parse_expr st in
+    expect_kw st "to";
+    let hi = parse_expr st in
+    let body = parse_block st in
+    Kernel.For (x, lo, hi, body)
+  | Token.KW "if" ->
+    advance st;
+    expect st Token.LPAREN;
+    let c = parse_expr st in
+    expect st Token.RPAREN;
+    let th = parse_block st in
+    let el = if peek st = Token.KW "else" then (advance st; parse_block st) else [] in
+    Kernel.If (c, th, el)
+  | Token.IDENT x -> (
+    advance st;
+    match peek st with
+    | Token.ASSIGN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Kernel.Assign (x, e)
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      expect st Token.ASSIGN;
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Kernel.ArrayAssign (x, idx, e)
+    | t -> err st (Printf.sprintf "unexpected '%s' after identifier" (Token.to_string t)))
+  | t -> err st (Printf.sprintf "unexpected '%s' at statement start" (Token.to_string t))
+
+and parse_block st =
+  expect st Token.LBRACE;
+  let rec go acc =
+    if peek st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* Indexing of a name parses as ArrayRef; rewrite references to declared
+   tables into TableRef. *)
+let rec fix_tables tables e =
+  match e with
+  | Kernel.ArrayRef (a, i) when List.mem a tables ->
+    Kernel.TableRef (a, fix_tables tables i)
+  | Kernel.ArrayRef (a, i) -> Kernel.ArrayRef (a, fix_tables tables i)
+  | Kernel.TableRef (a, i) -> Kernel.TableRef (a, fix_tables tables i)
+  | Kernel.Unop (op, e) -> Kernel.Unop (op, fix_tables tables e)
+  | Kernel.Peek e -> Kernel.Peek (fix_tables tables e)
+  | Kernel.Binop (op, a, b) ->
+    Kernel.Binop (op, fix_tables tables a, fix_tables tables b)
+  | Kernel.Cond (c, a, b) ->
+    Kernel.Cond (fix_tables tables c, fix_tables tables a, fix_tables tables b)
+  | Kernel.Const _ | Kernel.Var _ | Kernel.Pop -> e
+
+let rec fix_tables_stmt tables s =
+  match s with
+  | Kernel.Let (x, e) -> Kernel.Let (x, fix_tables tables e)
+  | Kernel.Assign (x, e) -> Kernel.Assign (x, fix_tables tables e)
+  | Kernel.DeclArray _ -> s
+  | Kernel.ArrayAssign (a, i, e) ->
+    Kernel.ArrayAssign (a, fix_tables tables i, fix_tables tables e)
+  | Kernel.Push e -> Kernel.Push (fix_tables tables e)
+  | Kernel.If (c, a, b) ->
+    Kernel.If
+      ( fix_tables tables c,
+        List.map (fix_tables_stmt tables) a,
+        List.map (fix_tables_stmt tables) b )
+  | Kernel.For (x, lo, hi, body) ->
+    Kernel.For
+      ( x,
+        fix_tables tables lo,
+        fix_tables tables hi,
+        List.map (fix_tables_stmt tables) body )
+
+(* --- declarations --- *)
+
+let parse_literal st =
+  match peek st with
+  | Token.INT n ->
+    advance st;
+    Types.VInt n
+  | Token.FLOAT f ->
+    advance st;
+    Types.VFloat f
+  | Token.MINUS -> (
+    advance st;
+    match peek st with
+    | Token.INT n ->
+      advance st;
+      Types.VInt (-n)
+    | Token.FLOAT f ->
+      advance st;
+      Types.VFloat (-.f)
+    | t -> err st (Printf.sprintf "expected literal after '-', found '%s'" (Token.to_string t)))
+  | t -> err st (Printf.sprintf "expected literal, found '%s'" (Token.to_string t))
+
+let parse_filter st =
+  expect_kw st "filter";
+  let name = ident st in
+  let ty =
+    match peek st with
+    | Token.KW "int" ->
+      advance st;
+      Types.TInt
+    | Token.KW "float" ->
+      advance st;
+      Types.TFloat
+    | _ -> Types.TFloat
+  in
+  expect_kw st "pop";
+  let pop = int_lit st in
+  expect_kw st "push";
+  let push = int_lit st in
+  let peek_rate =
+    if peek st = Token.KW "peek" then begin
+      advance st;
+      int_lit st
+    end
+    else pop
+  in
+  expect st Token.LBRACE;
+  (* optional table and state declarations first *)
+  let tables = ref [] in
+  let state = ref [] in
+  while peek st = Token.KW "table" || peek st = Token.KW "state" do
+    let is_state = peek st = Token.KW "state" in
+    advance st;
+    let tname = ident st in
+    expect st Token.ASSIGN;
+    expect st Token.LBRACKET;
+    let rec vals acc =
+      let v = parse_literal st in
+      if peek st = Token.COMMA then begin
+        advance st;
+        vals (v :: acc)
+      end
+      else List.rev (v :: acc)
+    in
+    let values = vals [] in
+    expect st Token.RBRACKET;
+    expect st Token.SEMI;
+    if is_state then state := (tname, Array.of_list values) :: !state
+    else tables := (tname, Array.of_list values) :: !tables
+  done;
+  let rec stmts acc =
+    if peek st = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  let body = stmts [] in
+  let tables = List.rev !tables in
+  let state = List.rev !state in
+  let tnames = List.map fst tables in
+  let body = List.map (fix_tables_stmt tnames) body in
+  let f =
+    Kernel.make_filter ~name ~pop ~push ~peek:peek_rate ~in_ty:ty ~out_ty:ty
+      ~tables ~state body
+  in
+  (match Kernel.check_filter f with
+  | Ok () -> ()
+  | Error m -> err st ("filter " ^ name ^ ": " ^ m));
+  (name, Ast.Filter f)
+
+let parse_int_list st =
+  expect st Token.LPAREN;
+  let rec go acc =
+    let n = int_lit st in
+    if peek st = Token.COMMA then begin
+      advance st;
+      go (n :: acc)
+    end
+    else begin
+      expect st Token.RPAREN;
+      List.rev (n :: acc)
+    end
+  in
+  go []
+
+let lookup st env name =
+  match List.assoc_opt name env with
+  | Some s -> s
+  | None -> err st (Printf.sprintf "unknown stream '%s'" name)
+
+let parse_adds st env =
+  let rec go acc =
+    if peek st = Token.KW "add" then begin
+      advance st;
+      let n = ident st in
+      expect st Token.SEMI;
+      go (lookup st env n :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let parse_pipeline st env =
+  expect_kw st "pipeline";
+  let name = ident st in
+  expect st Token.LBRACE;
+  let children = parse_adds st env in
+  expect st Token.RBRACE;
+  if children = [] then err st ("pipeline " ^ name ^ " is empty");
+  (name, Ast.pipeline name children)
+
+let parse_splitjoin st env =
+  expect_kw st "splitjoin";
+  let name = ident st in
+  expect st Token.LBRACE;
+  expect_kw st "split";
+  let splitter =
+    match peek st with
+    | Token.KW "duplicate" ->
+      advance st;
+      Ast.Duplicate
+    | Token.KW "roundrobin" ->
+      advance st;
+      Ast.Round_robin (parse_int_list st)
+    | t -> err st (Printf.sprintf "expected split spec, found '%s'" (Token.to_string t))
+  in
+  expect st Token.SEMI;
+  let children = parse_adds st env in
+  expect_kw st "join";
+  expect_kw st "roundrobin";
+  let jw = parse_int_list st in
+  expect st Token.SEMI;
+  expect st Token.RBRACE;
+  if children = [] then err st ("splitjoin " ^ name ^ " is empty");
+  (name, Ast.split_join name splitter children jw)
+
+let parse_declarations src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go env =
+    match peek st with
+    | Token.EOF -> List.rev env
+    | Token.KW "filter" ->
+      let d = parse_filter st in
+      go (d :: env)
+    | Token.KW "pipeline" ->
+      let d = parse_pipeline st (List.rev env) in
+      go (d :: env)
+    | Token.KW "splitjoin" ->
+      let d = parse_splitjoin st (List.rev env) in
+      go (d :: env)
+    | t -> err st (Printf.sprintf "expected declaration, found '%s'" (Token.to_string t))
+  in
+  go []
+
+let parse_program src =
+  match List.rev (parse_declarations src) with
+  | (_, s) :: _ -> s
+  | [] -> raise (Parse_error ("empty program", 1, 1))

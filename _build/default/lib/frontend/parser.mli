@@ -1,0 +1,39 @@
+(** Recursive-descent parser and elaborator for the StreamIt-subset
+    surface syntax, producing {!Streamit.Ast} streams directly.
+
+    Grammar sketch:
+    {v
+    program   := decl+                     // the last decl is the program
+    decl      := filter | pipeline | splitjoin
+    filter    := "filter" NAME [ "int" | "float" ]
+                 "pop" INT "push" INT [ "peek" INT ]
+                 "{" (table | state)* stmt* "}"
+    table     := "table" NAME "=" "[" literal ("," literal)* "]" ";"
+    state     := "state" NAME "=" "[" literal ("," literal)* "]" ";"
+    stmt      := "push" "(" expr ")" ";"
+               | "let" NAME "=" expr ";"
+               | NAME "=" expr ";"
+               | NAME "[" expr "]" "=" expr ";"
+               | "array" NAME "[" INT "]" ";"
+               | "for" NAME "=" expr "to" expr "{" stmt* "}"
+               | "if" "(" expr ")" "{" stmt* "}" [ "else" "{" stmt* "}" ]
+    pipeline  := "pipeline" NAME "{" ("add" NAME ";")+ "}"
+    splitjoin := "splitjoin" NAME "{" "split" spec ";" ("add" NAME ";")+
+                 "join" "roundrobin" "(" INT,... ")" ";" "}"
+    spec      := "duplicate" | "roundrobin" "(" INT,... ")"
+    v}
+
+    Expressions support arithmetic, comparison, bitwise and shift
+    operators, the ternary conditional, [pop()], [peek(e)], table/array
+    indexing, and the intrinsics [min max sin cos sqrt exp log abs
+    int float]. *)
+
+exception Parse_error of string * int * int
+
+val parse_program : string -> Streamit.Ast.stream
+(** Parses and elaborates; the last declaration is the program.
+    @raise Parse_error on syntax errors
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val parse_declarations : string -> (string * Streamit.Ast.stream) list
+(** All top-level declarations, in source order. *)

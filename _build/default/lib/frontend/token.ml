@@ -1,0 +1,36 @@
+type t =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | AMP | PIPE | CARET | SHL | SHR
+  | QUESTION | COLON
+  | EOF
+
+let keywords =
+  [
+    "filter"; "pipeline"; "splitjoin"; "split"; "join"; "duplicate";
+    "roundrobin"; "pop"; "push"; "peek"; "work"; "int"; "float"; "let";
+    "for"; "to"; "if"; "else"; "add"; "table"; "state"; "array"; "min"; "max";
+    "sin"; "cos"; "sqrt"; "exp"; "log"; "abs";
+  ]
+
+let to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COMMA -> "," | SEMI -> ";" | ASSIGN -> "="
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQ -> "==" | NE -> "!="
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | SHL -> "<<" | SHR -> ">>"
+  | QUESTION -> "?" | COLON -> ":"
+  | EOF -> "<eof>"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

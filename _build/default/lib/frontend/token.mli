@@ -1,0 +1,18 @@
+(** Tokens of the textual StreamIt-subset surface syntax. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string       (** keywords: filter, pipeline, splitjoin, ... *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | AMP | PIPE | CARET | SHL | SHR
+  | QUESTION | COLON
+  | EOF
+
+val keywords : string list
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/gpusim/coalesce.ml: Arch Array Hashtbl Streamit

@@ -1,0 +1,1 @@
+lib/gpusim/cpu_model.ml: Array Graph Kernel Sdf Streamit

@@ -1,0 +1,1 @@
+lib/gpusim/cpu_model.mli: Streamit

@@ -1,0 +1,1 @@
+lib/gpusim/regalloc.ml: Arch Kernel Streamit

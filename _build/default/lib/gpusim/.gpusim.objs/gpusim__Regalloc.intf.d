@@ -1,0 +1,1 @@
+lib/gpusim/regalloc.mli: Arch Streamit

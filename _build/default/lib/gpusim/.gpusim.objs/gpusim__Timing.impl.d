@@ -1,0 +1,1 @@
+lib/gpusim/timing.ml: Arch Ast Coalesce Graph Kernel List Regalloc Streamit Types

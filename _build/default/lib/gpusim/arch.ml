@@ -1,0 +1,62 @@
+type t = {
+  name : string;
+  num_sms : int;
+  sus_per_sm : int;
+  warp_size : int;
+  max_threads_per_sm : int;
+  max_threads_per_block : int;
+  max_blocks_per_sm : int;
+  registers_per_sm : int;
+  shared_mem_per_sm : int;
+  shared_mem_banks : int;
+  dram_latency : int;
+  dram_bytes_per_cycle : int;
+  min_transaction_bytes : int;
+  segment_bytes : int;
+  kernel_launch_cycles : int;
+  sync_cycles : int;
+  core_clock_ghz : float;
+  cost_alu : int;
+  cost_mul : int;
+  cost_divmod : int;
+  cost_special : int;
+  cost_shared_mem : int;
+}
+
+let geforce_8800_gts_512 =
+  {
+    name = "GeForce 8800 GTS 512";
+    num_sms = 16;
+    sus_per_sm = 8;
+    warp_size = 32;
+    max_threads_per_sm = 768;
+    max_threads_per_block = 512;
+    max_blocks_per_sm = 8;
+    registers_per_sm = 8192;
+    shared_mem_per_sm = 16384;
+    shared_mem_banks = 16;
+    dram_latency = 450;
+    (* ~62 GB/s at 1.625 GHz core clock ~= 38 B/cycle *)
+    dram_bytes_per_cycle = 38;
+    min_transaction_bytes = 32;
+    segment_bytes = 64;
+    (* ~16 us synchronous dispatch ~= 26k core cycles *)
+    kernel_launch_cycles = 26000;
+    sync_cycles = 800;
+    core_clock_ghz = 1.625;
+    cost_alu = 1;
+    cost_mul = 1;
+    cost_divmod = 8;
+    cost_special = 4;
+    cost_shared_mem = 2;
+  }
+
+let max_warps a = a.max_threads_per_sm / a.warp_size
+
+let threads_to_warps a t = (t + a.warp_size - 1) / a.warp_size
+
+let config_feasible a ~regs_per_thread ~threads =
+  threads > 0 && regs_per_thread > 0
+  && threads <= a.max_threads_per_block
+  && threads <= a.max_threads_per_sm
+  && regs_per_thread * threads <= a.registers_per_sm

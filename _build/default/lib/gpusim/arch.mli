@@ -1,0 +1,46 @@
+(** GPU architecture model.
+
+    Parameters of the simulated device, defaulting to the NVIDIA GeForce
+    8800 GTS 512 the paper evaluates on (Sec. II-A): 16 streaming
+    multiprocessors of 8 scalar units each, 32-thread warps, a 8192-entry
+    register file and 16 KB of shared memory per SM, and a wide but
+    coalescing-sensitive device-memory interface.
+
+    All times are in GPU core-clock cycles. *)
+
+type t = {
+  name : string;
+  num_sms : int;
+  sus_per_sm : int;             (** scalar units per SM *)
+  warp_size : int;
+  max_threads_per_sm : int;     (** hardware SMT limit (768) *)
+  max_threads_per_block : int;  (** CUDA block limit (512) *)
+  max_blocks_per_sm : int;
+  registers_per_sm : int;       (** 32-bit registers (8192) *)
+  shared_mem_per_sm : int;      (** bytes (16384) *)
+  shared_mem_banks : int;
+  dram_latency : int;           (** cycles to device memory (400-600) *)
+  dram_bytes_per_cycle : int;
+      (** aggregate device-memory bandwidth, bytes per core cycle *)
+  min_transaction_bytes : int;  (** smallest device-memory transaction *)
+  segment_bytes : int;          (** coalesced half-warp segment size *)
+  kernel_launch_cycles : int;   (** host-side kernel dispatch overhead *)
+  sync_cycles : int;            (** inter-SM barrier at an II boundary *)
+  core_clock_ghz : float;
+  (* per-thread instruction costs, in SU-issue slots *)
+  cost_alu : int;
+  cost_mul : int;
+  cost_divmod : int;
+  cost_special : int;
+  cost_shared_mem : int;
+}
+
+val geforce_8800_gts_512 : t
+
+val max_warps : t -> int
+val threads_to_warps : t -> int -> int
+(** Rounds up to whole warps. *)
+
+val config_feasible : t -> regs_per_thread:int -> threads:int -> bool
+(** CUDA launch feasibility: the block fits the register file, the block
+    and SM thread limits (the failure mode of Fig. 6 line 5). *)

@@ -1,0 +1,126 @@
+type access_summary = {
+  transactions : int;
+  bytes_moved : int;
+  coalesced : bool;
+}
+
+let analyze_warp (a : Arch.t) ~elem_bytes ~tid_to_index =
+  let half = a.warp_size / 2 in
+  let seg_elems = a.segment_bytes / elem_bytes in
+  let trans = ref 0 and bytes = ref 0 and coal = ref true in
+  for hw = 0 to 1 do
+    let base_tid = hw * half in
+    let base_addr = tid_to_index base_tid in
+    (* Compute-1.x rule: thread base_tid+k must access base_addr+k and the
+       base must be segment-aligned. *)
+    let ok = ref (base_addr mod seg_elems = 0) in
+    for k = 0 to half - 1 do
+      if tid_to_index (base_tid + k) <> base_addr + k then ok := false
+    done;
+    if !ok then begin
+      incr trans;
+      bytes := !bytes + (half * elem_bytes)
+    end
+    else begin
+      (* serialized: one minimum-size transaction per thread *)
+      trans := !trans + half;
+      bytes := !bytes + (half * a.min_transaction_bytes);
+      coal := false
+    end
+  done;
+  { transactions = !trans; bytes_moved = !bytes; coalesced = !coal }
+
+let natural_index ~pop_or_push_rate ~n tid = (tid * pop_or_push_rate) + n
+
+let shuffled_index ~rate ~cluster ~n tid =
+  (cluster * n) + (tid / cluster * cluster * rate) + (tid mod cluster)
+
+let traffic_per_firing a ~rate ~threads ~shuffled =
+  let warps = Arch.threads_to_warps a threads in
+  let trans = ref 0 and bytes = ref 0 in
+  for w = 0 to warps - 1 do
+    for n = 0 to rate - 1 do
+      let tid_to_index tid_in_warp =
+        let tid = (w * a.warp_size) + tid_in_warp in
+        if shuffled then shuffled_index ~rate ~cluster:128 ~n tid
+        else natural_index ~pop_or_push_rate:rate ~n tid
+      in
+      let s =
+        analyze_warp a ~elem_bytes:Streamit.Types.elem_size_bytes ~tid_to_index
+      in
+      trans := !trans + s.transactions;
+      bytes := !bytes + s.bytes_moved
+    done
+  done;
+  (!trans, !bytes)
+
+let transactions_per_firing a ~rate ~threads ~shuffled =
+  fst (traffic_per_firing a ~rate ~threads ~shuffled)
+
+let cross_traffic ?(cached = true) (a : Arch.t) ~prod_rate ~cons_rate ~threads
+    =
+  let p = max 1 prod_rate in
+  let c = max 1 cons_rate in
+  let layout_addr s = shuffled_index ~rate:p ~cluster:128 ~n:(s mod p) (s / p) in
+  let seg_elems =
+    max 1 (a.min_transaction_bytes / Streamit.Types.elem_size_bytes)
+  in
+  let warps = Arch.threads_to_warps a threads in
+  let half = a.warp_size / 2 in
+  let trans = ref 0 and bytes = ref 0 in
+  let segs = Hashtbl.create 256 in
+  if cached then
+    (* Filter reads go through the texture cache, whose lines hold a
+       warp's pass window, so traffic is the set of *distinct* segments
+       the warp touches across all of its accesses: small-stride
+       mismatches (re-touching neighbouring addresses) cost nothing
+       extra, while genuine scatter fetches one padded segment per
+       element. *)
+    for w = 0 to warps - 1 do
+      Hashtbl.clear segs;
+      for k = 0 to a.warp_size - 1 do
+        let tid = (w * a.warp_size) + k in
+        for n = 0 to c - 1 do
+          let s = (tid * c) + n in
+          Hashtbl.replace segs (layout_addr s / seg_elems) ()
+        done
+      done;
+      let distinct = Hashtbl.length segs in
+      trans := !trans + distinct;
+      bytes := !bytes + (distinct * a.min_transaction_bytes)
+    done
+  else
+    (* Splitter/joiner gathers read and write the same buffers, so they
+       use plain (uncached) global loads: every simultaneous half-warp
+       access pays its distinct segments with no reuse across access
+       instants — the compute-1.x transaction rule. *)
+    for w = 0 to warps - 1 do
+      for n = 0 to c - 1 do
+        for hw = 0 to 1 do
+          Hashtbl.clear segs;
+          for k = 0 to half - 1 do
+            let tid = (w * a.warp_size) + (hw * half) + k in
+            let s = (tid * c) + n in
+            Hashtbl.replace segs (layout_addr s / seg_elems) ()
+          done;
+          let distinct = Hashtbl.length segs in
+          trans := !trans + distinct;
+          bytes := !bytes + (distinct * a.min_transaction_bytes)
+        done
+      done
+    done;
+  (!trans, !bytes)
+
+let shared_bank_conflict_degree (a : Arch.t) ~tid_to_index =
+  let half = a.warp_size / 2 in
+  let counts = Array.make a.shared_mem_banks 0 in
+  let worst = ref 1 in
+  for hw = 0 to 1 do
+    Array.fill counts 0 a.shared_mem_banks 0;
+    for k = 0 to half - 1 do
+      let bank = tid_to_index ((hw * half) + k) mod a.shared_mem_banks in
+      counts.(bank) <- counts.(bank) + 1;
+      if counts.(bank) > !worst then worst := counts.(bank)
+    done
+  done;
+  !worst

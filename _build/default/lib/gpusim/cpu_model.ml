@@ -1,0 +1,54 @@
+open Streamit
+
+type t = {
+  clock_ghz : float;
+  cyc_alu : float;
+  cyc_mul : float;
+  cyc_divmod : float;
+  cyc_special : float;
+  cyc_mem : float;
+  cyc_channel : float;
+  firing_overhead : float;
+}
+
+let xeon_2_83ghz =
+  {
+    clock_ghz = 2.83;
+    (* A 4-wide OoO core retires simple ops below 1 cycle each on
+       average; division and libm transcendentals are serialising. *)
+    cyc_alu = 0.4;
+    cyc_mul = 0.5;
+    cyc_divmod = 12.0;
+    cyc_special = 35.0;
+    cyc_mem = 0.6;
+    cyc_channel = 1.2;
+    firing_overhead = 6.0;
+  }
+
+let cycles_of_cost m (c : Kernel.op_cost) =
+  (float_of_int c.Kernel.alu *. m.cyc_alu)
+  +. (float_of_int c.Kernel.mul *. m.cyc_mul)
+  +. (float_of_int c.Kernel.divmod *. m.cyc_divmod)
+  +. (float_of_int c.Kernel.special *. m.cyc_special)
+  +. (float_of_int c.Kernel.mem *. m.cyc_mem)
+  +. (float_of_int c.Kernel.channel *. m.cyc_channel)
+  +. m.firing_overhead
+
+let node_firing_cost (g : Graph.t) v =
+  let nd = Graph.node g v in
+  match nd.Graph.kind with
+  | Graph.NFilter f -> Kernel.cost_of_filter f
+  | Graph.NSplitter _ | Graph.NJoiner _ ->
+    let moved = Graph.push_rate_of nd + Graph.pop_rate_of nd in
+    { Kernel.zero_cost with channel = moved; alu = moved }
+
+let steady_state_cycles m g (rates : Sdf.rates) =
+  let total = ref 0.0 in
+  Array.iteri
+    (fun v reps ->
+      let c = node_firing_cost g v in
+      total := !total +. (float_of_int reps *. cycles_of_cost m c))
+    rates.Sdf.reps;
+  !total
+
+let seconds m cycles = cycles /. (m.clock_ghz *. 1e9)

@@ -1,0 +1,31 @@
+(** Single-threaded CPU cost model — the denominator of the paper's
+    speedup metric.
+
+    Models the paper's baseline: the StreamIt uniprocessor backend
+    compiled with [gcc -O3] on a 2.83 GHz Xeon.  Costs are per-operation
+    cycle estimates for a superscalar out-of-order core (several ALU ops
+    per cycle retired on average, expensive division and libm calls,
+    channel traffic through L1-resident circular buffers). *)
+
+type t = {
+  clock_ghz : float;
+  cyc_alu : float;
+  cyc_mul : float;
+  cyc_divmod : float;
+  cyc_special : float;  (** sinf/cosf/sqrtf via libm *)
+  cyc_mem : float;
+  cyc_channel : float;  (** per push/pop/peek: buffer index + copy *)
+  firing_overhead : float;  (** per-firing loop/dispatch overhead *)
+}
+
+val xeon_2_83ghz : t
+
+val cycles_of_cost : t -> Streamit.Kernel.op_cost -> float
+(** Cycles for one firing with the given operation counts. *)
+
+val steady_state_cycles : t -> Streamit.Graph.t -> Streamit.Sdf.rates -> float
+(** CPU cycles to execute one steady state sequentially (every node,
+    including the token shuffling splitters/joiners perform). *)
+
+val seconds : t -> float -> float
+(** Convert cycles to seconds at the model's clock. *)

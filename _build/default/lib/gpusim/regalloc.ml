@@ -1,0 +1,21 @@
+open Streamit
+type alloc = {
+  demand : int;
+  allocated : int;
+  spilled : int;
+  spill_accesses : int;
+}
+
+let allocate f ~cap =
+  if cap <= 0 then invalid_arg "Regalloc.allocate: non-positive cap";
+  let demand = Kernel.estimate_registers f in
+  let allocated = min demand cap in
+  let spilled = max 0 (demand - cap) in
+  (* each spilled value is stored once and reloaded once per firing *)
+  { demand; allocated; spilled; spill_accesses = 2 * spilled }
+
+let occupancy_threads (a : Arch.t) ~regs_per_thread =
+  if regs_per_thread <= 0 then invalid_arg "Regalloc.occupancy_threads";
+  let by_regs = a.registers_per_sm / regs_per_thread in
+  let t = min by_regs a.max_threads_per_sm in
+  t / a.warp_size * a.warp_size

@@ -1,0 +1,19 @@
+(** Register allocation stand-in for nvcc.
+
+    The CUDA compiler lets the programmer cap registers per thread and
+    spills the excess to (long-latency) local memory in device DRAM
+    (Sec. II-A).  We estimate per-thread register demand from the kernel
+    IR and derive the spill traffic a given cap induces. *)
+
+type alloc = {
+  demand : int;         (** estimated registers wanted by the filter *)
+  allocated : int;      (** min(demand, cap) *)
+  spilled : int;        (** registers that live in local memory *)
+  spill_accesses : int; (** extra device accesses per firing (load+store) *)
+}
+
+val allocate : Streamit.Kernel.filter -> cap:int -> alloc
+
+val occupancy_threads : Arch.t -> regs_per_thread:int -> int
+(** Maximum resident threads per SM permitted by the register file
+    (rounded down to a whole warp, clamped to the SMT limit). *)

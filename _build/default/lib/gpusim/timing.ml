@@ -1,0 +1,229 @@
+open Streamit
+
+type layout = Shuffled | Natural | Shared_staged
+
+type pass = {
+  compute_cycles : int;
+  latency_cycles : int;
+  bus_bytes : int;
+  dev_accesses : int;
+  solo_cycles : int;
+}
+
+let cdiv a b = (a + b - 1) / b
+
+(* Per-port channel access sets of a node: (accesses_per_firing, stride
+   rate) lists for reads and writes.  For filters, peeks are additional
+   reads sharing the pop-side access pattern. *)
+let access_sets (node : Graph.node) =
+  match node.kind with
+  | Graph.NFilter f ->
+    let pops = f.Kernel.pop_rate in
+    let pushes = f.Kernel.push_rate in
+    let reads = if pops > 0 then [ (pops, pops) ] else [] in
+    let writes = if pushes > 0 then [ (pushes, max 1 pushes) ] else [] in
+    (reads, writes)
+  | Graph.NSplitter (Ast.Duplicate, k) ->
+    ([ (1, 1) ], List.init k (fun _ -> (1, 1)))
+  | Graph.NSplitter (Ast.Round_robin ws, _) ->
+    let sum = List.fold_left ( + ) 0 ws in
+    ([ (sum, sum) ], List.map (fun w -> (w, w)) ws)
+  | Graph.NJoiner ws ->
+    let sum = List.fold_left ( + ) 0 ws in
+    (List.map (fun w -> (w, w)) ws, [ (sum, sum) ])
+
+(* Per-thread SU instruction count of the node's computation, excluding
+   channel traffic (accounted as memory). *)
+let insts_of_node (a : Arch.t) (node : Graph.node) =
+  match node.kind with
+  | Graph.NFilter f ->
+    let c = Kernel.cost_of_filter f in
+    (c.Kernel.alu * a.cost_alu)
+    + (c.Kernel.mul * a.cost_mul)
+    + (c.Kernel.divmod * a.cost_divmod)
+    + (c.Kernel.special * a.cost_special)
+    + (c.Kernel.mem * a.cost_shared_mem)
+  | Graph.NSplitter _ | Graph.NJoiner _ ->
+    (* pure data movement: address arithmetic only *)
+    let reads, writes = access_sets node in
+    let tokens =
+      List.fold_left (fun acc (n, _) -> acc + n) 0 (reads @ writes)
+    in
+    2 * tokens * a.cost_alu
+
+(* Peek accesses beyond the popped tokens: the optimized scheme binds
+   channel buffers to textures (Sec. II-A), and sliding peek windows
+   overlap almost entirely between adjacent firings, so these reads hit
+   the texture cache rather than the bus. *)
+let cached_peeks (node : Graph.node) =
+  match node.kind with
+  | Graph.NFilter f ->
+    let c = Kernel.cost_of_filter f in
+    max 0 (c.Kernel.channel - f.Kernel.pop_rate - f.Kernel.push_rate)
+  | _ -> 0
+
+let tokens_moved (node : Graph.node) =
+  match node.kind with
+  | Graph.NFilter f -> f.Kernel.peek_rate + f.Kernel.push_rate
+  | _ ->
+    let reads, writes = access_sets node in
+    List.fold_left (fun acc (n, _) -> acc + n) 0 (reads @ writes)
+
+let working_set_bytes (node : Graph.node) ~threads =
+  let per_thread =
+    match node.kind with
+    | Graph.NFilter f -> f.Kernel.peek_rate + f.Kernel.push_rate
+    | _ -> tokens_moved node
+  in
+  per_thread * threads * Types.elem_size_bytes
+
+let shared_fits (a : Arch.t) node ~threads =
+  working_set_bytes node ~threads <= a.shared_mem_per_sm
+
+let pass_of_node ?in_rates (a : Arch.t) (node : Graph.node) ~threads
+    ~regs_cap ~layout =
+  if not (Arch.config_feasible a ~regs_per_thread:regs_cap ~threads) then None
+  else if layout = Shared_staged && not (shared_fits a node ~threads) then None
+  else begin
+    let warps = Arch.threads_to_warps a threads in
+    let reads, writes = access_sets node in
+    let spill =
+      match node.kind with
+      | Graph.NFilter f -> (Regalloc.allocate f ~cap:regs_cap).spill_accesses
+      | _ -> 0
+    in
+    let base_insts = insts_of_node a node in
+    (* Device traffic per pass (all threads firing once). *)
+    let traffic sets shuffled =
+      List.fold_left
+        (fun (t, b) (count, rate) ->
+          (* [count] accesses whose index pattern follows [rate]-strided
+             groups; each distinct token position is one warp access. *)
+          let per_pos_t, per_pos_b =
+            Coalesce.traffic_per_firing a ~rate ~threads ~shuffled
+          in
+          (* traffic_per_firing covers [rate] positions; scale to the
+             actual access count (peeks re-read positions). *)
+          let scale n = cdiv (n * count) (max 1 rate) in
+          (t + scale per_pos_t, b + scale per_pos_b))
+        (0, 0) sets
+    in
+    let spill_bytes =
+      (* local-memory spills are interleaved per thread: coalesced *)
+      spill * threads * Types.elem_size_bytes
+    in
+    let insts, dev_accesses, bus_bytes, serialization =
+      match layout with
+      | Shuffled ->
+        (* When [in_rates] is given (actual schedule execution, as
+           opposed to stand-alone profiling), read traffic is computed
+           from the composed index maps: the buffer is laid out for the
+           producer's per-firing rate (eq. (11)), so a consumer with a
+           different rate reads strided addresses — the second-order
+           splitter/joiner effect of Sec. V-B that the paper's profiling
+           does not capture. *)
+        let rt, rb =
+          match in_rates with
+          | None -> traffic reads true
+          | Some pairs ->
+            let cached =
+              match node.kind with
+              | Graph.NFilter _ -> true
+              | Graph.NSplitter _ | Graph.NJoiner _ -> false
+            in
+            List.fold_left
+              (fun (t, b) (cons_rate, prod_rate) ->
+                let dt, db =
+                  Coalesce.cross_traffic ~cached a ~prod_rate ~cons_rate
+                    ~threads
+                in
+                (t + dt, b + db))
+              (0, 0) pairs
+        in
+        let wt, wb = traffic writes true in
+        let accesses =
+          List.fold_left (fun acc (n, _) -> acc + n) 0 (reads @ writes)
+        in
+        let coalesced_trans = max 1 (2 * accesses * warps) in
+        let serialization = max 1 ((rt + wt) / coalesced_trans) in
+        (* texture-cached peeks cost a cache access, not bus traffic *)
+        let peek_insts = cached_peeks node * a.cost_shared_mem in
+        ( base_insts + peek_insts,
+          accesses + spill,
+          rb + wb + spill_bytes,
+          serialization )
+      | Natural ->
+        (* The non-coalesced baseline binds no textures: peeks are plain
+           device reads sharing the pop-side strided pattern. *)
+        let peeks = cached_peeks node in
+        let reads =
+          match (reads, peeks) with
+          | [ (n, rate) ], p when p > 0 -> [ (n + p, rate) ]
+          | sets, 0 -> sets
+          | sets, p -> (p, 1) :: sets
+        in
+        let rt, rb = traffic reads false in
+        let wt, wb = traffic writes false in
+        let accesses =
+          List.fold_left (fun acc (n, _) -> acc + n) 0 (reads @ writes)
+        in
+        (* Uncoalesced warp accesses issue one transaction per thread
+           instead of one per half-warp; the memory pipeline serves them
+           serially, multiplying the exposed latency. *)
+        let coalesced_trans = max 1 (2 * accesses * warps) in
+        let serialization = max 1 ((rt + wt) / coalesced_trans) in
+        (base_insts, accesses + spill, rb + wb + spill_bytes, serialization)
+      | Shared_staged ->
+        (* stage the working set in/out with coalesced copies; channel
+           ops run against shared memory with bank-conflict
+           serialization *)
+        let moved = tokens_moved node in
+        let conflict =
+          match node.kind with
+          | Graph.NFilter f ->
+            let r = max 1 f.Kernel.pop_rate in
+            Coalesce.shared_bank_conflict_degree a ~tid_to_index:(fun tid ->
+                tid * r)
+          | _ -> 1
+        in
+        let shared_insts = moved * a.cost_shared_mem * conflict in
+        let staged_bytes =
+          (* coalesced segments for the staging copies *)
+          cdiv (moved * threads * Types.elem_size_bytes) a.segment_bytes
+          * a.segment_bytes
+        in
+        ( base_insts + shared_insts,
+          moved + spill,
+          staged_bytes + spill_bytes,
+          1 )
+    in
+    let stateful =
+      match node.kind with
+      | Graph.NFilter f -> Kernel.is_stateful f
+      | _ -> false
+    in
+    let compute_cycles, latency_cycles =
+      if stateful then
+        (* A stateful filter's firings are serialized: one thread at a
+           time on one scalar unit, with nothing to hide the memory
+           latency behind (the cost that makes state the paper's "future
+           work"). *)
+        ( insts * threads,
+          dev_accesses * threads * a.dram_latency * serialization / 8 )
+      else
+        ( cdiv (insts * threads) a.sus_per_sm,
+          cdiv (dev_accesses * a.dram_latency * serialization) (max 1 warps) )
+    in
+    let bus_cycles_full = cdiv bus_bytes a.dram_bytes_per_cycle in
+    let solo_cycles =
+      max compute_cycles (max latency_cycles bus_cycles_full) + 20
+    in
+    Some { compute_cycles; latency_cycles; bus_bytes; dev_accesses; solo_cycles }
+  end
+
+let combine_solo p = p.solo_cycles
+
+let in_edge_rates g v =
+  List.map
+    (fun e -> (Graph.consumption g e, Graph.production g e))
+    (Graph.in_edges g v)

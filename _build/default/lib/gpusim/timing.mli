@@ -1,0 +1,70 @@
+(** Cycle-approximate timing of one {e pass} — all threads of one SM
+    firing a stream-graph node once.
+
+    The model captures the first-order effects the paper's methodology
+    depends on:
+
+    - SIMD issue: per-thread instructions are issued warp-wide over the
+      SM's scalar units;
+    - SMT latency hiding: exposed device-memory latency shrinks with the
+      number of resident warps (the reason configuration selection,
+      Fig. 7, trades registers against threads);
+    - coalescing: device traffic is computed from the actual index maps of
+      the chosen buffer layout (Sec. IV-D), so uncoalesced layouts pay
+      both transaction count and bus-padding costs;
+    - register caps: demand above the compile-time cap spills to device
+      memory;
+    - shared-memory staging (the SWPNC fallback): working sets that fit
+      are staged through shared memory with bank-conflict serialization.
+
+    Bus bandwidth is *not* folded into the single-SM time: the pass
+    exposes its bus bytes so that schedule-level executors can model
+    cross-SM bandwidth contention — precisely the second-order effect the
+    paper identifies as hurting its splitter/joiner-heavy benchmarks. *)
+
+type layout =
+  | Shuffled  (** the paper's optimized coalesced layout, eqs. (9)-(11) *)
+  | Natural   (** sequential FIFO layout (Fig. 8) *)
+  | Shared_staged
+      (** natural layout staged through shared memory with coalesced
+          copies (the SWPNC fast path) *)
+
+type pass = {
+  compute_cycles : int;     (** SIMD issue time for the per-thread work *)
+  latency_cycles : int;     (** exposed device-memory latency after SMT *)
+  bus_bytes : int;          (** device-memory bus traffic of the pass *)
+  dev_accesses : int;       (** per-thread device accesses *)
+  solo_cycles : int;        (** pass time with the bus to itself *)
+}
+
+val pass_of_node :
+  ?in_rates:(int * int) list ->
+  Arch.t ->
+  Streamit.Graph.node ->
+  threads:int ->
+  regs_cap:int ->
+  layout:layout ->
+  pass option
+(** [None] when the launch is infeasible: the register file cannot hold
+    the block, or [Shared_staged] is requested and the working set
+    exceeds shared memory.
+
+    [in_rates], when given, lists [(consumption, production)] per-firing
+    rates of every in-edge; under [Shuffled] the read traffic is then
+    computed through {!Coalesce.cross_traffic} so that rate-mismatched
+    edges (buffer laid out for the producer, consumer reading a
+    different grouping) pay their true strided cost — the second-order
+    splitter/joiner effect of Sec. V-B.  Profiling omits it, mirroring
+    the paper's stand-alone filter profiling. *)
+
+val in_edge_rates : Streamit.Graph.t -> int -> (int * int) list
+(** [(consumption, production)] of each in-edge of a node, for
+    [pass_of_node]'s [in_rates]. *)
+
+val shared_fits : Arch.t -> Streamit.Graph.node -> threads:int -> bool
+(** Whether the node's per-pass working set (peek + push tokens of every
+    thread) fits in one SM's shared memory — the criterion Sec. V-B uses
+    for Filterbank / FMRadio under SWPNC. *)
+
+val combine_solo : pass -> int
+(** Single-SM pass time assuming full bus bandwidth (profiling runs). *)

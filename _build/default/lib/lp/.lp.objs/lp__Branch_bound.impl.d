@@ -1,0 +1,1 @@
+lib/lp/branch_bound.ml: Array Linexpr List Numeric Option Problem Rat Simplex Solution Sys

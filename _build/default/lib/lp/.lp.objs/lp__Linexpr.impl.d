@@ -1,0 +1,1 @@
+lib/lp/linexpr.ml: Format Int List Map Numeric Rat

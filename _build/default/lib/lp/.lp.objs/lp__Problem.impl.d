@@ -1,0 +1,1 @@
+lib/lp/problem.ml: Array Format Linexpr List Numeric Printf Rat Stdlib

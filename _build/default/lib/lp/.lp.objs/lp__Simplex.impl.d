@@ -1,0 +1,1 @@
+lib/lp/simplex.ml: Array Hashtbl Linexpr List Numeric Problem Rat Solution Sys

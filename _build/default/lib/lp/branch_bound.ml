@@ -1,0 +1,155 @@
+open Numeric
+
+type stats = { nodes_explored : int; nodes_pruned : int; max_depth : int }
+
+(* A branching decision narrows one variable's bounds. *)
+type node = { lb : Rat.t option array; ub : Rat.t option array; depth : int }
+
+let most_fractional_var int_vars (sol : Solution.t) =
+  let best = ref None in
+  List.iter
+    (fun v ->
+      let x = sol.values.(v) in
+      if not (Rat.is_integer x) then begin
+        (* distance to nearest integer = min(frac, 1-frac) *)
+        let fl = Rat.of_bigint (Rat.floor x) in
+        let frac = Rat.sub x fl in
+        let dist = Rat.min frac (Rat.sub Rat.one frac) in
+        match !best with
+        | Some (_, d) when Rat.ge dist d |> not -> ()
+        | _ -> best := Some ((v, x), dist)
+      end)
+    int_vars;
+  Option.map fst !best
+
+let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution problem =
+  let deadline =
+    Option.map (fun b -> Sys.time () +. b) time_budget_s
+  in
+  let dir, obj = Problem.objective problem in
+  let feasibility_only = Linexpr.is_constant obj in
+  let first_solution =
+    match first_solution with Some b -> b | None -> feasibility_only
+  in
+  let int_vars = Problem.integer_vars problem in
+  let n = Problem.num_vars problem in
+  let root =
+    {
+      lb = Array.init n (Problem.var_lb problem);
+      ub = Array.init n (Problem.var_ub problem);
+      depth = 0;
+    }
+  in
+  let incumbent = ref None in
+  let lp_budget_hit = ref false in
+  let explored = ref 0 and pruned = ref 0 and maxdepth = ref 0 in
+  let better (s : Solution.t) =
+    match !incumbent with
+    | None -> true
+    | Some (i : Solution.t) -> (
+      match dir with
+      | `Minimize -> Rat.lt s.objective i.objective
+      | `Maximize -> Rat.gt s.objective i.objective)
+  in
+  (* LP bound cannot beat the incumbent => prune. *)
+  let bound_dominated (s : Solution.t) =
+    match !incumbent with
+    | None -> false
+    | Some (i : Solution.t) -> (
+      match dir with
+      | `Minimize -> Rat.ge s.objective i.objective
+      | `Maximize -> Rat.le s.objective i.objective)
+  in
+  let exception Done in
+  let exception Budget in
+  let stack = ref [ root ] in
+  (try
+     while !stack <> [] do
+       match !stack with
+       | [] -> ()
+       | node :: rest ->
+         stack := rest;
+         if !explored >= node_budget then raise Budget;
+         (match deadline with
+         | Some d when Sys.time () > d -> raise Budget
+         | _ -> ());
+         incr explored;
+         if node.depth > !maxdepth then maxdepth := node.depth;
+         (match
+            Simplex.solve_with_bounds ?deadline problem ~lb:node.lb
+              ~ub:node.ub
+          with
+         | Solution.Budget_exhausted _ ->
+           (* the relaxation hit its pivot cap: we can conclude nothing
+              about this subtree — drop it and report budget exhaustion *)
+           incr pruned;
+           lp_budget_hit := true
+         | Solution.Infeasible -> incr pruned
+         | Solution.Unbounded ->
+           (* With an integral-feasible region contained in the LP region,
+              an unbounded relaxation at the root means the MILP itself is
+              unbounded only when an integral ray exists; we report it
+              conservatively. *)
+           if node.depth = 0 && not feasibility_only then begin
+             incumbent := None;
+             raise Done
+           end
+         | Solution.Optimal sol ->
+           if bound_dominated sol then incr pruned
+           else begin
+             match most_fractional_var int_vars sol with
+             | None ->
+               (* Integral solution. *)
+               if better sol then incumbent := Some sol;
+               if first_solution then raise Done
+             | Some (v, x) ->
+               let fl = Rat.of_bigint (Rat.floor x) in
+               let ce = Rat.add fl Rat.one in
+               let down =
+                 let ub = Array.copy node.ub in
+                 ub.(v) <-
+                   Some
+                     (match ub.(v) with
+                     | Some u -> Rat.min u fl
+                     | None -> fl);
+                 { lb = node.lb; ub; depth = node.depth + 1 }
+               in
+               let up =
+                 let lb = Array.copy node.lb in
+                 lb.(v) <-
+                   Some
+                     (match lb.(v) with
+                     | Some l -> Rat.max l ce
+                     | None -> ce);
+                 { lb; ub = node.ub; depth = node.depth + 1 }
+               in
+               (* DFS, exploring the "down" branch first: schedule
+                  variables toward their lower bound, which for the w/g
+                  binaries of the paper's ILP means trying the cheaper
+                  assignment first. *)
+               stack := down :: up :: !stack
+           end)
+     done
+   with
+  | Done -> ()
+  | Budget ->
+    ());
+  let stats =
+    { nodes_explored = !explored; nodes_pruned = !pruned; max_depth = !maxdepth }
+  in
+  let budget_hit =
+    !explored >= node_budget || !lp_budget_hit
+    || (match deadline with Some d -> Sys.time () > d | None -> false)
+  in
+  match !incumbent with
+  | Some sol ->
+    (* Self-check before handing the solution out. *)
+    (match Problem.check_assignment problem (fun v -> sol.values.(v)) with
+    | Ok () -> ()
+    | Error m -> failwith ("Branch_bound: invalid solution produced: " ^ m));
+    if budget_hit && not first_solution then
+      (Solution.Budget_exhausted (Some sol), stats)
+    else (Solution.Optimal sol, stats)
+  | None ->
+    if budget_hit then (Solution.Budget_exhausted None, stats)
+    else (Solution.Infeasible, stats)

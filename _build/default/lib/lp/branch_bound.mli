@@ -1,0 +1,31 @@
+(** Branch-and-bound MILP solver on top of {!Simplex}.
+
+    Depth-first search branching on the most fractional integer variable.
+    Because the paper's scheduling ILP is a *feasibility* problem (the
+    objective is constant), the solver stops at the first integral solution
+    by default; with a non-trivial objective it keeps the best incumbent and
+    prunes on the LP bound.
+
+    The [node_budget] caps the number of LP relaxations solved, mirroring
+    the paper's policy of allotting CPLEX 20 seconds per candidate II before
+    relaxing the II by 0.5 %. *)
+
+type stats = {
+  nodes_explored : int;   (** LP relaxations solved *)
+  nodes_pruned : int;     (** subtrees cut by bound or infeasibility *)
+  max_depth : int;
+}
+
+val solve :
+  ?node_budget:int ->
+  ?time_budget_s:float ->
+  ?first_solution:bool ->
+  Problem.t ->
+  Solution.outcome * stats
+(** [solve p] solves the MILP.  [node_budget] defaults to [10_000] and
+    [time_budget_s] (CPU seconds, unlimited by default) directly mirrors
+    the paper's 20-second CPLEX allotment per candidate II;
+    [first_solution] defaults to [true] when the objective is constant and
+    [false] otherwise.  The returned solution's integer variables are
+    guaranteed integral and the assignment is re-verified against the
+    problem before being returned. *)

@@ -1,0 +1,85 @@
+open Numeric
+module IMap = Map.Make (Int)
+
+type t = { c : Rat.t; a : Rat.t IMap.t }
+
+let norm a = IMap.filter (fun _ q -> not (Rat.is_zero q)) a
+let zero = { c = Rat.zero; a = IMap.empty }
+let const c = { c; a = IMap.empty }
+let of_int n = const (Rat.of_int n)
+
+let var ?(coef = Rat.one) v =
+  if Rat.is_zero coef then zero else { c = Rat.zero; a = IMap.singleton v coef }
+
+let add_term e q v =
+  if Rat.is_zero q then e
+  else begin
+    let a =
+      IMap.update v
+        (function
+          | None -> Some q
+          | Some q0 ->
+            let s = Rat.add q0 q in
+            if Rat.is_zero s then None else Some s)
+        e.a
+    in
+    { e with a }
+  end
+
+let of_terms ?(const = Rat.zero) l =
+  List.fold_left (fun e (q, v) -> add_term e q v) { c = const; a = IMap.empty } l
+
+let add e1 e2 =
+  let a =
+    IMap.union (fun _ q1 q2 ->
+        let s = Rat.add q1 q2 in
+        if Rat.is_zero s then None else Some s)
+      e1.a e2.a
+  in
+  { c = Rat.add e1.c e2.c; a }
+
+let neg e = { c = Rat.neg e.c; a = IMap.map Rat.neg e.a }
+let sub e1 e2 = add e1 (neg e2)
+
+let scale q e =
+  if Rat.is_zero q then zero
+  else { c = Rat.mul q e.c; a = IMap.map (Rat.mul q) e.a }
+
+let add_const e q = { e with c = Rat.add e.c q }
+let coef e v = match IMap.find_opt v e.a with Some q -> q | None -> Rat.zero
+let constant e = e.c
+let terms e = IMap.bindings (norm e.a)
+let vars e = List.map fst (terms e)
+let is_constant e = IMap.is_empty (norm e.a)
+
+let eval f e =
+  IMap.fold (fun v q acc -> Rat.add acc (Rat.mul q (f v))) e.a e.c
+
+let map_vars f e =
+  IMap.fold (fun v q acc -> add_term acc q (f v)) e.a { c = e.c; a = IMap.empty }
+
+let pp pp_var fmt e =
+  let ts = terms e in
+  let first = ref true in
+  let sep q =
+    if !first then begin
+      first := false;
+      if Rat.sign q < 0 then Format.fprintf fmt "-"
+    end
+    else if Rat.sign q < 0 then Format.fprintf fmt " - "
+    else Format.fprintf fmt " + "
+  in
+  List.iter
+    (fun (v, q) ->
+      sep q;
+      let aq = Rat.abs q in
+      if not (Rat.equal aq Rat.one) then Format.fprintf fmt "%s " (Rat.to_string aq);
+      pp_var fmt v)
+    ts;
+  if not (Rat.is_zero e.c) || ts = [] then begin
+    sep e.c;
+    Format.fprintf fmt "%s" (Rat.to_string (Rat.abs e.c))
+  end
+
+let to_string e =
+  Format.asprintf "%a" (pp (fun fmt v -> Format.fprintf fmt "x%d" v)) e

@@ -1,0 +1,49 @@
+(** Sparse linear expressions over integer-indexed variables, with exact
+    rational coefficients and an additive constant.
+
+    An expression denotes [c0 + sum_i (a_i * x_i)].  Variables are
+    identified by the integer ids handed out by {!Problem.add_var}. *)
+
+open Numeric
+
+type t
+
+val zero : t
+val const : Rat.t -> t
+val of_int : int -> t
+
+val var : ?coef:Rat.t -> int -> t
+(** [var v] is the expression [1 * x_v]; [var ~coef v] scales it. *)
+
+val of_terms : ?const:Rat.t -> (Rat.t * int) list -> t
+(** [of_terms [(a1, v1); ...]] builds [a1*x_v1 + ...], merging duplicate
+    variables. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+val add_term : t -> Rat.t -> int -> t
+val add_const : t -> Rat.t -> t
+
+val coef : t -> int -> Rat.t
+(** Coefficient of a variable (zero when absent). *)
+
+val constant : t -> Rat.t
+val terms : t -> (int * Rat.t) list
+(** Nonzero terms in increasing variable order. *)
+
+val vars : t -> int list
+val is_constant : t -> bool
+
+val eval : (int -> Rat.t) -> t -> Rat.t
+(** Evaluate under an assignment. *)
+
+val map_vars : (int -> int) -> t -> t
+(** Renames variables; merged if the mapping collides. *)
+
+val pp : (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit
+(** [pp pp_var] prints e.g. ["3x0 - 1/2 x3 + 7"]. *)
+
+val to_string : t -> string
+(** Prints with default variable names [x<i>]. *)

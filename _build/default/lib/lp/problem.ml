@@ -1,0 +1,140 @@
+open Numeric
+
+type relation = Le | Ge | Eq
+type var_kind = Continuous | Integer | Binary
+
+type cstr = { name : string; lhs : Linexpr.t; rel : relation; rhs : Rat.t }
+
+type var_info = {
+  v_name : string;
+  v_kind : var_kind;
+  v_lb : Rat.t option;
+  v_ub : Rat.t option;
+}
+
+type t = {
+  mutable vars : var_info array;
+  mutable nvars : int;
+  mutable cstrs : cstr list; (* reversed *)
+  mutable ncstrs : int;
+  mutable obj : [ `Minimize | `Maximize ] * Linexpr.t;
+}
+
+let create () =
+  { vars = [||]; nvars = 0; cstrs = []; ncstrs = 0; obj = (`Minimize, Linexpr.zero) }
+
+let grow p =
+  let cap = Array.length p.vars in
+  if p.nvars >= cap then begin
+    let ncap = Stdlib.max 8 (cap * 2) in
+    let nv =
+      Array.make ncap { v_name = ""; v_kind = Continuous; v_lb = None; v_ub = None }
+    in
+    Array.blit p.vars 0 nv 0 p.nvars;
+    p.vars <- nv
+  end
+
+let add_var p ?(lb = Some Rat.zero) ?(ub = None) ~kind name =
+  grow p;
+  let lb, ub =
+    match kind with
+    | Binary -> (Some Rat.zero, Some Rat.one)
+    | _ -> (lb, ub)
+  in
+  p.vars.(p.nvars) <- { v_name = name; v_kind = kind; v_lb = lb; v_ub = ub };
+  p.nvars <- p.nvars + 1;
+  p.nvars - 1
+
+let add_constraint p ?name lhs rel rhs =
+  let e = Linexpr.sub lhs rhs in
+  let lhs' = Linexpr.add_const e (Rat.neg (Linexpr.constant e)) in
+  let rhs' = Rat.neg (Linexpr.constant e) in
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "c%d" p.ncstrs
+  in
+  p.cstrs <- { name; lhs = lhs'; rel; rhs = rhs' } :: p.cstrs;
+  p.ncstrs <- p.ncstrs + 1
+
+let set_objective p dir e = p.obj <- (dir, e)
+let num_vars p = p.nvars
+let num_constraints p = p.ncstrs
+
+let var_check p v =
+  if v < 0 || v >= p.nvars then invalid_arg "Problem: bad variable id"
+
+let var_name p v = var_check p v; p.vars.(v).v_name
+let var_kind p v = var_check p v; p.vars.(v).v_kind
+let var_lb p v = var_check p v; p.vars.(v).v_lb
+let var_ub p v = var_check p v; p.vars.(v).v_ub
+let constraints p = List.rev p.cstrs
+let objective p = p.obj
+
+let integer_vars p =
+  let acc = ref [] in
+  for v = p.nvars - 1 downto 0 do
+    match p.vars.(v).v_kind with
+    | Integer | Binary -> acc := v :: !acc
+    | Continuous -> ()
+  done;
+  !acc
+
+let check_assignment p assign =
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  for v = 0 to p.nvars - 1 do
+    let info = p.vars.(v) in
+    let x = assign v in
+    (match info.v_lb with
+    | Some lb when Rat.lt x lb ->
+      fail (Printf.sprintf "variable %s below lower bound" info.v_name)
+    | _ -> ());
+    (match info.v_ub with
+    | Some ub when Rat.gt x ub ->
+      fail (Printf.sprintf "variable %s above upper bound" info.v_name)
+    | _ -> ());
+    match info.v_kind with
+    | Integer | Binary ->
+      if not (Rat.is_integer x) then
+        fail (Printf.sprintf "variable %s not integral" info.v_name)
+    | Continuous -> ()
+  done;
+  List.iter
+    (fun c ->
+      let v = Linexpr.eval assign c.lhs in
+      let ok =
+        match c.rel with
+        | Le -> Rat.le v c.rhs
+        | Ge -> Rat.ge v c.rhs
+        | Eq -> Rat.equal v c.rhs
+      in
+      if not ok then fail (Printf.sprintf "constraint %s violated" c.name))
+    (constraints p);
+  match !err with None -> Ok () | Some m -> Error m
+
+let pp_rel fmt = function
+  | Le -> Format.fprintf fmt "<="
+  | Ge -> Format.fprintf fmt ">="
+  | Eq -> Format.fprintf fmt "="
+
+let pp fmt p =
+  let pp_var fmt v = Format.fprintf fmt "%s" (var_name p v) in
+  let dir, obj = p.obj in
+  Format.fprintf fmt "%s %a@\nsubject to@\n"
+    (match dir with `Minimize -> "minimize" | `Maximize -> "maximize")
+    (Linexpr.pp pp_var) obj;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  %s: %a %a %s@\n" c.name (Linexpr.pp pp_var) c.lhs
+        pp_rel c.rel (Rat.to_string c.rhs))
+    (constraints p);
+  Format.fprintf fmt "bounds@\n";
+  for v = 0 to p.nvars - 1 do
+    let info = p.vars.(v) in
+    Format.fprintf fmt "  %s%s in [%s, %s]@\n" info.v_name
+      (match info.v_kind with
+      | Binary -> " (bin)"
+      | Integer -> " (int)"
+      | Continuous -> "")
+      (match info.v_lb with Some l -> Rat.to_string l | None -> "-inf")
+      (match info.v_ub with Some u -> Rat.to_string u | None -> "+inf")
+  done

@@ -1,0 +1,57 @@
+(** Mixed-integer linear programming problem container.
+
+    A problem is a set of typed variables (continuous / integer / binary,
+    each with optional bounds), a set of linear constraints, and an optional
+    linear objective.  This is the interface the paper's scheduling ILP
+    (Sec. III) is generated against; {!Simplex} solves the LP relaxation and
+    {!Branch_bound} solves the MILP. *)
+
+open Numeric
+
+type relation = Le | Ge | Eq
+
+type var_kind = Continuous | Integer | Binary
+
+type cstr = private {
+  name : string;
+  lhs : Linexpr.t;  (** constant part always zero *)
+  rel : relation;
+  rhs : Rat.t;
+}
+
+type t
+
+val create : unit -> t
+
+val add_var :
+  t -> ?lb:Rat.t option -> ?ub:Rat.t option -> kind:var_kind -> string -> int
+(** [add_var p ~kind name] registers a fresh variable and returns its id.
+    Default bounds: [lb = Some 0], [ub = None]; binaries are forced to
+    [0, 1].  Ids are dense, starting at 0. *)
+
+val add_constraint : t -> ?name:string -> Linexpr.t -> relation -> Linexpr.t -> unit
+(** [add_constraint p lhs rel rhs]; both sides may carry constants and
+    variables — they are normalised to [expr rel const] form. *)
+
+val set_objective : t -> [ `Minimize | `Maximize ] -> Linexpr.t -> unit
+(** Default objective is [`Minimize 0] (pure feasibility). *)
+
+val num_vars : t -> int
+val num_constraints : t -> int
+val var_name : t -> int -> string
+val var_kind : t -> int -> var_kind
+val var_lb : t -> int -> Rat.t option
+val var_ub : t -> int -> Rat.t option
+val constraints : t -> cstr list
+val objective : t -> [ `Minimize | `Maximize ] * Linexpr.t
+
+val integer_vars : t -> int list
+(** Ids of all [Integer] and [Binary] variables. *)
+
+val check_assignment : t -> (int -> Rat.t) -> (unit, string) result
+(** Verifies that an assignment satisfies every bound, every constraint and
+    every integrality restriction; on failure the [Error] names the first
+    violated item.  Used by tests and by the solver's own self-check. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable LP-format-style dump. *)

@@ -1,0 +1,356 @@
+(* Two-phase primal simplex on a dense tableau of exact rationals.
+
+   Conversion to standard form:
+   - a variable with finite lower bound [l] is substituted [x = l + x'],
+     [x' >= 0];
+   - a free variable is split [x = x+ - x-];
+   - a finite upper bound becomes an extra [<=] row (after substitution);
+   - every row is flipped so its right-hand side is non-negative, then gets
+     a slack ([<=]), a surplus plus artificial ([>=]) or an artificial ([=]).
+
+   Phase 1 minimises the sum of artificials from the all-slack/artificial
+   basis; phase 2 re-prices the user objective.  Bland's rule (smallest
+   entering index, smallest-basic-variable tie-break on the ratio test)
+   guarantees termination. *)
+
+open Numeric
+
+(* How an original problem variable maps into standard-form columns. *)
+type var_map =
+  | Shifted of int * Rat.t (* column, lower-bound offset: x = off + col *)
+  | Split of int * int (* x = pos - neg *)
+
+type tableau = {
+  rows : Rat.t array array; (* m rows, each of length ncols+1 (rhs last) *)
+  obj : Rat.t array; (* reduced-cost row, length ncols+1; last = -z *)
+  basis : int array; (* basic column of each row *)
+  ncols : int;
+  art_start : int; (* columns >= art_start are artificials *)
+}
+
+let q0 = Rat.zero
+let q1 = Rat.one
+
+(* Gaussian elimination step: make column [c] a unit column with a 1 in row
+   [r], updating the objective row too. *)
+let pivot t r c =
+  let prow = t.rows.(r) in
+  let piv = prow.(c) in
+  if Rat.is_zero piv then invalid_arg "Simplex.pivot: zero pivot";
+  let inv = Rat.inv piv in
+  for j = 0 to t.ncols do
+    prow.(j) <- Rat.mul prow.(j) inv
+  done;
+  let eliminate row =
+    let f = row.(c) in
+    if not (Rat.is_zero f) then
+      for j = 0 to t.ncols do
+        row.(j) <- Rat.sub row.(j) (Rat.mul f prow.(j))
+      done
+  in
+  Array.iteri (fun i row -> if i <> r then eliminate row) t.rows;
+  eliminate t.obj;
+  t.basis.(r) <- c
+
+exception Pivot_limit
+
+(* One simplex phase: minimise the objective encoded in [t.obj], entering
+   candidates restricted to columns < [max_col].  Returns [`Optimal] or
+   [`Unbounded].
+
+   Pricing: Dantzig's rule (most negative reduced cost) for speed, then a
+   permanent switch to Bland's rule (smallest index) after a degeneracy
+   budget to guarantee termination.  A hard pivot cap bounds the cost of
+   pathological instances; it raises {!Pivot_limit}, which the MILP
+   driver reports as budget exhaustion.
+   @raise Pivot_limit *)
+let run_phase ?deadline t ~max_col =
+  let m = Array.length t.rows in
+  let bland_after = 10 * (m + t.ncols) in
+  let max_pivots = 60 * (m + t.ncols) in
+  let pivots = ref 0 in
+  let rec loop () =
+    if !pivots > max_pivots then raise Pivot_limit;
+    (match deadline with
+    | Some d when !pivots land 15 = 0 && Sys.time () > d -> raise Pivot_limit
+    | _ -> ());
+    let use_bland = !pivots > bland_after in
+    let entering = ref (-1) in
+    if use_bland then (
+      try
+        for j = 0 to max_col - 1 do
+          if Rat.sign t.obj.(j) < 0 then begin
+            entering := j;
+            raise Exit
+          end
+        done
+      with Exit -> ())
+    else begin
+      let best = ref q0 in
+      for j = 0 to max_col - 1 do
+        if Rat.lt t.obj.(j) !best then begin
+          best := t.obj.(j);
+          entering := j
+        end
+      done
+    end;
+    if !entering < 0 then `Optimal
+    else begin
+      let c = !entering in
+      (* Ratio test with Bland tie-break on smallest basic variable. *)
+      let best_row = ref (-1) in
+      let best_ratio = ref q0 in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(c) in
+        if Rat.sign a > 0 then begin
+          let ratio = Rat.div t.rows.(i).(t.ncols) a in
+          if
+            !best_row < 0
+            || Rat.lt ratio !best_ratio
+            || (Rat.equal ratio !best_ratio && t.basis.(i) < t.basis.(!best_row))
+          then begin
+            best_row := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot t !best_row c;
+        incr pivots;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve_with_bounds_exn ?deadline problem ~lb ~ub =
+  let n = Problem.num_vars problem in
+  if Array.length lb <> n || Array.length ub <> n then
+    invalid_arg "Simplex.solve_with_bounds: bound arrays wrong length";
+  (* Quick bound sanity: lb > ub is immediately infeasible. *)
+  let bounds_ok = ref true in
+  for v = 0 to n - 1 do
+    match (lb.(v), ub.(v)) with
+    | Some l, Some u when Rat.gt l u -> bounds_ok := false
+    | _ -> ()
+  done;
+  if not !bounds_ok then Solution.Infeasible
+  else begin
+    (* --- assign standard-form columns --- *)
+    let next_col = ref 0 in
+    let fresh () =
+      let c = !next_col in
+      incr next_col;
+      c
+    in
+    let vmap =
+      Array.init n (fun v ->
+          match lb.(v) with
+          | Some l -> Shifted (fresh (), l)
+          | None -> Split (fresh (), fresh ()))
+    in
+    let nstruct = !next_col in
+    (* Translate an original-variable linear expression into (std coeffs,
+       constant). *)
+    let translate e =
+      let coeffs = Hashtbl.create 16 in
+      let addc c q =
+        let cur = try Hashtbl.find coeffs c with Not_found -> q0 in
+        Hashtbl.replace coeffs c (Rat.add cur q)
+      in
+      let const = ref (Linexpr.constant e) in
+      List.iter
+        (fun (v, q) ->
+          match vmap.(v) with
+          | Shifted (c, off) ->
+            addc c q;
+            const := Rat.add !const (Rat.mul q off)
+          | Split (cp, cn) ->
+            addc cp q;
+            addc cn (Rat.neg q))
+        (Linexpr.terms e);
+      (coeffs, !const)
+    in
+    (* --- collect rows: user constraints plus upper-bound rows --- *)
+    (* Each row: (dense coeffs over struct cols as assoc, rel, rhs). *)
+    let rows = ref [] in
+    List.iter
+      (fun (c : Problem.cstr) ->
+        let coeffs, const = translate c.lhs in
+        rows := (coeffs, c.rel, Rat.sub c.rhs const) :: !rows)
+      (Problem.constraints problem);
+    for v = 0 to n - 1 do
+      match (ub.(v), vmap.(v)) with
+      | Some u, Shifted (c, off) ->
+        let coeffs = Hashtbl.create 1 in
+        Hashtbl.replace coeffs c q1;
+        rows := (coeffs, Problem.Le, Rat.sub u off) :: !rows
+      | Some u, Split (cp, cn) ->
+        let coeffs = Hashtbl.create 2 in
+        Hashtbl.replace coeffs cp q1;
+        Hashtbl.replace coeffs cn (Rat.neg q1);
+        rows := (coeffs, Problem.Le, u) :: !rows
+      | None, _ -> ()
+    done;
+    let row_list = List.rev !rows in
+    let m = List.length row_list in
+    (* --- count auxiliary columns --- *)
+    let n_slack = ref 0 and n_art = ref 0 in
+    List.iter
+      (fun (_, rel, rhs) ->
+        let flipped = Rat.sign rhs < 0 in
+        let rel =
+          if not flipped then rel
+          else match rel with Problem.Le -> Problem.Ge | Ge -> Le | Eq -> Eq
+        in
+        match rel with
+        | Problem.Le -> incr n_slack
+        | Problem.Ge ->
+          incr n_slack;
+          incr n_art
+        | Problem.Eq -> incr n_art)
+      row_list;
+    let slack_start = nstruct in
+    let art_start = nstruct + !n_slack in
+    let ncols = nstruct + !n_slack + !n_art in
+    let t =
+      {
+        rows = Array.init m (fun _ -> Array.make (ncols + 1) q0);
+        obj = Array.make (ncols + 1) q0;
+        basis = Array.make m (-1);
+        ncols;
+        art_start;
+      }
+    in
+    (* --- fill the tableau --- *)
+    let slack_next = ref slack_start and art_next = ref art_start in
+    List.iteri
+      (fun i (coeffs, rel, rhs) ->
+        let row = t.rows.(i) in
+        let flipped = Rat.sign rhs < 0 in
+        let put c q = row.(c) <- Rat.add row.(c) (if flipped then Rat.neg q else q) in
+        Hashtbl.iter put coeffs;
+        row.(ncols) <- (if flipped then Rat.neg rhs else rhs);
+        let rel =
+          if not flipped then rel
+          else match rel with Problem.Le -> Problem.Ge | Ge -> Le | Eq -> Eq
+        in
+        match rel with
+        | Problem.Le ->
+          let s = !slack_next in
+          incr slack_next;
+          row.(s) <- q1;
+          t.basis.(i) <- s
+        | Problem.Ge ->
+          let s = !slack_next in
+          incr slack_next;
+          row.(s) <- Rat.neg q1;
+          let a = !art_next in
+          incr art_next;
+          row.(a) <- q1;
+          t.basis.(i) <- a
+        | Problem.Eq ->
+          let a = !art_next in
+          incr art_next;
+          row.(a) <- q1;
+          t.basis.(i) <- a)
+      row_list;
+    (* --- phase 1 --- *)
+    let has_artificials = !n_art > 0 in
+    let phase1_result =
+      if not has_artificials then `Optimal
+      else begin
+        (* Reduced costs for min (sum of artificials) with the initial
+           basis: subtract each artificial-basic row from the cost row. *)
+        Array.fill t.obj 0 (ncols + 1) q0;
+        for j = art_start to ncols - 1 do
+          t.obj.(j) <- q1
+        done;
+        for i = 0 to m - 1 do
+          if t.basis.(i) >= art_start then
+            for j = 0 to ncols do
+              t.obj.(j) <- Rat.sub t.obj.(j) (t.rows.(i).(j))
+            done
+        done;
+        run_phase ?deadline t ~max_col:art_start
+      end
+    in
+    match phase1_result with
+    | `Unbounded ->
+      (* Phase-1 objective is bounded below by zero; cannot happen. *)
+      assert false
+    | `Optimal ->
+      let phase1_obj = Rat.neg t.obj.(ncols) in
+      if has_artificials && Rat.sign phase1_obj > 0 then Solution.Infeasible
+      else begin
+        (* Drive lingering artificials out of the basis. *)
+        for i = 0 to m - 1 do
+          if t.basis.(i) >= art_start then begin
+            let found = ref (-1) in
+            (try
+               for j = 0 to art_start - 1 do
+                 if not (Rat.is_zero t.rows.(i).(j)) then begin
+                   found := j;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !found >= 0 then pivot t i !found
+            (* else: the row is all-zero over real columns (redundant);
+               the artificial stays basic at value 0, which is harmless
+               because artificials are barred from entering and the row's
+               rhs is 0. *)
+          end
+        done;
+        (* --- phase 2: re-price the user objective --- *)
+        let dir, obj_expr = Problem.objective problem in
+        let obj_expr =
+          match dir with
+          | `Minimize -> obj_expr
+          | `Maximize -> Linexpr.neg obj_expr
+        in
+        let ocoeffs, oconst = translate obj_expr in
+        Array.fill t.obj 0 (ncols + 1) q0;
+        Hashtbl.iter (fun c q -> t.obj.(c) <- Rat.add t.obj.(c) q) ocoeffs;
+        (* c̄ = c - c_B B⁻¹A: subtract c_b(i) × row_i for each basic var
+           with a nonzero cost coefficient. *)
+        for i = 0 to m - 1 do
+          let cb = t.obj.(t.basis.(i)) in
+          if not (Rat.is_zero cb) then
+            for j = 0 to ncols do
+              t.obj.(j) <- Rat.sub t.obj.(j) (Rat.mul cb t.rows.(i).(j))
+            done
+        done;
+        (match run_phase ?deadline t ~max_col:art_start with
+        | `Unbounded -> Solution.Unbounded
+        | `Optimal ->
+          (* Extract: std column values, then map back. *)
+          let colval = Array.make ncols q0 in
+          for i = 0 to m - 1 do
+            if t.basis.(i) < ncols then
+              colval.(t.basis.(i)) <- t.rows.(i).(ncols)
+          done;
+          let values =
+            Array.init n (fun v ->
+                match vmap.(v) with
+                | Shifted (c, off) -> Rat.add off colval.(c)
+                | Split (cp, cn) -> Rat.sub colval.(cp) colval.(cn))
+          in
+          let z_std = Rat.add (Rat.neg t.obj.(ncols)) oconst in
+          let objective =
+            match dir with `Minimize -> z_std | `Maximize -> Rat.neg z_std
+          in
+          Solution.Optimal { values; objective })
+      end
+  end
+
+let solve_with_bounds ?deadline problem ~lb ~ub =
+  try solve_with_bounds_exn ?deadline problem ~lb ~ub
+  with Pivot_limit -> Solution.Budget_exhausted None
+
+let solve problem =
+  let n = Problem.num_vars problem in
+  let lb = Array.init n (Problem.var_lb problem) in
+  let ub = Array.init n (Problem.var_ub problem) in
+  solve_with_bounds problem ~lb ~ub

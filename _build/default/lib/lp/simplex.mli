@@ -1,0 +1,29 @@
+(** Exact-rational two-phase primal simplex.
+
+    Solves the LP relaxation of a {!Problem} (integrality restrictions are
+    ignored here; {!Branch_bound} layers them on top).  All pivoting is done
+    in exact rational arithmetic with Bland's anti-cycling rule, so the
+    solver terminates and never reports a spurious optimum due to rounding —
+    essential when the ILP is used as a feasibility oracle for candidate
+    initiation intervals.
+
+    Pricing uses Dantzig's rule with a permanent switch to Bland's rule
+    after a degeneracy budget; a hard pivot cap makes pathological
+    instances return [Budget_exhausted None] instead of spinning. *)
+
+open Numeric
+
+val solve : Problem.t -> Solution.outcome
+(** Solve the LP relaxation with the problem's own variable bounds. *)
+
+val solve_with_bounds :
+  ?deadline:float ->
+  Problem.t ->
+  lb:Rat.t option array ->
+  ub:Rat.t option array ->
+  Solution.outcome
+(** Like {!solve} but with per-variable bound overrides (used by
+    branch-and-bound to impose branching decisions without mutating the
+    problem).  Arrays are indexed by variable id and must cover every
+    variable.  [deadline] is an absolute [Sys.time ()] value past which
+    pivoting aborts with [Budget_exhausted None]. *)

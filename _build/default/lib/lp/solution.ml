@@ -1,0 +1,28 @@
+open Numeric
+
+type t = { values : Rat.t array; objective : Rat.t }
+
+let value s v = s.values.(v)
+let value_int s v = Rat.to_int s.values.(v)
+
+let pp fmt s =
+  Format.fprintf fmt "obj=%s;" (Rat.to_string s.objective);
+  Array.iteri
+    (fun i v ->
+      if not (Rat.is_zero v) then
+        Format.fprintf fmt " x%d=%s" i (Rat.to_string v))
+    s.values
+
+type outcome =
+  | Optimal of t
+  | Infeasible
+  | Unbounded
+  | Budget_exhausted of t option
+
+let pp_outcome fmt = function
+  | Optimal s -> Format.fprintf fmt "optimal: %a" pp s
+  | Infeasible -> Format.fprintf fmt "infeasible"
+  | Unbounded -> Format.fprintf fmt "unbounded"
+  | Budget_exhausted None -> Format.fprintf fmt "budget exhausted (no incumbent)"
+  | Budget_exhausted (Some s) ->
+    Format.fprintf fmt "budget exhausted, incumbent: %a" pp s

@@ -1,0 +1,25 @@
+(** Solver results shared by {!Simplex} and {!Branch_bound}. *)
+
+open Numeric
+
+type t = {
+  values : Rat.t array;  (** indexed by {!Problem} variable id *)
+  objective : Rat.t;     (** objective value under the problem's direction *)
+}
+
+val value : t -> int -> Rat.t
+val value_int : t -> int -> int
+(** @raise Failure if the value is not an integer. *)
+
+val pp : Format.formatter -> t -> unit
+
+type outcome =
+  | Optimal of t
+  | Infeasible
+  | Unbounded
+  | Budget_exhausted of t option
+      (** Branch-and-bound ran out of its node budget; carries the best
+          incumbent found, if any.  Mirrors the paper's 20-second CPLEX
+          allotment per candidate II. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,348 @@
+(* Arbitrary-precision signed integers, sign-magnitude, base 2^30.
+
+   The magnitude is a little-endian [int array] of "limbs", each in
+   [0, 2^30).  Invariant: no leading zero limbs; zero is represented with
+   [sign = 0] and an empty magnitude. *)
+
+let base_bits = 30
+let base = 1 lsl base_bits (* 2^30 *)
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+let one = { sign = 1; mag = [| 1 |] }
+let minus_one = { sign = -1; mag = [| 1 |] }
+
+(* Strip leading (most-significant) zero limbs, producing a well-formed
+   magnitude. *)
+let normalize_mag mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let hi = top (n - 1) in
+  if hi < 0 then [||] else if hi = n - 1 then mag else Array.sub mag 0 (hi + 1)
+
+let make sign mag =
+  let mag = normalize_mag mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let is_zero x = x.sign = 0
+let sign x = x.sign
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let s = if n > 0 then 1 else -1 in
+    (* min_int negation overflows; accumulate on the non-negative side by
+       peeling limbs off with mod, using Int.abs on the remainder only. *)
+    let rec limbs n acc =
+      if n = 0 then List.rev acc
+      else limbs (n / base) (abs (n mod base) :: acc)
+    in
+    { sign = s; mag = Array.of_list (limbs n []) }
+  end
+
+let to_int_opt x =
+  if x.sign = 0 then Some 0
+  else begin
+    let n = Array.length x.mag in
+    (* Native ints hold 62 value bits; three 30-bit limbs may overflow. *)
+    let rec go i acc =
+      if i < 0 then Some acc
+      else
+        let limb = x.mag.(i) in
+        if acc > (max_int - limb) / base then None
+        else go (i - 1) ((acc * base) + limb)
+    in
+    match go (n - 1) 0 with
+    | None ->
+      (* One representable corner case: min_int itself. *)
+      if x.sign = -1 && n = 3 && x.mag.(2) = 4 && x.mag.(1) = 0 && x.mag.(0) = 0
+      then Some min_int
+      else None
+    | Some v -> Some (if x.sign < 0 then -v else v)
+  end
+
+let to_int x =
+  match to_int_opt x with
+  | Some v -> v
+  | None -> failwith "Bigint.to_int: overflow"
+
+(* --- magnitude comparisons and arithmetic (unsigned) --- *)
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + Stdlib.max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let av = if i < la then a.(i) else 0 in
+    let bv = if i < lb then b.(i) else 0 in
+    let s = av + bv + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* Precondition: a >= b (as magnitudes). *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bv = if i < lb then b.(i) else 0 in
+    let d = a.(i) - bv - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  r
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        (* ai*bj fits in 60 bits; + r + carry stays within 62-bit ints. *)
+        let t = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- t land base_mask;
+        carry := t lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    r
+  end
+
+(* Multiply magnitude by a small int (< base) and add a small int. *)
+let mul_small_mag a m addend =
+  let la = Array.length a in
+  let r = Array.make (la + 2) 0 in
+  let carry = ref addend in
+  for i = 0 to la - 1 do
+    let t = (a.(i) * m) + !carry in
+    r.(i) <- t land base_mask;
+    carry := t lsr base_bits
+  done;
+  let i = ref la in
+  while !carry <> 0 do
+    r.(!i) <- !carry land base_mask;
+    carry := !carry lsr base_bits;
+    incr i
+  done;
+  r
+
+(* Divide magnitude by a small positive int; returns (quotient, remainder). *)
+let divmod_small_mag a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* --- signed operations --- *)
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then make x.sign (add_mag x.mag y.mag)
+  else begin
+    let c = cmp_mag x.mag y.mag in
+    if c = 0 then zero
+    else if c > 0 then make x.sign (sub_mag x.mag y.mag)
+    else make y.sign (sub_mag y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+let succ x = add x one
+let pred x = sub x one
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else make (x.sign * y.sign) (mul_mag x.mag y.mag)
+
+let compare x y =
+  if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+  else if x.sign >= 0 then cmp_mag x.mag y.mag
+  else cmp_mag y.mag x.mag
+
+let equal x y = compare x y = 0
+let lt x y = compare x y < 0
+let le x y = compare x y <= 0
+let gt x y = compare x y > 0
+let ge x y = compare x y >= 0
+let min x y = if le x y then x else y
+let max x y = if ge x y then x else y
+
+(* Long division on magnitudes (Knuth-style, simplified: binary-search the
+   quotient limb).  Precondition: b is non-empty.  Returns (q, r). *)
+let divmod_mag a b =
+  let lb = Array.length b in
+  if lb = 1 then begin
+    let q, r = divmod_small_mag a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  end
+  else begin
+    let c = cmp_mag a b in
+    if c < 0 then ([||], a)
+    else begin
+      (* Schoolbook long division, one base-2^30 digit of quotient at a
+         time, with the candidate digit found by binary search over
+         [0, base).  Remainder is maintained as a bigint magnitude. *)
+      let la = Array.length a in
+      let q = Array.make (la - lb + 1) 0 in
+      (* rem holds the running remainder, little-endian. *)
+      let rem = ref [||] in
+      (* shift_in r d = r * base + d *)
+      let shift_in r d =
+        let lr = Array.length r in
+        if lr = 0 && d = 0 then [||]
+        else begin
+          let out = Array.make (lr + 1) 0 in
+          out.(0) <- d;
+          Array.blit r 0 out 1 lr;
+          normalize_mag out
+        end
+      in
+      for i = la - 1 downto 0 do
+        rem := shift_in !rem a.(i);
+        if cmp_mag !rem b >= 0 then begin
+          (* binary search largest d with d*b <= rem *)
+          let lo = ref 1 and hi = ref (base - 1) in
+          while !lo < !hi do
+            let mid = (!lo + !hi + 1) / 2 in
+            if cmp_mag (normalize_mag (mul_small_mag b mid 0)) !rem <= 0 then
+              lo := mid
+            else hi := mid - 1
+          done;
+          let d = !lo in
+          rem := normalize_mag (sub_mag !rem (normalize_mag (mul_small_mag b d 0)));
+          if i <= la - lb then q.(i) <- d
+          else (* cannot happen: quotient digit beyond allocated width *)
+            assert false
+        end
+      done;
+      (normalize_mag q, !rem)
+    end
+  end
+
+let divmod x y =
+  if y.sign = 0 then raise Division_by_zero
+  else if x.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = divmod_mag x.mag y.mag in
+    let q = make (x.sign * y.sign) qm in
+    let r = make x.sign rm in
+    (q, r)
+  end
+
+let div x y = fst (divmod x y)
+let rem x y = snd (divmod x y)
+
+(* Euclidean division: the remainder is always in [0, |y|).  For y > 0
+   this is floor division; for y < 0 it rounds the quotient up instead. *)
+let ediv x y =
+  let q, r = divmod x y in
+  if is_zero r || sign r >= 0 then q
+  else if sign y > 0 then pred q
+  else succ q
+
+let emod x y = sub x (mul (ediv x y) y)
+
+let pow x n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent"
+  else begin
+    let rec go acc b n =
+      if n = 0 then acc
+      else if n land 1 = 1 then go (mul acc b) (mul b b) (n lsr 1)
+      else go acc (mul b b) (n lsr 1)
+    in
+    go one x n
+  end
+
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if is_zero b then a else gcd b (rem a b)
+
+let lcm a b =
+  if is_zero a || is_zero b then zero else abs (div (mul a b) (gcd a b))
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let neg_sign, start =
+    match s.[0] with
+    | '-' -> (true, 1)
+    | '+' -> (false, 1)
+    | _ -> (false, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let mag = ref [||] in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    mag := normalize_mag (mul_small_mag !mag 10 (Char.code c - Char.code '0'))
+  done;
+  make (if neg_sign then -1 else 1) !mag
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec go mag =
+      if Array.length mag = 0 then ()
+      else begin
+        let q, r = divmod_small_mag mag 1_000_000_000 in
+        let q = normalize_mag q in
+        if Array.length q = 0 then Buffer.add_string buf (string_of_int r)
+        else begin
+          go q;
+          Buffer.add_string buf (Printf.sprintf "%09d" r)
+        end
+      end
+    in
+    go x.mag;
+    (if x.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) = lt
+  let ( <= ) = le
+  let ( > ) = gt
+  let ( >= ) = ge
+end

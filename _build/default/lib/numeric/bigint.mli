@@ -1,0 +1,99 @@
+(** Arbitrary-precision signed integers.
+
+    A from-scratch bignum implementation (zarith is not available in this
+    environment).  Values are immutable.  The representation is
+    sign-magnitude with the magnitude stored little-endian in base [2^30].
+
+    This module backs the exact-rational arithmetic used by the simplex /
+    branch-and-bound ILP solver ({!module:Lp}) and by the SDF steady-state
+    rate solver, where intermediate values can overflow native integers. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+
+val to_int : t -> int
+(** [to_int x] converts back to a native integer.
+    @raise Failure if [x] does not fit in a native [int]. *)
+
+val to_int_opt : t -> int option
+
+val of_string : string -> t
+(** Parses an optionally-signed decimal literal.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated division
+    (quotient rounded toward zero, [r] has the sign of [a]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv : t -> t -> t
+(** Euclidean division: [a = ediv a b * b + emod a b] with
+    [0 <= emod a b < |b|].  Coincides with floor division for positive
+    divisors. *)
+
+val emod : t -> t -> t
+(** Euclidean remainder: always in [[0, |b|)]. *)
+
+val pow : t -> int -> t
+(** [pow x n] for [n >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val gcd : t -> t -> t
+(** Greatest common divisor; always non-negative. [gcd 0 0 = 0]. *)
+
+val lcm : t -> t -> t
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,39 @@
+let rec gcd a b =
+  let a = abs a and b = abs b in
+  if b = 0 then a else gcd b (a mod b)
+
+let lcm a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let g = gcd a b in
+    let q = abs a / g in
+    if q > max_int / abs b then failwith "Intmath.lcm: overflow";
+    q * abs b
+  end
+
+let gcd_list = List.fold_left gcd 0
+let lcm_list = List.fold_left lcm 1
+
+let fdiv a b =
+  if b <= 0 then invalid_arg "Intmath.fdiv: non-positive divisor";
+  if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let cdiv a b =
+  if b <= 0 then invalid_arg "Intmath.cdiv: non-positive divisor";
+  if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+let emod a b =
+  if b <= 0 then invalid_arg "Intmath.emod: non-positive divisor";
+  let r = a mod b in
+  if r < 0 then r + b else r
+
+let round_up x m =
+  if m <= 0 then invalid_arg "Intmath.round_up: non-positive modulus";
+  cdiv x m * m
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let pow2_ceil x =
+  if x < 1 then invalid_arg "Intmath.pow2_ceil";
+  let rec go p = if p >= x then p else go (p * 2) in
+  go 1

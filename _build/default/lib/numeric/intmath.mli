@@ -1,0 +1,29 @@
+(** Small native-integer math helpers used across the compiler: gcd/lcm for
+    steady-state rate computation, ceiling division for the multi-rate
+    dependence constraints (eq. (5) of the paper), and rounding utilities. *)
+
+val gcd : int -> int -> int
+(** Non-negative gcd; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** @raise Failure on native overflow. *)
+
+val gcd_list : int list -> int
+val lcm_list : int list -> int
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is [ceil(a / b)] for [b > 0], correct for negative [a]. *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is [floor(a / b)] for [b > 0], correct for negative [a]. *)
+
+val emod : int -> int -> int
+(** Euclidean remainder: [emod a b] is in [[0, b)] for [b > 0]. *)
+
+val round_up : int -> int -> int
+(** [round_up x m] is the least multiple of [m] that is [>= x]. *)
+
+val pow2_ceil : int -> int
+(** Least power of two [>= x] (for [x >= 1]). *)
+
+val is_pow2 : int -> bool

@@ -1,0 +1,93 @@
+(* Canonical rationals: den > 0, gcd(num, den) = 1. *)
+
+module B = Bigint
+
+type t = { n : B.t; d : B.t }
+
+let mk_canon n d =
+  if B.is_zero d then raise Division_by_zero;
+  if B.is_zero n then { n = B.zero; d = B.one }
+  else begin
+    let s = B.sign n * B.sign d in
+    let n = B.abs n and d = B.abs d in
+    let g = B.gcd n d in
+    let n = B.div n g and d = B.div d g in
+    { n = (if s < 0 then B.neg n else n); d }
+  end
+
+let zero = { n = B.zero; d = B.one }
+let one = { n = B.one; d = B.one }
+let minus_one = { n = B.minus_one; d = B.one }
+let make n d = mk_canon n d
+let of_bigint n = { n; d = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints n d = mk_canon (B.of_int n) (B.of_int d)
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (B.of_string s)
+  | Some i ->
+    mk_canon
+      (B.of_string (String.sub s 0 i))
+      (B.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+
+let num x = x.n
+let den x = x.d
+let sign x = B.sign x.n
+let is_zero x = B.is_zero x.n
+let is_integer x = B.equal x.d B.one
+let to_bigint x = B.div x.n x.d
+let floor x = B.ediv x.n x.d
+let ceil x = B.neg (B.ediv (B.neg x.n) x.d)
+
+let to_float x =
+  (* Good enough for reporting: go through strings only when the parts are
+     small; otherwise scale down. *)
+  match (B.to_int_opt x.n, B.to_int_opt x.d) with
+  | Some n, Some d -> float_of_int n /. float_of_int d
+  | _ ->
+    (* Divide out with 60 bits of fractional precision. *)
+    let shift = B.pow (B.of_int 2) 60 in
+    let scaled = B.div (B.mul x.n shift) x.d in
+    (match B.to_int_opt scaled with
+    | Some v -> float_of_int v /. 1.1529215046068469e18 (* 2^60 *)
+    | None -> float_of_string (B.to_string (to_bigint x)))
+
+let to_int x =
+  if not (is_integer x) then failwith "Rat.to_int: not an integer"
+  else B.to_int x.n
+
+let neg x = { x with n = B.neg x.n }
+let abs x = { x with n = B.abs x.n }
+let inv x = mk_canon x.d x.n
+let add a b = mk_canon (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
+let sub a b = add a (neg b)
+let mul a b = mk_canon (B.mul a.n b.n) (B.mul a.d b.d)
+let div a b = mul a (inv b)
+let compare a b = B.compare (B.mul a.n b.d) (B.mul b.n a.d)
+let equal a b = compare a b = 0
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let gt a b = compare a b > 0
+let ge a b = compare a b >= 0
+let min a b = if le a b then a else b
+let max a b = if ge a b then a else b
+
+let to_string x =
+  if is_integer x then B.to_string x.n
+  else B.to_string x.n ^ "/" ^ B.to_string x.d
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( ~- ) = neg
+  let ( = ) = equal
+  let ( < ) = lt
+  let ( <= ) = le
+  let ( > ) = gt
+  let ( >= ) = ge
+end

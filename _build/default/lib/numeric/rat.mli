@@ -1,0 +1,90 @@
+(** Exact rational arithmetic over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is strictly positive
+    and [gcd num den = 1].  Used by the simplex LP solver (where floating
+    point would break pivoting decisions) and by the SDF steady-state rate
+    equations. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** {1 Construction} *)
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the canonical rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints num den]. @raise Division_by_zero if [den = 0]. *)
+
+val of_string : string -> t
+(** Parses ["a"], ["a/b"], or ["-a/b"] decimal forms. *)
+
+(** {1 Accessors} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val to_bigint : t -> Bigint.t
+(** Truncates toward zero. *)
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+val to_float : t -> float
+
+val to_int : t -> int
+(** @raise Failure if not an integer or out of native range. *)
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on zero divisor. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Comparisons} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,1 @@
+lib/streamit/ast.ml: Format Kernel List String Types

@@ -1,0 +1,1 @@
+lib/streamit/ast.mli: Format Kernel Types

@@ -1,0 +1,1 @@
+lib/streamit/fifo.ml: Array List

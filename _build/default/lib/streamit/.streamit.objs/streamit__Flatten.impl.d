@@ -1,0 +1,1 @@
+lib/streamit/flatten.ml: Array Ast Graph Kernel List Option Types

@@ -1,0 +1,1 @@
+lib/streamit/flatten.mli: Ast Graph

@@ -1,0 +1,1 @@
+lib/streamit/graph.ml: Array Ast Format Fun Hashtbl Kernel List Printf Queue String Types

@@ -1,0 +1,1 @@
+lib/streamit/graph.mli: Ast Format Kernel Types

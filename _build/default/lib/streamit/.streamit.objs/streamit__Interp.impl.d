@@ -1,0 +1,1 @@
+lib/streamit/interp.ml: Array Ast Fifo Float Graph Hashtbl Kernel List Printf Schedule Sdf Types

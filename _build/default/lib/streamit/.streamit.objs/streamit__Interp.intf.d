@@ -1,0 +1,1 @@
+lib/streamit/interp.mli: Graph Kernel Schedule Types

@@ -1,0 +1,1 @@
+lib/streamit/kernel.ml: Format Hashtbl List Option Printf Types

@@ -1,0 +1,1 @@
+lib/streamit/kernel.mli: Format Types

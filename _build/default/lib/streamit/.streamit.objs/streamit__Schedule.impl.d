@@ -1,0 +1,1 @@
+lib/streamit/schedule.ml: Array Graph Hashtbl List Printf Sdf Types

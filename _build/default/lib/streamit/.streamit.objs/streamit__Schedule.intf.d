@@ -1,0 +1,1 @@
+lib/streamit/schedule.mli: Graph Sdf

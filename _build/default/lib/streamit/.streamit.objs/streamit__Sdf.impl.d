@@ -1,0 +1,1 @@
+lib/streamit/sdf.ml: Array Bigint Graph List Numeric Option Printf Queue Rat

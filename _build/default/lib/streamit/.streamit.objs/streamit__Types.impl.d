@@ -1,0 +1,1 @@
+lib/streamit/types.ml: Float Format

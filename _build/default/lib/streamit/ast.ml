@@ -1,0 +1,86 @@
+type splitter = Duplicate | Round_robin of int list
+type joiner = int list
+
+type stream =
+  | Filter of Kernel.filter
+  | Pipeline of string * stream list
+  | Split_join of string * splitter * stream list * joiner
+  | Feedback_loop of {
+      name : string;
+      join_weights : int * int;
+      body : stream;
+      split_weights : int * int;
+      delay : Types.value list;
+    }
+
+let name_of = function
+  | Filter f -> f.Kernel.name
+  | Pipeline (n, _) | Split_join (n, _, _, _) -> n
+  | Feedback_loop { name; _ } -> name
+
+let rec filters = function
+  | Filter f -> [ f ]
+  | Pipeline (_, ss) -> List.concat_map filters ss
+  | Split_join (_, _, ss, _) -> List.concat_map filters ss
+  | Feedback_loop { body; _ } -> filters body
+
+let num_filters s = List.length (filters s)
+
+let validate stream =
+  let err = ref None in
+  let fail m = if !err = None then err := Some m in
+  let rec go s =
+    match s with
+    | Filter f -> (
+      match Kernel.check_filter f with Ok () -> () | Error m -> fail m)
+    | Pipeline (n, ss) ->
+      if ss = [] then fail (n ^ ": empty pipeline");
+      List.iter go ss
+    | Split_join (n, sp, ss, jw) ->
+      if ss = [] then fail (n ^ ": empty split-join");
+      (match sp with
+      | Duplicate -> ()
+      | Round_robin ws ->
+        if List.length ws <> List.length ss then
+          fail (n ^ ": splitter weight count mismatch");
+        if List.exists (fun w -> w <= 0) ws then
+          fail (n ^ ": non-positive splitter weight"));
+      if List.length jw <> List.length ss then
+        fail (n ^ ": joiner weight count mismatch");
+      if List.exists (fun w -> w <= 0) jw then
+        fail (n ^ ": non-positive joiner weight");
+      List.iter go ss
+    | Feedback_loop { name; join_weights = j1, j2; split_weights = s1, s2; body; _ }
+      ->
+      if j1 <= 0 || j2 <= 0 || s1 <= 0 || s2 <= 0 then
+        fail (name ^ ": non-positive feedback weights");
+      go body
+  in
+  go stream;
+  match !err with None -> Ok () | Some m -> Error m
+
+let rec pp fmt = function
+  | Filter f -> Format.fprintf fmt "filter %s" f.Kernel.name
+  | Pipeline (n, ss) ->
+    Format.fprintf fmt "@[<v 2>pipeline %s {" n;
+    List.iter (fun s -> Format.fprintf fmt "@,%a" pp s) ss;
+    Format.fprintf fmt "@]@,}"
+  | Split_join (n, sp, ss, jw) ->
+    let sp_str =
+      match sp with
+      | Duplicate -> "duplicate"
+      | Round_robin ws ->
+        "roundrobin(" ^ String.concat "," (List.map string_of_int ws) ^ ")"
+    in
+    Format.fprintf fmt "@[<v 2>splitjoin %s split %s {" n sp_str;
+    List.iter (fun s -> Format.fprintf fmt "@,%a" pp s) ss;
+    Format.fprintf fmt "@]@,} join roundrobin(%s)"
+      (String.concat "," (List.map string_of_int jw))
+  | Feedback_loop { name; body; delay; _ } ->
+    Format.fprintf fmt "@[<v 2>feedbackloop %s (delay %d) {@,%a@]@,}" name
+      (List.length delay) pp body
+
+let pipeline n ss = Pipeline (n, ss)
+let split_join n sp ss jw = Split_join (n, sp, ss, jw)
+let duplicate_sj n ss jw = Split_join (n, Duplicate, ss, jw)
+let round_robin_sj n sw ss jw = Split_join (n, Round_robin sw, ss, jw)

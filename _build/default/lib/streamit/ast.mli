@@ -1,0 +1,53 @@
+(** Hierarchical StreamIt stream constructs (Fig. 3 of the paper).
+
+    A stream program is a hierarchical composition of {b pipelines},
+    {b split-joins} and {b feedback loops} whose leaves are filters.
+    {!Flatten} lowers this AST to the flat {!Graph} representation the
+    scheduler works on. *)
+
+type splitter =
+  | Duplicate
+      (** copies every input token to each branch (one pop, one push per
+          branch, per firing) *)
+  | Round_robin of int list
+      (** weights; pops [sum weights] and distributes per-branch *)
+
+type joiner = int list
+(** Joiners are always round-robin (Sec. II-B); the list gives per-branch
+    weights. *)
+
+type stream =
+  | Filter of Kernel.filter
+  | Pipeline of string * stream list
+  | Split_join of string * splitter * stream list * joiner
+  | Feedback_loop of {
+      name : string;
+      join_weights : int * int;  (** (external input, loop-back) weights *)
+      body : stream;
+      split_weights : int * int; (** (external output, loop-back) weights *)
+      delay : Types.value list;  (** initial tokens on the loop-back edge *)
+    }
+
+val name_of : stream -> string
+
+val filters : stream -> Kernel.filter list
+(** All leaf filters, in syntactic order. *)
+
+val num_filters : stream -> int
+
+val validate : stream -> (unit, string) result
+(** Structural checks: non-empty pipelines/split-joins, matching branch and
+    weight counts, positive weights, and {!Kernel.check_filter} on every
+    leaf. *)
+
+val pp : Format.formatter -> stream -> unit
+
+(** {1 Convenience constructors} *)
+
+val pipeline : string -> stream list -> stream
+val split_join : string -> splitter -> stream list -> joiner -> stream
+
+val duplicate_sj : string -> stream list -> joiner -> stream
+(** Split-join with a duplicate splitter. *)
+
+val round_robin_sj : string -> int list -> stream list -> int list -> stream

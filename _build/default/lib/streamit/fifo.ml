@@ -1,0 +1,64 @@
+(* Ring buffer that doubles on overflow. *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int; (* index of next pop *)
+  mutable len : int;
+  mutable pushed : int;
+  mutable popped : int;
+  mutable high : int;
+}
+
+let create () =
+  { buf = Array.make 16 None; head = 0; len = 0; pushed = 0; popped = 0; high = 0 }
+
+let length q = q.len
+let is_empty q = q.len = 0
+
+let grow q =
+  let cap = Array.length q.buf in
+  let nbuf = Array.make (cap * 2) None in
+  for i = 0 to q.len - 1 do
+    nbuf.(i) <- q.buf.((q.head + i) mod cap)
+  done;
+  q.buf <- nbuf;
+  q.head <- 0
+
+let push q x =
+  if q.len = Array.length q.buf then grow q;
+  let cap = Array.length q.buf in
+  q.buf.((q.head + q.len) mod cap) <- Some x;
+  q.len <- q.len + 1;
+  q.pushed <- q.pushed + 1;
+  if q.len > q.high then q.high <- q.len
+
+let pop q =
+  if q.len = 0 then invalid_arg "Fifo.pop: empty";
+  let cap = Array.length q.buf in
+  match q.buf.(q.head) with
+  | None -> assert false
+  | Some x ->
+    q.buf.(q.head) <- None;
+    q.head <- (q.head + 1) mod cap;
+    q.len <- q.len - 1;
+    q.popped <- q.popped + 1;
+    x
+
+let peek q n =
+  if n < 0 || n >= q.len then invalid_arg "Fifo.peek: out of range";
+  match q.buf.((q.head + n) mod Array.length q.buf) with
+  | Some x -> x
+  | None -> assert false
+
+let pop_many q n = List.init n (fun _ -> pop q)
+let push_many q l = List.iter (push q) l
+let to_list q = List.init q.len (peek q)
+
+let clear q =
+  Array.fill q.buf 0 (Array.length q.buf) None;
+  q.head <- 0;
+  q.len <- 0
+
+let total_pushed q = q.pushed
+let total_popped q = q.popped
+let max_occupancy q = q.high

@@ -1,0 +1,36 @@
+(** Growable FIFO channel with O(1) indexed peek.
+
+    Models a StreamIt communication channel: tokens are pushed at the tail,
+    popped from the head, and [peek n] inspects the token [n] positions deep
+    without consuming it — exactly the three primitives StreamIt filters may
+    use on their FIFOs. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** @raise Invalid_argument if empty. *)
+
+val peek : 'a t -> int -> 'a
+(** [peek q n] is the element [n] deep ([peek q 0] is the next pop).
+    @raise Invalid_argument if fewer than [n+1] elements are present. *)
+
+val pop_many : 'a t -> int -> 'a list
+val push_many : 'a t -> 'a list -> unit
+val to_list : 'a t -> 'a list
+(** Head first. *)
+
+val clear : 'a t -> unit
+
+val total_pushed : 'a t -> int
+(** Lifetime count of pushes — used for rate checking. *)
+
+val total_popped : 'a t -> int
+
+val max_occupancy : 'a t -> int
+(** High-water mark of the queue length — used to measure the buffer
+    requirement a firing schedule induces on this channel. *)

@@ -1,0 +1,121 @@
+open Types
+
+type builder = {
+  mutable nodes : Graph.node list; (* reversed *)
+  mutable edges : Graph.edge list;
+  mutable next : int;
+}
+
+let add_node b name kind =
+  let id = b.next in
+  b.next <- id + 1;
+  b.nodes <- { Graph.id; name; kind } :: b.nodes;
+  id
+
+(* Connect producer port -> consumer port, seeding the zero history a
+   peeking consumer needs. *)
+let connect b (src, src_port) (dst, dst_port) ~dst_kind ?(extra_init = []) () =
+  let peek_zeros =
+    match dst_kind with
+    | Graph.NFilter f when Kernel.is_peeking f ->
+      List.init
+        (f.Kernel.peek_rate - f.Kernel.pop_rate)
+        (fun _ -> zero_of f.Kernel.in_ty)
+    | _ -> []
+  in
+  let init_values = extra_init @ peek_zeros in
+  b.edges <-
+    {
+      Graph.src;
+      src_port;
+      dst;
+      dst_port;
+      init_tokens = List.length init_values;
+      init_values;
+    }
+    :: b.edges
+
+let kind_of b id =
+  let rec find = function
+    | [] -> assert false
+    | (n : Graph.node) :: rest -> if n.id = id then n.kind else find rest
+  in
+  find b.nodes
+
+(* Returns (input_conn, output_conn): where this sub-stream consumes from /
+   produces to, or None when it is a pure source / sink. *)
+let rec flat b stream : (int * int) option * (int * int) option =
+  match stream with
+  | Ast.Filter f ->
+    let id = add_node b f.Kernel.name (Graph.NFilter f) in
+    let inp = if f.Kernel.pop_rate > 0 then Some (id, 0) else None in
+    let out = if f.Kernel.push_rate > 0 then Some (id, 0) else None in
+    (inp, out)
+  | Ast.Pipeline (name, children) ->
+    if children = [] then failwith (name ^ ": empty pipeline");
+    let conns = List.map (flat b) children in
+    let rec link = function
+      | (_, out1) :: ((in2, _) :: _ as rest) ->
+        (match (out1, in2) with
+        | Some o, Some i ->
+          connect b o i ~dst_kind:(kind_of b (fst i)) ()
+        | None, None -> ()
+        | None, Some _ ->
+          failwith (name ^ ": pipeline stage expects input but none produced")
+        | Some _, None ->
+          failwith (name ^ ": pipeline stage output is dropped"));
+        link rest
+      | _ -> ()
+    in
+    link conns;
+    (fst (List.hd conns), snd (List.nth conns (List.length conns - 1)))
+  | Ast.Split_join (name, sp, branches, jw) ->
+    let k = List.length branches in
+    if k = 0 then failwith (name ^ ": empty split-join");
+    let split_id = add_node b ("split_" ^ name) (Graph.NSplitter (sp, k)) in
+    let join_id = add_node b ("join_" ^ name) (Graph.NJoiner jw) in
+    List.iteri
+      (fun i branch ->
+        match flat b branch with
+        | Some inp, Some out ->
+          connect b (split_id, i) inp ~dst_kind:(kind_of b (fst inp)) ();
+          connect b out (join_id, i) ~dst_kind:(Graph.NJoiner jw) ()
+        | None, _ -> failwith (name ^ ": split-join branch consumes no input")
+        | _, None -> failwith (name ^ ": split-join branch produces no output"))
+      branches;
+    (Some (split_id, 0), Some (join_id, 0))
+  | Ast.Feedback_loop { name; join_weights = j1, j2; body; split_weights = s1, s2; delay }
+    ->
+    let join_id = add_node b ("join_" ^ name) (Graph.NJoiner [ j1; j2 ]) in
+    let split_id =
+      add_node b ("split_" ^ name)
+        (Graph.NSplitter (Ast.Round_robin [ s1; s2 ], 2))
+    in
+    (match flat b body with
+    | Some inp, Some out ->
+      connect b (join_id, 0) inp ~dst_kind:(kind_of b (fst inp)) ();
+      connect b out (split_id, 0)
+        ~dst_kind:(Graph.NSplitter (Ast.Round_robin [ s1; s2 ], 2))
+        ()
+    | _ -> failwith (name ^ ": feedback body must consume and produce"));
+    (* loop-back edge carries the delay tokens *)
+    connect b (split_id, 1) (join_id, 1) ~dst_kind:(Graph.NJoiner [ j1; j2 ])
+      ~extra_init:delay ();
+    (Some (join_id, 0), Some (split_id, 0))
+
+let flatten stream =
+  let b = { nodes = []; edges = []; next = 0 } in
+  let inp, out = flat b stream in
+  let nodes = Array.of_list (List.rev b.nodes) in
+  let g =
+    {
+      Graph.nodes;
+      edges = List.rev b.edges;
+      entry = Option.map fst inp;
+      exit_ = Option.map fst out;
+    }
+  in
+  (match Graph.validate g with
+  | Ok () -> ()
+  | Error m -> failwith ("Flatten: produced invalid graph: " ^ m));
+  g

@@ -1,0 +1,16 @@
+(** Flattening of hierarchical stream programs (Thies et al., CC'02) into
+    the flat filter / splitter / joiner graph used by the scheduler.
+
+    Pipelines chain their children; split-joins introduce an explicit
+    splitter and joiner node; feedback loops introduce a 2-way joiner and a
+    2-way round-robin splitter with the delay tokens placed on the
+    loop-back edge.
+
+    Peeking filters receive [peek - pop] zero-valued initial tokens on
+    their input edge — the zero-history initialization StreamIt performs
+    with an init schedule — so that every steady state is self-contained
+    and the graph never deadlocks under a single-appearance schedule. *)
+
+val flatten : Ast.stream -> Graph.t
+(** @raise Failure on structurally invalid streams (e.g. a pipeline child
+    produces no output but its successor expects input). *)

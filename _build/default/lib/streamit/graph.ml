@@ -1,0 +1,239 @@
+type node_kind =
+  | NFilter of Kernel.filter
+  | NSplitter of Ast.splitter * int
+  | NJoiner of int list
+
+type node = { id : int; name : string; kind : node_kind }
+
+type edge = {
+  src : int;
+  src_port : int;
+  dst : int;
+  dst_port : int;
+  init_tokens : int;
+  init_values : Types.value list;
+}
+
+type t = {
+  nodes : node array;
+  edges : edge list;
+  entry : int option;
+  exit_ : int option;
+}
+
+let num_nodes g = Array.length g.nodes
+
+let node g i =
+  if i < 0 || i >= num_nodes g then invalid_arg "Graph.node: bad id";
+  g.nodes.(i)
+
+let name g i = (node g i).name
+let in_edges g i = List.filter (fun e -> e.dst = i) g.edges
+let out_edges g i = List.filter (fun e -> e.src = i) g.edges
+
+let production g e =
+  match (node g e.src).kind with
+  | NFilter f -> f.Kernel.push_rate
+  | NSplitter (Ast.Duplicate, _) -> 1
+  | NSplitter (Ast.Round_robin ws, _) -> List.nth ws e.src_port
+  | NJoiner ws -> List.fold_left ( + ) 0 ws
+
+let consumption g e =
+  match (node g e.dst).kind with
+  | NFilter f -> f.Kernel.pop_rate
+  | NSplitter (Ast.Duplicate, _) -> 1
+  | NSplitter (Ast.Round_robin ws, _) -> List.fold_left ( + ) 0 ws
+  | NJoiner ws -> List.nth ws e.dst_port
+
+let peek_margin g e =
+  match (node g e.dst).kind with
+  | NFilter f -> f.Kernel.peek_rate - f.Kernel.pop_rate
+  | _ -> 0
+
+let pop_rate_of n =
+  match n.kind with
+  | NFilter f -> f.Kernel.pop_rate
+  | NSplitter (Ast.Duplicate, _) -> 1
+  | NSplitter (Ast.Round_robin ws, _) -> List.fold_left ( + ) 0 ws
+  | NJoiner ws -> List.fold_left ( + ) 0 ws
+
+let push_rate_of n =
+  match n.kind with
+  | NFilter f -> f.Kernel.push_rate
+  | NSplitter (Ast.Duplicate, k) -> k
+  | NSplitter (Ast.Round_robin ws, _) -> List.fold_left ( + ) 0 ws
+  | NJoiner ws -> List.fold_left ( + ) 0 ws
+
+let in_arity n =
+  match n.kind with
+  | NFilter _ | NSplitter _ -> 1
+  | NJoiner ws -> List.length ws
+
+let out_arity n =
+  match n.kind with
+  | NFilter _ | NJoiner _ -> 1
+  | NSplitter (_, k) -> k
+
+let entry_pop g =
+  match g.entry with
+  | None -> 0
+  | Some i -> pop_rate_of (node g i)
+
+let exit_push g =
+  match g.exit_ with
+  | None -> 0
+  | Some i -> push_rate_of (node g i)
+
+let sources g =
+  List.filter (fun i -> in_edges g i = []) (List.init (num_nodes g) Fun.id)
+
+let sinks g =
+  List.filter (fun i -> out_edges g i = []) (List.init (num_nodes g) Fun.id)
+
+(* Kahn's algorithm over "strict" edges: an edge only constrains the order
+   when its initial tokens cannot cover one firing of the consumer
+   (consumption plus peek margin).  Feedback-loop delay edges typically
+   carry enough tokens and therefore break their cycle. *)
+let topo_order g =
+  let n = num_nodes g in
+  let indeg = Array.make n 0 in
+  let strict =
+    List.filter
+      (fun e -> e.init_tokens < consumption g e + peek_margin g e)
+      g.edges
+  in
+  List.iter (fun e -> indeg.(e.dst) <- indeg.(e.dst) + 1) strict;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    List.iter
+      (fun e ->
+        if e.src = i then begin
+          indeg.(e.dst) <- indeg.(e.dst) - 1;
+          if indeg.(e.dst) = 0 then Queue.add e.dst queue
+        end)
+      strict
+  done;
+  let order = List.rev !order in
+  if List.length order <> n then
+    failwith "Graph.topo_order: zero-delay cycle (deadlocked graph)";
+  order
+
+let is_acyclic g =
+  let n = num_nodes g in
+  let indeg = Array.make n 0 in
+  List.iter (fun e -> indeg.(e.dst) <- indeg.(e.dst) + 1) g.edges;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr seen;
+    List.iter
+      (fun e ->
+        if e.src = i then begin
+          indeg.(e.dst) <- indeg.(e.dst) - 1;
+          if indeg.(e.dst) = 0 then Queue.add e.dst queue
+        end)
+      g.edges
+  done;
+  !seen = n
+
+let validate g =
+  let n = num_nodes g in
+  let err = ref None in
+  let fail m = if !err = None then err := Some m in
+  Array.iteri
+    (fun i nd -> if nd.id <> i then fail (nd.name ^ ": id/index mismatch"))
+    g.nodes;
+  List.iter
+    (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+        fail "edge endpoint out of range"
+      else begin
+        if e.src_port < 0 || e.src_port >= out_arity (node g e.src) then
+          fail (name g e.src ^ ": bad source port");
+        if e.dst_port < 0 || e.dst_port >= in_arity (node g e.dst) then
+          fail (name g e.dst ^ ": bad destination port");
+        if e.init_tokens < 0 then fail "negative initial tokens";
+        if List.length e.init_values <> e.init_tokens then
+          fail "init_values length does not match init_tokens"
+      end)
+    g.edges;
+  (* every port connected at most once; output ports of non-sink nodes
+     connected exactly once *)
+  let seen_out = Hashtbl.create 16 and seen_in = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let ko = (e.src, e.src_port) and ki = (e.dst, e.dst_port) in
+      if Hashtbl.mem seen_out ko then
+        fail (name g e.src ^ ": output port connected twice");
+      if Hashtbl.mem seen_in ki then
+        fail (name g e.dst ^ ": input port connected twice");
+      Hashtbl.replace seen_out ko ();
+      Hashtbl.replace seen_in ki ())
+    g.edges;
+  (* splitters and joiners must have all ports wired; the entry node's
+     input port 0 reads the external host stream and the exit node's
+     output port 0 writes it, so those are exempt *)
+  Array.iter
+    (fun nd ->
+      match nd.kind with
+      | NSplitter (_, k) ->
+        for p = 0 to k - 1 do
+          if
+            (not (Hashtbl.mem seen_out (nd.id, p)))
+            && not (g.exit_ = Some nd.id && p = 0)
+          then fail (nd.name ^ ": splitter output port unconnected")
+        done
+      | NJoiner ws ->
+        List.iteri
+          (fun p _ ->
+            if
+              (not (Hashtbl.mem seen_in (nd.id, p)))
+              && not (g.entry = Some nd.id && p = 0)
+            then fail (nd.name ^ ": joiner input port unconnected"))
+          ws
+      | NFilter _ -> ())
+    g.nodes;
+  (match g.entry with
+  | Some i when i < 0 || i >= n -> fail "entry out of range"
+  | _ -> ());
+  (match g.exit_ with
+  | Some i when i < 0 || i >= n -> fail "exit out of range"
+  | _ -> ());
+  match !err with None -> Ok () | Some m -> Error m
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph (%d nodes, %d edges)" (num_nodes g)
+    (List.length g.edges);
+  Array.iter
+    (fun nd ->
+      let kind =
+        match nd.kind with
+        | NFilter f ->
+          Printf.sprintf "filter pop=%d push=%d peek=%d" f.Kernel.pop_rate
+            f.Kernel.push_rate f.Kernel.peek_rate
+        | NSplitter (Ast.Duplicate, k) -> Printf.sprintf "duplicate(%d)" k
+        | NSplitter (Ast.Round_robin ws, _) ->
+          "split_rr(" ^ String.concat "," (List.map string_of_int ws) ^ ")"
+        | NJoiner ws ->
+          "join_rr(" ^ String.concat "," (List.map string_of_int ws) ^ ")"
+      in
+      Format.fprintf fmt "@,  [%d] %s : %s" nd.id nd.name kind)
+    g.nodes;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "@,  %d.%d -> %d.%d%s" e.src e.src_port e.dst
+        e.dst_port
+        (if e.init_tokens > 0 then Printf.sprintf " (init %d)" e.init_tokens
+         else ""))
+    g.edges;
+  Format.fprintf fmt "@]"

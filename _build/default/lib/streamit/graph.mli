@@ -1,0 +1,89 @@
+(** Flattened stream graph: filters plus explicit splitter / joiner nodes
+    connected by FIFO edges.
+
+    This is the representation the SDF rate solver, the schedulers and the
+    code generator all consume.  Multi-output (splitter) and multi-input
+    (joiner) nodes address their channels through ports; filters always use
+    port 0.
+
+    A graph may have a distinguished {e entry} node that consumes the
+    program's external input stream (supplied by the host through device
+    memory — the "very first input buffer" whose layout Sec. IV-D shuffles)
+    and an {e exit} node whose pushes form the program output. *)
+
+type node_kind =
+  | NFilter of Kernel.filter
+  | NSplitter of Ast.splitter * int  (** branch count *)
+  | NJoiner of int list              (** per-branch weights *)
+
+type node = { id : int; name : string; kind : node_kind }
+
+type edge = {
+  src : int;
+  src_port : int;
+  dst : int;
+  dst_port : int;
+  init_tokens : int;  (** tokens present before the first steady state *)
+  init_values : Types.value list;
+      (** the actual initial tokens (length = [init_tokens]): feedback-loop
+          delay values, or zero history for peeking filters *)
+}
+
+type t = {
+  nodes : node array;
+  edges : edge list;
+  entry : int option;  (** node reading the external input stream *)
+  exit_ : int option;  (** node producing the external output stream *)
+}
+
+(** {1 Queries} *)
+
+val num_nodes : t -> int
+val node : t -> int -> node
+val name : t -> int -> string
+val in_edges : t -> int -> edge list
+val out_edges : t -> int -> edge list
+
+val production : t -> edge -> int
+(** [O_uv]: tokens pushed onto this edge per firing of [src]. *)
+
+val consumption : t -> edge -> int
+(** [I_uv]: tokens popped from this edge per firing of [dst]. *)
+
+val peek_margin : t -> edge -> int
+(** [peek - pop] of the destination when it is a peeking filter reading
+    this edge, else 0.  The dependence constraints treat this as a
+    reduction of the initial tokens available on the edge. *)
+
+val pop_rate_of : node -> int
+(** Total tokens consumed per firing, summed over input ports. *)
+
+val push_rate_of : node -> int
+val in_arity : node -> int
+val out_arity : node -> int
+
+val entry_pop : t -> int
+(** Tokens of external input consumed per firing of the entry node
+    (0 when there is no entry). *)
+
+val exit_push : t -> int
+
+val sources : t -> int list
+(** Nodes with no in-edges (excluding external input). *)
+
+val sinks : t -> int list
+val topo_order : t -> int list
+(** Topological order ignoring edges that carry enough initial tokens to
+    break the cycle (feedback-loop back edges).
+    @raise Failure on a graph whose zero-token edges form a cycle. *)
+
+val is_acyclic : t -> bool
+(** True when the graph has no cycles at all (even through initialised
+    edges). *)
+
+val validate : t -> (unit, string) result
+(** Port-consistency checks: every port connected at most once, splitter
+    and joiner ports fully wired, edge endpoints and entry/exit in range,
+    initial-token values matching their counts. *)
+
+val pp : Format.formatter -> t -> unit

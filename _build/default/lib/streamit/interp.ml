@@ -1,0 +1,351 @@
+open Types
+
+exception Firing_violation of string
+
+(* Channels are keyed by (dst, dst_port) for pops and looked up per edge
+   for pushes; each edge owns exactly one FIFO. *)
+module EKey = struct
+  type t = int * int * int * int
+
+  let of_edge (e : Graph.edge) = (e.src, e.src_port, e.dst, e.dst_port)
+end
+
+type t = {
+  graph : Graph.t;
+  chans : (EKey.t, value Fifo.t) Hashtbl.t;
+  node_state : (int, (string * value array) list) Hashtbl.t;
+      (* persistent per-node copies of stateful filters' state arrays *)
+  mutable out_tape : value list; (* reversed *)
+  mutable out_count : int;
+  mutable in_cursor : int;
+}
+
+let channel t e = Hashtbl.find t.chans (EKey.of_edge e)
+
+let fresh_state g =
+  let node_state = Hashtbl.create 8 in
+  Array.iter
+    (fun (nd : Graph.node) ->
+      match nd.Graph.kind with
+      | Graph.NFilter f when Kernel.is_stateful f ->
+        Hashtbl.replace node_state nd.Graph.id
+          (List.map (fun (n, a) -> (n, Array.copy a)) f.Kernel.state)
+      | _ -> ())
+    g.Graph.nodes;
+  node_state
+
+let create g =
+  let chans = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Graph.edge) ->
+      let q = Fifo.create () in
+      Fifo.push_many q e.init_values;
+      Hashtbl.replace chans (EKey.of_edge e) q)
+    g.Graph.edges;
+  {
+    graph = g;
+    chans;
+    node_state = fresh_state g;
+    out_tape = [];
+    out_count = 0;
+    in_cursor = 0;
+  }
+
+let reset t =
+  List.iter
+    (fun (e : Graph.edge) ->
+      let q = channel t e in
+      Fifo.clear q;
+      Fifo.push_many q e.init_values)
+    t.graph.Graph.edges;
+  Hashtbl.reset t.node_state;
+  Hashtbl.iter (Hashtbl.replace t.node_state) (fresh_state t.graph |> fun h -> h);
+  t.out_tape <- [];
+  t.out_count <- 0;
+  t.in_cursor <- 0
+
+(* --- value arithmetic --- *)
+
+let as_int v = Types.to_int v
+let truthy v = match v with VInt 0 -> false | VInt _ -> true | VFloat f -> f <> 0.0
+
+let eval_unop op v =
+  match (op, v) with
+  | Kernel.Neg, VInt n -> VInt (-n)
+  | Kernel.Neg, VFloat f -> VFloat (-.f)
+  | Kernel.Not, v -> VInt (if truthy v then 0 else 1)
+  | Kernel.BitNot, VInt n -> VInt (lnot n)
+  | Kernel.BitNot, VFloat _ -> failwith "bitnot on float"
+  | Kernel.Sin, v -> VFloat (sin (to_float v))
+  | Kernel.Cos, v -> VFloat (cos (to_float v))
+  | Kernel.Sqrt, v -> VFloat (sqrt (to_float v))
+  | Kernel.Exp, v -> VFloat (exp (to_float v))
+  | Kernel.Log, v -> VFloat (log (to_float v))
+  | Kernel.Abs, VInt n -> VInt (abs n)
+  | Kernel.Abs, VFloat f -> VFloat (Float.abs f)
+  | Kernel.ToFloat, v -> VFloat (to_float v)
+  | Kernel.ToInt, VInt n -> VInt n
+  | Kernel.ToInt, VFloat f -> VInt (int_of_float f)
+
+let eval_binop op a b =
+  let bool_ c = VInt (if c then 1 else 0) in
+  let float_op f =
+    match (a, b) with
+    | VInt _, VInt _ -> None
+    | _ -> Some (f (to_float a) (to_float b))
+  in
+  match op with
+  | Kernel.Add -> (
+    match float_op ( +. ) with
+    | Some f -> VFloat f
+    | None -> VInt (as_int a + as_int b))
+  | Kernel.Sub -> (
+    match float_op ( -. ) with
+    | Some f -> VFloat f
+    | None -> VInt (as_int a - as_int b))
+  | Kernel.Mul -> (
+    match float_op ( *. ) with
+    | Some f -> VFloat f
+    | None -> VInt (as_int a * as_int b))
+  | Kernel.Div -> (
+    match float_op ( /. ) with
+    | Some f -> VFloat f
+    | None ->
+      let d = as_int b in
+      if d = 0 then failwith "integer division by zero" else VInt (as_int a / d))
+  | Kernel.Mod ->
+    let d = as_int b in
+    if d = 0 then failwith "modulo by zero" else VInt (as_int a mod d)
+  | Kernel.BitAnd -> VInt (as_int a land as_int b)
+  | Kernel.BitOr -> VInt (as_int a lor as_int b)
+  | Kernel.BitXor -> VInt (as_int a lxor as_int b)
+  | Kernel.Shl -> VInt (as_int a lsl as_int b)
+  | Kernel.Shr -> VInt (as_int a lsr as_int b)
+  | Kernel.Eq -> bool_ (to_float a = to_float b)
+  | Kernel.Ne -> bool_ (to_float a <> to_float b)
+  | Kernel.Lt -> bool_ (to_float a < to_float b)
+  | Kernel.Le -> bool_ (to_float a <= to_float b)
+  | Kernel.Gt -> bool_ (to_float a > to_float b)
+  | Kernel.Ge -> bool_ (to_float a >= to_float b)
+  | Kernel.Min -> (
+    match float_op Float.min with
+    | Some f -> VFloat f
+    | None -> VInt (min (as_int a) (as_int b)))
+  | Kernel.Max -> (
+    match float_op Float.max with
+    | Some f -> VFloat f
+    | None -> VInt (max (as_int a) (as_int b)))
+
+(* --- work-function execution --- *)
+
+type io = {
+  pop : unit -> value;
+  peek : int -> value;
+  push : value -> unit;
+}
+
+let exec_work ?(state = []) (f : Kernel.filter) (io : io) =
+  let scalars : (string, value) Hashtbl.t = Hashtbl.create 8 in
+  let arrays : (string, value array) Hashtbl.t = Hashtbl.create 4 in
+  (* persistent state arrays are pre-bound (by reference, so mutations
+     survive the firing) *)
+  List.iter (fun (n, a) -> Hashtbl.replace arrays n a) state;
+  let tables = f.Kernel.tables in
+  let rec eval e =
+    match e with
+    | Kernel.Const v -> v
+    | Kernel.Var x -> (
+      match Hashtbl.find_opt scalars x with
+      | Some v -> v
+      | None -> failwith ("unbound variable " ^ x))
+    | Kernel.ArrayRef (a, i) -> (
+      let idx = as_int (eval i) in
+      match Hashtbl.find_opt arrays a with
+      | Some arr ->
+        if idx < 0 || idx >= Array.length arr then
+          failwith (Printf.sprintf "array %s index %d out of bounds" a idx)
+        else arr.(idx)
+      | None -> failwith ("unbound array " ^ a))
+    | Kernel.TableRef (tname, i) -> (
+      let idx = as_int (eval i) in
+      match List.assoc_opt tname tables with
+      | Some arr ->
+        if idx < 0 || idx >= Array.length arr then
+          failwith (Printf.sprintf "table %s index %d out of bounds" tname idx)
+        else arr.(idx)
+      | None -> failwith ("unknown table " ^ tname))
+    | Kernel.Pop -> io.pop ()
+    | Kernel.Peek d -> io.peek (as_int (eval d))
+    | Kernel.Unop (op, e) -> eval_unop op (eval e)
+    | Kernel.Binop (op, a, b) ->
+      let va = eval a in
+      let vb = eval b in
+      eval_binop op va vb
+    | Kernel.Cond (c, a, b) -> if truthy (eval c) then eval a else eval b
+  in
+  let rec exec s =
+    match s with
+    | Kernel.Let (x, e) | Kernel.Assign (x, e) ->
+      Hashtbl.replace scalars x (eval e)
+    | Kernel.DeclArray (a, n) ->
+      Hashtbl.replace arrays a (Array.make n (zero_of f.Kernel.out_ty))
+    | Kernel.ArrayAssign (a, i, e) -> (
+      let idx = as_int (eval i) in
+      let v = eval e in
+      match Hashtbl.find_opt arrays a with
+      | Some arr ->
+        if idx < 0 || idx >= Array.length arr then
+          failwith (Printf.sprintf "array %s index %d out of bounds" a idx)
+        else arr.(idx) <- v
+      | None -> failwith ("unbound array " ^ a))
+    | Kernel.Push e -> io.push (eval e)
+    | Kernel.If (c, th, el) ->
+      if truthy (eval c) then List.iter exec th else List.iter exec el
+    | Kernel.For (x, lo, hi, body) ->
+      let l = as_int (eval lo) and h = as_int (eval hi) in
+      for i = l to h - 1 do
+        Hashtbl.replace scalars x (VInt i);
+        List.iter exec body
+      done
+  in
+  List.iter exec f.Kernel.work
+
+(* --- firing --- *)
+
+let fire t ~input v =
+  let g = t.graph in
+  let nd = Graph.node g v in
+  let ins = Graph.in_edges g v in
+  let outs = Graph.out_edges g v in
+  let is_entry = g.Graph.entry = Some v in
+  let is_exit = g.Graph.exit_ = Some v in
+  (* firing-rule check on internal channels *)
+  List.iter
+    (fun e ->
+      let need = Graph.consumption g e + Graph.peek_margin g e in
+      if Fifo.length (channel t e) < need then
+        raise
+          (Firing_violation
+             (Printf.sprintf "node %s needs %d tokens, has %d" nd.name need
+                (Fifo.length (channel t e)))))
+    ins;
+  let pop_external () =
+    let v = input t.in_cursor in
+    t.in_cursor <- t.in_cursor + 1;
+    v
+  in
+  let push_external v =
+    t.out_tape <- v :: t.out_tape;
+    t.out_count <- t.out_count + 1
+  in
+  match nd.kind with
+  | Graph.NFilter f ->
+    let in_chan = match ins with [ e ] -> Some (channel t e) | _ -> None in
+    let out_chan = match outs with [ e ] -> Some (channel t e) | _ -> None in
+    let pop () =
+      match in_chan with
+      | Some q -> Fifo.pop q
+      | None ->
+        if is_entry then pop_external ()
+        else raise (Firing_violation (nd.name ^ ": pop with no input channel"))
+    in
+    let peek n =
+      match in_chan with
+      | Some q -> Fifo.peek q n
+      | None ->
+        if is_entry then input (t.in_cursor + n)
+        else raise (Firing_violation (nd.name ^ ": peek with no input channel"))
+    in
+    let push v =
+      match out_chan with
+      | Some q -> Fifo.push q v
+      | None ->
+        if is_exit then push_external v
+        else raise (Firing_violation (nd.name ^ ": push with no output channel"))
+    in
+    let state =
+      match Hashtbl.find_opt t.node_state v with Some s -> s | None -> []
+    in
+    exec_work ~state f { pop; peek; push }
+  | Graph.NSplitter (sp, k) -> (
+    let in_q =
+      match ins with
+      | [ e ] -> `Chan (channel t e)
+      | [] when is_entry -> `External
+      | _ -> raise (Firing_violation (nd.name ^ ": splitter input missing"))
+    in
+    let take () =
+      match in_q with `Chan q -> Fifo.pop q | `External -> pop_external ()
+    in
+    let out_q p =
+      match List.find_opt (fun (e : Graph.edge) -> e.src_port = p) outs with
+      | Some e -> channel t e
+      | None -> raise (Firing_violation (nd.name ^ ": splitter port unwired"))
+    in
+    match sp with
+    | Ast.Duplicate ->
+      let v = take () in
+      for p = 0 to k - 1 do
+        Fifo.push (out_q p) v
+      done
+    | Ast.Round_robin ws ->
+      List.iteri
+        (fun p w ->
+          for _ = 1 to w do
+            Fifo.push (out_q p) (take ())
+          done)
+        ws)
+  | Graph.NJoiner ws ->
+    let in_q p =
+      match List.find_opt (fun (e : Graph.edge) -> e.dst_port = p) ins with
+      | Some e -> channel t e
+      | None -> raise (Firing_violation (nd.name ^ ": joiner port unwired"))
+    in
+    let out =
+      match outs with
+      | [ e ] -> `Chan (channel t e)
+      | [] when is_exit -> `External
+      | _ -> raise (Firing_violation (nd.name ^ ": joiner output missing"))
+    in
+    let put v =
+      match out with `Chan q -> Fifo.push q v | `External -> push_external v
+    in
+    List.iteri
+      (fun p w ->
+        for _ = 1 to w do
+          put (Fifo.pop (in_q p))
+        done)
+      ws
+
+let run_schedule t ~input firings = List.iter (fire t ~input) firings
+
+let output t = List.rev t.out_tape
+let output_count t = t.out_count
+let input_consumed t = t.in_cursor
+
+let channel_occupancy t =
+  List.map
+    (fun (e : Graph.edge) -> (e, Fifo.length (channel t e)))
+    t.graph.Graph.edges
+
+let run_steady_states g ~input ~iters =
+  match Sdf.steady_state g with
+  | Error m -> failwith ("Interp.run_steady_states: " ^ m)
+  | Ok rates ->
+    let sched = Schedule.min_latency g rates in
+    let t = create g in
+    for _ = 1 to iters do
+      run_schedule t ~input sched
+    done;
+    output t
+
+let exec_filter_firing ?state f ~pop ~peek ~push =
+  exec_work ?state f { pop; peek; push }
+
+let work_of_firing t v =
+  let nd = Graph.node t.graph v in
+  match nd.kind with
+  | Graph.NFilter f -> Kernel.cost_of_filter f
+  | Graph.NSplitter _ | Graph.NJoiner _ ->
+    let moved = Graph.push_rate_of nd + Graph.pop_rate_of nd in
+    { Kernel.zero_cost with channel = moved; alu = moved }

@@ -1,0 +1,61 @@
+(** Reference interpreter for flattened stream graphs.
+
+    Executes work functions token-by-token over real FIFO channels.  This
+    is the semantic ground truth of the whole reproduction: the GPU
+    simulator's buffer-layout execution (Sec. IV-D index maps) is checked
+    for bit-identical output against this interpreter, and it doubles as
+    the "single-threaded CPU" side of the paper's speedup definition
+    (timed through {!Gpusim.Cpu_model}'s cost accounting, not wall clock).
+
+    External input is supplied as a function from token index to value (an
+    infinite tape); program output is collected from the exit node. *)
+
+open Types
+
+type t
+
+val create : Graph.t -> t
+(** Initialises channel FIFOs with their [init_values]. *)
+
+val reset : t -> unit
+
+exception Firing_violation of string
+
+val fire : t -> input:(int -> value) -> int -> unit
+(** [fire t ~input v] executes one firing of node [v].
+    @raise Firing_violation if the firing rule is not satisfied. *)
+
+val run_schedule : t -> input:(int -> value) -> Schedule.firing list -> unit
+(** Fires a full sequence (e.g. one steady state). *)
+
+val run_steady_states :
+  Graph.t -> input:(int -> value) -> iters:int -> value list
+(** Convenience: create, run [iters] steady states with a demand-driven
+    schedule, return the collected output tape (head first). *)
+
+val output : t -> value list
+(** Output tokens produced so far by the exit node (head first). *)
+
+val output_count : t -> int
+val input_consumed : t -> int
+
+val channel_occupancy : t -> (Graph.edge * int) list
+(** Current token count per edge — for invariant tests (steady state must
+    restore the initial occupancy). *)
+
+val work_of_firing : t -> int -> Kernel.op_cost
+(** Static per-firing cost of a node (splitters/joiners count one channel
+    op per token moved); used by the CPU cost model. *)
+
+val exec_filter_firing :
+  ?state:(string * value array) list ->
+  Kernel.filter ->
+  pop:(unit -> value) ->
+  peek:(int -> value) ->
+  push:(value -> unit) ->
+  unit
+(** Executes one firing of a filter's work function against caller-provided
+    channel primitives.  This is the single evaluator shared by the FIFO
+    interpreter and the device-buffer functional simulator
+    ({!Swp_core.Funcsim}), which guarantees the two backends agree on
+    work-function semantics by construction. *)

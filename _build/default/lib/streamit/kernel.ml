@@ -1,0 +1,550 @@
+open Types
+
+type unop =
+  | Neg
+  | Not
+  | BitNot
+  | Sin
+  | Cos
+  | Sqrt
+  | Exp
+  | Log
+  | Abs
+  | ToFloat
+  | ToInt
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | BitAnd | BitOr | BitXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Min | Max
+
+type expr =
+  | Const of value
+  | Var of string
+  | ArrayRef of string * expr
+  | TableRef of string * expr
+  | Pop
+  | Peek of expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cond of expr * expr * expr
+
+type stmt =
+  | Let of string * expr
+  | Assign of string * expr
+  | DeclArray of string * int
+  | ArrayAssign of string * expr * expr
+  | Push of expr
+  | If of expr * stmt list * stmt list
+  | For of string * expr * expr * stmt list
+
+type filter = {
+  name : string;
+  pop_rate : int;
+  push_rate : int;
+  peek_rate : int;
+  in_ty : elem_ty;
+  out_ty : elem_ty;
+  tables : (string * value array) list;
+  state : (string * value array) list;
+  work : stmt list;
+}
+
+let make_filter ~name ?(pop = 0) ?(push = 0) ?peek ?(in_ty = TFloat)
+    ?(out_ty = TFloat) ?(tables = []) ?(state = []) work =
+  let peek = match peek with Some p -> p | None -> pop in
+  if pop < 0 || push < 0 then invalid_arg "Kernel.make_filter: negative rate";
+  if peek < pop then invalid_arg "Kernel.make_filter: peek < pop";
+  { name; pop_rate = pop; push_rate = push; peek_rate = peek; in_ty; out_ty;
+    tables; state; work }
+
+let is_peeking f = f.peek_rate > f.pop_rate
+let is_stateful f = f.state <> []
+let is_source f = f.pop_rate = 0
+let is_sink f = f.push_rate = 0
+
+let identity ?(ty = TFloat) () =
+  make_filter ~name:"Identity" ~pop:1 ~push:1 ~in_ty:ty ~out_ty:ty [ Push Pop ]
+
+(* --- constant folding used by rate inference for loop bounds --- *)
+
+let rec const_int env = function
+  | Const (VInt n) -> Some n
+  | Var x -> List.assoc_opt x env
+  | Unop (Neg, e) -> Option.map (fun n -> -n) (const_int env e)
+  | Binop (op, a, b) -> (
+    match (const_int env a, const_int env b) with
+    | Some a, Some b -> (
+      match op with
+      | Add -> Some (a + b)
+      | Sub -> Some (a - b)
+      | Mul -> Some (a * b)
+      | Div -> if b = 0 then None else Some (a / b)
+      | Mod -> if b = 0 then None else Some (a mod b)
+      | Shl -> Some (a lsl b)
+      | Shr -> Some (a lsr b)
+      | BitAnd -> Some (a land b)
+      | BitOr -> Some (a lor b)
+      | BitXor -> Some (a lxor b)
+      | Min -> Some (min a b)
+      | Max -> Some (max a b)
+      | Eq | Ne | Lt | Le | Gt | Ge -> None)
+    | _ -> None)
+  | _ -> None
+
+(* --- rate inference --- *)
+
+exception Not_static of string
+
+let infer_rates body =
+  (* env maps loop/let variables with statically-known integer values. *)
+  let rec expr_counts env e =
+    (* returns (pops, pushes=0, max_peek_excl) for an expression *)
+    match e with
+    | Const _ | Var _ -> (0, 0)
+    | Pop -> (1, 0)
+    | Peek d ->
+      let p, pk = expr_counts env d in
+      let depth =
+        match const_int env d with
+        | Some n -> n + 1
+        | None -> raise (Not_static "peek with non-constant depth")
+      in
+      (p, max pk depth)
+    | ArrayRef (_, e) | TableRef (_, e) | Unop (_, e) -> expr_counts env e
+    | Binop (_, a, b) ->
+      let pa, ka = expr_counts env a in
+      let pb, kb = expr_counts env b in
+      (pa + pb, max ka kb)
+    | Cond (c, a, b) ->
+      let pc, kc = expr_counts env c in
+      let pa, ka = expr_counts env a in
+      let pb, kb = expr_counts env b in
+      if pa <> pb then raise (Not_static "conditional arms pop unequally");
+      (pc + pa, max kc (max ka kb))
+  in
+  let rec stmt_counts env s =
+    (* returns (pops, pushes, max_peek, env') *)
+    match s with
+    | Let (x, e) ->
+      let p, k = expr_counts env e in
+      let env =
+        match const_int env e with
+        | Some n when p = 0 -> (x, n) :: env
+        | _ -> List.remove_assoc x env
+      in
+      (p, 0, k, env)
+    | Assign (x, e) ->
+      let p, k = expr_counts env e in
+      let env =
+        match const_int env e with
+        | Some n when p = 0 -> (x, n) :: List.remove_assoc x env
+        | _ -> List.remove_assoc x env
+      in
+      (p, 0, k, env)
+    | DeclArray _ -> (0, 0, 0, env)
+    | ArrayAssign (_, i, e) ->
+      let pi, ki = expr_counts env i in
+      let pe, ke = expr_counts env e in
+      (pi + pe, 0, max ki ke, env)
+    | Push e ->
+      let p, k = expr_counts env e in
+      (p, 1, k, env)
+    | If (c, th, el) ->
+      let pc, kc = expr_counts env c in
+      let pt, ut, kt = block_counts env th in
+      let pe, ue, ke = block_counts env el in
+      if pt <> pe then raise (Not_static "if branches pop unequally");
+      if ut <> ue then raise (Not_static "if branches push unequally");
+      (pc + pt, ut, max kc (max kt ke), env)
+    | For (x, lo, hi, body) -> (
+      let plo, klo = expr_counts env lo in
+      let phi, khi = expr_counts env hi in
+      if plo + phi > 0 then raise (Not_static "loop bound pops");
+      let pb, ub, kb = block_counts ((x, 0) :: env) body in
+      if pb = 0 && ub = 0 then
+        (* No channel traffic in the body: trip count irrelevant for
+           rates; peek depth may still depend on the index, use the body
+           analysed with unknown index. *)
+        (0, 0, max (max klo khi) kb, env)
+      else
+        match (const_int env lo, const_int env hi) with
+        | Some l, Some h ->
+          let trips = max 0 (h - l) in
+          (* Peek depth may grow with the index; analyse the body at the
+             last iteration for a sound-enough bound. *)
+          let _, _, klast = block_counts ((x, max l (h - 1)) :: env) body in
+          (pb * trips, ub * trips, max (max klo khi) klast, env)
+        | _ -> raise (Not_static "channel traffic under non-constant loop"))
+  and block_counts env stmts =
+    let p, u, k, _ =
+      List.fold_left
+        (fun (p, u, k, env) s ->
+          let ps, us, ks, env = stmt_counts env s in
+          (p + ps, u + us, max k ks, env))
+        (0, 0, 0, env) stmts
+    in
+    (p, u, k)
+  in
+  try
+    let p, u, k = block_counts [] body in
+    Ok (p, u, max k p)
+  with Not_static msg -> Error msg
+
+(* --- scope / reference checking --- *)
+
+let check_filter f =
+  let table_names = List.map fst f.tables in
+  let err = ref None in
+  let fail m = if !err = None then err := Some m in
+  let rec chk_expr scope arrays = function
+    | Const _ | Pop -> ()
+    | Var x -> if not (List.mem x scope) then fail ("unbound variable " ^ x)
+    | ArrayRef (a, e) ->
+      if not (List.mem a arrays) then fail ("unbound array " ^ a);
+      chk_expr scope arrays e
+    | TableRef (t, e) ->
+      if not (List.mem t table_names) then fail ("unknown table " ^ t);
+      chk_expr scope arrays e
+    | Peek e | Unop (_, e) -> chk_expr scope arrays e
+    | Binop (_, a, b) ->
+      chk_expr scope arrays a;
+      chk_expr scope arrays b
+    | Cond (c, a, b) ->
+      chk_expr scope arrays c;
+      chk_expr scope arrays a;
+      chk_expr scope arrays b
+  in
+  let rec chk_stmt scope arrays = function
+    | Let (x, e) ->
+      chk_expr scope arrays e;
+      (x :: scope, arrays)
+    | Assign (x, e) ->
+      if not (List.mem x scope) then fail ("assignment to unbound " ^ x);
+      chk_expr scope arrays e;
+      (scope, arrays)
+    | DeclArray (a, n) ->
+      if n <= 0 then fail ("non-positive array size for " ^ a);
+      (scope, a :: arrays)
+    | ArrayAssign (a, i, e) ->
+      if not (List.mem a arrays) then fail ("unbound array " ^ a);
+      chk_expr scope arrays i;
+      chk_expr scope arrays e;
+      (scope, arrays)
+    | Push e ->
+      chk_expr scope arrays e;
+      (scope, arrays)
+    | If (c, th, el) ->
+      chk_expr scope arrays c;
+      ignore (chk_block scope arrays th);
+      ignore (chk_block scope arrays el);
+      (scope, arrays)
+    | For (x, lo, hi, body) ->
+      chk_expr scope arrays lo;
+      chk_expr scope arrays hi;
+      ignore (chk_block (x :: scope) arrays body);
+      (scope, arrays)
+  and chk_block scope arrays stmts =
+    List.fold_left (fun (s, a) st -> chk_stmt s a st) (scope, arrays) stmts
+  in
+  ignore (chk_block [] (List.map fst f.state) f.work);
+  (match infer_rates f.work with
+  | Error m -> fail ("rate inference failed: " ^ m)
+  | Ok (p, u, k) ->
+    if p <> f.pop_rate then
+      fail (Printf.sprintf "declared pop %d but body pops %d" f.pop_rate p);
+    if u <> f.push_rate then
+      fail (Printf.sprintf "declared push %d but body pushes %d" f.push_rate u);
+    if k > f.peek_rate then
+      fail (Printf.sprintf "declared peek %d but body peeks %d" f.peek_rate k));
+  match !err with
+  | None -> Ok ()
+  | Some m -> Error (f.name ^ ": " ^ m)
+
+(* --- operation cost --- *)
+
+type op_cost = {
+  alu : int;
+  mul : int;
+  divmod : int;
+  special : int;
+  mem : int;
+  channel : int;
+}
+
+let zero_cost = { alu = 0; mul = 0; divmod = 0; special = 0; mem = 0; channel = 0 }
+
+let add_cost a b =
+  {
+    alu = a.alu + b.alu;
+    mul = a.mul + b.mul;
+    divmod = a.divmod + b.divmod;
+    special = a.special + b.special;
+    mem = a.mem + b.mem;
+    channel = a.channel + b.channel;
+  }
+
+let scale_cost n c =
+  {
+    alu = n * c.alu;
+    mul = n * c.mul;
+    divmod = n * c.divmod;
+    special = n * c.special;
+    mem = n * c.mem;
+    channel = n * c.channel;
+  }
+
+let max_cost a b =
+  {
+    alu = max a.alu b.alu;
+    mul = max a.mul b.mul;
+    divmod = max a.divmod b.divmod;
+    special = max a.special b.special;
+    mem = max a.mem b.mem;
+    channel = max a.channel b.channel;
+  }
+
+let cost_of_filter f =
+  let rec e_cost = function
+    | Const _ | Var _ -> zero_cost
+    | Pop -> { zero_cost with channel = 1 }
+    | Peek d -> add_cost { zero_cost with channel = 1 } (e_cost d)
+    | ArrayRef (_, i) | TableRef (_, i) ->
+      add_cost { zero_cost with mem = 1 } (e_cost i)
+    | Unop (op, e) ->
+      let self =
+        match op with
+        | Sin | Cos | Sqrt | Exp | Log -> { zero_cost with special = 1 }
+        | _ -> { zero_cost with alu = 1 }
+      in
+      add_cost self (e_cost e)
+    | Binop (op, a, b) ->
+      let self =
+        match op with
+        | Mul -> { zero_cost with mul = 1 }
+        | Div | Mod -> { zero_cost with divmod = 1 }
+        | _ -> { zero_cost with alu = 1 }
+      in
+      add_cost self (add_cost (e_cost a) (e_cost b))
+    | Cond (c, a, b) ->
+      add_cost
+        (add_cost { zero_cost with alu = 1 } (e_cost c))
+        (max_cost (e_cost a) (e_cost b))
+  in
+  let rec s_cost env = function
+    | Let (x, e) ->
+      let c = e_cost e in
+      let env =
+        match const_int env e with
+        | Some n -> (x, n) :: env
+        | None -> List.remove_assoc x env
+      in
+      (add_cost { zero_cost with alu = 1 } c, env)
+    | Assign (_, e) -> (add_cost { zero_cost with alu = 1 } (e_cost e), env)
+    | DeclArray (_, n) -> ({ zero_cost with mem = n / 4 }, env)
+    | ArrayAssign (_, i, e) ->
+      ( add_cost { zero_cost with mem = 1 } (add_cost (e_cost i) (e_cost e)),
+        env )
+    | Push e -> (add_cost { zero_cost with channel = 1 } (e_cost e), env)
+    | If (c, th, el) ->
+      ( add_cost
+          (add_cost { zero_cost with alu = 1 } (e_cost c))
+          (max_cost (block_cost env th) (block_cost env el)),
+        env )
+    | For (_, lo, hi, body) ->
+      let trips =
+        match (const_int env lo, const_int env hi) with
+        | Some l, Some h -> max 0 (h - l)
+        | _ -> 8 (* conservative default for data-dependent loops *)
+      in
+      let per = add_cost { zero_cost with alu = 2 } (block_cost env body) in
+      (add_cost (e_cost lo) (add_cost (e_cost hi) (scale_cost trips per)), env)
+  and block_cost env stmts =
+    let c, _ =
+      List.fold_left
+        (fun (acc, env) s ->
+          let cs, env = s_cost env s in
+          (add_cost acc cs, env))
+        (zero_cost, env) stmts
+    in
+    c
+  in
+  block_cost [] f.work
+
+(* --- register-pressure estimate --- *)
+
+let estimate_registers f =
+  let rec expr_depth = function
+    | Const _ | Var _ | Pop -> 1
+    | Peek e | Unop (_, e) | ArrayRef (_, e) | TableRef (_, e) ->
+      1 + expr_depth e
+    | Binop (_, a, b) -> 1 + max (expr_depth a) (expr_depth b)
+    | Cond (c, a, b) -> 1 + max (expr_depth c) (max (expr_depth a) (expr_depth b))
+  in
+  let scalars = Hashtbl.create 8 in
+  let arrays = ref 0 in
+  let depth = ref 0 in
+  let note_expr e = depth := max !depth (expr_depth e) in
+  let rec walk = function
+    | Let (x, e) ->
+      Hashtbl.replace scalars x ();
+      note_expr e
+    | Assign (_, e) -> note_expr e
+    | DeclArray (_, n) -> arrays := !arrays + min n 16
+    | ArrayAssign (_, i, e) ->
+      note_expr i;
+      note_expr e
+    | Push e -> note_expr e
+    | If (c, a, b) ->
+      note_expr c;
+      List.iter walk a;
+      List.iter walk b
+    | For (x, lo, hi, body) ->
+      Hashtbl.replace scalars x ();
+      note_expr lo;
+      note_expr hi;
+      List.iter walk body
+  in
+  List.iter walk f.work;
+  (* Base overhead mirrors CUDA's implicit thread/block index bookkeeping
+     plus buffer base pointers. *)
+  let est = 6 + Hashtbl.length scalars + !depth + !arrays in
+  max 4 (min 128 est)
+
+(* --- renaming --- *)
+
+let rename fn f =
+  let rec re = function
+    | Const _ as e -> e
+    | Var x -> Var (fn x)
+    | ArrayRef (a, e) -> ArrayRef (fn a, re e)
+    | TableRef (t, e) -> TableRef (fn t, re e)
+    | Pop -> Pop
+    | Peek e -> Peek (re e)
+    | Unop (op, e) -> Unop (op, re e)
+    | Binop (op, a, b) -> Binop (op, re a, re b)
+    | Cond (c, a, b) -> Cond (re c, re a, re b)
+  in
+  let rec rs = function
+    | Let (x, e) -> Let (fn x, re e)
+    | Assign (x, e) -> Assign (fn x, re e)
+    | DeclArray (a, n) -> DeclArray (fn a, n)
+    | ArrayAssign (a, i, e) -> ArrayAssign (fn a, re i, re e)
+    | Push e -> Push (re e)
+    | If (c, a, b) -> If (re c, List.map rs a, List.map rs b)
+    | For (x, lo, hi, body) -> For (fn x, re lo, re hi, List.map rs body)
+  in
+  {
+    f with
+    tables = List.map (fun (t, v) -> (fn t, v)) f.tables;
+    state = List.map (fun (t, v) -> (fn t, v)) f.state;
+    work = List.map rs f.work;
+  }
+
+(* --- pretty printing --- *)
+
+let string_of_unop = function
+  | Neg -> "-"
+  | Not -> "!"
+  | BitNot -> "~"
+  | Sin -> "sinf"
+  | Cos -> "cosf"
+  | Sqrt -> "sqrtf"
+  | Exp -> "expf"
+  | Log -> "logf"
+  | Abs -> "abs"
+  | ToFloat -> "(float)"
+  | ToInt -> "(int)"
+
+let string_of_binop = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | BitAnd -> "&"
+  | BitOr -> "|"
+  | BitXor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Min -> "min"
+  | Max -> "max"
+
+let rec pp_expr fmt = function
+  | Const v -> pp_value fmt v
+  | Var x -> Format.fprintf fmt "%s" x
+  | ArrayRef (a, e) -> Format.fprintf fmt "%s[%a]" a pp_expr e
+  | TableRef (t, e) -> Format.fprintf fmt "%s[%a]" t pp_expr e
+  | Pop -> Format.fprintf fmt "pop()"
+  | Peek e -> Format.fprintf fmt "peek(%a)" pp_expr e
+  | Unop (op, e) -> Format.fprintf fmt "%s(%a)" (string_of_unop op) pp_expr e
+  | Binop ((Min | Max) as op, a, b) ->
+    Format.fprintf fmt "%s(%a, %a)" (string_of_binop op) pp_expr a pp_expr b
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp_expr a (string_of_binop op) pp_expr b
+  | Cond (c, a, b) ->
+    Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+
+let rec pp_stmt fmt = function
+  | Let (x, e) -> Format.fprintf fmt "let %s = %a;" x pp_expr e
+  | Assign (x, e) -> Format.fprintf fmt "%s = %a;" x pp_expr e
+  | DeclArray (a, n) -> Format.fprintf fmt "array %s[%d];" a n
+  | ArrayAssign (a, i, e) ->
+    Format.fprintf fmt "%s[%a] = %a;" a pp_expr i pp_expr e
+  | Push e -> Format.fprintf fmt "push(%a);" pp_expr e
+  | If (c, th, el) ->
+    Format.fprintf fmt "@[<v 2>if (%a) {%a@]@,}" pp_expr c pp_block th;
+    if el <> [] then Format.fprintf fmt "@[<v 2> else {%a@]@,}" pp_block el
+  | For (x, lo, hi, body) ->
+    Format.fprintf fmt "@[<v 2>for %s in [%a, %a) {%a@]@,}" x pp_expr lo
+      pp_expr hi pp_block body
+
+and pp_block fmt stmts =
+  List.iter (fun s -> Format.fprintf fmt "@,%a" pp_stmt s) stmts
+
+let pp_filter fmt f =
+  Format.fprintf fmt "@[<v 2>filter %s (pop %d, push %d, peek %d) {%a@]@,}"
+    f.name f.pop_rate f.push_rate f.peek_rate pp_block f.work
+
+module Build = struct
+  let i n = Const (VInt n)
+  let f x = Const (VFloat x)
+  let v x = Var x
+  let ( +: ) a b = Binop (Add, a, b)
+  let ( -: ) a b = Binop (Sub, a, b)
+  let ( *: ) a b = Binop (Mul, a, b)
+  let ( /: ) a b = Binop (Div, a, b)
+  let ( %: ) a b = Binop (Mod, a, b)
+  let ( <: ) a b = Binop (Lt, a, b)
+  let ( <=: ) a b = Binop (Le, a, b)
+  let ( >: ) a b = Binop (Gt, a, b)
+  let ( >=: ) a b = Binop (Ge, a, b)
+  let ( =: ) a b = Binop (Eq, a, b)
+  let ( <>: ) a b = Binop (Ne, a, b)
+  let ( &: ) a b = Binop (BitAnd, a, b)
+  let ( |: ) a b = Binop (BitOr, a, b)
+  let ( ^: ) a b = Binop (BitXor, a, b)
+  let ( <<: ) a b = Binop (Shl, a, b)
+  let ( >>: ) a b = Binop (Shr, a, b)
+  let emin a b = Binop (Min, a, b)
+  let emax a b = Binop (Max, a, b)
+  let neg e = Unop (Neg, e)
+  let pop = Pop
+  let peek e = Peek e
+  let push e = Push e
+  let let_ x e = Let (x, e)
+  let set x e = Assign (x, e)
+  let arr a n = DeclArray (a, n)
+  let seti a idx e = ArrayAssign (a, idx, e)
+  let geti a idx = ArrayRef (a, idx)
+  let tbl t idx = TableRef (t, idx)
+  let if_ c a b = If (c, a, b)
+  let for_ x lo hi body = For (x, lo, hi, body)
+end

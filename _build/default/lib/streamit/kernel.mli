@@ -1,0 +1,201 @@
+(** Work-function IR for StreamIt filters.
+
+    Filters manipulate their FIFOs exclusively through [pop()], [push(e)]
+    and [peek(n)] (Sec. II-B of the paper).  The rest of the language is a
+    small imperative kernel language — scalars, fixed-size local arrays,
+    constant tables, arithmetic, bounded loops and conditionals — rich
+    enough to express all eight evaluated benchmarks (bitonic compare-
+    exchange networks, DCT butterflies, DES rounds, FFT, FIR banks, FM
+    demodulation, blocked matrix multiply).
+
+    The module also provides the static analyses the compiler needs:
+    rate inference (to cross-check declared push/pop/peek rates), an
+    operation-cost summary (consumed by the GPU simulator's timing model)
+    and a register-pressure estimate (standing in for nvcc's allocator in
+    the profiling phase of Fig. 6). *)
+
+open Types
+
+(** {1 Expressions and statements} *)
+
+type unop =
+  | Neg
+  | Not        (** logical not on ints *)
+  | BitNot
+  | Sin
+  | Cos
+  | Sqrt
+  | Exp
+  | Log
+  | Abs
+  | ToFloat
+  | ToInt      (** truncation *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | BitAnd | BitOr | BitXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Min | Max
+
+type expr =
+  | Const of value
+  | Var of string
+  | ArrayRef of string * expr    (** local array element *)
+  | TableRef of string * expr    (** filter constant table element *)
+  | Pop
+  | Peek of expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cond of expr * expr * expr   (** ternary; condition is an int *)
+
+type stmt =
+  | Let of string * expr                   (** declare + initialise scalar *)
+  | Assign of string * expr
+  | DeclArray of string * int              (** zero-initialised local array *)
+  | ArrayAssign of string * expr * expr
+  | Push of expr
+  | If of expr * stmt list * stmt list
+  | For of string * expr * expr * stmt list
+      (** [For (i, lo, hi, body)] runs [i] from [lo] to [hi - 1]; loop
+          bounds must be compile-time constants for rate inference to
+          succeed when the body pushes or pops. *)
+
+(** {1 Filters} *)
+
+type filter = {
+  name : string;
+  pop_rate : int;
+  push_rate : int;
+  peek_rate : int;  (** >= pop_rate; equals pop_rate for non-peeking filters *)
+  in_ty : elem_ty;
+  out_ty : elem_ty;
+  tables : (string * value array) list;
+      (** read-only coefficient tables (FIR taps, DES S-boxes, ...) *)
+  state : (string * value array) list;
+      (** persistent mutable arrays carried across firings — the initial
+          values of a {e stateful} filter's state (Sec. II-B).  Stateful
+          filters serialize their instances and forgo data parallelism;
+          supporting them is the paper's stated future work, implemented
+          here as an extension. *)
+  work : stmt list;
+}
+
+val make_filter :
+  name:string ->
+  ?pop:int ->
+  ?push:int ->
+  ?peek:int ->
+  ?in_ty:elem_ty ->
+  ?out_ty:elem_ty ->
+  ?tables:(string * value array) list ->
+  ?state:(string * value array) list ->
+  stmt list ->
+  filter
+(** Defaults: [pop = 0], [push = 0], [peek = pop], both types [TFloat],
+    stateless.
+    @raise Invalid_argument if [peek < pop] or rates are negative. *)
+
+val is_peeking : filter -> bool
+val is_stateful : filter -> bool
+
+val is_source : filter -> bool
+(** [pop_rate = 0] *)
+
+val is_sink : filter -> bool
+(** [push_rate = 0] *)
+
+(** {1 Identity / utility filters} *)
+
+val identity : ?ty:elem_ty -> unit -> filter
+(** pop 1, push 1, forwards the token. *)
+
+(** {1 Static analyses} *)
+
+val infer_rates : stmt list -> (int * int * int, string) result
+(** [infer_rates body] returns [(pops, pushes, max_peek_depth)] for one
+    execution of the body, or [Error] if counts are not statically fixed
+    (data-dependent loop bounds, or branches that pop/push unequally). *)
+
+val check_filter : filter -> (unit, string) result
+(** Validates declared rates against {!infer_rates}, table references, and
+    scoping of variables. *)
+
+type op_cost = {
+  alu : int;       (** adds, compares, bit ops *)
+  mul : int;
+  divmod : int;
+  special : int;   (** sin/cos/sqrt/exp/log *)
+  mem : int;       (** local array + table accesses *)
+  channel : int;   (** pushes + pops + peeks (device-memory traffic) *)
+}
+
+val zero_cost : op_cost
+val add_cost : op_cost -> op_cost -> op_cost
+val scale_cost : int -> op_cost -> op_cost
+
+val cost_of_filter : filter -> op_cost
+(** Operation counts for one firing; loop bodies are multiplied by trip
+    count, conditional branches contribute the max of the two sides. *)
+
+val estimate_registers : filter -> int
+(** Heuristic per-thread register-pressure estimate (stands in for nvcc):
+    base overhead + live scalars + deepest expression tree.  Clamped to
+    [4, 128]. *)
+
+val rename : (string -> string) -> filter -> filter
+(** Renames all identifiers (locals, tables); used when fusing or when
+    emitting all filters into a single CUDA compilation unit. *)
+
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_filter : Format.formatter -> filter -> unit
+
+(** {1 Builder combinators} *)
+
+(** Expression/statement builders.  The infix operators are suffixed with
+    [:] so that opening the module never shadows OCaml's own arithmetic —
+    benchmark definitions freely mix host-level and kernel-level math. *)
+module Build : sig
+  val i : int -> expr
+  val f : float -> expr
+  val v : string -> expr
+  val ( +: ) : expr -> expr -> expr
+  val ( -: ) : expr -> expr -> expr
+  val ( *: ) : expr -> expr -> expr
+  val ( /: ) : expr -> expr -> expr
+  val ( %: ) : expr -> expr -> expr
+  val ( <: ) : expr -> expr -> expr
+  val ( <=: ) : expr -> expr -> expr
+  val ( >: ) : expr -> expr -> expr
+  val ( >=: ) : expr -> expr -> expr
+  val ( =: ) : expr -> expr -> expr
+  val ( <>: ) : expr -> expr -> expr
+  val ( &: ) : expr -> expr -> expr
+  (** bitwise and *)
+
+  val ( |: ) : expr -> expr -> expr
+  (** bitwise or *)
+
+  val ( ^: ) : expr -> expr -> expr
+  (** bitwise xor *)
+
+  val ( <<: ) : expr -> expr -> expr
+  (** shift left *)
+
+  val ( >>: ) : expr -> expr -> expr
+  (** logical shift right *)
+
+  val emin : expr -> expr -> expr
+  val emax : expr -> expr -> expr
+  val neg : expr -> expr
+  val pop : expr
+  val peek : expr -> expr
+  val push : expr -> stmt
+  val let_ : string -> expr -> stmt
+  val set : string -> expr -> stmt
+  val arr : string -> int -> stmt
+  val seti : string -> expr -> expr -> stmt
+  val geti : string -> expr -> expr
+  val tbl : string -> expr -> expr
+  val if_ : expr -> stmt list -> stmt list -> stmt
+  val for_ : string -> expr -> expr -> stmt list -> stmt
+end

@@ -1,0 +1,153 @@
+type firing = int
+
+let sas g rates =
+  List.concat_map
+    (fun v -> List.init rates.Sdf.reps.(v) (fun _ -> v))
+    (Graph.topo_order g)
+
+(* Token-counting machinery shared by the schedulers and checkers.  State
+   maps each edge to its current token count. *)
+
+module EdgeKey = struct
+  type t = int * int * int * int
+
+  let of_edge (e : Graph.edge) = (e.src, e.src_port, e.dst, e.dst_port)
+end
+
+type counts = (EdgeKey.t, int) Hashtbl.t
+
+let init_counts g : counts =
+  let h = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Graph.edge) -> Hashtbl.replace h (EdgeKey.of_edge e) e.init_tokens)
+    g.Graph.edges;
+  h
+
+let tokens counts e = Hashtbl.find counts (EdgeKey.of_edge e)
+
+(* Can node v fire given channel state?  Peeking consumers need the peek
+   margin on top of their pop rate. *)
+let ready g counts v =
+  List.for_all
+    (fun e ->
+      tokens counts e >= Graph.consumption g e + Graph.peek_margin g e)
+    (Graph.in_edges g v)
+
+let fire g counts v =
+  List.iter
+    (fun e ->
+      let k = EdgeKey.of_edge e in
+      Hashtbl.replace counts k (Hashtbl.find counts k - Graph.consumption g e))
+    (Graph.in_edges g v);
+  List.iter
+    (fun e ->
+      let k = EdgeKey.of_edge e in
+      Hashtbl.replace counts k (Hashtbl.find counts k + Graph.production g e))
+    (Graph.out_edges g v)
+
+let min_latency g rates =
+  let n = Graph.num_nodes g in
+  let counts = init_counts g in
+  let remaining = Array.copy rates.Sdf.reps in
+  (* Depth = longest path to a sink; fire the deepest ready node first so
+     tokens are drained as soon as they are produced. *)
+  let depth = Array.make n 0 in
+  let order = List.rev (Graph.topo_order g) in
+  List.iter
+    (fun v ->
+      let d =
+        List.fold_left
+          (fun acc (e : Graph.edge) ->
+            if e.init_tokens >= Graph.consumption g e + Graph.peek_margin g e
+            then acc
+            else max acc (1 + depth.(e.dst)))
+          0 (Graph.out_edges g v)
+      in
+      depth.(v) <- d)
+    order;
+  let total = Array.fold_left ( + ) 0 remaining in
+  let sched = ref [] in
+  let fired = ref 0 in
+  let progress = ref true in
+  while !fired < total && !progress do
+    progress := false;
+    (* pick the ready node with the smallest depth (closest to sink) *)
+    let best = ref None in
+    for v = 0 to n - 1 do
+      if remaining.(v) > 0 && ready g counts v then
+        match !best with
+        | Some b when depth.(v) >= depth.(b) -> ()
+        | _ -> best := Some v
+    done;
+    match !best with
+    | Some v ->
+      fire g counts v;
+      remaining.(v) <- remaining.(v) - 1;
+      sched := v :: !sched;
+      incr fired;
+      progress := true
+    | None -> ()
+  done;
+  if !fired <> total then
+    failwith "Schedule.min_latency: deadlock (inadmissible graph)";
+  List.rev !sched
+
+let is_admissible g rates firings =
+  let counts = init_counts g in
+  let n = Graph.num_nodes g in
+  let count_fired = Array.make n 0 in
+  let err = ref None in
+  List.iteri
+    (fun step v ->
+      if !err = None then begin
+        if v < 0 || v >= n then err := Some (Printf.sprintf "bad node id at step %d" step)
+        else if not (ready g counts v) then
+          err :=
+            Some
+              (Printf.sprintf "firing rule violated at step %d (node %s)" step
+                 (Graph.name g v))
+        else begin
+          fire g counts v;
+          count_fired.(v) <- count_fired.(v) + 1
+        end
+      end)
+    firings;
+  (match !err with
+  | None ->
+    Array.iteri
+      (fun v k ->
+        if !err = None && k <> rates.Sdf.reps.(v) then
+          err :=
+            Some
+              (Printf.sprintf "node %s fired %d times, expected %d"
+                 (Graph.name g v) k rates.Sdf.reps.(v)))
+      count_fired
+  | Some _ -> ());
+  match !err with None -> Ok () | Some m -> Error m
+
+let buffer_occupancy g firings =
+  let counts = init_counts g in
+  let high = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Graph.edge) ->
+      Hashtbl.replace high (EdgeKey.of_edge e) e.init_tokens)
+    g.Graph.edges;
+  List.iter
+    (fun v ->
+      fire g counts v;
+      List.iter
+        (fun (e : Graph.edge) ->
+          let k = EdgeKey.of_edge e in
+          let cur = Hashtbl.find counts k in
+          if cur > Hashtbl.find high k then Hashtbl.replace high k cur)
+        (Graph.out_edges g v))
+    firings;
+  List.map
+    (fun (e : Graph.edge) -> (e, Hashtbl.find high (EdgeKey.of_edge e)))
+    g.Graph.edges
+
+let buffer_bytes g firings =
+  List.fold_left
+    (fun acc (_, occ) -> acc + (occ * Types.elem_size_bytes))
+    0
+    (buffer_occupancy g firings)

@@ -1,0 +1,31 @@
+(** Sequential steady-state schedules and their buffer requirements.
+
+    Two classical schedule families from the SDF literature, both used by
+    the paper: {e Single Appearance Schedules} (Bhattacharyya & Lee), which
+    fire each node all its repetitions in a row and maximise buffering —
+    the paper's [Serial] baseline runs one — and {e minimum-latency /
+    demand-driven} schedules (Karczmarek et al.), which minimise it. *)
+
+type firing = int
+(** Node id; a schedule is one steady state's firing sequence. *)
+
+val sas : Graph.t -> Sdf.rates -> firing list
+(** Single-appearance schedule in topological order: node [v] appears as a
+    block of [reps.(v)] consecutive firings. *)
+
+val min_latency : Graph.t -> Sdf.rates -> firing list
+(** Demand-driven schedule: repeatedly fires any node that is ready while
+    retiring nodes that completed their repetitions, preferring nodes
+    closest to the sinks — an O(V·E) approximation of the minimum-buffer
+    schedule. *)
+
+val is_admissible : Graph.t -> Sdf.rates -> firing list -> (unit, string) result
+(** Checks the firing rule on every prefix: no channel underflow (including
+    peek margins) and exact repetition counts over the whole sequence. *)
+
+val buffer_occupancy : Graph.t -> firing list -> (Graph.edge * int) list
+(** Maximum token occupancy reached on each edge when executing one steady
+    state from the initial channel state (token-counting simulation). *)
+
+val buffer_bytes : Graph.t -> firing list -> int
+(** Total bytes across edges ([max occupancy × 4] per edge). *)

@@ -1,0 +1,116 @@
+open Numeric
+
+type rates = { reps : int array; edge_tokens : (Graph.edge * int) list }
+
+let steady_state g =
+  let n = Graph.num_nodes g in
+  if n = 0 then Error "empty graph"
+  else begin
+    (* Propagate rational rates from node 0 across edges in both
+       directions; the graph must be connected. *)
+    let rate = Array.make n None in
+    rate.(0) <- Some Rat.one;
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    let ok = ref (Ok ()) in
+    let fail m = if !ok = Ok () then ok := Error m in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      let ru = match rate.(u) with Some r -> r | None -> assert false in
+      let visit v rv =
+        match rate.(v) with
+        | None ->
+          rate.(v) <- Some rv;
+          Queue.add v queue
+        | Some r ->
+          if not (Rat.equal r rv) then
+            fail
+              (Printf.sprintf
+                 "rate-inconsistent graph at node %s (expected %s, got %s)"
+                 (Graph.name g v) (Rat.to_string r) (Rat.to_string rv))
+      in
+      List.iter
+        (fun e ->
+          (* k_dst = k_src * O / I *)
+          let o = Graph.production g e and i = Graph.consumption g e in
+          if i = 0 then fail (Graph.name g e.Graph.dst ^ ": zero consumption")
+          else visit e.Graph.dst (Rat.mul ru (Rat.of_ints o i)))
+        (Graph.out_edges g u);
+      List.iter
+        (fun e ->
+          let o = Graph.production g e and i = Graph.consumption g e in
+          if o = 0 then fail (Graph.name g e.Graph.src ^ ": zero production")
+          else visit e.Graph.src (Rat.mul ru (Rat.of_ints i o)))
+        (Graph.in_edges g u)
+    done;
+    match !ok with
+    | Error m -> Error m
+    | Ok () ->
+      if Array.exists (fun r -> r = None) rate then
+        Error "graph is not connected"
+      else begin
+        let rats = Array.map Option.get rate in
+        (* scale to smallest integer vector *)
+        let den_lcm =
+          Array.fold_left
+            (fun acc r -> Bigint.lcm acc (Rat.den r))
+            Bigint.one rats
+        in
+        let ints =
+          Array.map
+            (fun r -> Rat.mul r (Rat.of_bigint den_lcm) |> Rat.to_bigint)
+            rats
+        in
+        let g_all =
+          Array.fold_left (fun acc x -> Bigint.gcd acc x) Bigint.zero ints
+        in
+        let reps =
+          Array.map (fun x -> Bigint.to_int (Bigint.div x g_all)) ints
+        in
+        if Array.exists (fun k -> k <= 0) reps then
+          Error "non-positive repetition count"
+        else begin
+          let edge_tokens =
+            List.map
+              (fun e ->
+                (e, reps.(e.Graph.src) * Graph.production g e))
+              g.Graph.edges
+          in
+          Ok { reps; edge_tokens }
+        end
+      end
+  end
+
+let scaled_reps r factor =
+  if factor <= 0 then invalid_arg "Sdf.scaled_reps: non-positive factor";
+  Array.map (fun k -> k * factor) r.reps
+
+let tokens_per_steady_state g r e = r.reps.(e.Graph.src) * Graph.production g e
+
+let input_tokens g r =
+  match g.Graph.entry with
+  | None -> 0
+  | Some v -> r.reps.(v) * Graph.entry_pop g
+
+let output_tokens g r =
+  match g.Graph.exit_ with
+  | None -> 0
+  | Some v -> r.reps.(v) * Graph.exit_push g
+
+let check g r =
+  let bad =
+    List.find_opt
+      (fun e ->
+        r.reps.(e.Graph.src) * Graph.production g e
+        <> r.reps.(e.Graph.dst) * Graph.consumption g e)
+      g.Graph.edges
+  in
+  match bad with
+  | None ->
+    if Array.length r.reps <> Graph.num_nodes g then
+      Error "repetition vector length mismatch"
+    else Ok ()
+  | Some e ->
+    Error
+      (Printf.sprintf "balance equation violated on edge %s -> %s"
+         (Graph.name g e.Graph.src) (Graph.name g e.Graph.dst))

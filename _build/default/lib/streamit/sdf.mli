@@ -1,0 +1,31 @@
+(** Synchronous-dataflow steady-state analysis (Lee & Messerschmitt '87).
+
+    Solves the balance equations [I_uv * k_v = O_uv * k_u] over all edges
+    to obtain the {e primitive repetition vector}: the smallest positive
+    integer firing counts under which every channel's token population is
+    unchanged across one steady state (Sec. II-B of the paper). *)
+
+type rates = {
+  reps : int array;
+      (** [reps.(v)] = firings of node [v] per primitive steady state *)
+  edge_tokens : (Graph.edge * int) list;
+      (** tokens crossing each edge in one steady state *)
+}
+
+val steady_state : Graph.t -> (rates, string) result
+(** [Error] when the graph is rate-inconsistent (no finite-buffer schedule
+    exists) or not connected. *)
+
+val scaled_reps : rates -> int -> int array
+(** Repetition vector of a steady state coarsened by an integer factor. *)
+
+val tokens_per_steady_state : Graph.t -> rates -> Graph.edge -> int
+
+val input_tokens : Graph.t -> rates -> int
+(** External input tokens consumed per steady state (0 without entry). *)
+
+val output_tokens : Graph.t -> rates -> int
+
+val check : Graph.t -> rates -> (unit, string) result
+(** Re-verifies the balance equation on every edge — the solver's
+    self-check, also used by property tests. *)

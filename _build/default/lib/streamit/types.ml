@@ -1,0 +1,40 @@
+type elem_ty = TInt | TFloat
+type value = VInt of int | VFloat of float
+
+let elem_size_bytes = 4
+let ty_of_value = function VInt _ -> TInt | VFloat _ -> TFloat
+let zero_of = function TInt -> VInt 0 | TFloat -> VFloat 0.0
+let to_float = function VInt n -> float_of_int n | VFloat f -> f
+
+let to_int = function
+  | VInt n -> n
+  | VFloat f ->
+    if Float.is_integer f then int_of_float f
+    else failwith "Types.to_int: non-integral float token"
+
+let equal_value a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y -> x = y || (Float.is_nan x && Float.is_nan y)
+  | _ -> false
+
+let value_close ?(eps = 1e-5) a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | _ ->
+    let x = to_float a and y = to_float b in
+    if Float.is_nan x || Float.is_nan y then Float.is_nan x && Float.is_nan y
+    else begin
+      let d = Float.abs (x -. y) in
+      d <= eps || d <= eps *. Float.max (Float.abs x) (Float.abs y)
+    end
+
+let pp_value fmt = function
+  | VInt n -> Format.fprintf fmt "%d" n
+  | VFloat f -> Format.fprintf fmt "%g" f
+
+let pp_ty fmt = function
+  | TInt -> Format.fprintf fmt "int"
+  | TFloat -> Format.fprintf fmt "float"
+
+let string_of_value v = Format.asprintf "%a" pp_value v

@@ -1,0 +1,30 @@
+(** Token values and element types shared across the StreamIt compiler.
+
+    StreamIt channels carry typed tokens; this reproduction supports the
+    two primitive element types the evaluated benchmarks use ([int] and
+    [float]).  Tokens are 4 bytes each, matching the paper's buffer-size
+    accounting (Table II). *)
+
+type elem_ty = TInt | TFloat
+
+type value = VInt of int | VFloat of float
+
+val elem_size_bytes : int
+(** Size of one token in device memory: 4 bytes. *)
+
+val ty_of_value : value -> elem_ty
+val zero_of : elem_ty -> value
+
+val to_float : value -> float
+val to_int : value -> int
+(** @raise Failure on a float token with no exact integer value. *)
+
+val equal_value : value -> value -> bool
+(** Exact equality ([VFloat nan] equals itself so tapes can be compared). *)
+
+val value_close : ?eps:float -> value -> value -> bool
+(** Approximate equality for cross-backend output comparison. *)
+
+val pp_value : Format.formatter -> value -> unit
+val pp_ty : Format.formatter -> elem_ty -> unit
+val string_of_value : value -> string

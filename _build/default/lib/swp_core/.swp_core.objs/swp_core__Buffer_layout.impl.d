@@ -1,0 +1,1 @@
+lib/swp_core/buffer_layout.ml: Array List Select Streamit Swp_schedule

@@ -1,0 +1,1 @@
+lib/swp_core/buffer_layout.mli: Select Streamit Swp_schedule

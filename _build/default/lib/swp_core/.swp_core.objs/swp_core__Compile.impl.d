@@ -1,0 +1,1 @@
+lib/swp_core/compile.ml: Array Buffer_layout Format Gpusim Ii_search Instances Option Profile Result Select Streamit Swp_schedule

@@ -1,0 +1,1 @@
+lib/swp_core/compile.mli: Buffer_layout Format Gpusim Ii_search Profile Select Streamit Swp_schedule

@@ -1,0 +1,1 @@
+lib/swp_core/executor.ml: Arch Array Compile Cpu_model Gpusim Instances List Option Select Streamit Swp_schedule Timing

@@ -1,0 +1,1 @@
+lib/swp_core/executor.mli: Compile Gpusim Streamit

@@ -1,0 +1,1 @@
+lib/swp_core/funcsim.ml: Array Ast Buffer_layout Compile Graph Hashtbl Instances Interp Kernel List Printf Select Streamit Swp_schedule Types

@@ -1,0 +1,1 @@
+lib/swp_core/funcsim.mli: Compile Streamit

@@ -1,0 +1,1 @@
+lib/swp_core/heuristic.ml: Array Fun Instances List Select Swp_schedule

@@ -1,0 +1,1 @@
+lib/swp_core/heuristic.mli: Select Streamit Swp_schedule

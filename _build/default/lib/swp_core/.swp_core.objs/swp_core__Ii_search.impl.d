@@ -1,0 +1,1 @@
+lib/swp_core/ii_search.ml: Float Heuristic Ilp Instances Mii Printf

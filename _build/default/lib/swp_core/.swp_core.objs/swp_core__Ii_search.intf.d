@@ -1,0 +1,1 @@
+lib/swp_core/ii_search.mli: Select Streamit Swp_schedule

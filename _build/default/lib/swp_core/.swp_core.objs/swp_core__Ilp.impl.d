@@ -1,0 +1,1 @@
+lib/swp_core/ilp.ml: Array Hashtbl Instances List Lp Numeric Printf Rat Select Streamit Swp_schedule

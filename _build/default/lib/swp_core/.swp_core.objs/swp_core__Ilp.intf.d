@@ -1,0 +1,1 @@
+lib/swp_core/ilp.mli: Hashtbl Lp Select Streamit Swp_schedule

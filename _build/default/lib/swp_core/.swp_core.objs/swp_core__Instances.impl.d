@@ -1,0 +1,1 @@
+lib/swp_core/instances.ml: Array Hashtbl Intmath List Numeric Select Streamit

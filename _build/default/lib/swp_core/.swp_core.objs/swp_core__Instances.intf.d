@@ -1,0 +1,1 @@
+lib/swp_core/instances.mli: Select Streamit

@@ -1,0 +1,1 @@
+lib/swp_core/mii.ml: Array Instances List Numeric Select

@@ -1,0 +1,1 @@
+lib/swp_core/mii.mli: Select Streamit

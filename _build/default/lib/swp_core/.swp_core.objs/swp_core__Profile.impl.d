@@ -1,0 +1,1 @@
+lib/swp_core/profile.ml: Arch Array Gpusim List Numeric Streamit Timing

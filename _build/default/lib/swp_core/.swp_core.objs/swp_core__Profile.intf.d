@@ -1,0 +1,1 @@
+lib/swp_core/profile.mli: Gpusim Streamit

@@ -1,0 +1,1 @@
+lib/swp_core/select.ml: Array Float Format Intmath List Numeric Profile Streamit

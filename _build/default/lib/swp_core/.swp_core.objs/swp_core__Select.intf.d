@@ -1,0 +1,1 @@
+lib/swp_core/select.mli: Format Profile Streamit

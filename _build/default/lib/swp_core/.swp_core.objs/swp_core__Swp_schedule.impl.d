@@ -1,0 +1,1 @@
+lib/swp_core/swp_schedule.ml: Array Format Hashtbl Instances List Printf Select Streamit

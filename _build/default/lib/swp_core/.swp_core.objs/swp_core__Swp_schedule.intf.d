@@ -1,0 +1,1 @@
+lib/swp_core/swp_schedule.mli: Format Instances Select Streamit

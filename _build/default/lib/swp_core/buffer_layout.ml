@@ -1,0 +1,61 @@
+let cluster = 128
+
+let push_index ~rate ~n ~tid =
+  (cluster * n) + (tid / cluster * cluster * rate) + (tid mod cluster)
+
+let pop_index ~rate ~n ~tid =
+  (cluster * n) + (tid / cluster * cluster * rate) + (tid mod cluster)
+
+let addr_of_token ~push_rate ~threads s =
+  if s < 0 || s >= push_rate * threads then
+    invalid_arg "Buffer_layout.addr_of_token: token out of region";
+  let tid = s / push_rate and n = s mod push_rate in
+  push_index ~rate:push_rate ~n ~tid
+
+let region_tokens g (cfg : Select.config) (e : Streamit.Graph.edge) =
+  Streamit.Graph.production g e * cfg.threads.(e.src)
+
+let steady_tokens g (cfg : Select.config) (e : Streamit.Graph.edge) =
+  region_tokens g cfg e * cfg.reps.(e.src)
+
+let shuffle ~steady_pop_rate i =
+  if steady_pop_rate <= 0 then invalid_arg "Buffer_layout.shuffle";
+  (i / cluster) + (i mod cluster * steady_pop_rate)
+
+type sizing = {
+  per_edge : (Streamit.Graph.edge * int) list;
+  total_bytes : int;
+  stages : int;
+  coarsening : int;
+}
+
+let size_buffers g (sched : Swp_schedule.t) ~coarsening =
+  let stages = Swp_schedule.stages sched in
+  let per_edge =
+    List.map
+      (fun e ->
+        let tokens = steady_tokens g sched.config e in
+        (* In-flight iterations: a producer at stage f feeds consumers up
+           to [stages] iterations later, plus the initial tokens; one
+           extra region keeps reads and writes of adjacent iterations
+           disjoint.  Coarsening multiplies the tokens per kernel. *)
+        let bytes =
+          (tokens * coarsening * (stages + 1) * Streamit.Types.elem_size_bytes)
+          + (e.Streamit.Graph.init_tokens * Streamit.Types.elem_size_bytes)
+        in
+        (e, bytes))
+      g.Streamit.Graph.edges
+  in
+  (* the external input and output streams are staged in device memory
+     too, one kernel's worth each *)
+  let io_bytes =
+    match Streamit.Sdf.steady_state g with
+    | Error _ -> 0
+    | Ok rates ->
+      (Streamit.Sdf.input_tokens g rates + Streamit.Sdf.output_tokens g rates)
+      * sched.config.Select.scale * coarsening * Streamit.Types.elem_size_bytes
+  in
+  let total_bytes =
+    List.fold_left (fun acc (_, b) -> acc + b) io_bytes per_edge
+  in
+  { per_edge; total_bytes; stages; coarsening }

@@ -1,0 +1,55 @@
+(** Optimized buffer layout (Sec. IV-D, eqs. (9)-(11)).
+
+    Tokens crossing an edge during one steady state are stored shuffled:
+    within each producer instance's region, the [n]-th pushes of all
+    threads are grouped in clusters of 128 consecutive thread ids, so a
+    warp's simultaneous accesses hit [WarpBaseAddress + tid] — fully
+    coalesced, with no shared-memory staging and no bank conflicts.
+
+    The module is the single source of truth for where a token lives:
+    [addr_of_token] defines the layout (producer-form, eq. (11)), the
+    [push_index]/[pop_index] helpers expose the per-thread index
+    computations code generation emits, and the host-side [shuffle]
+    permutation (eq. (9)) reorders the external input buffer once so the
+    entry filter can pop coalesced. *)
+
+val cluster : int
+(** Thread-cluster size: 128, the gcd of the candidate block sizes. *)
+
+val push_index : rate:int -> n:int -> tid:int -> int
+(** Eq. (11): address (within the instance's region) of the [n]-th token
+    pushed by thread [tid] of a filter with push rate [rate]. *)
+
+val pop_index : rate:int -> n:int -> tid:int -> int
+(** Eq. (10), same shape on the pop side. *)
+
+val addr_of_token :
+  push_rate:int -> threads:int -> int -> int
+(** [addr_of_token ~push_rate ~threads s]: physical offset, within one
+    producer instance's region, of the token with FIFO sequence number
+    [s] inside that region ([0 <= s < push_rate * threads]). *)
+
+val region_tokens : Streamit.Graph.t -> Select.config -> Streamit.Graph.edge -> int
+(** Tokens one producer macro-firing writes to this edge ([O']). *)
+
+val steady_tokens : Streamit.Graph.t -> Select.config -> Streamit.Graph.edge -> int
+(** Tokens crossing the edge per macro steady state. *)
+
+val shuffle : steady_pop_rate:int -> int -> int
+(** Eq. (9): host-side permutation applied to the program's external
+    input buffer; [shuffle ~steady_pop_rate i] is the position token [i]
+    is moved to. *)
+
+type sizing = {
+  per_edge : (Streamit.Graph.edge * int) list;  (** bytes per channel *)
+  total_bytes : int;
+  stages : int;       (** pipeline depth of the schedule *)
+  coarsening : int;
+}
+
+val size_buffers :
+  Streamit.Graph.t -> Swp_schedule.t -> coarsening:int -> sizing
+(** Buffer requirement of a software-pipelined schedule: each channel
+    holds [(stages + 1)] iterations of in-flight tokens, scaled by the
+    coarsening factor; no buffer sharing (Sec. V-A).  This regenerates
+    Table II. *)

@@ -1,0 +1,84 @@
+type scheme = Swp_coalesced | Swp_non_coalesced
+
+type compiled = {
+  arch : Gpusim.Arch.t;
+  scheme : scheme;
+  graph : Streamit.Graph.t;
+  rates : Streamit.Sdf.rates;
+  profile : Profile.data;
+  config : Select.config;
+  schedule : Swp_schedule.t;
+  search_stats : Ii_search.stats;
+  sizing : Buffer_layout.sizing;
+  coarsening : int;
+}
+
+let ( let* ) = Result.bind
+
+let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
+    ?(coarsening = 1) ?solver ?(scheme = Swp_coalesced) graph =
+  let num_sms = Option.value num_sms ~default:arch.Gpusim.Arch.num_sms in
+  let* () = Streamit.Graph.validate graph in
+  let* rates = Streamit.Sdf.steady_state graph in
+  let mode =
+    match scheme with
+    | Swp_coalesced -> Profile.Coalesced
+    | Swp_non_coalesced -> Profile.Non_coalesced
+  in
+  let profile = Profile.run arch graph ~mode in
+  let* config = Select.select graph rates profile in
+  let* schedule, search_stats =
+    match solver with
+    | Some s -> Ii_search.search ~solver:s graph config ~num_sms
+    | None -> Ii_search.search graph config ~num_sms
+  in
+  let sizing = Buffer_layout.size_buffers graph schedule ~coarsening in
+  Ok
+    {
+      arch;
+      scheme;
+      graph;
+      rates;
+      profile;
+      config;
+      schedule;
+      search_stats;
+      sizing;
+      coarsening;
+    }
+
+let recoarsen c n =
+  if n <= 0 then invalid_arg "Compile.recoarsen: non-positive factor";
+  {
+    c with
+    coarsening = n;
+    sizing = Buffer_layout.size_buffers c.graph c.schedule ~coarsening:n;
+  }
+
+let layout_of_node c node =
+  match c.scheme with
+  | Swp_coalesced -> Gpusim.Timing.Shuffled
+  | Swp_non_coalesced ->
+    Profile.layout_for c.arch Profile.Non_coalesced node
+      ~threads:c.config.Select.threads.(node.Streamit.Graph.id)
+
+let pp_summary fmt c =
+  Format.fprintf fmt
+    "@[<v>compiled %s scheme=%s@,\
+     nodes=%d instances=%d@,\
+     regs=%d block_threads=%d scale=%d@,\
+     II=%d (bound %d, %.1f%% relaxation, %d attempts, %s solver)@,\
+     stages=%d coarsening=%d buffers=%d bytes@]"
+    c.arch.Gpusim.Arch.name
+    (match c.scheme with
+    | Swp_coalesced -> "SWP"
+    | Swp_non_coalesced -> "SWPNC")
+    (Streamit.Graph.num_nodes c.graph)
+    (Instances.num_instances c.config)
+    c.config.Select.regs c.config.Select.block_threads c.config.Select.scale
+    c.schedule.Swp_schedule.ii c.search_stats.Ii_search.lower_bound
+    (100.0 *. c.search_stats.Ii_search.relaxation)
+    c.search_stats.Ii_search.attempts
+    (if c.search_stats.Ii_search.used_exact then "exact" else "heuristic")
+    (Swp_schedule.stages c.schedule)
+    c.coarsening c.sizing.Buffer_layout.total_bytes

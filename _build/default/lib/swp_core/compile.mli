@@ -1,0 +1,46 @@
+(** End-to-end compilation pipeline (Fig. 5 of the paper):
+
+    profile every filter → select the execution configuration → generate
+    the scheduling constraints → search for the smallest feasible II →
+    lay out buffers.  The result carries everything code generation
+    ({!Cudagen}) and the timing executor ({!Executor}) need. *)
+
+type scheme =
+  | Swp_coalesced       (** the paper's optimized scheme *)
+  | Swp_non_coalesced   (** SWPNC baseline: no memory-access coalescing *)
+
+type compiled = {
+  arch : Gpusim.Arch.t;
+  scheme : scheme;
+  graph : Streamit.Graph.t;
+  rates : Streamit.Sdf.rates;
+  profile : Profile.data;
+  config : Select.config;
+  schedule : Swp_schedule.t;
+  search_stats : Ii_search.stats;
+  sizing : Buffer_layout.sizing;
+  coarsening : int;
+}
+
+val compile :
+  ?arch:Gpusim.Arch.t ->
+  ?num_sms:int ->
+  ?coarsening:int ->
+  ?solver:Ii_search.solver ->
+  ?scheme:scheme ->
+  Streamit.Graph.t ->
+  (compiled, string) result
+(** Defaults: the GeForce 8800 GTS 512 with all 16 SMs, coarsening 1,
+    [Auto] solver, coalesced scheme. *)
+
+val recoarsen : compiled -> int -> compiled
+(** Same schedule with a different coarsening factor (SWPn of Fig. 11);
+    only the buffer sizing changes — coarsening multiplies every delay by
+    the same factor and therefore preserves schedule optimality, as the
+    paper argues. *)
+
+val layout_of_node : compiled -> Streamit.Graph.node -> Gpusim.Timing.layout
+(** The buffer layout each node's channel accesses use under this
+    compilation scheme. *)
+
+val pp_summary : Format.formatter -> compiled -> unit

@@ -1,0 +1,57 @@
+(** Timing execution of compiled schedules on the simulated GPU, and the
+    speedup accounting of Sec. V.
+
+    The executor serialises each SM's instances (in [o] order) using the
+    per-pass timing model, then applies the two schedule-level effects the
+    profile cannot see: cross-SM device-memory bandwidth contention within
+    an II (every SM's traffic shares one bus — the paper's "second-order
+    effect"), and per-kernel costs (launch overhead plus pipeline
+    fill/drain of [stages] iterations), which coarsening amortises
+    (Fig. 11). *)
+
+type gpu_time = {
+  ii_cycles : int;          (** achieved II including bus contention & sync *)
+  sm_cycles : int array;    (** per-SM busy time within one II *)
+  bus_cycles : int;         (** bus-bound lower limit of the II *)
+  kernel_cycles : int;      (** one kernel launch: fill + n steady states *)
+  cycles_per_steady : float;
+      (** amortised cycles per {e original} (pre-scaling) steady state *)
+}
+
+val time_swp : Compile.compiled -> gpu_time
+
+type serial_time = {
+  batch : int;              (** steady states per pass under the buffer budget *)
+  launches : int;           (** kernel launches per batch (one per node) *)
+  total_cycles : float;     (** cycles for one batch *)
+  cycles_per_steady : float;(** per original steady state *)
+  buffer_bytes : int;
+}
+
+val time_serial :
+  ?arch:Gpusim.Arch.t ->
+  ?batch:int ->
+  Streamit.Graph.t ->
+  budget_bytes:int ->
+  (serial_time, string) result
+(** The paper's [Serial] baseline: each filter runs as its own fully
+    data-parallel kernel over a Single Appearance Schedule, with memory
+    coalescing and 16 blocks.  [batch] is the number of steady states
+    resident on the device per SAS round — callers pass the SWP8
+    kernel's working set (coarsening x scale) so both schemes process
+    the same amount of data per launch cycle; it is additionally capped
+    so SAS buffer usage stays within [budget_bytes] (Sec. V-A). *)
+
+val cpu_cycles_per_steady :
+  ?model:Gpusim.Cpu_model.t -> Streamit.Graph.t -> (float, string) result
+(** Single-threaded CPU cycles for one original steady state. *)
+
+val speedup :
+  ?model:Gpusim.Cpu_model.t ->
+  arch:Gpusim.Arch.t ->
+  graph:Streamit.Graph.t ->
+  gpu_cycles_per_steady:float ->
+  unit ->
+  (float, string) result
+(** [t_host / t_gpu] with both sides converted to seconds at their
+    respective clock rates — the paper's speedup definition. *)

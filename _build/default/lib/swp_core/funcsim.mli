@@ -1,0 +1,45 @@
+(** Functional (token-level) simulation of a compiled software-pipelined
+    schedule through physically laid-out device buffers.
+
+    Where {!Executor} answers "how long does the schedule take", this
+    module answers "does it compute the right thing through the actual
+    memory layout":
+
+    - every channel gets a device buffer of [stages + 2] steady-state
+      regions, each region laid out by the producer's shuffled index map
+      (eqs. (9)-(11) via {!Buffer_layout.addr_of_token});
+    - instances execute in linear-schedule order ([T*(j+f) + o]), each
+      macro firing running [threads(v)] thread firings whose pops, peeks
+      and pushes resolve to physical buffer addresses exactly as the
+      generated CUDA kernel's index expressions would;
+    - the external input is read in FIFO order (the host-side shuffle of
+      eq. (9) is a semantic identity) and the exit node's pushes are
+      collected in FIFO order.
+
+    Because the work-function evaluator is shared with the reference
+    interpreter ({!Streamit.Interp.exec_filter_firing}), any output
+    difference between the two backends isolates a buffer-layout or
+    scheduling bug — this is the end-to-end validation of Sec. IV-D.
+
+    Reads of tokens never produced (schedule bugs, ring-buffer overwrites)
+    raise {!Uninitialized_read} rather than returning garbage. *)
+
+exception Uninitialized_read of string
+
+val run :
+  Compile.compiled ->
+  input:(int -> Streamit.Types.value) ->
+  iters:int ->
+  Streamit.Types.value list
+(** Executes [iters] macro steady states and returns the output tape.
+    Note one macro steady state covers [config.scale] original steady
+    states. *)
+
+val matches_interpreter :
+  Compile.compiled ->
+  input:(int -> Streamit.Types.value) ->
+  iters:int ->
+  (unit, string) result
+(** Runs both backends over the same input and compares tapes
+    value-by-value (exact for ints, small relative tolerance for
+    floats). *)

@@ -1,0 +1,26 @@
+(** Heuristic modulo scheduler — the fast path used when the exact ILP
+    exceeds its node budget (the paper instead relaxes the II and re-runs
+    CPLEX; we additionally fall back to this solver, cross-validated
+    against the ILP in the test suite).
+
+    Two phases:
+
+    + {b assignment}: first-fit packing of instances onto SMs in
+      (node, instance) order — emulating the clustered assignments a
+      feasibility-only ILP yields, since constraint (2) accepts any
+      packing whose per-SM profiled load fits within the II;
+    + {b scheduling}: with assignments fixed, the dependence system (8)
+      becomes difference constraints on [A = T*f + o]; solved by
+      longest-path relaxation, then instances violating the wrap
+      constraint (4) are pushed to the next II boundary and relaxation
+      repeats until a fixpoint. *)
+
+val solve :
+  Streamit.Graph.t ->
+  Select.config ->
+  num_sms:int ->
+  ii:int ->
+  [ `Schedule of Swp_schedule.t | `Infeasible ]
+(** Returned schedules are validated with {!Swp_schedule.validate};
+    [`Infeasible] is {e heuristic} infeasibility — a larger II may work,
+    or the exact solver may succeed where the heuristic fails. *)

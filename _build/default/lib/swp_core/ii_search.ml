@@ -1,0 +1,67 @@
+type solver = Exact of int | Heuristic | Auto of int
+
+type stats = {
+  lower_bound : int;
+  achieved_ii : int;
+  attempts : int;
+  relaxation : float;
+  used_exact : bool;
+}
+
+let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
+    ~num_sms =
+  let lb = Mii.lower_bound g cfg ~num_sms in
+  (* the exact ILP is only worth its cost near the II lower bound, where
+     the heuristic's packing granularity is the limiting factor *)
+  let near_bound ii = ii <= lb + (lb / 50) + 2 in
+  let try_at ii =
+    match solver with
+    | Heuristic -> (
+      match Heuristic.solve g cfg ~num_sms ~ii with
+      | `Schedule s -> Some (s, false)
+      | `Infeasible -> None)
+    | Exact budget -> (
+      match Ilp.solve ~node_budget:budget ~time_budget_s:20.0 g cfg ~num_sms ~ii with
+      | `Schedule s -> Some (s, true)
+      | `Infeasible | `Budget_exhausted -> None)
+    | Auto budget -> (
+      match Heuristic.solve g cfg ~num_sms ~ii with
+      | `Schedule s -> Some (s, false)
+      | `Infeasible ->
+        (* The exact ILP is only worth invoking on problems small enough
+           for the branch-and-bound to stand a chance within its budget
+           (the assignment variables alone number instances x SMs). *)
+        if Instances.num_instances cfg * num_sms > 96 || not (near_bound ii)
+        then None
+        else (
+          match
+            Ilp.solve ~node_budget:budget ~time_budget_s:1.0 g cfg ~num_sms ~ii
+          with
+          | `Schedule s -> Some (s, true)
+          | `Infeasible | `Budget_exhausted -> None))
+  in
+  let max_ii = int_of_float (float_of_int lb *. (1.0 +. max_relax)) + 1 in
+  let rec loop ii attempts =
+    if ii > max_ii then
+      Error
+        (Printf.sprintf "no feasible schedule up to II=%d (bound %d)" max_ii lb)
+    else
+      match try_at ii with
+      | Some (s, used_exact) ->
+        Ok
+          ( s,
+            {
+              lower_bound = lb;
+              achieved_ii = ii;
+              attempts;
+              relaxation = float_of_int (ii - lb) /. float_of_int (max 1 lb);
+              used_exact;
+            } )
+      | None ->
+        let next =
+          max (ii + 1)
+            (int_of_float (Float.round (float_of_int ii *. (1.0 +. relax_step))))
+        in
+        loop next (attempts + 1)
+  in
+  loop lb 1

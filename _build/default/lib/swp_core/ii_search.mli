@@ -1,0 +1,36 @@
+(** Initiation-interval search loop (Sec. V-B).
+
+    The paper's methodology: start at the lower bound
+    [max(ResMII, RecMII)], allot the solver a fixed budget, and on
+    failure relax the II by 0.5% (at least 1 cycle) and retry.  We keep
+    the same loop; the budget is a branch-and-bound node budget instead
+    of 20 wall-clock seconds, and a heuristic modulo scheduler can be
+    tried at each candidate II before or instead of the exact ILP. *)
+
+type solver =
+  | Exact of int     (** ILP with the given node budget per candidate II *)
+  | Heuristic
+  | Auto of int
+      (** heuristic first; when it fails at a candidate II and the
+          problem is small enough for branch-and-bound (at most 96
+          assignment variables), try the exact ILP with the given budget
+          before relaxing *)
+
+type stats = {
+  lower_bound : int;       (** the starting II *)
+  achieved_ii : int;
+  attempts : int;          (** candidate IIs tried *)
+  relaxation : float;      (** (achieved - bound) / bound *)
+  used_exact : bool;       (** whether the returned schedule came from the ILP *)
+}
+
+val search :
+  ?solver:solver ->
+  ?relax_step:float ->
+  ?max_relax:float ->
+  Streamit.Graph.t ->
+  Select.config ->
+  num_sms:int ->
+  (Swp_schedule.t * stats, string) result
+(** Defaults: [solver = Auto 2000], [relax_step = 0.005] (the paper's
+    0.5%), [max_relax = 4.0] (give up beyond 5x the bound). *)

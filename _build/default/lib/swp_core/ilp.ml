@@ -1,0 +1,186 @@
+open Numeric
+
+type var_map = {
+  w : (int * int * int, int) Hashtbl.t;
+  o : (int * int, int) Hashtbl.t;
+  f : (int * int, int) Hashtbl.t;
+}
+
+let q = Rat.of_int
+
+let build g (cfg : Select.config) ~num_sms ~ii =
+  let insts = Instances.instances cfg in
+  let deps = Instances.deps g cfg in
+  (* Quick infeasibility: constraint (4) requires o >= 0 and o + d < T. *)
+  let too_slow =
+    List.find_opt
+      (fun (i : Instances.instance) -> cfg.delay.(i.node) >= ii)
+      insts
+  in
+  match too_slow with
+  | Some i ->
+    Error
+      (Printf.sprintf "delay of %s (%d) exceeds II %d"
+         (Streamit.Graph.name g i.node) cfg.delay.(i.node) ii)
+  | None ->
+    let p = Lp.Problem.create () in
+    let vm = { w = Hashtbl.create 64; o = Hashtbl.create 64; f = Hashtbl.create 64 } in
+    (* Stage variables are bounded by the pipeline depth, which cannot
+       usefully exceed the instance count. *)
+    let f_ub = Rat.of_int (Instances.num_instances cfg + 1) in
+    List.iter
+      (fun (i : Instances.instance) ->
+        for sm = 0 to num_sms - 1 do
+          let id =
+            Lp.Problem.add_var p ~kind:Lp.Problem.Binary
+              (Printf.sprintf "w_%d_%d_%d" i.node i.k sm)
+          in
+          Hashtbl.replace vm.w (i.node, i.k, sm) id
+        done;
+        let oid =
+          Lp.Problem.add_var p ~kind:Lp.Problem.Integer
+            ~ub:(Some (q (ii - 1 - cfg.delay.(i.node))))
+            (Printf.sprintf "o_%d_%d" i.node i.k)
+        in
+        Hashtbl.replace vm.o (i.node, i.k) oid;
+        let fid =
+          Lp.Problem.add_var p ~kind:Lp.Problem.Integer ~ub:(Some f_ub)
+            (Printf.sprintf "f_%d_%d" i.node i.k)
+        in
+        Hashtbl.replace vm.f (i.node, i.k) fid)
+      insts;
+    (* (1) each instance on exactly one SM *)
+    List.iter
+      (fun (i : Instances.instance) ->
+        let e =
+          Lp.Linexpr.of_terms
+            (List.init num_sms (fun sm ->
+                 (Rat.one, Hashtbl.find vm.w (i.node, i.k, sm))))
+        in
+        Lp.Problem.add_constraint p
+          ~name:(Printf.sprintf "assign_%d_%d" i.node i.k)
+          e Lp.Problem.Eq Lp.Linexpr.(of_int 1))
+      insts;
+    (* (2) per-SM load within the II *)
+    for sm = 0 to num_sms - 1 do
+      let e =
+        Lp.Linexpr.of_terms
+          (List.map
+             (fun (i : Instances.instance) ->
+               (q cfg.delay.(i.node), Hashtbl.find vm.w (i.node, i.k, sm)))
+             insts)
+      in
+      Lp.Problem.add_constraint p
+        ~name:(Printf.sprintf "resource_%d" sm)
+        e Lp.Problem.Le
+        (Lp.Linexpr.of_int ii)
+    done;
+    (* Symmetry breaking: pin the first instance to SM 0 (any solution
+       can be permuted into this form). *)
+    (match insts with
+    | first :: _ ->
+      Lp.Problem.add_constraint p ~name:"symmetry"
+        (Lp.Linexpr.var (Hashtbl.find vm.w (first.node, first.k, 0)))
+        Lp.Problem.Eq
+        Lp.Linexpr.(of_int 1)
+    | [] -> ());
+    (* (7) + (8) per dependence *)
+    List.iteri
+      (fun di (dep : Instances.dep) ->
+        let u = dep.src.Instances.node and ku = dep.src.Instances.k in
+        let v = dep.dst.Instances.node and kv = dep.dst.Instances.k in
+        let fu = Hashtbl.find vm.f (u, ku)
+        and fv = Hashtbl.find vm.f (v, kv)
+        and ou = Hashtbl.find vm.o (u, ku)
+        and ov = Hashtbl.find vm.o (v, kv) in
+        (* Self-dependences (an instance with itself, only possible via
+           loop-carried edges) never cross SMs. *)
+        if u = v && ku = kv then begin
+          (* A >= A + T*jlag + d  =>  0 >= T*jlag + d *)
+          if (ii * dep.jlag) + dep.d_src > 0 then
+            Lp.Problem.add_constraint p
+              ~name:(Printf.sprintf "dep%d_self_infeasible" di)
+              (Lp.Linexpr.of_int 1) Lp.Problem.Le
+              (Lp.Linexpr.of_int 0)
+        end
+        else begin
+          let gid =
+            Lp.Problem.add_var p ~kind:Lp.Problem.Binary
+              (Printf.sprintf "g_%d" di)
+          in
+          for sm = 0 to num_sms - 1 do
+            let wu = Hashtbl.find vm.w (u, ku, sm)
+            and wv = Hashtbl.find vm.w (v, kv, sm) in
+            (* g >= wv - wu ; g >= wu - wv *)
+            Lp.Problem.add_constraint p
+              ~name:(Printf.sprintf "dep%d_g_a_%d" di sm)
+              (Lp.Linexpr.of_terms
+                 [ (Rat.one, gid); (Rat.one, wu); (Rat.minus_one, wv) ])
+              Lp.Problem.Ge (Lp.Linexpr.of_int 0);
+            Lp.Problem.add_constraint p
+              ~name:(Printf.sprintf "dep%d_g_b_%d" di sm)
+              (Lp.Linexpr.of_terms
+                 [ (Rat.one, gid); (Rat.one, wv); (Rat.minus_one, wu) ])
+              Lp.Problem.Ge (Lp.Linexpr.of_int 0)
+          done;
+          (* (8a): T*fv + ov >= T*(jlag + fu) + ou + d(u) *)
+          Lp.Problem.add_constraint p
+            ~name:(Printf.sprintf "dep%d_time" di)
+            (Lp.Linexpr.of_terms
+               [
+                 (q ii, fv);
+                 (Rat.one, ov);
+                 (q (-ii), fu);
+                 (Rat.minus_one, ou);
+               ])
+            Lp.Problem.Ge
+            (Lp.Linexpr.of_int ((ii * dep.jlag) + dep.d_src));
+          (* (8b): T*fv + ov >= T*(jlag + fu + g) *)
+          Lp.Problem.add_constraint p
+            ~name:(Printf.sprintf "dep%d_cross" di)
+            (Lp.Linexpr.of_terms
+               [
+                 (q ii, fv);
+                 (Rat.one, ov);
+                 (q (-ii), fu);
+                 (q (-ii), gid);
+               ])
+            Lp.Problem.Ge
+            (Lp.Linexpr.of_int (ii * dep.jlag))
+        end)
+      deps;
+    Ok (p, vm)
+
+let solve ?(node_budget = 4000) ?time_budget_s g cfg ~num_sms ~ii =
+  match build g cfg ~num_sms ~ii with
+  | Error _ -> `Infeasible
+  | Ok (p, vm) -> (
+    match Lp.Branch_bound.solve ~node_budget ?time_budget_s p with
+    | Lp.Solution.Infeasible, _ -> `Infeasible
+    | Lp.Solution.Unbounded, _ ->
+      (* feasibility problem over bounded variables; cannot happen *)
+      assert false
+    | Lp.Solution.Budget_exhausted _, _ -> `Budget_exhausted
+    | Lp.Solution.Optimal sol, _ ->
+      let entries =
+        List.map
+          (fun (i : Instances.instance) ->
+            let sm = ref (-1) in
+            for s = 0 to num_sms - 1 do
+              if
+                Lp.Solution.value_int sol (Hashtbl.find vm.w (i.node, i.k, s))
+                = 1
+              then sm := s
+            done;
+            {
+              Swp_schedule.inst = i;
+              sm = !sm;
+              o = Lp.Solution.value_int sol (Hashtbl.find vm.o (i.node, i.k));
+              f = Lp.Solution.value_int sol (Hashtbl.find vm.f (i.node, i.k));
+            })
+          (Instances.instances cfg)
+      in
+      let sched = { Swp_schedule.ii; entries; num_sms; config = cfg } in
+      (match Swp_schedule.validate g sched with
+      | Ok () -> `Schedule sched
+      | Error m -> failwith ("Ilp.solve: solver returned invalid schedule: " ^ m)))

@@ -1,0 +1,40 @@
+(** ILP formulation of the scheduling-and-assignment problem (Sec. III).
+
+    For a candidate initiation interval [T], generates exactly the
+    constraint system of the paper:
+
+    - 0-1 assignment variables [w(k,v,p)] with constraint (1);
+    - resource constraint (2) per SM;
+    - offset variables [o(k,v)] with the no-wrap constraint (4);
+    - stage variables [f(k,v)];
+    - cross-SM indicators [g] defined by the pairs of inequalities (7);
+    - the two dependence systems (8).
+
+    The problem is a pure feasibility ILP (constant objective), solved by
+    {!Lp.Branch_bound} — our CPLEX stand-in — under a node budget that
+    mirrors the paper's 20-second allotment. *)
+
+type var_map = {
+  w : (int * int * int, int) Hashtbl.t;  (** (node, k, sm) -> variable id *)
+  o : (int * int, int) Hashtbl.t;        (** (node, k) -> variable id *)
+  f : (int * int, int) Hashtbl.t;
+}
+
+val build :
+  Streamit.Graph.t ->
+  Select.config ->
+  num_sms:int ->
+  ii:int ->
+  (Lp.Problem.t * var_map, string) result
+(** [Error] when the II is trivially infeasible (some delay exceeds it). *)
+
+val solve :
+  ?node_budget:int ->
+  ?time_budget_s:float ->
+  Streamit.Graph.t ->
+  Select.config ->
+  num_sms:int ->
+  ii:int ->
+  [ `Schedule of Swp_schedule.t | `Infeasible | `Budget_exhausted ]
+(** Builds, solves, decodes and {e validates} the schedule before
+    returning it. *)

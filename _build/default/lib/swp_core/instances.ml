@@ -1,0 +1,102 @@
+open Numeric
+
+type instance = { node : int; k : int }
+
+type dep = { src : instance; dst : instance; jlag : int; d_src : int }
+
+let instances (cfg : Select.config) =
+  let acc = ref [] in
+  for v = Array.length cfg.reps - 1 downto 0 do
+    for k = cfg.reps.(v) - 1 downto 0 do
+      acc := { node = v; k } :: !acc
+    done
+  done;
+  !acc
+
+let num_instances (cfg : Select.config) = Array.fold_left ( + ) 0 cfg.reps
+
+let index (cfg : Select.config) inst =
+  let base = ref 0 in
+  for v = 0 to inst.node - 1 do
+    base := !base + cfg.reps.(v)
+  done;
+  !base + inst.k
+
+let edge_macro_rates g (cfg : Select.config) (e : Streamit.Graph.edge) =
+  let o = Streamit.Graph.production g e * cfg.threads.(e.src) in
+  let i = Streamit.Graph.consumption g e * cfg.threads.(e.dst) in
+  (* The peek margin shrinks the usable initial tokens: the consumer's
+     firing rule needs [peek] tokens but only [pop] are consumed. *)
+  let m = e.init_tokens - Streamit.Graph.peek_margin g e in
+  (o, i, m)
+
+let state_deps g (cfg : Select.config) =
+  (* Stateful filters carry dependences between successive instances
+     (Sec. II-B): instance k+1 reads the state instance k wrote, and the
+     first instance of an iteration reads the last instance of the
+     previous one (a loop-carried dependence that makes RecMII > 0). *)
+  let out = ref [] in
+  Array.iteri
+    (fun v (nd : Streamit.Graph.node) ->
+      match nd.Streamit.Graph.kind with
+      | Streamit.Graph.NFilter f when Streamit.Kernel.is_stateful f ->
+        let kv = cfg.reps.(v) in
+        for k = 0 to kv - 2 do
+          out :=
+            {
+              src = { node = v; k };
+              dst = { node = v; k = k + 1 };
+              jlag = 0;
+              d_src = cfg.delay.(v);
+            }
+            :: !out
+        done;
+        out :=
+          {
+            src = { node = v; k = kv - 1 };
+            dst = { node = v; k = 0 };
+            jlag = -1;
+            d_src = cfg.delay.(v);
+          }
+          :: !out
+      | _ -> ())
+    g.Streamit.Graph.nodes;
+  !out
+
+let deps g (cfg : Select.config) =
+  let out = ref (state_deps g cfg) in
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Streamit.Graph.edge) ->
+      let u = e.src and v = e.dst in
+      let o', i', m' = edge_macro_rates g cfg e in
+      let ku = cfg.reps.(u) in
+      for k = 0 to cfg.reps.(v) - 1 do
+        (* Producer firing indices covering tokens (k*I' + 1 .. k*I'+I'):
+           idx ranges over ceil((k*I' + l - m' - O') / O') for l in
+           [1, I'] — a contiguous integer interval. *)
+        let lo = Intmath.cdiv ((k * i') + 1 - m' - o') o' in
+        let hi = Intmath.cdiv ((k * i') + i' - m' - o') o' in
+        for idx = lo to hi do
+          (* idx < 0 would mean the demand is covered by initial tokens
+             alone; no producer instance is involved. *)
+          if idx >= 0 then begin
+            let k' = Intmath.emod idx ku in
+            let jlag = Intmath.fdiv idx ku in
+            let key = (u, k', v, k, jlag) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              out :=
+                {
+                  src = { node = u; k = k' };
+                  dst = { node = v; k };
+                  jlag;
+                  d_src = cfg.delay.(u);
+                }
+                :: !out
+            end
+          end
+        done
+      done)
+    g.Streamit.Graph.edges;
+  List.rev !out

@@ -1,0 +1,38 @@
+(** Instance expansion and multi-rate dependence analysis (Sec. III).
+
+    The fundamental schedulable entity is one {e instance} — the [k]-th
+    macro firing of a node in the steady state.  For every edge [(u,v)]
+    this module computes, per consumer instance, the exact set of producer
+    instances it depends on (eq. (5)), expressed as [(k', jlag)] pairs
+    where [jlag <= 0] says the producer fires [|jlag|] steady-state
+    iterations earlier (the derivation leading to eq. (6)). *)
+
+type instance = { node : int; k : int }
+
+type dep = {
+  src : instance;      (** producer instance *)
+  dst : instance;      (** consumer instance *)
+  jlag : int;          (** producer iteration offset, always <= 0 *)
+  d_src : int;         (** producer delay, cycles *)
+}
+
+val instances : Select.config -> instance list
+(** All [(v, k)] with [k < reps.(v)], node-major order. *)
+
+val num_instances : Select.config -> int
+
+val index : Select.config -> instance -> int
+(** Dense index of an instance (for array-backed solvers). *)
+
+val deps : Streamit.Graph.t -> Select.config -> dep list
+(** Deduplicated dependence set over all edges.  Edges from the external
+    host input have no producer and contribute nothing.  Stateful filters
+    additionally contribute the serializing chain between their successive
+    instances, including a loop-carried dependence from the last instance
+    of one iteration to the first of the next (which is what makes RecMII
+    non-zero for graphs with state). *)
+
+val edge_macro_rates : Streamit.Graph.t -> Select.config -> Streamit.Graph.edge -> int * int * int
+(** [(O', I', m')]: production per macro firing of the source, consumption
+    per macro firing of the destination, and effective initial tokens
+    (initial tokens minus the peek margin). *)

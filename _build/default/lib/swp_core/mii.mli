@@ -1,0 +1,20 @@
+(** Lower bounds on the initiation interval.
+
+    [ResMII] is the resource bound: total instance work divided by the
+    number of SMs.  [RecMII] is the recurrence bound over dependence
+    cycles (only feedback loops create them; it is 0 for the whole
+    evaluated benchmark suite, footnote 1 of the paper).  The II search
+    starts at [max(ResMII, RecMII)], as Sec. V-B describes. *)
+
+val res_mii : Select.config -> num_sms:int -> int
+
+val rec_mii : Streamit.Graph.t -> Select.config -> int
+(** Smallest T for which the dependence-difference system
+    [A_dst - A_src >= d_src + T*jlag] admits a solution, found by binary
+    search with Bellman-Ford positive-cycle detection.  0 when the
+    instance dependence graph is acyclic. *)
+
+val lower_bound : Streamit.Graph.t -> Select.config -> num_sms:int -> int
+(** [max(ResMII, RecMII, 1 + max delay)] — the last term because the
+    no-wrap constraint (4) requires every instance to complete within one
+    II. *)

@@ -1,0 +1,67 @@
+open Gpusim
+
+type mode = Coalesced | Non_coalesced
+
+type data = {
+  reg_options : int list;
+  thread_options : int list;
+  numfirings : int;
+  mode : mode;
+  runtimes : float array array array;
+}
+
+let default_reg_options = [ 16; 20; 32; 64 ]
+let default_thread_options = [ 128; 256; 384; 512 ]
+
+let layout_for arch mode node ~threads =
+  match mode with
+  | Coalesced -> Timing.Shuffled
+  | Non_coalesced ->
+    if Timing.shared_fits arch node ~threads then Timing.Shared_staged
+    else Timing.Natural
+
+let run ?(reg_options = default_reg_options)
+    ?(thread_options = default_thread_options) ?(numfirings = 0) arch graph
+    ~mode =
+  (* numfirings must be a common multiple of every thread count and large
+     enough to amortize the kernel launch (Sec. IV-A). *)
+  let numfirings =
+    if numfirings > 0 then numfirings
+    else 16 * List.fold_left Numeric.Intmath.lcm 1 thread_options
+  in
+  let n = Streamit.Graph.num_nodes graph in
+  let runtimes =
+    Array.init n (fun v ->
+        let node = Streamit.Graph.node graph v in
+        Array.map
+          (fun regs ->
+            Array.map
+              (fun threads ->
+                let layout = layout_for arch mode node ~threads in
+                match
+                  Timing.pass_of_node arch node ~threads ~regs_cap:regs ~layout
+                with
+                | None -> infinity
+                | Some pass ->
+                  let iterations = numfirings / threads in
+                  float_of_int
+                    ((iterations * Timing.combine_solo pass)
+                    + arch.Arch.kernel_launch_cycles))
+              (Array.of_list thread_options))
+          (Array.of_list reg_options))
+  in
+  { reg_options; thread_options; numfirings; mode; runtimes }
+
+let index_of l x =
+  let rec go i = function
+    | [] -> raise Not_found
+    | y :: rest -> if y = x then i else go (i + 1) rest
+  in
+  go 0 l
+
+let time_of d ~node ~regs ~threads =
+  d.runtimes.(node).(index_of d.reg_options regs).(index_of d.thread_options threads)
+
+let pass_cycles d ~node ~regs ~threads =
+  let t = time_of d ~node ~regs ~threads in
+  t *. float_of_int threads /. float_of_int d.numfirings

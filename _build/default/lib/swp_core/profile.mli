@@ -1,0 +1,50 @@
+(** Profiling phase (Fig. 6 of the paper).
+
+    For every node of the flattened graph, four kernel versions are
+    "compiled" with register caps {16, 20, 32, 64} and each is "executed"
+    with {128, 256, 384, 512} threads on the simulated GPU, performing
+    [numfirings] single-threaded firings regardless of configuration so
+    the measurements are comparable.  Infeasible launches (block does not
+    fit the register file) record an infinite time, exactly as Fig. 6
+    line 5 prescribes. *)
+
+type mode =
+  | Coalesced      (** optimized shuffled buffer layout *)
+  | Non_coalesced
+      (** SWPNC: natural layout, or shared-memory staging when the
+          working set fits (Sec. V-B) *)
+
+type data = {
+  reg_options : int list;
+  thread_options : int list;
+  numfirings : int;
+  mode : mode;
+  runtimes : float array array array;
+      (** [runtimes.(node).(ri).(ti)] = simulated GPU cycles to perform
+          [numfirings] firings of [node] compiled with [reg_options.(ri)]
+          registers and run with [thread_options.(ti)] threads;
+          [infinity] when infeasible *)
+}
+
+val default_reg_options : int list
+val default_thread_options : int list
+
+val layout_for : Gpusim.Arch.t -> mode -> Streamit.Graph.node -> threads:int -> Gpusim.Timing.layout
+(** The buffer layout a node uses under the given compilation mode. *)
+
+val run :
+  ?reg_options:int list ->
+  ?thread_options:int list ->
+  ?numfirings:int ->
+  Gpusim.Arch.t ->
+  Streamit.Graph.t ->
+  mode:mode ->
+  data
+
+val time_of : data -> node:int -> regs:int -> threads:int -> float
+(** Lookup by option values rather than indices.
+    @raise Not_found for an unprofiled combination. *)
+
+val pass_cycles : data -> node:int -> regs:int -> threads:int -> float
+(** Time of a single pass ([threads] concurrent firings):
+    [time_of * threads / numfirings]. *)

@@ -1,0 +1,142 @@
+open Numeric
+
+type config = {
+  regs : int;
+  block_threads : int;
+  threads : int array;
+  delay : int array;
+  reps : int array;
+  scale : int;
+  norm_ii : float;
+}
+
+(* Macro repetition vector: node v fires k'_v times where
+   k'_v * threads.(v) is proportional to the original k_v.  The smallest
+   integer solution is k'_v = k_v * L / threads.(v) with
+   L = lcm_v (threads.(v) / gcd(k_v, threads.(v))). *)
+let macro_reps g (rates : Streamit.Sdf.rates) ~threads =
+  let n = Streamit.Graph.num_nodes g in
+  if Array.length threads <> n then invalid_arg "Select.macro_reps";
+  let l =
+    ref 1
+  in
+  for v = 0 to n - 1 do
+    let k = rates.Streamit.Sdf.reps.(v) and t = threads.(v) in
+    if t <= 0 then invalid_arg "Select.macro_reps: non-positive threads";
+    l := Intmath.lcm !l (t / Intmath.gcd k t)
+  done;
+  let reps =
+    Array.init n (fun v -> rates.Streamit.Sdf.reps.(v) * !l / threads.(v))
+  in
+  (* One macro steady state performs k'_v × t_v = k_v × L single-thread
+     firings of each node: L original steady states. *)
+  (reps, !l)
+
+(* Work metric (Fig. 7 line 14): tokens produced at the sink of the
+   stream graph in one macro steady state. *)
+let work_per_steady_state g (rates : Streamit.Sdf.rates) ~scale =
+  let sink_tokens =
+    match g.Streamit.Graph.exit_ with
+    | Some _ -> Streamit.Sdf.output_tokens g rates
+    | None ->
+      (* no external output: count tokens into graph sinks instead *)
+      List.fold_left
+        (fun acc v ->
+          acc
+          + rates.Streamit.Sdf.reps.(v)
+            * Streamit.Graph.pop_rate_of (Streamit.Graph.node g v))
+        0 (Streamit.Graph.sinks g)
+  in
+  max 1 (sink_tokens * scale)
+
+let select g rates (data : Profile.data) =
+  let n = Streamit.Graph.num_nodes g in
+  let feasible_pair ri ti =
+    (* feasible for ALL nodes: single compilation unit restriction *)
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if data.Profile.runtimes.(v).(ri).(ti) = infinity then ok := false
+    done;
+    !ok
+  in
+  let nregs = List.length data.Profile.reg_options in
+  let nthreads = List.length data.Profile.thread_options in
+  let thread_opt ti = List.nth data.Profile.thread_options ti in
+  let reg_opt ri = List.nth data.Profile.reg_options ri in
+  let best = ref None in
+  for ri = 0 to nregs - 1 do
+    for ti = 0 to nthreads - 1 do
+      if feasible_pair ri ti then begin
+        let num_threads = thread_opt ti in
+        (* Per-node best thread count k <= numThreads (Fig. 7 line 4). *)
+        let candidate = Array.make n 0 in
+        let cand_time = Array.make n infinity in
+        for v = 0 to n - 1 do
+          for tj = 0 to nthreads - 1 do
+            let k = thread_opt tj in
+            if k <= num_threads then begin
+              let t = data.Profile.runtimes.(v).(ri).(tj) in
+              if t < cand_time.(v) then begin
+                cand_time.(v) <- t;
+                candidate.(v) <- k
+              end
+            end
+          done
+        done;
+        if Array.for_all (fun t -> t < infinity) cand_time then begin
+          let reps, scale = macro_reps g rates ~threads:candidate in
+          (* curII (Fig. 7 lines 9-13): per-node profile time scaled from
+             numfirings firings down to one pass, times instance count. *)
+          let cur_ii = ref 0.0 in
+          for v = 0 to n - 1 do
+            let per_pass =
+              cand_time.(v) *. float_of_int candidate.(v)
+              /. float_of_int data.Profile.numfirings
+            in
+            cur_ii := !cur_ii +. (per_pass *. float_of_int reps.(v))
+          done;
+          let w = work_per_steady_state g rates ~scale in
+          let norm = !cur_ii /. float_of_int w in
+          let better =
+            match !best with None -> true | Some (b, _) -> norm < b
+          in
+          if better then begin
+            let delay =
+              Array.init n (fun v ->
+                  let per_pass =
+                    cand_time.(v) *. float_of_int candidate.(v)
+                    /. float_of_int data.Profile.numfirings
+                  in
+                  max 1 (int_of_float (Float.round per_pass)))
+            in
+            best :=
+              Some
+                ( norm,
+                  {
+                    regs = reg_opt ri;
+                    block_threads = num_threads;
+                    threads = candidate;
+                    delay;
+                    reps;
+                    scale;
+                    norm_ii = norm;
+                  } )
+          end
+        end
+      end
+    done
+  done;
+  match !best with
+  | Some (_, cfg) -> Ok cfg
+  | None -> Error "no feasible (registers, threads) configuration"
+
+let pp_config g fmt c =
+  Format.fprintf fmt
+    "@[<v>config: regs=%d block_threads=%d scale=%d norm_ii=%.4f" c.regs
+    c.block_threads c.scale c.norm_ii;
+  Array.iteri
+    (fun v t ->
+      Format.fprintf fmt "@,  %-24s threads=%-4d reps=%-4d delay=%d"
+        (Streamit.Graph.name g v) t c.reps.(v) c.delay.(v))
+    c.threads;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,35 @@
+(** Execution-configuration selection (Algorithm of Fig. 7).
+
+    Chooses the globally optimal (registers-per-thread, threads-per-block)
+    pair — global because all filters are compiled in one CUDA compilation
+    unit and must share a register cap — and, within it, the best thread
+    count for each individual filter.  The metric is the work-normalised
+    resource II: total per-steady-state execution time divided by the
+    tokens the steady state produces at the sink. *)
+
+type config = {
+  regs : int;            (** chosen register cap (bestRegs) *)
+  block_threads : int;   (** chosen block size (bestThreads) *)
+  threads : int array;   (** per node: threads it executes with *)
+  delay : int array;     (** per node: cycles of one macro-firing, d(v) *)
+  reps : int array;
+      (** per node: macro firings per steady state, [k_v] of Sec. III —
+          recomputed for the scaled push/pop rates (Fig. 7 line 7) *)
+  scale : int;
+      (** how many original steady states one macro steady state spans *)
+  norm_ii : float;       (** the winning work-normalised candidate II *)
+}
+
+val select :
+  Streamit.Graph.t -> Streamit.Sdf.rates -> Profile.data -> (config, string) result
+(** [Error] when no (regs, threads) pair is feasible for every filter. *)
+
+val macro_reps :
+  Streamit.Graph.t -> Streamit.Sdf.rates -> threads:int array -> int array * int
+(** Solves the steady-state equations for the scaled rates: node [v]
+    firing with [threads.(v)] threads consumes/produces [threads.(v)]
+    times more per firing.  Returns the primitive macro repetition vector
+    together with the scale factor (original steady states per macro
+    steady state). *)
+
+val pp_config : Streamit.Graph.t -> Format.formatter -> config -> unit

@@ -1,0 +1,106 @@
+type entry = { inst : Instances.instance; sm : int; o : int; f : int }
+
+type t = {
+  ii : int;
+  entries : entry list;
+  num_sms : int;
+  config : Select.config;
+}
+
+let find t inst =
+  List.find
+    (fun e -> e.inst.Instances.node = inst.Instances.node && e.inst.Instances.k = inst.Instances.k)
+    t.entries
+
+let stages t = 1 + List.fold_left (fun acc e -> max acc e.f) 0 t.entries
+
+let sm_load t =
+  let load = Array.make t.num_sms 0 in
+  List.iter
+    (fun e ->
+      load.(e.sm) <- load.(e.sm) + t.config.Select.delay.(e.inst.Instances.node))
+    t.entries;
+  load
+
+let validate g t =
+  let err = ref None in
+  let fail m = if !err = None then err := Some m in
+  let cfg = t.config in
+  (* (1) every instance scheduled exactly once, on a valid SM *)
+  let expected = Instances.num_instances cfg in
+  if List.length t.entries <> expected then
+    fail
+      (Printf.sprintf "schedule has %d entries, expected %d instances"
+         (List.length t.entries) expected);
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let key = (e.inst.Instances.node, e.inst.Instances.k) in
+      if Hashtbl.mem tbl key then fail "instance scheduled twice";
+      Hashtbl.replace tbl key e;
+      if e.sm < 0 || e.sm >= t.num_sms then fail "SM out of range";
+      if e.o < 0 then fail "negative offset";
+      if e.f < 0 then fail "negative stage";
+      (* (4) no wrap-around *)
+      if e.o + cfg.Select.delay.(e.inst.Instances.node) >= t.ii then
+        fail
+          (Printf.sprintf "instance (%s,%d) wraps around the II"
+             (Streamit.Graph.name g e.inst.Instances.node)
+             e.inst.Instances.k))
+    t.entries;
+  (* (2) resource constraint *)
+  Array.iteri
+    (fun p load ->
+      if load > t.ii then
+        fail (Printf.sprintf "SM %d overloaded: %d > II %d" p load t.ii))
+    (sm_load t);
+  (* (8) dependence constraints *)
+  if !err = None then
+    List.iter
+      (fun (dep : Instances.dep) ->
+        let es = Hashtbl.find_opt tbl (dep.src.Instances.node, dep.src.Instances.k) in
+        let ed = Hashtbl.find_opt tbl (dep.dst.Instances.node, dep.dst.Instances.k) in
+        match (es, ed) with
+        | Some es, Some ed ->
+          let a_src = (t.ii * es.f) + es.o in
+          let a_dst = (t.ii * ed.f) + ed.o in
+          if a_dst < a_src + (t.ii * dep.jlag) + dep.d_src then
+            fail
+              (Printf.sprintf
+                 "dependence (%s,%d) -> (%s,%d) violated: %d < %d + %d*%d + %d"
+                 (Streamit.Graph.name g dep.src.Instances.node)
+                 dep.src.Instances.k
+                 (Streamit.Graph.name g dep.dst.Instances.node)
+                 dep.dst.Instances.k a_dst a_src t.ii dep.jlag dep.d_src);
+          (* cross-SM producers are only visible one iteration later *)
+          if es.sm <> ed.sm && ed.f < es.f + dep.jlag + 1 then
+            fail
+              (Printf.sprintf
+                 "cross-SM dependence (%s,%d) -> (%s,%d) lacks an iteration of \
+                  separation"
+                 (Streamit.Graph.name g dep.src.Instances.node)
+                 dep.src.Instances.k
+                 (Streamit.Graph.name g dep.dst.Instances.node)
+                 dep.dst.Instances.k)
+        | _ -> fail "dependence references unscheduled instance")
+      (Instances.deps g cfg);
+  match !err with None -> Ok () | Some m -> Error m
+
+let pp g fmt t =
+  Format.fprintf fmt "@[<v>SWP schedule: II=%d, %d instances, %d stages" t.ii
+    (List.length t.entries) (stages t);
+  let by_sm = Array.make t.num_sms [] in
+  List.iter (fun e -> by_sm.(e.sm) <- e :: by_sm.(e.sm)) t.entries;
+  Array.iteri
+    (fun p es ->
+      if es <> [] then begin
+        Format.fprintf fmt "@,  SM%-2d:" p;
+        List.iter
+          (fun e ->
+            Format.fprintf fmt " (%s,%d)@@o=%d,f=%d"
+              (Streamit.Graph.name g e.inst.Instances.node)
+              e.inst.Instances.k e.o e.f)
+          (List.sort (fun a b -> compare a.o b.o) es)
+      end)
+    by_sm;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,40 @@
+(** Software-pipelined schedules: the solution of the scheduling problem
+    of Sec. III, however it was obtained (exact ILP or heuristic).
+
+    Every instance [(v, k)] carries its SM assignment [sm] (the [w]
+    variables), its offset [o] within the kernel and its stage [f], so
+    that the linear-form start time of iteration [j] is
+    [T*(j + f) + o] (eq. (3)). *)
+
+type entry = {
+  inst : Instances.instance;
+  sm : int;
+  o : int;
+  f : int;
+}
+
+type t = {
+  ii : int;                (** initiation interval T *)
+  entries : entry list;
+  num_sms : int;
+  config : Select.config;
+}
+
+val find : t -> Instances.instance -> entry
+(** @raise Not_found if the instance is not scheduled. *)
+
+val stages : t -> int
+(** [1 + max f]: pipeline depth in steady-state iterations. *)
+
+val sm_load : t -> int array
+(** Total delay scheduled on each SM — the left side of constraint (2). *)
+
+val validate : Streamit.Graph.t -> t -> (unit, string) result
+(** Checks the full constraint system of Sec. III on the schedule:
+    every instance on exactly one SM (1); per-SM load within II (2); no
+    wrap-around, [o + d(v) < T] (4); and every dependence satisfied,
+    including the extra iteration of separation when producer and
+    consumer sit on different SMs (8).  This is the shared oracle the
+    ILP and heuristic solvers are both tested against. *)
+
+val pp : Streamit.Graph.t -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Ast Benchmarks Flatten Float Graph Interp List Printf QCheck QCheck_alcotest Streamit Types

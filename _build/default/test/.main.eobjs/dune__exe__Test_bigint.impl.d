@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint List Numeric QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cudagen.ml: Alcotest Ast Benchmarks Cudagen Flatten Kernel List Printf Result Streamit String Swp_core Types

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Flatten Frontend Interp List Streamit Swp_core Types

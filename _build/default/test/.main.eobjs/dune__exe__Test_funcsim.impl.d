@@ -1,0 +1,1 @@
+test/test_funcsim.ml: Alcotest Ast Benchmarks Flatten Format Graph Kernel List Option Printf QCheck QCheck_alcotest Result Schedule Sdf Streamit Swp_core Types

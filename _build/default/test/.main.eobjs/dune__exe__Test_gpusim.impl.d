@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Arch Array Ast Benchmarks Coalesce Cpu_model Flatten Gpusim Graph Kernel List Regalloc Result Sdf Streamit Timing

@@ -1,0 +1,1 @@
+test/test_intmath.ml: Alcotest Intmath Numeric QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Bigint Numeric QCheck QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_stateful.ml: Alcotest Array Ast Cudagen Flatten Frontend Gpusim Graph Interp Kernel List Option Printf Result Streamit String Swp_core Types

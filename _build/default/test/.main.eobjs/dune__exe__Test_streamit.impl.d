@@ -1,0 +1,1 @@
+test/test_streamit.ml: Alcotest Array Ast Benchmarks Fifo Flatten Graph Interp Kernel List Result Schedule Sdf Streamit Types

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "streamit_gpu"
+    [
+      ("bigint", Test_bigint.suite);
+      ("rat", Test_rat.suite);
+      ("intmath", Test_intmath.suite);
+      ("lp", Test_lp.suite);
+      ("streamit", Test_streamit.suite);
+      ("gpusim", Test_gpusim.suite);
+      ("swp_core", Test_swp_core.suite);
+      ("cudagen", Test_cudagen.suite);
+      ("frontend", Test_frontend.suite);
+      ("benchmarks", Test_benchmarks.suite);
+      ("funcsim", Test_funcsim.suite);
+      ("stateful", Test_stateful.suite);
+    ]

@@ -1,0 +1,304 @@
+(* Functional correctness of the eight benchmark programs: real outputs
+   checked against independent references. *)
+
+open Streamit
+open Types
+
+let t name f = Alcotest.test_case name `Quick f
+
+let run_one g ~input ~iters = Interp.run_steady_states g ~input ~iters
+
+let structural_tests =
+  [
+    t "all benchmarks validate structurally" (fun () ->
+        List.iter
+          (fun (e : Benchmarks.Registry.entry) ->
+            Alcotest.(check (result unit string)) e.name (Ok ())
+              (Ast.validate (e.stream ()));
+            Alcotest.(check (result unit string)) (e.name ^ " graph") (Ok ())
+              (Graph.validate (Flatten.flatten (e.stream ()))))
+          Benchmarks.Registry.all);
+    t "peeking filter counts match Table I" (fun () ->
+        List.iter
+          (fun (e : Benchmarks.Registry.entry) ->
+            if e.name = "Filterbank" || e.name = "FMRadio" then
+              Alcotest.(check int) e.name e.paper_peeking
+                (Benchmarks.Registry.our_peeking e))
+          Benchmarks.Registry.all);
+    t "non-peeking benchmarks have no peeking filters" (fun () ->
+        List.iter
+          (fun (e : Benchmarks.Registry.entry) ->
+            if e.paper_peeking = 0 then
+              Alcotest.(check int) e.name 0 (Benchmarks.Registry.our_peeking e))
+          Benchmarks.Registry.all);
+    t "registry lookup" (fun () ->
+        Alcotest.(check bool) "found" true (Benchmarks.Registry.find "des" <> None);
+        Alcotest.(check bool) "case-insensitive" true
+          (Benchmarks.Registry.find "FMRADIO" <> None);
+        Alcotest.(check bool) "missing" true (Benchmarks.Registry.find "nope" = None));
+  ]
+
+let bitonic_tests =
+  [
+    t "bitonic sorts frames" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Bitonic.stream ()) in
+        let frames =
+          [
+            [| 5; 2; 7; 1; 9; 3; 8; 0 |];
+            [| 1; 1; 1; 1; 1; 1; 1; 1 |];
+            [| 8; 7; 6; 5; 4; 3; 2; 1 |];
+            [| 0; 1; 2; 3; 4; 5; 6; 7 |];
+          ]
+        in
+        let input i = VInt (List.nth frames (i / 8)).(i mod 8) in
+        let out = run_one g ~input ~iters:4 in
+        let out = Array.of_list (List.map to_int out) in
+        List.iteri
+          (fun fi frame ->
+            let sorted = Array.copy frame in
+            Array.sort compare sorted;
+            for j = 0 to 7 do
+              Alcotest.(check int)
+                (Printf.sprintf "frame %d pos %d" fi j)
+                sorted.(j)
+                out.((fi * 8) + j)
+            done)
+          frames);
+    t "recursive bitonic agrees with iterative" (fun () ->
+        let g1 = Flatten.flatten (Benchmarks.Bitonic.stream ()) in
+        let g2 = Flatten.flatten (Benchmarks.Bitonic_rec.stream ()) in
+        let input i = VInt ((i * 37) mod 101) in
+        let o1 = run_one g1 ~input ~iters:6 in
+        let o2 = run_one g2 ~input ~iters:6 in
+        Alcotest.(check (list int)) "same" (List.map to_int o1) (List.map to_int o2));
+  ]
+
+(* QCheck: bitonic output is always the sorted multiset of its frame. *)
+let bitonic_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"bitonic sorts random frames" ~count:40
+       QCheck.(list_of_size (QCheck.Gen.return 8) (int_range 0 1000))
+       (fun frame ->
+         let g = Flatten.flatten (Benchmarks.Bitonic.stream ()) in
+         let arr = Array.of_list frame in
+         let out =
+           run_one g ~input:(fun i -> VInt arr.(i mod 8)) ~iters:1
+           |> List.map to_int
+         in
+         let sorted = List.sort compare frame in
+         out = sorted))
+
+let des_tests =
+  [
+    t "DES FIPS walkthrough vector" (fun () ->
+        (* key 133457799BBCDFF1, plaintext 0123456789ABCDEF ->
+           ciphertext 85E813540F0AB405 *)
+        let g = Flatten.flatten (Benchmarks.Des.stream ()) in
+        let input i = VInt (if i mod 2 = 0 then 0x01234567 else 0x89ABCDEF) in
+        (match run_one g ~input ~iters:1 with
+        | [ VInt l; VInt r ] ->
+          Alcotest.(check int) "L" 0x85E81354 l;
+          Alcotest.(check int) "R" 0x0F0AB405 r
+        | _ -> Alcotest.fail "unexpected output shape"));
+    t "DES encrypt/decrypt round trip" (fun () ->
+        let enc = Flatten.flatten (Benchmarks.Des.stream ()) in
+        let blocks =
+          [| (0x01234567, 0x89ABCDEF); (0xDEADBEEF, 0x01020304); (0, 0) |]
+        in
+        let input i =
+          let l, r = blocks.(i / 2) in
+          VInt (if i mod 2 = 0 then l else r)
+        in
+        let cipher = Array.of_list (List.map to_int (run_one enc ~input ~iters:3)) in
+        let dec = Flatten.flatten (Benchmarks.Des.decrypt_stream ()) in
+        let plain =
+          run_one dec ~input:(fun i -> VInt cipher.(i)) ~iters:3
+          |> List.map to_int |> Array.of_list
+        in
+        Array.iteri
+          (fun i (l, r) ->
+            Alcotest.(check int) "L" l plain.(2 * i);
+            Alcotest.(check int) "R" r plain.((2 * i) + 1))
+          blocks);
+    t "different keys give different ciphertexts" (fun () ->
+        let run key =
+          let g = Flatten.flatten (Benchmarks.Des.stream ~key ()) in
+          run_one g
+            ~input:(fun i -> VInt (if i mod 2 = 0 then 0x01234567 else 0x89ABCDEF))
+            ~iters:1
+        in
+        let a = run "133457799BBCDFF1" in
+        let b = run "0000000000000001" in
+        Alcotest.(check bool) "differ" false
+          (List.for_all2 equal_value a b));
+    t "key schedule structure" (fun () ->
+        let keys = Benchmarks.Des.Tables.round_keys Benchmarks.Des.Tables.default_key in
+        Alcotest.(check int) "16 rounds" 16 (Array.length keys);
+        Array.iter
+          (fun (k1, k2) ->
+            Alcotest.(check bool) "24-bit halves" true
+              (k1 >= 0 && k1 < 1 lsl 24 && k2 >= 0 && k2 < 1 lsl 24))
+          keys;
+        (* FIPS walkthrough K1 = 000110 110000 001011 101111 111111 000111 000001 110010 *)
+        let k1a, k1b = keys.(0) in
+        Alcotest.(check int) "K1 hi" 0b000110110000001011101111 k1a;
+        Alcotest.(check int) "K1 lo" 0b111111000111000001110010 k1b);
+  ]
+
+let dct_tests =
+  [
+    t "2-D DCT matches separable reference" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Dct.stream ()) in
+        let frame = Array.init 64 (fun i -> float_of_int ((i * 7 mod 13) - 6) /. 3.0) in
+        let out =
+          run_one g ~input:(fun i -> VFloat frame.(i mod 64)) ~iters:1
+          |> List.map to_float |> Array.of_list
+        in
+        let tmp = Array.make 64 0.0 and ref2d = Array.make 64 0.0 in
+        for r = 0 to 7 do
+          let row = Benchmarks.Dct.dct_1d_reference (Array.sub frame (r * 8) 8) in
+          Array.blit row 0 tmp (r * 8) 8
+        done;
+        for cidx = 0 to 7 do
+          let col =
+            Benchmarks.Dct.dct_1d_reference
+              (Array.init 8 (fun r -> tmp.((r * 8) + cidx)))
+          in
+          for r = 0 to 7 do
+            ref2d.((r * 8) + cidx) <- col.(r)
+          done
+        done;
+        Array.iteri
+          (fun i x ->
+            if Float.abs (x -. ref2d.(i)) > 1e-4 then
+              Alcotest.failf "mismatch at %d: %f vs %f" i x ref2d.(i))
+          out);
+    t "DCT of constant block concentrates in DC" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Dct.stream ()) in
+        let out =
+          run_one g ~input:(fun _ -> VFloat 1.0) ~iters:1
+          |> List.map to_float |> Array.of_list
+        in
+        Alcotest.(check (float 1e-4)) "DC" 8.0 out.(0);
+        Array.iteri
+          (fun i x ->
+            if i > 0 && Float.abs x > 1e-4 then
+              Alcotest.failf "AC leak at %d: %f" i x)
+          out);
+  ]
+
+let fft_tests =
+  [
+    t "FFT matches naive DFT" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Fft.stream ()) in
+        let n = Benchmarks.Fft.points in
+        let inp =
+          Array.init n (fun i ->
+              (sin (0.3 *. float_of_int i), cos (0.21 *. float_of_int i)))
+        in
+        let tape i =
+          let c = i / 2 mod n in
+          if i mod 2 = 0 then VFloat (fst inp.(c)) else VFloat (snd inp.(c))
+        in
+        let out = run_one g ~input:tape ~iters:1 |> List.map to_float |> Array.of_list in
+        let rf = Benchmarks.Fft.dft_reference inp in
+        Array.iteri
+          (fun k (re, im) ->
+            if
+              Float.abs (re -. out.(2 * k)) > 1e-3
+              || Float.abs (im -. out.((2 * k) + 1)) > 1e-3
+            then Alcotest.failf "bin %d mismatch" k)
+          rf);
+    t "FFT of impulse is flat spectrum" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Fft.stream ()) in
+        let tape i = if i = 0 then VFloat 1.0 else VFloat 0.0 in
+        let out = run_one g ~input:tape ~iters:1 |> List.map to_float in
+        List.iteri
+          (fun i x ->
+            let expected = if i mod 2 = 0 then 1.0 else 0.0 in
+            if Float.abs (x -. expected) > 1e-4 then
+              Alcotest.failf "flat spectrum violated at %d: %f" i x)
+          out);
+    t "FFT linearity" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Fft.stream ()) in
+        let n = Benchmarks.Fft.points in
+        let a = Array.init (2 * n) (fun i -> float_of_int ((i * 13 mod 7) - 3)) in
+        let b = Array.init (2 * n) (fun i -> float_of_int ((i * 5 mod 11) - 5)) in
+        let run arr =
+          run_one g ~input:(fun i -> VFloat arr.(i mod (2 * n))) ~iters:1
+          |> List.map to_float |> Array.of_list
+        in
+        let fa = run a and fb = run b in
+        let sum = Array.init (2 * n) (fun i -> a.(i) +. b.(i)) in
+        let fsum = run sum in
+        Array.iteri
+          (fun i x ->
+            if Float.abs (x -. (fa.(i) +. fb.(i))) > 1e-3 then
+              Alcotest.failf "linearity violated at %d" i)
+          fsum);
+  ]
+
+let dsp_tests =
+  [
+    t "filterbank: zero in, zero out" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Filterbank.stream ()) in
+        let out = run_one g ~input:(fun _ -> VFloat 0.0) ~iters:3 in
+        List.iter
+          (fun v ->
+            if Float.abs (to_float v) > 1e-9 then Alcotest.fail "nonzero output")
+          out);
+    t "filterbank is linear and time-invariant-ish (scaling)" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Filterbank.stream ()) in
+        let sig_ i = sin (0.1 *. float_of_int i) in
+        let o1 =
+          run_one g ~input:(fun i -> VFloat (sig_ i)) ~iters:4 |> List.map to_float
+        in
+        let o2 =
+          run_one g ~input:(fun i -> VFloat (2.0 *. sig_ i)) ~iters:4
+          |> List.map to_float
+        in
+        List.iter2
+          (fun a b ->
+            if Float.abs ((2.0 *. a) -. b) > 1e-5 then
+              Alcotest.failf "scaling violated: %f vs %f" (2.0 *. a) b)
+          o1 o2);
+    t "fm radio produces finite output" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Fm_radio.stream ()) in
+        let out =
+          run_one g
+            ~input:(fun i -> VFloat (sin (0.02 *. float_of_int i)))
+            ~iters:2
+        in
+        Alcotest.(check bool) "nonempty" true (out <> []);
+        List.iter
+          (fun v ->
+            if not (Float.is_finite (to_float v)) then
+              Alcotest.fail "non-finite output")
+          out);
+    t "matrix multiply matches reference" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Matrix_mult.stream ()) in
+        let n = Benchmarks.Matrix_mult.dim in
+        let a = Array.init (n * n) (fun i -> float_of_int ((i mod 5) - 2)) in
+        let b = Array.init (n * n) (fun i -> float_of_int ((i mod 7) - 3)) in
+        let input i =
+          let j = i mod (2 * n * n) in
+          if j < n * n then VFloat a.(j) else VFloat b.(j - (n * n))
+        in
+        let out = run_one g ~input ~iters:1 |> List.map to_float |> Array.of_list in
+        Alcotest.(check int) "size" (n * n) (Array.length out);
+        for r = 0 to n - 1 do
+          for c = 0 to n - 1 do
+            let expect = ref 0.0 in
+            for k = 0 to n - 1 do
+              expect := !expect +. (a.((r * n) + k) *. b.((k * n) + c))
+            done;
+            if Float.abs (!expect -. out.((r * n) + c)) > 1e-3 then
+              Alcotest.failf "C[%d,%d] = %f, expected %f" r c out.((r * n) + c)
+                !expect
+          done
+        done);
+  ]
+
+let suite =
+  structural_tests @ bitonic_tests @ [ bitonic_prop ] @ des_tests @ dct_tests
+  @ fft_tests @ dsp_tests

@@ -1,0 +1,151 @@
+open Numeric
+
+let check_bi = Alcotest.testable Bigint.pp Bigint.equal
+
+let t name f = Alcotest.test_case name `Quick f
+
+let big_int_gen =
+  (* arbitrary-precision values built from decimal strings *)
+  QCheck.Gen.(
+    map2
+      (fun neg digits ->
+        let s = String.concat "" (List.map string_of_int digits) in
+        let s = if s = "" then "0" else s in
+        Bigint.of_string (if neg then "-" ^ s else s))
+      bool
+      (list_size (int_range 1 40) (int_range 0 9)))
+
+let arb_big = QCheck.make ~print:Bigint.to_string big_int_gen
+
+let unit_tests =
+  [
+    t "zero/one constants" (fun () ->
+        Alcotest.check check_bi "0" Bigint.zero (Bigint.of_int 0);
+        Alcotest.check check_bi "1" Bigint.one (Bigint.of_int 1);
+        Alcotest.check check_bi "-1" Bigint.minus_one (Bigint.of_int (-1)));
+    t "of_int/to_int roundtrip extremes" (fun () ->
+        List.iter
+          (fun n -> Alcotest.(check int) "rt" n (Bigint.to_int (Bigint.of_int n)))
+          [ 0; 1; -1; 42; -12345; max_int; min_int; max_int - 1; min_int + 1 ]);
+    t "of_string/to_string" (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check string) s s (Bigint.to_string (Bigint.of_string s)))
+          [
+            "0"; "1"; "-1"; "123456789012345678901234567890";
+            "-999999999999999999999999999";
+          ]);
+    t "of_string normalizes leading zeros" (fun () ->
+        Alcotest.(check string) "zeros" "42" (Bigint.to_string (Bigint.of_string "0042"));
+        Alcotest.(check string) "zero" "0" (Bigint.to_string (Bigint.of_string "000")));
+    t "of_string rejects garbage" (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.check_raises s (Invalid_argument
+              (match s with
+               | "" -> "Bigint.of_string: empty string"
+               | "+" | "-" -> "Bigint.of_string: no digits"
+               | _ -> "Bigint.of_string: bad digit"))
+              (fun () -> ignore (Bigint.of_string s)))
+          [ ""; "+"; "-"; "12a3"; "1 2" ]);
+    t "addition carries across limbs" (fun () ->
+        let a = Bigint.of_string "1073741823" (* 2^30 - 1 *) in
+        Alcotest.check check_bi "carry" (Bigint.of_string "1073741824")
+          (Bigint.add a Bigint.one));
+    t "multiplication known product" (fun () ->
+        let a = Bigint.of_string "123456789" in
+        let b = Bigint.of_string "987654321" in
+        Alcotest.check check_bi "prod"
+          (Bigint.of_string "121932631112635269")
+          (Bigint.mul a b));
+    t "division by zero raises" (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () ->
+            ignore (Bigint.div Bigint.one Bigint.zero)));
+    t "truncated division signs" (fun () ->
+        let q, r = Bigint.divmod (Bigint.of_int (-7)) (Bigint.of_int 2) in
+        Alcotest.(check int) "q" (-3) (Bigint.to_int q);
+        Alcotest.(check int) "r" (-1) (Bigint.to_int r));
+    t "euclidean division signs" (fun () ->
+        Alcotest.(check int) "ediv" (-4)
+          (Bigint.to_int (Bigint.ediv (Bigint.of_int (-7)) (Bigint.of_int 2)));
+        Alcotest.(check int) "emod" 1
+          (Bigint.to_int (Bigint.emod (Bigint.of_int (-7)) (Bigint.of_int 2))));
+    t "pow" (fun () ->
+        Alcotest.check check_bi "2^100"
+          (Bigint.of_string "1267650600228229401496703205376")
+          (Bigint.pow (Bigint.of_int 2) 100);
+        Alcotest.check check_bi "x^0" Bigint.one (Bigint.pow (Bigint.of_int 7) 0));
+    t "pow negative exponent raises" (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Bigint.pow: negative exponent")
+          (fun () -> ignore (Bigint.pow (Bigint.of_int 2) (-1))));
+    t "gcd and lcm" (fun () ->
+        Alcotest.(check int) "gcd" 6
+          (Bigint.to_int (Bigint.gcd (Bigint.of_int 12) (Bigint.of_int (-18))));
+        Alcotest.(check int) "lcm" 36
+          (Bigint.to_int (Bigint.lcm (Bigint.of_int 12) (Bigint.of_int 18)));
+        Alcotest.(check int) "gcd00" 0
+          (Bigint.to_int (Bigint.gcd Bigint.zero Bigint.zero)));
+    t "to_int overflow detection" (fun () ->
+        let big = Bigint.mul (Bigint.of_int max_int) (Bigint.of_int 2) in
+        Alcotest.(check (option int)) "none" None (Bigint.to_int_opt big));
+    t "comparisons" (fun () ->
+        let a = Bigint.of_int (-5) and b = Bigint.of_int 3 in
+        Alcotest.(check bool) "lt" true (Bigint.lt a b);
+        Alcotest.(check bool) "le" true (Bigint.le a a);
+        Alcotest.(check bool) "gt" true (Bigint.gt b a);
+        Alcotest.check check_bi "min" a (Bigint.min a b);
+        Alcotest.check check_bi "max" b (Bigint.max a b));
+  ]
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let property_tests =
+  [
+    prop "add commutative" 300
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) -> Bigint.equal (Bigint.add a b) (Bigint.add b a));
+    prop "add associative" 300
+      (QCheck.triple arb_big arb_big arb_big)
+      (fun (a, b, c) ->
+        Bigint.equal
+          (Bigint.add (Bigint.add a b) c)
+          (Bigint.add a (Bigint.add b c)));
+    prop "mul distributes over add" 300
+      (QCheck.triple arb_big arb_big arb_big)
+      (fun (a, b, c) ->
+        Bigint.equal
+          (Bigint.mul a (Bigint.add b c))
+          (Bigint.add (Bigint.mul a b) (Bigint.mul a c)));
+    prop "sub then add roundtrip" 300
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) -> Bigint.equal a (Bigint.add (Bigint.sub a b) b));
+    prop "divmod reconstruction" 300
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) ->
+        QCheck.assume (not (Bigint.is_zero b));
+        let q, r = Bigint.divmod a b in
+        Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+        && Bigint.lt (Bigint.abs r) (Bigint.abs b));
+    prop "string roundtrip" 300 arb_big (fun a ->
+        Bigint.equal a (Bigint.of_string (Bigint.to_string a)));
+    prop "gcd divides both" 300
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) ->
+        let g = Bigint.gcd a b in
+        QCheck.assume (not (Bigint.is_zero g));
+        Bigint.is_zero (Bigint.rem a g) && Bigint.is_zero (Bigint.rem b g));
+    prop "compare antisymmetric" 300
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) -> Bigint.compare a b = -Bigint.compare b a);
+    prop "ediv/emod invariant" 300
+      (QCheck.pair arb_big arb_big)
+      (fun (a, b) ->
+        QCheck.assume (not (Bigint.is_zero b));
+        let q = Bigint.ediv a b and r = Bigint.emod a b in
+        Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+        && Bigint.ge r Bigint.zero
+        && Bigint.lt r (Bigint.abs b));
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,148 @@
+(* End-to-end functional validation of the software-pipelined execution:
+   the token-level device simulator (physical buffers laid out by
+   eqs. (9)-(11), instances run by staging predicates) must agree
+   value-for-value with the FIFO reference interpreter — plus randomized
+   stream graphs exercising the whole compile pipeline. *)
+
+open Streamit
+open Types
+
+let t name f = Alcotest.test_case name `Quick f
+
+let check_bench ?(iters = 1) name =
+  let e = Option.get (Benchmarks.Registry.find name) in
+  let g = Flatten.flatten (e.Benchmarks.Registry.stream ()) in
+  match Swp_core.Compile.compile g with
+  | Error m -> Alcotest.fail (name ^ ": " ^ m)
+  | Ok c -> (
+    match
+      Swp_core.Funcsim.matches_interpreter c ~input:e.Benchmarks.Registry.input
+        ~iters
+    with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail (name ^ ": " ^ m))
+
+let device_tests =
+  [
+    t "device == interpreter: Bitonic" (fun () -> check_bench "Bitonic");
+    t "device == interpreter: BitonicRec" (fun () -> check_bench "BitonicRec");
+    t "device == interpreter: DCT" (fun () -> check_bench "DCT");
+    t "device == interpreter: DES" (fun () -> check_bench "DES");
+    t "device == interpreter: FFT" (fun () -> check_bench "FFT");
+    t "device == interpreter: MatrixMult" (fun () -> check_bench "MatrixMult");
+    t "device == interpreter: FMRadio (peeking)" (fun () -> check_bench "FMRadio");
+    t "device == interpreter: Filterbank (peeking)" (fun () ->
+        check_bench "Filterbank");
+    t "multiple macro iterations" (fun () -> check_bench ~iters:2 "Bitonic");
+    t "multirate pipeline through the device" (fun () ->
+        let a =
+          Kernel.Build.(
+            Kernel.make_filter ~name:"A" ~pop:1 ~push:2
+              [ let_ "x" pop; push (v "x"); push (v "x" *: f 2.0) ])
+        in
+        let b =
+          Kernel.Build.(
+            Kernel.make_filter ~name:"B" ~pop:3 ~push:1 [ push (pop +: pop +: pop) ])
+        in
+        let g = Flatten.flatten (Ast.pipeline "ab" [ Ast.Filter a; Ast.Filter b ]) in
+        let c = Result.get_ok (Swp_core.Compile.compile g) in
+        match
+          Swp_core.Funcsim.matches_interpreter c
+            ~input:(fun i -> VFloat (float_of_int (i mod 100)))
+            ~iters:2
+        with
+        | Ok () -> ()
+        | Error m -> Alcotest.fail m);
+  ]
+
+(* --- randomized stream programs through the whole pipeline --- *)
+
+(* A random filter: pops [pop] tokens into an array and pushes [push]
+   products of them — always rate-consistent by construction. *)
+let random_filter idx pop_rate push_rate =
+  let open Kernel.Build in
+  let body =
+    [ arr "w" pop_rate ]
+    @ List.init pop_rate (fun j -> seti "w" (i j) pop)
+    @ List.init push_rate (fun j ->
+          push (geti "w" (i (j mod pop_rate)) *: f (1.0 +. float_of_int j)))
+  in
+  Ast.Filter
+    (Kernel.make_filter
+       ~name:(Printf.sprintf "F%d_%d_%d" idx pop_rate push_rate)
+       ~pop:pop_rate ~push:push_rate body)
+
+let gen_stream =
+  QCheck.Gen.(
+    let gen_stage idx =
+      frequency
+        [
+          ( 3,
+            map2 (fun p u -> random_filter idx p u) (int_range 1 4)
+              (int_range 1 4) );
+          ( 1,
+            map
+              (fun w ->
+                let ws = [ w; w ] in
+                Ast.round_robin_sj
+                  (Printf.sprintf "sj%d" idx)
+                  ws
+                  [
+                    Ast.Filter (Kernel.identity ());
+                    Ast.Filter (Kernel.identity ());
+                  ]
+                  ws)
+              (int_range 1 3) );
+        ]
+    in
+    int_range 1 4 >>= fun n ->
+    let rec go i acc =
+      if i >= n then return (Ast.pipeline "random" (List.rev acc))
+      else gen_stage i >>= fun s -> go (i + 1) (s :: acc)
+    in
+    go 0 [])
+
+let arb_stream =
+  QCheck.make ~print:(fun s -> Format.asprintf "%a" Ast.pp s) gen_stream
+
+let swp_schedule_ok g (c : Swp_core.Compile.compiled) =
+  Swp_core.Swp_schedule.validate g c.Swp_core.Compile.schedule = Ok ()
+
+let pipeline_props =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"random graphs: rates, schedules, validation"
+         ~count:40 arb_stream (fun s ->
+           Ast.validate s = Ok ()
+           &&
+           let g = Flatten.flatten s in
+           Graph.validate g = Ok ()
+           &&
+           match Sdf.steady_state g with
+           | Error _ -> false
+           | Ok r ->
+             Sdf.check g r = Ok ()
+             && Schedule.is_admissible g r (Schedule.sas g r) = Ok ()
+             && Schedule.is_admissible g r (Schedule.min_latency g r) = Ok ()));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"random graphs: compile + device matches interpreter" ~count:10
+         arb_stream (fun s ->
+           let g = Flatten.flatten s in
+           match
+             Swp_core.Compile.compile ~solver:Swp_core.Ii_search.Heuristic g
+           with
+           | Error _ -> false
+           | Ok c ->
+             swp_schedule_ok g c
+             &&
+             (match
+                Swp_core.Funcsim.matches_interpreter c
+                  ~input:(fun i -> VFloat (float_of_int (i mod 17) /. 4.0))
+                  ~iters:1
+              with
+             | Ok () -> true
+             | Error _ -> false)));
+  ]
+
+let suite = device_tests @ pipeline_props

@@ -1,0 +1,58 @@
+open Numeric
+
+let t name f = Alcotest.test_case name `Quick f
+
+let unit_tests =
+  [
+    t "gcd basics" (fun () ->
+        Alcotest.(check int) "12 18" 6 (Intmath.gcd 12 18);
+        Alcotest.(check int) "neg" 6 (Intmath.gcd (-12) 18);
+        Alcotest.(check int) "zero" 5 (Intmath.gcd 0 5);
+        Alcotest.(check int) "both zero" 0 (Intmath.gcd 0 0));
+    t "lcm" (fun () ->
+        Alcotest.(check int) "4 6" 12 (Intmath.lcm 4 6);
+        Alcotest.(check int) "zero" 0 (Intmath.lcm 0 7));
+    t "lcm overflow" (fun () ->
+        Alcotest.check_raises "overflow" (Failure "Intmath.lcm: overflow")
+          (fun () -> ignore (Intmath.lcm (max_int - 1) (max_int - 2))));
+    t "gcd_list / lcm_list" (fun () ->
+        Alcotest.(check int) "gcd" 4 (Intmath.gcd_list [ 8; 12; 20 ]);
+        Alcotest.(check int) "lcm" 24 (Intmath.lcm_list [ 8; 12; 6 ]));
+    t "cdiv / fdiv" (fun () ->
+        Alcotest.(check int) "cdiv 7 2" 4 (Intmath.cdiv 7 2);
+        Alcotest.(check int) "cdiv -7 2" (-3) (Intmath.cdiv (-7) 2);
+        Alcotest.(check int) "fdiv 7 2" 3 (Intmath.fdiv 7 2);
+        Alcotest.(check int) "fdiv -7 2" (-4) (Intmath.fdiv (-7) 2);
+        Alcotest.(check int) "cdiv exact" 3 (Intmath.cdiv 6 2));
+    t "emod" (fun () ->
+        Alcotest.(check int) "pos" 1 (Intmath.emod 7 2);
+        Alcotest.(check int) "neg" 1 (Intmath.emod (-7) 2);
+        Alcotest.(check int) "zero" 0 (Intmath.emod (-8) 2));
+    t "round_up" (fun () ->
+        Alcotest.(check int) "130->4" 132 (Intmath.round_up 130 4);
+        Alcotest.(check int) "exact" 128 (Intmath.round_up 128 4));
+    t "pow2" (fun () ->
+        Alcotest.(check bool) "128" true (Intmath.is_pow2 128);
+        Alcotest.(check bool) "96" false (Intmath.is_pow2 96);
+        Alcotest.(check int) "ceil 100" 128 (Intmath.pow2_ceil 100);
+        Alcotest.(check int) "ceil 1" 1 (Intmath.pow2_ceil 1));
+  ]
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let property_tests =
+  [
+    prop "cdiv/fdiv sandwich" 500
+      QCheck.(pair (int_range (-10000) 10000) (int_range 1 100))
+      (fun (a, b) ->
+        let f = Numeric.Intmath.fdiv a b and c = Numeric.Intmath.cdiv a b in
+        f * b <= a && a <= c * b && c - f <= 1);
+    prop "emod range" 500
+      QCheck.(pair (int_range (-10000) 10000) (int_range 1 100))
+      (fun (a, b) ->
+        let r = Numeric.Intmath.emod a b in
+        0 <= r && r < b && (a - r) mod b = 0);
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,283 @@
+(* Tests for the LP substrate: linear expressions, the exact simplex and
+   branch-and-bound — the CPLEX stand-in the scheduling ILP relies on. *)
+
+open Numeric
+
+let t name f = Alcotest.test_case name `Quick f
+let q = Rat.of_int
+let qq = Rat.of_ints
+let check_rat = Alcotest.testable Rat.pp Rat.equal
+
+(* --- Linexpr --- *)
+
+let linexpr_tests =
+  [
+    t "terms merge and cancel" (fun () ->
+        let e =
+          Lp.Linexpr.of_terms [ (q 2, 0); (q 3, 1); (q (-2), 0) ]
+        in
+        Alcotest.(check (list int)) "vars" [ 1 ] (Lp.Linexpr.vars e);
+        Alcotest.check check_rat "coef" (q 3) (Lp.Linexpr.coef e 1);
+        Alcotest.check check_rat "absent" Rat.zero (Lp.Linexpr.coef e 0));
+    t "eval" (fun () ->
+        let e = Lp.Linexpr.of_terms ~const:(q 1) [ (q 2, 0); (q 3, 1) ] in
+        let v = Lp.Linexpr.eval (fun i -> q (i + 1)) e in
+        (* 1 + 2*1 + 3*2 = 9 *)
+        Alcotest.check check_rat "val" (q 9) v);
+    t "scale zero yields zero" (fun () ->
+        let e = Lp.Linexpr.var 3 in
+        Alcotest.(check bool) "const" true
+          (Lp.Linexpr.is_constant (Lp.Linexpr.scale Rat.zero e)));
+    t "map_vars merges collisions" (fun () ->
+        let e = Lp.Linexpr.of_terms [ (q 1, 0); (q 2, 1) ] in
+        let e' = Lp.Linexpr.map_vars (fun _ -> 5) e in
+        Alcotest.check check_rat "merged" (q 3) (Lp.Linexpr.coef e' 5));
+    t "pretty printing" (fun () ->
+        let e = Lp.Linexpr.of_terms ~const:(q 7) [ (q 3, 0); (qq (-1) 2, 3) ] in
+        Alcotest.(check string) "pp" "3 x0 - 1/2 x3 + 7" (Lp.Linexpr.to_string e));
+  ]
+
+(* --- Simplex --- *)
+
+let solve_lp vars cstrs obj_dir obj =
+  let p = Lp.Problem.create () in
+  let ids = List.map (fun (name, kind) -> Lp.Problem.add_var p ~kind name) vars in
+  List.iter
+    (fun (terms, rel, rhs) ->
+      let lhs = Lp.Linexpr.of_terms (List.map (fun (c, i) -> (q c, List.nth ids i)) terms) in
+      Lp.Problem.add_constraint p lhs rel (Lp.Linexpr.of_int rhs))
+    cstrs;
+  Lp.Problem.set_objective p obj_dir
+    (Lp.Linexpr.of_terms (List.map (fun (c, i) -> (q c, List.nth ids i)) obj));
+  (p, ids)
+
+let simplex_tests =
+  [
+    t "classic 2d maximum" (fun () ->
+        let p, ids =
+          solve_lp
+            [ ("x", Lp.Problem.Continuous); ("y", Lp.Problem.Continuous) ]
+            [
+              ([ (1, 0); (1, 1) ], Lp.Problem.Le, 4);
+              ([ (1, 0); (3, 1) ], Lp.Problem.Le, 6);
+            ]
+            `Maximize
+            [ (3, 0); (2, 1) ]
+        in
+        match Lp.Simplex.solve p with
+        | Lp.Solution.Optimal s ->
+          Alcotest.check check_rat "obj" (q 12) s.objective;
+          Alcotest.check check_rat "x" (q 4) s.values.(List.nth ids 0)
+        | _ -> Alcotest.fail "expected optimal");
+    t "minimization with equality" (fun () ->
+        (* min x + y st x + y = 10, x - y >= 2 -> obj 10 *)
+        let p, _ =
+          solve_lp
+            [ ("x", Lp.Problem.Continuous); ("y", Lp.Problem.Continuous) ]
+            [
+              ([ (1, 0); (1, 1) ], Lp.Problem.Eq, 10);
+              ([ (1, 0); (-1, 1) ], Lp.Problem.Ge, 2);
+            ]
+            `Minimize
+            [ (1, 0); (1, 1) ]
+        in
+        match Lp.Simplex.solve p with
+        | Lp.Solution.Optimal s -> Alcotest.check check_rat "obj" (q 10) s.objective
+        | _ -> Alcotest.fail "expected optimal");
+    t "infeasible detected" (fun () ->
+        let p, _ =
+          solve_lp
+            [ ("x", Lp.Problem.Continuous) ]
+            [
+              ([ (1, 0) ], Lp.Problem.Ge, 5);
+              ([ (1, 0) ], Lp.Problem.Le, 3);
+            ]
+            `Minimize [ (1, 0) ]
+        in
+        match Lp.Simplex.solve p with
+        | Lp.Solution.Infeasible -> ()
+        | _ -> Alcotest.fail "expected infeasible");
+    t "unbounded detected" (fun () ->
+        let p, _ =
+          solve_lp
+            [ ("x", Lp.Problem.Continuous) ]
+            [ ([ (1, 0) ], Lp.Problem.Ge, 1) ]
+            `Maximize [ (1, 0) ]
+        in
+        match Lp.Simplex.solve p with
+        | Lp.Solution.Unbounded -> ()
+        | _ -> Alcotest.fail "expected unbounded");
+    t "free variables (negative optimum)" (fun () ->
+        let p = Lp.Problem.create () in
+        let x = Lp.Problem.add_var p ~lb:None ~kind:Lp.Problem.Continuous "x" in
+        Lp.Problem.add_constraint p (Lp.Linexpr.var x) Lp.Problem.Ge
+          (Lp.Linexpr.of_int (-5));
+        Lp.Problem.set_objective p `Minimize (Lp.Linexpr.var x);
+        (match Lp.Simplex.solve p with
+        | Lp.Solution.Optimal s -> Alcotest.check check_rat "x" (q (-5)) s.values.(x)
+        | _ -> Alcotest.fail "expected optimal"));
+    t "upper bounds honoured" (fun () ->
+        let p = Lp.Problem.create () in
+        let x =
+          Lp.Problem.add_var p ~ub:(Some (q 3)) ~kind:Lp.Problem.Continuous "x"
+        in
+        Lp.Problem.set_objective p `Maximize (Lp.Linexpr.var x);
+        (match Lp.Simplex.solve p with
+        | Lp.Solution.Optimal s -> Alcotest.check check_rat "x" (q 3) s.values.(x)
+        | _ -> Alcotest.fail "expected optimal"));
+    t "exact rationals (no rounding)" (fun () ->
+        (* max x st 3x <= 1 -> x = 1/3 exactly *)
+        let p = Lp.Problem.create () in
+        let x = Lp.Problem.add_var p ~kind:Lp.Problem.Continuous "x" in
+        Lp.Problem.add_constraint p
+          (Lp.Linexpr.var ~coef:(q 3) x)
+          Lp.Problem.Le (Lp.Linexpr.of_int 1);
+        Lp.Problem.set_objective p `Maximize (Lp.Linexpr.var x);
+        (match Lp.Simplex.solve p with
+        | Lp.Solution.Optimal s -> Alcotest.check check_rat "x" (qq 1 3) s.values.(x)
+        | _ -> Alcotest.fail "expected optimal"));
+    t "degenerate problem terminates (Bland)" (fun () ->
+        (* classic cycling-prone instance *)
+        let p, _ =
+          solve_lp
+            [
+              ("a", Lp.Problem.Continuous); ("b", Lp.Problem.Continuous);
+              ("c", Lp.Problem.Continuous); ("d", Lp.Problem.Continuous);
+            ]
+            [
+              ([ (1, 0); (-2, 1); (-1, 2) ], Lp.Problem.Le, 0);
+              ([ (1, 0); (-1, 1); (1, 3) ], Lp.Problem.Le, 0);
+              ([ (1, 0) ], Lp.Problem.Le, 1);
+            ]
+            `Maximize
+            [ (3, 0); (-2, 1); (1, 2); (-1, 3) ]
+        in
+        match Lp.Simplex.solve p with
+        | Lp.Solution.Optimal _ | Lp.Solution.Unbounded -> ()
+        | _ -> Alcotest.fail "expected termination with optimal/unbounded");
+  ]
+
+(* --- Branch and bound --- *)
+
+let bb_tests =
+  [
+    t "knapsack-style integer optimum" (fun () ->
+        (* max x + y st 2x + 3y <= 12, 2x + y <= 6, ints -> 4 *)
+        let p, _ =
+          solve_lp
+            [ ("x", Lp.Problem.Integer); ("y", Lp.Problem.Integer) ]
+            [
+              ([ (2, 0); (3, 1) ], Lp.Problem.Le, 12);
+              ([ (2, 0); (1, 1) ], Lp.Problem.Le, 6);
+            ]
+            `Maximize [ (1, 0); (1, 1) ]
+        in
+        match Lp.Branch_bound.solve p with
+        | Lp.Solution.Optimal s, _ -> Alcotest.check check_rat "obj" (q 4) s.objective
+        | _ -> Alcotest.fail "expected optimal");
+    t "integrality gap forces branching" (fun () ->
+        (* max x st 2x <= 5 -> LP 5/2, ILP 2 *)
+        let p, ids =
+          solve_lp [ ("x", Lp.Problem.Integer) ]
+            [ ([ (2, 0) ], Lp.Problem.Le, 5) ]
+            `Maximize [ (1, 0) ]
+        in
+        match Lp.Branch_bound.solve p with
+        | Lp.Solution.Optimal s, stats ->
+          Alcotest.(check int) "x" 2 (Lp.Solution.value_int s (List.nth ids 0));
+          Alcotest.(check bool) "branched" true (stats.nodes_explored > 1)
+        | _ -> Alcotest.fail "expected optimal");
+    t "binary infeasibility" (fun () ->
+        let p = Lp.Problem.create () in
+        let b = Lp.Problem.add_var p ~kind:Lp.Problem.Binary "b" in
+        Lp.Problem.add_constraint p (Lp.Linexpr.var b) Lp.Problem.Ge
+          (Lp.Linexpr.of_int 2);
+        (match Lp.Branch_bound.solve p with
+        | Lp.Solution.Infeasible, _ -> ()
+        | _ -> Alcotest.fail "expected infeasible"));
+    t "feasibility problem stops at first solution" (fun () ->
+        let p = Lp.Problem.create () in
+        let xs =
+          List.init 6 (fun i ->
+              Lp.Problem.add_var p ~kind:Lp.Problem.Binary
+                (Printf.sprintf "b%d" i))
+        in
+        (* sum must be exactly 3 *)
+        Lp.Problem.add_constraint p
+          (Lp.Linexpr.of_terms (List.map (fun x -> (Rat.one, x)) xs))
+          Lp.Problem.Eq (Lp.Linexpr.of_int 3);
+        (match Lp.Branch_bound.solve p with
+        | Lp.Solution.Optimal s, _ ->
+          let total =
+            List.fold_left (fun acc x -> acc + Lp.Solution.value_int s x) 0 xs
+          in
+          Alcotest.(check int) "sum" 3 total
+        | _ -> Alcotest.fail "expected a feasible point"));
+    t "budget exhaustion reported" (fun () ->
+        let p = Lp.Problem.create () in
+        let xs =
+          List.init 14 (fun i ->
+              Lp.Problem.add_var p ~kind:Lp.Problem.Binary
+                (Printf.sprintf "b%d" i))
+        in
+        (* an infeasible parity-style system that needs search to refute *)
+        Lp.Problem.add_constraint p
+          (Lp.Linexpr.of_terms (List.map (fun x -> (q 2, x)) xs))
+          Lp.Problem.Eq (Lp.Linexpr.of_int 13);
+        (match Lp.Branch_bound.solve ~node_budget:3 p with
+        | Lp.Solution.Budget_exhausted _, stats ->
+          Alcotest.(check int) "nodes" 3 stats.nodes_explored
+        | Lp.Solution.Infeasible, _ -> () (* LP relaxation may already refute *)
+        | _ -> Alcotest.fail "expected budget exhaustion or infeasible"));
+    t "solution validates against problem" (fun () ->
+        let p, _ =
+          solve_lp
+            [ ("x", Lp.Problem.Integer); ("y", Lp.Problem.Binary) ]
+            [ ([ (1, 0); (7, 1) ], Lp.Problem.Le, 9) ]
+            `Maximize [ (2, 0); (11, 1) ]
+        in
+        match Lp.Branch_bound.solve p with
+        | Lp.Solution.Optimal s, _ ->
+          (match Lp.Problem.check_assignment p (fun v -> s.values.(v)) with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m)
+        | _ -> Alcotest.fail "expected optimal");
+  ]
+
+(* Random small MILPs: any Optimal outcome must satisfy the problem. *)
+let random_milp_prop =
+  let gen =
+    QCheck.Gen.(
+      let small = int_range (-4) 4 in
+      map3
+        (fun ncstr coefs rhss -> (ncstr, coefs, rhss))
+        (int_range 1 4)
+        (list_size (return 12) small)
+        (list_size (return 4) (int_range (-6) 12)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random MILP solutions verify" ~count:60
+       (QCheck.make gen) (fun (ncstr, coefs, rhss) ->
+         let p = Lp.Problem.create () in
+         let xs =
+           List.init 3 (fun i ->
+               Lp.Problem.add_var p ~kind:Lp.Problem.Integer
+                 ~ub:(Some (q 10))
+                 (Printf.sprintf "x%d" i))
+         in
+         let coef i j = List.nth coefs ((i * 3) + j) in
+         for i = 0 to ncstr - 1 do
+           Lp.Problem.add_constraint p
+             (Lp.Linexpr.of_terms
+                (List.mapi (fun j x -> (q (coef i j), x)) xs))
+             Lp.Problem.Le
+             (Lp.Linexpr.of_int (List.nth rhss i))
+         done;
+         Lp.Problem.set_objective p `Maximize
+           (Lp.Linexpr.of_terms (List.map (fun x -> (Rat.one, x)) xs));
+         match Lp.Branch_bound.solve ~node_budget:500 p with
+         | Lp.Solution.Optimal s, _ ->
+           Lp.Problem.check_assignment p (fun v -> s.values.(v)) = Ok ()
+         | _ -> true))
+
+let suite = linexpr_tests @ simplex_tests @ bb_tests @ [ random_milp_prop ]

@@ -1,0 +1,75 @@
+open Numeric
+
+let check_rat = Alcotest.testable Rat.pp Rat.equal
+let t name f = Alcotest.test_case name `Quick f
+let q = Rat.of_ints
+
+let arb_rat =
+  QCheck.make ~print:Rat.to_string
+    QCheck.Gen.(
+      map2
+        (fun n d -> Rat.of_ints n (if d = 0 then 1 else d))
+        (int_range (-10000) 10000)
+        (int_range (-500) 500))
+
+let unit_tests =
+  [
+    t "canonical form" (fun () ->
+        Alcotest.(check string) "6/-4" "-3/2" (Rat.to_string (q 6 (-4)));
+        Alcotest.(check string) "0/5" "0" (Rat.to_string (q 0 5));
+        Alcotest.(check string) "4/2" "2" (Rat.to_string (q 4 2)));
+    t "zero denominator raises" (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () ->
+            ignore (q 1 0)));
+    t "of_string forms" (fun () ->
+        Alcotest.check check_rat "int" (Rat.of_int 7) (Rat.of_string "7");
+        Alcotest.check check_rat "frac" (q 1 3) (Rat.of_string "2/6");
+        Alcotest.check check_rat "neg" (q (-1) 3) (Rat.of_string "-2/6"));
+    t "floor and ceil" (fun () ->
+        Alcotest.(check int) "floor 7/2" 3 (Bigint.to_int (Rat.floor (q 7 2)));
+        Alcotest.(check int) "ceil 7/2" 4 (Bigint.to_int (Rat.ceil (q 7 2)));
+        Alcotest.(check int) "floor -7/2" (-4) (Bigint.to_int (Rat.floor (q (-7) 2)));
+        Alcotest.(check int) "ceil -7/2" (-3) (Bigint.to_int (Rat.ceil (q (-7) 2)));
+        Alcotest.(check int) "floor int" 5 (Bigint.to_int (Rat.floor (Rat.of_int 5))));
+    t "arithmetic" (fun () ->
+        Alcotest.check check_rat "1/2+1/3" (q 5 6) (Rat.add (q 1 2) (q 1 3));
+        Alcotest.check check_rat "1/2*2/3" (q 1 3) (Rat.mul (q 1 2) (q 2 3));
+        Alcotest.check check_rat "div" (q 3 4) (Rat.div (q 1 2) (q 2 3)));
+    t "inv of zero raises" (fun () ->
+        Alcotest.check_raises "inv0" Division_by_zero (fun () ->
+            ignore (Rat.inv Rat.zero)));
+    t "to_float" (fun () ->
+        Alcotest.(check (float 1e-12)) "3/4" 0.75 (Rat.to_float (q 3 4)));
+    t "to_int on integers only" (fun () ->
+        Alcotest.(check int) "5" 5 (Rat.to_int (Rat.of_int 5));
+        Alcotest.check_raises "non-int" (Failure "Rat.to_int: not an integer")
+          (fun () -> ignore (Rat.to_int (q 1 2))));
+    t "is_integer" (fun () ->
+        Alcotest.(check bool) "4/2" true (Rat.is_integer (q 4 2));
+        Alcotest.(check bool) "1/2" false (Rat.is_integer (q 1 2)));
+  ]
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let property_tests =
+  [
+    prop "add commutative" 300 (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+        Rat.equal (Rat.add a b) (Rat.add b a));
+    prop "mul inverse" 300 arb_rat (fun a ->
+        QCheck.assume (not (Rat.is_zero a));
+        Rat.equal Rat.one (Rat.mul a (Rat.inv a)));
+    prop "add then sub roundtrip" 300 (QCheck.pair arb_rat arb_rat)
+      (fun (a, b) -> Rat.equal a (Rat.sub (Rat.add a b) b));
+    prop "canonical: gcd(num,den)=1" 300 arb_rat (fun a ->
+        Bigint.equal Bigint.one (Bigint.gcd (Rat.num a) (Rat.den a))
+        || Rat.is_zero a);
+    prop "den positive" 300 arb_rat (fun a -> Bigint.sign (Rat.den a) = 1);
+    prop "floor <= x < floor+1" 300 arb_rat (fun a ->
+        let f = Rat.of_bigint (Rat.floor a) in
+        Rat.le f a && Rat.lt a (Rat.add f Rat.one));
+    prop "compare consistent with sub sign" 300 (QCheck.pair arb_rat arb_rat)
+      (fun (a, b) -> compare (Rat.compare a b) 0 = compare (Rat.sign (Rat.sub a b)) 0);
+  ]
+
+let suite = unit_tests @ property_tests

@@ -1,0 +1,422 @@
+(* Tests for the StreamIt language core: FIFOs, kernel IR analyses,
+   flattening, SDF rates, schedules and the reference interpreter. *)
+
+open Streamit
+open Types
+
+let t name f = Alcotest.test_case name `Quick f
+let kb = Kernel.Build.i
+
+(* --- Fifo --- *)
+
+let fifo_tests =
+  [
+    t "push/pop order" (fun () ->
+        let q = Fifo.create () in
+        Fifo.push_many q [ 1; 2; 3 ];
+        Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (Fifo.pop_many q 3));
+    t "peek does not consume" (fun () ->
+        let q = Fifo.create () in
+        Fifo.push_many q [ 10; 20; 30 ];
+        Alcotest.(check int) "peek 1" 20 (Fifo.peek q 1);
+        Alcotest.(check int) "len" 3 (Fifo.length q);
+        Alcotest.(check int) "pop" 10 (Fifo.pop q));
+    t "growth beyond initial capacity" (fun () ->
+        let q = Fifo.create () in
+        for i = 0 to 99 do Fifo.push q i done;
+        Alcotest.(check int) "len" 100 (Fifo.length q);
+        Alcotest.(check (list int)) "front" [ 0; 1; 2 ] (Fifo.pop_many q 3);
+        Alcotest.(check int) "high" 100 (Fifo.max_occupancy q));
+    t "wraparound correctness" (fun () ->
+        let q = Fifo.create () in
+        for round = 0 to 20 do
+          Fifo.push_many q [ round; round + 1000 ];
+          Alcotest.(check int) "fifo" round (Fifo.pop q);
+          Alcotest.(check int) "fifo2" (round + 1000) (Fifo.pop q)
+        done;
+        Alcotest.(check bool) "empty" true (Fifo.is_empty q));
+    t "errors" (fun () ->
+        let q : int Fifo.t = Fifo.create () in
+        Alcotest.check_raises "pop empty" (Invalid_argument "Fifo.pop: empty")
+          (fun () -> ignore (Fifo.pop q));
+        Fifo.push q 1;
+        Alcotest.check_raises "peek range"
+          (Invalid_argument "Fifo.peek: out of range") (fun () ->
+            ignore (Fifo.peek q 1)));
+    t "counters" (fun () ->
+        let q = Fifo.create () in
+        Fifo.push_many q [ 1; 2 ];
+        ignore (Fifo.pop q);
+        Alcotest.(check int) "pushed" 2 (Fifo.total_pushed q);
+        Alcotest.(check int) "popped" 1 (Fifo.total_popped q));
+  ]
+
+(* --- Kernel static analyses --- *)
+
+let kernel_tests =
+  [
+    t "rate inference simple" (fun () ->
+        let body = Kernel.Build.[ push (pop +: pop) ] in
+        Alcotest.(check (result (triple int int int) string))
+          "rates" (Ok (2, 1, 2)) (Kernel.infer_rates body));
+    t "rate inference loops multiply" (fun () ->
+        let body =
+          Kernel.Build.[ for_ "j" (kb 0) (kb 4) [ push pop ] ]
+        in
+        Alcotest.(check (result (triple int int int) string))
+          "rates" (Ok (4, 4, 4)) (Kernel.infer_rates body));
+    t "peek depth tracked" (fun () ->
+        let body = Kernel.Build.[ push (peek (kb 5)); let_ "_x" pop ] in
+        match Kernel.infer_rates body with
+        | Ok (1, 1, 6) -> ()
+        | Ok (p, u, k) -> Alcotest.failf "got (%d,%d,%d)" p u k
+        | Error m -> Alcotest.fail m);
+    t "peek depth grows with loop index" (fun () ->
+        let body =
+          Kernel.Build.
+            [ for_ "j" (kb 0) (kb 3) [ push (peek (v "j")) ]; let_ "_x" pop ]
+        in
+        match Kernel.infer_rates body with
+        | Ok (1, 3, 3) -> ()
+        | Ok (p, u, k) -> Alcotest.failf "got (%d,%d,%d)" p u k
+        | Error m -> Alcotest.fail m);
+    t "unequal if branches rejected" (fun () ->
+        let body =
+          Kernel.Build.[ if_ (kb 1) [ push (kb 1) ] [] ]
+        in
+        match Kernel.infer_rates body with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rate error");
+    t "data-dependent loop with traffic rejected" (fun () ->
+        let body =
+          Kernel.Build.[ let_ "n" pop; for_ "j" (kb 0) (v "n") [ push (kb 0) ] ]
+        in
+        match Kernel.infer_rates body with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected rate error");
+    t "check_filter catches rate mismatch" (fun () ->
+        let f =
+          Kernel.make_filter ~name:"bad" ~pop:1 ~push:2 Kernel.Build.[ push pop ]
+        in
+        match Kernel.check_filter f with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected check failure");
+    t "check_filter catches unbound variable" (fun () ->
+        let f =
+          Kernel.make_filter ~name:"unbound" ~push:1
+            Kernel.Build.[ push (v "nope") ]
+        in
+        match Kernel.check_filter f with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected scope failure");
+    t "check_filter catches unknown table" (fun () ->
+        let f =
+          Kernel.make_filter ~name:"notable" ~push:1
+            Kernel.Build.[ push (tbl "ghost" (kb 0)) ]
+        in
+        match Kernel.check_filter f with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected table failure");
+    t "identity filter checks" (fun () ->
+        Alcotest.(check (result unit string)) "id" (Ok ())
+          (Kernel.check_filter (Kernel.identity ())));
+    t "make_filter validates peek >= pop" (fun () ->
+        Alcotest.check_raises "peek"
+          (Invalid_argument "Kernel.make_filter: peek < pop") (fun () ->
+            ignore (Kernel.make_filter ~name:"x" ~pop:3 ~peek:2 [])));
+    t "cost counts ops" (fun () ->
+        let f =
+          Kernel.make_filter ~name:"c" ~pop:2 ~push:1
+            Kernel.Build.[ push (pop *: pop) ]
+        in
+        let c = Kernel.cost_of_filter f in
+        Alcotest.(check int) "mul" 1 c.Kernel.mul;
+        Alcotest.(check int) "channel" 3 c.Kernel.channel);
+    t "cost multiplies loop bodies" (fun () ->
+        let f =
+          Kernel.make_filter ~name:"c" ~pop:8 ~push:8
+            Kernel.Build.[ for_ "j" (kb 0) (kb 8) [ push pop ] ]
+        in
+        Alcotest.(check int) "channel" 16 (Kernel.cost_of_filter f).Kernel.channel);
+    t "register estimate within clamp" (fun () ->
+        List.iter
+          (fun f ->
+            let r = Kernel.estimate_registers f in
+            Alcotest.(check bool) "range" true (r >= 4 && r <= 128))
+          (Ast.filters (Benchmarks.Fft.stream ())));
+    t "rename reaches tables and variables" (fun () ->
+        let f =
+          Kernel.make_filter ~name:"r" ~pop:1 ~push:1
+            ~tables:[ ("tab", [| VInt 1 |]) ]
+            Kernel.Build.[ let_ "x" pop; push (v "x" +: tbl "tab" (kb 0)) ]
+        in
+        let f' = Kernel.rename (fun s -> "p_" ^ s) f in
+        Alcotest.(check (result unit string)) "renamed ok" (Ok ())
+          (Kernel.check_filter f');
+        Alcotest.(check string) "table" "p_tab" (fst (List.hd f'.Kernel.tables)));
+  ]
+
+(* --- Flatten / Graph --- *)
+
+let ab_graph () =
+  let a =
+    Kernel.Build.(
+      Kernel.make_filter ~name:"A" ~pop:1 ~push:2
+        [ let_ "x" pop; push (v "x"); push (v "x" *: f 2.0) ])
+  in
+  let b =
+    Kernel.Build.(
+      Kernel.make_filter ~name:"B" ~pop:3 ~push:1 [ push (pop +: pop +: pop) ])
+  in
+  Flatten.flatten (Ast.pipeline "ab" [ Ast.Filter a; Ast.Filter b ])
+
+let flatten_tests =
+  [
+    t "pipeline flattening" (fun () ->
+        let g = ab_graph () in
+        Alcotest.(check int) "nodes" 2 (Graph.num_nodes g);
+        Alcotest.(check int) "edges" 1 (List.length g.Graph.edges);
+        Alcotest.(check (option int)) "entry" (Some 0) g.Graph.entry;
+        Alcotest.(check (option int)) "exit" (Some 1) g.Graph.exit_);
+    t "splitjoin introduces splitter and joiner" (fun () ->
+        let sj =
+          Ast.duplicate_sj "sj"
+            [ Ast.Filter (Kernel.identity ()); Ast.Filter (Kernel.identity ()) ]
+            [ 1; 1 ]
+        in
+        let g = Flatten.flatten sj in
+        Alcotest.(check int) "nodes" 4 (Graph.num_nodes g);
+        let kinds =
+          Array.to_list g.Graph.nodes
+          |> List.map (fun n ->
+                 match n.Graph.kind with
+                 | Graph.NSplitter _ -> "s"
+                 | Graph.NJoiner _ -> "j"
+                 | Graph.NFilter _ -> "f")
+        in
+        Alcotest.(check (list string)) "kinds" [ "s"; "j"; "f"; "f" ] kinds);
+    t "peeking filter receives zero history" (fun () ->
+        let fir =
+          Kernel.Build.(
+            Kernel.make_filter ~name:"fir" ~pop:1 ~push:1 ~peek:4
+              [ push (peek (kb 3)); let_ "_d" pop ])
+        in
+        let g =
+          Flatten.flatten
+            (Ast.pipeline "p" [ Ast.Filter (Kernel.identity ()); Ast.Filter fir ])
+        in
+        let e = List.hd g.Graph.edges in
+        Alcotest.(check int) "init" 3 e.Graph.init_tokens;
+        Alcotest.(check bool) "zeros" true
+          (List.for_all (fun v -> v = VFloat 0.0) e.Graph.init_values));
+    t "feedback loop structure" (fun () ->
+        let loop =
+          Ast.Feedback_loop
+            {
+              name = "fb";
+              join_weights = (1, 1);
+              body = Ast.Filter (Kernel.identity ());
+              split_weights = (1, 1);
+              delay = [ VFloat 0.0; VFloat 0.0 ];
+            }
+        in
+        let g = Flatten.flatten loop in
+        Alcotest.(check bool) "cyclic" true (not (Graph.is_acyclic g));
+        (* topo order must still exist thanks to the delay tokens *)
+        Alcotest.(check int) "topo covers all" (Graph.num_nodes g)
+          (List.length (Graph.topo_order g)));
+    t "mismatched pipeline rejected" (fun () ->
+        let source = Kernel.make_filter ~name:"src" ~push:1 Kernel.Build.[ push (f 1.0) ] in
+        let sink = Kernel.make_filter ~name:"snk" ~pop:1 Kernel.Build.[ let_ "_x" pop ] in
+        (* sink produces nothing but a successor expects input *)
+        Alcotest.check_raises "bad" (Failure "p: pipeline stage expects input but none produced")
+          (fun () ->
+            ignore
+              (Flatten.flatten
+                 (Ast.pipeline "p"
+                    [ Ast.Filter source; Ast.Filter sink; Ast.Filter sink ]))));
+    t "graph validation detects double wiring" (fun () ->
+        let g = ab_graph () in
+        let bad = { g with Graph.edges = g.Graph.edges @ g.Graph.edges } in
+        match Graph.validate bad with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected validation failure");
+  ]
+
+(* --- Sdf --- *)
+
+let sdf_tests =
+  [
+    t "multirate repetition vector (paper Fig. 4)" (fun () ->
+        let g = ab_graph () in
+        match Sdf.steady_state g with
+        | Ok r ->
+          Alcotest.(check (array int)) "reps" [| 3; 2 |] r.Sdf.reps;
+          Alcotest.(check (result unit string)) "check" (Ok ()) (Sdf.check g r);
+          Alcotest.(check int) "in" 3 (Sdf.input_tokens g r);
+          Alcotest.(check int) "out" 2 (Sdf.output_tokens g r)
+        | Error m -> Alcotest.fail m);
+    t "benchmark repetition vectors validate" (fun () ->
+        List.iter
+          (fun (e : Benchmarks.Registry.entry) ->
+            let g = Flatten.flatten (e.stream ()) in
+            match Sdf.steady_state g with
+            | Ok r ->
+              Alcotest.(check (result unit string)) e.name (Ok ()) (Sdf.check g r)
+            | Error m -> Alcotest.fail (e.name ^ ": " ^ m))
+          Benchmarks.Registry.all);
+    t "scaled reps" (fun () ->
+        let g = ab_graph () in
+        let r = Result.get_ok (Sdf.steady_state g) in
+        Alcotest.(check (array int)) "x4" [| 12; 8 |] (Sdf.scaled_reps r 4));
+    t "rate-inconsistent graph rejected" (fun () ->
+        (* duplicate splitter into branches with unequal consumption,
+           rejoined 1:1 -> inconsistent *)
+        let f21 =
+          Kernel.Build.(
+            Kernel.make_filter ~name:"f21" ~pop:2 ~push:1 [ push (pop +: pop) ])
+        in
+        let sj =
+          Ast.duplicate_sj "bad"
+            [ Ast.Filter (Kernel.identity ()); Ast.Filter f21 ]
+            [ 1; 1 ]
+        in
+        let g = Flatten.flatten sj in
+        match Sdf.steady_state g with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected inconsistency");
+  ]
+
+(* --- Schedule --- *)
+
+let schedule_tests =
+  [
+    t "SAS is admissible on every benchmark" (fun () ->
+        List.iter
+          (fun (e : Benchmarks.Registry.entry) ->
+            let g = Flatten.flatten (e.stream ()) in
+            let r = Result.get_ok (Sdf.steady_state g) in
+            let s = Schedule.sas g r in
+            Alcotest.(check (result unit string)) e.name (Ok ())
+              (Schedule.is_admissible g r s))
+          Benchmarks.Registry.all);
+    t "min-latency is admissible on every benchmark" (fun () ->
+        List.iter
+          (fun (e : Benchmarks.Registry.entry) ->
+            let g = Flatten.flatten (e.stream ()) in
+            let r = Result.get_ok (Sdf.steady_state g) in
+            let s = Schedule.min_latency g r in
+            Alcotest.(check (result unit string)) e.name (Ok ())
+              (Schedule.is_admissible g r s))
+          Benchmarks.Registry.all);
+    t "min-latency never buffers more than SAS" (fun () ->
+        List.iter
+          (fun (e : Benchmarks.Registry.entry) ->
+            let g = Flatten.flatten (e.stream ()) in
+            let r = Result.get_ok (Sdf.steady_state g) in
+            let sas = Schedule.buffer_bytes g (Schedule.sas g r) in
+            let ml = Schedule.buffer_bytes g (Schedule.min_latency g r) in
+            if ml > sas then
+              Alcotest.failf "%s: min-latency %d > SAS %d" e.name ml sas)
+          Benchmarks.Registry.all);
+    t "wrong firing counts rejected" (fun () ->
+        let g = ab_graph () in
+        let r = Result.get_ok (Sdf.steady_state g) in
+        match Schedule.is_admissible g r [ 0; 1 ] with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected count mismatch");
+    t "premature firing rejected" (fun () ->
+        let g = ab_graph () in
+        let r = Result.get_ok (Sdf.steady_state g) in
+        match Schedule.is_admissible g r [ 1; 0; 0; 0; 1 ] with
+        | Error _ -> ()
+        | Ok () -> Alcotest.fail "expected firing-rule violation");
+  ]
+
+(* --- Interp --- *)
+
+let interp_tests =
+  [
+    t "multirate pipeline output" (fun () ->
+        let g = ab_graph () in
+        let out =
+          Interp.run_steady_states g
+            ~input:(fun i -> VFloat (float_of_int i))
+            ~iters:2
+        in
+        Alcotest.(check int) "count" 4 (List.length out);
+        Alcotest.(check bool) "values" true
+          (List.for_all2 equal_value out
+             [ VFloat 1.0; VFloat 8.0; VFloat 13.0; VFloat 23.0 ]));
+    t "steady state restores channel occupancy" (fun () ->
+        List.iter
+          (fun (e : Benchmarks.Registry.entry) ->
+            let g = Flatten.flatten (e.stream ()) in
+            let r = Result.get_ok (Sdf.steady_state g) in
+            let sched = Schedule.min_latency g r in
+            let it = Interp.create g in
+            let before = Interp.channel_occupancy it in
+            Interp.run_schedule it ~input:e.input sched;
+            let after = Interp.channel_occupancy it in
+            List.iter2
+              (fun (_, b) (_, a) ->
+                if a <> b then Alcotest.failf "%s: occupancy changed" e.name)
+              before after)
+          Benchmarks.Registry.all);
+    t "firing violation raised" (fun () ->
+        let g = ab_graph () in
+        let it = Interp.create g in
+        (try
+           Interp.fire it ~input:(fun _ -> VFloat 0.0) 1;
+           Alcotest.fail "expected violation"
+         with Interp.Firing_violation _ -> ()));
+    t "schedule order does not change output" (fun () ->
+        let g = Flatten.flatten (Benchmarks.Dct.stream ()) in
+        let r = Result.get_ok (Sdf.steady_state g) in
+        let input i = VFloat (float_of_int (i mod 17) /. 3.0) in
+        let run sched =
+          let it = Interp.create g in
+          Interp.run_schedule it ~input sched;
+          Interp.output it
+        in
+        let o1 = run (Schedule.sas g r) in
+        let o2 = run (Schedule.min_latency g r) in
+        Alcotest.(check bool) "same" true (List.for_all2 equal_value o1 o2));
+    t "reset restores initial state" (fun () ->
+        let g = ab_graph () in
+        let r = Result.get_ok (Sdf.steady_state g) in
+        let input i = VFloat (float_of_int i) in
+        let it = Interp.create g in
+        Interp.run_schedule it ~input (Schedule.sas g r);
+        let first = Interp.output it in
+        Interp.reset it;
+        Interp.run_schedule it ~input (Schedule.sas g r);
+        Alcotest.(check bool) "same" true
+          (List.for_all2 equal_value first (Interp.output it)));
+    t "division by zero surfaces" (fun () ->
+        let f =
+          Kernel.Build.(
+            Kernel.make_filter ~name:"crash" ~pop:1 ~push:1 ~in_ty:TInt
+              ~out_ty:TInt
+              [ push (kb 1 /: (pop -: pop)) ])
+        in
+        (* pop -: pop is 2 pops; declared pop 1 -> fix rates *)
+        ignore f;
+        let g =
+          Flatten.flatten
+            (Ast.Filter
+               (Kernel.Build.(
+                  Kernel.make_filter ~name:"crash" ~pop:2 ~push:1 ~in_ty:TInt
+                    ~out_ty:TInt
+                    [ push (kb 1 /: (pop -: pop)) ])))
+        in
+        let it = Interp.create g in
+        (try
+           Interp.fire it ~input:(fun _ -> VInt 3) 0;
+           Alcotest.fail "expected division failure"
+         with Failure _ -> ()));
+  ]
+
+let suite =
+  fifo_tests @ kernel_tests @ flatten_tests @ sdf_tests @ schedule_tests
+  @ interp_tests
