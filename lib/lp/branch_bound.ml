@@ -1,6 +1,12 @@
 open Numeric
 
-type stats = { nodes_explored : int; nodes_pruned : int; max_depth : int }
+type stats = {
+  nodes_explored : int;
+  nodes_pruned : int;
+  max_depth : int;
+  lp_pivots : int;
+  seeded : bool;
+}
 
 (* A branching decision narrows one variable's bounds. *)
 type node = { lb : Rat.t option array; ub : Rat.t option array; depth : int }
@@ -22,7 +28,8 @@ let most_fractional_var int_vars (sol : Solution.t) =
     int_vars;
   Option.map fst !best
 
-let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution problem =
+let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution ?incumbent
+    ?(use_reference_lp = false) problem =
   let deadline =
     Option.map (fun b -> Sys.time () +. b) time_budget_s
   in
@@ -40,7 +47,28 @@ let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution problem =
       depth = 0;
     }
   in
-  let incumbent = ref None in
+  let lp_stats = ref Solution.empty_lp_stats in
+  (* Warm start: a caller-provided feasible assignment (e.g. the heuristic
+     modulo scheduler's solution) becomes the initial incumbent, so the
+     search prunes against it instead of exploring — and for the paper's
+     pure-feasibility ILPs it already answers the query. *)
+  let seeded = ref false in
+  let incumbent =
+    ref
+      (match incumbent with
+      | None -> None
+      | Some assign -> (
+        match Problem.check_assignment problem assign with
+        | Error _ -> None (* silently ignore an invalid seed *)
+        | Ok () ->
+          seeded := true;
+          Some
+            {
+              Solution.values = Array.init n assign;
+              objective = Linexpr.eval assign obj;
+              lp = Solution.empty_lp_stats;
+            }))
+  in
   let lp_budget_hit = ref false in
   let explored = ref 0 and pruned = ref 0 and maxdepth = ref 0 in
   let better (s : Solution.t) =
@@ -64,6 +92,8 @@ let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution problem =
   let exception Budget in
   let stack = ref [ root ] in
   (try
+     (* A seeded feasibility search is already answered by its incumbent. *)
+     if first_solution && !incumbent <> None then raise Done;
      while !stack <> [] do
        match !stack with
        | [] -> ()
@@ -75,10 +105,15 @@ let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution problem =
          | _ -> ());
          incr explored;
          if node.depth > !maxdepth then maxdepth := node.depth;
-         (match
-            Simplex.solve_with_bounds ?deadline problem ~lb:node.lb
-              ~ub:node.ub
-          with
+         let relaxation =
+           if use_reference_lp then
+             Simplex.solve_with_bounds_reference ?deadline ~stats:lp_stats
+               problem ~lb:node.lb ~ub:node.ub
+           else
+             Simplex.solve_with_bounds ?deadline ~stats:lp_stats problem
+               ~lb:node.lb ~ub:node.ub
+         in
+         (match relaxation with
          | Solution.Budget_exhausted _ ->
            (* the relaxation hit its pivot cap: we can conclude nothing
               about this subtree — drop it and report budget exhaustion *)
@@ -135,7 +170,13 @@ let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution problem =
   | Budget ->
     ());
   let stats =
-    { nodes_explored = !explored; nodes_pruned = !pruned; max_depth = !maxdepth }
+    {
+      nodes_explored = !explored;
+      nodes_pruned = !pruned;
+      max_depth = !maxdepth;
+      lp_pivots = !lp_stats.Solution.pivots;
+      seeded = !seeded;
+    }
   in
   let budget_hit =
     !explored >= node_budget || !lp_budget_hit

@@ -10,22 +10,40 @@
     the paper's policy of allotting CPLEX 20 seconds per candidate II before
     relaxing the II by 0.5 %. *)
 
+open Numeric
+
 type stats = {
   nodes_explored : int;   (** LP relaxations solved *)
   nodes_pruned : int;     (** subtrees cut by bound or infeasibility *)
   max_depth : int;
+  lp_pivots : int;        (** simplex pivots summed over every relaxation *)
+  seeded : bool;          (** a warm-start incumbent was accepted *)
 }
 
 val solve :
   ?node_budget:int ->
   ?time_budget_s:float ->
   ?first_solution:bool ->
+  ?incumbent:(int -> Rat.t) ->
+  ?use_reference_lp:bool ->
   Problem.t ->
   Solution.outcome * stats
 (** [solve p] solves the MILP.  [node_budget] defaults to [10_000] and
     [time_budget_s] (CPU seconds, unlimited by default) directly mirrors
     the paper's 20-second CPLEX allotment per candidate II;
     [first_solution] defaults to [true] when the objective is constant and
-    [false] otherwise.  The returned solution's integer variables are
-    guaranteed integral and the assignment is re-verified against the
-    problem before being returned. *)
+    [false] otherwise.
+
+    [incumbent], when given, is a candidate assignment (variable id to
+    value).  If it satisfies the problem it seeds the search — branch
+    subtrees that cannot beat it are pruned immediately, and a
+    pure-feasibility query returns it without exploring at all (the
+    warm-start path of the II search).  An invalid seed is ignored.
+
+    [use_reference_lp] (default [false]) solves every relaxation with the
+    dense reference simplex instead of the sparse production core — for
+    benchmarking the sparse tableau against its baseline.
+
+    The returned solution's integer variables are guaranteed integral and
+    the assignment is re-verified against the problem before being
+    returned. *)

@@ -9,7 +9,16 @@
 
     Pricing uses Dantzig's rule with a permanent switch to Bland's rule
     after a degeneracy budget; a hard pivot cap makes pathological
-    instances return [Budget_exhausted None] instead of spinning. *)
+    instances return [Budget_exhausted None] instead of spinning.
+
+    The production path stores tableau rows sparsely (sorted column/value
+    pairs, hybrid-densified past a fill threshold) — the scheduling ILP
+    matrices of Sec. III are overwhelmingly zero, and skipping the zeros in
+    pivoting, pricing and the ratio test is worth an order of magnitude.
+    The original dense tableau survives as [solve_reference] /
+    [solve_with_bounds_reference]: both cores share the standard-form
+    construction and make identical pivot choices, so they return identical
+    results (cross-validated by property tests in [test/test_lp.ml]). *)
 
 open Numeric
 
@@ -18,6 +27,7 @@ val solve : Problem.t -> Solution.outcome
 
 val solve_with_bounds :
   ?deadline:float ->
+  ?stats:Solution.lp_stats ref ->
   Problem.t ->
   lb:Rat.t option array ->
   ub:Rat.t option array ->
@@ -26,4 +36,20 @@ val solve_with_bounds :
     branch-and-bound to impose branching decisions without mutating the
     problem).  Arrays are indexed by variable id and must cover every
     variable.  [deadline] is an absolute [Sys.time ()] value past which
-    pivoting aborts with [Budget_exhausted None]. *)
+    pivoting aborts with [Budget_exhausted None].  [stats], when given, is
+    accumulated with the solve's pivot/fill statistics whatever the
+    outcome (see {!Solution.add_lp_stats}). *)
+
+val solve_reference : Problem.t -> Solution.outcome
+(** Dense-tableau reference implementation (the original solver).  Kept
+    for cross-validation; use {!solve} in production code. *)
+
+val solve_with_bounds_reference :
+  ?deadline:float ->
+  ?stats:Solution.lp_stats ref ->
+  Problem.t ->
+  lb:Rat.t option array ->
+  ub:Rat.t option array ->
+  Solution.outcome
+(** Dense-tableau counterpart of {!solve_with_bounds}.  [stats] is only
+    accumulated on an [Optimal] outcome. *)

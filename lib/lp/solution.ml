@@ -1,6 +1,35 @@
 open Numeric
 
-type t = { values : Rat.t array; objective : Rat.t }
+type lp_stats = {
+  pivots : int;
+  tableau_rows : int;
+  tableau_cols : int;
+  max_nnz : int;
+  final_nnz : int;
+  dense_rows : int;
+}
+
+let empty_lp_stats =
+  {
+    pivots = 0;
+    tableau_rows = 0;
+    tableau_cols = 0;
+    max_nnz = 0;
+    final_nnz = 0;
+    dense_rows = 0;
+  }
+
+let add_lp_stats a b =
+  {
+    pivots = a.pivots + b.pivots;
+    tableau_rows = Stdlib.max a.tableau_rows b.tableau_rows;
+    tableau_cols = Stdlib.max a.tableau_cols b.tableau_cols;
+    max_nnz = Stdlib.max a.max_nnz b.max_nnz;
+    final_nnz = b.final_nnz;
+    dense_rows = Stdlib.max a.dense_rows b.dense_rows;
+  }
+
+type t = { values : Rat.t array; objective : Rat.t; lp : lp_stats }
 
 let value s v = s.values.(v)
 let value_int s v = Rat.to_int s.values.(v)
@@ -12,6 +41,10 @@ let pp fmt s =
       if not (Rat.is_zero v) then
         Format.fprintf fmt " x%d=%s" i (Rat.to_string v))
     s.values
+
+let pp_lp_stats fmt s =
+  Format.fprintf fmt "pivots=%d tableau=%dx%d nnz(max/final)=%d/%d dense_rows=%d"
+    s.pivots s.tableau_rows s.tableau_cols s.max_nnz s.final_nnz s.dense_rows
 
 type outcome =
   | Optimal of t

@@ -2,9 +2,27 @@
 
 open Numeric
 
+type lp_stats = {
+  pivots : int;        (** simplex pivots performed *)
+  tableau_rows : int;
+  tableau_cols : int;
+  max_nnz : int;       (** peak tableau nonzero count observed *)
+  final_nnz : int;     (** tableau nonzeros at termination *)
+  dense_rows : int;    (** rows densified past the hybrid fill threshold *)
+}
+
+val empty_lp_stats : lp_stats
+
+val add_lp_stats : lp_stats -> lp_stats -> lp_stats
+(** Accumulate across successive LP solves: pivots add up, the size and
+    fill fields keep the maximum (and [final_nnz] the latest). *)
+
+val pp_lp_stats : Format.formatter -> lp_stats -> unit
+
 type t = {
   values : Rat.t array;  (** indexed by {!Problem} variable id *)
   objective : Rat.t;     (** objective value under the problem's direction *)
+  lp : lp_stats;         (** work performed by the solve that produced it *)
 }
 
 val value : t -> int -> Rat.t

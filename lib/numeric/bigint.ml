@@ -68,6 +68,24 @@ let to_int x =
   | Some v -> v
   | None -> failwith "Bigint.to_int: overflow"
 
+let num_bits x =
+  let n = Array.length x.mag in
+  if n = 0 then 0
+  else begin
+    let top = x.mag.(n - 1) in
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    ((n - 1) * base_bits) + bits top 0
+  end
+
+let to_float x =
+  (* Horner over the limbs; magnitudes beyond the float range saturate to
+     infinity, which is the right answer for a float conversion. *)
+  let acc = ref 0.0 in
+  for i = Array.length x.mag - 1 downto 0 do
+    acc := ldexp !acc base_bits +. float_of_int x.mag.(i)
+  done;
+  if x.sign < 0 then -. !acc else !acc
+
 (* --- magnitude comparisons and arithmetic (unsigned) --- *)
 
 let cmp_mag a b =

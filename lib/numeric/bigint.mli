@@ -26,6 +26,13 @@ val to_int : t -> int
 
 val to_int_opt : t -> int option
 
+val num_bits : t -> int
+(** Bit length of the magnitude; [num_bits zero = 0]. *)
+
+val to_float : t -> float
+(** Nearest-float conversion; saturates to [infinity] beyond the float
+    range. *)
+
 val of_string : string -> t
 (** Parses an optionally-signed decimal literal.
     @raise Invalid_argument on malformed input. *)

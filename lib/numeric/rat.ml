@@ -1,27 +1,78 @@
-(* Canonical rationals: den > 0, gcd(num, den) = 1. *)
+(* Canonical rationals: den > 0, gcd(num, den) = 1.
+
+   Two-tier representation (zarith-style): the [S] tier keeps the
+   numerator and denominator as native ints whenever both magnitudes are
+   below [2^30].  That bound guarantees every cross product computed by
+   [add]/[mul]/[compare] fits in OCaml's 63-bit native ints, so the fast
+   path needs no overflow checks at all — results that outgrow the bound
+   after gcd reduction are promoted to the exact [L] tier over
+   {!Bigint}, and big-tier results are demoted back whenever they fit.
+   The LP tableau of the scheduling ILP lives almost entirely in the
+   small tier; the bigint tier only absorbs the rare pivot blow-ups. *)
 
 module B = Bigint
 
-type t = { n : B.t; d : B.t }
+(* Small-tier bound: |n|, d < 2^30 means n1*d2 and d1*d2 are below 2^60
+   and any sum of two such products is below 2^61 < max_int. *)
+let small_lim = 1 lsl 30
+
+type t =
+  | S of int * int (* n, d: canonical, 0 < d < small_lim, |n| < small_lim *)
+  | L of B.t * B.t (* canonical, den > 0; at least one side >= small_lim *)
+
+(* Non-negative gcd on non-negative native ints. *)
+let rec igcd a b = if b = 0 then a else igcd b (a mod b)
+
+let zero = S (0, 1)
+let one = S (1, 1)
+let minus_one = S (-1, 1)
+
+(* Canonicalize native parts.  Preconditions: d <> 0 and |n|, |d| small
+   enough that [abs] cannot overflow (all call sites stay below 2^61). *)
+let make_small n d =
+  if d = 0 then raise Division_by_zero;
+  if n = 0 then zero
+  else begin
+    let neg = (n < 0) <> (d < 0) in
+    let n = abs n and d = abs d in
+    let g = igcd n d in
+    let n = n / g and d = d / g in
+    if n < small_lim && d < small_lim then S ((if neg then -n else n), d)
+    else L (B.of_int (if neg then -n else n), B.of_int d)
+  end
+
+(* Demote a canonical bigint pair when it fits the small tier. *)
+let of_big_canon n d =
+  match (B.to_int_opt n, B.to_int_opt d) with
+  | Some n', Some d' when n' > -small_lim && n' < small_lim && d' < small_lim
+    ->
+    S (n', d')
+  | _ -> L (n, d)
 
 let mk_canon n d =
   if B.is_zero d then raise Division_by_zero;
-  if B.is_zero n then { n = B.zero; d = B.one }
+  if B.is_zero n then zero
   else begin
     let s = B.sign n * B.sign d in
     let n = B.abs n and d = B.abs d in
     let g = B.gcd n d in
     let n = B.div n g and d = B.div d g in
-    { n = (if s < 0 then B.neg n else n); d }
+    of_big_canon (if s < 0 then B.neg n else n) d
   end
 
-let zero = { n = B.zero; d = B.one }
-let one = { n = B.one; d = B.one }
-let minus_one = { n = B.minus_one; d = B.one }
 let make n d = mk_canon n d
-let of_bigint n = { n; d = B.one }
-let of_int n = of_bigint (B.of_int n)
-let of_ints n d = mk_canon (B.of_int n) (B.of_int d)
+let of_bigint n = of_big_canon n B.one
+
+let of_int n =
+  if n > -small_lim && n < small_lim then S (n, 1) else L (B.of_int n, B.one)
+
+let of_ints n d =
+  if
+    d <> 0
+    && n > -small_lim && n < small_lim
+    && d > -small_lim && d < small_lim
+  then make_small n d
+  else mk_canon (B.of_int n) (B.of_int d)
 
 let of_string s =
   match String.index_opt s '/' with
@@ -31,41 +82,104 @@ let of_string s =
       (B.of_string (String.sub s 0 i))
       (B.of_string (String.sub s (i + 1) (String.length s - i - 1)))
 
-let num x = x.n
-let den x = x.d
-let sign x = B.sign x.n
-let is_zero x = B.is_zero x.n
-let is_integer x = B.equal x.d B.one
-let to_bigint x = B.div x.n x.d
-let floor x = B.ediv x.n x.d
-let ceil x = B.neg (B.ediv (B.neg x.n) x.d)
+let num = function S (n, _) -> B.of_int n | L (n, _) -> n
+let den = function S (_, d) -> B.of_int d | L (_, d) -> d
+let sign = function S (n, _) -> compare n 0 | L (n, _) -> B.sign n
+let is_zero = function S (n, _) -> n = 0 | L _ -> false
+let is_integer = function S (_, d) -> d = 1 | L (_, d) -> B.equal d B.one
+let is_small = function S _ -> true | L _ -> false
 
-let to_float x =
-  (* Good enough for reporting: go through strings only when the parts are
-     small; otherwise scale down. *)
-  match (B.to_int_opt x.n, B.to_int_opt x.d) with
-  | Some n, Some d -> float_of_int n /. float_of_int d
+let to_bigint = function
+  | S (n, d) -> B.of_int (n / d)
+  | L (n, d) -> B.div n d
+
+let floor = function
+  | S (n, d) -> B.of_int (if n >= 0 then n / d else -(((-n) + d - 1) / d))
+  | L (n, d) -> B.ediv n d
+
+let ceil = function
+  | S (n, d) -> B.of_int (if n >= 0 then (n + d - 1) / d else -((-n) / d))
+  | L (n, d) -> B.neg (B.ediv (B.neg n) d)
+
+let to_float = function
+  | S (n, d) -> float_of_int n /. float_of_int d
+  | L (n, d) ->
+    (* Scale the quotient to ~59 significant bits, convert exactly, then
+       restore the magnitude with ldexp (no lossy decimal round trips and
+       no hard-coded power-of-two float literal).  59 > 53 mantissa bits,
+       so the only rounding is the final ldexp/float conversion. *)
+    let shift = B.num_bits d - B.num_bits n + 59 in
+    let q =
+      if shift >= 0 then B.div (B.mul n (B.pow (B.of_int 2) shift)) d
+      else B.div n (B.mul d (B.pow (B.of_int 2) ~-shift))
+    in
+    ldexp (B.to_float q) ~-shift
+
+let to_int = function
+  | S (n, d) -> if d = 1 then n else failwith "Rat.to_int: not an integer"
+  | L (n, d) ->
+    if B.equal d B.one then B.to_int n
+    else failwith "Rat.to_int: not an integer"
+
+let neg = function S (n, d) -> S (-n, d) | L (n, d) -> L (B.neg n, d)
+let abs = function S (n, d) -> S (abs n, d) | L (n, d) -> L (B.abs n, d)
+
+let inv = function
+  | S (n, d) ->
+    if n = 0 then raise Division_by_zero
+    else if n > 0 then S (d, n)
+    else S (-d, -n)
+  | L (n, d) -> (
+    match B.sign n with
+    | 0 -> raise Division_by_zero
+    | s when s > 0 -> L (d, n)
+    | _ -> L (B.neg d, B.neg n))
+
+(* Promote to bigint parts. *)
+let big_parts = function
+  | S (n, d) -> (B.of_int n, B.of_int d)
+  | L (n, d) -> (n, d)
+
+let add a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) ->
+    (* |ni| < 2^30, di < 2^30: products < 2^60, sum < 2^61. *)
+    make_small ((n1 * d2) + (n2 * d1)) (d1 * d2)
   | _ ->
-    (* Divide out with 60 bits of fractional precision. *)
-    let shift = B.pow (B.of_int 2) 60 in
-    let scaled = B.div (B.mul x.n shift) x.d in
-    (match B.to_int_opt scaled with
-    | Some v -> float_of_int v /. 1.1529215046068469e18 (* 2^60 *)
-    | None -> float_of_string (B.to_string (to_bigint x)))
+    let n1, d1 = big_parts a and n2, d2 = big_parts b in
+    mk_canon (B.add (B.mul n1 d2) (B.mul n2 d1)) (B.mul d1 d2)
 
-let to_int x =
-  if not (is_integer x) then failwith "Rat.to_int: not an integer"
-  else B.to_int x.n
-
-let neg x = { x with n = B.neg x.n }
-let abs x = { x with n = B.abs x.n }
-let inv x = mk_canon x.d x.n
-let add a b = mk_canon (B.add (B.mul a.n b.d) (B.mul b.n a.d)) (B.mul a.d b.d)
 let sub a b = add a (neg b)
-let mul a b = mk_canon (B.mul a.n b.n) (B.mul a.d b.d)
+
+let mul a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) ->
+    (* Reduce across the diagonal first so the products stay small and the
+       final gcd call works on already-coprime parts. *)
+    let g1 = igcd (Stdlib.abs n1) d2 and g2 = igcd (Stdlib.abs n2) d1 in
+    let n1 = n1 / g1 and d2 = d2 / g1 in
+    let n2 = n2 / g2 and d1 = d1 / g2 in
+    let n = n1 * n2 and d = d1 * d2 in
+    if n > -small_lim && n < small_lim && d < small_lim then S (n, d)
+    else L (B.of_int n, B.of_int d)
+  | _ ->
+    let n1, d1 = big_parts a and n2, d2 = big_parts b in
+    mk_canon (B.mul n1 n2) (B.mul d1 d2)
+
 let div a b = mul a (inv b)
-let compare a b = B.compare (B.mul a.n b.d) (B.mul b.n a.d)
-let equal a b = compare a b = 0
+
+let compare a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) -> Stdlib.compare (n1 * d2) (n2 * d1)
+  | _ ->
+    let n1, d1 = big_parts a and n2, d2 = big_parts b in
+    B.compare (B.mul n1 d2) (B.mul n2 d1)
+
+let equal a b =
+  match (a, b) with
+  | S (n1, d1), S (n2, d2) -> n1 = n2 && d1 = d2 (* canonical forms *)
+  | _ -> compare a b = 0
+
 let lt a b = compare a b < 0
 let le a b = compare a b <= 0
 let gt a b = compare a b > 0
@@ -73,9 +187,12 @@ let ge a b = compare a b >= 0
 let min a b = if le a b then a else b
 let max a b = if ge a b then a else b
 
-let to_string x =
-  if is_integer x then B.to_string x.n
-  else B.to_string x.n ^ "/" ^ B.to_string x.d
+let to_string = function
+  | S (n, 1) -> string_of_int n
+  | S (n, d) -> string_of_int n ^ "/" ^ string_of_int d
+  | L (n, d) ->
+    if B.equal d B.one then B.to_string n
+    else B.to_string n ^ "/" ^ B.to_string d
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
 

@@ -1,9 +1,19 @@
-(** Exact rational arithmetic over {!Bigint}.
+(** Exact rational arithmetic.
 
     Values are kept in canonical form: the denominator is strictly positive
     and [gcd num den = 1].  Used by the simplex LP solver (where floating
     point would break pivoting decisions) and by the SDF steady-state rate
-    equations. *)
+    equations.
+
+    The representation is two-tier (zarith-style): numerator and
+    denominator live in native ints while both magnitudes stay below
+    [2^30] — a bound under which every intermediate cross product provably
+    fits a 63-bit int, so the hot path runs without allocation or overflow
+    checks — and are promoted to {!Bigint} otherwise.  Big-tier results
+    are demoted back to the fast tier whenever they fit, so a computation
+    that momentarily blows up returns to native speed.  Both tiers produce
+    bit-identical canonical values (see the cross-validation properties in
+    [test/test_rat.ml]). *)
 
 type t
 
@@ -35,6 +45,10 @@ val den : t -> Bigint.t
 val sign : t -> int
 val is_zero : t -> bool
 val is_integer : t -> bool
+
+val is_small : t -> bool
+(** [true] when the value currently lives in the native-int fast tier
+    (diagnostics and tier cross-validation tests). *)
 
 val to_bigint : t -> Bigint.t
 (** Truncates toward zero. *)

@@ -1,8 +1,14 @@
-let solve g (cfg : Select.config) ~num_sms ~ii =
-  let insts = Array.of_list (Instances.instances cfg) in
+let solve ?insts ?deps g (cfg : Select.config) ~num_sms ~ii =
+  let insts =
+    Array.of_list
+      (match insts with Some l -> l | None -> Instances.instances cfg)
+  in
   let n = Array.length insts in
-  let deps = Instances.deps g cfg in
-  let idx i = Instances.index cfg i in
+  let deps = match deps with Some l -> l | None -> Instances.deps g cfg in
+  (* O(1) instance -> dense index (Instances.index is linear per call). *)
+  let itbl = Hashtbl.create (2 * n) in
+  Array.iteri (fun i inst -> Hashtbl.replace itbl inst i) insts;
+  let idx i = match Hashtbl.find_opt itbl i with Some x -> x | None -> -1 in
   let delay_of (i : Instances.instance) = cfg.delay.(i.node) in
   if Array.exists (fun i -> delay_of i >= ii) insts then `Infeasible
   else begin

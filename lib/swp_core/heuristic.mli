@@ -16,6 +16,8 @@
       repeats until a fixpoint. *)
 
 val solve :
+  ?insts:Instances.instance list ->
+  ?deps:Instances.dep list ->
   Streamit.Graph.t ->
   Select.config ->
   num_sms:int ->

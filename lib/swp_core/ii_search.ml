@@ -1,44 +1,99 @@
 type solver = Exact of int | Heuristic | Auto of int
 
+type attempt = {
+  ii : int;
+  tried_exact : bool;
+  feasible : bool;
+  solve_time_s : float;
+  lp_pivots : int;
+  bb_nodes : int;
+}
+
 type stats = {
   lower_bound : int;
   achieved_ii : int;
   attempts : int;
   relaxation : float;
   used_exact : bool;
+  attempt_log : attempt list;
 }
 
 let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
     ~num_sms =
-  let lb = Mii.lower_bound g cfg ~num_sms in
+  (* The instance/dependence expansion does not depend on the candidate II:
+     derive it once and reuse it across every attempt (and the MII bound). *)
+  let insts = Instances.instances cfg in
+  let deps = Instances.deps g cfg in
+  let lb = Mii.lower_bound ~deps g cfg ~num_sms in
   (* the exact ILP is only worth its cost near the II lower bound, where
      the heuristic's packing granularity is the limiting factor *)
   let near_bound ii = ii <= lb + (lb / 50) + 2 in
+  let log = ref [] in
+  let record ~ii ~tried_exact ~feasible ~t0 bb =
+    let bb_nodes, lp_pivots =
+      match bb with
+      | Some (s : Lp.Branch_bound.stats) -> (s.nodes_explored, s.lp_pivots)
+      | None -> (0, 0)
+    in
+    log :=
+      {
+        ii;
+        tried_exact;
+        feasible;
+        solve_time_s = Sys.time () -. t0;
+        lp_pivots;
+        bb_nodes;
+      }
+      :: !log
+  in
   let try_at ii =
-    match solver with
-    | Heuristic -> (
-      match Heuristic.solve g cfg ~num_sms ~ii with
-      | `Schedule s -> Some (s, false)
-      | `Infeasible -> None)
-    | Exact budget -> (
-      match Ilp.solve ~node_budget:budget ~time_budget_s:20.0 g cfg ~num_sms ~ii with
-      | `Schedule s -> Some (s, true)
-      | `Infeasible | `Budget_exhausted -> None)
-    | Auto budget -> (
-      match Heuristic.solve g cfg ~num_sms ~ii with
-      | `Schedule s -> Some (s, false)
-      | `Infeasible ->
-        (* The exact ILP is only worth invoking on problems small enough
-           for the branch-and-bound to stand a chance within its budget
-           (the assignment variables alone number instances x SMs). *)
-        if Instances.num_instances cfg * num_sms > 96 || not (near_bound ii)
-        then None
-        else (
-          match
-            Ilp.solve ~node_budget:budget ~time_budget_s:1.0 g cfg ~num_sms ~ii
-          with
-          | `Schedule s -> Some (s, true)
-          | `Infeasible | `Budget_exhausted -> None))
+    let t0 = Sys.time () in
+    let bb = ref None in
+    let res =
+      match solver with
+      | Heuristic -> (
+        match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
+        | `Schedule s -> Some (s, false)
+        | `Infeasible -> None)
+      | Exact budget -> (
+        (* Warm start: hand the ILP the heuristic's schedule as its
+           incumbent — branch-and-bound verifies it against the full
+           constraint system and, the problem being pure feasibility,
+           returns it without exploring.  Only a heuristic failure pays
+           for a cold exact solve. *)
+        let warm_start =
+          match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
+          | `Schedule s -> Some s
+          | `Infeasible -> None
+        in
+        match
+          Ilp.solve ~node_budget:budget ~time_budget_s:20.0 ~insts ~deps
+            ?warm_start ~stats:bb g cfg ~num_sms ~ii
+        with
+        | `Schedule s -> Some (s, true)
+        | `Infeasible | `Budget_exhausted -> None)
+      | Auto budget -> (
+        match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
+        | `Schedule s -> Some (s, false)
+        | `Infeasible ->
+          (* The exact ILP is only worth invoking on problems small enough
+             for the branch-and-bound to stand a chance within its budget
+             (the assignment variables alone number instances x SMs). *)
+          if Instances.num_instances cfg * num_sms > 96 || not (near_bound ii)
+          then None
+          else (
+            match
+              Ilp.solve ~node_budget:budget ~time_budget_s:1.0 ~insts ~deps
+                ~stats:bb g cfg ~num_sms ~ii
+            with
+            | `Schedule s -> Some (s, true)
+            | `Infeasible | `Budget_exhausted -> None))
+    in
+    let tried_exact =
+      match solver with Exact _ -> true | Heuristic -> false | Auto _ -> !bb <> None
+    in
+    record ~ii ~tried_exact ~feasible:(res <> None) ~t0 !bb;
+    res
   in
   let max_ii = int_of_float (float_of_int lb *. (1.0 +. max_relax)) + 1 in
   let rec loop ii attempts =
@@ -56,6 +111,7 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
               attempts;
               relaxation = float_of_int (ii - lb) /. float_of_int (max 1 lb);
               used_exact;
+              attempt_log = List.rev !log;
             } )
       | None ->
         let next =

@@ -5,10 +5,17 @@
     failure relax the II by 0.5% (at least 1 cycle) and retry.  We keep
     the same loop; the budget is a branch-and-bound node budget instead
     of 20 wall-clock seconds, and a heuristic modulo scheduler can be
-    tried at each candidate II before or instead of the exact ILP. *)
+    tried at each candidate II before or instead of the exact ILP.
+
+    The search derives the instance/dependence expansion {e once} and
+    reuses it across every candidate II, and in [Exact] mode warm-starts
+    branch-and-bound with the heuristic's feasible schedule so the ILP
+    verifies rather than re-discovers it. *)
 
 type solver =
-  | Exact of int     (** ILP with the given node budget per candidate II *)
+  | Exact of int
+      (** ILP with the given node budget per candidate II, warm-started
+          from the heuristic schedule whenever one exists at that II *)
   | Heuristic
   | Auto of int
       (** heuristic first; when it fails at a candidate II and the
@@ -16,12 +23,24 @@ type solver =
           assignment variables), try the exact ILP with the given budget
           before relaxing *)
 
+type attempt = {
+  ii : int;                (** candidate II of this attempt *)
+  tried_exact : bool;      (** the exact ILP ran (possibly warm-started) *)
+  feasible : bool;
+  solve_time_s : float;    (** CPU seconds spent on this candidate *)
+  lp_pivots : int;         (** simplex pivots across the ILP's relaxations *)
+  bb_nodes : int;          (** branch-and-bound nodes explored *)
+}
+
 type stats = {
   lower_bound : int;       (** the starting II *)
   achieved_ii : int;
   attempts : int;          (** candidate IIs tried *)
   relaxation : float;      (** (achieved - bound) / bound *)
   used_exact : bool;       (** whether the returned schedule came from the ILP *)
+  attempt_log : attempt list;
+      (** one entry per candidate II, in search order (the last entry is
+          the successful one when the search succeeds) *)
 }
 
 val search :

@@ -4,13 +4,16 @@ type var_map = {
   w : (int * int * int, int) Hashtbl.t;
   o : (int * int, int) Hashtbl.t;
   f : (int * int, int) Hashtbl.t;
+  g : (int, int) Hashtbl.t;
 }
 
 let q = Rat.of_int
 
-let build g (cfg : Select.config) ~num_sms ~ii =
-  let insts = Instances.instances cfg in
-  let deps = Instances.deps g cfg in
+let build ?insts ?deps g (cfg : Select.config) ~num_sms ~ii =
+  let insts =
+    match insts with Some l -> l | None -> Instances.instances cfg
+  in
+  let deps = match deps with Some l -> l | None -> Instances.deps g cfg in
   (* Quick infeasibility: constraint (4) requires o >= 0 and o + d < T. *)
   let too_slow =
     List.find_opt
@@ -24,7 +27,14 @@ let build g (cfg : Select.config) ~num_sms ~ii =
          (Streamit.Graph.name g i.node) cfg.delay.(i.node) ii)
   | None ->
     let p = Lp.Problem.create () in
-    let vm = { w = Hashtbl.create 64; o = Hashtbl.create 64; f = Hashtbl.create 64 } in
+    let vm =
+      {
+        w = Hashtbl.create 64;
+        o = Hashtbl.create 64;
+        f = Hashtbl.create 64;
+        g = Hashtbl.create 64;
+      }
+    in
     (* Stage variables are bounded by the pipeline depth, which cannot
        usefully exceed the instance count. *)
     let f_ub = Rat.of_int (Instances.num_instances cfg + 1) in
@@ -108,6 +118,7 @@ let build g (cfg : Select.config) ~num_sms ~ii =
             Lp.Problem.add_var p ~kind:Lp.Problem.Binary
               (Printf.sprintf "g_%d" di)
           in
+          Hashtbl.replace vm.g di gid;
           for sm = 0 to num_sms - 1 do
             let wu = Hashtbl.find vm.w (u, ku, sm)
             and wv = Hashtbl.find vm.w (v, kv, sm) in
@@ -151,17 +162,83 @@ let build g (cfg : Select.config) ~num_sms ~ii =
       deps;
     Ok (p, vm)
 
-let solve ?(node_budget = 4000) ?time_budget_s g cfg ~num_sms ~ii =
-  match build g cfg ~num_sms ~ii with
+(* Translate a feasible schedule (typically the heuristic scheduler's) into
+   an assignment of the ILP variables, to seed branch-and-bound as its
+   incumbent.  SM labels are permuted so the first instance lands on SM 0,
+   matching the symmetry-breaking constraint; the cross-SM indicators [g]
+   are set from the permuted assignment.  Validity of the result is checked
+   by {!Lp.Branch_bound} itself (an unusable seed is simply dropped). *)
+let assignment_of_schedule p vm insts deps (s : Swp_schedule.t) ~num_sms =
+  let sm_of = Hashtbl.create 64 and o_of = Hashtbl.create 64
+  and f_of = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Swp_schedule.entry) ->
+      let key = (e.inst.Instances.node, e.inst.Instances.k) in
+      Hashtbl.replace sm_of key e.sm;
+      Hashtbl.replace o_of key e.o;
+      Hashtbl.replace f_of key e.f)
+    s.Swp_schedule.entries;
+  let perm =
+    match insts with
+    | [] -> fun sm -> sm
+    | (first : Instances.instance) :: _ ->
+      let s0 = Hashtbl.find sm_of (first.node, first.k) in
+      fun sm -> if sm = s0 then 0 else if sm = 0 then s0 else sm
+  in
+  let values = Array.make (Lp.Problem.num_vars p) Rat.zero in
+  List.iter
+    (fun (i : Instances.instance) ->
+      let key = (i.node, i.k) in
+      let sm = perm (Hashtbl.find sm_of key) in
+      for s = 0 to num_sms - 1 do
+        values.(Hashtbl.find vm.w (i.node, i.k, s)) <-
+          (if s = sm then Rat.one else Rat.zero)
+      done;
+      values.(Hashtbl.find vm.o key) <- Rat.of_int (Hashtbl.find o_of key);
+      values.(Hashtbl.find vm.f key) <- Rat.of_int (Hashtbl.find f_of key))
+    insts;
+  List.iteri
+    (fun di (dep : Instances.dep) ->
+      match Hashtbl.find_opt vm.g di with
+      | None -> ()
+      | Some gid ->
+        let su =
+          perm (Hashtbl.find sm_of (dep.src.Instances.node, dep.src.Instances.k))
+        and sv =
+          perm (Hashtbl.find sm_of (dep.dst.Instances.node, dep.dst.Instances.k))
+        in
+        values.(gid) <- (if su = sv then Rat.zero else Rat.one))
+    deps;
+  fun v -> values.(v)
+
+let solve ?(node_budget = 4000) ?time_budget_s ?insts ?deps ?warm_start ?stats
+    ?use_reference_lp g cfg ~num_sms ~ii =
+  let insts =
+    match insts with Some l -> l | None -> Instances.instances cfg
+  in
+  let deps = match deps with Some l -> l | None -> Instances.deps g cfg in
+  match build ~insts ~deps g cfg ~num_sms ~ii with
   | Error _ -> `Infeasible
   | Ok (p, vm) -> (
-    match Lp.Branch_bound.solve ~node_budget ?time_budget_s p with
-    | Lp.Solution.Infeasible, _ -> `Infeasible
-    | Lp.Solution.Unbounded, _ ->
+    let incumbent =
+      match warm_start with
+      | Some (s : Swp_schedule.t)
+        when s.Swp_schedule.ii = ii && s.Swp_schedule.num_sms = num_sms ->
+        Some (assignment_of_schedule p vm insts deps s ~num_sms)
+      | _ -> None
+    in
+    let outcome, bb =
+      Lp.Branch_bound.solve ~node_budget ?time_budget_s ?incumbent
+        ?use_reference_lp p
+    in
+    (match stats with Some r -> r := Some bb | None -> ());
+    match outcome with
+    | Lp.Solution.Infeasible -> `Infeasible
+    | Lp.Solution.Unbounded ->
       (* feasibility problem over bounded variables; cannot happen *)
       assert false
-    | Lp.Solution.Budget_exhausted _, _ -> `Budget_exhausted
-    | Lp.Solution.Optimal sol, _ ->
+    | Lp.Solution.Budget_exhausted _ -> `Budget_exhausted
+    | Lp.Solution.Optimal sol ->
       let entries =
         List.map
           (fun (i : Instances.instance) ->
@@ -178,7 +255,7 @@ let solve ?(node_budget = 4000) ?time_budget_s g cfg ~num_sms ~ii =
               o = Lp.Solution.value_int sol (Hashtbl.find vm.o (i.node, i.k));
               f = Lp.Solution.value_int sol (Hashtbl.find vm.f (i.node, i.k));
             })
-          (Instances.instances cfg)
+          insts
       in
       let sched = { Swp_schedule.ii; entries; num_sms; config = cfg } in
       (match Swp_schedule.validate g sched with

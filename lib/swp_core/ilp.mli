@@ -18,23 +18,50 @@ type var_map = {
   w : (int * int * int, int) Hashtbl.t;  (** (node, k, sm) -> variable id *)
   o : (int * int, int) Hashtbl.t;        (** (node, k) -> variable id *)
   f : (int * int, int) Hashtbl.t;
+  g : (int, int) Hashtbl.t;
+      (** dependence index (position in the [deps] list) -> cross-SM
+          indicator variable id; absent for self-dependences *)
 }
 
 val build :
+  ?insts:Instances.instance list ->
+  ?deps:Instances.dep list ->
   Streamit.Graph.t ->
   Select.config ->
   num_sms:int ->
   ii:int ->
   (Lp.Problem.t * var_map, string) result
-(** [Error] when the II is trivially infeasible (some delay exceeds it). *)
+(** [Error] when the II is trivially infeasible (some delay exceeds it).
+    [insts]/[deps] supply a precomputed instance expansion — the II search
+    reuses one expansion across every candidate II instead of re-deriving
+    it per attempt. *)
 
 val solve :
   ?node_budget:int ->
   ?time_budget_s:float ->
+  ?insts:Instances.instance list ->
+  ?deps:Instances.dep list ->
+  ?warm_start:Swp_schedule.t ->
+  ?stats:Lp.Branch_bound.stats option ref ->
+  ?use_reference_lp:bool ->
   Streamit.Graph.t ->
   Select.config ->
   num_sms:int ->
   ii:int ->
   [ `Schedule of Swp_schedule.t | `Infeasible | `Budget_exhausted ]
 (** Builds, solves, decodes and {e validates} the schedule before
-    returning it. *)
+    returning it.
+
+    [warm_start], when given a schedule for the same [ii] and [num_sms]
+    (typically the heuristic scheduler's), is translated into an ILP
+    assignment and handed to branch-and-bound as its incumbent — for this
+    pure-feasibility problem the search then verifies it against every
+    constraint and returns immediately instead of exploring.  SM labels
+    are permuted to satisfy the symmetry-breaking constraint first.
+
+    [stats] receives the branch-and-bound statistics of the solve (node
+    and simplex-pivot counts) whatever the outcome.
+
+    [use_reference_lp] routes every LP relaxation to the dense reference
+    simplex — only meant for benchmarking against the pre-sparse
+    baseline. *)

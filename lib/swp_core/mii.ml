@@ -4,19 +4,15 @@ let res_mii (cfg : Select.config) ~num_sms =
   Numeric.Intmath.cdiv !total num_sms
 
 (* Longest-path feasibility of the difference system at a candidate T:
-   edge weight d_src + T*jlag; infeasible iff a positive cycle exists. *)
-let feasible_at g cfg deps t =
+   edge weight d_src + T*jlag; infeasible iff a positive cycle exists.
+   Takes the dependence endpoints pre-resolved to dense indices so the
+   binary search in [rec_mii] does the resolution once, not per probe. *)
+let feasible_at cfg iedges t =
   let n = Instances.num_instances cfg in
   let dist = Array.make n 0 in
   let edges =
-    List.map
-      (fun (d : Instances.dep) ->
-        ( Instances.index cfg d.src,
-          Instances.index cfg d.dst,
-          d.d_src + (t * d.jlag) ))
-      deps
+    List.map (fun (s, d, dsrc, jlag) -> (s, d, dsrc + (t * jlag))) iedges
   in
-  ignore g;
   let changed = ref true in
   let iters = ref 0 in
   while !changed && !iters <= n do
@@ -32,25 +28,31 @@ let feasible_at g cfg deps t =
   done;
   not !changed
 
-let rec_mii g cfg =
-  let deps = Instances.deps g cfg in
+let rec_mii ?deps g cfg =
+  let deps = match deps with Some l -> l | None -> Instances.deps g cfg in
+  let iedges =
+    List.map
+      (fun (d : Instances.dep) ->
+        (Instances.index cfg d.src, Instances.index cfg d.dst, d.d_src, d.jlag))
+      deps
+  in
   (* Cycles require a loop-carried (jlag < 0) dependence; without one the
      dependence DAG is acyclic and RecMII is 0. *)
-  if feasible_at g cfg deps 0 then 0
+  if feasible_at cfg iedges 0 then 0
   else begin
     let hi = ref 1 in
-    while not (feasible_at g cfg deps !hi) do
+    while not (feasible_at cfg iedges !hi) do
       hi := !hi * 2
     done;
     let lo = ref (!hi / 2) in
     while !hi - !lo > 1 do
       let mid = (!lo + !hi) / 2 in
-      if feasible_at g cfg deps mid then hi := mid else lo := mid
+      if feasible_at cfg iedges mid then hi := mid else lo := mid
     done;
     !hi
   end
 
-let lower_bound g cfg ~num_sms =
+let lower_bound ?deps g cfg ~num_sms =
   (* Constraint (4) — no wrap-around — needs T > d(v) for every scheduled
      node, on top of the resource and recurrence bounds. *)
   let max_delay =
@@ -61,4 +63,5 @@ let lower_bound g cfg ~num_sms =
          (fun v d -> if cfg.Select.reps.(v) > 0 then d else 0)
          cfg.Select.delay)
   in
-  max (max_delay + 1) (max 1 (max (res_mii cfg ~num_sms) (rec_mii g cfg)))
+  max (max_delay + 1)
+    (max 1 (max (res_mii cfg ~num_sms) (rec_mii ?deps g cfg)))

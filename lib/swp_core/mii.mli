@@ -8,13 +8,19 @@
 
 val res_mii : Select.config -> num_sms:int -> int
 
-val rec_mii : Streamit.Graph.t -> Select.config -> int
+val rec_mii : ?deps:Instances.dep list -> Streamit.Graph.t -> Select.config -> int
 (** Smallest T for which the dependence-difference system
     [A_dst - A_src >= d_src + T*jlag] admits a solution, found by binary
     search with Bellman-Ford positive-cycle detection.  0 when the
     instance dependence graph is acyclic. *)
 
-val lower_bound : Streamit.Graph.t -> Select.config -> num_sms:int -> int
+val lower_bound :
+  ?deps:Instances.dep list ->
+  Streamit.Graph.t ->
+  Select.config ->
+  num_sms:int ->
+  int
 (** [max(ResMII, RecMII, 1 + max delay)] — the last term because the
     no-wrap constraint (4) requires every instance to complete within one
-    II. *)
+    II.  [deps], here and in {!rec_mii}, supplies a precomputed dependence
+    expansion so the II search derives it once. *)

@@ -40,6 +40,9 @@ val run :
   Streamit.Graph.t ->
   mode:mode ->
   data
+(** Memoized on [(arch, graph, mode, options)] — profiling is
+    deterministic and the filter IR is pure data, so repeated compiles of
+    the same graph (per scheme, per SM count) reuse one profile. *)
 
 val time_of : data -> node:int -> regs:int -> threads:int -> float
 (** Lookup by option values rather than indices.

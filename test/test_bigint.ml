@@ -88,6 +88,25 @@ let unit_tests =
     t "to_int overflow detection" (fun () ->
         let big = Bigint.mul (Bigint.of_int max_int) (Bigint.of_int 2) in
         Alcotest.(check (option int)) "none" None (Bigint.to_int_opt big));
+    t "num_bits known values" (fun () ->
+        List.iter
+          (fun (n, b) ->
+            Alcotest.(check int) (string_of_int n) b
+              (Bigint.num_bits (Bigint.of_int n)))
+          [ (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (255, 8); (256, 9); (-256, 9) ];
+        Alcotest.(check int) "2^100" 101
+          (Bigint.num_bits (Bigint.pow (Bigint.of_int 2) 100)));
+    t "to_float exact powers of two" (fun () ->
+        Alcotest.(check (float 0.)) "2^100" (ldexp 1. 100)
+          (Bigint.to_float (Bigint.pow (Bigint.of_int 2) 100));
+        Alcotest.(check (float 0.)) "-2^70"
+          (-.ldexp 1. 70)
+          (Bigint.to_float (Bigint.neg (Bigint.pow (Bigint.of_int 2) 70))));
+    t "to_float saturates beyond float range" (fun () ->
+        let huge = Bigint.pow (Bigint.of_int 10) 400 in
+        Alcotest.(check bool) "inf" true (Bigint.to_float huge = infinity);
+        Alcotest.(check bool) "-inf" true
+          (Bigint.to_float (Bigint.neg huge) = neg_infinity));
     t "comparisons" (fun () ->
         let a = Bigint.of_int (-5) and b = Bigint.of_int 3 in
         Alcotest.(check bool) "lt" true (Bigint.lt a b);
@@ -138,6 +157,16 @@ let property_tests =
     prop "compare antisymmetric" 300
       (QCheck.pair arb_big arb_big)
       (fun (a, b) -> Bigint.compare a b = -Bigint.compare b a);
+    prop "num_bits brackets the magnitude" 300 arb_big (fun a ->
+        QCheck.assume (not (Bigint.is_zero a));
+        let b = Bigint.num_bits a in
+        let lo = Bigint.pow (Bigint.of_int 2) (b - 1)
+        and hi = Bigint.pow (Bigint.of_int 2) b in
+        Bigint.le lo (Bigint.abs a) && Bigint.lt (Bigint.abs a) hi);
+    prop "to_float matches decimal reference" 300 arb_big (fun a ->
+        let f = Bigint.to_float a
+        and r = float_of_string (Bigint.to_string a) in
+        if r = 0. then f = 0. else abs_float (f -. r) <= 1e-9 *. abs_float r);
     prop "ediv/emod invariant" 300
       (QCheck.pair arb_big arb_big)
       (fun (a, b) ->

@@ -244,6 +244,159 @@ let bb_tests =
         | _ -> Alcotest.fail "expected optimal");
   ]
 
+(* --- Warm start and solver statistics --- *)
+
+let feasibility_problem () =
+  let p = Lp.Problem.create () in
+  let xs =
+    List.init 6 (fun i ->
+        Lp.Problem.add_var p ~kind:Lp.Problem.Binary (Printf.sprintf "b%d" i))
+  in
+  Lp.Problem.add_constraint p
+    (Lp.Linexpr.of_terms (List.map (fun x -> (Rat.one, x)) xs))
+    Lp.Problem.Eq (Lp.Linexpr.of_int 3);
+  (p, xs)
+
+let warm_start_tests =
+  [
+    t "valid incumbent short-circuits a feasibility query" (fun () ->
+        let p, xs = feasibility_problem () in
+        let chosen = [ List.nth xs 1; List.nth xs 3; List.nth xs 4 ] in
+        let seed v = if List.mem v chosen then Rat.one else Rat.zero in
+        (match Lp.Branch_bound.solve ~incumbent:seed p with
+        | Lp.Solution.Optimal s, stats ->
+          Alcotest.(check bool) "seeded" true stats.Lp.Branch_bound.seeded;
+          Alcotest.(check int) "no nodes explored" 0 stats.nodes_explored;
+          List.iter
+            (fun x ->
+              Alcotest.check check_rat "returned the seed" (seed x)
+                s.values.(x))
+            xs
+        | _ -> Alcotest.fail "expected the seeded solution"));
+    t "invalid incumbent is ignored" (fun () ->
+        let p, xs = feasibility_problem () in
+        (* all-zero violates the sum-to-3 equality *)
+        (match Lp.Branch_bound.solve ~incumbent:(fun _ -> Rat.zero) p with
+        | Lp.Solution.Optimal s, stats ->
+          Alcotest.(check bool) "not seeded" false stats.Lp.Branch_bound.seeded;
+          let total =
+            List.fold_left (fun acc x -> acc + Lp.Solution.value_int s x) 0 xs
+          in
+          Alcotest.(check int) "still solved" 3 total
+        | _ -> Alcotest.fail "expected a feasible point"));
+    t "incumbent never worsens an optimisation" (fun () ->
+        (* the knapsack from above, seeded with the feasible but
+           suboptimal origin: search must still reach the optimum *)
+        let p, _ =
+          solve_lp
+            [ ("x", Lp.Problem.Integer); ("y", Lp.Problem.Integer) ]
+            [
+              ([ (2, 0); (3, 1) ], Lp.Problem.Le, 12);
+              ([ (2, 0); (1, 1) ], Lp.Problem.Le, 6);
+            ]
+            `Maximize [ (1, 0); (1, 1) ]
+        in
+        match Lp.Branch_bound.solve ~incumbent:(fun _ -> Rat.zero) p with
+        | Lp.Solution.Optimal s, stats ->
+          Alcotest.(check bool) "seeded" true stats.Lp.Branch_bound.seeded;
+          Alcotest.check check_rat "optimum unchanged" (q 4) s.objective
+        | _ -> Alcotest.fail "expected optimal");
+    t "lp stats plumbed through solve_with_bounds" (fun () ->
+        let p, _ =
+          solve_lp
+            [ ("x", Lp.Problem.Continuous); ("y", Lp.Problem.Continuous) ]
+            [
+              ([ (1, 0); (1, 1) ], Lp.Problem.Le, 4);
+              ([ (1, 0); (3, 1) ], Lp.Problem.Le, 6);
+            ]
+            `Maximize
+            [ (3, 0); (2, 1) ]
+        in
+        let n = Lp.Problem.num_vars p in
+        let stats = ref Lp.Solution.empty_lp_stats in
+        match
+          Lp.Simplex.solve_with_bounds ~stats p
+            ~lb:(Array.init n (Lp.Problem.var_lb p))
+            ~ub:(Array.init n (Lp.Problem.var_ub p))
+        with
+        | Lp.Solution.Optimal s ->
+          let st = !stats in
+          Alcotest.(check bool) "pivoted" true (st.Lp.Solution.pivots > 0);
+          Alcotest.(check int) "solution carries the same count"
+            st.Lp.Solution.pivots s.lp.pivots;
+          Alcotest.(check bool) "dimensions recorded" true
+            (st.tableau_rows > 0 && st.tableau_cols > 0)
+        | _ -> Alcotest.fail "expected optimal");
+  ]
+
+(* --- Sparse vs dense cross-validation --- *)
+
+let rat_arrays_equal a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i x -> if not (Rat.equal x b.(i)) then ok := false) a;
+       !ok
+     end
+
+(* Both simplex cores make identical pivot choices, so agreement is
+   required down to the exact values, not just the outcome class. *)
+let outcomes_identical o1 o2 =
+  match (o1, o2) with
+  | Lp.Solution.Optimal a, Lp.Solution.Optimal b ->
+    Rat.equal a.Lp.Solution.objective b.Lp.Solution.objective
+    && rat_arrays_equal a.values b.values
+  | Lp.Solution.Infeasible, Lp.Solution.Infeasible -> true
+  | Lp.Solution.Unbounded, Lp.Solution.Unbounded -> true
+  | Lp.Solution.Budget_exhausted _, Lp.Solution.Budget_exhausted _ -> true
+  | _ -> false
+
+let random_lp_cross_prop =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun ncstr coefs (rels, rhss, maximize) ->
+          (ncstr, coefs, rels, rhss, maximize))
+        (int_range 1 4)
+        (* 4 rows of 3 constraint coefficients + 3 objective coefficients *)
+        (list_size (return 15) (int_range (-4) 4))
+        (triple
+           (list_size (return 4) (int_range 0 2))
+           (list_size (return 4) (int_range (-6) 12))
+           bool))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"random LPs: sparse and dense simplex agree exactly" ~count:120
+       (QCheck.make gen)
+       (fun (ncstr, coefs, rels, rhss, maximize) ->
+         let p = Lp.Problem.create () in
+         let xs =
+           List.init 3 (fun i ->
+               Lp.Problem.add_var p ~kind:Lp.Problem.Continuous
+                 ~ub:(Some (q 20))
+                 (Printf.sprintf "x%d" i))
+         in
+         let coef i j = List.nth coefs ((i * 3) + j) in
+         for i = 0 to ncstr - 1 do
+           let rel =
+             match List.nth rels i with
+             | 0 -> Lp.Problem.Le
+             | 1 -> Lp.Problem.Ge
+             | _ -> Lp.Problem.Eq
+           in
+           Lp.Problem.add_constraint p
+             (Lp.Linexpr.of_terms
+                (List.mapi (fun j x -> (q (coef i j), x)) xs))
+             rel
+             (Lp.Linexpr.of_int (List.nth rhss i))
+         done;
+         Lp.Problem.set_objective p
+           (if maximize then `Maximize else `Minimize)
+           (Lp.Linexpr.of_terms
+              (List.mapi (fun j x -> (q (List.nth coefs (12 + j)), x)) xs));
+         outcomes_identical (Lp.Simplex.solve p) (Lp.Simplex.solve_reference p)))
+
 (* Random small MILPs: any Optimal outcome must satisfy the problem. *)
 let random_milp_prop =
   let gen =
@@ -280,4 +433,45 @@ let random_milp_prop =
            Lp.Problem.check_assignment p (fun v -> s.values.(v)) = Ok ()
          | _ -> true))
 
-let suite = linexpr_tests @ simplex_tests @ bb_tests @ [ random_milp_prop ]
+(* The full branch-and-bound search over the dense reference LP core must
+   take identical branching decisions and land on the identical answer. *)
+let random_milp_cross_prop =
+  let gen =
+    QCheck.Gen.(
+      let small = int_range (-4) 4 in
+      map3
+        (fun ncstr coefs rhss -> (ncstr, coefs, rhss))
+        (int_range 1 4)
+        (list_size (return 12) small)
+        (list_size (return 4) (int_range (-6) 12)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"random MILPs: branch-and-bound agrees across LP cores"
+       ~count:40 (QCheck.make gen) (fun (ncstr, coefs, rhss) ->
+         let p = Lp.Problem.create () in
+         let xs =
+           List.init 3 (fun i ->
+               Lp.Problem.add_var p ~kind:Lp.Problem.Integer
+                 ~ub:(Some (q 10))
+                 (Printf.sprintf "x%d" i))
+         in
+         let coef i j = List.nth coefs ((i * 3) + j) in
+         for i = 0 to ncstr - 1 do
+           Lp.Problem.add_constraint p
+             (Lp.Linexpr.of_terms
+                (List.mapi (fun j x -> (q (coef i j), x)) xs))
+             Lp.Problem.Le
+             (Lp.Linexpr.of_int (List.nth rhss i))
+         done;
+         Lp.Problem.set_objective p `Maximize
+           (Lp.Linexpr.of_terms (List.map (fun x -> (Rat.one, x)) xs));
+         let o1, _ = Lp.Branch_bound.solve ~node_budget:500 p in
+         let o2, _ =
+           Lp.Branch_bound.solve ~node_budget:500 ~use_reference_lp:true p
+         in
+         outcomes_identical o1 o2))
+
+let suite =
+  linexpr_tests @ simplex_tests @ bb_tests @ warm_start_tests
+  @ [ random_lp_cross_prop; random_milp_prop; random_milp_cross_prop ]

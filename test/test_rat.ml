@@ -52,6 +52,140 @@ let unit_tests =
 let prop name count arb law =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
 
+(* --- Tier cross-validation: fast native path vs Bigint reference --- *)
+
+let pow2 e = Bigint.pow (Bigint.of_int 2) e
+let small_lim = Bigint.of_int (1 lsl 30)
+
+(* Rationals spanning both tiers: scaling by 2^0..2^45 pushes the
+   numerator and/or denominator across the 2^30 small-tier bound, so
+   pairs drawn from this generator hit small/small, small/big, big/small
+   and big/big operand combinations. *)
+let arb_rat_wide =
+  QCheck.make ~print:Rat.to_string
+    QCheck.Gen.(
+      map3
+        (fun n d (en, ed) ->
+          let scale x e = Bigint.mul (Bigint.of_int x) (pow2 e) in
+          Rat.make (scale n en) (scale (if d = 0 then 1 else d) ed))
+        (int_range (-10000) 10000)
+        (int_range (-500) 500)
+        (pair (int_range 0 45) (int_range 0 45)))
+
+(* Canonical form always demotes: a value lives in the fast tier exactly
+   when its canonical numerator and denominator fit under 2^30.  Together
+   with value equality this makes results bit-identical across tiers. *)
+let tier_canonical r =
+  Rat.is_small r
+  = (Bigint.lt (Bigint.abs (Rat.num r)) small_lim
+    && Bigint.lt (Rat.den r) small_lim)
+
+(* Naive cross-product formulas over Bigint, canonicalized by [Rat.make]:
+   the generic slow path every fast-tier special case must agree with. *)
+let ref_add a b =
+  let open Bigint.Infix in
+  Rat.make
+    ((Rat.num a * Rat.den b) + (Rat.num b * Rat.den a))
+    (Rat.den a * Rat.den b)
+
+let ref_sub a b =
+  let open Bigint.Infix in
+  Rat.make
+    ((Rat.num a * Rat.den b) - (Rat.num b * Rat.den a))
+    (Rat.den a * Rat.den b)
+
+let ref_mul a b =
+  Rat.make (Bigint.mul (Rat.num a) (Rat.num b))
+    (Bigint.mul (Rat.den a) (Rat.den b))
+
+let ref_div a b =
+  Rat.make (Bigint.mul (Rat.num a) (Rat.den b))
+    (Bigint.mul (Rat.den a) (Rat.num b))
+
+let lim = 1 lsl 30
+
+let tier_unit_tests =
+  [
+    t "promotion and demotion at the 2^30 boundary" (fun () ->
+        let x = Rat.of_int (lim - 1) in
+        Alcotest.(check bool) "below bound is small" true (Rat.is_small x);
+        let y = Rat.add x Rat.one in
+        Alcotest.(check bool) "2^30 promoted" false (Rat.is_small y);
+        Alcotest.check check_rat "promoted value" (Rat.of_bigint (pow2 30)) y;
+        let z = Rat.sub y Rat.one in
+        Alcotest.(check bool) "demoted back" true (Rat.is_small z);
+        Alcotest.check check_rat "roundtrip" x z);
+    t "denominator promotion" (fun () ->
+        let x = Rat.make Bigint.one (pow2 30) in
+        Alcotest.(check bool) "1/2^30 is big" false (Rat.is_small x);
+        let y = Rat.mul x (Rat.of_int 2) in
+        Alcotest.(check bool) "1/2^29 is small" true (Rat.is_small y));
+    t "cross-tier arithmetic is exact" (fun () ->
+        let big = Rat.of_bigint (pow2 100) in
+        let r = Rat.sub (Rat.add big (q 1 3)) big in
+        Alcotest.check check_rat "residual" (q 1 3) r;
+        Alcotest.(check bool) "demoted" true (Rat.is_small r));
+    t "to_float survives huge magnitudes" (fun () ->
+        (* 10^320 / 10^300 = 10^20: both sides exceed the float range, so
+           naive float division gives inf/inf = nan *)
+        let p10 e = Bigint.pow (Bigint.of_int 10) e in
+        let x = Rat.to_float (Rat.make (p10 320) (p10 300)) in
+        Alcotest.(check bool) "1e20" true (abs_float (x -. 1e20) <= 1e6);
+        let y = Rat.to_float (Rat.make Bigint.one (p10 25)) in
+        Alcotest.(check bool) "1e-25" true (abs_float (y -. 1e-25) <= 1e-34));
+    t "to_float saturates and underflows" (fun () ->
+        let p10 e = Bigint.pow (Bigint.of_int 10) e in
+        Alcotest.(check bool) "inf" true
+          (Rat.to_float (Rat.of_bigint (p10 320)) = infinity);
+        Alcotest.(check bool) "-inf" true
+          (Rat.to_float (Rat.neg (Rat.of_bigint (p10 320))) = neg_infinity);
+        Alcotest.(check (float 0.)) "smallest subnormal exact"
+          (ldexp 1. (-1074))
+          (Rat.to_float (Rat.make Bigint.one (pow2 1074)));
+        Alcotest.(check (float 0.)) "underflow to zero" 0.
+          (Rat.to_float (Rat.make Bigint.one (pow2 1080))));
+  ]
+
+let cross_pair = QCheck.pair arb_rat_wide arb_rat_wide
+
+let tier_property_tests =
+  [
+    prop "wide gen is canonical and tier-correct" 500 arb_rat_wide (fun a ->
+        tier_canonical a
+        && Bigint.sign (Rat.den a) = 1
+        && (Rat.is_zero a
+           || Bigint.equal Bigint.one (Bigint.gcd (Rat.num a) (Rat.den a))));
+    prop "add matches Bigint reference across tiers" 500 cross_pair
+      (fun (a, b) ->
+        let r = Rat.add a b in
+        Rat.equal r (ref_add a b) && tier_canonical r);
+    prop "sub matches Bigint reference across tiers" 500 cross_pair
+      (fun (a, b) ->
+        let r = Rat.sub a b in
+        Rat.equal r (ref_sub a b) && tier_canonical r);
+    prop "mul matches Bigint reference across tiers" 500 cross_pair
+      (fun (a, b) ->
+        let r = Rat.mul a b in
+        Rat.equal r (ref_mul a b) && tier_canonical r);
+    prop "div matches Bigint reference across tiers" 500 cross_pair
+      (fun (a, b) ->
+        QCheck.assume (not (Rat.is_zero b));
+        let r = Rat.div a b in
+        Rat.equal r (ref_div a b) && tier_canonical r);
+    prop "compare matches Bigint cross products" 500 cross_pair
+      (fun (a, b) ->
+        compare (Rat.compare a b) 0
+        = compare
+            (Bigint.compare
+               (Bigint.mul (Rat.num a) (Rat.den b))
+               (Bigint.mul (Rat.num b) (Rat.den a)))
+            0);
+    prop "to_float agrees with float division in range" 300 arb_rat (fun a ->
+        let f = Rat.to_float a
+        and r = Bigint.to_float (Rat.num a) /. Bigint.to_float (Rat.den a) in
+        abs_float (f -. r) <= 1e-12 *. Float.max 1. (abs_float r));
+  ]
+
 let property_tests =
   [
     prop "add commutative" 300 (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
@@ -72,4 +206,5 @@ let property_tests =
       (fun (a, b) -> compare (Rat.compare a b) 0 = compare (Rat.sign (Rat.sub a b)) 0);
   ]
 
-let suite = unit_tests @ property_tests
+let suite =
+  unit_tests @ tier_unit_tests @ property_tests @ tier_property_tests
