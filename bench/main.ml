@@ -187,11 +187,7 @@ let ilpstats benches =
       Printf.printf "  %s:\n" cb.entry.name;
       List.iter
         (fun (a : Swp_core.Ii_search.attempt) ->
-          Printf.printf
-            "    II=%-6d %-10s %-10s %10.6fs %8d pivots %6d nodes\n" a.ii
-            (if a.tried_exact then "exact ILP" else "heuristic")
-            (if a.feasible then "feasible" else "infeasible")
-            a.solve_time_s a.lp_pivots a.bb_nodes)
+          Format.printf "    %a@." Swp_core.Ii_search.pp_attempt a)
         st.Swp_core.Ii_search.attempt_log)
     benches;
   line ();
@@ -521,6 +517,57 @@ let smsweep () =
      binds; bandwidth-bound ones (DCT) flatten early.";
   line ()
 
+(* --- Pipeline stage breakdown (span tracing) --- *)
+
+(* One traced end-to-end run per benchmark: construct -> flatten ->
+   compile -> codegen -> execute with the span sink enabled, then read
+   the per-stage wall time out of the recorded forest.  The stage set
+   matches the span taxonomy of DESIGN.md; nested compile stages
+   (profile/select/ii_search/buffer_layout) are disjoint, so their sum
+   plus the top-level stages is the whole pipeline. *)
+let pipeline_report () =
+  print_endline "\n=== Pipeline stage breakdown (ms, span tracing) ===";
+  line ();
+  let stage_names =
+    [
+      "parse"; "flatten"; "profile"; "select"; "ii_search"; "buffer_layout";
+      "codegen"; "execute";
+    ]
+  in
+  Printf.printf "%-12s" "Benchmark";
+  List.iter (fun s -> Printf.printf " %12s" s) stage_names;
+  Printf.printf " %9s\n" "attempts";
+  line ();
+  Obs.Metrics.reset ();
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      Obs.Trace.reset ();
+      Obs.Trace.enable ();
+      let stream = Obs.Trace.with_span "parse" (fun () -> e.stream ()) in
+      let graph = Flatten.flatten stream in
+      (match Swp_core.Compile.compile graph with
+      | Error m ->
+        Obs.Trace.disable ();
+        Printf.printf "%-12s compile failed: %s\n" e.name m
+      | Ok c ->
+        ignore (Cudagen.Kernel_gen.program c);
+        ignore (Swp_core.Executor.time_swp c);
+        Obs.Trace.disable ();
+        let dur name =
+          List.fold_left
+            (fun acc (s : Obs.Trace.span) -> acc +. (s.end_us -. s.start_us))
+            0.0 (Obs.Trace.find_all name)
+        in
+        Printf.printf "%-12s" e.name;
+        List.iter (fun s -> Printf.printf " %12.3f" (dur s /. 1000.0)) stage_names;
+        Printf.printf " %9d\n"
+          (List.length (Obs.Trace.find_all "ii_search.attempt"))))
+    Benchmarks.Registry.all;
+  line ();
+  print_endline "aggregate metrics across the suite (counters/gauges/histograms):";
+  Format.printf "%a@?" Obs.Metrics.pp_text ();
+  line ()
+
 (* --- Bechamel micro-benchmarks of the compiler itself --- *)
 
 let micro () =
@@ -587,6 +634,7 @@ let () =
   if want "fig11" then fig11 benches;
   if want "ilpstats" then ilpstats benches;
   if want "solvertime" then solvertime ();
+  if want "pipeline" then pipeline_report ();
   if want "coalesce" then coalesce_ablation ();
   if want "smsweep" then smsweep ();
   if want "micro" then micro ()

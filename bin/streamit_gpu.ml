@@ -7,8 +7,11 @@
      emit     <bench|file.str>   generated CUDA source on stdout
      run      <bench|file.str>   interpret N steady states, print outputs
      speedup  <bench|file.str>   SWP/SWPNC/Serial speedups vs the CPU model
+     trace    <bench|file.str>   full pipeline under span tracing; Chrome JSON
      list                        available built-in benchmarks
-*)
+
+   compile/run/speedup/trace accept --metrics to dump the metrics
+   registry snapshot after the command. *)
 
 open Cmdliner
 open Streamit
@@ -17,17 +20,31 @@ let arch = Gpusim.Arch.geforce_8800_gts_512
 
 let load_stream spec =
   match Benchmarks.Registry.find spec with
-  | Some e -> Ok (e.Benchmarks.Registry.stream (), Some e)
+  | Some e ->
+    (* builtin construction plays the role of parsing; give it the same
+       span name so traces show a uniform front end *)
+    let stream =
+      Obs.Trace.with_span "parse"
+        ~attrs:[ ("builtin", Obs.Trace.Str e.Benchmarks.Registry.name) ]
+        e.Benchmarks.Registry.stream
+    in
+    Ok (stream, Some e)
   | None ->
-    if Sys.file_exists spec then begin
-      let ic = open_in_bin spec in
-      let src = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      try Ok (Frontend.Parser.parse_program src, None) with
-      | Frontend.Parser.Parse_error (m, l, c) ->
-        Error (Printf.sprintf "%s:%d:%d: %s" spec l c m)
-      | Frontend.Lexer.Lex_error (m, l, c) ->
-        Error (Printf.sprintf "%s:%d:%d: %s" spec l c m)
+    if Sys.file_exists spec && Sys.is_directory spec then
+      Error (Printf.sprintf "'%s' is a directory, not a .str file" spec)
+    else if Sys.file_exists spec then begin
+      try
+        let ic = open_in_bin spec in
+        let src = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        try Ok (Frontend.Parser.parse_program src, None) with
+        | Frontend.Parser.Parse_error (m, l, c) ->
+          Error (Printf.sprintf "%s:%d:%d: %s" spec l c m)
+        | Frontend.Lexer.Lex_error (m, l, c) ->
+          Error (Printf.sprintf "%s:%d:%d: %s" spec l c m)
+      with Sys_error m ->
+        (* unreadable path: a directory, bad permissions, ... *)
+        Error m
     end
     else
       Error
@@ -51,6 +68,16 @@ let spec_arg =
     required
     & pos 0 (some string) None
     & info [] ~docv:"PROGRAM" ~doc:"Built-in benchmark name or .str file.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the metrics registry snapshot after the command.")
+
+let dump_metrics metrics code =
+  if metrics then Format.printf "%a@?" Obs.Metrics.pp_text ();
+  code
 
 (* --- list --- *)
 
@@ -145,27 +172,33 @@ let coarsen_arg =
 
 let compile_cmd =
   let doc = "Compile through the full pipeline of Fig. 5; print the schedule." in
-  let run spec n =
-    with_graph spec (fun g _ ->
-        match Swp_core.Compile.compile ~coarsening:n g with
-        | Error m ->
-          Printf.eprintf "compilation failed: %s\n" m;
-          1
-        | Ok c ->
-          Format.printf "%a@." Swp_core.Compile.pp_summary c;
-          Format.printf "%a@."
-            (Swp_core.Swp_schedule.pp g)
-            c.Swp_core.Compile.schedule;
-          let gt = Swp_core.Executor.time_swp c in
-          Printf.printf
-            "executor: II=%d cycles (bus bound %d), kernel=%d cycles, %.1f \
-             cycles/steady state\n"
-            gt.Swp_core.Executor.ii_cycles gt.Swp_core.Executor.bus_cycles
-            gt.Swp_core.Executor.kernel_cycles
-            gt.Swp_core.Executor.cycles_per_steady;
-          0)
+  let run spec n metrics =
+    dump_metrics metrics
+    @@ with_graph spec (fun g _ ->
+           match Swp_core.Compile.compile ~coarsening:n g with
+           | Error m ->
+             Printf.eprintf "compilation failed: %s\n" m;
+             1
+           | Ok c ->
+             Format.printf "%a@." Swp_core.Compile.pp_summary c;
+             Format.printf "II search:@.";
+             List.iter
+               (fun a -> Format.printf "  %a@." Swp_core.Ii_search.pp_attempt a)
+               c.Swp_core.Compile.search_stats.Swp_core.Ii_search.attempt_log;
+             Format.printf "%a@."
+               (Swp_core.Swp_schedule.pp g)
+               c.Swp_core.Compile.schedule;
+             let gt = Swp_core.Executor.time_swp c in
+             Printf.printf
+               "executor: II=%d cycles (bus bound %d), kernel=%d cycles, %.1f \
+                cycles/steady state\n"
+               gt.Swp_core.Executor.ii_cycles gt.Swp_core.Executor.bus_cycles
+               gt.Swp_core.Executor.kernel_cycles
+               gt.Swp_core.Executor.cycles_per_steady;
+             0)
   in
-  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ spec_arg $ coarsen_arg)
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ spec_arg $ coarsen_arg $ metrics_arg)
 
 (* --- emit --- *)
 
@@ -193,27 +226,29 @@ let max_out_arg =
 
 let run_cmd =
   let doc = "Interpret the program on the reference interpreter." in
-  let run spec iters max_out =
-    with_graph spec (fun g entry ->
-        let input =
-          match entry with
-          | Some e -> e.Benchmarks.Registry.input
-          | None -> fun i -> Types.VFloat (float_of_int (i mod 16))
-        in
-        let out = Interp.run_steady_states g ~input ~iters in
-        Printf.printf "%d output tokens" (List.length out);
-        List.iteri
-          (fun i v ->
-            if i < max_out then begin
-              if i mod 8 = 0 then Printf.printf "\n  ";
-              Printf.printf "%-10s" (Types.string_of_value v)
-            end)
-          out;
-        if List.length out > max_out then Printf.printf "\n  ...";
-        print_newline ();
-        0)
+  let run spec iters max_out metrics =
+    dump_metrics metrics
+    @@ with_graph spec (fun g entry ->
+           let input =
+             match entry with
+             | Some e -> e.Benchmarks.Registry.input
+             | None -> fun i -> Types.VFloat (float_of_int (i mod 16))
+           in
+           let out = Interp.run_steady_states g ~input ~iters in
+           Printf.printf "%d output tokens" (List.length out);
+           List.iteri
+             (fun i v ->
+               if i < max_out then begin
+                 if i mod 8 = 0 then Printf.printf "\n  ";
+                 Printf.printf "%-10s" (Types.string_of_value v)
+               end)
+             out;
+           if List.length out > max_out then Printf.printf "\n  ...";
+           print_newline ();
+           0)
   in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ spec_arg $ iters_arg $ max_out_arg)
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ spec_arg $ iters_arg $ max_out_arg $ metrics_arg)
 
 (* --- buffers --- *)
 
@@ -246,8 +281,9 @@ let buffers_cmd =
 
 let speedup_cmd =
   let doc = "Report SWP / SWPNC / Serial speedups over the CPU model (Fig. 10)." in
-  let run spec n =
-    with_graph spec (fun g _ ->
+  let run spec n metrics =
+    dump_metrics metrics
+    @@ with_graph spec (fun g _ ->
         match Swp_core.Compile.compile ~coarsening:n g with
         | Error m ->
           Printf.eprintf "compilation failed: %s\n" m;
@@ -287,7 +323,61 @@ let speedup_cmd =
           | Error m -> Printf.printf "Serial : failed (%s)\n" m);
           0)
   in
-  Cmd.v (Cmd.info "speedup" ~doc) Term.(const run $ spec_arg $ coarsen_arg)
+  Cmd.v (Cmd.info "speedup" ~doc)
+    Term.(const run $ spec_arg $ coarsen_arg $ metrics_arg)
+
+(* --- trace --- *)
+
+let out_arg =
+  Arg.(
+    value & opt string "trace.json"
+    & info [ "out"; "o" ] ~docv:"FILE"
+        ~doc:"Chrome trace-event JSON output file.")
+
+let trace_cmd =
+  let doc =
+    "Run the full pipeline (parse, flatten, profile, select, II search, \
+     buffer layout, codegen, execute) with span tracing enabled; write \
+     Chrome trace-event JSON (load at ui.perfetto.dev) and print the span \
+     tree."
+  in
+  let run spec n out metrics =
+    Obs.Trace.reset ();
+    Obs.Metrics.reset ();
+    Obs.Trace.enable ();
+    let code =
+      with_graph spec (fun g _ ->
+          match Swp_core.Compile.compile ~coarsening:n g with
+          | Error m ->
+            Printf.eprintf "compilation failed: %s\n" m;
+            1
+          | Ok c ->
+            ignore (Cudagen.Kernel_gen.program c);
+            let gt = Swp_core.Executor.time_swp c in
+            Printf.printf "II=%d cycles, %.1f cycles/steady state\n"
+              gt.Swp_core.Executor.ii_cycles
+              gt.Swp_core.Executor.cycles_per_steady;
+            0)
+    in
+    Obs.Trace.disable ();
+    if code <> 0 then code
+    else begin
+      match
+        let oc = open_out out in
+        output_string oc (Obs.Trace.to_chrome_json ());
+        close_out oc
+      with
+      | () ->
+        Format.printf "%a@?" Obs.Trace.pp_tree ();
+        Printf.printf "wrote %s\n" out;
+        dump_metrics metrics 0
+      | exception Sys_error m ->
+        Printf.eprintf "error: %s\n" m;
+        1
+    end
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ spec_arg $ coarsen_arg $ out_arg $ metrics_arg)
 
 let () =
   let doc = "StreamIt-to-GPU software-pipelining compiler (CGO 2009 reproduction)" in
@@ -298,5 +388,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; info_cmd; profile_cmd; compile_cmd; emit_cmd; run_cmd;
-            buffers_cmd; speedup_cmd;
+            buffers_cmd; speedup_cmd; trace_cmd;
           ]))

@@ -106,8 +106,13 @@ let all =
     };
   ]
 
-let find n =
-  List.find_opt (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii n) all
+(* Benchmark lookup is case-insensitive and ignores '_'/'-' separators,
+   so "fm_radio", "FMRadio" and "fm-radio" all name the same entry. *)
+let canon n =
+  String.lowercase_ascii
+    (String.concat "" (String.split_on_char '_' (String.concat "" (String.split_on_char '-' n))))
+
+let find n = List.find_opt (fun e -> canon e.name = canon n) all
 
 let names = List.map (fun e -> e.name) all
 

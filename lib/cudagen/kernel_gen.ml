@@ -163,7 +163,11 @@ let profile_driver (f : Kernel.filter) ~numfirings =
        (numfirings * max 1 f.Kernel.push_rate));
   Buffer.contents buf
 
+let m_lines = Obs.Metrics.counter "cudagen.lines"
+let m_filters = Obs.Metrics.counter "cudagen.filters"
+
 let program (c : Swp_core.Compile.compiled) =
+  Obs.Trace.with_span "codegen" @@ fun () ->
   let g = c.Swp_core.Compile.graph in
   let sizing = c.Swp_core.Compile.sizing in
   let buf = Buffer.create 16384 in
@@ -213,4 +217,10 @@ let program (c : Swp_core.Compile.compiled) =
        c.Swp_core.Compile.schedule.Swp_core.Swp_schedule.num_sms
        c.Swp_core.Compile.config.Swp_core.Select.block_threads args);
   Buffer.add_string buf "  cudaDeviceSynchronize();\n  return 0;\n}\n";
-  Buffer.contents buf
+  let src = Buffer.contents buf in
+  let lines = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 src in
+  Obs.Metrics.add m_lines lines;
+  Obs.Metrics.add m_filters (Array.length g.Graph.nodes);
+  Obs.Trace.add_attr "lines" (Obs.Trace.Int lines);
+  Obs.Trace.add_attr "filters" (Obs.Trace.Int (Array.length g.Graph.nodes));
+  src

@@ -463,7 +463,20 @@ let parse_splitjoin st env =
   if children = [] then err st ("splitjoin " ^ name ^ " is empty");
   (name, Ast.split_join name splitter children jw)
 
-let parse_declarations src =
+let m_parses = Obs.Metrics.counter "frontend.parses"
+let m_decls = Obs.Metrics.counter "frontend.declarations"
+
+let rec parse_declarations src =
+  Obs.Trace.with_span "parse"
+    ~attrs:[ ("bytes", Obs.Trace.Int (String.length src)) ]
+    (fun () ->
+      let decls = parse_declarations_untraced src in
+      Obs.Metrics.inc m_parses;
+      Obs.Metrics.add m_decls (List.length decls);
+      Obs.Trace.add_attr "declarations" (Obs.Trace.Int (List.length decls));
+      decls)
+
+and parse_declarations_untraced src =
   let st = { toks = Lexer.tokenize src } in
   let rec go env =
     match peek st with

@@ -4,6 +4,15 @@ type access_summary = {
   coalesced : bool;
 }
 
+(* Traffic telemetry: every analysed warp access classifies as coalesced
+   or serialized, and its padded bus bytes accumulate.  These run inside
+   the (memoized) profiling sweep and the executor, not per simulated
+   cycle, so the counter adds are noise. *)
+let m_coalesced = Obs.Metrics.counter "gpusim.warp_accesses.coalesced"
+let m_uncoalesced = Obs.Metrics.counter "gpusim.warp_accesses.uncoalesced"
+let m_bus_bytes = Obs.Metrics.counter "gpusim.bus_bytes"
+let m_bank_conflicts = Obs.Metrics.counter "gpusim.bank_conflicts"
+
 let analyze_warp (a : Arch.t) ~elem_bytes ~tid_to_index =
   let half = a.warp_size / 2 in
   let seg_elems = a.segment_bytes / elem_bytes in
@@ -28,6 +37,8 @@ let analyze_warp (a : Arch.t) ~elem_bytes ~tid_to_index =
       coal := false
     end
   done;
+  Obs.Metrics.inc (if !coal then m_coalesced else m_uncoalesced);
+  Obs.Metrics.add m_bus_bytes !bytes;
   { transactions = !trans; bytes_moved = !bytes; coalesced = !coal }
 
 let natural_index ~pop_or_push_rate ~n tid = (tid * pop_or_push_rate) + n
@@ -123,4 +134,5 @@ let shared_bank_conflict_degree (a : Arch.t) ~tid_to_index =
       if counts.(bank) > !worst then worst := counts.(bank)
     done
   done;
+  if !worst > 1 then Obs.Metrics.inc m_bank_conflicts;
   !worst

@@ -80,6 +80,9 @@ let working_set_bytes (node : Graph.node) ~threads =
 let shared_fits (a : Arch.t) node ~threads =
   working_set_bytes node ~threads <= a.shared_mem_per_sm
 
+let m_texture_hits = Obs.Metrics.counter "gpusim.texture_peek_hits"
+let m_spill_bytes = Obs.Metrics.counter "gpusim.spill_bytes"
+
 let pass_of_node ?in_rates (a : Arch.t) (node : Graph.node) ~threads
     ~regs_cap ~layout =
   if not (Arch.config_feasible a ~regs_per_thread:regs_cap ~threads) then None
@@ -112,6 +115,7 @@ let pass_of_node ?in_rates (a : Arch.t) (node : Graph.node) ~threads
       (* local-memory spills are interleaved per thread: coalesced *)
       spill * threads * Types.elem_size_bytes
     in
+    Obs.Metrics.add m_spill_bytes spill_bytes;
     let insts, dev_accesses, bus_bytes, serialization =
       match layout with
       | Shuffled ->
@@ -147,6 +151,7 @@ let pass_of_node ?in_rates (a : Arch.t) (node : Graph.node) ~threads
         let coalesced_trans = max 1 (2 * accesses * warps) in
         let serialization = max 1 ((rt + wt) / coalesced_trans) in
         (* texture-cached peeks cost a cache access, not bus traffic *)
+        Obs.Metrics.add m_texture_hits (cached_peeks node * threads);
         let peek_insts = cached_peeks node * a.cost_shared_mem in
         ( base_insts + peek_insts,
           accesses + spill,

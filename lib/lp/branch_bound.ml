@@ -8,6 +8,13 @@ type stats = {
   seeded : bool;
 }
 
+let m_solves = Obs.Metrics.counter "lp.bb.solves"
+let m_nodes = Obs.Metrics.counter "lp.bb.nodes"
+let m_pruned = Obs.Metrics.counter "lp.bb.pruned"
+let m_incumbents = Obs.Metrics.counter "lp.bb.incumbents"
+let m_seeded = Obs.Metrics.counter "lp.bb.warm_start_hits"
+let h_depth = Obs.Metrics.histogram "lp.bb.max_depth"
+
 (* A branching decision narrows one variable's bounds. *)
 type node = { lb : Rat.t option array; ub : Rat.t option array; depth : int }
 
@@ -135,7 +142,10 @@ let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution ?incumbent
              match most_fractional_var int_vars sol with
              | None ->
                (* Integral solution. *)
-               if better sol then incumbent := Some sol;
+               if better sol then begin
+                 incumbent := Some sol;
+                 Obs.Metrics.inc m_incumbents
+               end;
                if first_solution then raise Done
              | Some (v, x) ->
                let fl = Rat.of_bigint (Rat.floor x) in
@@ -178,6 +188,11 @@ let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution ?incumbent
       seeded = !seeded;
     }
   in
+  Obs.Metrics.inc m_solves;
+  Obs.Metrics.add m_nodes !explored;
+  Obs.Metrics.add m_pruned !pruned;
+  if !seeded then Obs.Metrics.inc m_seeded;
+  Obs.Metrics.observe h_depth (float_of_int !maxdepth);
   let budget_hit =
     !explored >= node_budget || !lp_budget_hit
     || (match deadline with Some d -> Sys.time () > d | None -> false)

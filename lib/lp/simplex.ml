@@ -35,6 +35,13 @@ type var_map =
 let q0 = Rat.zero
 let q1 = Rat.one
 
+(* Rare-event telemetry: row densifications (a sparse row crossing the
+   hybrid fill threshold) and permanent switches to Bland's pricing rule
+   after the degeneracy budget.  Both fire far from the per-pivot hot
+   loop, so the registry bumps are free. *)
+let m_densifications = Obs.Metrics.counter "lp.densifications"
+let m_bland = Obs.Metrics.counter "lp.bland_fallbacks"
+
 exception Pivot_limit
 
 (* ---------- shared standard-form construction ---------- *)
@@ -245,6 +252,7 @@ let row_axpy t dst f src =
     row_iter_nz src (fun j x -> d.(j) <- Rat.sub d.(j) (Rat.mul f x));
     dst
   | Sparse d, Dense _ ->
+    Obs.Metrics.inc m_densifications;
     let da = sp_to_dense t.ncols d in
     row_iter_nz src (fun j x -> da.(j) <- Rat.sub da.(j) (Rat.mul f x));
     Dense da
@@ -276,7 +284,10 @@ let row_axpy t dst f src =
       end
     done;
     let merged = { idx = ri; vals = rv; n = !k } in
-    if !k > t.dense_thresh then Dense (sp_to_dense t.ncols merged)
+    if !k > t.dense_thresh then begin
+      Obs.Metrics.inc m_densifications;
+      Dense (sp_to_dense t.ncols merged)
+    end
     else Sparse merged
 
 let tableau_nnz t =
@@ -319,12 +330,17 @@ let run_phase ?deadline t ~max_col =
   let bland_after = 10 * (m + t.ncols) in
   let max_pivots = 60 * (m + t.ncols) in
   let pivots = ref 0 in
+  let bland_noted = ref false in
   let rec loop () =
     if !pivots > max_pivots then raise Pivot_limit;
     (match deadline with
     | Some d when !pivots land 15 = 0 && Sys.time () > d -> raise Pivot_limit
     | _ -> ());
     let use_bland = !pivots > bland_after in
+    if use_bland && not !bland_noted then begin
+      bland_noted := true;
+      Obs.Metrics.inc m_bland
+    end;
     let entering = ref (-1) in
     if use_bland then (
       try
@@ -571,6 +587,7 @@ module Dense_core = struct
     let bland_after = 10 * (m + t.ncols) in
     let max_pivots = 60 * (m + t.ncols) in
     let pivots = ref 0 in
+    let bland_noted = ref false in
     let rec loop () =
       if !pivots > max_pivots then raise Pivot_limit;
       (match deadline with
@@ -578,6 +595,10 @@ module Dense_core = struct
         raise Pivot_limit
       | _ -> ());
       let use_bland = !pivots > bland_after in
+      if use_bland && not !bland_noted then begin
+        bland_noted := true;
+        Obs.Metrics.inc m_bland
+      end;
       let entering = ref (-1) in
       if use_bland then (
         try
@@ -766,6 +787,7 @@ let solve_with_bounds ?deadline ?stats problem ~lb ~ub =
   | None -> Solution.Infeasible
   | Some sf ->
     let outcome, st = solve_std_sparse ?deadline sf in
+    Solution.record_to_registry st;
     record_stats stats st;
     outcome
 
@@ -784,7 +806,9 @@ let solve_with_bounds_reference ?deadline ?stats problem ~lb ~ub =
       with Pivot_limit -> Solution.Budget_exhausted None
     in
     (match outcome with
-    | Solution.Optimal sol -> record_stats stats sol.Solution.lp
+    | Solution.Optimal sol ->
+      Solution.record_to_registry sol.Solution.lp;
+      record_stats stats sol.Solution.lp
     | _ -> ());
     outcome)
 

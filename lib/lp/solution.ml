@@ -29,6 +29,22 @@ let add_lp_stats a b =
     dense_rows = Stdlib.max a.dense_rows b.dense_rows;
   }
 
+(* The process-global metrics registry is the accumulation point for
+   solver work; the [lp_stats] record is the per-solve view of the same
+   numbers.  Every simplex solve reports here exactly once. *)
+let m_solves = Obs.Metrics.counter "lp.solves"
+let m_pivots = Obs.Metrics.counter "lp.pivots"
+let m_densified_rows = Obs.Metrics.counter "lp.densified_rows"
+let h_tableau_rows = Obs.Metrics.histogram "lp.tableau.rows"
+let h_tableau_nnz = Obs.Metrics.histogram "lp.tableau.max_nnz"
+
+let record_to_registry st =
+  Obs.Metrics.inc m_solves;
+  Obs.Metrics.add m_pivots st.pivots;
+  Obs.Metrics.add m_densified_rows st.dense_rows;
+  Obs.Metrics.observe h_tableau_rows (float_of_int st.tableau_rows);
+  Obs.Metrics.observe h_tableau_nnz (float_of_int st.max_nnz)
+
 type t = { values : Rat.t array; objective : Rat.t; lp : lp_stats }
 
 let value s v = s.values.(v)

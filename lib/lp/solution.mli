@@ -17,6 +17,14 @@ val add_lp_stats : lp_stats -> lp_stats -> lp_stats
 (** Accumulate across successive LP solves: pivots add up, the size and
     fill fields keep the maximum (and [final_nnz] the latest). *)
 
+val record_to_registry : lp_stats -> unit
+(** Report one solve's work to the {!Obs.Metrics} registry
+    ([lp.solves], [lp.pivots], [lp.densified_rows],
+    [lp.tableau.rows], [lp.tableau.max_nnz]).  The registry is the
+    single accumulation point for solver statistics; [lp_stats] values
+    carried on solutions are per-solve views of the same counts.
+    Called once per simplex solve by {!Simplex}. *)
+
 val pp_lp_stats : Format.formatter -> lp_stats -> unit
 
 type t = {

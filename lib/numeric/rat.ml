@@ -16,6 +16,13 @@ module B = Bigint
    and any sum of two such products is below 2^61 < max_int. *)
 let small_lim = 1 lsl 30
 
+(* Tier-transition telemetry.  Both transitions happen off the fast path
+   (a promotion has already paid for bigint construction, a demotion for
+   a bigint gcd), so a counter bump is invisible next to the work it
+   tags. *)
+let m_promotions = Obs.Metrics.counter "rat.tier.promotions"
+let m_demotions = Obs.Metrics.counter "rat.tier.demotions"
+
 type t =
   | S of int * int (* n, d: canonical, 0 < d < small_lim, |n| < small_lim *)
   | L of B.t * B.t (* canonical, den > 0; at least one side >= small_lim *)
@@ -38,7 +45,10 @@ let make_small n d =
     let g = igcd n d in
     let n = n / g and d = d / g in
     if n < small_lim && d < small_lim then S ((if neg then -n else n), d)
-    else L (B.of_int (if neg then -n else n), B.of_int d)
+    else begin
+      Obs.Metrics.inc m_promotions;
+      L (B.of_int (if neg then -n else n), B.of_int d)
+    end
   end
 
 (* Demote a canonical bigint pair when it fits the small tier. *)
@@ -46,6 +56,7 @@ let of_big_canon n d =
   match (B.to_int_opt n, B.to_int_opt d) with
   | Some n', Some d' when n' > -small_lim && n' < small_lim && d' < small_lim
     ->
+    Obs.Metrics.inc m_demotions;
     S (n', d')
   | _ -> L (n, d)
 
@@ -161,7 +172,10 @@ let mul a b =
     let n2 = n2 / g2 and d1 = d1 / g2 in
     let n = n1 * n2 and d = d1 * d2 in
     if n > -small_lim && n < small_lim && d < small_lim then S (n, d)
-    else L (B.of_int n, B.of_int d)
+    else begin
+      Obs.Metrics.inc m_promotions;
+      L (B.of_int n, B.of_int d)
+    end
   | _ ->
     let n1, d1 = big_parts a and n2, d2 = big_parts b in
     mk_canon (B.mul n1 n2) (B.mul d1 d2)

@@ -1,0 +1,157 @@
+type labels = (string * string) list
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  mutable n : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+(* One table keyed by (name, sorted labels); creation is get-or-create so
+   handles bound at module-load time remain the registry's instruments. *)
+let registry : (string * labels, instrument) Hashtbl.t = Hashtbl.create 64
+
+let canon labels = List.sort compare labels
+
+let get_or_create name labels make =
+  let key = (name, canon labels) in
+  match Hashtbl.find_opt registry key with
+  | Some i -> i
+  | None ->
+    let i = make () in
+    Hashtbl.add registry key i;
+    i
+
+let counter ?(labels = []) name =
+  match get_or_create name labels (fun () -> C { c = 0 }) with
+  | C c -> c
+  | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered as non-counter")
+
+let gauge ?(labels = []) name =
+  match get_or_create name labels (fun () -> G { g = 0.0 }) with
+  | G g -> g
+  | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered as non-gauge")
+
+let histogram ?(labels = []) name =
+  match
+    get_or_create name labels (fun () ->
+        H { n = 0; sum = 0.0; mn = nan; mx = nan })
+  with
+  | H h -> h
+  | _ ->
+    invalid_arg ("Metrics.histogram: " ^ name ^ " registered as non-histogram")
+
+let inc c = c.c <- c.c + 1
+let add c d = c.c <- c.c + d
+let set g v = g.g <- v
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  h.mn <- (if h.n = 1 then v else Float.min h.mn v);
+  h.mx <- (if h.n = 1 then v else Float.max h.mx v)
+
+let value c = c.c
+let gauge_value g = g.g
+let hist_count h = h.n
+let hist_sum h = h.sum
+let hist_min h = h.mn
+let hist_max h = h.mx
+
+type snapshot_item = {
+  name : string;
+  labels : labels;
+  kind :
+    [ `Counter of int
+    | `Gauge of float
+    | `Histogram of int * float * float * float ];
+}
+
+let snapshot () =
+  Hashtbl.fold
+    (fun (name, labels) inst acc ->
+      let kind =
+        match inst with
+        | C c -> `Counter c.c
+        | G g -> `Gauge g.g
+        | H h -> `Histogram (h.n, h.sum, h.mn, h.mx)
+      in
+      { name; labels; kind } :: acc)
+    registry []
+  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
+
+let reset () =
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst with
+      | C c -> c.c <- 0
+      | G g -> g.g <- 0.0
+      | H h ->
+        h.n <- 0;
+        h.sum <- 0.0;
+        h.mn <- nan;
+        h.mx <- nan)
+    registry
+
+let labels_suffix labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+let json_num f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let to_json () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"metrics\":[";
+  List.iteri
+    (fun i it ->
+      if i > 0 then Buffer.add_char b ',';
+      let labels =
+        String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" k v)
+             it.labels)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":\"%s\",\"labels\":{%s}," it.name labels);
+      (match it.kind with
+      | `Counter v ->
+        Buffer.add_string b
+          (Printf.sprintf "\"type\":\"counter\",\"value\":%d}" v)
+      | `Gauge v ->
+        Buffer.add_string b
+          (Printf.sprintf "\"type\":\"gauge\",\"value\":%s}" (json_num v))
+      | `Histogram (n, sum, mn, mx) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"min\":%s,\
+              \"max\":%s}"
+             n (json_num sum) (json_num mn) (json_num mx))))
+    (snapshot ());
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp_text fmt () =
+  List.iter
+    (fun it ->
+      let id = it.name ^ labels_suffix it.labels in
+      match it.kind with
+      | `Counter v -> Format.fprintf fmt "%-44s %d@." id v
+      | `Gauge v -> Format.fprintf fmt "%-44s %g@." id v
+      | `Histogram (n, sum, mn, mx) ->
+        if n = 0 then Format.fprintf fmt "%-44s count=0@." id
+        else
+          Format.fprintf fmt "%-44s count=%d sum=%g min=%g max=%g@." id n sum
+            mn mx)
+    (snapshot ())

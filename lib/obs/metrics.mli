@@ -1,0 +1,66 @@
+(** Process-global metrics registry: named counters, gauges and
+    histograms with structured labels.
+
+    Instruments are created lazily and get-or-create by [(name, labels)]
+    key, so a module may bind its handles once at load time
+    ([let pivots = Obs.Metrics.counter "lp.pivots"]) and bump them from
+    hot paths with a single mutable-field update — there is no enabled
+    check and no allocation on the update path.  {!reset} zeroes every
+    instrument {e in place}, keeping cached handles valid.
+
+    Snapshots export as JSON or aligned text.  Naming convention:
+    dot-separated [subsystem.noun[.verb]] (e.g. [lp.pivots],
+    [profile.cache.hits], [rat.tier.promotions]). *)
+
+type labels = (string * string) list
+(** Sorted internally; label order at creation does not matter. *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Creation (get-or-create)} *)
+
+val counter : ?labels:labels -> string -> counter
+val gauge : ?labels:labels -> string -> gauge
+val histogram : ?labels:labels -> string -> histogram
+
+(** {1 Updates} *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+(** Negative deltas are allowed (counters are plain accumulators). *)
+
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {1 Reads} *)
+
+val value : counter -> int
+val gauge_value : gauge -> float
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_min : histogram -> float
+(** [nan] when empty. *)
+
+val hist_max : histogram -> float
+(** [nan] when empty. *)
+
+(** {1 Registry} *)
+
+type snapshot_item = {
+  name : string;
+  labels : labels;
+  kind : [ `Counter of int | `Gauge of float | `Histogram of int * float * float * float ];
+      (** histogram payload: (count, sum, min, max) *)
+}
+
+val snapshot : unit -> snapshot_item list
+(** Every registered instrument, sorted by (name, labels). *)
+
+val to_json : unit -> string
+val pp_text : Format.formatter -> unit -> unit
+
+val reset : unit -> unit
+(** Zero all instruments in place (registered handles stay live). *)

@@ -1,0 +1,143 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  name : string;
+  start_us : float;
+  mutable end_us : float;
+  mutable attrs : (string * value) list;
+  mutable children : span list;
+}
+
+let enabled = ref false
+let default_clock () = Unix.gettimeofday () *. 1e6
+let clock = ref default_clock
+
+(* Open spans, innermost first; completed roots in reverse start order.
+   Children are accumulated in reverse and flipped once the span closes,
+   so an exported span's [children] are always in start order. *)
+let stack : span list ref = ref []
+let finished : span list ref = ref []
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let reset () =
+  stack := [];
+  finished := []
+
+let set_clock f = clock := f
+let use_default_clock () = clock := default_clock
+
+let add_attr k v =
+  if !enabled then
+    match !stack with
+    | [] -> ()
+    | s :: _ -> s.attrs <- s.attrs @ [ (k, v) ]
+
+let with_span ?(attrs = []) name f =
+  if not !enabled then f ()
+  else begin
+    let s =
+      { name; start_us = !clock (); end_us = 0.0; attrs; children = [] }
+    in
+    stack := s :: !stack;
+    let close () =
+      s.end_us <- !clock ();
+      s.children <- List.rev s.children;
+      (match !stack with
+      | top :: rest when top == s -> stack := rest
+      | _ -> () (* reset was called mid-span; drop silently *));
+      match !stack with
+      | [] -> finished := s :: !finished
+      | parent :: _ -> parent.children <- s :: parent.children
+    in
+    Fun.protect ~finally:close f
+  end
+
+let roots () = List.rev !finished
+
+let find_all name =
+  let out = ref [] in
+  let rec walk s =
+    if s.name = name then out := s :: !out;
+    List.iter walk s.children
+  in
+  List.iter walk (roots ());
+  List.rev !out
+
+(* ---------- export ---------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_value = function
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.6g" f
+  | Str s -> "\"" ^ json_escape s ^ "\""
+  | Bool b -> if b then "true" else "false"
+
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let rec emit s =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":%.1f,\
+          \"dur\":%.1f,\"pid\":1,\"tid\":1"
+         (json_escape s.name) s.start_us
+         (s.end_us -. s.start_us));
+    if s.attrs <> [] then begin
+      Buffer.add_string b ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":%s" (json_escape k) (json_of_value v)))
+        s.attrs;
+      Buffer.add_char b '}'
+    end;
+    Buffer.add_char b '}';
+    List.iter emit s.children
+  in
+  List.iter emit (roots ());
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let pp_tree fmt () =
+  let rec pp depth s =
+    Format.fprintf fmt "%s%-*s %10.0f us" (String.make (2 * depth) ' ')
+      (max 1 (30 - (2 * depth)))
+      s.name
+      (s.end_us -. s.start_us);
+    List.iter
+      (fun (k, v) ->
+        Format.fprintf fmt " %s=%s" k
+          (match v with
+          | Int i -> string_of_int i
+          | Float f -> Printf.sprintf "%g" f
+          | Str s -> s
+          | Bool b -> string_of_bool b))
+      s.attrs;
+    Format.fprintf fmt "@.";
+    List.iter (pp (depth + 1)) s.children
+  in
+  List.iter (pp 0) (roots ())

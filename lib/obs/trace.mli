@@ -1,0 +1,72 @@
+(** Hierarchical span tracing for the compilation pipeline.
+
+    A {e span} is a named, timed region of work; spans nest, forming one
+    tree per top-level region.  The tracer is a process-global sink that
+    is {b disabled by default}: a disabled [with_span] is a single ref
+    read and a branch around the thunk call, so instrumented hot paths
+    cost nothing measurable when tracing is off (the tier-1 timing
+    benchmarks run with the sink disabled).
+
+    Finished traces export in two forms: Chrome trace-event JSON
+    (loadable at [ui.perfetto.dev] or [chrome://tracing]) and a
+    human-readable indented tree.
+
+    Timestamps come from a process-wide microsecond clock
+    ([Unix.gettimeofday] based); tests may substitute a deterministic
+    fake clock with {!set_clock}. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+(** Attribute values attached to spans (rendered into the Chrome [args]
+    object). *)
+
+type span = {
+  name : string;
+  start_us : float;
+  mutable end_us : float;
+  mutable attrs : (string * value) list;  (** in attachment order *)
+  mutable children : span list;           (** in start order once closed *)
+}
+
+(** {1 Sink control} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drops all recorded spans (and any open stack); the enabled flag is
+    unchanged. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the timestamp source (must return microseconds,
+    monotonically non-decreasing).  For deterministic tests. *)
+
+val use_default_clock : unit -> unit
+
+(** {1 Recording} *)
+
+val with_span : ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a new span nested under the
+    innermost open span.  The span is closed (and recorded) even when
+    [f] raises.  When the sink is disabled this is just [f ()]. *)
+
+val add_attr : string -> value -> unit
+(** Attach an attribute to the innermost open span.  No-op when
+    disabled or outside any span. *)
+
+(** {1 Export} *)
+
+val roots : unit -> span list
+(** Completed top-level spans, in start order.  Spans still open are not
+    included. *)
+
+val find_all : string -> span list
+(** All completed spans with the given name, anywhere in the recorded
+    forest, in depth-first start order. *)
+
+val to_chrome_json : unit -> string
+(** The recorded forest as Chrome trace-event JSON (one complete ["X"]
+    event per span, [ts]/[dur] in microseconds, attrs under [args]). *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Indented per-span duration tree of the recorded forest. *)

@@ -103,19 +103,30 @@ let rec flat b stream : (int * int) option * (int * int) option =
       ~extra_init:delay ();
     (Some (join_id, 0), Some (split_id, 0))
 
+let m_flattens = Obs.Metrics.counter "flatten.runs"
+let g_nodes = Obs.Metrics.gauge "flatten.nodes"
+let g_edges = Obs.Metrics.gauge "flatten.edges"
+
 let flatten stream =
-  let b = { nodes = []; edges = []; next = 0 } in
-  let inp, out = flat b stream in
-  let nodes = Array.of_list (List.rev b.nodes) in
-  let g =
-    {
-      Graph.nodes;
-      edges = List.rev b.edges;
-      entry = Option.map fst inp;
-      exit_ = Option.map fst out;
-    }
-  in
-  (match Graph.validate g with
-  | Ok () -> ()
-  | Error m -> failwith ("Flatten: produced invalid graph: " ^ m));
-  g
+  Obs.Trace.with_span "flatten" (fun () ->
+      let b = { nodes = []; edges = []; next = 0 } in
+      let inp, out = flat b stream in
+      let nodes = Array.of_list (List.rev b.nodes) in
+      let g =
+        {
+          Graph.nodes;
+          edges = List.rev b.edges;
+          entry = Option.map fst inp;
+          exit_ = Option.map fst out;
+        }
+      in
+      (match Graph.validate g with
+      | Ok () -> ()
+      | Error m -> failwith ("Flatten: produced invalid graph: " ^ m));
+      Obs.Metrics.inc m_flattens;
+      Obs.Metrics.set g_nodes (float_of_int (Array.length nodes));
+      Obs.Metrics.set g_edges (float_of_int (List.length g.Graph.edges));
+      Obs.Trace.add_attr "nodes" (Obs.Trace.Int (Array.length nodes));
+      Obs.Trace.add_attr "edges"
+        (Obs.Trace.Int (List.length g.Graph.edges));
+      g)

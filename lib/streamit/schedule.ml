@@ -1,6 +1,10 @@
 type firing = int
 
+let m_sas = Obs.Metrics.counter "schedule.sas_runs"
+let m_min_latency = Obs.Metrics.counter "schedule.min_latency_runs"
+
 let sas g rates =
+  Obs.Metrics.inc m_sas;
   List.concat_map
     (fun v -> List.init rates.Sdf.reps.(v) (fun _ -> v))
     (Graph.topo_order g)
@@ -46,6 +50,8 @@ let fire g counts v =
     (Graph.out_edges g v)
 
 let min_latency g rates =
+  Obs.Metrics.inc m_min_latency;
+  Obs.Trace.with_span "schedule.min_latency" @@ fun () ->
   let n = Graph.num_nodes g in
   let counts = init_counts g in
   let remaining = Array.copy rates.Sdf.reps in

@@ -2,7 +2,10 @@ open Numeric
 
 type rates = { reps : int array; edge_tokens : (Graph.edge * int) list }
 
-let steady_state g =
+let rec steady_state g =
+  Obs.Trace.with_span "sdf.solve" (fun () -> steady_state_untraced g)
+
+and steady_state_untraced g =
   let n = Graph.num_nodes g in
   if n = 0 then Error "empty graph"
   else begin

@@ -29,7 +29,10 @@ type sizing = {
   coarsening : int;
 }
 
+let g_total_bytes = Obs.Metrics.gauge "buffer_layout.total_bytes"
+
 let size_buffers g (sched : Swp_schedule.t) ~coarsening =
+  Obs.Trace.with_span "buffer_layout" @@ fun () ->
   let stages = Swp_schedule.stages sched in
   let per_edge =
     List.map
@@ -58,4 +61,7 @@ let size_buffers g (sched : Swp_schedule.t) ~coarsening =
   let total_bytes =
     List.fold_left (fun acc (_, b) -> acc + b) io_bytes per_edge
   in
+  Obs.Metrics.set g_total_bytes (float_of_int total_bytes);
+  Obs.Trace.add_attr "total_bytes" (Obs.Trace.Int total_bytes);
+  Obs.Trace.add_attr "stages" (Obs.Trace.Int stages);
   { per_edge; total_bytes; stages; coarsening }

@@ -18,6 +18,17 @@ let ( let* ) = Result.bind
 let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
     ?(coarsening = 1) ?solver ?(scheme = Swp_coalesced) graph =
   let num_sms = Option.value num_sms ~default:arch.Gpusim.Arch.num_sms in
+  Obs.Trace.with_span "compile"
+    ~attrs:
+      [
+        ( "scheme",
+          Obs.Trace.Str
+            (match scheme with
+            | Swp_coalesced -> "SWP"
+            | Swp_non_coalesced -> "SWPNC") );
+        ("num_sms", Obs.Trace.Int num_sms);
+      ]
+  @@ fun () ->
   let* () = Streamit.Graph.validate graph in
   let* rates = Streamit.Sdf.steady_state graph in
   let mode =
@@ -32,6 +43,7 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
     | Some s -> Ii_search.search ~solver:s graph config ~num_sms
     | None -> Ii_search.search graph config ~num_sms
   in
+  Obs.Trace.add_attr "ii" (Obs.Trace.Int schedule.Swp_schedule.ii);
   let sizing = Buffer_layout.size_buffers graph schedule ~coarsening in
   Ok
     {
@@ -67,7 +79,7 @@ let pp_summary fmt c =
     "@[<v>compiled %s scheme=%s@,\
      nodes=%d instances=%d@,\
      regs=%d block_threads=%d scale=%d@,\
-     II=%d (bound %d, %.1f%% relaxation, %d attempts, %s solver)@,\
+     %a@,\
      stages=%d coarsening=%d buffers=%d bytes@]"
     c.arch.Gpusim.Arch.name
     (match c.scheme with
@@ -76,9 +88,6 @@ let pp_summary fmt c =
     (Streamit.Graph.num_nodes c.graph)
     (Instances.num_instances c.config)
     c.config.Select.regs c.config.Select.block_threads c.config.Select.scale
-    c.schedule.Swp_schedule.ii c.search_stats.Ii_search.lower_bound
-    (100.0 *. c.search_stats.Ii_search.relaxation)
-    c.search_stats.Ii_search.attempts
-    (if c.search_stats.Ii_search.used_exact then "exact" else "heuristic")
+    Ii_search.pp_stats c.search_stats
     (Swp_schedule.stages c.schedule)
     c.coarsening c.sizing.Buffer_layout.total_bytes

@@ -10,7 +10,12 @@ type gpu_time = {
 
 let cdiv a b = (a + b - 1) / b
 
+let g_ii_cycles = Obs.Metrics.gauge "executor.ii_cycles"
+let g_bus_cycles = Obs.Metrics.gauge "executor.bus_cycles"
+let g_busiest_sm = Obs.Metrics.gauge "executor.busiest_sm_cycles"
+
 let time_swp (c : Compile.compiled) =
+  Obs.Trace.with_span "execute" @@ fun () ->
   let arch = c.arch in
   let sched = c.schedule in
   let cfg = c.config in
@@ -79,6 +84,12 @@ let time_swp (c : Compile.compiled) =
   let cycles_per_steady =
     cycles_per_macro_ss /. float_of_int cfg.Select.scale
   in
+  Obs.Metrics.set g_ii_cycles (float_of_int ii_cycles);
+  Obs.Metrics.set g_bus_cycles (float_of_int bus_cycles);
+  Obs.Metrics.set g_busiest_sm (float_of_int busiest);
+  Obs.Trace.add_attr "ii_cycles" (Obs.Trace.Int ii_cycles);
+  Obs.Trace.add_attr "bus_cycles" (Obs.Trace.Int bus_cycles);
+  Obs.Trace.add_attr "kernel_cycles" (Obs.Trace.Int kernel_cycles);
   { ii_cycles; sm_cycles; bus_cycles; kernel_cycles; cycles_per_steady }
 
 type serial_time = {

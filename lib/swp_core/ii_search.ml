@@ -18,13 +18,37 @@ type stats = {
   attempt_log : attempt list;
 }
 
+let pp_attempt fmt (a : attempt) =
+  Format.fprintf fmt "II=%-6d %-10s %-10s %10.6fs %8d pivots %6d nodes" a.ii
+    (if a.tried_exact then "exact ILP" else "heuristic")
+    (if a.feasible then "feasible" else "infeasible")
+    a.solve_time_s a.lp_pivots a.bb_nodes
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "II=%d (bound %d, %.1f%% relaxation, %d attempts, %s solver)"
+    s.achieved_ii s.lower_bound
+    (100.0 *. s.relaxation)
+    s.attempts
+    (if s.used_exact then "exact" else "heuristic")
+
+let m_attempts = Obs.Metrics.counter "ii_search.attempts"
+let m_exact = Obs.Metrics.counter "ii_search.exact_attempts"
+let m_searches = Obs.Metrics.counter "ii_search.searches"
+let m_failures = Obs.Metrics.counter "ii_search.failures"
+let h_attempt_s = Obs.Metrics.histogram "ii_search.attempt_seconds"
+let h_relax = Obs.Metrics.histogram "ii_search.relaxation"
+
 let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
     ~num_sms =
+  Obs.Trace.with_span "ii_search" @@ fun () ->
+  Obs.Metrics.inc m_searches;
   (* The instance/dependence expansion does not depend on the candidate II:
      derive it once and reuse it across every attempt (and the MII bound). *)
   let insts = Instances.instances cfg in
   let deps = Instances.deps g cfg in
   let lb = Mii.lower_bound ~deps g cfg ~num_sms in
+  Obs.Trace.add_attr "lower_bound" (Obs.Trace.Int lb);
   (* the exact ILP is only worth its cost near the II lower bound, where
      the heuristic's packing granularity is the limiting factor *)
   let near_bound ii = ii <= lb + (lb / 50) + 2 in
@@ -35,7 +59,7 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
       | Some (s : Lp.Branch_bound.stats) -> (s.nodes_explored, s.lp_pivots)
       | None -> (0, 0)
     in
-    log :=
+    let a =
       {
         ii;
         tried_exact;
@@ -44,9 +68,21 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
         lp_pivots;
         bb_nodes;
       }
-      :: !log
+    in
+    log := a :: !log;
+    Obs.Metrics.inc m_attempts;
+    if tried_exact then Obs.Metrics.inc m_exact;
+    Obs.Metrics.observe h_attempt_s a.solve_time_s;
+    Obs.Trace.add_attr "feasible" (Obs.Trace.Bool feasible);
+    Obs.Trace.add_attr "solver"
+      (Obs.Trace.Str (if tried_exact then "exact" else "heuristic"));
+    Obs.Trace.add_attr "pivots" (Obs.Trace.Int lp_pivots);
+    Obs.Trace.add_attr "nodes" (Obs.Trace.Int bb_nodes)
   in
   let try_at ii =
+    Obs.Trace.with_span "ii_search.attempt"
+      ~attrs:[ ("ii", Obs.Trace.Int ii) ]
+    @@ fun () ->
     let t0 = Sys.time () in
     let bb = ref None in
     let res =
@@ -97,19 +133,27 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
   in
   let max_ii = int_of_float (float_of_int lb *. (1.0 +. max_relax)) + 1 in
   let rec loop ii attempts =
-    if ii > max_ii then
+    if ii > max_ii then begin
+      Obs.Metrics.inc m_failures;
       Error
         (Printf.sprintf "no feasible schedule up to II=%d (bound %d)" max_ii lb)
+    end
     else
       match try_at ii with
       | Some (s, used_exact) ->
+        let relaxation =
+          float_of_int (ii - lb) /. float_of_int (max 1 lb)
+        in
+        Obs.Metrics.observe h_relax relaxation;
+        Obs.Trace.add_attr "achieved_ii" (Obs.Trace.Int ii);
+        Obs.Trace.add_attr "attempts" (Obs.Trace.Int attempts);
         Ok
           ( s,
             {
               lower_bound = lb;
               achieved_ii = ii;
               attempts;
-              relaxation = float_of_int (ii - lb) /. float_of_int (max 1 lb);
+              relaxation;
               used_exact;
               attempt_log = List.rev !log;
             } )

@@ -43,6 +43,13 @@ type stats = {
           the successful one when the search succeeds) *)
 }
 
+val pp_attempt : Format.formatter -> attempt -> unit
+(** One line per candidate II: solver, feasibility, time, pivots, nodes.
+    Shared by the bench and CLI drivers so their attempt logs agree. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line search summary (achieved II, bound, relaxation, attempts). *)
+
 val search :
   ?solver:solver ->
   ?relax_step:float ->

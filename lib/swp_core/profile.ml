@@ -33,6 +33,9 @@ let cache :
   Hashtbl.create 16
 
 let cache_bound = 64
+let m_cache_hits = Obs.Metrics.counter "profile.cache.hits"
+let m_cache_misses = Obs.Metrics.counter "profile.cache.misses"
+let m_cache_evictions = Obs.Metrics.counter "profile.cache.evictions"
 
 let rec run ?(reg_options = default_reg_options)
     ?(thread_options = default_thread_options) ?(numfirings = 0) arch graph
@@ -44,13 +47,27 @@ let rec run ?(reg_options = default_reg_options)
     else 16 * List.fold_left Numeric.Intmath.lcm 1 thread_options
   in
   let key = (arch, graph, mode, reg_options, thread_options, numfirings) in
-  match Hashtbl.find_opt cache key with
-  | Some d -> d
-  | None ->
-    let d = run_uncached arch graph ~mode ~reg_options ~thread_options ~numfirings in
-    if Hashtbl.length cache >= cache_bound then Hashtbl.reset cache;
-    Hashtbl.add cache key d;
-    d
+  Obs.Trace.with_span "profile"
+    ~attrs:[ ("nodes", Obs.Trace.Int (Streamit.Graph.num_nodes graph)) ]
+    (fun () ->
+      match Hashtbl.find_opt cache key with
+      | Some d ->
+        Obs.Metrics.inc m_cache_hits;
+        Obs.Trace.add_attr "cache" (Obs.Trace.Str "hit");
+        d
+      | None ->
+        Obs.Metrics.inc m_cache_misses;
+        Obs.Trace.add_attr "cache" (Obs.Trace.Str "miss");
+        let d =
+          run_uncached arch graph ~mode ~reg_options ~thread_options
+            ~numfirings
+        in
+        if Hashtbl.length cache >= cache_bound then begin
+          Obs.Metrics.inc m_cache_evictions;
+          Hashtbl.reset cache
+        end;
+        Hashtbl.add cache key d;
+        d)
 
 and run_uncached arch graph ~mode ~reg_options ~thread_options ~numfirings =
   let n = Streamit.Graph.num_nodes graph in

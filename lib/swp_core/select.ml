@@ -49,7 +49,13 @@ let work_per_steady_state g (rates : Streamit.Sdf.rates) ~scale =
   in
   max 1 (sink_tokens * scale)
 
-let select g rates (data : Profile.data) =
+let m_selects = Obs.Metrics.counter "select.runs"
+let m_select_failures = Obs.Metrics.counter "select.failures"
+
+let rec select g rates (data : Profile.data) =
+  Obs.Trace.with_span "select" (fun () -> select_untraced g rates data)
+
+and select_untraced g rates (data : Profile.data) =
   let n = Streamit.Graph.num_nodes g in
   let feasible_pair ri ti =
     (* feasible for ALL nodes: single compilation unit restriction *)
@@ -127,8 +133,15 @@ let select g rates (data : Profile.data) =
     done
   done;
   match !best with
-  | Some (_, cfg) -> Ok cfg
-  | None -> Error "no feasible (registers, threads) configuration"
+  | Some (_, cfg) ->
+    Obs.Metrics.inc m_selects;
+    Obs.Trace.add_attr "regs" (Obs.Trace.Int cfg.regs);
+    Obs.Trace.add_attr "block_threads" (Obs.Trace.Int cfg.block_threads);
+    Obs.Trace.add_attr "scale" (Obs.Trace.Int cfg.scale);
+    Ok cfg
+  | None ->
+    Obs.Metrics.inc m_select_failures;
+    Error "no feasible (registers, threads) configuration"
 
 let pp_config g fmt c =
   Format.fprintf fmt

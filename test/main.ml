@@ -13,4 +13,5 @@ let () =
       ("benchmarks", Test_benchmarks.suite);
       ("funcsim", Test_funcsim.suite);
       ("stateful", Test_stateful.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,344 @@
+(* Observability layer: span tracing, metrics registry, Chrome export,
+   and an end-to-end traced compile of FMRadio. *)
+
+open Streamit
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Deterministic clock: advances 10 us on every read. *)
+let install_fake_clock () =
+  let n = ref 0.0 in
+  Obs.Trace.set_clock (fun () ->
+      let v = !n in
+      n := v +. 10.0;
+      v)
+
+let with_fake_trace f =
+  Obs.Trace.reset ();
+  install_fake_clock ();
+  Obs.Trace.enable ();
+  Fun.protect f ~finally:(fun () ->
+      Obs.Trace.disable ();
+      Obs.Trace.use_default_clock ())
+
+let span_names = List.map (fun (s : Obs.Trace.span) -> s.Obs.Trace.name)
+
+(* Minimal JSON syntax checker, enough for the grammar we emit (objects,
+   arrays, strings with escapes, numbers, booleans). *)
+let json_parses (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail () = raise Exit in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let lit l =
+    let m = String.length l in
+    if !pos + m <= n && String.sub s !pos m = l then pos := !pos + m else fail ()
+  in
+  let str () =
+    lit "\"";
+    let rec go () =
+      if !pos >= n then fail ()
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          pos := !pos + 2;
+          go ()
+        | _ ->
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    (match peek () with Some '-' -> incr pos | _ -> ());
+    let digits () =
+      let start = !pos in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        incr pos
+      done;
+      if !pos = start then fail ()
+    in
+    digits ();
+    (match peek () with
+    | Some '.' ->
+      incr pos;
+      digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | _ -> fail ()
+  and obj () =
+    lit "{";
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        lit ":";
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          members ()
+        | Some '}' -> incr pos
+        | _ -> fail ()
+      in
+      members ()
+  and arr () =
+    lit "[";
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          elems ()
+        | Some ']' -> incr pos
+        | _ -> fail ()
+      in
+      elems ()
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | ok -> ok
+  | exception Exit -> false
+
+let ab_pipeline () =
+  let a =
+    Kernel.Build.(
+      Kernel.make_filter ~name:"A" ~pop:1 ~push:2 [ push pop; push (f 0.0) ])
+  in
+  let b =
+    Kernel.Build.(
+      Kernel.make_filter ~name:"B" ~pop:3 ~push:1 [ push (pop +: pop +: pop) ])
+  in
+  Ast.pipeline "ab" [ Ast.Filter a; Ast.Filter b ]
+
+let trace_tests =
+  [
+    t "span nesting and ordering" (fun () ->
+        let r =
+          with_fake_trace (fun () ->
+              Obs.Trace.with_span "root" (fun () ->
+                  ignore (Obs.Trace.with_span "a" (fun () -> 1));
+                  Obs.Trace.add_attr "k" (Obs.Trace.Int 7);
+                  Obs.Trace.with_span "b" (fun () -> 2)))
+        in
+        Alcotest.(check int) "result threads through" 2 r;
+        match Obs.Trace.roots () with
+        | [ root ] ->
+          Alcotest.(check string) "root name" "root" root.Obs.Trace.name;
+          Alcotest.(check (list string))
+            "children in start order" [ "a"; "b" ]
+            (span_names root.Obs.Trace.children);
+          Alcotest.(check bool)
+            "attr recorded" true
+            (List.mem_assoc "k" root.Obs.Trace.attrs);
+          List.iter
+            (fun (s : Obs.Trace.span) ->
+              Alcotest.(check bool)
+                "positive duration" true
+                (s.Obs.Trace.end_us > s.Obs.Trace.start_us))
+            (root :: root.Obs.Trace.children)
+        | l -> Alcotest.failf "expected 1 root, got %d" (List.length l));
+    t "span closes on exception" (fun () ->
+        with_fake_trace (fun () ->
+            try
+              Obs.Trace.with_span "outer" (fun () ->
+                  Obs.Trace.with_span "boom" (fun () -> failwith "x"))
+            with Failure _ -> ());
+        match Obs.Trace.find_all "boom" with
+        | [ s ] ->
+          Alcotest.(check bool) "closed" true (s.Obs.Trace.end_us >= s.Obs.Trace.start_us)
+        | l -> Alcotest.failf "expected 1 boom span, got %d" (List.length l));
+    t "find_all is depth-first" (fun () ->
+        with_fake_trace (fun () ->
+            Obs.Trace.with_span "p" (fun () ->
+                Obs.Trace.with_span "x" (fun () ->
+                    Obs.Trace.with_span "x" (fun () -> ())));
+            Obs.Trace.with_span "x" (fun () -> ()));
+        Alcotest.(check int) "three x spans" 3
+          (List.length (Obs.Trace.find_all "x")));
+    t "disabled sink records nothing and returns the value" (fun () ->
+        Obs.Trace.reset ();
+        Obs.Trace.disable ();
+        let r = Obs.Trace.with_span "n" (fun () -> 41 + 1) in
+        Obs.Trace.add_attr "ignored" (Obs.Trace.Int 0);
+        Alcotest.(check int) "value" 42 r;
+        Alcotest.(check int) "no roots" 0 (List.length (Obs.Trace.roots ())));
+    t "chrome json golden (fake clock)" (fun () ->
+        with_fake_trace (fun () ->
+            ignore
+              (Obs.Trace.with_span "compile"
+                 ~attrs:[ ("scheme", Obs.Trace.Str "SWP") ]
+                 (fun () ->
+                   Obs.Trace.with_span "profile" (fun () ->
+                       Obs.Trace.add_attr "cache" (Obs.Trace.Str "miss")))));
+        let golden =
+          "{\"traceEvents\":[{\"name\":\"compile\",\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":0.0,\"dur\":30.0,\"pid\":1,\"tid\":1,\"args\":{\"scheme\":\"SWP\"}},{\"name\":\"profile\",\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":10.0,\"dur\":10.0,\"pid\":1,\"tid\":1,\"args\":{\"cache\":\"miss\"}}],\"displayTimeUnit\":\"ms\"}"
+        in
+        Alcotest.(check string) "golden" golden (Obs.Trace.to_chrome_json ()));
+    t "chrome json escapes strings" (fun () ->
+        with_fake_trace (fun () ->
+            Obs.Trace.with_span "q"
+              ~attrs:[ ("s", Obs.Trace.Str "a\"b\\c\nd") ]
+              (fun () -> ()));
+        let json = Obs.Trace.to_chrome_json () in
+        Alcotest.(check bool) "parses" true (json_parses json));
+    t "two-filter pipeline trace (scrubbed)" (fun () ->
+        (* Full compile of the multirate ab pipeline under the fake
+           clock; the span-name sequence is the deterministic part of
+           the trace (timestamps scrubbed by construction). *)
+        with_fake_trace (fun () ->
+            let g = Flatten.flatten (ab_pipeline ()) in
+            match Swp_core.Compile.compile ~num_sms:2 g with
+            | Error m -> Alcotest.failf "compile failed: %s" m
+            | Ok _ -> ());
+        let json = Obs.Trace.to_chrome_json () in
+        Alcotest.(check bool) "json parses" true (json_parses json);
+        Alcotest.(check (list string))
+          "top-level spans" [ "flatten"; "compile" ]
+          (span_names (Obs.Trace.roots ()));
+        let compile_children =
+          match Obs.Trace.roots () with
+          | [ _; c ] -> span_names c.Obs.Trace.children
+          | _ -> []
+        in
+        Alcotest.(check (list string))
+          "compile stages"
+          [ "sdf.solve"; "profile"; "select"; "ii_search"; "buffer_layout" ]
+          compile_children;
+        Alcotest.(check bool)
+          "at least one attempt" true
+          (Obs.Trace.find_all "ii_search.attempt" <> []));
+  ]
+
+let metrics_tests =
+  [
+    t "counter get-or-create and reset in place" (fun () ->
+        Obs.Metrics.reset ();
+        let c = Obs.Metrics.counter "test.counter" in
+        Obs.Metrics.inc c;
+        Obs.Metrics.add c 4;
+        Alcotest.(check int) "inc+add" 5 (Obs.Metrics.value c);
+        let c2 = Obs.Metrics.counter "test.counter" in
+        Obs.Metrics.inc c2;
+        Alcotest.(check int) "same instrument" 6 (Obs.Metrics.value c);
+        Obs.Metrics.reset ();
+        Alcotest.(check int) "reset zeroes" 0 (Obs.Metrics.value c);
+        Obs.Metrics.inc c;
+        Alcotest.(check int) "handle stays live" 1 (Obs.Metrics.value c));
+    t "labels distinguish instruments, order-insensitively" (fun () ->
+        Obs.Metrics.reset ();
+        let a = Obs.Metrics.counter ~labels:[ ("k", "v") ] "test.lbl" in
+        let b = Obs.Metrics.counter ~labels:[ ("k", "w") ] "test.lbl" in
+        Obs.Metrics.inc a;
+        Alcotest.(check int) "b untouched" 0 (Obs.Metrics.value b);
+        let a2 =
+          Obs.Metrics.counter ~labels:[ ("x", "1"); ("k", "v") ] "test.lbl2"
+        in
+        let a3 =
+          Obs.Metrics.counter ~labels:[ ("k", "v"); ("x", "1") ] "test.lbl2"
+        in
+        Obs.Metrics.inc a2;
+        Alcotest.(check int) "sorted key" 1 (Obs.Metrics.value a3));
+    t "gauge and histogram semantics" (fun () ->
+        Obs.Metrics.reset ();
+        let g = Obs.Metrics.gauge "test.gauge" in
+        Obs.Metrics.set g 2.5;
+        Alcotest.(check (float 1e-9)) "gauge" 2.5 (Obs.Metrics.gauge_value g);
+        let h = Obs.Metrics.histogram "test.hist" in
+        Alcotest.(check bool) "empty min is nan" true
+          (Float.is_nan (Obs.Metrics.hist_min h));
+        List.iter (Obs.Metrics.observe h) [ 3.0; 1.0; 2.0 ];
+        Alcotest.(check int) "count" 3 (Obs.Metrics.hist_count h);
+        Alcotest.(check (float 1e-9)) "sum" 6.0 (Obs.Metrics.hist_sum h);
+        Alcotest.(check (float 1e-9)) "min" 1.0 (Obs.Metrics.hist_min h);
+        Alcotest.(check (float 1e-9)) "max" 3.0 (Obs.Metrics.hist_max h));
+    t "snapshot and json export" (fun () ->
+        Obs.Metrics.reset ();
+        let c = Obs.Metrics.counter "test.snap" in
+        Obs.Metrics.add c 3;
+        let item =
+          List.find
+            (fun (i : Obs.Metrics.snapshot_item) -> i.name = "test.snap")
+            (Obs.Metrics.snapshot ())
+        in
+        (match item.kind with
+        | `Counter v -> Alcotest.(check int) "snapshot value" 3 v
+        | _ -> Alcotest.fail "expected a counter");
+        let json = Obs.Metrics.to_json () in
+        Alcotest.(check bool) "json parses" true (json_parses json);
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "json mentions the counter" true
+          (contains json "test.snap"));
+  ]
+
+(* End-to-end smoke: compile FMRadio with tracing on; the trace must
+   parse as JSON and contain every pipeline-stage span. *)
+let smoke_tests =
+  [
+    t "FMRadio traced compile has all stage spans" (fun () ->
+        Obs.Trace.reset ();
+        Obs.Trace.enable ();
+        Fun.protect ~finally:Obs.Trace.disable (fun () ->
+            let e = Option.get (Benchmarks.Registry.find "fm_radio") in
+            let g =
+              Flatten.flatten
+                (Obs.Trace.with_span "parse" e.Benchmarks.Registry.stream)
+            in
+            match Swp_core.Compile.compile g with
+            | Error m -> Alcotest.failf "compile failed: %s" m
+            | Ok c ->
+              ignore (Cudagen.Kernel_gen.program c);
+              ignore (Swp_core.Executor.time_swp c));
+        let json = Obs.Trace.to_chrome_json () in
+        Alcotest.(check bool) "trace parses" true (json_parses json);
+        List.iter
+          (fun stage ->
+            Alcotest.(check bool)
+              (stage ^ " span present") true
+              (Obs.Trace.find_all stage <> []))
+          [
+            "parse"; "flatten"; "profile"; "select"; "ii_search";
+            "ii_search.attempt"; "buffer_layout"; "codegen"; "execute";
+          ]);
+  ]
+
+let suite = trace_tests @ metrics_tests @ smoke_tests
