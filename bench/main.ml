@@ -568,6 +568,32 @@ let pipeline_report () =
   Format.printf "%a@?" Obs.Metrics.pp_text ();
   line ()
 
+(* --- Differential fuzzing statistics (lib/check) --- *)
+
+(* A fixed-seed fuzz batch through the whole pipeline, reported from the
+   metrics registry: how many random programs compile, how many the
+   pipeline legitimately rejects, and how fast the three-way oracle
+   (interpreter / functional simulator / replay) chews through them. *)
+let fuzzstats () =
+  print_endline "\n=== Differential fuzzing statistics (fixed seeds) ===";
+  line ();
+  Obs.Metrics.reset ();
+  let t0 = Unix.gettimeofday () in
+  let seeds = 40 in
+  let stats, failures = Check.Fuzz.run ~seeds () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-24s %8d\n" "seeds" stats.Check.Fuzz.seeds;
+  Printf.printf "%-24s %8d\n" "passed (3-way agree)" stats.Check.Fuzz.passed;
+  Printf.printf "%-24s %8d\n" "skipped (rejected)" stats.Check.Fuzz.skipped;
+  Printf.printf "%-24s %8d\n" "failed" stats.Check.Fuzz.failed;
+  Printf.printf "%-24s %8.1f\n" "seeds/s" (float_of_int seeds /. dt);
+  List.iter
+    (fun f -> Format.printf "%a@." Check.Fuzz.pp_failure f)
+    failures;
+  print_endline "metrics registry after the batch:";
+  Format.printf "%a@?" Obs.Metrics.pp_text ();
+  line ()
+
 (* --- Bechamel micro-benchmarks of the compiler itself --- *)
 
 let micro () =
@@ -637,4 +663,5 @@ let () =
   if want "pipeline" then pipeline_report ();
   if want "coalesce" then coalesce_ablation ();
   if want "smsweep" then smsweep ();
+  if want "fuzzstats" then fuzzstats ();
   if want "micro" then micro ()

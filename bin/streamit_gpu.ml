@@ -379,6 +379,50 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(const run $ spec_arg $ coarsen_arg $ out_arg $ metrics_arg)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: generate random stream programs and cross-check \
+     the reference interpreter, the device functional simulator and an \
+     independent schedule replay token-for-token, plus the schedule, \
+     buffer-layout and timing invariants.  Failing programs are shrunk and \
+     pretty-printed; exits 1 if any seed fails."
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds"; "n" ] ~docv:"N" ~doc:"Number of random programs.")
+  in
+  let base_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "base-seed" ] ~docv:"SEED"
+          ~doc:"First seed; seeds SEED .. SEED+N-1 are run.")
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "iters" ] ~docv:"ITERS"
+          ~doc:"Macro steady-state iterations each oracle executes.")
+  in
+  let run seeds base_seed iters metrics =
+    if seeds <= 0 then begin
+      Printf.eprintf "error: --seeds must be positive\n";
+      1
+    end
+    else begin
+      let stats, failures = Check.Fuzz.run ~iters ~base_seed ~seeds () in
+      List.iter
+        (fun f -> Format.printf "FAIL %a@.@." Check.Fuzz.pp_failure f)
+        failures;
+      Format.printf "%a@." Check.Fuzz.pp_stats stats;
+      dump_metrics metrics (if failures = [] then 0 else 1)
+    end
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seeds_arg $ base_seed_arg $ iters_arg $ metrics_arg)
+
 let () =
   let doc = "StreamIt-to-GPU software-pipelining compiler (CGO 2009 reproduction)" in
   let info = Cmd.info "streamit_gpu" ~version:"1.0.0" ~doc in
@@ -388,5 +432,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; info_cmd; profile_cmd; compile_cmd; emit_cmd; run_cmd;
-            buffers_cmd; speedup_cmd; trace_cmd;
+            buffers_cmd; speedup_cmd; trace_cmd; fuzz_cmd;
           ]))

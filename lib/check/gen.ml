@@ -1,0 +1,247 @@
+(* Seeded random stream-program generator.
+
+   Produces syntactically valid, rate-consistent, deadlock-free streams by
+   construction: filters declare the rates their bodies realise, split-join
+   joiner weights are derived from the branches' rational token gains so the
+   SDF balance equations always have a solution, and feedback loops use
+   symmetric weights with a gain-1 body plus enough delay tokens to break
+   the cycle.  Every candidate is double-checked through the real pipeline
+   (flatten, SDF solve, demand-driven schedule) before being returned, so
+   callers can rely on [stream] never producing an inadmissible program. *)
+
+open Streamit
+
+type cfg = {
+  max_stages : int;     (* pipeline length at each nesting level *)
+  max_branches : int;   (* split-join width *)
+  max_rate : int;       (* per-firing push/pop cap *)
+  max_depth : int;      (* nesting depth of split-joins / feedback loops *)
+  allow_peek : bool;
+  allow_state : bool;
+  allow_feedback : bool;
+}
+
+let default =
+  {
+    max_stages = 4;
+    max_branches = 3;
+    max_rate = 4;
+    max_depth = 2;
+    allow_peek = true;
+    allow_state = true;
+    allow_feedback = true;
+  }
+
+(* ---- random filters ------------------------------------------------- *)
+
+(* Work bodies draw constants from a small grid of exactly representable
+   floats: the oracles compare bit-for-bit, and tame constants keep long
+   pipelines from overflowing to inf (which would still compare equal, but
+   makes counterexamples unreadable). *)
+let rand_const st = float_of_int (Random.State.int st 9 - 4) /. 4.0
+
+let affine_filter st ~name ~pop ~push =
+  let p = pop and u = push in
+  let open Kernel.Build in
+  let body =
+    [ arr "w" p ]
+    @ List.init p (fun j -> seti "w" (i j) Kernel.Pop)
+    @ List.init u (fun j ->
+          let a = geti "w" (i (Random.State.int st p)) in
+          let b = geti "w" (i (j mod p)) in
+          Kernel.Push
+            (match Random.State.int st 4 with
+            | 0 -> (a *: f (rand_const st)) +: b
+            | 1 -> a -: (b *: f (rand_const st))
+            | 2 -> emin a b +: f (rand_const st)
+            | _ -> emax a (b +: f (rand_const st))))
+  in
+  Kernel.make_filter ~name ~pop:p ~push:u body
+
+let peeking_filter st ~name ~pop ~push ~margin =
+  let p = pop and u = push in
+  let open Kernel.Build in
+  let pk = p + margin in
+  let body =
+    [ arr "w" pk; for_ "j" (i 0) (i pk) [ seti "w" (v "j") (peek (v "j")) ] ]
+    @ List.init p (fun j -> let_ (Printf.sprintf "d%d" j) Kernel.Pop)
+    @ List.init u (fun j ->
+          Kernel.Push
+            (geti "w" (i (Random.State.int st pk))
+            +: (geti "w" (i (j mod pk)) *: f (rand_const st))))
+  in
+  Kernel.make_filter ~name ~pop:p ~push:u ~peek:pk body
+
+let stateful_filter st ~name ~pop ~push =
+  let p = pop and u = push in
+  let open Kernel.Build in
+  let body =
+    [ arr "w" p ]
+    @ List.init p (fun j -> seti "w" (i j) Kernel.Pop)
+    @ [
+        (* contraction keeps the running state bounded *)
+        seti "acc" (i 0)
+          ((geti "acc" (i 0) *: f 0.5) +: (geti "w" (i 0) *: f 0.25));
+      ]
+    @ List.init u (fun j ->
+          Kernel.Push
+            (geti "acc" (i 0) +: (geti "w" (i (j mod p)) *: f (rand_const st))))
+  in
+  Kernel.make_filter ~name ~pop:p ~push:u
+    ~state:[ ("acc", [| Types.VFloat (rand_const st) |]) ]
+    body
+
+let random_filter cfg st ~name =
+  let rate () = 1 + Random.State.int st cfg.max_rate in
+  let pop = rate () and push = rate () in
+  match Random.State.int st 6 with
+  | (0 | 1) when cfg.allow_peek ->
+    peeking_filter st ~name ~pop ~push ~margin:(1 + Random.State.int st 3)
+  | 2 when cfg.allow_state -> stateful_filter st ~name ~pop ~push
+  | _ -> affine_filter st ~name ~pop ~push
+
+(* ---- rational token gain of a stream -------------------------------- *)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let norm (n, d) =
+  let g = max 1 (gcd (abs n) (abs d)) in
+  (n / g, d / g)
+
+let rmul (a, b) (c, d) = norm (a * c, b * d)
+let radd (a, b) (c, d) = norm ((a * d) + (c * b), b * d)
+
+(* tokens pushed per token popped, as a reduced rational *)
+let rec gain = function
+  | Ast.Filter f -> norm (f.Kernel.push_rate, f.Kernel.pop_rate)
+  | Ast.Pipeline (_, ss) -> List.fold_left (fun g s -> rmul g (gain s)) (1, 1) ss
+  | Ast.Split_join (_, sp, bs, _) -> (
+    match sp with
+    | Ast.Duplicate -> List.fold_left (fun g b -> radd g (gain b)) (0, 1) bs
+    | Ast.Round_robin ws ->
+      let total = List.fold_left ( + ) 0 ws in
+      let out =
+        List.fold_left2 (fun g w b -> radd g (rmul (w, 1) (gain b))) (0, 1) ws bs
+      in
+      rmul out (1, total))
+  | Ast.Feedback_loop _ -> (1, 1) (* symmetric-weight loops are gain 1 *)
+
+(* ---- structured streams --------------------------------------------- *)
+
+(* Names must be unique within one program but reproducible across runs:
+   the counter is reset at every generation attempt so the same seed
+   always yields the same program, names included. *)
+let name_ctr = ref 0
+let reset_names () = name_ctr := 0
+
+let fresh prefix =
+  incr name_ctr;
+  Printf.sprintf "%s%d" prefix !name_ctr
+
+let rec random_stream cfg st depth =
+  let n = 1 + Random.State.int st cfg.max_stages in
+  let stages = List.init n (fun _ -> random_stage cfg st depth) in
+  Ast.pipeline (fresh "pipe") stages
+
+and random_stage cfg st depth =
+  let pick = Random.State.int st 10 in
+  if depth < cfg.max_depth && pick >= 7 then random_splitjoin cfg st depth
+  else if depth < cfg.max_depth && cfg.allow_feedback && pick = 6 then
+    random_feedback cfg st
+  else Ast.Filter (random_filter cfg st ~name:(fresh "F"))
+
+and random_splitjoin cfg st depth =
+  let nb = 2 + Random.State.int st (cfg.max_branches - 1) in
+  let branches =
+    List.init nb (fun _ ->
+        if Random.State.int st 3 = 0 then random_stream cfg st (depth + 1)
+        else Ast.Filter (random_filter cfg st ~name:(fresh "B")))
+  in
+  let dup = Random.State.int st 2 = 0 in
+  let sw =
+    if dup then List.map (fun _ -> 1) branches
+    else List.init nb (fun _ -> 1 + Random.State.int st 3)
+  in
+  (* joiner weights proportional to each branch's output per splitter
+     firing, so the balance equations stay consistent *)
+  let outs = List.map2 (fun w b -> rmul (w, 1) (gain b)) sw branches in
+  let denom_lcm = List.fold_left (fun l (_, d) -> l * d / gcd l d) 1 outs in
+  let jw = List.map (fun (n, d) -> n * (denom_lcm / d)) outs in
+  if List.exists (fun w -> w <= 0) jw then
+    (* a zero-gain branch cannot happen (push >= 1), but stay safe *)
+    Ast.Filter (random_filter cfg st ~name:(fresh "F"))
+  else if dup then Ast.duplicate_sj (fresh "sj") branches jw
+  else Ast.round_robin_sj (fresh "sj") sw branches jw
+
+and random_feedback _cfg st =
+  let a = 1 + Random.State.int st 2 in
+  let b = 1 + Random.State.int st 2 in
+  let rate = 1 + Random.State.int st 2 in
+  let body =
+    Ast.Filter (affine_filter st ~name:(fresh "L") ~pop:rate ~push:rate)
+  in
+  let ndelay = 2 * a * rate in
+  Ast.Feedback_loop
+    {
+      name = fresh "fb";
+      join_weights = (a, a);
+      body;
+      split_weights = (b, b);
+      delay = List.init ndelay (fun i -> Types.VFloat (float_of_int (i mod 3)));
+    }
+
+(* ---- validation gate ------------------------------------------------- *)
+
+(* Chained rate mismatches can make the repetition vector explode
+   combinatorially; every steady-state firing becomes one schedulable
+   instance, so a 15k-firing graph costs minutes in the II search alone
+   (RecMII's cycle check is O(instances x deps) per probe) and drowns the
+   oracles without adding coverage.  Reject such programs up front and
+   retry with the next salt. *)
+let max_steady_firings = 2_000
+
+(* A stream the rest of the pipeline is entitled to reject is useless as a
+   fuzz input; check the whole front half here.  Also reused by the
+   shrinker to gate reduction candidates. *)
+let admissible s =
+  Ast.validate s = Ok ()
+  &&
+  match (try Ok (Flatten.flatten s) with Failure m -> Error m) with
+  | Error _ -> false
+  | Ok g -> (
+    Graph.validate g = Ok ()
+    &&
+    match Sdf.steady_state g with
+    | Error _ -> false
+    | Ok rates -> (
+      Sdf.check g rates = Ok ()
+      && Array.fold_left ( + ) 0 rates.Sdf.reps <= max_steady_firings
+      &&
+      match (try Ok (Schedule.min_latency g rates) with Failure m -> Error m) with
+      | Ok _ -> true
+      | Error _ -> false))
+
+let stream ?(cfg = default) ~seed () =
+  let rec attempt salt =
+    reset_names ();
+    if salt >= 20 then begin
+      (* fall back to a stream that is always admissible *)
+      let st = Random.State.make [| 0x5eed; seed; 999 |] in
+      Ast.pipeline (fresh "fallback")
+        [
+          Ast.Filter (affine_filter st ~name:(fresh "F") ~pop:2 ~push:3);
+          Ast.Filter (affine_filter st ~name:(fresh "F") ~pop:3 ~push:1);
+        ]
+    end
+    else
+      let st = Random.State.make [| 0x5eed; seed; salt |] in
+      let s = random_stream cfg st 0 in
+      if admissible s then s else attempt (salt + 1)
+  in
+  attempt 0
+
+(* Deterministic per-seed input tape; values on the same exact grid as the
+   filter constants. *)
+let input ~seed i =
+  let x = ((i * 37) + (seed * 11)) mod 97 in
+  Types.VFloat (float_of_int x /. 8.0)

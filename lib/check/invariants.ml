@@ -1,0 +1,206 @@
+(* Structural invariants of a compiled program.
+
+   These are the properties the paper's construction promises for {e every}
+   compilation, independent of any particular input tape:
+
+   - the schedule satisfies the ILP constraint system ((1), (2), (4),
+     (8a), (8b)) — via the strengthened {!Swp_core.Swp_schedule.validate};
+   - the macro configuration is consistent with the SDF rate solution;
+   - the buffer-layout maps (eqs. (9)-(11)) are bijections on every edge:
+     the push map on each producer instance region, the pop map on each
+     macro steady state, and the host shuffle composed with the layout;
+   - the timing model produces sane numbers (II at least the per-SM load,
+     finite amortised cycles);
+   - at the II the heuristic achieved, the exact ILP agrees the problem is
+     feasible (cross-validation, gated on problem size). *)
+
+open Streamit
+
+let ( let* ) = Result.bind
+
+let check_bijection ~what size f =
+  let seen = Array.make size (-1) in
+  let err = ref None in
+  (try
+     for s = 0 to size - 1 do
+       let a = f s in
+       if a < 0 || a >= size then begin
+         err :=
+           Some
+             (Printf.sprintf "%s: index %d maps to %d, outside [0,%d)" what s a
+                size);
+         raise Exit
+       end;
+       if seen.(a) >= 0 then begin
+         err :=
+           Some
+             (Printf.sprintf "%s: indices %d and %d collide at address %d" what
+                seen.(a) s a);
+         raise Exit
+       end;
+       seen.(a) <- s
+     done
+   with Exit -> ());
+  match !err with None -> Ok () | Some m -> Error m
+
+let schedule (c : Swp_core.Compile.compiled) =
+  let g = c.Swp_core.Compile.graph in
+  let cfg = c.Swp_core.Compile.config in
+  let rates = c.Swp_core.Compile.rates in
+  let* () = Swp_core.Swp_schedule.validate g c.Swp_core.Compile.schedule in
+  let err = ref None in
+  let fail m = if !err = None then err := Some m in
+  Array.iteri
+    (fun v t ->
+      if t <= 0 then fail (Printf.sprintf "node %s: %d threads" (Graph.name g v) t)
+      else if t mod Swp_core.Buffer_layout.cluster <> 0 then
+        fail
+          (Printf.sprintf
+             "node %s: %d threads is not a multiple of the %d-thread cluster \
+              the layout maps assume"
+             (Graph.name g v) t Swp_core.Buffer_layout.cluster);
+      if cfg.Swp_core.Select.delay.(v) <= 0 then
+        fail (Printf.sprintf "node %s: non-positive delay" (Graph.name g v));
+      if cfg.Swp_core.Select.reps.(v) <= 0 then
+        fail (Printf.sprintf "node %s: non-positive reps" (Graph.name g v));
+      (* macro identity: threads.(v) * reps.(v) original firings per macro
+         steady state must equal reps_sdf.(v) * scale *)
+      if
+        t * cfg.Swp_core.Select.reps.(v)
+        <> rates.Sdf.reps.(v) * cfg.Swp_core.Select.scale
+      then
+        fail
+          (Printf.sprintf
+             "node %s: %d threads x %d macro reps <> %d SDF reps x scale %d"
+             (Graph.name g v) t
+             cfg.Swp_core.Select.reps.(v)
+             rates.Sdf.reps.(v) cfg.Swp_core.Select.scale))
+    cfg.Swp_core.Select.threads;
+  match !err with None -> Ok () | Some m -> Error m
+
+let layout (c : Swp_core.Compile.compiled) =
+  let g = c.Swp_core.Compile.graph in
+  let cfg = c.Swp_core.Compile.config in
+  let edge_name (e : Graph.edge) =
+    Printf.sprintf "%s -> %s" (Graph.name g e.Graph.src) (Graph.name g e.Graph.dst)
+  in
+  List.fold_left
+    (fun acc (e : Graph.edge) ->
+      let* () = acc in
+      let push_rate = Graph.production g e in
+      let pop_rate = Graph.consumption g e in
+      let prod_threads = cfg.Swp_core.Select.threads.(e.Graph.src) in
+      let cons_threads = cfg.Swp_core.Select.threads.(e.Graph.dst) in
+      let region = push_rate * prod_threads in
+      let steady = region * cfg.Swp_core.Select.reps.(e.Graph.src) in
+      let consumed =
+        pop_rate * cons_threads * cfg.Swp_core.Select.reps.(e.Graph.dst)
+      in
+      (* macro rate balance: producers and consumers move the same number
+         of tokens across the edge each macro steady state *)
+      let* () =
+        if steady <> consumed then
+          Error
+            (Printf.sprintf
+               "edge %s: %d tokens produced but %d consumed per steady state"
+               (edge_name e) steady consumed)
+        else Ok ()
+      in
+      (* eq. (10): push map is a bijection on each instance region *)
+      let* () =
+        check_bijection
+          ~what:(Printf.sprintf "edge %s push map" (edge_name e))
+          region
+          (Swp_core.Buffer_layout.addr_of_token ~push_rate ~threads:prod_threads)
+      in
+      (* eq. (11): pop map addressed with the consumer's rate is a
+         bijection on the whole macro steady state *)
+      let* () =
+        check_bijection
+          ~what:(Printf.sprintf "edge %s pop map" (edge_name e))
+          steady
+          (fun s ->
+            Swp_core.Buffer_layout.pop_index ~push_rate ~pop_rate
+              ~n:(s mod pop_rate) ~tid:(s / pop_rate))
+      in
+      (* eq. (9) composed with eq. (10): the host shuffle of a region is
+         still a permutation *)
+      let spr = region / Swp_core.Buffer_layout.cluster in
+      if spr > 0 && region mod Swp_core.Buffer_layout.cluster = 0 then
+        check_bijection
+          ~what:(Printf.sprintf "edge %s shuffle∘push" (edge_name e))
+          region
+          (fun s ->
+            Swp_core.Buffer_layout.shuffle ~steady_pop_rate:spr
+              (Swp_core.Buffer_layout.addr_of_token ~push_rate
+                 ~threads:prod_threads s))
+      else Ok ())
+    (Ok ()) g.Graph.edges
+
+(* The measured per-SM busy time may legitimately exceed the scheduled II
+   (profile-blind scatter costs — the imbalance the paper reports for DCT
+   and MatrixMult), so the checks here are the executor's own structural
+   promises, not a re-derivation of the schedule. *)
+let timing (c : Swp_core.Compile.compiled) =
+  let t = Swp_core.Executor.time_swp c in
+  let sched = c.Swp_core.Compile.schedule in
+  let err = ref None in
+  let fail m = if !err = None then err := Some m in
+  if Array.length t.Swp_core.Executor.sm_cycles
+     <> sched.Swp_core.Swp_schedule.num_sms
+  then fail "per-SM busy times not reported for every SM";
+  Array.iteri
+    (fun p busy ->
+      if busy < 0 then fail (Printf.sprintf "SM %d: negative busy time" p))
+    t.Swp_core.Executor.sm_cycles;
+  let busiest = Array.fold_left max 0 t.Swp_core.Executor.sm_cycles in
+  if t.Swp_core.Executor.ii_cycles < busiest then
+    fail
+      (Printf.sprintf "achieved II %d below the busiest SM's %d cycles"
+         t.Swp_core.Executor.ii_cycles busiest);
+  if t.Swp_core.Executor.ii_cycles < t.Swp_core.Executor.bus_cycles then
+    fail
+      (Printf.sprintf "achieved II %d below the bus-bound lower limit %d"
+         t.Swp_core.Executor.ii_cycles t.Swp_core.Executor.bus_cycles);
+  if t.Swp_core.Executor.bus_cycles < 0 then fail "negative bus cycles";
+  if t.Swp_core.Executor.kernel_cycles < t.Swp_core.Executor.ii_cycles then
+    fail "one kernel launch cheaper than a single II";
+  (match classify_float t.Swp_core.Executor.cycles_per_steady with
+  | FP_normal when t.Swp_core.Executor.cycles_per_steady > 0.0 -> ()
+  | _ -> fail "cycles per steady state not a positive finite number");
+  match !err with None -> Ok () | Some m -> Error m
+
+(* Cross-validation: when the heuristic found the schedule, the exact ILP
+   must agree that its II is feasible.  (The converse is not an invariant:
+   the heuristic is incomplete and may miss ILP-feasible IIs.)  Gated on
+   assignment-variable count so fuzzing stays fast. *)
+let cross_solver ?(max_assign_vars = 96) ?(node_budget = 2000)
+    (c : Swp_core.Compile.compiled) =
+  let stats = c.Swp_core.Compile.search_stats in
+  if stats.Swp_core.Ii_search.used_exact then Ok ()
+  else begin
+    let g = c.Swp_core.Compile.graph in
+    let cfg = c.Swp_core.Compile.config in
+    let sched = c.Swp_core.Compile.schedule in
+    let num_sms = sched.Swp_core.Swp_schedule.num_sms in
+    if Swp_core.Instances.num_instances cfg * num_sms > max_assign_vars then
+      Ok ()
+    else
+      match
+        Swp_core.Ilp.solve ~node_budget ~warm_start:sched g cfg ~num_sms
+          ~ii:sched.Swp_core.Swp_schedule.ii
+      with
+      | `Schedule _ | `Budget_exhausted -> Ok ()
+      | `Infeasible ->
+        Error
+          (Printf.sprintf
+             "heuristic schedule has II %d but the exact ILP calls that II \
+              infeasible — solver disagreement"
+             sched.Swp_core.Swp_schedule.ii)
+  end
+
+let all (c : Swp_core.Compile.compiled) =
+  let* () = schedule c in
+  let* () = layout c in
+  let* () = timing c in
+  cross_solver c

@@ -1,0 +1,233 @@
+(* Independent replay oracle for software-pipelined schedules.
+
+   Re-executes a compiled schedule the way the generated kernel would run
+   it — kernel iteration by kernel iteration, instances in start-offset
+   order — but against flat token-indexed channels instead of the ring
+   buffers and shuffled layouts of {!Swp_core.Funcsim}.  Every token
+   remembers who wrote it (SM, kernel iteration, completion time), and
+   every read enforces the visibility rules the ILP constraints promise:
+
+   - (8a), same SM: the producing pass must have {e completed} (its start
+     offset plus profiled delay) no later than the consumer starts;
+   - (8b), cross SM: the producing pass must have run in a strictly
+     earlier kernel iteration — within one iteration there is no
+     inter-SM synchronisation on the device.
+
+   A schedule that passes [Swp_schedule.validate] but violates either rule
+   in execution, or a buffer layout that permutes tokens incorrectly, will
+   make this leg disagree with the FIFO interpreter and the functional
+   simulator — the three legs share only the work-function evaluator. *)
+
+open Streamit
+open Types
+
+exception Violation of string
+
+type written = {
+  value : value;
+  w_sm : int;
+  w_iter : int;  (* kernel iteration of the writer *)
+  w_done : int;  (* global completion time: ii*iter + o + delay *)
+}
+
+type chan = {
+  edge : Graph.edge;
+  init : value array;
+  tokens : (int, written) Hashtbl.t;  (* produced-stream index -> token *)
+}
+
+let run (c : Swp_core.Compile.compiled) ~input ~iters =
+  let g = c.Swp_core.Compile.graph in
+  let cfg = c.Swp_core.Compile.config in
+  let sched = c.Swp_core.Compile.schedule in
+  let ii = sched.Swp_core.Swp_schedule.ii in
+  let stages = Swp_core.Swp_schedule.stages sched in
+  let chans =
+    List.map
+      (fun (e : Graph.edge) ->
+        ( e,
+          {
+            edge = e;
+            init = Array.of_list e.Graph.init_values;
+            tokens = Hashtbl.create 256;
+          } ))
+      g.Graph.edges
+  in
+  let in_chan v port =
+    List.find_map
+      (fun ((e : Graph.edge), ch) ->
+        if e.Graph.dst = v && e.Graph.dst_port = port then Some ch else None)
+      chans
+  in
+  let out_chan v port =
+    List.find_map
+      (fun ((e : Graph.edge), ch) ->
+        if e.Graph.src = v && e.Graph.src_port = port then Some ch else None)
+      chans
+  in
+  let out_tokens_per_iter =
+    match g.Graph.exit_ with
+    | None -> 0
+    | Some v ->
+      Graph.push_rate_of (Graph.node g v)
+      * cfg.Swp_core.Select.threads.(v)
+      * cfg.Swp_core.Select.reps.(v)
+  in
+  let out_tape = Array.make (max 1 (out_tokens_per_iter * iters)) None in
+  let node_state = Hashtbl.create 8 in
+  Array.iter
+    (fun (nd : Graph.node) ->
+      match nd.Graph.kind with
+      | Graph.NFilter f when Kernel.is_stateful f ->
+        Hashtbl.replace node_state nd.Graph.id
+          (List.map (fun (n, a) -> (n, Array.copy a)) f.Kernel.state)
+      | _ -> ())
+    g.Graph.nodes;
+  let edge_name (e : Graph.edge) =
+    Printf.sprintf "%s.%d -> %s.%d" (Graph.name g e.Graph.src) e.Graph.src_port
+      (Graph.name g e.Graph.dst) e.Graph.dst_port
+  in
+  let read_token ch ~sm ~w ~start c =
+    if c < Array.length ch.init then ch.init.(c)
+    else begin
+      let s = c - Array.length ch.init in
+      match Hashtbl.find_opt ch.tokens s with
+      | None ->
+        raise
+          (Violation
+             (Printf.sprintf "edge %s: token %d read before it is written"
+                (edge_name ch.edge) s))
+      | Some t ->
+        if t.w_sm <> sm && t.w_iter >= w then
+          raise
+            (Violation
+               (Printf.sprintf
+                  "edge %s: token %d written on SM %d in kernel iteration %d \
+                   but read on SM %d in the same (or earlier) iteration %d — \
+                   cross-SM data is only visible after a kernel boundary (8b)"
+                  (edge_name ch.edge) s t.w_sm t.w_iter sm w));
+        if t.w_sm = sm && t.w_done > start then
+          raise
+            (Violation
+               (Printf.sprintf
+                  "edge %s: token %d completes at t=%d on SM %d but is read \
+                   at t=%d — producer pass must finish first (8a)"
+                  (edge_name ch.edge) s t.w_done sm start));
+        t.value
+    end
+  in
+  let write_token ch ~sm ~w ~done_ s value =
+    if Hashtbl.mem ch.tokens s then
+      raise
+        (Violation
+           (Printf.sprintf "edge %s: token %d written twice" (edge_name ch.edge)
+              s));
+    Hashtbl.replace ch.tokens s { value; w_sm = sm; w_iter = w; w_done = done_ }
+  in
+  (* one thread-firing of instance (v,k) in steady iteration j, executing in
+     kernel iteration w on SM [sm], starting at global time [start] *)
+  let fire_thread ~sm ~w ~start ~done_ v k j tid =
+    let node = Graph.node g v in
+    let threads = cfg.Swp_core.Select.threads.(v) in
+    let is_entry = g.Graph.entry = Some v in
+    let is_exit = g.Graph.exit_ = Some v in
+    let in_base r =
+      ((j * cfg.Swp_core.Select.reps.(v)) + k) * (r * threads) + (tid * r)
+    in
+    let out_base r = in_base r in
+    let read_port port r n =
+      match in_chan v port with
+      | Some ch -> read_token ch ~sm ~w ~start (in_base r + n)
+      | None ->
+        if is_entry then input (in_base r + n)
+        else failwith "Replay: unwired input port"
+    in
+    let write_port port r n value =
+      match out_chan v port with
+      | Some ch -> write_token ch ~sm ~w ~done_ (out_base r + n) value
+      | None ->
+        if is_exit then begin
+          let idx = out_base r + n in
+          if idx < Array.length out_tape then out_tape.(idx) <- Some value
+        end
+        else failwith "Replay: unwired output port"
+    in
+    match node.Graph.kind with
+    | Graph.NFilter f ->
+      let pops = ref 0 in
+      let pushes = ref 0 in
+      let state =
+        match Hashtbl.find_opt node_state v with Some s -> s | None -> []
+      in
+      Interp.exec_filter_firing ~state f
+        ~pop:(fun () ->
+          let v = read_port 0 f.Kernel.pop_rate !pops in
+          incr pops;
+          v)
+        ~peek:(fun d -> read_port 0 f.Kernel.pop_rate (!pops + d))
+        ~push:(fun v ->
+          write_port 0 f.Kernel.push_rate !pushes v;
+          incr pushes)
+    | Graph.NSplitter (Ast.Duplicate, branches) ->
+      let v0 = read_port 0 1 0 in
+      for p = 0 to branches - 1 do
+        write_port p 1 0 v0
+      done
+    | Graph.NSplitter (Ast.Round_robin ws, _) ->
+      let sum = List.fold_left ( + ) 0 ws in
+      let consumed = ref 0 in
+      List.iteri
+        (fun p w ->
+          for n = 0 to w - 1 do
+            write_port p w n (read_port 0 sum !consumed);
+            incr consumed
+          done)
+        ws
+    | Graph.NJoiner ws ->
+      let sum = List.fold_left ( + ) 0 ws in
+      let produced = ref 0 in
+      List.iteri
+        (fun p w ->
+          for n = 0 to w - 1 do
+            write_port 0 sum !produced (read_port p w n);
+            incr produced
+          done)
+        ws
+  in
+  (* global time order: kernel iteration, then start offset; ties broken
+     deterministically (instances tied on (w, o) are causally unordered —
+     the read checks above hold for any tie order) *)
+  let ordered =
+    List.sort
+      (fun (a : Swp_core.Swp_schedule.entry) (b : Swp_core.Swp_schedule.entry) ->
+        compare
+          (a.Swp_core.Swp_schedule.o, a.Swp_core.Swp_schedule.sm,
+           a.Swp_core.Swp_schedule.inst)
+          (b.Swp_core.Swp_schedule.o, b.Swp_core.Swp_schedule.sm,
+           b.Swp_core.Swp_schedule.inst))
+      sched.Swp_core.Swp_schedule.entries
+  in
+  for w = 0 to iters + stages - 1 do
+    List.iter
+      (fun (e : Swp_core.Swp_schedule.entry) ->
+        let v = e.Swp_core.Swp_schedule.inst.Swp_core.Instances.node in
+        let k = e.Swp_core.Swp_schedule.inst.Swp_core.Instances.k in
+        let j = w - e.Swp_core.Swp_schedule.f in
+        if j >= 0 && j < iters then begin
+          let start = (ii * w) + e.Swp_core.Swp_schedule.o in
+          let done_ = start + cfg.Swp_core.Select.delay.(v) in
+          for tid = 0 to cfg.Swp_core.Select.threads.(v) - 1 do
+            fire_thread ~sm:e.Swp_core.Swp_schedule.sm ~w ~start ~done_ v k j
+              tid
+          done
+        end)
+      ordered
+  done;
+  if out_tokens_per_iter = 0 then []
+  else
+    List.init (out_tokens_per_iter * iters) (fun i ->
+        match out_tape.(i) with
+        | Some v -> v
+        | None ->
+          raise
+            (Violation (Printf.sprintf "output token %d never written" i)))

@@ -1,0 +1,105 @@
+(* Greedy counterexample shrinker.
+
+   Given a failing stream and the property "still fails", repeatedly tries
+   one-step structural reductions — drop a pipeline stage, collapse a
+   split-join to one branch, drop a branch, unwrap a feedback loop, replace
+   a filter by a trivial one, halve a filter's rates — and commits the
+   first reduction that keeps the failure alive, until no reduction does.
+   Candidates that are not admissible programs are skipped (the property
+   never sees them), so shrinking cannot trade a real failure for a
+   front-end rejection. *)
+
+open Streamit
+
+let simple_filter ~name ~pop ~push =
+  let p = pop and u = push in
+  let open Kernel.Build in
+  let body =
+    [ arr "w" p ]
+    @ List.init p (fun j -> seti "w" (i j) Kernel.Pop)
+    @ List.init u (fun j -> Kernel.Push (geti "w" (i (j mod p))))
+  in
+  Kernel.make_filter ~name ~pop:p ~push:u body
+
+let is_trivial (f : Kernel.filter) =
+  f.Kernel.pop_rate = 1 && f.Kernel.push_rate = 1 && f.Kernel.peek_rate = 1
+  && f.Kernel.state = [] && f.Kernel.tables = []
+
+let drop_nth i l = List.filteri (fun j _ -> j <> i) l
+let set_nth i x l = List.mapi (fun j y -> if j = i then x else y) l
+
+(* all single-step reductions of [s], roughly most-aggressive first *)
+let rec reductions s =
+  match s with
+  | Ast.Filter f ->
+    let smaller =
+      let p = max 1 (f.Kernel.pop_rate / 2) in
+      let u = max 1 (f.Kernel.push_rate / 2) in
+      if
+        (p, u) <> (f.Kernel.pop_rate, f.Kernel.push_rate)
+        || Kernel.is_stateful f || Kernel.is_peeking f
+      then [ Ast.Filter (simple_filter ~name:(f.Kernel.name ^ "s") ~pop:p ~push:u) ]
+      else []
+    in
+    if is_trivial f then []
+    else smaller @ [ Ast.Filter (Kernel.identity ()) ]
+  | Ast.Pipeline (n, ss) ->
+    let drops =
+      if List.length ss > 1 then
+        List.mapi (fun i _ -> Ast.Pipeline (n, drop_nth i ss)) ss
+      else []
+    in
+    let unwrap = match ss with [ s0 ] -> [ s0 ] | _ -> [] in
+    let recurse =
+      List.concat
+        (List.mapi
+           (fun i si ->
+             List.map (fun si' -> Ast.Pipeline (n, set_nth i si' ss)) (reductions si))
+           ss)
+    in
+    drops @ unwrap @ recurse
+  | Ast.Split_join (n, sp, bs, jw) ->
+    let singletons = bs in
+    let drops =
+      if List.length bs > 2 then
+        List.mapi
+          (fun i _ ->
+            let sp' =
+              match sp with
+              | Ast.Duplicate -> Ast.Duplicate
+              | Ast.Round_robin ws -> Ast.Round_robin (drop_nth i ws)
+            in
+            Ast.Split_join (n, sp', drop_nth i bs, drop_nth i jw))
+          bs
+      else []
+    in
+    let recurse =
+      List.concat
+        (List.mapi
+           (fun i bi ->
+             List.map
+               (fun bi' -> Ast.Split_join (n, sp, set_nth i bi' bs, jw))
+               (reductions bi))
+           bs)
+    in
+    singletons @ drops @ recurse
+  | Ast.Feedback_loop ({ body; _ } as fb) ->
+    body
+    :: List.map (fun b -> Ast.Feedback_loop { fb with body = b }) (reductions body)
+
+(* [shrink ~still_fails s] returns the reduced stream and the number of
+   successful reduction steps.  [still_fails] is only called on admissible
+   candidates; a step budget bounds pathological cases. *)
+let shrink ?(max_steps = 64) ~still_fails s =
+  let rec go s steps =
+    if steps >= max_steps then (s, steps)
+    else
+      match
+        List.find_opt
+          (fun cand -> Gen.admissible cand && still_fails cand)
+          (reductions s)
+      with
+      | Some smaller -> go smaller (steps + 1)
+      | None -> (s, steps)
+  in
+  go s 0

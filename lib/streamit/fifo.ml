@@ -57,7 +57,10 @@ let to_list q = List.init q.len (peek q)
 let clear q =
   Array.fill q.buf 0 (Array.length q.buf) None;
   q.head <- 0;
-  q.len <- 0
+  q.len <- 0;
+  q.pushed <- 0;
+  q.popped <- 0;
+  q.high <- 0
 
 let total_pushed q = q.pushed
 let total_popped q = q.popped

@@ -1,10 +1,19 @@
 let cluster = 128
 
-let push_index ~rate ~n ~tid =
-  (cluster * n) + (tid / cluster * cluster * rate) + (tid mod cluster)
+(* Eq. (10): the producer's coalesced write map.  Shared with the memory
+   simulator's index shuffler so the two definitions cannot drift. *)
+let push_index ~rate ~n ~tid = Gpusim.Coalesce.shuffled_index ~rate ~cluster ~n tid
 
-let pop_index ~rate ~n ~tid =
-  (cluster * n) + (tid / cluster * cluster * rate) + (tid mod cluster)
+(* Eq. (11): the consumer's read map.  Token [n] of consumer thread-firing
+   [tid] is stream token [s = tid*pop_rate + n], which lives wherever the
+   *producer's* layout (eq. 10) put it — so the address is computed from the
+   producer's push rate, not the consumer's pop rate.  When [tid] spans more
+   than one producer instance region the map extends region-periodically
+   (threads are a multiple of [cluster], so whole clusters never straddle a
+   region boundary). *)
+let pop_index ~push_rate ~pop_rate ~n ~tid =
+  let s = (tid * pop_rate) + n in
+  push_index ~rate:push_rate ~n:(s mod push_rate) ~tid:(s / push_rate)
 
 let addr_of_token ~push_rate ~threads s =
   if s < 0 || s >= push_rate * threads then

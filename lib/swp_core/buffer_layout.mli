@@ -17,11 +17,19 @@ val cluster : int
 (** Thread-cluster size: 128, the gcd of the candidate block sizes. *)
 
 val push_index : rate:int -> n:int -> tid:int -> int
-(** Eq. (11): address (within the instance's region) of the [n]-th token
-    pushed by thread [tid] of a filter with push rate [rate]. *)
+(** Eq. (10): address (within the instance's region) of the [n]-th token
+    pushed by thread [tid] of a filter with push rate [rate].  Delegates to
+    {!Gpusim.Coalesce.shuffled_index} — the two definitions cannot drift. *)
 
-val pop_index : rate:int -> n:int -> tid:int -> int
-(** Eq. (10), same shape on the pop side. *)
+val pop_index : push_rate:int -> pop_rate:int -> n:int -> tid:int -> int
+(** Eq. (11), the pop side: address of the [n]-th token popped by consumer
+    thread-firing [tid] when the consumer pops [pop_rate] tokens per firing
+    from a producer that laid the stream out with [push_rate].  This is the
+    producer's eq.-(10) layout addressed at stream token
+    [s = tid*pop_rate + n]; when [pop_rate = push_rate] it coincides with
+    [push_index].  [tid] may span several producer instance regions — the
+    map extends region-periodically provided the producer's thread count is
+    a multiple of {!cluster}. *)
 
 val addr_of_token :
   push_rate:int -> threads:int -> int -> int

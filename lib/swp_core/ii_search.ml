@@ -47,7 +47,14 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
      derive it once and reuse it across every attempt (and the MII bound). *)
   let insts = Instances.instances cfg in
   let deps = Instances.deps g cfg in
-  let lb = Mii.lower_bound ~deps g cfg ~num_sms in
+  match
+    (try Ok (Mii.lower_bound ~deps g cfg ~num_sms)
+     with Mii.Unschedulable m -> Error m)
+  with
+  | Error m ->
+    Obs.Metrics.inc m_failures;
+    Error ("unschedulable at any II: " ^ m)
+  | Ok lb ->
   Obs.Trace.add_attr "lower_bound" (Obs.Trace.Int lb);
   (* the exact ILP is only worth its cost near the II lower bound, where
      the heuristic's packing granularity is the limiting factor *)

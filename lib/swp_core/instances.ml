@@ -70,31 +70,37 @@ let deps g (cfg : Select.config) =
     (fun (e : Streamit.Graph.edge) ->
       let u = e.src and v = e.dst in
       let o', i', m' = edge_macro_rates g cfg e in
+      let init = e.Streamit.Graph.init_tokens in
       let ku = cfg.reps.(u) in
       for k = 0 to cfg.reps.(v) - 1 do
-        (* Producer firing indices covering tokens (k*I' + 1 .. k*I'+I'):
-           idx ranges over ceil((k*I' + l - m' - O') / O') for l in
-           [1, I'] — a contiguous integer interval. *)
-        let lo = Intmath.cdiv ((k * i') + 1 - m' - o') o' in
+        (* Producer firing indices covering the consumer instance's read
+           window.  The window's lower end is its first pop, shifted back
+           by the full initial-token count; only the upper end additionally
+           extends by the peek margin (each thread reads [peek - pop]
+           tokens past its pop window), which is what [m' = init - margin]
+           encodes.  Both bounds are ceil((c - O') / O') for the boundary
+           consumed coordinates — a contiguous integer interval. *)
+        let lo = Intmath.cdiv ((k * i') + 1 - init - o') o' in
         let hi = Intmath.cdiv ((k * i') + i' - m' - o') o' in
         for idx = lo to hi do
-          (* idx < 0 would mean the demand is covered by initial tokens
-             alone; no producer instance is involved. *)
-          if idx >= 0 then begin
-            let k' = Intmath.emod idx ku in
-            let jlag = Intmath.fdiv idx ku in
-            let key = (u, k', v, k, jlag) in
-            if not (Hashtbl.mem seen key) then begin
-              Hashtbl.replace seen key ();
-              out :=
-                {
-                  src = { node = u; k = k' };
-                  dst = { node = v; k };
-                  jlag;
-                  d_src = cfg.delay.(u);
-                }
-                :: !out
-            end
+          (* A negative idx is served by initial tokens in the first
+             steady-state iteration only; from iteration |idx/ku| onwards
+             it is a real token the producer wrote |jlag| iterations
+             earlier, so it is emitted with that (negative) jlag rather
+             than dropped. *)
+          let k' = Intmath.emod idx ku in
+          let jlag = Intmath.fdiv idx ku in
+          let key = (u, k', v, k, jlag) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            out :=
+              {
+                src = { node = u; k = k' };
+                dst = { node = v; k };
+                jlag;
+                d_src = cfg.delay.(u);
+              }
+              :: !out
           end
         done
       done)

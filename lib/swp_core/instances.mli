@@ -3,16 +3,19 @@
     The fundamental schedulable entity is one {e instance} — the [k]-th
     macro firing of a node in the steady state.  For every edge [(u,v)]
     this module computes, per consumer instance, the exact set of producer
-    instances it depends on (eq. (5)), expressed as [(k', jlag)] pairs
-    where [jlag <= 0] says the producer fires [|jlag|] steady-state
-    iterations earlier (the derivation leading to eq. (6)). *)
+    instances it depends on (eq. (5)), expressed as [(k', jlag)] pairs:
+    the consumer of steady-state iteration [j] reads tokens the producer
+    wrote in iteration [j + jlag] (the derivation leading to eq. (6)).
+    [jlag] is negative when initial tokens shift the demand onto earlier
+    iterations, zero for ordinary feed-forward edges, and positive when a
+    peek margin reaches into the next iteration's production. *)
 
 type instance = { node : int; k : int }
 
 type dep = {
   src : instance;      (** producer instance *)
   dst : instance;      (** consumer instance *)
-  jlag : int;          (** producer iteration offset, always <= 0 *)
+  jlag : int;          (** producer iteration offset relative to the consumer *)
   d_src : int;         (** producer delay, cycles *)
 }
 

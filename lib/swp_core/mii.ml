@@ -28,6 +28,8 @@ let feasible_at cfg iedges t =
   done;
   not !changed
 
+exception Unschedulable of string
+
 let rec_mii ?deps g cfg =
   let deps = match deps with Some l -> l | None -> Instances.deps g cfg in
   let iedges =
@@ -40,11 +42,24 @@ let rec_mii ?deps g cfg =
      dependence DAG is acyclic and RecMII is 0. *)
   if feasible_at cfg iedges 0 then 0
   else begin
-    let hi = ref 1 in
-    while not (feasible_at cfg iedges !hi) do
-      hi := !hi * 2
-    done;
-    let lo = ref (!hi / 2) in
+    (* Feasibility is monotone in T: a cycle of weight sum(d) + T*sum(jlag)
+       stays positive forever when sum(jlag) >= 0 and clears once
+       T >= sum(d)/|sum(jlag)| otherwise.  So a satisfiable system needs at
+       most T = sum of all positive delays (every cycle's delay sum divided
+       by |sum(jlag)| >= 1 is below that).  Probe the cap before searching:
+       a cycle whose jlag terms cancel — a feedback loop whose initial
+       tokens cannot cover one blocked iteration — is infeasible at every
+       T, and an unbounded doubling search would never terminate on it. *)
+    let t_cap =
+      List.fold_left (fun acc (_, _, d, _) -> acc + max 0 d) 1 iedges
+    in
+    if not (feasible_at cfg iedges t_cap) then
+      raise
+        (Unschedulable
+           "dependence cycle with no loop-carried slack: a feedback loop's \
+            initial tokens cannot cover one blocked iteration at the \
+            selected scaling");
+    let lo = ref 0 and hi = ref t_cap in
     while !hi - !lo > 1 do
       let mid = (!lo + !hi) / 2 in
       if feasible_at cfg iedges mid then hi := mid else lo := mid

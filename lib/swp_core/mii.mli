@@ -8,11 +8,20 @@
 
 val res_mii : Select.config -> num_sms:int -> int
 
+exception Unschedulable of string
+(** Raised by {!rec_mii} (and {!lower_bound}) when a dependence cycle is
+    infeasible at {e every} T — its [jlag] terms sum to zero or more, so
+    the [T*jlag] slack cancels around the cycle and the positive delays
+    remain.  This happens when a feedback loop's initial tokens cannot
+    cover one blocked iteration at the selected scaling; such a graph has
+    no software-pipelined schedule at any II. *)
+
 val rec_mii : ?deps:Instances.dep list -> Streamit.Graph.t -> Select.config -> int
 (** Smallest T for which the dependence-difference system
     [A_dst - A_src >= d_src + T*jlag] admits a solution, found by binary
     search with Bellman-Ford positive-cycle detection.  0 when the
-    instance dependence graph is acyclic. *)
+    instance dependence graph is acyclic.  @raise Unschedulable when no T
+    is feasible. *)
 
 val lower_bound :
   ?deps:Instances.dep list ->

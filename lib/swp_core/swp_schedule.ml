@@ -72,16 +72,21 @@ let validate g t =
                  dep.src.Instances.k
                  (Streamit.Graph.name g dep.dst.Instances.node)
                  dep.dst.Instances.k a_dst a_src t.ii dep.jlag dep.d_src);
-          (* cross-SM producers are only visible one iteration later *)
-          if es.sm <> ed.sm && ed.f < es.f + dep.jlag + 1 then
+          (* (8b) cross-SM producers are only visible one iteration later:
+             T*fv + ov >= T*(jlag + fu + 1).  The offset term matters at the
+             boundary: the ILP admits fv = jlag + fu + 1 with ov = 0, and a
+             stage-only test (fv < fu + jlag + 1) silently diverges from the
+             ILP as soon as offsets enter the comparison. *)
+          if es.sm <> ed.sm && (t.ii * ed.f) + ed.o < t.ii * (dep.jlag + es.f + 1)
+          then
             fail
               (Printf.sprintf
-                 "cross-SM dependence (%s,%d) -> (%s,%d) lacks an iteration of \
-                  separation"
+                 "cross-SM dependence (%s,%d) -> (%s,%d) violates (8b): \
+                  %d*%d + %d < %d*(%d + %d + 1)"
                  (Streamit.Graph.name g dep.src.Instances.node)
                  dep.src.Instances.k
                  (Streamit.Graph.name g dep.dst.Instances.node)
-                 dep.dst.Instances.k)
+                 dep.dst.Instances.k t.ii ed.f ed.o t.ii dep.jlag es.f)
         | _ -> fail "dependence references unscheduled instance")
       (Instances.deps g cfg);
   match !err with None -> Ok () | Some m -> Error m

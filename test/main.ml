@@ -14,4 +14,5 @@ let () =
       ("funcsim", Test_funcsim.suite);
       ("stateful", Test_stateful.suite);
       ("obs", Test_obs.suite);
+      ("check", Test_check.suite);
     ]

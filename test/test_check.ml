@@ -1,0 +1,384 @@
+(* Tests for the lib/check fuzzing subsystem, plus minimized regression
+   tests for the bugs the fuzzer flushed out in this round:
+
+   - Fifo.clear left the lifetime counters stale;
+   - Buffer_layout.pop_index ignored the producer's layout (eq. 11);
+   - Instances.deps shifted the dependence window's lower bound by the
+     peek margin, dropping real dependences (and dropped every
+     initial-token-covered dependence instead of emitting its negative
+     jlag);
+   - Mii.rec_mii diverged on dependence cycles with no loop-carried slack
+     (feedback loops whose initial tokens cannot cover one blocked
+     iteration).  *)
+
+open Streamit
+
+let t name f = Alcotest.test_case name `Quick f
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ---- deterministic filter constructors ------------------------------- *)
+
+let simple ~name ~pop ~push = Check.Shrink.simple_filter ~name ~pop ~push
+
+let peeker ~name ~pop ~push ~peek =
+  let p = pop and u = push and pk = peek in
+  let open Kernel.Build in
+  let body =
+    [
+      arr "w" pk;
+      for_ "j" (i 0) (i pk) [ seti "w" (v "j") (Kernel.Build.peek (v "j")) ];
+    ]
+    @ List.init p (fun j -> let_ (Printf.sprintf "d%d" j) Kernel.Pop)
+    @ List.init u (fun j ->
+          Kernel.Push
+            (geti "w" (i (j mod pk)) +: geti "w" (i ((j + 1) mod pk))))
+  in
+  Kernel.make_filter ~name ~pop:p ~push:u ~peek:pk body
+
+let input i = Types.VFloat (float_of_int (i mod 13))
+
+(* ---- Fifo.clear regression ------------------------------------------- *)
+
+let fifo_clear () =
+  let q = Fifo.create () in
+  Fifo.push_many q [ 1; 2; 3 ];
+  ignore (Fifo.pop q);
+  Fifo.clear q;
+  Alcotest.(check int) "length" 0 (Fifo.length q);
+  Alcotest.(check int) "total_pushed" 0 (Fifo.total_pushed q);
+  Alcotest.(check int) "total_popped" 0 (Fifo.total_popped q);
+  Alcotest.(check int) "max_occupancy" 0 (Fifo.max_occupancy q);
+  (* and the channel is fully usable again *)
+  Fifo.push q 7;
+  Alcotest.(check int) "reuse pop" 7 (Fifo.pop q);
+  Alcotest.(check int) "reuse total_pushed" 1 (Fifo.total_pushed q)
+
+(* ---- layout map properties (QCheck) ---------------------------------- *)
+
+(* Eq. (10): the push map permutes the region [0, rate*threads). *)
+let push_map_bijection =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"push map is a bijection on its region" ~count:60
+       QCheck.(pair (int_range 1 16) (int_range 1 4))
+       (fun (rate, tmul) ->
+         let threads = 128 * tmul in
+         let n_tokens = rate * threads in
+         let seen = Array.make n_tokens false in
+         for tid = 0 to threads - 1 do
+           for n = 0 to rate - 1 do
+             let a = Swp_core.Buffer_layout.push_index ~rate ~n ~tid in
+             if a < 0 || a >= n_tokens || seen.(a) then
+               QCheck.Test.fail_reportf "collision/out-of-range at %d" a;
+             seen.(a) <- true
+           done
+         done;
+         Array.for_all Fun.id seen))
+
+(* The push map must be the device shuffle (9) — one definition, eq. (10),
+   shared with the memory simulator. *)
+let push_map_is_shuffle =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"push map agrees with Coalesce.shuffled_index" ~count:60
+       QCheck.(triple (int_range 1 16) (int_range 1 4) (int_range 0 4095))
+       (fun (rate, tmul, pick) ->
+         let threads = 128 * tmul in
+         let tid = pick mod threads in
+         let n = pick mod rate in
+         Swp_core.Buffer_layout.push_index ~rate ~n ~tid
+         = Gpusim.Coalesce.shuffled_index ~rate ~cluster:128 ~n tid))
+
+(* Eq. (11) on a rate-matched edge: popping through the producer's layout
+   visits every region slot exactly once. *)
+let pop_map_bijection =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"pop map is a bijection (rate-matched)" ~count:40
+       QCheck.(pair (int_range 1 12) (int_range 1 4))
+       (fun (rate, tmul) ->
+         let threads = 128 * tmul in
+         let n_tokens = rate * threads in
+         let seen = Array.make n_tokens false in
+         for tid = 0 to threads - 1 do
+           for n = 0 to rate - 1 do
+             let a =
+               Swp_core.Buffer_layout.pop_index ~push_rate:rate ~pop_rate:rate
+                 ~n ~tid
+             in
+             if a < 0 || a >= n_tokens || seen.(a) then
+               QCheck.Test.fail_reportf "collision/out-of-range at %d" a;
+             seen.(a) <- true
+           done
+         done;
+         Array.for_all Fun.id seen))
+
+(* Multirate: the pop map must address the *producer's* layout at stream
+   token s = tid*pop + n, for any (push, pop) rate pair. *)
+let pop_map_multirate =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"pop map addresses the producer's layout"
+       ~count:100
+       QCheck.(
+         triple (int_range 1 8) (int_range 1 8) (pair (int_range 0 511) (int_range 0 7)))
+       (fun (push_rate, pop_rate, (tid, n0)) ->
+         let n = n0 mod pop_rate in
+         let s = (tid * pop_rate) + n in
+         Swp_core.Buffer_layout.pop_index ~push_rate ~pop_rate ~n ~tid
+         = Swp_core.Buffer_layout.push_index ~rate:push_rate
+             ~n:(s mod push_rate) ~tid:(s / push_rate)))
+
+(* ---- Swp_schedule.validate (8b) boundary ----------------------------- *)
+
+(* Hand-built two-filter pipeline and config so the dependence set is the
+   single edge dep (A,0) -> (B,0) with jlag 0 plus nothing else; then
+   probe validate at the exact (8a)/(8b) boundaries. *)
+let boundary_fixture () =
+  let s =
+    Ast.pipeline "p"
+      [
+        Ast.Filter (simple ~name:"A" ~pop:1 ~push:1);
+        Ast.Filter (simple ~name:"B" ~pop:1 ~push:1);
+      ]
+  in
+  let g = Flatten.flatten s in
+  let cfg =
+    {
+      Swp_core.Select.regs = 16;
+      block_threads = 512;
+      threads = [| 512; 512 |];
+      delay = [| 10; 10 |];
+      reps = [| 1; 1 |];
+      scale = 1;
+      norm_ii = 0.0;
+    }
+  in
+  (g, cfg)
+
+let mk_sched cfg ~ii entries =
+  {
+    Swp_core.Swp_schedule.ii;
+    entries =
+      List.map
+        (fun (node, sm, o, f) ->
+          {
+            Swp_core.Swp_schedule.inst = { Swp_core.Instances.node; k = 0 };
+            sm;
+            o;
+            f;
+          })
+        entries;
+    num_sms = 2;
+    config = cfg;
+  }
+
+let validate_8b_boundary () =
+  let g, cfg = boundary_fixture () in
+  let ok s = Alcotest.(check bool) "valid" true (Swp_core.Swp_schedule.validate g s = Ok ()) in
+  let err part s =
+    match Swp_core.Swp_schedule.validate g s with
+    | Ok () -> Alcotest.failf "expected %s violation" part
+    | Error m ->
+      if not (contains_sub m part) then
+        Alcotest.failf "expected %s in error, got: %s" part m
+  in
+  (* cross-SM at the boundary: T*fv + ov = T*(jlag + fu + 1) exactly *)
+  ok (mk_sched cfg ~ii:50 [ (0, 0, 0, 0); (1, 1, 0, 1) ]);
+  (* cross-SM with slack in the offset *)
+  ok (mk_sched cfg ~ii:50 [ (0, 0, 0, 0); (1, 1, 30, 1) ]);
+  (* cross-SM one stage short: any in-range offset is below the boundary *)
+  err "(8b)" (mk_sched cfg ~ii:50 [ (0, 0, 0, 0); (1, 1, 39, 0) ]);
+  (* same SM at the (8a) boundary: a_dst = a_src + d_src *)
+  ok (mk_sched cfg ~ii:50 [ (0, 0, 0, 0); (1, 0, 10, 0) ]);
+  (* same SM one cycle short of the producer's delay *)
+  err "violated" (mk_sched cfg ~ii:50 [ (0, 0, 0, 0); (1, 0, 9, 0) ])
+
+(* ---- Instances.deps peek-margin regression --------------------------- *)
+
+let deps_of g =
+  match Swp_core.Compile.compile g with
+  | Error m -> Alcotest.failf "compile failed: %s" m
+  | Ok c -> (c, Swp_core.Instances.deps g c.Swp_core.Compile.config)
+
+let has_dep deps ~src ~src_k ~dst ~dst_k ~jlag =
+  List.exists
+    (fun (d : Swp_core.Instances.dep) ->
+      d.Swp_core.Instances.src.Swp_core.Instances.node = src
+      && d.Swp_core.Instances.src.Swp_core.Instances.k = src_k
+      && d.Swp_core.Instances.dst.Swp_core.Instances.node = dst
+      && d.Swp_core.Instances.dst.Swp_core.Instances.k = dst_k
+      && d.Swp_core.Instances.jlag = jlag)
+    deps
+
+(* A(push 1) -> B(pop 2, peek 4).  Flatten materialises the peek margin as
+   two initial tokens, so consumer instance 0 reaches two tokens back into
+   the previous iteration's producer instance 1: the dependence
+   (A,1) -[jlag -1]-> (B,0) must exist.  The pre-fix window shifted its
+   lower bound by the peek margin and dropped it. *)
+let deps_peek_lower_bound () =
+  let s =
+    Ast.pipeline "p"
+      [
+        Ast.Filter (simple ~name:"A" ~pop:1 ~push:1);
+        Ast.Filter (peeker ~name:"B" ~pop:2 ~push:1 ~peek:4);
+      ]
+  in
+  let g = Flatten.flatten s in
+  let c, deps = deps_of g in
+  Alcotest.(check bool)
+    "loop-carried peek dep present" true
+    (has_dep deps ~src:0 ~src_k:1 ~dst:1 ~dst_k:0 ~jlag:(-1));
+  Alcotest.(check bool)
+    "same-iteration deps present" true
+    (has_dep deps ~src:0 ~src_k:0 ~dst:1 ~dst_k:0 ~jlag:0
+    && has_dep deps ~src:0 ~src_k:1 ~dst:1 ~dst_k:0 ~jlag:0);
+  match Swp_core.Funcsim.matches_interpreter c ~input ~iters:2 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "funcsim diverged: %s" m
+
+(* The shape fuzz seed 76 shrank to: a duplicate split-join whose peeking
+   branch is offset against the splitter's instances, so the straddling
+   dependences (splitter,1)->(B,1) and (splitter,3)->(B,2) only appear
+   with the corrected window. *)
+let deps_splitjoin_peek () =
+  let s =
+    Ast.pipeline "p"
+      [
+        Ast.Filter (simple ~name:"F1" ~pop:1 ~push:1);
+        Ast.Filter (simple ~name:"F2" ~pop:1 ~push:2);
+        Ast.duplicate_sj "sj"
+          [
+            Ast.pipeline "pb"
+              [
+                Ast.Filter (simple ~name:"F3" ~pop:3 ~push:2);
+                Ast.Filter (simple ~name:"F5" ~pop:1 ~push:2);
+              ];
+            Ast.Filter (peeker ~name:"B7" ~pop:2 ~push:3 ~peek:4);
+          ]
+          [ 8; 9 ];
+      ]
+  in
+  let g = Flatten.flatten s in
+  let c, deps = deps_of g in
+  (* locate the splitter and the peeking filter by structure, not by id *)
+  let b7 = ref (-1) and sj = ref (-1) in
+  Array.iter
+    (fun (nd : Graph.node) ->
+      match nd.Graph.kind with
+      | Graph.NFilter f when f.Kernel.name = "B7" -> b7 := nd.Graph.id
+      | Graph.NSplitter _ -> sj := nd.Graph.id
+      | _ -> ())
+    g.Graph.nodes;
+  Alcotest.(check bool)
+    "straddling dependences present" true
+    (has_dep deps ~src:!sj ~src_k:1 ~dst:!b7 ~dst_k:1 ~jlag:0
+    && has_dep deps ~src:!sj ~src_k:3 ~dst:!b7 ~dst_k:2 ~jlag:0);
+  match Swp_core.Funcsim.matches_interpreter c ~input ~iters:2 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "funcsim diverged: %s" m
+
+(* ---- Mii termination regression -------------------------------------- *)
+
+(* A feedback loop whose two initial tokens cannot cover one blocked
+   (512-thread, scaled) iteration: the instance dependence graph has a
+   cycle whose jlag terms cancel, so no II is feasible.  Pre-fix the
+   RecMII doubling search diverged on exactly this graph (fuzz seed 5);
+   now it must be rejected with a diagnostic. *)
+let unschedulable_feedback () =
+  let s =
+    Ast.pipeline "p"
+      [
+        Ast.Filter (simple ~name:"F" ~pop:1 ~push:1);
+        Ast.Feedback_loop
+          {
+            name = "fb";
+            join_weights = (1, 1);
+            body = Ast.Filter (simple ~name:"L" ~pop:1 ~push:1);
+            split_weights = (2, 2);
+            delay = List.init 2 (fun i -> Types.VFloat (float_of_int i));
+          };
+      ]
+  in
+  let g = Flatten.flatten s in
+  match Swp_core.Compile.compile g with
+  | Ok _ -> Alcotest.fail "expected compile to reject the feedback loop"
+  | Error m ->
+    if not (contains_sub m "unschedulable") then
+      Alcotest.failf "expected an unschedulable diagnostic, got: %s" m
+
+(* ---- generator sanity ------------------------------------------------- *)
+
+let generator_admissible () =
+  for seed = 1 to 30 do
+    let s = Check.Gen.stream ~seed () in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d admissible" seed)
+      true
+      (Check.Gen.admissible s)
+  done
+
+let generator_deterministic () =
+  let a = Check.Gen.stream ~seed:7 () in
+  let b = Check.Gen.stream ~seed:7 () in
+  let str s = Format.asprintf "%a" Ast.pp s in
+  Alcotest.(check string) "same program" (str a) (str b)
+
+(* ---- shrinker --------------------------------------------------------- *)
+
+let shrinker_reduces () =
+  (* a property failing on any program with >= 2 nodes must shrink a
+     four-stage pipeline to exactly two (one filter cannot keep the
+     failure alive) *)
+  let s =
+    Ast.pipeline "p"
+      (List.init 4 (fun i ->
+           Ast.Filter
+             (simple ~name:(Printf.sprintf "S%d" i) ~pop:(1 + (i mod 2)) ~push:1)))
+  in
+  let count s =
+    let g = Flatten.flatten s in
+    Array.length g.Graph.nodes
+  in
+  let still_fails cand = count cand >= 2 in
+  let small, steps = Check.Shrink.shrink ~still_fails s in
+  Alcotest.(check bool) "took steps" true (steps > 0);
+  Alcotest.(check int) "minimal" 2 (count small)
+
+(* ---- fixed-seed differential smoke ----------------------------------- *)
+
+(* The pinned-seed fuzz run: every seed must pass or be skipped for a
+   legitimate reason; a failure aborts the suite with the shrunk
+   counterexample pretty-printed. *)
+let fuzz_smoke () =
+  let stats, failures = Check.Fuzz.run ~seeds:20 ~base_seed:1 () in
+  List.iter
+    (fun f -> Format.eprintf "%a@." Check.Fuzz.pp_failure f)
+    failures;
+  (match failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "fuzz failure (seed %d): %s" f.Check.Fuzz.seed
+      f.Check.Fuzz.message);
+  Alcotest.(check int) "all seeds accounted" 20
+    (stats.Check.Fuzz.passed + stats.Check.Fuzz.skipped);
+  Alcotest.(check bool) "most seeds exercised the pipeline" true
+    (stats.Check.Fuzz.passed >= 8)
+
+let suite =
+  [
+    t "fifo clear resets lifetime counters" fifo_clear;
+    push_map_bijection;
+    push_map_is_shuffle;
+    pop_map_bijection;
+    pop_map_multirate;
+    t "validate (8a)/(8b) boundaries" validate_8b_boundary;
+    t "deps include peek-margin window (regression)" deps_peek_lower_bound;
+    t "deps straddle split-join instances (regression)" deps_splitjoin_peek;
+    t "unschedulable feedback loop rejected (regression)" unschedulable_feedback;
+    t "generator emits admissible programs" generator_admissible;
+    t "generator is deterministic per seed" generator_deterministic;
+    t "shrinker reaches a minimal counterexample" shrinker_reduces;
+    t "differential fuzz smoke (pinned seeds)" fuzz_smoke;
+  ]

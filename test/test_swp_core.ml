@@ -305,16 +305,31 @@ let sched_tests =
 
 let layout_tests =
   [
-    t "push/pop index maps agree (eq. 10 = eq. 11 shape)" (fun () ->
+    t "pop map reduces to push map on rate-matched edges" (fun () ->
         for rate = 1 to 8 do
           for n = 0 to rate - 1 do
             for tid = 0 to 255 do
               Alcotest.(check int) "same"
                 (Buffer_layout.push_index ~rate ~n ~tid)
-                (Buffer_layout.pop_index ~rate ~n ~tid)
+                (Buffer_layout.pop_index ~push_rate:rate ~pop_rate:rate ~n ~tid)
             done
           done
         done);
+    t "pop map addresses the producer's layout (eq. 11, multirate)" (fun () ->
+        (* Consumer popping [i] per firing from a producer pushing [o] per
+           firing: token n of consumer firing tid is stream token
+           s = tid*i + n, stored at the producer's eq.-(10) address of s. *)
+        List.iter
+          (fun (o, i) ->
+            for tid = 0 to 511 do
+              for n = 0 to i - 1 do
+                let s = (tid * i) + n in
+                Alcotest.(check int) "producer layout"
+                  (Buffer_layout.push_index ~rate:o ~n:(s mod o) ~tid:(s / o))
+                  (Buffer_layout.pop_index ~push_rate:o ~pop_rate:i ~n ~tid)
+              done
+            done)
+          [ (1, 2); (2, 1); (2, 3); (3, 2); (4, 7); (8, 3) ]);
     t "layout is a bijection on each instance region" (fun () ->
         List.iter
           (fun (push_rate, threads) ->
