@@ -491,26 +491,45 @@ let smsweep () =
   List.iter (fun p -> Printf.printf " %8s" (Printf.sprintf "%d SMs" p)) sm_counts;
   print_newline ();
   line ();
+  (* the (benchmark, SM count) grid is embarrassingly parallel: each
+     cell is one full compile, fanned out over the global pool (serial
+     at the default --jobs 1) and printed in grid order afterwards *)
+  let names = [ "Bitonic"; "DES"; "FMRadio"; "DCT" ] in
+  let cells =
+    List.concat_map
+      (fun name ->
+        let e = Option.get (Benchmarks.Registry.find name) in
+        let graph = Flatten.flatten (e.Benchmarks.Registry.stream ()) in
+        List.map (fun num_sms -> (name, graph, num_sms)) sm_counts)
+      names
+  in
+  let results =
+    Par.Pool.map_auto
+      (fun (_, graph, num_sms) ->
+        match Swp_core.Compile.compile ~num_sms ~coarsening:8 graph with
+        | Error _ -> None
+        | Ok c ->
+          let gt = Swp_core.Executor.time_swp c in
+          (match
+             Swp_core.Executor.speedup ~arch ~graph
+               ~gpu_cycles_per_steady:gt.Swp_core.Executor.cycles_per_steady ()
+           with
+          | Ok s -> Some s
+          | Error _ -> None))
+      cells
+  in
   List.iter
     (fun name ->
-      let e = Option.get (Benchmarks.Registry.find name) in
-      let graph = Flatten.flatten (e.Benchmarks.Registry.stream ()) in
       Printf.printf "%-12s" name;
-      List.iter
-        (fun num_sms ->
-          match Swp_core.Compile.compile ~num_sms ~coarsening:8 graph with
-          | Error _ -> Printf.printf " %8s" "-"
-          | Ok c ->
-            let gt = Swp_core.Executor.time_swp c in
-            (match
-               Swp_core.Executor.speedup ~arch ~graph
-                 ~gpu_cycles_per_steady:gt.Swp_core.Executor.cycles_per_steady ()
-             with
-            | Ok s -> Printf.printf " %8.2f" s
-            | Error _ -> Printf.printf " %8s" "-"))
-        sm_counts;
+      List.iter2
+        (fun (n, _, _) r ->
+          if n = name then
+            match r with
+            | Some s -> Printf.printf " %8.2f" s
+            | None -> Printf.printf " %8s" "-")
+        cells results;
       print_newline ())
-    [ "Bitonic"; "DES"; "FMRadio"; "DCT" ];
+    names;
   line ();
   print_endline
     "compute-bound programs scale with SMs until the bus or pipeline depth\n\
@@ -594,6 +613,106 @@ let fuzzstats () =
   Format.printf "%a@?" Obs.Metrics.pp_text ();
   line ()
 
+(* --- Parallel-compilation wall-clock (BENCH_par.json) --- *)
+
+(* The whole registry compiled at SM counts 2/4/6/8, once serially and
+   once fanned out over the domain pool, with the profile cache cleared
+   between phases so both do the same work.  Besides the wall-clock
+   comparison this doubles as an end-to-end determinism check: the two
+   phases must produce identical schedules and byte-identical CUDA.
+
+   On a single-core host the parallel phase cannot win (domains
+   time-slice one core and pay the pool's coordination overhead on
+   top), so the host's core count is recorded alongside the numbers. *)
+
+let partime ~jobs =
+  Printf.printf
+    "\n=== Parallel compilation wall-clock (jobs=%d, %d core(s)) ===\n" jobs
+    (Domain.recommended_domain_count ());
+  line ();
+  let sm_counts = [ 2; 4; 6; 8 ] in
+  let benches =
+    List.map
+      (fun (e : Benchmarks.Registry.entry) ->
+        (e.name, Flatten.flatten (e.stream ())))
+      Benchmarks.Registry.all
+  in
+  let compile_one (graph, num_sms) =
+    match Swp_core.Compile.compile ~num_sms ~coarsening:8 graph with
+    | Error m -> failwith m
+    | Ok c ->
+      (c.Swp_core.Compile.schedule, Cudagen.Kernel_gen.program c)
+  in
+  let timed jobs tasks =
+    Par.Pool.set_jobs jobs;
+    Swp_core.Profile.clear_cache ();
+    let t0 = Unix.gettimeofday () in
+    let out = Par.Pool.map_auto compile_one tasks in
+    (Unix.gettimeofday () -. t0, out)
+  in
+  Printf.printf "%-12s %10s %10s %9s %10s\n" "Benchmark" "serial(s)"
+    "par(s)" "speedup" "identical";
+  line ();
+  let rows =
+    List.map
+      (fun (name, graph) ->
+        let tasks = List.map (fun sms -> (graph, sms)) sm_counts in
+        let serial_s, serial_out = timed 1 tasks in
+        let par_s, par_out = timed jobs tasks in
+        let identical = serial_out = par_out in
+        Printf.printf "%-12s %10.3f %10.3f %8.2fx %10s\n" name serial_s par_s
+          (serial_s /. par_s)
+          (if identical then "yes" else "NO");
+        (name, serial_s, par_s, identical))
+      benches
+  in
+  (* headline: the full 32-task grid in one fan-out *)
+  let grid =
+    List.concat_map
+      (fun (_, graph) -> List.map (fun sms -> (graph, sms)) sm_counts)
+      benches
+  in
+  let total_serial_s, _ = timed 1 grid in
+  let total_par_s, _ = timed jobs grid in
+  Par.Pool.set_jobs 1;
+  line ();
+  Printf.printf "%-12s %10.3f %10.3f %8.2fx\n" "TOTAL(grid)" total_serial_s
+    total_par_s
+    (total_serial_s /. total_par_s);
+  line ();
+  let oc = open_out "BENCH_par.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"note\": \"full registry compiled at num_sms in {2,4,6,8}, serial \
+     vs a %d-domain pool; 'identical' asserts byte-identical schedules and \
+     CUDA across the two runs; speedups only exceed 1 when the host has \
+     spare cores\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"benchmarks\": [\n"
+    jobs
+    (Domain.recommended_domain_count ())
+    jobs;
+  List.iteri
+    (fun i (name, s, p, identical) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"serial_s\": %.4f, \"parallel_s\": %.4f, \
+         \"speedup\": %.2f, \"identical\": %b}%s\n"
+        name s p (s /. p) identical
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"total\": {\"serial_s\": %.4f, \"parallel_s\": %.4f, \"speedup\": \
+     %.2f}\n\
+     }\n"
+    total_serial_s total_par_s
+    (total_serial_s /. total_par_s);
+  close_out oc;
+  Printf.printf "wrote BENCH_par.json (grid speedup %.2fx at jobs=%d)\n"
+    (total_serial_s /. total_par_s)
+    jobs
+
 (* --- Bechamel micro-benchmarks of the compiler itself --- *)
 
 let micro () =
@@ -646,7 +765,21 @@ let micro () =
     results
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let argv = List.tl (Array.to_list Sys.argv) in
+  (* --jobs N sets the domain-pool width for smsweep, and the parallel
+     phase's width for partime (which defaults to 4 either way) *)
+  let rec split_jobs = function
+    | "--jobs" :: n :: rest ->
+      let _, rest = split_jobs rest in
+      (Some (int_of_string n), rest)
+    | x :: rest ->
+      let jobs, rest = split_jobs rest in
+      (jobs, x :: rest)
+    | [] -> (None, [])
+  in
+  let jobs_opt, args = split_jobs argv in
+  (match jobs_opt with Some j -> Par.Pool.set_jobs j | None -> ());
+  let jobs = Option.value jobs_opt ~default:4 in
   let want x = args = [] || List.mem x args in
   let benches =
     if
@@ -664,4 +797,5 @@ let () =
   if want "coalesce" then coalesce_ablation ();
   if want "smsweep" then smsweep ();
   if want "fuzzstats" then fuzzstats ();
+  if want "partime" then partime ~jobs;
   if want "micro" then micro ()

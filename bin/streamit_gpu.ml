@@ -8,10 +8,13 @@
      run      <bench|file.str>   interpret N steady states, print outputs
      speedup  <bench|file.str>   SWP/SWPNC/Serial speedups vs the CPU model
      trace    <bench|file.str>   full pipeline under span tracing; Chrome JSON
+     sweep    <bench|file.str>   compile at several SM counts (--sms 2,4,6,8)
      list                        available built-in benchmarks
 
    compile/run/speedup/trace accept --metrics to dump the metrics
-   registry snapshot after the command. *)
+   registry snapshot after the command; compile/speedup/trace/sweep/fuzz
+   accept --jobs N to compile on an N-domain work pool (byte-identical
+   results to the serial pipeline). *)
 
 open Cmdliner
 open Streamit
@@ -74,6 +77,25 @@ let metrics_arg =
     value & flag
     & info [ "metrics" ]
         ~doc:"Print the metrics registry snapshot after the command.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Compile with an $(docv)-domain work pool (profiling sweep, \
+           configuration selection, speculative II probing).  Results are \
+           guaranteed byte-identical to the serial (N=1) pipeline.")
+
+let with_jobs jobs f =
+  if jobs < 1 then begin
+    Printf.eprintf "error: --jobs must be at least 1\n";
+    1
+  end
+  else begin
+    Par.Pool.set_jobs jobs;
+    f ()
+  end
 
 let dump_metrics metrics code =
   if metrics then Format.printf "%a@?" Obs.Metrics.pp_text ();
@@ -172,7 +194,8 @@ let coarsen_arg =
 
 let compile_cmd =
   let doc = "Compile through the full pipeline of Fig. 5; print the schedule." in
-  let run spec n metrics =
+  let run spec n jobs metrics =
+    with_jobs jobs @@ fun () ->
     dump_metrics metrics
     @@ with_graph spec (fun g _ ->
            match Swp_core.Compile.compile ~coarsening:n g with
@@ -198,7 +221,7 @@ let compile_cmd =
              0)
   in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ spec_arg $ coarsen_arg $ metrics_arg)
+    Term.(const run $ spec_arg $ coarsen_arg $ jobs_arg $ metrics_arg)
 
 (* --- emit --- *)
 
@@ -281,7 +304,8 @@ let buffers_cmd =
 
 let speedup_cmd =
   let doc = "Report SWP / SWPNC / Serial speedups over the CPU model (Fig. 10)." in
-  let run spec n metrics =
+  let run spec n jobs metrics =
+    with_jobs jobs @@ fun () ->
     dump_metrics metrics
     @@ with_graph spec (fun g _ ->
         match Swp_core.Compile.compile ~coarsening:n g with
@@ -324,7 +348,7 @@ let speedup_cmd =
           0)
   in
   Cmd.v (Cmd.info "speedup" ~doc)
-    Term.(const run $ spec_arg $ coarsen_arg $ metrics_arg)
+    Term.(const run $ spec_arg $ coarsen_arg $ jobs_arg $ metrics_arg)
 
 (* --- trace --- *)
 
@@ -341,7 +365,8 @@ let trace_cmd =
      Chrome trace-event JSON (load at ui.perfetto.dev) and print the span \
      tree."
   in
-  let run spec n out metrics =
+  let run spec n jobs out metrics =
+    with_jobs jobs @@ fun () ->
     Obs.Trace.reset ();
     Obs.Metrics.reset ();
     Obs.Trace.enable ();
@@ -377,7 +402,7 @@ let trace_cmd =
     end
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ spec_arg $ coarsen_arg $ out_arg $ metrics_arg)
+    Term.(const run $ spec_arg $ coarsen_arg $ jobs_arg $ out_arg $ metrics_arg)
 
 (* --- fuzz --- *)
 
@@ -406,13 +431,17 @@ let fuzz_cmd =
       & info [ "iters" ] ~docv:"ITERS"
           ~doc:"Macro steady-state iterations each oracle executes.")
   in
-  let run seeds base_seed iters metrics =
+  let run seeds base_seed iters jobs metrics =
     if seeds <= 0 then begin
       Printf.eprintf "error: --seeds must be positive\n";
       1
     end
+    else if jobs < 1 then begin
+      Printf.eprintf "error: --jobs must be at least 1\n";
+      1
+    end
     else begin
-      let stats, failures = Check.Fuzz.run ~iters ~base_seed ~seeds () in
+      let stats, failures = Check.Fuzz.run ~iters ~base_seed ~seeds ~jobs () in
       List.iter
         (fun f -> Format.printf "FAIL %a@.@." Check.Fuzz.pp_failure f)
         failures;
@@ -420,8 +449,78 @@ let fuzz_cmd =
       dump_metrics metrics (if failures = [] then 0 else 1)
     end
   in
+  let fuzz_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Shard the seed range across an $(docv)-domain pool.  Outcomes \
+             are identical to the serial run: the same seeds, the same \
+             failures, in the same order.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const run $ seeds_arg $ base_seed_arg $ iters_arg $ metrics_arg)
+    Term.(
+      const run $ seeds_arg $ base_seed_arg $ iters_arg $ fuzz_jobs_arg
+      $ metrics_arg)
+
+(* --- sweep --- *)
+
+let sweep_cmd =
+  let doc =
+    "Compile at several SM counts (pipeline-scalability ablation): one full \
+     compile per count, fanned out over the --jobs pool, reporting II, \
+     buffer bytes and speedup per count."
+  in
+  let sms_arg =
+    Arg.(
+      value & opt (list int) [ 2; 4; 6; 8 ]
+      & info [ "sms" ] ~docv:"N,..." ~doc:"Comma-separated SM counts.")
+  in
+  let run spec n sms jobs metrics =
+    with_jobs jobs @@ fun () ->
+    if List.exists (fun s -> s < 1) sms then begin
+      Printf.eprintf "error: --sms entries must be at least 1\n";
+      1
+    end
+    else
+      dump_metrics metrics
+      @@ with_graph spec (fun g _ ->
+             let results =
+               Par.Pool.map_auto
+                 (fun num_sms ->
+                   (num_sms, Swp_core.Compile.compile ~num_sms ~coarsening:n g))
+                 sms
+             in
+             Printf.printf "%-8s %10s %8s %14s %10s\n" "SMs" "II" "stages"
+               "buffer bytes" "speedup";
+             let code = ref 0 in
+             List.iter
+               (fun (num_sms, r) ->
+                 match r with
+                 | Error m ->
+                   Printf.printf "%-8d compilation failed: %s\n" num_sms m;
+                   code := 1
+                 | Ok c ->
+                   let gt = Swp_core.Executor.time_swp c in
+                   let sp =
+                     match
+                       Swp_core.Executor.speedup ~arch ~graph:g
+                         ~gpu_cycles_per_steady:
+                           gt.Swp_core.Executor.cycles_per_steady ()
+                     with
+                     | Ok s -> Printf.sprintf "%.2fx" s
+                     | Error _ -> "-"
+                   in
+                   Printf.printf "%-8d %10d %8d %14d %10s\n" num_sms
+                     c.Swp_core.Compile.schedule.Swp_core.Swp_schedule.ii
+                     c.Swp_core.Compile.sizing.Swp_core.Buffer_layout.stages
+                     c.Swp_core.Compile.sizing.Swp_core.Buffer_layout.total_bytes
+                     sp)
+               results;
+             !code)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ spec_arg $ coarsen_arg $ sms_arg $ jobs_arg $ metrics_arg)
 
 let () =
   let doc = "StreamIt-to-GPU software-pipelining compiler (CGO 2009 reproduction)" in
@@ -432,5 +531,5 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; info_cmd; profile_cmd; compile_cmd; emit_cmd; run_cmd;
-            buffers_cmd; speedup_cmd; trace_cmd; fuzz_cmd;
+            buffers_cmd; speedup_cmd; trace_cmd; fuzz_cmd; sweep_cmd;
           ]))

@@ -4,11 +4,16 @@ let n = 8
 let name = "BitonicRec"
 let description = "Recursive implementation of the bitonic sorting network."
 
-let fresh =
-  let c = ref 0 in
-  fun base ->
-    incr c;
-    Printf.sprintf "%s_%d" base !c
+(* Unique names within one program, reproducible across constructions:
+   the counter restarts at every [stream ()] call, so two builds of the
+   stream (and hence their flattened graphs and generated CUDA) are
+   identical. *)
+let ctr = ref 0
+let reset_names () = ctr := 0
+
+let fresh base =
+  incr ctr;
+  Printf.sprintf "%s_%d" base !ctr
 
 (* 2-key compare-exchange. *)
 let ce ~asc =
@@ -59,4 +64,5 @@ let rec sort sz ~asc =
   end
 
 let stream () =
+  reset_names ();
   Ast.pipeline name [ sort n ~asc:true ]

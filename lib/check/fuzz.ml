@@ -127,17 +127,29 @@ let run_seed ?(cfg = Gen.default) ?iters ?num_sms ?solver ?max_firings seed =
     Error { seed; message; counterexample = small; shrink_steps = steps }
 
 let run ?(cfg = Gen.default) ?iters ?num_sms ?solver ?max_firings
-    ?(base_seed = 1) ~seeds () =
+    ?(base_seed = 1) ?(jobs = 1) ~seeds () =
+  (* Every seed is an independent generate-compile-check unit, so the
+     batch shards across a domain pool: [Par.Pool.map] joins in
+     submission (= seed) order, and each seed's generation, shrinking
+     and oracles are deterministic in the seed alone, so a sharded run
+     visits exactly the serial run's seed set and reports exactly its
+     failures, in the same order. *)
+  let seed_list = List.init seeds (fun i -> base_seed + i) in
+  let check seed = run_seed ~cfg ?iters ?num_sms ?solver ?max_firings seed in
+  let results =
+    if jobs <= 1 || Par.Pool.in_task () then List.map check seed_list
+    else Par.Pool.with_pool ~domains:jobs (fun p -> Par.Pool.map p check seed_list)
+  in
   let failures = ref [] in
   let passed = ref 0 and skipped = ref 0 and shrink_steps = ref 0 in
-  for seed = base_seed to base_seed + seeds - 1 do
-    match run_seed ~cfg ?iters ?num_sms ?solver ?max_firings seed with
-    | Ok `Pass -> incr passed
-    | Ok (`Skip _) -> incr skipped
-    | Error f ->
-      shrink_steps := !shrink_steps + f.shrink_steps;
-      failures := f :: !failures
-  done;
+  List.iter
+    (function
+      | Ok `Pass -> incr passed
+      | Ok (`Skip _) -> incr skipped
+      | Error (f : failure) ->
+        shrink_steps := !shrink_steps + f.shrink_steps;
+        failures := f :: !failures)
+    results;
   let failures = List.rev !failures in
   ( {
       seeds;

@@ -130,13 +130,16 @@ let rec gain = function
 
 (* Names must be unique within one program but reproducible across runs:
    the counter is reset at every generation attempt so the same seed
-   always yields the same program, names included. *)
-let name_ctr = ref 0
-let reset_names () = name_ctr := 0
+   always yields the same program, names included.  It is domain-local
+   so seed-sharded fuzzing ([--jobs N]) generates the same program for a
+   given seed whichever domain draws it, with no cross-domain races. *)
+let name_ctr : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let reset_names () = Domain.DLS.get name_ctr := 0
 
 let fresh prefix =
-  incr name_ctr;
-  Printf.sprintf "%s%d" prefix !name_ctr
+  let r = Domain.DLS.get name_ctr in
+  incr r;
+  Printf.sprintf "%s%d" prefix !r
 
 let rec random_stream cfg st depth =
   let n = 1 + Random.State.int st cfg.max_stages in

@@ -1,9 +1,17 @@
 type labels = (string * string) list
 
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
+(* Counters and gauges are single atomic cells, so concurrent updates
+   from worker domains are lost-update-free without a lock on the hot
+   path.  A histogram observation touches four fields that must stay
+   mutually consistent (count/sum/min/max), so each histogram carries
+   its own mutex; observations are rare enough (per solve, per seed)
+   that the lock is invisible next to the work being measured. *)
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 type histogram = {
+  hm : Mutex.t;
   mutable n : int;
   mutable sum : float;
   mutable mn : float;
@@ -13,55 +21,72 @@ type histogram = {
 type instrument = C of counter | G of gauge | H of histogram
 
 (* One table keyed by (name, sorted labels); creation is get-or-create so
-   handles bound at module-load time remain the registry's instruments. *)
+   handles bound at module-load time remain the registry's instruments.
+   The table itself is mutex-guarded — creation and snapshots are cold
+   paths. *)
 let registry : (string * labels, instrument) Hashtbl.t = Hashtbl.create 64
+let registry_m = Mutex.create ()
 
 let canon labels = List.sort compare labels
 
 let get_or_create name labels make =
   let key = (name, canon labels) in
-  match Hashtbl.find_opt registry key with
-  | Some i -> i
-  | None ->
-    let i = make () in
-    Hashtbl.add registry key i;
-    i
+  Mutex.lock registry_m;
+  let i =
+    match Hashtbl.find_opt registry key with
+    | Some i -> i
+    | None ->
+      let i = make () in
+      Hashtbl.add registry key i;
+      i
+  in
+  Mutex.unlock registry_m;
+  i
 
 let counter ?(labels = []) name =
-  match get_or_create name labels (fun () -> C { c = 0 }) with
+  match get_or_create name labels (fun () -> C (Atomic.make 0)) with
   | C c -> c
   | _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered as non-counter")
 
 let gauge ?(labels = []) name =
-  match get_or_create name labels (fun () -> G { g = 0.0 }) with
+  match get_or_create name labels (fun () -> G (Atomic.make 0.0)) with
   | G g -> g
   | _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered as non-gauge")
 
 let histogram ?(labels = []) name =
   match
     get_or_create name labels (fun () ->
-        H { n = 0; sum = 0.0; mn = nan; mx = nan })
+        H { hm = Mutex.create (); n = 0; sum = 0.0; mn = nan; mx = nan })
   with
   | H h -> h
   | _ ->
     invalid_arg ("Metrics.histogram: " ^ name ^ " registered as non-histogram")
 
-let inc c = c.c <- c.c + 1
-let add c d = c.c <- c.c + d
-let set g v = g.g <- v
+let inc c = Atomic.incr c
+let add c d = ignore (Atomic.fetch_and_add c d)
+let set g v = Atomic.set g v
 
 let observe h v =
+  Mutex.lock h.hm;
   h.n <- h.n + 1;
   h.sum <- h.sum +. v;
   h.mn <- (if h.n = 1 then v else Float.min h.mn v);
-  h.mx <- (if h.n = 1 then v else Float.max h.mx v)
+  h.mx <- (if h.n = 1 then v else Float.max h.mx v);
+  Mutex.unlock h.hm
 
-let value c = c.c
-let gauge_value g = g.g
-let hist_count h = h.n
-let hist_sum h = h.sum
-let hist_min h = h.mn
-let hist_max h = h.mx
+let value c = Atomic.get c
+let gauge_value g = Atomic.get g
+
+let with_hist h f =
+  Mutex.lock h.hm;
+  let v = f h in
+  Mutex.unlock h.hm;
+  v
+
+let hist_count h = with_hist h (fun h -> h.n)
+let hist_sum h = with_hist h (fun h -> h.sum)
+let hist_min h = with_hist h (fun h -> h.mn)
+let hist_max h = with_hist h (fun h -> h.mx)
 
 type snapshot_item = {
   name : string;
@@ -73,30 +98,39 @@ type snapshot_item = {
 }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun (name, labels) inst acc ->
-      let kind =
-        match inst with
-        | C c -> `Counter c.c
-        | G g -> `Gauge g.g
-        | H h -> `Histogram (h.n, h.sum, h.mn, h.mx)
-      in
-      { name; labels; kind } :: acc)
-    registry []
-  |> List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels))
+  Mutex.lock registry_m;
+  let items =
+    Hashtbl.fold
+      (fun (name, labels) inst acc ->
+        let kind =
+          match inst with
+          | C c -> `Counter (Atomic.get c)
+          | G g -> `Gauge (Atomic.get g)
+          | H h ->
+            `Histogram (with_hist h (fun h -> (h.n, h.sum, h.mn, h.mx)))
+        in
+        { name; labels; kind } :: acc)
+      registry []
+  in
+  Mutex.unlock registry_m;
+  List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels)) items
 
 let reset () =
+  Mutex.lock registry_m;
   Hashtbl.iter
     (fun _ inst ->
       match inst with
-      | C c -> c.c <- 0
-      | G g -> g.g <- 0.0
+      | C c -> Atomic.set c 0
+      | G g -> Atomic.set g 0.0
       | H h ->
+        Mutex.lock h.hm;
         h.n <- 0;
         h.sum <- 0.0;
         h.mn <- nan;
-        h.mx <- nan)
-    registry
+        h.mx <- nan;
+        Mutex.unlock h.hm)
+    registry;
+  Mutex.unlock registry_m
 
 let labels_suffix labels =
   if labels = [] then ""

@@ -4,9 +4,14 @@
     Instruments are created lazily and get-or-create by [(name, labels)]
     key, so a module may bind its handles once at load time
     ([let pivots = Obs.Metrics.counter "lp.pivots"]) and bump them from
-    hot paths with a single mutable-field update — there is no enabled
-    check and no allocation on the update path.  {!reset} zeroes every
+    hot paths with a single atomic update — there is no enabled check
+    and no allocation on the update path.  {!reset} zeroes every
     instrument {e in place}, keeping cached handles valid.
+
+    The registry is domain-safe: counters and gauges are atomic cells
+    (concurrent increments are never lost), histogram observations are
+    serialized per instrument, and creation/snapshot/reset take the
+    registry lock.
 
     Snapshots export as JSON or aligned text.  Naming convention:
     dot-separated [subsystem.noun[.verb]] (e.g. [lp.pivots],

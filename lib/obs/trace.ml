@@ -12,50 +12,100 @@ let enabled = ref false
 let default_clock () = Unix.gettimeofday () *. 1e6
 let clock = ref default_clock
 
-(* Open spans, innermost first; completed roots in reverse start order.
+(* Every domain records into its own sink: an open-span stack (innermost
+   first) plus a buffer of completed roots.  Spans are created, mutated
+   and closed entirely on their owning domain, so the only shared state
+   is the registry of per-domain buffers (mutex-guarded, touched once
+   per domain) and the root sequence counter (atomic).  Export merges
+   the buffers and orders roots by completion sequence, which for a
+   single domain coincides with the pre-domains behaviour exactly.
+
    Children are accumulated in reverse and flipped once the span closes,
    so an exported span's [children] are always in start order. *)
-let stack : span list ref = ref []
-let finished : span list ref = ref []
+
+type sink = {
+  tid : int;  (* stable per-domain lane for the Chrome export *)
+  mutable stack : span list;
+  mutable finished : (int * span) list;  (* (completion seq, root) *)
+}
+
+let sinks : sink list ref = ref []
+let sinks_m = Mutex.create ()
+let next_tid = Atomic.make 1
+let root_seq = Atomic.make 0
+
+let sink_key : sink Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        { tid = Atomic.fetch_and_add next_tid 1; stack = []; finished = [] }
+      in
+      Mutex.lock sinks_m;
+      sinks := s :: !sinks;
+      Mutex.unlock sinks_m;
+      s)
+
+let my_sink () = Domain.DLS.get sink_key
 
 let enable () = enabled := true
 let disable () = enabled := false
 let is_enabled () = !enabled
 
 let reset () =
-  stack := [];
-  finished := []
+  (* Clears every domain's completed roots, but only the calling
+     domain's open stack — other domains' stacks are theirs alone. *)
+  let s = my_sink () in
+  s.stack <- [];
+  Mutex.lock sinks_m;
+  List.iter (fun s -> s.finished <- []) !sinks;
+  Mutex.unlock sinks_m
 
 let set_clock f = clock := f
 let use_default_clock () = clock := default_clock
 
 let add_attr k v =
   if !enabled then
-    match !stack with
+    match (my_sink ()).stack with
     | [] -> ()
     | s :: _ -> s.attrs <- s.attrs @ [ (k, v) ]
 
 let with_span ?(attrs = []) name f =
   if not !enabled then f ()
   else begin
+    let sink = my_sink () in
     let s =
       { name; start_us = !clock (); end_us = 0.0; attrs; children = [] }
     in
-    stack := s :: !stack;
+    sink.stack <- s :: sink.stack;
     let close () =
       s.end_us <- !clock ();
       s.children <- List.rev s.children;
-      (match !stack with
-      | top :: rest when top == s -> stack := rest
+      (match sink.stack with
+      | top :: rest when top == s -> sink.stack <- rest
       | _ -> () (* reset was called mid-span; drop silently *));
-      match !stack with
-      | [] -> finished := s :: !finished
+      match sink.stack with
+      | [] ->
+        sink.finished <- (Atomic.fetch_and_add root_seq 1, s) :: sink.finished
       | parent :: _ -> parent.children <- s :: parent.children
     in
     Fun.protect ~finally:close f
   end
 
-let roots () = List.rev !finished
+(* Merged completed roots from all domains, as [(tid, seq, span)] in
+   completion order. *)
+let merged () =
+  let all =
+    Mutex.lock sinks_m;
+    let l =
+      List.concat_map
+        (fun s -> List.map (fun (seq, sp) -> (s.tid, seq, sp)) s.finished)
+        !sinks
+    in
+    Mutex.unlock sinks_m;
+    l
+  in
+  List.sort (fun (_, a, _) (_, b, _) -> compare a b) all
+
+let roots () = List.map (fun (_, _, s) -> s) (merged ())
 
 let find_all name =
   let out = ref [] in
@@ -97,14 +147,15 @@ let to_chrome_json () =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"traceEvents\":[";
   let first = ref true in
-  let rec emit s =
+  let rec emit tid s =
     if !first then first := false else Buffer.add_char b ',';
     Buffer.add_string b
       (Printf.sprintf
          "{\"name\":\"%s\",\"cat\":\"pipeline\",\"ph\":\"X\",\"ts\":%.1f,\
-          \"dur\":%.1f,\"pid\":1,\"tid\":1"
+          \"dur\":%.1f,\"pid\":1,\"tid\":%d"
          (json_escape s.name) s.start_us
-         (s.end_us -. s.start_us));
+         (s.end_us -. s.start_us)
+         tid);
     if s.attrs <> [] then begin
       Buffer.add_string b ",\"args\":{";
       List.iteri
@@ -116,9 +167,9 @@ let to_chrome_json () =
       Buffer.add_char b '}'
     end;
     Buffer.add_char b '}';
-    List.iter emit s.children
+    List.iter (emit tid) s.children
   in
-  List.iter emit (roots ());
+  List.iter (fun (tid, _, s) -> emit tid s) (merged ());
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
   Buffer.contents b
 

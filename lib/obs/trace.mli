@@ -1,11 +1,19 @@
 (** Hierarchical span tracing for the compilation pipeline.
 
     A {e span} is a named, timed region of work; spans nest, forming one
-    tree per top-level region.  The tracer is a process-global sink that
-    is {b disabled by default}: a disabled [with_span] is a single ref
-    read and a branch around the thunk call, so instrumented hot paths
-    cost nothing measurable when tracing is off (the tier-1 timing
-    benchmarks run with the sink disabled).
+    tree per top-level region.  The tracer is {b disabled by default}: a
+    disabled [with_span] is a single ref read and a branch around the
+    thunk call, so instrumented hot paths cost nothing measurable when
+    tracing is off (the tier-1 timing benchmarks run with the sink
+    disabled).
+
+    The tracer is domain-safe.  Every domain records into its own span
+    stack and completed-root buffer (domain-local storage), so spans
+    opened by parallel workers can never interleave into each other's
+    trees; the export functions merge all domains' buffers, ordering
+    roots by completion and tagging each with a per-domain [tid] lane in
+    the Chrome export.  For a single-domain program the observable
+    behaviour is unchanged.
 
     Finished traces export in two forms: Chrome trace-event JSON
     (loadable at [ui.perfetto.dev] or [chrome://tracing]) and a
@@ -34,8 +42,9 @@ val disable : unit -> unit
 val is_enabled : unit -> bool
 
 val reset : unit -> unit
-(** Drops all recorded spans (and any open stack); the enabled flag is
-    unchanged. *)
+(** Drops every domain's recorded spans and the {e calling} domain's
+    open stack (other domains' open stacks belong to them); the enabled
+    flag is unchanged. *)
 
 val set_clock : (unit -> float) -> unit
 (** Replace the timestamp source (must return microseconds,

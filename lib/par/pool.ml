@@ -1,0 +1,205 @@
+(* Fixed-size domain pool.
+
+   One shared FIFO of thunks, guarded by a mutex + condition; workers
+   loop on it, the submitting domain helps drain it while its batch is
+   outstanding.  Each map call owns a results array indexed by
+   submission position and a countdown latch, so the join is
+   deterministic regardless of execution interleaving: results are read
+   out (and the earliest captured exception re-raised) strictly in
+   submission order.
+
+   Tasks never let exceptions escape into a worker: they are captured
+   with their backtrace into the result slot and re-raised at the join
+   on the submitting domain. *)
+
+type t = {
+  width : int;                       (* parallelism incl. the caller *)
+  queue : (unit -> unit) Queue.t;    (* pending task thunks *)
+  m : Mutex.t;                       (* guards queue + closed *)
+  work : Condition.t;                (* queue grew, or shutdown *)
+  mutable workers : unit Domain.t list;
+  mutable closed : bool;
+}
+
+(* Set while the current domain is executing a pool task, whichever pool
+   it belongs to.  One global key (rather than one per pool) so nested
+   use is rejected even across pools: an outer task blocked in an inner
+   [map] holds a worker hostage either way, and on top of that the
+   domains of two simultaneously active pools would oversubscribe the
+   cores. *)
+let task_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let in_task () = !(Domain.DLS.get task_key)
+
+let run_task thunk =
+  let flag = Domain.DLS.get task_key in
+  flag := true;
+  (* thunks capture their own exceptions; no protect needed *)
+  thunk ();
+  flag := false
+
+(* Pop one task if any; runs it outside the lock. *)
+let try_run_one pool =
+  Mutex.lock pool.m;
+  match Queue.take_opt pool.queue with
+  | Some thunk ->
+    Mutex.unlock pool.m;
+    run_task thunk;
+    true
+  | None ->
+    Mutex.unlock pool.m;
+    false
+
+let rec worker_loop pool =
+  Mutex.lock pool.m;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.work pool.m
+  done;
+  match Queue.take_opt pool.queue with
+  | Some thunk ->
+    Mutex.unlock pool.m;
+    run_task thunk;
+    worker_loop pool
+  | None ->
+    (* empty and closed *)
+    Mutex.unlock pool.m
+
+let auto_domains () = Domain.recommended_domain_count ()
+
+let create ?domains () =
+  let width =
+    max 1 (match domains with Some d -> d | None -> auto_domains ())
+  in
+  let pool =
+    {
+      width;
+      queue = Queue.create ();
+      m = Mutex.create ();
+      work = Condition.create ();
+      workers = [];
+      closed = false;
+    }
+  in
+  pool.workers <-
+    List.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let domains t = t.width
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.closed <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.m;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+type 'b slot = Empty | Ok_ of 'b | Exn of exn * Printexc.raw_backtrace
+
+let map pool f xs =
+  if in_task () then
+    invalid_arg "Par.Pool.map: nested use (called from inside a pool task)";
+  if pool.closed then invalid_arg "Par.Pool.map: pool is shut down";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when pool.width = 1 -> List.map f xs
+  | _ ->
+    let args = Array.of_list xs in
+    let n = Array.length args in
+    let results = Array.make n Empty in
+    let latch_m = Mutex.create () in
+    let all_done = Condition.create () in
+    let left = ref n in
+    let task i () =
+      let r =
+        try Ok_ (f args.(i))
+        with e -> Exn (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- r;
+      Mutex.lock latch_m;
+      decr left;
+      if !left = 0 then Condition.signal all_done;
+      Mutex.unlock latch_m
+    in
+    Mutex.lock pool.m;
+    for i = 0 to n - 1 do
+      Queue.push (task i) pool.queue
+    done;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.m;
+    (* The caller is one of the pool's execution lanes: drain tasks
+       until the queue is empty (they may belong to this batch or, with
+       concurrent submitters, another — either way it is forward
+       progress), then sleep until this batch's latch opens. *)
+    while try_run_one pool do
+      ()
+    done;
+    Mutex.lock latch_m;
+    while !left > 0 do
+      Condition.wait all_done latch_m
+    done;
+    Mutex.unlock latch_m;
+    (* deterministic join: earliest failure wins, else submission order *)
+    Array.iter
+      (function
+        | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Ok_ _ -> ()
+        | Empty -> assert false)
+      results;
+    List.init n (fun i ->
+        match results.(i) with Ok_ v -> v | Empty | Exn _ -> assert false)
+
+let map_reduce pool ~map:f ~reduce ~init xs =
+  List.fold_left reduce init (map pool f xs)
+
+(* ---------- process-global pool ---------- *)
+
+let global_m = Mutex.create ()
+let global_jobs = ref 1
+let global_pool : t option ref = ref None
+
+let jobs () =
+  Mutex.lock global_m;
+  let j = !global_jobs in
+  Mutex.unlock global_m;
+  j
+
+let set_jobs n =
+  let n = max 1 n in
+  let stale =
+    Mutex.lock global_m;
+    global_jobs := n;
+    let p =
+      match !global_pool with
+      | Some p when p.width <> n ->
+        global_pool := None;
+        Some p
+      | _ -> None
+    in
+    Mutex.unlock global_m;
+    p
+  in
+  Option.iter shutdown stale
+
+let parallelism () = if in_task () then 1 else jobs ()
+
+let global () =
+  Mutex.lock global_m;
+  let p =
+    match !global_pool with
+    | Some p -> p
+    | None ->
+      let p = create ~domains:!global_jobs () in
+      global_pool := Some p;
+      p
+  in
+  Mutex.unlock global_m;
+  p
+
+let map_auto f xs =
+  if parallelism () = 1 then List.map f xs else map (global ()) f xs

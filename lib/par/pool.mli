@@ -1,0 +1,89 @@
+(** Fixed-size domain work pool with a deterministic join.
+
+    A pool owns [domains - 1] worker domains pulling tasks from a shared
+    queue; the submitting domain executes tasks too while it waits, so a
+    pool of [n] domains gives [n]-way parallelism.  {!map} hands every
+    list element to a task and joins the results {e in submission
+    order}, so the output is independent of which domain ran what and
+    when — a parallel [map] is observationally identical to [List.map]
+    over a pure function.  Exceptions raised by tasks are captured with
+    their backtraces; after all tasks of the call have settled, the
+    exception of the {e earliest} failing element is re-raised.
+
+    Pools must not be used re-entrantly: calling {!map} from inside a
+    task (of any pool) raises [Invalid_argument] — the blocked outer
+    task could deadlock the workers it is waiting on.  Compose nested
+    parallelism with {!map_auto}, which degrades to a serial map inside
+    tasks instead.
+
+    A pool created with [~domains:1] (or given an empty or singleton
+    list) never spawns a domain and runs everything serially on the
+    caller — the fallback path used when the host has a single core
+    ([Domain.recommended_domain_count () = 1]) or parallelism is
+    disabled. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains
+    ([domains] defaults to {!auto_domains}; values [< 1] are clamped
+    to 1).  Workers idle on a condition variable until tasks arrive. *)
+
+val domains : t -> int
+(** The parallelism width the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] evaluates [f x] for every element, in parallel
+    across the pool, and returns the results in submission order.
+    @raise Invalid_argument on nested use (from inside any pool task)
+    or after {!shutdown}. *)
+
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc ->
+  'a list -> 'acc
+(** [map_reduce pool ~map ~reduce ~init xs]: parallel map, then a
+    {e sequential} left fold over the results in submission order — the
+    reduction order is deterministic even though execution order is
+    not, so non-commutative reductions are safe. *)
+
+val shutdown : t -> unit
+(** Drains the queue, terminates and joins the workers.  Idempotent;
+    subsequent {!map} calls raise [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f]: {!create}, run [f], always {!shutdown}. *)
+
+val in_task : unit -> bool
+(** True while the calling domain is executing a pool task (of any
+    pool) — the condition under which {!map} rejects nested use. *)
+
+val auto_domains : unit -> int
+(** [Domain.recommended_domain_count ()]: the widest pool worth
+    creating on this host. *)
+
+(** {1 Process-global parallelism setting}
+
+    Library code (profiling sweeps, the II search, …) parallelizes
+    through a process-global pool so the [--jobs] flag of the drivers
+    reaches every layer without threading a pool through each
+    signature.  The default is [1]: nothing runs in parallel unless a
+    driver opts in. *)
+
+val set_jobs : int -> unit
+(** Set the global parallelism width (clamped to [>= 1]).  Shuts down
+    the current global pool if its width differs; a new one is created
+    lazily on the next {!map_auto}. *)
+
+val jobs : unit -> int
+(** The current global width. *)
+
+val parallelism : unit -> int
+(** The width {!map_auto} would actually use right now: [1] when the
+    global width is 1 {e or} the caller is inside a pool task (nested
+    parallelism degrades to serial), the global width otherwise.
+    Callers sizing speculative batches should use this, not {!jobs}. *)
+
+val map_auto : ('a -> 'b) -> 'a list -> 'b list
+(** [List.map f xs] when {!parallelism}[ () = 1]; a parallel {!map} on
+    the global pool otherwise.  Always safe to call — never raises the
+    nested-use rejection. *)

@@ -60,7 +60,7 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
      the heuristic's packing granularity is the limiting factor *)
   let near_bound ii = ii <= lb + (lb / 50) + 2 in
   let log = ref [] in
-  let record ~ii ~tried_exact ~feasible ~t0 bb =
+  let mk_attempt ~ii ~tried_exact ~feasible ~t0 bb =
     let bb_nodes, lp_pivots =
       match bb with
       | Some (s : Lp.Branch_bound.stats) -> (s.nodes_explored, s.lp_pivots)
@@ -76,15 +76,22 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
         bb_nodes;
       }
     in
-    log := a :: !log;
-    Obs.Metrics.inc m_attempts;
-    if tried_exact then Obs.Metrics.inc m_exact;
-    Obs.Metrics.observe h_attempt_s a.solve_time_s;
     Obs.Trace.add_attr "feasible" (Obs.Trace.Bool feasible);
     Obs.Trace.add_attr "solver"
       (Obs.Trace.Str (if tried_exact then "exact" else "heuristic"));
     Obs.Trace.add_attr "pivots" (Obs.Trace.Int lp_pivots);
-    Obs.Trace.add_attr "nodes" (Obs.Trace.Int bb_nodes)
+    Obs.Trace.add_attr "nodes" (Obs.Trace.Int bb_nodes);
+    a
+  in
+  (* Committing an attempt (log + metrics) is separated from probing it:
+     speculative probes that lose the race to an earlier feasible II are
+     discarded uncommitted, so the recorded search is bit-identical to
+     the serial one. *)
+  let commit (a : attempt) =
+    log := a :: !log;
+    Obs.Metrics.inc m_attempts;
+    if a.tried_exact then Obs.Metrics.inc m_exact;
+    Obs.Metrics.observe h_attempt_s a.solve_time_s
   in
   let try_at ii =
     Obs.Trace.with_span "ii_search.attempt"
@@ -135,40 +142,67 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
     let tried_exact =
       match solver with Exact _ -> true | Heuristic -> false | Auto _ -> !bb <> None
     in
-    record ~ii ~tried_exact ~feasible:(res <> None) ~t0 !bb;
-    res
+    (res, mk_attempt ~ii ~tried_exact ~feasible:(res <> None) ~t0 !bb)
   in
   let max_ii = int_of_float (float_of_int lb *. (1.0 +. max_relax)) + 1 in
+  let next_ii ii =
+    max (ii + 1)
+      (int_of_float (Float.round (float_of_int ii *. (1.0 +. relax_step))))
+  in
+  let success ~ii ~attempts (s, used_exact) =
+    let relaxation = float_of_int (ii - lb) /. float_of_int (max 1 lb) in
+    Obs.Metrics.observe h_relax relaxation;
+    Obs.Trace.add_attr "achieved_ii" (Obs.Trace.Int ii);
+    Obs.Trace.add_attr "attempts" (Obs.Trace.Int attempts);
+    Ok
+      ( s,
+        {
+          lower_bound = lb;
+          achieved_ii = ii;
+          attempts;
+          relaxation;
+          used_exact;
+          attempt_log = List.rev !log;
+        } )
+  in
+  (* The candidate sequence lb, next_ii lb, ... is fixed up front by
+     (lb, relax_step) and each probe is a pure function of its candidate,
+     so the search can speculate: probe the next K candidates
+     concurrently, then walk the window in candidate order and commit the
+     smallest feasible one — exactly the candidate the serial loop would
+     have stopped at, with exactly its attempt log (later probes are
+     wasted work, not observable results).  K = 1 (no global pool, or
+     nested under another fan-out) is the serial search, window of one. *)
   let rec loop ii attempts =
     if ii > max_ii then begin
       Obs.Metrics.inc m_failures;
       Error
         (Printf.sprintf "no feasible schedule up to II=%d (bound %d)" max_ii lb)
     end
-    else
-      match try_at ii with
-      | Some (s, used_exact) ->
-        let relaxation =
-          float_of_int (ii - lb) /. float_of_int (max 1 lb)
+    else begin
+      let k = max 1 (Par.Pool.parallelism ()) in
+      let window =
+        let rec take c n acc =
+          if n = 0 || c > max_ii then List.rev acc
+          else take (next_ii c) (n - 1) (c :: acc)
         in
-        Obs.Metrics.observe h_relax relaxation;
-        Obs.Trace.add_attr "achieved_ii" (Obs.Trace.Int ii);
-        Obs.Trace.add_attr "attempts" (Obs.Trace.Int attempts);
-        Ok
-          ( s,
-            {
-              lower_bound = lb;
-              achieved_ii = ii;
-              attempts;
-              relaxation;
-              used_exact;
-              attempt_log = List.rev !log;
-            } )
-      | None ->
-        let next =
-          max (ii + 1)
-            (int_of_float (Float.round (float_of_int ii *. (1.0 +. relax_step))))
-        in
-        loop next (attempts + 1)
+        take ii k []
+      in
+      let probes = Par.Pool.map_auto try_at window in
+      let rec scan cands probes attempts =
+        match (cands, probes) with
+        | [], _ | _, [] ->
+          (* window exhausted, nothing feasible: continue past it *)
+          loop
+            (next_ii (List.nth window (List.length window - 1)))
+            attempts
+        | ii :: cands', (res, a) :: probes' -> (
+          commit a;
+          match res with
+          | Some r -> success ~ii ~attempts r
+          | None -> scan cands' probes' (attempts + 1))
+      in
+      scan window probes attempts
+    end
   in
   loop lb 1

@@ -42,7 +42,14 @@ val run :
   data
 (** Memoized on [(arch, graph, mode, options)] — profiling is
     deterministic and the filter IR is pure data, so repeated compiles of
-    the same graph (per scheme, per SM count) reuse one profile. *)
+    the same graph (per scheme, per SM count) reuse one profile.  The
+    cache is domain-safe, and an uncached sweep fans the per-filter
+    timing grids out across {!Par.Pool.map_auto} (identical results in
+    any width, node order preserved). *)
+
+val clear_cache : unit -> unit
+(** Drop every memoized profile (benchmark drivers use this to time
+    cold sweeps fairly). *)
 
 val time_of : data -> node:int -> regs:int -> threads:int -> float
 (** Lookup by option values rather than indices.

@@ -69,70 +69,84 @@ and select_untraced g rates (data : Profile.data) =
   let nthreads = List.length data.Profile.thread_options in
   let thread_opt ti = List.nth data.Profile.thread_options ti in
   let reg_opt ri = List.nth data.Profile.reg_options ri in
-  let best = ref None in
-  for ri = 0 to nregs - 1 do
-    for ti = 0 to nthreads - 1 do
-      if feasible_pair ri ti then begin
-        let num_threads = thread_opt ti in
-        (* Per-node best thread count k <= numThreads (Fig. 7 line 4). *)
-        let candidate = Array.make n 0 in
-        let cand_time = Array.make n infinity in
-        for v = 0 to n - 1 do
-          for tj = 0 to nthreads - 1 do
-            let k = thread_opt tj in
-            if k <= num_threads then begin
-              let t = data.Profile.runtimes.(v).(ri).(tj) in
-              if t < cand_time.(v) then begin
-                cand_time.(v) <- t;
-                candidate.(v) <- k
-              end
+  (* Evaluate one (registers, block-threads) candidate pair — pure in
+     (g, rates, data), so the 16 evaluations can run on any domain. *)
+  let eval_pair (ri, ti) =
+    if not (feasible_pair ri ti) then None
+    else begin
+      let num_threads = thread_opt ti in
+      (* Per-node best thread count k <= numThreads (Fig. 7 line 4). *)
+      let candidate = Array.make n 0 in
+      let cand_time = Array.make n infinity in
+      for v = 0 to n - 1 do
+        for tj = 0 to nthreads - 1 do
+          let k = thread_opt tj in
+          if k <= num_threads then begin
+            let t = data.Profile.runtimes.(v).(ri).(tj) in
+            if t < cand_time.(v) then begin
+              cand_time.(v) <- t;
+              candidate.(v) <- k
             end
-          done
-        done;
-        if Array.for_all (fun t -> t < infinity) cand_time then begin
-          let reps, scale = macro_reps g rates ~threads:candidate in
-          (* curII (Fig. 7 lines 9-13): per-node profile time scaled from
-             numfirings firings down to one pass, times instance count. *)
-          let cur_ii = ref 0.0 in
-          for v = 0 to n - 1 do
-            let per_pass =
-              cand_time.(v) *. float_of_int candidate.(v)
-              /. float_of_int data.Profile.numfirings
-            in
-            cur_ii := !cur_ii +. (per_pass *. float_of_int reps.(v))
-          done;
-          let w = work_per_steady_state g rates ~scale in
-          let norm = !cur_ii /. float_of_int w in
-          let better =
-            match !best with None -> true | Some (b, _) -> norm < b
-          in
-          if better then begin
-            let delay =
-              Array.init n (fun v ->
-                  let per_pass =
-                    cand_time.(v) *. float_of_int candidate.(v)
-                    /. float_of_int data.Profile.numfirings
-                  in
-                  max 1 (int_of_float (Float.round per_pass)))
-            in
-            best :=
-              Some
-                ( norm,
-                  {
-                    regs = reg_opt ri;
-                    block_threads = num_threads;
-                    threads = candidate;
-                    delay;
-                    reps;
-                    scale;
-                    norm_ii = norm;
-                  } )
           end
-        end
+        done
+      done;
+      if not (Array.for_all (fun t -> t < infinity) cand_time) then None
+      else begin
+        let reps, scale = macro_reps g rates ~threads:candidate in
+        (* curII (Fig. 7 lines 9-13): per-node profile time scaled from
+           numfirings firings down to one pass, times instance count. *)
+        let cur_ii = ref 0.0 in
+        for v = 0 to n - 1 do
+          let per_pass =
+            cand_time.(v) *. float_of_int candidate.(v)
+            /. float_of_int data.Profile.numfirings
+          in
+          cur_ii := !cur_ii +. (per_pass *. float_of_int reps.(v))
+        done;
+        let w = work_per_steady_state g rates ~scale in
+        let norm = !cur_ii /. float_of_int w in
+        let delay =
+          Array.init n (fun v ->
+              let per_pass =
+                cand_time.(v) *. float_of_int candidate.(v)
+                /. float_of_int data.Profile.numfirings
+              in
+              max 1 (int_of_float (Float.round per_pass)))
+        in
+        Some
+          ( norm,
+            {
+              regs = reg_opt ri;
+              block_threads = num_threads;
+              threads = candidate;
+              delay;
+              reps;
+              scale;
+              norm_ii = norm;
+            } )
       end
-    done
-  done;
-  match !best with
+    end
+  in
+  (* All candidate pairs in the serial iteration order (ri-major), fanned
+     out across the pool; the winner is then folded out of the candidate
+     list sequentially with the same strict-improvement test the serial
+     loop used, so ties break identically whatever ran where. *)
+  let pairs =
+    List.concat_map
+      (fun ri -> List.init nthreads (fun ti -> (ri, ti)))
+      (List.init nregs Fun.id)
+  in
+  let best =
+    List.fold_left
+      (fun best cand ->
+        match (cand, best) with
+        | None, best -> best
+        | Some _, None -> cand
+        | Some (norm, _), Some (b, _) -> if norm < b then cand else best)
+      None
+      (Par.Pool.map_auto eval_pair pairs)
+  in
+  match best with
   | Some (_, cfg) ->
     Obs.Metrics.inc m_selects;
     Obs.Trace.add_attr "regs" (Obs.Trace.Int cfg.regs);

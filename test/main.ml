@@ -15,4 +15,6 @@ let () =
       ("stateful", Test_stateful.suite);
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
+      ("par", Test_par.suite);
+      ("determinism", Test_determinism.suite);
     ]

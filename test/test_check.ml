@@ -366,6 +366,27 @@ let fuzz_smoke () =
   Alcotest.(check bool) "most seeds exercised the pipeline" true
     (stats.Check.Fuzz.passed >= 8)
 
+(* Seed-sharded fuzzing must visit exactly the serial run's seed set and
+   report exactly its outcomes: generation is deterministic in the seed
+   alone (domain-local name counters) and the pool joins in seed
+   order. *)
+let fuzz_sharding_deterministic () =
+  let serial_stats, serial_failures =
+    Check.Fuzz.run ~seeds:12 ~base_seed:201 ~jobs:1 ()
+  in
+  let par_stats, par_failures =
+    Check.Fuzz.run ~seeds:12 ~base_seed:201 ~jobs:3 ()
+  in
+  Alcotest.(check bool) "stats identical" true (serial_stats = par_stats);
+  Alcotest.(check (list int))
+    "failing seeds identical"
+    (List.map (fun f -> f.Check.Fuzz.seed) serial_failures)
+    (List.map (fun f -> f.Check.Fuzz.seed) par_failures);
+  Alcotest.(check (list string))
+    "failure messages identical"
+    (List.map (fun f -> f.Check.Fuzz.message) serial_failures)
+    (List.map (fun f -> f.Check.Fuzz.message) par_failures)
+
 let suite =
   [
     t "fifo clear resets lifetime counters" fifo_clear;
@@ -381,4 +402,5 @@ let suite =
     t "generator is deterministic per seed" generator_deterministic;
     t "shrinker reaches a minimal counterexample" shrinker_reduces;
     t "differential fuzz smoke (pinned seeds)" fuzz_smoke;
+    t "seed-sharded fuzzing matches serial" fuzz_sharding_deterministic;
   ]

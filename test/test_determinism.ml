@@ -1,0 +1,108 @@
+(* Parallel-compilation determinism: for every registry benchmark the
+   pool-backed pipeline (profile sweep, config selection, speculative II
+   probing) at --jobs 4 must produce byte-identical results to the
+   serial pipeline — same schedule, same buffer layout, same generated
+   CUDA.  Three benchmarks are additionally pinned against golden CUDA
+   fixtures so that an accidental (even deterministic) change to the
+   generator or the scheduler shows up as a diff. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let compile_bench (e : Benchmarks.Registry.entry) =
+  let g = Streamit.Flatten.flatten (e.Benchmarks.Registry.stream ()) in
+  match Swp_core.Compile.compile g with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "%s failed to compile: %s" e.Benchmarks.Registry.name m
+
+type snapshot = {
+  schedule : Swp_core.Swp_schedule.t;
+  sizing : Swp_core.Buffer_layout.sizing;
+  cuda : string;
+}
+
+let snapshot e =
+  (* The profile cache would otherwise hand the second compilation the
+     first one's results, hiding any nondeterminism in the parallel
+     sweep itself. *)
+  Swp_core.Profile.clear_cache ();
+  let c = compile_bench e in
+  {
+    schedule = c.Swp_core.Compile.schedule;
+    sizing = c.Swp_core.Compile.sizing;
+    cuda = Cudagen.Kernel_gen.program c;
+  }
+
+let with_jobs n f =
+  Par.Pool.set_jobs n;
+  Fun.protect f ~finally:(fun () ->
+      Par.Pool.set_jobs 1;
+      Swp_core.Profile.clear_cache ())
+
+let check_equal name (serial : snapshot) (par : snapshot) =
+  Alcotest.(check int)
+    (name ^ ": II") serial.schedule.Swp_core.Swp_schedule.ii
+    par.schedule.Swp_core.Swp_schedule.ii;
+  Alcotest.(check bool)
+    (name ^ ": schedule entries identical") true
+    (serial.schedule = par.schedule);
+  Alcotest.(check int)
+    (name ^ ": total buffer bytes")
+    serial.sizing.Swp_core.Buffer_layout.total_bytes
+    par.sizing.Swp_core.Buffer_layout.total_bytes;
+  Alcotest.(check bool)
+    (name ^ ": per-edge buffer layout identical") true
+    (serial.sizing.Swp_core.Buffer_layout.per_edge
+    = par.sizing.Swp_core.Buffer_layout.per_edge);
+  Alcotest.(check bool)
+    (name ^ ": generated CUDA byte-identical") true
+    (String.equal serial.cuda par.cuda)
+
+let serial_vs_parallel (e : Benchmarks.Registry.entry) =
+  let name = e.Benchmarks.Registry.name in
+  t (name ^ ": --jobs 4 == serial") (fun () ->
+      let serial = with_jobs 1 (fun () -> snapshot e) in
+      let par = with_jobs 4 (fun () -> snapshot e) in
+      check_equal name serial par)
+
+(* ---- golden CUDA fixtures ------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    (fun () -> really_input_string ic (in_channel_length ic))
+    ~finally:(fun () -> close_in ic)
+
+let fixture_benchmarks = [ "FMRadio"; "DES"; "Bitonic" ]
+
+let fixture_path name = Filename.concat "fixtures" (name ^ ".cu")
+
+let first_diff a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let golden name =
+  t (name ^ ": CUDA matches golden fixture") (fun () ->
+      let e =
+        match Benchmarks.Registry.find name with
+        | Some e -> e
+        | None -> Alcotest.failf "unknown benchmark %s" name
+      in
+      let got = with_jobs 4 (fun () -> snapshot e) in
+      let want = read_file (fixture_path name) in
+      if not (String.equal got.cuda want) then begin
+        let i = first_diff got.cuda want in
+        let ctx s =
+          String.sub s (max 0 (i - 40))
+            (min 80 (String.length s - max 0 (i - 40)))
+        in
+        Alcotest.failf
+          "%s: generated CUDA diverges from fixture at byte %d\n\
+           fixture:   ...%s...\n\
+           generated: ...%s..."
+          name i (ctx want) (ctx got.cuda)
+      end)
+
+let suite =
+  List.map serial_vs_parallel Benchmarks.Registry.all
+  @ List.map golden fixture_benchmarks

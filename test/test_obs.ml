@@ -341,4 +341,106 @@ let smoke_tests =
           ]);
   ]
 
-let suite = trace_tests @ metrics_tests @ smoke_tests
+(* ---- domain-safety -------------------------------------------------
+   Hammer the shared registry, the atomic instrument cells and the
+   per-domain trace sinks from several domains at once.  The trace test
+   is the regression for the old global span stack (a plain [ref]):
+   with a shared stack, concurrent [with_span] calls interleave their
+   pushes and pops, so roots steal other domains' children and the
+   exact counts below cannot hold. *)
+
+let hammer ~domains f =
+  let ds = List.init domains (fun i -> Domain.spawn (fun () -> f i)) in
+  List.iter Domain.join ds
+
+let concurrency_tests =
+  [
+    t "metrics: exact counts from 4 domains" (fun () ->
+        Obs.Metrics.reset ();
+        let c = Obs.Metrics.counter "conc.counter" in
+        let h = Obs.Metrics.histogram "conc.hist" in
+        hammer ~domains:4 (fun d ->
+            for _ = 1 to 5_000 do
+              Obs.Metrics.inc c
+            done;
+            for _ = 1 to 1_000 do
+              Obs.Metrics.add c 3
+            done;
+            for i = 1 to 2_000 do
+              Obs.Metrics.observe h (float_of_int (i + d))
+            done);
+        Alcotest.(check int) "counter exact" (4 * (5_000 + 3_000))
+          (Obs.Metrics.value c);
+        Alcotest.(check int) "histogram count exact" 8_000
+          (Obs.Metrics.hist_count h);
+        let expected_sum =
+          let s = ref 0.0 in
+          for d = 0 to 3 do
+            for i = 1 to 2_000 do
+              s := !s +. float_of_int (i + d)
+            done
+          done;
+          !s
+        in
+        Alcotest.(check (float 1e-6)) "histogram sum exact" expected_sum
+          (Obs.Metrics.hist_sum h);
+        Alcotest.(check bool) "json snapshot parses" true
+          (json_parses (Obs.Metrics.to_json ())));
+    t "metrics: get-or-create races yield one instrument" (fun () ->
+        Obs.Metrics.reset ();
+        hammer ~domains:4 (fun _ ->
+            for _ = 1 to 1_000 do
+              Obs.Metrics.inc (Obs.Metrics.counter "conc.shared")
+            done);
+        Alcotest.(check int) "all increments on one cell" 4_000
+          (Obs.Metrics.value (Obs.Metrics.counter "conc.shared")));
+    t "trace: spans stay well-nested across 4 domains" (fun () ->
+        Obs.Trace.reset ();
+        Obs.Trace.enable ();
+        Fun.protect ~finally:Obs.Trace.disable (fun () ->
+            hammer ~domains:4 (fun d ->
+                for i = 1 to 100 do
+                  Obs.Trace.with_span "worker"
+                    ~attrs:[ ("domain", Obs.Trace.Int d) ]
+                    (fun () ->
+                      Obs.Trace.with_span "inner" (fun () ->
+                          Obs.Trace.add_attr "i" (Obs.Trace.Int i)))
+                done));
+        let roots = Obs.Trace.roots () in
+        Alcotest.(check int) "one root per iteration" 400 (List.length roots);
+        List.iter
+          (fun (s : Obs.Trace.span) ->
+            Alcotest.(check string) "root is a worker span" "worker"
+              s.Obs.Trace.name;
+            Alcotest.(check (list string))
+              "exactly its own child" [ "inner" ]
+              (span_names s.Obs.Trace.children))
+          roots;
+        Alcotest.(check int) "inner spans all attributed" 400
+          (List.length (Obs.Trace.find_all "inner"));
+        Alcotest.(check bool) "chrome export parses" true
+          (json_parses (Obs.Trace.to_chrome_json ()));
+        Obs.Trace.reset ());
+    t "trace: merge keeps main's and workers' roots apart" (fun () ->
+        Obs.Trace.reset ();
+        Obs.Trace.enable ();
+        Fun.protect ~finally:Obs.Trace.disable (fun () ->
+            Obs.Trace.with_span "before" (fun () -> ());
+            hammer ~domains:2 (fun _ ->
+                for _ = 1 to 50 do
+                  Obs.Trace.with_span "side" (fun () -> ())
+                done);
+            Obs.Trace.with_span "after" (fun () -> ()));
+        let roots = Obs.Trace.roots () in
+        Alcotest.(check int) "all roots survive the merge" 102
+          (List.length roots);
+        (* completion-sequence ordering puts main's bracketing spans at
+           the very ends of the merged stream *)
+        Alcotest.(check string) "first root" "before"
+          (List.hd roots).Obs.Trace.name;
+        Alcotest.(check string) "last root" "after"
+          (List.nth roots 101).Obs.Trace.name;
+        Obs.Trace.reset ());
+  ]
+
+let suite = trace_tests @ metrics_tests @ concurrency_tests @ smoke_tests

@@ -1,0 +1,150 @@
+(* Unit tests for the domain work pool: deterministic join order,
+   exception propagation from workers, nested-use rejection, the
+   serial fallback, and a stress run with far more tasks than
+   domains. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Scramble execution timing so completion order differs from
+   submission order: elements sleep pseudo-random sub-millisecond
+   amounts before answering. *)
+let jittered x =
+  Unix.sleepf (float_of_int ((x * 37) mod 7) /. 4000.0);
+  x * x
+
+let pool_tests =
+  [
+    t "map preserves submission order under jitter" (fun () ->
+        Par.Pool.with_pool ~domains:4 (fun p ->
+            let xs = List.init 64 (fun i -> i) in
+            Alcotest.(check (list int))
+              "same as serial map" (List.map jittered xs)
+              (Par.Pool.map p jittered xs)));
+    t "empty and singleton inputs" (fun () ->
+        Par.Pool.with_pool ~domains:4 (fun p ->
+            Alcotest.(check (list int)) "empty" [] (Par.Pool.map p succ []);
+            Alcotest.(check (list int)) "singleton" [ 2 ] (Par.Pool.map p succ [ 1 ])));
+    t "earliest exception wins and carries its message" (fun () ->
+        Par.Pool.with_pool ~domains:4 (fun p ->
+            let f x =
+              if x = 7 then failwith "boom7"
+              else if x = 42 then failwith "boom42"
+              else x
+            in
+            match Par.Pool.map p f (List.init 64 (fun i -> i)) with
+            | _ -> Alcotest.fail "expected an exception"
+            | exception Failure m ->
+              Alcotest.(check string) "first failing element" "boom7" m));
+    t "worker exception does not poison the pool" (fun () ->
+        Par.Pool.with_pool ~domains:4 (fun p ->
+            (try ignore (Par.Pool.map p (fun _ -> failwith "x") [ 1; 2; 3 ])
+             with Failure _ -> ());
+            Alcotest.(check (list int))
+              "pool still maps" [ 2; 3; 4 ]
+              (Par.Pool.map p succ [ 1; 2; 3 ])));
+    t "nested use is rejected" (fun () ->
+        Par.Pool.with_pool ~domains:4 (fun p ->
+            match
+              Par.Pool.map p
+                (fun _ -> Par.Pool.map p succ [ 1; 2; 3 ])
+                [ 1; 2; 3; 4 ]
+            with
+            | _ -> Alcotest.fail "expected Invalid_argument"
+            | exception Invalid_argument _ -> ()));
+    t "nested use is rejected across pools" (fun () ->
+        Par.Pool.with_pool ~domains:2 (fun outer ->
+            Par.Pool.with_pool ~domains:2 (fun inner ->
+                match
+                  Par.Pool.map outer (fun x -> Par.Pool.map inner succ [ x ]) [ 1; 2 ]
+                with
+                | _ -> Alcotest.fail "expected Invalid_argument"
+                | exception Invalid_argument _ -> ())));
+    t "domains=1 runs serially on the caller" (fun () ->
+        Par.Pool.with_pool ~domains:1 (fun p ->
+            let self = Domain.self () in
+            let ran_on = Par.Pool.map p (fun _ -> Domain.self ()) [ 1; 2; 3 ] in
+            List.iter
+              (fun d -> Alcotest.(check bool) "caller domain" true (d = self))
+              ran_on;
+            Alcotest.(check (list int))
+              "results" [ 1; 4; 9 ]
+              (Par.Pool.map p (fun x -> x * x) [ 1; 2; 3 ])));
+    t "stress: many more tasks than domains" (fun () ->
+        Par.Pool.with_pool ~domains:4 (fun p ->
+            let n = 1000 in
+            let xs = List.init n (fun i -> i) in
+            let expected = List.map (fun x -> (2 * x) + 1) xs in
+            Alcotest.(check (list int))
+              "all results, in order" expected
+              (Par.Pool.map p (fun x -> (2 * x) + 1) xs)));
+    t "map_reduce folds in submission order" (fun () ->
+        Par.Pool.with_pool ~domains:4 (fun p ->
+            (* non-commutative reduction: string concatenation *)
+            let xs = List.init 32 (fun i -> i) in
+            let serial =
+              List.fold_left
+                (fun acc x -> acc ^ string_of_int x ^ ";")
+                "" (List.map jittered xs)
+            in
+            let parallel =
+              Par.Pool.map_reduce p ~map:jittered
+                ~reduce:(fun acc x -> acc ^ string_of_int x ^ ";")
+                ~init:"" xs
+            in
+            Alcotest.(check string) "same fold" serial parallel));
+    t "shutdown rejects further maps" (fun () ->
+        let p = Par.Pool.create ~domains:2 () in
+        Par.Pool.shutdown p;
+        Par.Pool.shutdown p (* idempotent *);
+        match Par.Pool.map p succ [ 1 ] with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+  ]
+
+let with_jobs n f =
+  Par.Pool.set_jobs n;
+  Fun.protect f ~finally:(fun () -> Par.Pool.set_jobs 1)
+
+let global_tests =
+  [
+    t "map_auto is serial at jobs=1" (fun () ->
+        with_jobs 1 (fun () ->
+            Alcotest.(check int) "parallelism" 1 (Par.Pool.parallelism ());
+            let self = Domain.self () in
+            List.iter
+              (fun d -> Alcotest.(check bool) "caller domain" true (d = self))
+              (Par.Pool.map_auto (fun _ -> Domain.self ()) [ 1; 2; 3 ])));
+    t "map_auto parallelizes at jobs=4 and matches serial" (fun () ->
+        with_jobs 4 (fun () ->
+            Alcotest.(check int) "parallelism" 4 (Par.Pool.parallelism ());
+            let xs = List.init 64 (fun i -> i) in
+            Alcotest.(check (list int))
+              "same as serial" (List.map jittered xs)
+              (Par.Pool.map_auto jittered xs)));
+    t "map_auto degrades to serial when nested" (fun () ->
+        with_jobs 4 (fun () ->
+            let widths =
+              Par.Pool.map_auto
+                (fun _ ->
+                  (* inside a task: nested fan-out must serialize, not
+                     raise and not deadlock *)
+                  ( Par.Pool.parallelism (),
+                    Par.Pool.map_auto succ [ 1; 2; 3 ] ))
+                [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+            in
+            List.iter
+              (fun (w, inner) ->
+                Alcotest.(check int) "inner width" 1 w;
+                Alcotest.(check (list int)) "inner results" [ 2; 3; 4 ] inner)
+              widths));
+    t "set_jobs resizes the global pool" (fun () ->
+        with_jobs 2 (fun () ->
+            ignore (Par.Pool.map_auto succ [ 1; 2; 3 ]);
+            Par.Pool.set_jobs 3;
+            Alcotest.(check int) "new width" 3 (Par.Pool.jobs ());
+            Alcotest.(check (list int))
+              "still correct" [ 2; 3; 4 ]
+              (Par.Pool.map_auto succ [ 1; 2; 3 ])));
+  ]
+
+let suite = pool_tests @ global_tests
