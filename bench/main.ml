@@ -713,6 +713,68 @@ let partime ~jobs =
     (total_serial_s /. total_par_s)
     jobs
 
+(* --- Degradation-ladder quality vs budget (BENCH_resil.json) --- *)
+
+(* Every registry benchmark compiled under a descending ladder of
+   work-unit budgets, down to zero.  The compiler must return Ok at
+   every rung — the quality column records which rung of the
+   exact/heuristic/fallback ladder paid for it, and the achieved II
+   quantifies what the budget bought. *)
+let resil_bench () =
+  print_endline "\n=== Quality vs work budget (degradation ladder) ===";
+  line ();
+  let budgets =
+    [ None; Some 100_000; Some 1_000; Some 100; Some 25; Some 10; Some 0 ]
+  in
+  let bname = function None -> "unlimited" | Some b -> string_of_int b in
+  Printf.printf "%-12s %10s %10s %10s %10s %9s\n" "Benchmark" "budget"
+    "quality" "II" "bound" "attempts";
+  line ();
+  let rows =
+    List.concat_map
+      (fun (e : Benchmarks.Registry.entry) ->
+        let g = Flatten.flatten (e.stream ()) in
+        List.map
+          (fun budget ->
+            match Swp_core.Compile.compile ?budget ~coarsening:8 g with
+            | Error m -> failwith (e.name ^ ": " ^ m)
+            | Ok c ->
+              let st = c.Swp_core.Compile.search_stats in
+              let q =
+                Swp_core.Compile.quality_name c.Swp_core.Compile.quality
+              in
+              Printf.printf "%-12s %10s %10s %10d %10d %9d\n" e.name
+                (bname budget) q st.Swp_core.Ii_search.achieved_ii
+                st.Swp_core.Ii_search.lower_bound
+                st.Swp_core.Ii_search.attempts;
+              (e.name, budget, q, st))
+          budgets)
+      Benchmarks.Registry.all
+  in
+  line ();
+  let oc = open_out "BENCH_resil.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"note\": \"full registry compiled under descending II-search \
+     work-unit budgets (null = unlimited); quality records the \
+     degradation-ladder rung (exact/heuristic/degraded) and achieved_ii \
+     what the budget bought; every rung must compile Ok\",\n\
+    \  \"rows\": [\n";
+  List.iteri
+    (fun i (name, budget, q, (st : Swp_core.Ii_search.stats)) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"budget\": %s, \"quality\": \"%s\", \
+         \"achieved_ii\": %d, \"lower_bound\": %d, \"attempts\": %d}%s\n"
+        name
+        (match budget with None -> "null" | Some b -> string_of_int b)
+        q st.Swp_core.Ii_search.achieved_ii st.Swp_core.Ii_search.lower_bound
+        st.Swp_core.Ii_search.attempts
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_resil.json (%d rows)\n" (List.length rows)
+
 (* --- Bechamel micro-benchmarks of the compiler itself --- *)
 
 let micro () =
@@ -798,4 +860,5 @@ let () =
   if want "smsweep" then smsweep ();
   if want "fuzzstats" then fuzzstats ();
   if want "partime" then partime ~jobs;
+  if want "resil" then resil_bench ();
   if want "micro" then micro ()

@@ -89,13 +89,60 @@ let jobs_arg =
 
 let with_jobs jobs f =
   if jobs < 1 then begin
-    Printf.eprintf "error: --jobs must be at least 1\n";
+    Printf.eprintf "error: --jobs must be at least 1 (got %d)\n" jobs;
     1
   end
   else begin
     Par.Pool.set_jobs jobs;
     f ()
   end
+
+let with_coarsening n f =
+  if n < 1 then begin
+    Printf.eprintf "error: --coarsening must be at least 1 (got %d)\n" n;
+    1
+  end
+  else f ()
+
+(* Deadline/budget flags shared by compile, speedup and sweep. *)
+let deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock deadline for the whole compilation pipeline.  When it \
+           runs out, behavior follows $(b,--on-budget).  Nondeterministic; \
+           not covered by the byte-identical --jobs guarantee.")
+
+let budget_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "budget" ] ~docv:"WORK"
+        ~doc:
+          "Deterministic work-unit budget for the II search (simplex pivots \
+           + branch-and-bound nodes + one per attempt).  0 skips the search \
+           entirely.  Results stay byte-identical across --jobs widths.")
+
+let on_budget_arg =
+  Arg.(
+    value
+    & opt (enum [ ("degrade", `Degrade); ("fail", `Fail) ]) `Degrade
+    & info [ "on-budget" ] ~docv:"POLICY"
+        ~doc:
+          "What to do when the deadline or budget runs out: $(b,degrade) \
+           (default) falls back to a guaranteed-valid serial schedule at a \
+           relaxed II; $(b,fail) exits with a structured diagnostic.")
+
+let check_limits ~deadline ~budget f =
+  if (match budget with Some b -> b < 0 | None -> false) then begin
+    Printf.eprintf "error: --budget must be >= 0 work units\n";
+    1
+  end
+  else if (match deadline with Some d -> d <= 0.0 | None -> false) then begin
+    Printf.eprintf "error: --deadline must be positive seconds\n";
+    1
+  end
+  else f ()
 
 let dump_metrics metrics code =
   if metrics then Format.printf "%a@?" Obs.Metrics.pp_text ();
@@ -194,13 +241,18 @@ let coarsen_arg =
 
 let compile_cmd =
   let doc = "Compile through the full pipeline of Fig. 5; print the schedule." in
-  let run spec n jobs metrics =
+  let run spec n jobs deadline budget on_budget metrics =
     with_jobs jobs @@ fun () ->
+    with_coarsening n @@ fun () ->
+    check_limits ~deadline ~budget @@ fun () ->
     dump_metrics metrics
     @@ with_graph spec (fun g _ ->
-           match Swp_core.Compile.compile ~coarsening:n g with
+           match
+             Swp_core.Compile.compile ~coarsening:n ?deadline ?budget
+               ~on_budget g
+           with
            | Error m ->
-             Printf.eprintf "compilation failed: %s\n" m;
+             Printf.eprintf "error: compile: %s\n" m;
              1
            | Ok c ->
              Format.printf "%a@." Swp_core.Compile.pp_summary c;
@@ -221,17 +273,20 @@ let compile_cmd =
              0)
   in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(const run $ spec_arg $ coarsen_arg $ jobs_arg $ metrics_arg)
+    Term.(
+      const run $ spec_arg $ coarsen_arg $ jobs_arg $ deadline_arg
+      $ budget_arg $ on_budget_arg $ metrics_arg)
 
 (* --- emit --- *)
 
 let emit_cmd =
   let doc = "Emit the generated CUDA program on stdout (Sec. IV-C)." in
   let run spec n =
+    with_coarsening n @@ fun () ->
     with_graph spec (fun g _ ->
         match Swp_core.Compile.compile ~coarsening:n g with
         | Error m ->
-          Printf.eprintf "compilation failed: %s\n" m;
+          Printf.eprintf "error: compile: %s\n" m;
           1
         | Ok c ->
           print_string (Cudagen.Kernel_gen.program c);
@@ -278,10 +333,11 @@ let run_cmd =
 let buffers_cmd =
   let doc = "Per-channel buffer sizing of the SWPn schedule (Table II detail)." in
   let run spec n =
+    with_coarsening n @@ fun () ->
     with_graph spec (fun g _ ->
         match Swp_core.Compile.compile ~coarsening:n g with
         | Error m ->
-          Printf.eprintf "compilation failed: %s\n" m;
+          Printf.eprintf "error: compile: %s\n" m;
           1
         | Ok c ->
           let sz = c.Swp_core.Compile.sizing in
@@ -304,15 +360,21 @@ let buffers_cmd =
 
 let speedup_cmd =
   let doc = "Report SWP / SWPNC / Serial speedups over the CPU model (Fig. 10)." in
-  let run spec n jobs metrics =
+  let run spec n jobs deadline budget on_budget metrics =
     with_jobs jobs @@ fun () ->
+    with_coarsening n @@ fun () ->
+    check_limits ~deadline ~budget @@ fun () ->
     dump_metrics metrics
     @@ with_graph spec (fun g _ ->
-        match Swp_core.Compile.compile ~coarsening:n g with
+        match
+          Swp_core.Compile.compile ~coarsening:n ?deadline ?budget ~on_budget g
+        with
         | Error m ->
-          Printf.eprintf "compilation failed: %s\n" m;
+          Printf.eprintf "error: compile: %s\n" m;
           1
         | Ok c ->
+          if c.Swp_core.Compile.quality = Swp_core.Compile.Degraded then
+            Printf.printf "note: degraded schedule (budget/deadline hit)\n";
           let sp cycles =
             match
               Swp_core.Executor.speedup ~arch ~graph:g
@@ -326,7 +388,8 @@ let speedup_cmd =
             (sp gt.Swp_core.Executor.cycles_per_steady);
           (match
              Swp_core.Compile.compile
-               ~scheme:Swp_core.Compile.Swp_non_coalesced ~coarsening:n g
+               ~scheme:Swp_core.Compile.Swp_non_coalesced ~coarsening:n
+               ?deadline ?budget ~on_budget g
            with
           | Ok cn ->
             let gtn = Swp_core.Executor.time_swp cn in
@@ -348,7 +411,9 @@ let speedup_cmd =
           0)
   in
   Cmd.v (Cmd.info "speedup" ~doc)
-    Term.(const run $ spec_arg $ coarsen_arg $ jobs_arg $ metrics_arg)
+    Term.(
+      const run $ spec_arg $ coarsen_arg $ jobs_arg $ deadline_arg
+      $ budget_arg $ on_budget_arg $ metrics_arg)
 
 (* --- trace --- *)
 
@@ -367,6 +432,7 @@ let trace_cmd =
   in
   let run spec n jobs out metrics =
     with_jobs jobs @@ fun () ->
+    with_coarsening n @@ fun () ->
     Obs.Trace.reset ();
     Obs.Metrics.reset ();
     Obs.Trace.enable ();
@@ -374,7 +440,7 @@ let trace_cmd =
       with_graph spec (fun g _ ->
           match Swp_core.Compile.compile ~coarsening:n g with
           | Error m ->
-            Printf.eprintf "compilation failed: %s\n" m;
+            Printf.eprintf "error: compile: %s\n" m;
             1
           | Ok c ->
             ignore (Cudagen.Kernel_gen.program c);
@@ -431,17 +497,39 @@ let fuzz_cmd =
       & info [ "iters" ] ~docv:"ITERS"
           ~doc:"Macro steady-state iterations each oracle executes.")
   in
-  let run seeds base_seed iters jobs metrics =
+  let run seeds base_seed iters jobs faults deadline metrics =
     if seeds <= 0 then begin
-      Printf.eprintf "error: --seeds must be positive\n";
+      Printf.eprintf "error: --seeds must be positive (got %d)\n" seeds;
       1
     end
     else if jobs < 1 then begin
-      Printf.eprintf "error: --jobs must be at least 1\n";
+      Printf.eprintf "error: --jobs must be at least 1 (got %d)\n" jobs;
       1
     end
+    else if (match deadline with Some d -> d <= 0.0 | None -> false) then begin
+      Printf.eprintf "error: --deadline must be positive seconds\n";
+      1
+    end
+    else if faults then begin
+      if jobs > 1 then begin
+        Printf.eprintf
+          "error: fuzz --faults is serial (fault arming is process-global); \
+           drop --jobs\n";
+        1
+      end
+      else begin
+        let stats, failures = Check.Fault_fuzz.run ~base_seed ~seeds () in
+        List.iter
+          (fun f -> Format.printf "FAIL %a@." Check.Fault_fuzz.pp_failure f)
+          failures;
+        Format.printf "%a@." Check.Fault_fuzz.pp_stats stats;
+        dump_metrics metrics (if failures = [] then 0 else 1)
+      end
+    end
     else begin
-      let stats, failures = Check.Fuzz.run ~iters ~base_seed ~seeds ~jobs () in
+      let stats, failures =
+        Check.Fuzz.run ~iters ~base_seed ~seeds ~jobs ?deadline ()
+      in
       List.iter
         (fun f -> Format.printf "FAIL %a@.@." Check.Fuzz.pp_failure f)
         failures;
@@ -458,10 +546,28 @@ let fuzz_cmd =
              are identical to the serial run: the same seeds, the same \
              failures, in the same order.")
   in
+  let faults_arg =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Fault-injection mode: arm one deterministic fault per seed \
+             (site and hit index derived from the seed) and assert every \
+             compile ends in a validated — possibly degraded — schedule or \
+             a structured diagnostic, never a crash.  Serial only.")
+  in
+  let fuzz_deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Stop starting new seeds after this many wall-clock seconds; \
+             unstarted seeds are reported as cancelled, not dropped.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ seeds_arg $ base_seed_arg $ iters_arg $ fuzz_jobs_arg
-      $ metrics_arg)
+      $ faults_arg $ fuzz_deadline_arg $ metrics_arg)
 
 (* --- sweep --- *)
 
@@ -476,8 +582,10 @@ let sweep_cmd =
       value & opt (list int) [ 2; 4; 6; 8 ]
       & info [ "sms" ] ~docv:"N,..." ~doc:"Comma-separated SM counts.")
   in
-  let run spec n sms jobs metrics =
+  let run spec n sms jobs deadline budget on_budget metrics =
     with_jobs jobs @@ fun () ->
+    with_coarsening n @@ fun () ->
+    check_limits ~deadline ~budget @@ fun () ->
     if List.exists (fun s -> s < 1) sms then begin
       Printf.eprintf "error: --sms entries must be at least 1\n";
       1
@@ -488,7 +596,9 @@ let sweep_cmd =
              let results =
                Par.Pool.map_auto
                  (fun num_sms ->
-                   (num_sms, Swp_core.Compile.compile ~num_sms ~coarsening:n g))
+                   ( num_sms,
+                     Swp_core.Compile.compile ~num_sms ~coarsening:n ?deadline
+                       ?budget ~on_budget g ))
                  sms
              in
              Printf.printf "%-8s %10s %8s %14s %10s\n" "SMs" "II" "stages"
@@ -498,7 +608,7 @@ let sweep_cmd =
                (fun (num_sms, r) ->
                  match r with
                  | Error m ->
-                   Printf.printf "%-8d compilation failed: %s\n" num_sms m;
+                   Printf.printf "%-8d error: compile: %s\n" num_sms m;
                    code := 1
                  | Ok c ->
                    let gt = Swp_core.Executor.time_swp c in
@@ -520,7 +630,9 @@ let sweep_cmd =
              !code)
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ spec_arg $ coarsen_arg $ sms_arg $ jobs_arg $ metrics_arg)
+    Term.(
+      const run $ spec_arg $ coarsen_arg $ sms_arg $ jobs_arg $ deadline_arg
+      $ budget_arg $ on_budget_arg $ metrics_arg)
 
 let () =
   let doc = "StreamIt-to-GPU software-pipelining compiler (CGO 2009 reproduction)" in

@@ -1,0 +1,142 @@
+(* Fault-injection fuzzing.
+
+   For each seed: generate a stream, arm exactly one deterministic fault
+   (the site and hit index are pure functions of the seed), and compile.
+   The resilience contract under test: every injected fault yields
+   either a schedule that still validates against the full constraint
+   system of Sec. III — at full quality or degraded — or a structured
+   one-line diagnostic.  An escaped exception or an invalid schedule is
+   a bug.
+
+   Even seeds additionally compile under a tiny work-unit budget, so the
+   budget-exhaustion and fault paths compose in one campaign.
+
+   Fault arming is process-global, so this driver is strictly serial —
+   which also keeps every campaign deterministic in (base_seed, seeds). *)
+
+open Streamit
+
+let sites =
+  [|
+    "stage.profile";
+    "stage.select";
+    "stage.search";
+    "stage.layout";
+    "pool.task";
+    "ii_search.attempt";
+  |]
+
+let spec_for seed =
+  {
+    Resil.Inject.site = sites.(seed mod Array.length sites);
+    at = 1 + (seed / Array.length sites mod 3);
+  }
+
+type outcome =
+  | Full         (* compiled at full quality despite the fault *)
+  | Degraded     (* the ladder bottomed out in the fallback scheduler *)
+  | Diagnosed of string  (* structured compile error, no crash *)
+  | Skip of string       (* seed rejected before the fault could matter *)
+
+type failure = { seed : int; site : string; at : int; message : string }
+
+type stats = {
+  seeds : int;
+  full : int;
+  degraded : int;
+  diagnosed : int;
+  skipped : int;
+  failed : int;
+}
+
+let m_seeds = Obs.Metrics.counter "fault_fuzz.seeds"
+let m_degraded = Obs.Metrics.counter "fault_fuzz.degraded"
+let m_failures = Obs.Metrics.counter "fault_fuzz.failures"
+
+let run_seed ?(cfg = Gen.default) seed =
+  Obs.Metrics.inc m_seeds;
+  let spec = spec_for seed in
+  (* even seeds also squeeze the II search through a near-zero work
+     budget; odd seeds exercise the fault alone *)
+  let budget = if seed mod 2 = 0 then Some 25 else None in
+  let s = Gen.stream ~cfg ~seed () in
+  match
+    (try Ok (Flatten.flatten s) with Failure m -> Error ("flatten: " ^ m))
+  with
+  | Error m -> Ok (Skip m)
+  | Ok g
+    when (match Sdf.steady_state g with
+         | Ok r ->
+           Array.fold_left ( + ) 0 r.Sdf.reps > Gen.max_steady_firings
+         | Error _ -> false) ->
+    Ok (Skip "steady state too large to schedule within the fuzz budget")
+  | Ok g -> (
+    Resil.Inject.arm [ spec ];
+    let compiled =
+      Fun.protect ~finally:Resil.Inject.disarm (fun () ->
+          try Ok (Swp_core.Compile.compile ?budget g)
+          with e -> Error (Printexc.to_string e))
+    in
+    match compiled with
+    | Error crash ->
+      Obs.Metrics.inc m_failures;
+      Error
+        {
+          seed;
+          site = spec.Resil.Inject.site;
+          at = spec.Resil.Inject.at;
+          message = "escaped exception: " ^ crash;
+        }
+    | Ok (Error diag) -> Ok (Diagnosed diag)
+    | Ok (Ok c) -> (
+      match Swp_core.Swp_schedule.validate g c.Swp_core.Compile.schedule with
+      | Error m ->
+        Obs.Metrics.inc m_failures;
+        Error
+          {
+            seed;
+            site = spec.Resil.Inject.site;
+            at = spec.Resil.Inject.at;
+            message = "invalid schedule compiled under fault: " ^ m;
+          }
+      | Ok () ->
+        Ok
+          (match c.Swp_core.Compile.quality with
+          | Swp_core.Compile.Degraded ->
+            Obs.Metrics.inc m_degraded;
+            Degraded
+          | Swp_core.Compile.Exact | Swp_core.Compile.Heuristic -> Full)))
+
+let run ?(cfg = Gen.default) ?(base_seed = 1) ~seeds () =
+  let failures = ref [] in
+  let full = ref 0
+  and degraded = ref 0
+  and diagnosed = ref 0
+  and skipped = ref 0 in
+  for i = 0 to seeds - 1 do
+    match run_seed ~cfg (base_seed + i) with
+    | Ok Full -> incr full
+    | Ok Degraded -> incr degraded
+    | Ok (Diagnosed _) -> incr diagnosed
+    | Ok (Skip _) -> incr skipped
+    | Error f -> failures := f :: !failures
+  done;
+  let failures = List.rev !failures in
+  ( {
+      seeds;
+      full = !full;
+      degraded = !degraded;
+      diagnosed = !diagnosed;
+      skipped = !skipped;
+      failed = List.length failures;
+    },
+    failures )
+
+let pp_failure fmt (f : failure) =
+  Format.fprintf fmt "seed %d (fault %s hit %d): %s" f.seed f.site f.at
+    f.message
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "%d seeds: %d full, %d degraded, %d diagnosed, %d skipped, %d failed"
+    s.seeds s.full s.degraded s.diagnosed s.skipped s.failed

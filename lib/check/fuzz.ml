@@ -15,6 +15,8 @@ open Streamit
 let m_seeds = Obs.Metrics.counter "fuzz.seeds"
 let m_passed = Obs.Metrics.counter "fuzz.passed"
 let m_skipped = Obs.Metrics.counter "fuzz.skipped"
+let m_cancelled = Obs.Metrics.counter "fuzz.cancelled"
+let m_crashes = Obs.Metrics.counter "fuzz.crashes"
 let m_mismatches = Obs.Metrics.counter "fuzz.mismatches"
 let m_shrink_steps = Obs.Metrics.counter "fuzz.shrink_steps"
 
@@ -31,6 +33,7 @@ type stats = {
   seeds : int;
   passed : int;
   skipped : int;
+  cancelled : int;  (* seeds never started: deadline hit first *)
   failed : int;
   shrink_steps : int;
 }
@@ -127,34 +130,85 @@ let run_seed ?(cfg = Gen.default) ?iters ?num_sms ?solver ?max_firings seed =
     Error { seed; message; counterexample = small; shrink_steps = steps }
 
 let run ?(cfg = Gen.default) ?iters ?num_sms ?solver ?max_firings
-    ?(base_seed = 1) ?(jobs = 1) ~seeds () =
+    ?(base_seed = 1) ?(jobs = 1) ?deadline ~seeds () =
   (* Every seed is an independent generate-compile-check unit, so the
-     batch shards across a domain pool: [Par.Pool.map] joins in
+     batch shards across a domain pool: [Par.Pool.map_result] joins in
      submission (= seed) order, and each seed's generation, shrinking
      and oracles are deterministic in the seed alone, so a sharded run
      visits exactly the serial run's seed set and reports exactly its
-     failures, in the same order. *)
+     failures, in the same order.
+
+     Containment: a crash while checking one seed (a worker fault) must
+     not take the whole campaign down — it is recorded as that seed's
+     failure, with the generated program as the counterexample, and the
+     remaining seeds still run.  [deadline] (wall-clock seconds) opts
+     into cooperative cancellation: seeds not yet started when it
+     passes are counted as [cancelled], never silently dropped. *)
   let seed_list = List.init seeds (fun i -> base_seed + i) in
   let check seed = run_seed ~cfg ?iters ?num_sms ?solver ?max_firings seed in
+  let should_stop =
+    Option.map
+      (fun d ->
+        let t_end = Unix.gettimeofday () +. d in
+        fun () -> Unix.gettimeofday () > t_end)
+      deadline
+  in
+  let contain index seed =
+    match should_stop with
+    | Some stop when stop () ->
+      Error
+        {
+          Par.Pool.index;
+          exn = Par.Pool.Cancelled;
+          backtrace = Printexc.get_callstack 0;
+        }
+    | _ -> (
+      try Ok (check seed)
+      with e ->
+        Error
+          { Par.Pool.index; exn = e; backtrace = Printexc.get_raw_backtrace () })
+  in
   let results =
-    if jobs <= 1 || Par.Pool.in_task () then List.map check seed_list
-    else Par.Pool.with_pool ~domains:jobs (fun p -> Par.Pool.map p check seed_list)
+    if jobs <= 1 || Par.Pool.in_task () then List.mapi contain seed_list
+    else
+      Par.Pool.with_pool ~domains:jobs (fun p ->
+          Par.Pool.map_result p ?should_stop check seed_list)
   in
   let failures = ref [] in
-  let passed = ref 0 and skipped = ref 0 and shrink_steps = ref 0 in
-  List.iter
-    (function
-      | Ok `Pass -> incr passed
-      | Ok (`Skip _) -> incr skipped
-      | Error (f : failure) ->
+  let passed = ref 0
+  and skipped = ref 0
+  and cancelled = ref 0
+  and shrink_steps = ref 0 in
+  List.iter2
+    (fun seed outcome ->
+      match outcome with
+      | Ok (Ok `Pass) -> incr passed
+      | Ok (Ok (`Skip _)) -> incr skipped
+      | Ok (Error (f : failure)) ->
         shrink_steps := !shrink_steps + f.shrink_steps;
-        failures := f :: !failures)
-    results;
+        failures := f :: !failures
+      | Error { Par.Pool.exn = Par.Pool.Cancelled; _ } ->
+        Obs.Metrics.inc m_cancelled;
+        incr cancelled
+      | Error { Par.Pool.exn; _ } ->
+        (* contained worker crash: report it against its seed with the
+           un-shrunk generated program as the counterexample *)
+        Obs.Metrics.inc m_crashes;
+        failures :=
+          {
+            seed;
+            message = "crash: " ^ Printexc.to_string exn;
+            counterexample = Gen.stream ~cfg ~seed ();
+            shrink_steps = 0;
+          }
+          :: !failures)
+    seed_list results;
   let failures = List.rev !failures in
   ( {
       seeds;
       passed = !passed;
       skipped = !skipped;
+      cancelled = !cancelled;
       failed = List.length failures;
       shrink_steps = !shrink_steps;
     },
@@ -167,7 +221,10 @@ let pp_failure fmt f =
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "%d seeds: %d passed, %d skipped, %d failed%s" s.seeds s.passed s.skipped
+    "%d seeds: %d passed, %d skipped, %d failed%s%s" s.seeds s.passed s.skipped
     s.failed
     (if s.failed > 0 then Printf.sprintf " (%d shrink steps)" s.shrink_steps
+     else "")
+    (if s.cancelled > 0 then
+       Printf.sprintf ", %d cancelled by deadline" s.cancelled
      else "")

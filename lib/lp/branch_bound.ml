@@ -35,8 +35,8 @@ let most_fractional_var int_vars (sol : Solution.t) =
     int_vars;
   Option.map fst !best
 
-let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution ?incumbent
-    ?(use_reference_lp = false) problem =
+let solve ?(node_budget = 10_000) ?time_budget_s ?budget ?first_solution
+    ?incumbent ?(use_reference_lp = false) problem =
   let deadline =
     Option.map (fun b -> Sys.time () +. b) time_budget_s
   in
@@ -110,15 +110,22 @@ let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution ?incumbent
          (match deadline with
          | Some d when Sys.time () > d -> raise Budget
          | _ -> ());
+         (* Cooperative budget check: one work unit per node, and the
+            token's own limits (work and, if armed, wall clock). *)
+         (match budget with
+         | Some b ->
+           if Resil.Budget.over b then raise Budget
+           else Resil.Budget.charge b 1
+         | None -> ());
          incr explored;
          if node.depth > !maxdepth then maxdepth := node.depth;
          let relaxation =
            if use_reference_lp then
-             Simplex.solve_with_bounds_reference ?deadline ~stats:lp_stats
-               problem ~lb:node.lb ~ub:node.ub
+             Simplex.solve_with_bounds_reference ?deadline ?budget
+               ~stats:lp_stats problem ~lb:node.lb ~ub:node.ub
            else
-             Simplex.solve_with_bounds ?deadline ~stats:lp_stats problem
-               ~lb:node.lb ~ub:node.ub
+             Simplex.solve_with_bounds ?deadline ?budget ~stats:lp_stats
+               problem ~lb:node.lb ~ub:node.ub
          in
          (match relaxation with
          | Solution.Budget_exhausted _ ->
@@ -196,6 +203,7 @@ let solve ?(node_budget = 10_000) ?time_budget_s ?first_solution ?incumbent
   let budget_hit =
     !explored >= node_budget || !lp_budget_hit
     || (match deadline with Some d -> Sys.time () > d | None -> false)
+    || (match budget with Some b -> Resil.Budget.over b | None -> false)
   in
   match !incumbent with
   | Some sol ->

@@ -23,6 +23,7 @@ type stats = {
 val solve :
   ?node_budget:int ->
   ?time_budget_s:float ->
+  ?budget:Resil.Budget.t ->
   ?first_solution:bool ->
   ?incumbent:(int -> Rat.t) ->
   ?use_reference_lp:bool ->
@@ -33,6 +34,12 @@ val solve :
     the paper's 20-second CPLEX allotment per candidate II;
     [first_solution] defaults to [true] when the objective is constant and
     [false] otherwise.
+
+    [budget], when given, is a {!Resil.Budget} token charged one work
+    unit per branch-and-bound node and one per simplex pivot (the token
+    is shared with every LP relaxation).  An exhausted token makes the
+    solve return [Budget_exhausted] exactly like [node_budget]; with a
+    work-unit-only token the cut-off point is deterministic.
 
     [incumbent], when given, is a candidate assignment (variable id to
     value).  If it satisfies the problem it seeds the search — branch

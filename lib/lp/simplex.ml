@@ -325,7 +325,7 @@ let pivot t r c =
    pathological instances; it raises {!Pivot_limit}, which the MILP
    driver reports as budget exhaustion.
    @raise Pivot_limit *)
-let run_phase ?deadline t ~max_col =
+let run_phase ?deadline ?budget t ~max_col =
   let m = Array.length t.rows in
   let bland_after = 10 * (m + t.ncols) in
   let max_pivots = 60 * (m + t.ncols) in
@@ -336,6 +336,15 @@ let run_phase ?deadline t ~max_col =
     (match deadline with
     | Some d when !pivots land 15 = 0 && Sys.time () > d -> raise Pivot_limit
     | _ -> ());
+    (* Work-unit exhaustion is checked every pivot (an int compare);
+       the wall-clock guard shares the deadline throttle above. *)
+    (match budget with
+    | Some b ->
+      if
+        Resil.Budget.over_work b
+        || (!pivots land 15 = 0 && Resil.Budget.over_wall b)
+      then raise Pivot_limit
+    | None -> ());
     let use_bland = !pivots > bland_after in
     if use_bland && not !bland_noted then begin
       bland_noted := true;
@@ -384,13 +393,14 @@ let run_phase ?deadline t ~max_col =
       else begin
         pivot t !best_row c;
         incr pivots;
+        (match budget with Some b -> Resil.Budget.charge b 1 | None -> ());
         loop ()
       end
     end
   in
   loop ()
 
-let solve_std_sparse ?deadline sf =
+let solve_std_sparse ?deadline ?budget sf =
   let m = Array.length sf.srows in
   let slack_start = sf.nstruct in
   let art_start = sf.nstruct + sf.n_slack in
@@ -488,7 +498,7 @@ let solve_std_sparse ?deadline sf =
               row_iter_nz t.rows.(i) (fun j x ->
                   t.obj.(j) <- Rat.sub t.obj.(j) x)
           done;
-          run_phase ?deadline t ~max_col:art_start
+          run_phase ?deadline ?budget t ~max_col:art_start
         end
       in
       match phase1_result with
@@ -528,7 +538,7 @@ let solve_std_sparse ?deadline sf =
             row_iter_nz t.rows.(i) (fun j x ->
                 t.obj.(j) <- Rat.sub t.obj.(j) (Rat.mul cb x))
         done;
-        (match run_phase ?deadline t ~max_col:art_start with
+        (match run_phase ?deadline ?budget t ~max_col:art_start with
         | `Unbounded -> Solution.Unbounded
         | `Optimal ->
           (* Extract: std column values, then map back. *)
@@ -582,7 +592,7 @@ module Dense_core = struct
     t.basis.(r) <- c;
     t.pivots <- t.pivots + 1
 
-  let run_phase ?deadline t ~max_col =
+  let run_phase ?deadline ?budget t ~max_col =
     let m = Array.length t.rows in
     let bland_after = 10 * (m + t.ncols) in
     let max_pivots = 60 * (m + t.ncols) in
@@ -594,6 +604,13 @@ module Dense_core = struct
       | Some d when !pivots land 15 = 0 && Sys.time () > d ->
         raise Pivot_limit
       | _ -> ());
+      (match budget with
+      | Some b ->
+        if
+          Resil.Budget.over_work b
+          || (!pivots land 15 = 0 && Resil.Budget.over_wall b)
+        then raise Pivot_limit
+      | None -> ());
       let use_bland = !pivots > bland_after in
       if use_bland && not !bland_noted then begin
         bland_noted := true;
@@ -642,13 +659,14 @@ module Dense_core = struct
         else begin
           pivot t !best_row c;
           incr pivots;
+          (match budget with Some b -> Resil.Budget.charge b 1 | None -> ());
           loop ()
         end
       end
     in
     loop ()
 
-  let solve_std ?deadline sf =
+  let solve_std ?deadline ?budget sf =
     let m = Array.length sf.srows in
     let slack_start = sf.nstruct in
     let art_start = sf.nstruct + sf.n_slack in
@@ -703,7 +721,7 @@ module Dense_core = struct
               t.obj.(j) <- Rat.sub t.obj.(j) t.rows.(i).(j)
             done
         done;
-        run_phase ?deadline t ~max_col:art_start
+        run_phase ?deadline ?budget t ~max_col:art_start
       end
     in
     match phase1_result with
@@ -735,7 +753,7 @@ module Dense_core = struct
               t.obj.(j) <- Rat.sub t.obj.(j) (Rat.mul cb t.rows.(i).(j))
             done
         done;
-        (match run_phase ?deadline t ~max_col:art_start with
+        (match run_phase ?deadline ?budget t ~max_col:art_start with
         | `Unbounded -> Solution.Unbounded
         | `Optimal ->
           let colval = Array.make ncols q0 in
@@ -782,11 +800,11 @@ let record_stats stats s =
   | None -> ()
   | Some r -> r := Solution.add_lp_stats !r s
 
-let solve_with_bounds ?deadline ?stats problem ~lb ~ub =
+let solve_with_bounds ?deadline ?budget ?stats problem ~lb ~ub =
   match build_std problem ~lb ~ub with
   | None -> Solution.Infeasible
   | Some sf ->
-    let outcome, st = solve_std_sparse ?deadline sf in
+    let outcome, st = solve_std_sparse ?deadline ?budget sf in
     Solution.record_to_registry st;
     record_stats stats st;
     outcome
@@ -797,12 +815,12 @@ let solve problem =
   let ub = Array.init n (Problem.var_ub problem) in
   solve_with_bounds problem ~lb ~ub
 
-let solve_with_bounds_reference ?deadline ?stats problem ~lb ~ub =
+let solve_with_bounds_reference ?deadline ?budget ?stats problem ~lb ~ub =
   match build_std problem ~lb ~ub with
   | None -> Solution.Infeasible
   | Some sf -> (
     let outcome =
-      try Dense_core.solve_std ?deadline sf
+      try Dense_core.solve_std ?deadline ?budget sf
       with Pivot_limit -> Solution.Budget_exhausted None
     in
     (match outcome with

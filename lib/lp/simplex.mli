@@ -27,6 +27,7 @@ val solve : Problem.t -> Solution.outcome
 
 val solve_with_bounds :
   ?deadline:float ->
+  ?budget:Resil.Budget.t ->
   ?stats:Solution.lp_stats ref ->
   Problem.t ->
   lb:Rat.t option array ->
@@ -36,9 +37,13 @@ val solve_with_bounds :
     branch-and-bound to impose branching decisions without mutating the
     problem).  Arrays are indexed by variable id and must cover every
     variable.  [deadline] is an absolute [Sys.time ()] value past which
-    pivoting aborts with [Budget_exhausted None].  [stats], when given, is
-    accumulated with the solve's pivot/fill statistics whatever the
-    outcome (see {!Solution.add_lp_stats}). *)
+    pivoting aborts with [Budget_exhausted None].  [budget], when given,
+    is charged one work unit per pivot and checked cooperatively: an
+    exhausted token (work units, or its wall-clock deadline) also aborts
+    with [Budget_exhausted None] — work-unit exhaustion is deterministic
+    in the pivot sequence alone.  [stats], when given, is accumulated
+    with the solve's pivot/fill statistics whatever the outcome (see
+    {!Solution.add_lp_stats}). *)
 
 val solve_reference : Problem.t -> Solution.outcome
 (** Dense-tableau reference implementation (the original solver).  Kept
@@ -46,6 +51,7 @@ val solve_reference : Problem.t -> Solution.outcome
 
 val solve_with_bounds_reference :
   ?deadline:float ->
+  ?budget:Resil.Budget.t ->
   ?stats:Solution.lp_stats ref ->
   Problem.t ->
   lb:Rat.t option array ->

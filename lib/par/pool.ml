@@ -100,14 +100,28 @@ let with_pool ?domains f =
 
 type 'b slot = Empty | Ok_ of 'b | Exn of exn * Printexc.raw_backtrace
 
+(* Deterministic fault-injection point: every task executed by a pool
+   (serial degradations included) passes through it, so a fuzzer can arm
+   the ["pool.task"] site and observe how callers contain a worker
+   fault.  Free when no faults are armed — a single atomic load. *)
+let inject_point () =
+  if Resil.Inject.armed () then Resil.Inject.fire "pool.task"
+
 let map pool f xs =
   if in_task () then
     invalid_arg "Par.Pool.map: nested use (called from inside a pool task)";
   if pool.closed then invalid_arg "Par.Pool.map: pool is shut down";
   match xs with
   | [] -> []
-  | [ x ] -> [ f x ]
-  | _ when pool.width = 1 -> List.map f xs
+  | [ x ] ->
+    inject_point ();
+    [ f x ]
+  | _ when pool.width = 1 ->
+    List.map
+      (fun x ->
+        inject_point ();
+        f x)
+      xs
   | _ ->
     let args = Array.of_list xs in
     let n = Array.length args in
@@ -117,7 +131,9 @@ let map pool f xs =
     let left = ref n in
     let task i () =
       let r =
-        try Ok_ (f args.(i))
+        try
+          inject_point ();
+          Ok_ (f args.(i))
         with e -> Exn (e, Printexc.get_raw_backtrace ())
       in
       results.(i) <- r;
@@ -156,6 +172,70 @@ let map pool f xs =
 
 let map_reduce pool ~map:f ~reduce ~init xs =
   List.fold_left reduce init (map pool f xs)
+
+(* ---------- fault-containing map ---------- *)
+
+type fault = { index : int; exn : exn; backtrace : Printexc.raw_backtrace }
+
+exception Cancelled
+
+(* Run one element under containment: cooperative cancellation first
+   (a cancelled task is never started), then execute with every
+   exception — injected faults included — captured into the slot. *)
+let run_contained ?should_stop f i x =
+  let stop = match should_stop with Some p -> p () | None -> false in
+  if stop then
+    Error { index = i; exn = Cancelled; backtrace = Printexc.get_callstack 0 }
+  else
+    try
+      inject_point ();
+      Ok (f x)
+    with e ->
+      Error { index = i; exn = e; backtrace = Printexc.get_raw_backtrace () }
+
+let map_result pool ?should_stop f xs =
+  if in_task () then
+    invalid_arg
+      "Par.Pool.map_result: nested use (called from inside a pool task)";
+  if pool.closed then invalid_arg "Par.Pool.map_result: pool is shut down";
+  match xs with
+  | [] -> []
+  | [ x ] -> [ run_contained ?should_stop f 0 x ]
+  | _ when pool.width = 1 ->
+    List.mapi (fun i x -> run_contained ?should_stop f i x) xs
+  | _ ->
+    let args = Array.of_list xs in
+    let n = Array.length args in
+    let results = Array.make n None in
+    let latch_m = Mutex.create () in
+    let all_done = Condition.create () in
+    let left = ref n in
+    let task i () =
+      let r = run_contained ?should_stop f i args.(i) in
+      results.(i) <- Some r;
+      Mutex.lock latch_m;
+      decr left;
+      if !left = 0 then Condition.signal all_done;
+      Mutex.unlock latch_m
+    in
+    Mutex.lock pool.m;
+    for i = 0 to n - 1 do
+      Queue.push (task i) pool.queue
+    done;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.m;
+    while try_run_one pool do
+      ()
+    done;
+    Mutex.lock latch_m;
+    while !left > 0 do
+      Condition.wait all_done latch_m
+    done;
+    Mutex.unlock latch_m;
+    (* deterministic join: per-element outcomes in submission order;
+       nothing is ever re-raised here *)
+    List.init n (fun i ->
+        match results.(i) with Some r -> r | None -> assert false)
 
 (* ---------- process-global pool ---------- *)
 
@@ -202,4 +282,15 @@ let global () =
   p
 
 let map_auto f xs =
-  if parallelism () = 1 then List.map f xs else map (global ()) f xs
+  if parallelism () = 1 then
+    List.map
+      (fun x ->
+        inject_point ();
+        f x)
+      xs
+  else map (global ()) f xs
+
+let map_auto_result ?should_stop f xs =
+  if parallelism () = 1 then
+    List.mapi (fun i x -> run_contained ?should_stop f i x) xs
+  else map_result (global ()) ?should_stop f xs

@@ -46,6 +46,44 @@ val map_reduce :
     reduction order is deterministic even though execution order is
     not, so non-commutative reductions are safe. *)
 
+(** {1 Fault-containing map}
+
+    {!map} re-raises the earliest task exception, which is the right
+    default for homogeneous batches where one failure poisons the
+    result.  Drivers that want to survive individual failures (the
+    fuzzer compiling many independent seeds, a sweep where one point
+    diverges) use {!map_result}: every element settles to its own
+    [result], worker faults never escape, and a cooperative
+    [should_stop] predicate cancels not-yet-started tasks. *)
+
+type fault = {
+  index : int;  (** submission position of the failing element *)
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+exception Cancelled
+(** The [exn] recorded for elements whose task was cancelled by
+    [should_stop] before it started. *)
+
+val map_result :
+  t ->
+  ?should_stop:(unit -> bool) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, fault) result list
+(** [map_result pool f xs] evaluates [f] on every element in parallel
+    and returns one [result] per element, in submission order.  A task
+    that raises yields [Error] with the exception and its backtrace
+    captured; no exception from a task ever escapes the call.
+    [should_stop] is polled immediately before each task starts; once
+    it returns [true], remaining tasks settle to [Error] with
+    {!Cancelled} without running (tasks already running complete
+    normally).  The list of outcomes is deterministic for a
+    deterministic [f]/[should_stop].
+    @raise Invalid_argument on nested use or after {!shutdown} —
+    programming errors, not task faults. *)
+
 val shutdown : t -> unit
 (** Drains the queue, terminates and joins the workers.  Idempotent;
     subsequent {!map} calls raise [Invalid_argument]. *)
@@ -87,3 +125,10 @@ val map_auto : ('a -> 'b) -> 'a list -> 'b list
 (** [List.map f xs] when {!parallelism}[ () = 1]; a parallel {!map} on
     the global pool otherwise.  Always safe to call — never raises the
     nested-use rejection. *)
+
+val map_auto_result :
+  ?should_stop:(unit -> bool) -> ('a -> 'b) -> 'a list ->
+  ('b, fault) result list
+(** {!map_result} on the global pool, degrading to a serial contained
+    map when {!parallelism}[ () = 1] — same containment and
+    cancellation semantics either way. *)

@@ -1,0 +1,84 @@
+type reason = Work | Wall
+
+exception Exhausted of { label : string; reason : reason }
+
+type t = {
+  label : string;
+  mutable used : int;
+  limit : int option;
+  deadline : float option; (* absolute Unix.gettimeofday, already armed *)
+  parent : t option;
+}
+
+let m_exhausted_work = Obs.Metrics.counter "resil.budget.exhausted_work"
+let m_exhausted_wall = Obs.Metrics.counter "resil.budget.exhausted_wall"
+
+let unlimited =
+  { label = "unlimited"; used = 0; limit = None; deadline = None; parent = None }
+
+let create ?(label = "budget") ?work ?wall_s () =
+  let deadline =
+    match wall_s with
+    | None -> None
+    | Some s -> Some (Unix.gettimeofday () +. s)
+  in
+  { label; used = 0; limit = work; deadline; parent = None }
+
+let sub ?label ?work t =
+  {
+    label = (match label with Some l -> l | None -> t.label ^ "/sub");
+    used = 0;
+    limit = work;
+    deadline = None; (* the parent chain supplies any wall deadline *)
+    parent = Some t;
+  }
+
+let rec charge t n =
+  t.used <- t.used + n;
+  match t.parent with None -> () | Some p -> charge p n
+
+let consumed t = t.used
+
+let remaining t =
+  match t.limit with None -> None | Some l -> Some (max 0 (l - t.used))
+
+let rec over_work t =
+  (match t.limit with Some l -> t.used >= l | None -> false)
+  || (match t.parent with Some p -> over_work p | None -> false)
+
+let rec has_deadline t =
+  t.deadline <> None
+  || (match t.parent with Some p -> has_deadline p | None -> false)
+
+let over_wall t =
+  (* Read the clock at most once, and only when some deadline is armed:
+     a work-unit-only token stays deterministic. *)
+  if not (has_deadline t) then false
+  else begin
+    let now = Unix.gettimeofday () in
+    let rec go t =
+      (match t.deadline with Some d -> now > d | None -> false)
+      || (match t.parent with Some p -> go p | None -> false)
+    in
+    go t
+  end
+
+let over t = over_work t || over_wall t
+
+let exhausted_reason t =
+  if over_work t then Some Work else if over_wall t then Some Wall else None
+
+let label t = t.label
+
+let check t =
+  match exhausted_reason t with
+  | None -> ()
+  | Some reason ->
+    (match reason with
+    | Work -> Obs.Metrics.inc m_exhausted_work
+    | Wall -> Obs.Metrics.inc m_exhausted_wall);
+    raise (Exhausted { label = t.label; reason })
+
+let pp_reason fmt = function
+  | Work -> Format.pp_print_string fmt "work-unit budget"
+  | Wall -> Format.pp_print_string fmt "wall-clock deadline"

@@ -1,0 +1,80 @@
+(** Composable deadline/budget tokens for cooperative cancellation.
+
+    A budget token bounds how much work a computation may perform.  Two
+    kinds of limit compose in one token:
+
+    - a {e work-unit} limit: a deterministic count of abstract work
+      units (the solver stack charges one unit per simplex pivot and
+      one per branch-and-bound node).  Exhaustion depends only on the
+      charge sequence, never on the clock, so work-unit budgets keep
+      parallel and serial compilation byte-identical;
+    - an optional {e wall-clock} deadline: an outer guard for callers
+      that need bounded real-time latency.  Wall-clock exhaustion is
+      inherently nondeterministic and is excluded from the determinism
+      suite — it is opt-in and off by default everywhere.
+
+    Tokens form a tree: {!sub} derives a child with its own (usually
+    smaller) work cap whose charges propagate to the parent, so a
+    per-attempt allotment and a whole-search ledger can be enforced at
+    once.  Checking is cooperative: long-running loops call {!over} (or
+    {!check}) at natural safe points and unwind on exhaustion.
+
+    A token must only be charged from one domain at a time; checking
+    ({!over}, {!over_work}) from other domains is safe and is how a
+    pool's cancellation-aware join observes a budget. *)
+
+type reason = Work | Wall
+
+exception
+  Exhausted of {
+    label : string;
+    reason : reason;
+  }  (** Raised by {!check}; carries the token's label for diagnostics. *)
+
+type t
+
+val unlimited : t
+(** A token with no limits: {!charge} counts, {!over} is always false. *)
+
+val create : ?label:string -> ?work:int -> ?wall_s:float -> unit -> t
+(** [create ~work ~wall_s ()] makes a fresh root token.  [work] is the
+    work-unit allotment ([Some 0] is exhausted from the start); [wall_s]
+    arms a wall-clock deadline [wall_s] seconds from now.  Omitted
+    limits are unlimited. *)
+
+val sub : ?label:string -> ?work:int -> t -> t
+(** [sub ~work t] derives a child token with its own work cap.  Charges
+    to the child also charge [t] (and its ancestors), and the child is
+    considered exhausted as soon as any ancestor is. *)
+
+val charge : t -> int -> unit
+(** [charge t n] consumes [n] work units from [t] and every ancestor.
+    Never raises. *)
+
+val consumed : t -> int
+(** Work units charged to this token so far. *)
+
+val remaining : t -> int option
+(** Work units left before this token's own cap ([None] = unlimited);
+    never negative. *)
+
+val over_work : t -> bool
+(** The work-unit limit of this token or an ancestor is exhausted.
+    Deterministic: no clock is read. *)
+
+val over_wall : t -> bool
+(** A wall-clock deadline of this token or an ancestor has passed.
+    Reads the clock only when a deadline is armed; always false for
+    tokens without one. *)
+
+val over : t -> bool
+(** [over_work t || over_wall t]. *)
+
+val exhausted_reason : t -> reason option
+(** Why the token is exhausted, work-limit first, or [None]. *)
+
+val check : t -> unit
+(** @raise Exhausted when the token is over either limit. *)
+
+val label : t -> string
+val pp_reason : Format.formatter -> reason -> unit

@@ -1,0 +1,43 @@
+exception Injected of string
+
+type spec = { site : string; at : int }
+
+let m_fired = Obs.Metrics.counter "resil.inject.fired"
+
+let lock = Mutex.create ()
+let specs : spec list ref = ref []
+let counts : (string, int) Hashtbl.t = Hashtbl.create 16
+let enabled = Atomic.make false
+
+let arm sl =
+  Mutex.lock lock;
+  specs := sl;
+  Hashtbl.reset counts;
+  Atomic.set enabled (sl <> []);
+  Mutex.unlock lock
+
+let disarm () = arm []
+
+let armed () = Atomic.get enabled
+
+let hit site =
+  if not (Atomic.get enabled) then false
+  else begin
+    Mutex.lock lock;
+    let c = (match Hashtbl.find_opt counts site with Some c -> c | None -> 0) + 1 in
+    Hashtbl.replace counts site c;
+    let fires = List.exists (fun s -> s.site = site && s.at = c) !specs in
+    Mutex.unlock lock;
+    if fires then Obs.Metrics.inc m_fired;
+    fires
+  end
+
+let fire site = if hit site then raise (Injected site)
+
+let hits () =
+  Mutex.lock lock;
+  let l = Hashtbl.fold (fun site c acc -> (site, c) :: acc) counts [] in
+  Mutex.unlock lock;
+  List.sort compare l
+
+let pp_spec fmt s = Format.fprintf fmt "%s@@%d" s.site s.at

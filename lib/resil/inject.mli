@@ -1,0 +1,45 @@
+(** Seeded, deterministic fault injection.
+
+    Production code marks its failure points with named {e sites}
+    ([Inject.fire "stage.profile"], [Inject.hit "ii_search.attempt"], …).
+    When disarmed — the default — a site is a single atomic-bool read;
+    when armed with a list of {!spec}s, the [at]-th hit of a named site
+    fires, either raising {!Injected} ({!fire}) or returning [true]
+    ({!hit}) so the caller can simulate a soft failure such as solver
+    budget exhaustion.
+
+    Hit counting is process-global and mutex-guarded; the firing
+    decision is a pure function of the armed specs and the sequence of
+    hits, so a {e serial} run injects the same fault at the same point
+    on every execution.  Arm faults only around serial pipelines (the
+    fault-fuzz driver compiles one program at a time): under a parallel
+    fan-out the hit order, and therefore which task observes the fault,
+    is not deterministic. *)
+
+exception Injected of string  (** The fired site's name. *)
+
+type spec = {
+  site : string;  (** site name, e.g. ["stage.profile"] *)
+  at : int;  (** fire on the [at]-th hit of [site], 1-based *)
+}
+
+val arm : spec list -> unit
+(** Install the specs and reset all hit counters.  [arm []] disarms. *)
+
+val disarm : unit -> unit
+
+val armed : unit -> bool
+(** Cheap enough for hot paths: one atomic load. *)
+
+val hit : string -> bool
+(** Count a hit of the site; [true] when an armed spec fires here.  A
+    no-op returning [false] while disarmed (the counter does not
+    advance). *)
+
+val fire : string -> unit
+(** [hit], then raise {!Injected} when it fires. *)
+
+val hits : unit -> (string * int) list
+(** Observed hit counters since the last {!arm}, sorted by site name. *)
+
+val pp_spec : Format.formatter -> spec -> unit

@@ -1,4 +1,5 @@
 type scheme = Swp_coalesced | Swp_non_coalesced
+type quality = Exact | Heuristic | Degraded
 
 type compiled = {
   arch : Gpusim.Arch.t;
@@ -11,12 +12,27 @@ type compiled = {
   search_stats : Ii_search.stats;
   sizing : Buffer_layout.sizing;
   coarsening : int;
+  quality : quality;
 }
+
+let quality_name = function
+  | Exact -> "exact"
+  | Heuristic -> "heuristic"
+  | Degraded -> "degraded"
+
+let pp_quality fmt q = Format.pp_print_string fmt (quality_name q)
+
+let m_exact = Obs.Metrics.counter "compile.quality.exact"
+let m_heuristic = Obs.Metrics.counter "compile.quality.heuristic"
+let m_degraded = Obs.Metrics.counter "compile.quality.degraded"
 
 let ( let* ) = Result.bind
 
+let inject site = if Resil.Inject.armed () then Resil.Inject.fire site
+
 let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
-    ?(coarsening = 1) ?solver ?(scheme = Swp_coalesced) graph =
+    ?(coarsening = 1) ?solver ?(scheme = Swp_coalesced) ?deadline ?budget
+    ?(on_budget = `Degrade) graph =
   let num_sms = Option.value num_sms ~default:arch.Gpusim.Arch.num_sms in
   Obs.Trace.with_span "compile"
     ~attrs:
@@ -29,35 +45,152 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
         ("num_sms", Obs.Trace.Int num_sms);
       ]
   @@ fun () ->
-  let* () = Streamit.Graph.validate graph in
-  let* rates = Streamit.Sdf.steady_state graph in
-  let mode =
-    match scheme with
-    | Swp_coalesced -> Profile.Coalesced
-    | Swp_non_coalesced -> Profile.Non_coalesced
-  in
-  let profile = Profile.run arch graph ~mode in
-  let* config = Select.select graph rates profile in
-  let* schedule, search_stats =
-    match solver with
-    | Some s -> Ii_search.search ~solver:s graph config ~num_sms
-    | None -> Ii_search.search graph config ~num_sms
-  in
-  Obs.Trace.add_attr "ii" (Obs.Trace.Int schedule.Swp_schedule.ii);
-  let sizing = Buffer_layout.size_buffers graph schedule ~coarsening in
-  Ok
-    {
-      arch;
-      scheme;
-      graph;
-      rates;
-      profile;
-      config;
-      schedule;
-      search_stats;
-      sizing;
-      coarsening;
-    }
+  if coarsening < 1 then
+    Error (Printf.sprintf "invalid coarsening %d: must be >= 1" coarsening)
+  else if num_sms < 1 then
+    Error (Printf.sprintf "invalid num_sms %d: must be >= 1" num_sms)
+  else if (match budget with Some b -> b < 0 | None -> false) then
+    Error "invalid budget: must be >= 0 work units"
+  else if (match deadline with Some d -> d <= 0.0 | None -> false) then
+    Error "invalid deadline: must be > 0 seconds"
+  else begin
+    (* The wall-clock deadline covers the whole pipeline: profiling and
+       selection check this token cooperatively, and whatever real time
+       is left when the II search starts becomes its deadline.  Absent a
+       deadline no clock is ever read — budgeted compilation stays
+       deterministic. *)
+    let t_start = if deadline = None then 0.0 else Unix.gettimeofday () in
+    let outer =
+      Option.map
+        (fun s -> Resil.Budget.create ~label:"compile" ~wall_s:s ())
+        deadline
+    in
+    let finish ~quality rates profile config schedule search_stats =
+      inject "stage.layout";
+      Obs.Trace.add_attr "ii" (Obs.Trace.Int schedule.Swp_schedule.ii);
+      Obs.Trace.add_attr "quality" (Obs.Trace.Str (quality_name quality));
+      let sizing = Buffer_layout.size_buffers graph schedule ~coarsening in
+      Obs.Metrics.inc
+        (match quality with
+        | Exact -> m_exact
+        | Heuristic -> m_heuristic
+        | Degraded -> m_degraded);
+      Ok
+        {
+          arch;
+          scheme;
+          graph;
+          rates;
+          profile;
+          config;
+          schedule;
+          search_stats;
+          sizing;
+          coarsening;
+          quality;
+        }
+    in
+    try
+      let* () = Streamit.Graph.validate graph in
+      let* rates = Streamit.Sdf.steady_state graph in
+      let mode =
+        match scheme with
+        | Swp_coalesced -> Profile.Coalesced
+        | Swp_non_coalesced -> Profile.Non_coalesced
+      in
+      inject "stage.profile";
+      let profile = Profile.run ?budget:outer arch graph ~mode in
+      inject "stage.select";
+      let* config = Select.select ?budget:outer graph rates profile in
+      let search_budget =
+        {
+          Ii_search.default_budget with
+          Ii_search.total_work = budget;
+          wall_clock_s =
+            Option.map
+              (fun d -> Float.max 0.0 (d -. (Unix.gettimeofday () -. t_start)))
+              deadline;
+        }
+      in
+      let search_result =
+        (* A fault or budget exhaustion inside the search stage is
+           recoverable: the fallback scheduler below still has
+           everything it needs (the profile and configuration). *)
+        try
+          inject "stage.search";
+          Result.map_error
+            (fun e -> `Search e)
+            (match solver with
+            | Some s ->
+              Ii_search.search ~solver:s ~budget:search_budget graph config
+                ~num_sms
+            | None -> Ii_search.search ~budget:search_budget graph config ~num_sms)
+        with
+        | Resil.Inject.Injected site -> Error (`Fault site)
+        | Resil.Budget.Exhausted { label; reason } ->
+          Error (`Exhausted (label, reason))
+      in
+      match search_result with
+      | Ok (schedule, search_stats) ->
+        let quality =
+          if search_stats.Ii_search.used_exact then Exact else Heuristic
+        in
+        finish ~quality rates profile config schedule search_stats
+      | Error err -> (
+        let message =
+          match err with
+          | `Search (e : Ii_search.error) ->
+            Format.asprintf "II search failed (%a): %s" Ii_search.pp_reason
+              e.Ii_search.reason e.Ii_search.message
+          | `Fault site -> Printf.sprintf "fault injected at %s" site
+          | `Exhausted (label, reason) ->
+            Format.asprintf "%s budget exhausted (%a)" label
+              Resil.Budget.pp_reason reason
+        in
+        let recoverable =
+          match err with
+          | `Fault _ | `Exhausted _ -> true
+          | `Search e -> (
+            match e.Ii_search.reason with
+            | `Budget | `Deadline -> true
+            | `Unschedulable | `Range -> false)
+        in
+        if on_budget = `Fail || not recoverable then Error message
+        else
+          (* Degradation ladder, last rung: a guaranteed-feasible serial
+             schedule at a relaxed II.  The search's committed attempt
+             log is preserved in the synthesized stats so the degraded
+             compile stays auditable. *)
+          let* schedule = Fallback.schedule graph config ~num_sms in
+          let lower_bound, attempt_log =
+            match err with
+            | `Search e -> (e.Ii_search.lower_bound, e.Ii_search.attempt_log)
+            | `Fault _ | `Exhausted _ -> (0, [])
+          in
+          let achieved_ii = schedule.Swp_schedule.ii in
+          let search_stats =
+            {
+              Ii_search.lower_bound;
+              achieved_ii;
+              attempts = List.length attempt_log;
+              relaxation =
+                (if lower_bound > 0 then
+                   float_of_int (achieved_ii - lower_bound)
+                   /. float_of_int lower_bound
+                 else 0.0);
+              used_exact = false;
+              attempt_log;
+            }
+          in
+          finish ~quality:Degraded rates profile config schedule search_stats)
+    with
+    | Resil.Inject.Injected site ->
+      Error (Printf.sprintf "fault injected at %s" site)
+    | Resil.Budget.Exhausted { label; reason } ->
+      Error
+        (Format.asprintf "%s budget exhausted (%a)" label
+           Resil.Budget.pp_reason reason)
+  end
 
 let recoarsen c n =
   if n <= 0 then invalid_arg "Compile.recoarsen: non-positive factor";
@@ -76,7 +209,7 @@ let layout_of_node c node =
 
 let pp_summary fmt c =
   Format.fprintf fmt
-    "@[<v>compiled %s scheme=%s@,\
+    "@[<v>compiled %s scheme=%s quality=%s@,\
      nodes=%d instances=%d@,\
      regs=%d block_threads=%d scale=%d@,\
      %a@,\
@@ -85,6 +218,7 @@ let pp_summary fmt c =
     (match c.scheme with
     | Swp_coalesced -> "SWP"
     | Swp_non_coalesced -> "SWPNC")
+    (quality_name c.quality)
     (Streamit.Graph.num_nodes c.graph)
     (Instances.num_instances c.config)
     c.config.Select.regs c.config.Select.block_threads c.config.Select.scale

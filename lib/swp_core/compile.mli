@@ -3,11 +3,32 @@
     profile every filter → select the execution configuration → generate
     the scheduling constraints → search for the smallest feasible II →
     lay out buffers.  The result carries everything code generation
-    ({!Cudagen}) and the timing executor ({!Executor}) need. *)
+    ({!Cudagen}) and the timing executor ({!Executor}) need.
+
+    {2 Deadlines, budgets and degradation}
+
+    Compilation is resilient by construction: given a [deadline] (wall
+    clock) or [budget] (deterministic work units), the pipeline runs a
+    three-rung ladder — exact ILP, heuristic modulo scheduler, and
+    finally the guaranteed-feasible {!Fallback} scheduler — and returns
+    [Ok] with the achieved {!quality} instead of failing, unless
+    [on_budget] is [`Fail].  Work-unit budgets are deterministic: the
+    same graph under the same [budget] compiles to the byte-identical
+    artifact whatever [--jobs] is.  Wall-clock deadlines are inherently
+    nondeterministic and opt-in. *)
 
 type scheme =
   | Swp_coalesced       (** the paper's optimized scheme *)
   | Swp_non_coalesced   (** SWPNC baseline: no memory-access coalescing *)
+
+(** How far down the degradation ladder the schedule came from. *)
+type quality =
+  | Exact      (** the exact ILP produced (or verified) the schedule *)
+  | Heuristic  (** the heuristic modulo scheduler at the searched II *)
+  | Degraded
+      (** the fallback serial schedule at a relaxed II — valid but slow;
+          produced only when a budget/deadline ran out or a fault was
+          injected in the search stage *)
 
 type compiled = {
   arch : Gpusim.Arch.t;
@@ -20,7 +41,11 @@ type compiled = {
   search_stats : Ii_search.stats;
   sizing : Buffer_layout.sizing;
   coarsening : int;
+  quality : quality;
 }
+
+val quality_name : quality -> string
+val pp_quality : Format.formatter -> quality -> unit
 
 val compile :
   ?arch:Gpusim.Arch.t ->
@@ -28,16 +53,35 @@ val compile :
   ?coarsening:int ->
   ?solver:Ii_search.solver ->
   ?scheme:scheme ->
+  ?deadline:float ->
+  ?budget:int ->
+  ?on_budget:[ `Degrade | `Fail ] ->
   Streamit.Graph.t ->
   (compiled, string) result
 (** Defaults: the GeForce 8800 GTS 512 with all 16 SMs, coarsening 1,
-    [Auto] solver, coalesced scheme. *)
+    [Auto] solver, coalesced scheme, no deadline, no budget,
+    [on_budget = `Degrade].
+
+    [deadline] bounds the whole pipeline in wall-clock seconds:
+    profiling and selection check it cooperatively, and the II search
+    gets whatever time remains.  [budget] bounds the II search in
+    deterministic work units (simplex pivots + branch-and-bound nodes +
+    one per attempt); [budget:0] skips the search entirely.  When either
+    runs out, [`Degrade] (the default) falls back down the ladder to a
+    validated serial schedule with [quality = Degraded], while [`Fail]
+    returns a structured one-line [Error].
+
+    Invalid arguments ([coarsening]/[num_sms] < 1, negative [budget],
+    non-positive [deadline]) are reported as [Error], not exceptions.
+    Injected faults ({!Resil.Inject}) in any stage yield either a
+    degraded-but-valid compile (search stage, under [`Degrade]) or a
+    structured [Error] — never an escaped exception. *)
 
 val recoarsen : compiled -> int -> compiled
 (** Same schedule with a different coarsening factor (SWPn of Fig. 11);
     only the buffer sizing changes — coarsening multiplies every delay by
     the same factor and therefore preserves schedule optimality, as the
-    paper argues. *)
+    paper argues.  Quality is preserved. *)
 
 val layout_of_node : compiled -> Streamit.Graph.node -> Gpusim.Timing.layout
 (** The buffer layout each node's channel accesses use under this

@@ -1,0 +1,32 @@
+let m_schedules = Obs.Metrics.counter "resil.fallback.schedules"
+
+let relaxed_ii (cfg : Select.config) =
+  let total = ref 0 in
+  Array.iteri (fun v reps -> total := !total + (reps * cfg.delay.(v))) cfg.reps;
+  1 + !total
+
+let schedule g (cfg : Select.config) ~num_sms =
+  Obs.Trace.with_span "fallback" @@ fun () ->
+  let insts = Instances.instances cfg in
+  let deps = Instances.deps g cfg in
+  let rec attempt ii tries last_err =
+    if tries = 0 then
+      Error
+        (Printf.sprintf "fallback scheduler failed up to II=%d (%s)" ii
+           last_err)
+    else
+      match Heuristic.solve ~insts ~deps g cfg ~num_sms:1 ~ii with
+      | `Infeasible -> attempt (ii * 2) (tries - 1) "heuristic infeasible"
+      | `Schedule s -> (
+        (* All instances live on SM 0; widening [num_sms] leaves the
+           constraint system satisfied (no new cross-SM separations) and
+           lets downstream sizing/codegen see the real machine. *)
+        let s = { s with Swp_schedule.num_sms } in
+        match Swp_schedule.validate g s with
+        | Ok () ->
+          Obs.Metrics.inc m_schedules;
+          Obs.Trace.add_attr "fallback_ii" (Obs.Trace.Int s.Swp_schedule.ii);
+          Ok s
+        | Error m -> attempt (ii * 2) (tries - 1) m)
+  in
+  attempt (relaxed_ii cfg) 6 "not attempted"

@@ -1,0 +1,29 @@
+(** Guaranteed-feasible fallback scheduler — the last rung of the
+    degradation ladder (exact ILP, then heuristic, then this).
+
+    When the II search runs out of budget or deadline before finding a
+    schedule, the compiler must still emit {e something} valid.  This
+    module schedules every instance serially on SM 0 at a deliberately
+    relaxed II — one cycle more than the total steady-state work — where
+    the heuristic's longest-path relaxation always converges for
+    admissible graphs: with a single SM there are no cross-SM (8b)
+    separations, the per-SM load fits the II by construction, and every
+    dependence cycle carries at least one iteration of lag.  The result
+    is a dreadful-but-correct software pipeline: throughput degrades,
+    validity does not. *)
+
+val relaxed_ii : Select.config -> int
+(** [1 + sum over instances of their delay]: an II at which a serial
+    one-SM schedule trivially satisfies the resource constraint (2) and
+    the no-wrap constraint (4). *)
+
+val schedule :
+  Streamit.Graph.t ->
+  Select.config ->
+  num_sms:int ->
+  (Swp_schedule.t, string) result
+(** Schedule on one SM at {!relaxed_ii}, re-label the schedule with the
+    real [num_sms] (unused SMs stay idle) and validate it against the
+    full constraint system.  On the (theoretically impossible for
+    admissible graphs) chance of failure the II is doubled a few times
+    before giving up with [Error]. *)

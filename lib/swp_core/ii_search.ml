@@ -1,5 +1,22 @@
 type solver = Exact of int | Heuristic | Auto of int
 
+type budget = {
+  attempt_work : int option;
+  exact_time_s : float option;
+  auto_time_s : float option;
+  total_work : int option;
+  wall_clock_s : float option;
+}
+
+let default_budget =
+  {
+    attempt_work = None;
+    exact_time_s = Some 20.0;
+    auto_time_s = Some 1.0;
+    total_work = None;
+    wall_clock_s = None;
+  }
+
 type attempt = {
   ii : int;
   tried_exact : bool;
@@ -7,6 +24,8 @@ type attempt = {
   solve_time_s : float;
   lp_pivots : int;
   bb_nodes : int;
+  work_units : int;
+  budget_hit : bool;
 }
 
 type stats = {
@@ -18,11 +37,29 @@ type stats = {
   attempt_log : attempt list;
 }
 
+type reason = [ `Unschedulable | `Budget | `Deadline | `Range ]
+
+type error = {
+  message : string;
+  reason : reason;
+  lower_bound : int;
+  attempt_log : attempt list;
+}
+
+let pp_reason fmt (r : reason) =
+  Format.pp_print_string fmt
+    (match r with
+    | `Unschedulable -> "unschedulable"
+    | `Budget -> "budget"
+    | `Deadline -> "deadline"
+    | `Range -> "range")
+
 let pp_attempt fmt (a : attempt) =
-  Format.fprintf fmt "II=%-6d %-10s %-10s %10.6fs %8d pivots %6d nodes" a.ii
+  Format.fprintf fmt "II=%-6d %-10s %-10s %10.6fs %8d pivots %6d nodes%s" a.ii
     (if a.tried_exact then "exact ILP" else "heuristic")
     (if a.feasible then "feasible" else "infeasible")
     a.solve_time_s a.lp_pivots a.bb_nodes
+    (if a.budget_hit then "  [budget hit]" else "")
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
@@ -32,15 +69,35 @@ let pp_stats fmt (s : stats) =
     s.attempts
     (if s.used_exact then "exact" else "heuristic")
 
+(* Canonical attempt-log serialization for reproducibility checks: every
+   field of the committed search except wall times, which cannot be
+   byte-identical across runs.  Serial and parallel searches with the
+   same inputs and work-unit budgets must produce equal signatures. *)
+let log_signature (s : stats) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "bound=%d achieved=%d attempts=%d exact=%b\n" s.lower_bound
+       s.achieved_ii s.attempts s.used_exact);
+  List.iter
+    (fun a ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "ii=%d exact=%b feasible=%b pivots=%d nodes=%d work=%d hit=%b\n"
+           a.ii a.tried_exact a.feasible a.lp_pivots a.bb_nodes a.work_units
+           a.budget_hit))
+    s.attempt_log;
+  Buffer.contents b
+
 let m_attempts = Obs.Metrics.counter "ii_search.attempts"
 let m_exact = Obs.Metrics.counter "ii_search.exact_attempts"
 let m_searches = Obs.Metrics.counter "ii_search.searches"
 let m_failures = Obs.Metrics.counter "ii_search.failures"
+let m_budget_stops = Obs.Metrics.counter "ii_search.budget_stops"
 let h_attempt_s = Obs.Metrics.histogram "ii_search.attempt_seconds"
 let h_relax = Obs.Metrics.histogram "ii_search.relaxation"
 
-let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
-    ~num_sms =
+let search ?(solver = Auto 2000) ?(budget = default_budget)
+    ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg ~num_sms =
   Obs.Trace.with_span "ii_search" @@ fun () ->
   Obs.Metrics.inc m_searches;
   (* The instance/dependence expansion does not depend on the candidate II:
@@ -53,14 +110,41 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
   with
   | Error m ->
     Obs.Metrics.inc m_failures;
-    Error ("unschedulable at any II: " ^ m)
+    Error
+      {
+        message = "unschedulable at any II: " ^ m;
+        reason = `Unschedulable;
+        lower_bound = 0;
+        attempt_log = [];
+      }
   | Ok lb ->
   Obs.Trace.add_attr "lower_bound" (Obs.Trace.Int lb);
   (* the exact ILP is only worth its cost near the II lower bound, where
      the heuristic's packing granularity is the limiting factor *)
   let near_bound ii = ii <= lb + (lb / 50) + 2 in
   let log = ref [] in
-  let mk_attempt ~ii ~tried_exact ~feasible ~t0 bb =
+  let fail ~reason message =
+    Obs.Metrics.inc m_failures;
+    if reason = `Budget || reason = `Deadline then
+      Obs.Metrics.inc m_budget_stops;
+    Error { message; reason; lower_bound = lb; attempt_log = List.rev !log }
+  in
+  (* The search-wide ledger.  It is charged only when an attempt commits
+     — never from inside a speculative probe — so parallel probing
+     cannot perturb where a work-unit budget cuts the search off. *)
+  let ledger =
+    if budget.total_work <> None || budget.wall_clock_s <> None then
+      Some
+        (Resil.Budget.create ~label:"ii_search" ?work:budget.total_work
+           ?wall_s:budget.wall_clock_s ())
+    else None
+  in
+  let ledger_over () =
+    match ledger with
+    | None -> None
+    | Some b -> Resil.Budget.exhausted_reason b
+  in
+  let mk_attempt ~ii ~tried_exact ~feasible ~budget_hit ~t0 bb =
     let bb_nodes, lp_pivots =
       match bb with
       | Some (s : Lp.Branch_bound.stats) -> (s.nodes_explored, s.lp_pivots)
@@ -74,6 +158,10 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
         solve_time_s = Sys.time () -. t0;
         lp_pivots;
         bb_nodes;
+        (* the +1 makes pure-heuristic attempts (no pivots, no nodes)
+           still drain a total-work ledger *)
+        work_units = lp_pivots + bb_nodes + 1;
+        budget_hit;
       }
     in
     Obs.Trace.add_attr "feasible" (Obs.Trace.Bool feasible);
@@ -83,12 +171,15 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
     Obs.Trace.add_attr "nodes" (Obs.Trace.Int bb_nodes);
     a
   in
-  (* Committing an attempt (log + metrics) is separated from probing it:
-     speculative probes that lose the race to an earlier feasible II are
-     discarded uncommitted, so the recorded search is bit-identical to
-     the serial one. *)
+  (* Committing an attempt (log + metrics + ledger) is separated from
+     probing it: speculative probes that lose the race to an earlier
+     feasible II are discarded uncommitted, so the recorded search is
+     bit-identical to the serial one. *)
   let commit (a : attempt) =
     log := a :: !log;
+    (match ledger with
+    | Some b -> Resil.Budget.charge b a.work_units
+    | None -> ());
     Obs.Metrics.inc m_attempts;
     if a.tried_exact then Obs.Metrics.inc m_exact;
     Obs.Metrics.observe h_attempt_s a.solve_time_s
@@ -99,50 +190,75 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
     @@ fun () ->
     let t0 = Sys.time () in
     let bb = ref None in
+    (* Per-attempt work allotment: a fresh token per probe, so probes
+       stay pure functions of their candidate II under parallel
+       speculation. *)
+    let tok =
+      Option.map
+        (fun w -> Resil.Budget.create ~label:"ii_search.attempt" ~work:w ())
+        budget.attempt_work
+    in
+    (* Fault-injection point: an armed ["ii_search.attempt"] fault turns
+       this probe into a budget-exhausted infeasible attempt, exercising
+       the relax-and-retry and degradation paths without a crash. *)
+    let injected =
+      Resil.Inject.armed () && Resil.Inject.hit "ii_search.attempt"
+    in
     let res =
-      match solver with
-      | Heuristic -> (
-        match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
-        | `Schedule s -> Some (s, false)
-        | `Infeasible -> None)
-      | Exact budget -> (
-        (* Warm start: hand the ILP the heuristic's schedule as its
-           incumbent — branch-and-bound verifies it against the full
-           constraint system and, the problem being pure feasibility,
-           returns it without exploring.  Only a heuristic failure pays
-           for a cold exact solve. *)
-        let warm_start =
+      if injected then None
+      else
+        match solver with
+        | Heuristic -> (
           match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
-          | `Schedule s -> Some s
-          | `Infeasible -> None
-        in
-        match
-          Ilp.solve ~node_budget:budget ~time_budget_s:20.0 ~insts ~deps
-            ?warm_start ~stats:bb g cfg ~num_sms ~ii
-        with
-        | `Schedule s -> Some (s, true)
-        | `Infeasible | `Budget_exhausted -> None)
-      | Auto budget -> (
-        match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
-        | `Schedule s -> Some (s, false)
-        | `Infeasible ->
-          (* The exact ILP is only worth invoking on problems small enough
-             for the branch-and-bound to stand a chance within its budget
-             (the assignment variables alone number instances x SMs). *)
-          if Instances.num_instances cfg * num_sms > 96 || not (near_bound ii)
-          then None
-          else (
-            match
-              Ilp.solve ~node_budget:budget ~time_budget_s:1.0 ~insts ~deps
-                ~stats:bb g cfg ~num_sms ~ii
-            with
-            | `Schedule s -> Some (s, true)
-            | `Infeasible | `Budget_exhausted -> None))
+          | `Schedule s -> Some (s, false)
+          | `Infeasible -> None)
+        | Exact nb -> (
+          (* Warm start: hand the ILP the heuristic's schedule as its
+             incumbent — branch-and-bound verifies it against the full
+             constraint system and, the problem being pure feasibility,
+             returns it without exploring.  Only a heuristic failure pays
+             for a cold exact solve. *)
+          let warm_start =
+            match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
+            | `Schedule s -> Some s
+            | `Infeasible -> None
+          in
+          match
+            Ilp.solve ~node_budget:nb ?time_budget_s:budget.exact_time_s
+              ?budget:tok ~insts ~deps ?warm_start ~stats:bb g cfg ~num_sms
+              ~ii
+          with
+          | `Schedule s -> Some (s, true)
+          | `Infeasible | `Budget_exhausted -> None)
+        | Auto nb -> (
+          match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
+          | `Schedule s -> Some (s, false)
+          | `Infeasible ->
+            (* The exact ILP is only worth invoking on problems small enough
+               for the branch-and-bound to stand a chance within its budget
+               (the assignment variables alone number instances x SMs). *)
+            if
+              Instances.num_instances cfg * num_sms > 96 || not (near_bound ii)
+            then None
+            else (
+              match
+                Ilp.solve ~node_budget:nb ?time_budget_s:budget.auto_time_s
+                  ?budget:tok ~insts ~deps ~stats:bb g cfg ~num_sms ~ii
+              with
+              | `Schedule s -> Some (s, true)
+              | `Infeasible | `Budget_exhausted -> None))
     in
     let tried_exact =
-      match solver with Exact _ -> true | Heuristic -> false | Auto _ -> !bb <> None
+      match solver with
+      | Exact _ -> not injected
+      | Heuristic -> false
+      | Auto _ -> !bb <> None
     in
-    (res, mk_attempt ~ii ~tried_exact ~feasible:(res <> None) ~t0 !bb)
+    let budget_hit =
+      injected
+      || (match tok with Some b -> Resil.Budget.over b | None -> false)
+    in
+    (res, mk_attempt ~ii ~tried_exact ~feasible:(res <> None) ~budget_hit ~t0 !bb)
   in
   let max_ii = int_of_float (float_of_int lb *. (1.0 +. max_relax)) + 1 in
   let next_ii ii =
@@ -165,6 +281,20 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
           attempt_log = List.rev !log;
         } )
   in
+  let stop_for reason =
+    match reason with
+    | Resil.Budget.Work ->
+      fail ~reason:`Budget
+        (Printf.sprintf
+           "II search work budget exhausted after %d committed attempts \
+            (bound %d)"
+           (List.length !log) lb)
+    | Resil.Budget.Wall ->
+      fail ~reason:`Deadline
+        (Printf.sprintf
+           "II search deadline exceeded after %d committed attempts (bound %d)"
+           (List.length !log) lb)
+  in
   (* The candidate sequence lb, next_ii lb, ... is fixed up front by
      (lb, relax_step) and each probe is a pure function of its candidate,
      so the search can speculate: probe the next K candidates
@@ -174,9 +304,11 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
      wasted work, not observable results).  K = 1 (no global pool, or
      nested under another fan-out) is the serial search, window of one. *)
   let rec loop ii attempts =
+    match ledger_over () with
+    | Some r -> stop_for r
+    | None ->
     if ii > max_ii then begin
-      Obs.Metrics.inc m_failures;
-      Error
+      fail ~reason:`Range
         (Printf.sprintf "no feasible schedule up to II=%d (bound %d)" max_ii lb)
     end
     else begin
@@ -200,7 +332,12 @@ let search ?(solver = Auto 2000) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
           commit a;
           match res with
           | Some r -> success ~ii ~attempts r
-          | None -> scan cands' probes' (attempts + 1))
+          | None -> (
+            (* the ledger is only consulted at commit points, the same
+               points the serial search would consult it at *)
+            match ledger_over () with
+            | Some r -> stop_for r
+            | None -> scan cands' probes' (attempts + 1)))
       in
       scan window probes attempts
     end

@@ -10,7 +10,24 @@
     The search derives the instance/dependence expansion {e once} and
     reuses it across every candidate II, and in [Exact] mode warm-starts
     branch-and-bound with the heuristic's feasible schedule so the ILP
-    verifies rather than re-discovers it. *)
+    verifies rather than re-discovers it.
+
+    {2 Budgets}
+
+    A {!budget} bounds the search along two axes.  {e Per-attempt}
+    limits ([attempt_work], and the paper-mirroring [exact_time_s] /
+    [auto_time_s] CPU allotments) bound one candidate II's solve; the
+    search then relaxes and retries, so they shape quality, not
+    termination.  {e Search-wide} limits ([total_work],
+    [wall_clock_s]) stop the whole search with a structured {!error}
+    that the compiler turns into a degraded-but-valid schedule.
+
+    Work-unit limits (simplex pivots + branch-and-bound nodes, one unit
+    each, plus one per committed attempt) are deterministic: the ledger
+    is charged only when an attempt {e commits}, in candidate order, so
+    a budgeted parallel search cuts off at exactly the attempt the
+    serial search would.  Wall-clock limits are nondeterministic and
+    opt-in. *)
 
 type solver =
   | Exact of int
@@ -23,6 +40,29 @@ type solver =
           assignment variables), try the exact ILP with the given budget
           before relaxing *)
 
+type budget = {
+  attempt_work : int option;
+      (** work-unit cap per candidate II's ILP solve (pivots + nodes);
+          deterministic *)
+  exact_time_s : float option;
+      (** CPU-seconds cap per [Exact] ILP solve — the paper's 20 s
+          CPLEX allotment *)
+  auto_time_s : float option;
+      (** CPU-seconds cap per [Auto] rescue ILP solve *)
+  total_work : int option;
+      (** work-unit ledger for the whole search; exhaustion stops it
+          with reason [`Budget].  Deterministic *)
+  wall_clock_s : float option;
+      (** wall-clock deadline for the whole search; exceeding it stops
+          with reason [`Deadline].  Nondeterministic, opt-in *)
+}
+
+val default_budget : budget
+(** [{ attempt_work = None; exact_time_s = Some 20.0;
+      auto_time_s = Some 1.0; total_work = None; wall_clock_s = None }]
+    — exactly the paper-derived per-attempt CPU allotments the search
+    always had, and no search-wide limit. *)
+
 type attempt = {
   ii : int;                (** candidate II of this attempt *)
   tried_exact : bool;      (** the exact ILP ran (possibly warm-started) *)
@@ -30,6 +70,9 @@ type attempt = {
   solve_time_s : float;    (** CPU seconds spent on this candidate *)
   lp_pivots : int;         (** simplex pivots across the ILP's relaxations *)
   bb_nodes : int;          (** branch-and-bound nodes explored *)
+  work_units : int;        (** [lp_pivots + bb_nodes + 1], the ledger charge *)
+  budget_hit : bool;       (** the per-attempt budget cut this solve short
+                               (or a fault was injected here) *)
 }
 
 type stats = {
@@ -43,6 +86,20 @@ type stats = {
           the successful one when the search succeeds) *)
 }
 
+type reason = [ `Unschedulable | `Budget | `Deadline | `Range ]
+(** Why a search stopped without a schedule: structurally unschedulable
+    at any II; the [total_work] ledger ran dry; the [wall_clock_s]
+    deadline passed; or every candidate up to the relaxation cap failed. *)
+
+type error = {
+  message : string;        (** one-line human-readable diagnostic *)
+  reason : reason;
+  lower_bound : int;       (** 0 when unschedulable before bounding *)
+  attempt_log : attempt list;  (** committed attempts up to the stop *)
+}
+
+val pp_reason : Format.formatter -> reason -> unit
+
 val pp_attempt : Format.formatter -> attempt -> unit
 (** One line per candidate II: solver, feasibility, time, pivots, nodes.
     Shared by the bench and CLI drivers so their attempt logs agree. *)
@@ -50,13 +107,21 @@ val pp_attempt : Format.formatter -> attempt -> unit
 val pp_stats : Format.formatter -> stats -> unit
 (** One-line search summary (achieved II, bound, relaxation, attempts). *)
 
+val log_signature : stats -> string
+(** Canonical serialization of the committed search — every attempt
+    field except wall times.  Two runs of the same budgeted search must
+    produce equal signatures whatever [--jobs] was; the determinism
+    suite asserts exactly that. *)
+
 val search :
   ?solver:solver ->
+  ?budget:budget ->
   ?relax_step:float ->
   ?max_relax:float ->
   Streamit.Graph.t ->
   Select.config ->
   num_sms:int ->
-  (Swp_schedule.t * stats, string) result
-(** Defaults: [solver = Auto 2000], [relax_step = 0.005] (the paper's
-    0.5%), [max_relax = 4.0] (give up beyond 5x the bound). *)
+  (Swp_schedule.t * stats, error) result
+(** Defaults: [solver = Auto 2000], [budget = default_budget],
+    [relax_step = 0.005] (the paper's 0.5%), [max_relax = 4.0] (give up
+    beyond 5x the bound). *)

@@ -211,8 +211,8 @@ let assignment_of_schedule p vm insts deps (s : Swp_schedule.t) ~num_sms =
     deps;
   fun v -> values.(v)
 
-let solve ?(node_budget = 4000) ?time_budget_s ?insts ?deps ?warm_start ?stats
-    ?use_reference_lp g cfg ~num_sms ~ii =
+let solve ?(node_budget = 4000) ?time_budget_s ?budget ?insts ?deps ?warm_start
+    ?stats ?use_reference_lp g cfg ~num_sms ~ii =
   let insts =
     match insts with Some l -> l | None -> Instances.instances cfg
   in
@@ -228,7 +228,7 @@ let solve ?(node_budget = 4000) ?time_budget_s ?insts ?deps ?warm_start ?stats
       | _ -> None
     in
     let outcome, bb =
-      Lp.Branch_bound.solve ~node_budget ?time_budget_s ?incumbent
+      Lp.Branch_bound.solve ~node_budget ?time_budget_s ?budget ?incumbent
         ?use_reference_lp p
     in
     (match stats with Some r -> r := Some bb | None -> ());

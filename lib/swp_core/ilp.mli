@@ -39,6 +39,7 @@ val build :
 val solve :
   ?node_budget:int ->
   ?time_budget_s:float ->
+  ?budget:Resil.Budget.t ->
   ?insts:Instances.instance list ->
   ?deps:Instances.dep list ->
   ?warm_start:Swp_schedule.t ->
@@ -58,6 +59,12 @@ val solve :
     pure-feasibility problem the search then verifies it against every
     constraint and returns immediately instead of exploring.  SM labels
     are permuted to satisfy the symmetry-breaking constraint first.
+
+    [budget], when given, is a {!Resil.Budget} token shared by
+    branch-and-bound and every LP relaxation (one work unit per node and
+    one per simplex pivot); an exhausted token yields
+    [`Budget_exhausted], deterministically when the token has no
+    wall-clock deadline.
 
     [stats] receives the branch-and-bound statistics of the solve (node
     and simplex-pivot counts) whatever the outcome.

@@ -50,8 +50,9 @@ let m_cache_misses = Obs.Metrics.counter "profile.cache.misses"
 let m_cache_evictions = Obs.Metrics.counter "profile.cache.evictions"
 
 let rec run ?(reg_options = default_reg_options)
-    ?(thread_options = default_thread_options) ?(numfirings = 0) arch graph
-    ~mode =
+    ?(thread_options = default_thread_options) ?(numfirings = 0) ?budget arch
+    graph ~mode =
+  Option.iter Resil.Budget.check budget;
   (* numfirings must be a common multiple of every thread count and large
      enough to amortize the kernel launch (Sec. IV-A). *)
   let numfirings =
@@ -77,7 +78,7 @@ let rec run ?(reg_options = default_reg_options)
         Obs.Metrics.inc m_cache_misses;
         Obs.Trace.add_attr "cache" (Obs.Trace.Str "miss");
         let d =
-          run_uncached arch graph ~mode ~reg_options ~thread_options
+          run_uncached ?budget arch graph ~mode ~reg_options ~thread_options
             ~numfirings
         in
         Mutex.lock cache_m;
@@ -89,7 +90,8 @@ let rec run ?(reg_options = default_reg_options)
         Mutex.unlock cache_m;
         d)
 
-and run_uncached arch graph ~mode ~reg_options ~thread_options ~numfirings =
+and run_uncached ?budget arch graph ~mode ~reg_options ~thread_options
+    ~numfirings =
   let n = Streamit.Graph.num_nodes graph in
   (* The Fig. 6 sweep is embarrassingly parallel: each filter's 16
      (regs x threads) simulated timings are independent of every other
@@ -97,6 +99,9 @@ and run_uncached arch graph ~mode ~reg_options ~thread_options ~numfirings =
      results land in node order, so the profile is identical to the
      serial one. *)
   let profile_node v =
+    (* Cooperative deadline check: a sweep past its wall-clock budget
+       unwinds here (the pool join re-raises the exhaustion). *)
+    Option.iter Resil.Budget.check budget;
     let node = Streamit.Graph.node graph v in
     Array.map
       (fun regs ->

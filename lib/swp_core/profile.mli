@@ -36,6 +36,7 @@ val run :
   ?reg_options:int list ->
   ?thread_options:int list ->
   ?numfirings:int ->
+  ?budget:Resil.Budget.t ->
   Gpusim.Arch.t ->
   Streamit.Graph.t ->
   mode:mode ->
@@ -45,7 +46,9 @@ val run :
     the same graph (per scheme, per SM count) reuse one profile.  The
     cache is domain-safe, and an uncached sweep fans the per-filter
     timing grids out across {!Par.Pool.map_auto} (identical results in
-    any width, node order preserved). *)
+    any width, node order preserved).  [budget] is checked cooperatively
+    at entry and before each filter's sweep; an exhausted token raises
+    {!Resil.Budget.Exhausted}. *)
 
 val clear_cache : unit -> unit
 (** Drop every memoized profile (benchmark drivers use this to time

@@ -52,7 +52,8 @@ let work_per_steady_state g (rates : Streamit.Sdf.rates) ~scale =
 let m_selects = Obs.Metrics.counter "select.runs"
 let m_select_failures = Obs.Metrics.counter "select.failures"
 
-let rec select g rates (data : Profile.data) =
+let rec select ?budget g rates (data : Profile.data) =
+  Option.iter Resil.Budget.check budget;
   Obs.Trace.with_span "select" (fun () -> select_untraced g rates data)
 
 and select_untraced g rates (data : Profile.data) =

@@ -21,8 +21,11 @@ type config = {
 }
 
 val select :
+  ?budget:Resil.Budget.t ->
   Streamit.Graph.t -> Streamit.Sdf.rates -> Profile.data -> (config, string) result
-(** [Error] when no (regs, threads) pair is feasible for every filter. *)
+(** [Error] when no (regs, threads) pair is feasible for every filter.
+    [budget] is checked cooperatively at entry; an exhausted token
+    raises {!Resil.Budget.Exhausted}. *)
 
 val macro_reps :
   Streamit.Graph.t -> Streamit.Sdf.rates -> threads:int array -> int array * int

@@ -16,5 +16,6 @@ let () =
       ("obs", Test_obs.suite);
       ("check", Test_check.suite);
       ("par", Test_par.suite);
+      ("resil", Test_resil.suite);
       ("determinism", Test_determinism.suite);
     ]

@@ -64,6 +64,55 @@ let serial_vs_parallel (e : Benchmarks.Registry.entry) =
       let par = with_jobs 4 (fun () -> snapshot e) in
       check_equal name serial par)
 
+(* ---- budgeted determinism ------------------------------------------- *)
+
+(* Work-unit budgets are counted in solver work (pivots + nodes), never
+   wall time, so a budget-limited compile must cut off at exactly the
+   same attempt serially and under --jobs 4: identical schedule, sizing,
+   CUDA, quality, and byte-identical attempt log. *)
+
+let budgeted_snapshot e ~budget =
+  Swp_core.Profile.clear_cache ();
+  let g = Streamit.Flatten.flatten (e.Benchmarks.Registry.stream ()) in
+  match Swp_core.Compile.compile ~budget g with
+  | Error m ->
+    Alcotest.failf "%s failed to compile under budget %d: %s"
+      e.Benchmarks.Registry.name budget m
+  | Ok c ->
+    ( {
+        schedule = c.Swp_core.Compile.schedule;
+        sizing = c.Swp_core.Compile.sizing;
+        cuda = Cudagen.Kernel_gen.program c;
+      },
+      Swp_core.Ii_search.log_signature c.Swp_core.Compile.search_stats,
+      c.Swp_core.Compile.quality )
+
+let budgeted name budget =
+  t (Printf.sprintf "%s: budget %d, --jobs 4 == serial" name budget)
+    (fun () ->
+      let e =
+        match Benchmarks.Registry.find name with
+        | Some e -> e
+        | None -> Alcotest.failf "unknown benchmark %s" name
+      in
+      let s_snap, s_sig, s_q =
+        with_jobs 1 (fun () -> budgeted_snapshot e ~budget)
+      in
+      let p_snap, p_sig, p_q =
+        with_jobs 4 (fun () -> budgeted_snapshot e ~budget)
+      in
+      check_equal name s_snap p_snap;
+      Alcotest.(check string) (name ^ ": attempt log signature") s_sig p_sig;
+      Alcotest.(check string)
+        (name ^ ": quality")
+        (Swp_core.Compile.quality_name s_q)
+        (Swp_core.Compile.quality_name p_q))
+
+(* 25 units degrade FMRadio (its search needs more committed attempts
+   than that); 100 let Bitonic finish heuristically with the ledger
+   active — both rungs of the ladder stay deterministic. *)
+let budgeted_cases = [ ("FMRadio", 25); ("Bitonic", 100) ]
+
 (* ---- golden CUDA fixtures ------------------------------------------- *)
 
 let read_file path =
@@ -105,4 +154,5 @@ let golden name =
 
 let suite =
   List.map serial_vs_parallel Benchmarks.Registry.all
+  @ List.map (fun (n, b) -> budgeted n b) budgeted_cases
   @ List.map golden fixture_benchmarks

@@ -1,0 +1,328 @@
+(* The resilience layer: budget tokens, fault injection, the
+   fault-containing pool map, the fallback scheduler, and the
+   deadline-driven degradation ladder end to end through Compile. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let arch = Gpusim.Arch.geforce_8800_gts_512
+
+(* ---- Resil.Budget ---------------------------------------------------- *)
+
+let budget_work () =
+  let b = Resil.Budget.create ~label:"t" ~work:5 () in
+  Alcotest.(check bool) "fresh token not over" false (Resil.Budget.over b);
+  Resil.Budget.charge b 3;
+  Alcotest.(check int) "consumed" 3 (Resil.Budget.consumed b);
+  Alcotest.(check (option int)) "remaining" (Some 2) (Resil.Budget.remaining b);
+  Alcotest.(check bool) "under limit" false (Resil.Budget.over_work b);
+  Resil.Budget.charge b 2;
+  Alcotest.(check bool) "at limit = exhausted" true (Resil.Budget.over_work b);
+  (match Resil.Budget.exhausted_reason b with
+  | Some Resil.Budget.Work -> ()
+  | _ -> Alcotest.fail "expected Work exhaustion");
+  match Resil.Budget.check b with
+  | () -> Alcotest.fail "check should raise"
+  | exception Resil.Budget.Exhausted { label; reason = Resil.Budget.Work } ->
+    Alcotest.(check string) "label" "t" label
+  | exception _ -> Alcotest.fail "wrong exception"
+
+let budget_zero () =
+  let b = Resil.Budget.create ~work:0 () in
+  Alcotest.(check bool) "work 0 is exhausted from the start" true
+    (Resil.Budget.over b)
+
+let budget_unlimited () =
+  let b = Resil.Budget.unlimited in
+  Resil.Budget.charge b 1_000_000;
+  Alcotest.(check bool) "unlimited never over" false (Resil.Budget.over b)
+
+let budget_sub () =
+  let parent = Resil.Budget.create ~label:"parent" ~work:10 () in
+  let child = Resil.Budget.sub ~label:"child" ~work:3 parent in
+  Resil.Budget.charge child 3;
+  Alcotest.(check bool) "child over its own cap" true
+    (Resil.Budget.over_work child);
+  Alcotest.(check int) "charges propagate to parent" 3
+    (Resil.Budget.consumed parent);
+  Alcotest.(check bool) "parent still under" false
+    (Resil.Budget.over_work parent);
+  (* a second child drains the rest of the parent *)
+  let child2 = Resil.Budget.sub ~work:100 parent in
+  Resil.Budget.charge child2 7;
+  Alcotest.(check bool) "parent exhausted" true (Resil.Budget.over_work parent);
+  Alcotest.(check bool) "child exhausted via ancestor" true
+    (Resil.Budget.over_work child2)
+
+let budget_wall () =
+  let far = Resil.Budget.create ~wall_s:60.0 () in
+  Alcotest.(check bool) "future deadline not over" false
+    (Resil.Budget.over_wall far);
+  let near = Resil.Budget.create ~wall_s:0.0 () in
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "passed deadline over" true
+    (Resil.Budget.over_wall near);
+  (match Resil.Budget.exhausted_reason near with
+  | Some Resil.Budget.Wall -> ()
+  | _ -> Alcotest.fail "expected Wall exhaustion");
+  let no_deadline = Resil.Budget.create ~work:5 () in
+  Alcotest.(check bool) "no deadline armed: never wall-over" false
+    (Resil.Budget.over_wall no_deadline)
+
+(* ---- Resil.Inject ---------------------------------------------------- *)
+
+let inject_deterministic () =
+  Fun.protect ~finally:Resil.Inject.disarm @@ fun () ->
+  Resil.Inject.arm [ { Resil.Inject.site = "a"; at = 2 } ];
+  Alcotest.(check bool) "armed" true (Resil.Inject.armed ());
+  Alcotest.(check bool) "first hit does not fire" false (Resil.Inject.hit "a");
+  Alcotest.(check bool) "unmatched site never fires" false
+    (Resil.Inject.hit "b");
+  Alcotest.(check bool) "second hit fires" true (Resil.Inject.hit "a");
+  Alcotest.(check bool) "third hit does not re-fire" false
+    (Resil.Inject.hit "a");
+  Alcotest.(check (list (pair string int)))
+    "hit counters" [ ("a", 3); ("b", 1) ] (Resil.Inject.hits ());
+  (* re-arming resets the counters: the same sequence fires again *)
+  Resil.Inject.arm [ { Resil.Inject.site = "a"; at = 2 } ];
+  Alcotest.(check bool) "reset: first hit quiet" false (Resil.Inject.hit "a");
+  Alcotest.(check bool) "reset: second hit fires" true (Resil.Inject.hit "a")
+
+let inject_fire_and_disarm () =
+  Fun.protect ~finally:Resil.Inject.disarm @@ fun () ->
+  Resil.Inject.arm [ { Resil.Inject.site = "s"; at = 1 } ];
+  (match Resil.Inject.fire "s" with
+  | () -> Alcotest.fail "fire should raise"
+  | exception Resil.Inject.Injected site ->
+    Alcotest.(check string) "fired site" "s" site);
+  Resil.Inject.disarm ();
+  Alcotest.(check bool) "disarmed" false (Resil.Inject.armed ());
+  Resil.Inject.fire "s";
+  Alcotest.(check bool) "disarmed hit is a no-op" false (Resil.Inject.hit "s")
+
+(* ---- Par.Pool.map_result --------------------------------------------- *)
+
+let pool_containment () =
+  Par.Pool.with_pool ~domains:3 @@ fun pool ->
+  let f x = if x mod 3 = 0 then failwith (Printf.sprintf "boom%d" x) else x * 2 in
+  let results = Par.Pool.map_result pool f [ 1; 2; 3; 4; 5; 6 ] in
+  let describe = function
+    | Ok v -> Printf.sprintf "ok:%d" v
+    | Error { Par.Pool.index; exn = Failure m; _ } ->
+      Printf.sprintf "fail:%d:%s" index m
+    | Error _ -> "fail:?"
+  in
+  Alcotest.(check (list string))
+    "per-element outcomes in submission order"
+    [ "ok:2"; "ok:4"; "fail:2:boom3"; "ok:8"; "ok:10"; "fail:5:boom6" ]
+    (List.map describe results)
+
+let pool_containment_serial () =
+  Par.Pool.with_pool ~domains:1 @@ fun pool ->
+  let f x = if x = 2 then raise Exit else x in
+  match Par.Pool.map_result pool f [ 1; 2; 3 ] with
+  | [ Ok 1; Error { Par.Pool.exn = Exit; index = 1; _ }; Ok 3 ] -> ()
+  | _ -> Alcotest.fail "serial containment shape"
+
+let pool_cancellation () =
+  Par.Pool.with_pool ~domains:1 @@ fun pool ->
+  (* should_stop flips true after two tasks have run *)
+  let ran = ref 0 in
+  let results =
+    Par.Pool.map_result pool
+      ~should_stop:(fun () -> !ran >= 2)
+      (fun x ->
+        incr ran;
+        x)
+      [ 1; 2; 3; 4 ]
+  in
+  let cancelled =
+    List.filter
+      (function
+        | Error { Par.Pool.exn = Par.Pool.Cancelled; _ } -> true | _ -> false)
+      results
+  in
+  Alcotest.(check int) "two tasks ran" 2 !ran;
+  Alcotest.(check int) "two tasks cancelled" 2 (List.length cancelled)
+
+(* ---- Fallback -------------------------------------------------------- *)
+
+let config_of g =
+  let rates = Result.get_ok (Streamit.Sdf.steady_state g) in
+  let profile = Swp_core.Profile.run arch g ~mode:Swp_core.Profile.Coalesced in
+  Result.get_ok (Swp_core.Select.select g rates profile)
+
+let fallback_all_benchmarks () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let g = Streamit.Flatten.flatten (e.stream ()) in
+      let cfg = config_of g in
+      match Swp_core.Fallback.schedule g cfg ~num_sms:16 with
+      | Error m -> Alcotest.failf "%s: fallback failed: %s" e.name m
+      | Ok s ->
+        Alcotest.(check int)
+          (e.name ^ ": rewrapped to the real SM count")
+          16 s.Swp_core.Swp_schedule.num_sms;
+        (match Swp_core.Swp_schedule.validate g s with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "%s: fallback invalid: %s" e.name m);
+        Alcotest.(check bool)
+          (e.name ^ ": II at most the relaxed bound")
+          true
+          (s.Swp_core.Swp_schedule.ii <= Swp_core.Fallback.relaxed_ii cfg))
+    Benchmarks.Registry.all
+
+(* ---- compile under near-zero budgets --------------------------------- *)
+
+let compile_budget budget (e : Benchmarks.Registry.entry) =
+  let g = Streamit.Flatten.flatten (e.stream ()) in
+  match Swp_core.Compile.compile ~budget g with
+  | Error m -> Alcotest.failf "%s (budget %d): %s" e.name budget m
+  | Ok c ->
+    (match
+       Swp_core.Swp_schedule.validate c.Swp_core.Compile.graph
+         c.Swp_core.Compile.schedule
+     with
+    | Ok () -> ()
+    | Error m ->
+      Alcotest.failf "%s (budget %d): invalid schedule: %s" e.name budget m);
+    c
+
+let budget_zero_all_benchmarks () =
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let c = compile_budget 0 e in
+      Alcotest.(check bool)
+        (e.name ^ ": budget 0 degrades")
+        true
+        (c.Swp_core.Compile.quality = Swp_core.Compile.Degraded))
+    Benchmarks.Registry.all
+
+let budget_one_all_benchmarks () =
+  (* one work unit admits at most one committed attempt; whatever rung
+     the ladder lands on, the compile must succeed and validate *)
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) -> ignore (compile_budget 1 e))
+    Benchmarks.Registry.all
+
+let on_budget_fail () =
+  let e = Option.get (Benchmarks.Registry.find "FMRadio") in
+  let g = Streamit.Flatten.flatten (e.Benchmarks.Registry.stream ()) in
+  match Swp_core.Compile.compile ~budget:0 ~on_budget:`Fail g with
+  | Ok _ -> Alcotest.fail "on_budget:`Fail must not degrade"
+  | Error m ->
+    Alcotest.(check bool)
+      "structured budget diagnostic" true
+      (String.length m > 0)
+
+let compile_rejects_bad_args () =
+  let e = Option.get (Benchmarks.Registry.find "Bitonic") in
+  let g = Streamit.Flatten.flatten (e.Benchmarks.Registry.stream ()) in
+  (match Swp_core.Compile.compile ~coarsening:0 g with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "coarsening 0 must be rejected");
+  (match Swp_core.Compile.compile ~num_sms:0 g with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "num_sms 0 must be rejected");
+  match Swp_core.Compile.compile ~budget:(-1) g with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative budget must be rejected"
+
+(* ---- fault injection through the pipeline ----------------------------- *)
+
+let compile_under_fault site at =
+  let e = Option.get (Benchmarks.Registry.find "FMRadio") in
+  let g = Streamit.Flatten.flatten (e.Benchmarks.Registry.stream ()) in
+  Resil.Inject.arm [ { Resil.Inject.site; at } ];
+  Fun.protect ~finally:Resil.Inject.disarm (fun () ->
+      Swp_core.Compile.compile g)
+
+let fault_in_search_degrades () =
+  match compile_under_fault "stage.search" 1 with
+  | Error m -> Alcotest.failf "search fault should degrade, got error: %s" m
+  | Ok c ->
+    Alcotest.(check bool) "degraded quality" true
+      (c.Swp_core.Compile.quality = Swp_core.Compile.Degraded);
+    (match
+       Swp_core.Swp_schedule.validate c.Swp_core.Compile.graph
+         c.Swp_core.Compile.schedule
+     with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "degraded schedule invalid: %s" m)
+
+let fault_in_profile_diagnosed () =
+  match compile_under_fault "stage.profile" 1 with
+  | Ok _ -> Alcotest.fail "profile fault cannot be degraded around"
+  | Error m ->
+    Alcotest.(check bool) "structured diagnostic names the site" true
+      (String.length m > 0)
+
+let fault_in_layout_diagnosed () =
+  match compile_under_fault "stage.layout" 1 with
+  | Ok _ -> Alcotest.fail "layout fault must be diagnosed"
+  | Error _ -> ()
+
+let fault_in_attempt_survives () =
+  (* a soft fault in one II attempt forces a relax-and-retry, not a
+     failure: the search continues at the next candidate *)
+  match compile_under_fault "ii_search.attempt" 1 with
+  | Error m -> Alcotest.failf "attempt fault should be survivable: %s" m
+  | Ok c ->
+    let log =
+      c.Swp_core.Compile.search_stats.Swp_core.Ii_search.attempt_log
+    in
+    (match log with
+    | first :: _ ->
+      Alcotest.(check bool) "first attempt marked budget-hit" true
+        first.Swp_core.Ii_search.budget_hit;
+      Alcotest.(check bool) "first attempt infeasible" false
+        first.Swp_core.Ii_search.feasible
+    | [] -> Alcotest.fail "empty attempt log");
+    Alcotest.(check bool) "still full quality" true
+      (c.Swp_core.Compile.quality <> Swp_core.Compile.Degraded)
+
+(* ---- fault-fuzz campaign (library level) ------------------------------ *)
+
+let fault_fuzz_campaign () =
+  let stats, failures = Check.Fault_fuzz.run ~base_seed:1 ~seeds:30 () in
+  List.iter
+    (fun f -> Format.eprintf "%a@." Check.Fault_fuzz.pp_failure f)
+    failures;
+  Alcotest.(check int) "no crashes, no invalid schedules" 0
+    stats.Check.Fault_fuzz.failed;
+  Alcotest.(check int)
+    "every seed classified" stats.Check.Fault_fuzz.seeds
+    (stats.Check.Fault_fuzz.full + stats.Check.Fault_fuzz.degraded
+    + stats.Check.Fault_fuzz.diagnosed + stats.Check.Fault_fuzz.skipped)
+
+let suite =
+  [
+    t "budget: work-unit accounting and exhaustion" budget_work;
+    t "budget: zero allotment is exhausted immediately" budget_zero;
+    t "budget: unlimited token never exhausts" budget_unlimited;
+    t "budget: sub-token charges propagate to ancestors" budget_sub;
+    t "budget: wall-clock guard is armed only on request" budget_wall;
+    t "inject: at-th hit fires deterministically" inject_deterministic;
+    t "inject: fire raises, disarm silences" inject_fire_and_disarm;
+    t "pool: map_result contains worker faults" pool_containment;
+    t "pool: map_result contains faults on the serial path"
+      pool_containment_serial;
+    t "pool: should_stop cancels unstarted tasks" pool_cancellation;
+    t "fallback: validates on every registry benchmark"
+      fallback_all_benchmarks;
+    t "compile: budget 0 degrades but validates on every benchmark"
+      budget_zero_all_benchmarks;
+    t "compile: budget 1 compiles validated on every benchmark"
+      budget_one_all_benchmarks;
+    t "compile: on_budget=`Fail reports instead of degrading" on_budget_fail;
+    t "compile: invalid arguments become structured errors"
+      compile_rejects_bad_args;
+    t "fault: search-stage fault degrades to a valid schedule"
+      fault_in_search_degrades;
+    t "fault: profile-stage fault is a structured diagnostic"
+      fault_in_profile_diagnosed;
+    t "fault: layout-stage fault is a structured diagnostic"
+      fault_in_layout_diagnosed;
+    t "fault: II-attempt fault forces relax-and-retry, not failure"
+      fault_in_attempt_survives;
+    t "fault fuzz: 30-seed campaign is crash-free" fault_fuzz_campaign;
+  ]
