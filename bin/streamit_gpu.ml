@@ -104,6 +104,13 @@ let with_coarsening n f =
   end
   else f ()
 
+let check_lns_rounds r f =
+  if r < 0 then begin
+    Printf.eprintf "error: --lns-rounds must be >= 0 (got %d)\n" r;
+    1
+  end
+  else f ()
+
 (* Deadline/budget flags shared by compile, speedup and sweep. *)
 let deadline_arg =
   Arg.(
@@ -132,6 +139,27 @@ let on_budget_arg =
           "What to do when the deadline or budget runs out: $(b,degrade) \
            (default) falls back to a guaranteed-valid serial schedule at a \
            relaxed II; $(b,fail) exits with a structured diagnostic.")
+
+let no_portfolio_arg =
+  Arg.(
+    value & flag
+    & info [ "no-portfolio" ]
+        ~doc:
+          "Disable the per-candidate-II scheduler portfolio (first-fit, \
+           best-fit and balanced packings raced, plus the cut-armed exact \
+           ILP near the bound), restoring the historical \
+           first-fit-then-maybe-exact ladder.  Determinism is unaffected \
+           either way.")
+
+let lns_rounds_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "lns-rounds" ] ~docv:"N"
+        ~doc:
+          "Large-neighborhood refinement probes run below the first feasible \
+           II after the search succeeds (0 disables refinement).  Probes are \
+           deterministic and charged to the same work-unit ledger as the \
+           search.")
 
 let check_limits ~deadline ~budget f =
   if (match budget with Some b -> b < 0 | None -> false) then begin
@@ -241,15 +269,17 @@ let coarsen_arg =
 
 let compile_cmd =
   let doc = "Compile through the full pipeline of Fig. 5; print the schedule." in
-  let run spec n jobs deadline budget on_budget metrics =
+  let run spec n jobs deadline budget on_budget no_portfolio lns_rounds
+      metrics =
     with_jobs jobs @@ fun () ->
     with_coarsening n @@ fun () ->
     check_limits ~deadline ~budget @@ fun () ->
+    check_lns_rounds lns_rounds @@ fun () ->
     dump_metrics metrics
     @@ with_graph spec (fun g _ ->
            match
              Swp_core.Compile.compile ~coarsening:n ?deadline ?budget
-               ~on_budget g
+               ~portfolio:(not no_portfolio) ~lns_rounds ~on_budget g
            with
            | Error m ->
              Printf.eprintf "error: compile: %s\n" m;
@@ -275,7 +305,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       const run $ spec_arg $ coarsen_arg $ jobs_arg $ deadline_arg
-      $ budget_arg $ on_budget_arg $ metrics_arg)
+      $ budget_arg $ on_budget_arg $ no_portfolio_arg $ lns_rounds_arg
+      $ metrics_arg)
 
 (* --- emit --- *)
 
@@ -360,14 +391,18 @@ let buffers_cmd =
 
 let speedup_cmd =
   let doc = "Report SWP / SWPNC / Serial speedups over the CPU model (Fig. 10)." in
-  let run spec n jobs deadline budget on_budget metrics =
+  let run spec n jobs deadline budget on_budget no_portfolio lns_rounds
+      metrics =
     with_jobs jobs @@ fun () ->
     with_coarsening n @@ fun () ->
     check_limits ~deadline ~budget @@ fun () ->
+    check_lns_rounds lns_rounds @@ fun () ->
+    let portfolio = not no_portfolio in
     dump_metrics metrics
     @@ with_graph spec (fun g _ ->
         match
-          Swp_core.Compile.compile ~coarsening:n ?deadline ?budget ~on_budget g
+          Swp_core.Compile.compile ~coarsening:n ?deadline ?budget ~portfolio
+            ~lns_rounds ~on_budget g
         with
         | Error m ->
           Printf.eprintf "error: compile: %s\n" m;
@@ -389,7 +424,7 @@ let speedup_cmd =
           (match
              Swp_core.Compile.compile
                ~scheme:Swp_core.Compile.Swp_non_coalesced ~coarsening:n
-               ?deadline ?budget ~on_budget g
+               ?deadline ?budget ~portfolio ~lns_rounds ~on_budget g
            with
           | Ok cn ->
             let gtn = Swp_core.Executor.time_swp cn in
@@ -413,7 +448,8 @@ let speedup_cmd =
   Cmd.v (Cmd.info "speedup" ~doc)
     Term.(
       const run $ spec_arg $ coarsen_arg $ jobs_arg $ deadline_arg
-      $ budget_arg $ on_budget_arg $ metrics_arg)
+      $ budget_arg $ on_budget_arg $ no_portfolio_arg $ lns_rounds_arg
+      $ metrics_arg)
 
 (* --- trace --- *)
 
@@ -582,10 +618,12 @@ let sweep_cmd =
       value & opt (list int) [ 2; 4; 6; 8 ]
       & info [ "sms" ] ~docv:"N,..." ~doc:"Comma-separated SM counts.")
   in
-  let run spec n sms jobs deadline budget on_budget metrics =
+  let run spec n sms jobs deadline budget on_budget no_portfolio lns_rounds
+      metrics =
     with_jobs jobs @@ fun () ->
     with_coarsening n @@ fun () ->
     check_limits ~deadline ~budget @@ fun () ->
+    check_lns_rounds lns_rounds @@ fun () ->
     if List.exists (fun s -> s < 1) sms then begin
       Printf.eprintf "error: --sms entries must be at least 1\n";
       1
@@ -598,7 +636,8 @@ let sweep_cmd =
                  (fun num_sms ->
                    ( num_sms,
                      Swp_core.Compile.compile ~num_sms ~coarsening:n ?deadline
-                       ?budget ~on_budget g ))
+                       ?budget ~portfolio:(not no_portfolio) ~lns_rounds
+                       ~on_budget g ))
                  sms
              in
              Printf.printf "%-8s %10s %8s %14s %10s\n" "SMs" "II" "stages"
@@ -632,7 +671,8 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
       const run $ spec_arg $ coarsen_arg $ sms_arg $ jobs_arg $ deadline_arg
-      $ budget_arg $ on_budget_arg $ metrics_arg)
+      $ budget_arg $ on_budget_arg $ no_portfolio_arg $ lns_rounds_arg
+      $ metrics_arg)
 
 let () =
   let doc = "StreamIt-to-GPU software-pipelining compiler (CGO 2009 reproduction)" in

@@ -105,7 +105,9 @@ let run_seed ?(cfg = Gen.default) seed =
           | Swp_core.Compile.Degraded ->
             Obs.Metrics.inc m_degraded;
             Degraded
-          | Swp_core.Compile.Exact | Swp_core.Compile.Heuristic -> Full)))
+          | Swp_core.Compile.Exact | Swp_core.Compile.Refined
+          | Swp_core.Compile.Heuristic ->
+            Full)))
 
 let run ?(cfg = Gen.default) ?(base_seed = 1) ~seeds () =
   let failures = ref [] in

@@ -1,5 +1,5 @@
 type scheme = Swp_coalesced | Swp_non_coalesced
-type quality = Exact | Heuristic | Degraded
+type quality = Exact | Refined | Heuristic | Degraded
 
 type compiled = {
   arch : Gpusim.Arch.t;
@@ -17,12 +17,14 @@ type compiled = {
 
 let quality_name = function
   | Exact -> "exact"
+  | Refined -> "refined"
   | Heuristic -> "heuristic"
   | Degraded -> "degraded"
 
 let pp_quality fmt q = Format.pp_print_string fmt (quality_name q)
 
 let m_exact = Obs.Metrics.counter "compile.quality.exact"
+let m_refined = Obs.Metrics.counter "compile.quality.refined"
 let m_heuristic = Obs.Metrics.counter "compile.quality.heuristic"
 let m_degraded = Obs.Metrics.counter "compile.quality.degraded"
 
@@ -31,8 +33,9 @@ let ( let* ) = Result.bind
 let inject site = if Resil.Inject.armed () then Resil.Inject.fire site
 
 let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
-    ?(coarsening = 1) ?solver ?(scheme = Swp_coalesced) ?deadline ?budget
-    ?(on_budget = `Degrade) graph =
+    ?(coarsening = 1) ?solver ?portfolio ?lns_rounds
+    ?(scheme = Swp_coalesced) ?deadline ?budget ?(on_budget = `Degrade) graph
+    =
   let num_sms = Option.value num_sms ~default:arch.Gpusim.Arch.num_sms in
   Obs.Trace.with_span "compile"
     ~attrs:
@@ -73,6 +76,7 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
       Obs.Metrics.inc
         (match quality with
         | Exact -> m_exact
+        | Refined -> m_refined
         | Heuristic -> m_heuristic
         | Degraded -> m_degraded);
       Ok
@@ -122,9 +126,11 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
             (fun e -> `Search e)
             (match solver with
             | Some s ->
-              Ii_search.search ~solver:s ~budget:search_budget graph config
-                ~num_sms
-            | None -> Ii_search.search ~budget:search_budget graph config ~num_sms)
+              Ii_search.search ~solver:s ?portfolio ?lns_rounds
+                ~budget:search_budget graph config ~num_sms
+            | None ->
+              Ii_search.search ?portfolio ?lns_rounds ~budget:search_budget
+                graph config ~num_sms)
         with
         | Resil.Inject.Injected site -> Error (`Fault site)
         | Resil.Budget.Exhausted { label; reason } ->
@@ -133,7 +139,9 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
       match search_result with
       | Ok (schedule, search_stats) ->
         let quality =
-          if search_stats.Ii_search.used_exact then Exact else Heuristic
+          if search_stats.Ii_search.refined then Refined
+          else if search_stats.Ii_search.used_exact then Exact
+          else Heuristic
         in
         finish ~quality rates profile config schedule search_stats
       | Error err -> (
@@ -161,12 +169,22 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
              schedule at a relaxed II.  The search's committed attempt
              log is preserved in the synthesized stats so the degraded
              compile stays auditable. *)
-          let* schedule = Fallback.schedule graph config ~num_sms in
           let lower_bound, attempt_log =
             match err with
             | `Search e -> (e.Ii_search.lower_bound, e.Ii_search.attempt_log)
             | `Fault _ | `Exhausted _ -> (0, [])
           in
+          (* Seed the fallback with the search's frontier: one past the
+             last committed candidate (all committed candidates were
+             infeasible or the search would have returned Ok), or the
+             bound itself when nothing committed.  Quality stays
+             [Degraded] — the seed only shrinks the relaxation. *)
+          let seed_ii =
+            match List.rev attempt_log with
+            | a :: _ -> Some (a.Ii_search.ii + 1)
+            | [] -> if lower_bound > 0 then Some lower_bound else None
+          in
+          let* schedule = Fallback.schedule ?seed_ii graph config ~num_sms in
           let achieved_ii = schedule.Swp_schedule.ii in
           let search_stats =
             {
@@ -179,6 +197,7 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
                    /. float_of_int lower_bound
                  else 0.0);
               used_exact = false;
+              refined = false;
               attempt_log;
             }
           in

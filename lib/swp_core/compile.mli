@@ -24,6 +24,10 @@ type scheme =
 (** How far down the degradation ladder the schedule came from. *)
 type quality =
   | Exact      (** the exact ILP produced (or verified) the schedule *)
+  | Refined
+      (** LNS refinement pushed the schedule below the first feasible
+          candidate II ({!Lns.refine}) — strictly better than the rung
+          the search alone reached *)
   | Heuristic  (** the heuristic modulo scheduler at the searched II *)
   | Degraded
       (** the fallback serial schedule at a relaxed II — valid but slow;
@@ -52,6 +56,8 @@ val compile :
   ?num_sms:int ->
   ?coarsening:int ->
   ?solver:Ii_search.solver ->
+  ?portfolio:bool ->
+  ?lns_rounds:int ->
   ?scheme:scheme ->
   ?deadline:float ->
   ?budget:int ->
@@ -60,7 +66,9 @@ val compile :
   (compiled, string) result
 (** Defaults: the GeForce 8800 GTS 512 with all 16 SMs, coarsening 1,
     [Auto] solver, coalesced scheme, no deadline, no budget,
-    [on_budget = `Degrade].
+    [on_budget = `Degrade].  [portfolio] and [lns_rounds] pass through
+    to {!Ii_search.search} (portfolio arm racing per candidate II, and
+    the LNS refinement round cap).
 
     [deadline] bounds the whole pipeline in wall-clock seconds:
     profiling and selection check it cooperatively, and the II search

@@ -1,32 +1,61 @@
 let m_schedules = Obs.Metrics.counter "resil.fallback.schedules"
+let m_seeded = Obs.Metrics.counter "resil.fallback.seeded"
 
 let relaxed_ii (cfg : Select.config) =
   let total = ref 0 in
   Array.iteri (fun v reps -> total := !total + (reps * cfg.delay.(v))) cfg.reps;
   1 + !total
 
-let schedule g (cfg : Select.config) ~num_sms =
+let schedule ?seed_ii g (cfg : Select.config) ~num_sms =
   Obs.Trace.with_span "fallback" @@ fun () ->
   let insts = Instances.instances cfg in
   let deps = Instances.deps g cfg in
-  let rec attempt ii tries last_err =
-    if tries = 0 then
-      Error
-        (Printf.sprintf "fallback scheduler failed up to II=%d (%s)" ii
-           last_err)
-    else
-      match Heuristic.solve ~insts ~deps g cfg ~num_sms:1 ~ii with
-      | `Infeasible -> attempt (ii * 2) (tries - 1) "heuristic infeasible"
-      | `Schedule s -> (
-        (* All instances live on SM 0; widening [num_sms] leaves the
-           constraint system satisfied (no new cross-SM separations) and
-           lets downstream sizing/codegen see the real machine. *)
-        let s = { s with Swp_schedule.num_sms } in
-        match Swp_schedule.validate g s with
-        | Ok () ->
-          Obs.Metrics.inc m_schedules;
-          Obs.Trace.add_attr "fallback_ii" (Obs.Trace.Int s.Swp_schedule.ii);
-          Ok s
-        | Error m -> attempt (ii * 2) (tries - 1) m)
+  let serial_ii = relaxed_ii cfg in
+  (* Seeded ramp: a budget-stopped search has already probed candidate
+     IIs, so its last committed attempt is a far better starting point
+     than the serial worst case.  Ramp the real multi-SM heuristic up
+     from the seed (x5/4 per try); only if the whole ramp fails do we
+     drop to the guaranteed serial rung. *)
+  let seeded =
+    match seed_ii with
+    | Some seed when seed > 0 && seed < serial_ii ->
+      let rec ramp ii tries =
+        if tries = 0 || ii >= serial_ii then None
+        else
+          match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
+          | `Schedule s ->
+            Obs.Metrics.inc m_seeded;
+            Obs.Trace.add_attr "fallback_seeded" (Obs.Trace.Bool true);
+            Some s
+          | `Infeasible -> ramp (max (ii + 1) (ii * 5 / 4)) (tries - 1)
+      in
+      ramp seed 16
+    | _ -> None
   in
-  attempt (relaxed_ii cfg) 6 "not attempted"
+  match seeded with
+  | Some s ->
+    Obs.Metrics.inc m_schedules;
+    Obs.Trace.add_attr "fallback_ii" (Obs.Trace.Int s.Swp_schedule.ii);
+    Ok s
+  | None ->
+    let rec attempt ii tries last_err =
+      if tries = 0 then
+        Error
+          (Printf.sprintf "fallback scheduler failed up to II=%d (%s)" ii
+             last_err)
+      else
+        match Heuristic.solve ~insts ~deps g cfg ~num_sms:1 ~ii with
+        | `Infeasible -> attempt (ii * 2) (tries - 1) "heuristic infeasible"
+        | `Schedule s -> (
+          (* All instances live on SM 0; widening [num_sms] leaves the
+             constraint system satisfied (no new cross-SM separations) and
+             lets downstream sizing/codegen see the real machine. *)
+          let s = { s with Swp_schedule.num_sms } in
+          match Swp_schedule.validate g s with
+          | Ok () ->
+            Obs.Metrics.inc m_schedules;
+            Obs.Trace.add_attr "fallback_ii" (Obs.Trace.Int s.Swp_schedule.ii);
+            Ok s
+          | Error m -> attempt (ii * 2) (tries - 1) m)
+    in
+    attempt serial_ii 6 "not attempted"

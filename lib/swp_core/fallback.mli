@@ -18,6 +18,7 @@ val relaxed_ii : Select.config -> int
     the no-wrap constraint (4). *)
 
 val schedule :
+  ?seed_ii:int ->
   Streamit.Graph.t ->
   Select.config ->
   num_sms:int ->
@@ -26,4 +27,11 @@ val schedule :
     real [num_sms] (unused SMs stay idle) and validate it against the
     full constraint system.  On the (theoretically impossible for
     admissible graphs) chance of failure the II is doubled a few times
-    before giving up with [Error]. *)
+    before giving up with [Error].
+
+    [seed_ii] — typically the last candidate a budget-stopped II search
+    committed — first ramps the real multi-SM heuristic up from the
+    seed (x5/4 per try, at most 16 tries, capped at {!relaxed_ii});
+    any hit there beats the serial rung by orders of magnitude while
+    staying deterministic.  The serial rung remains the guaranteed
+    backstop. *)

@@ -1,4 +1,141 @@
-let solve ?insts ?deps g (cfg : Select.config) ~num_sms ~ii =
+(* Packing strategies for phase 1.  [First_fit] reproduces the original
+   solver bit-for-bit and remains the default; the other two are the
+   extra heuristic arms of the portfolio II search — different packings
+   fail at different IIs, so racing them closes part of the exact-vs-
+   heuristic quality gap at near-zero cost. *)
+type strategy = First_fit | Best_fit | Balanced
+
+let strategy_name = function
+  | First_fit -> "ffd"
+  | Best_fit -> "bfd"
+  | Balanced -> "bal"
+
+let all_strategies = [ First_fit; Best_fit; Balanced ]
+
+(* --- phase 1: packing assignment in decreasing-delay order ---
+   The paper's ILP is a pure feasibility problem with no balancing
+   objective: the first integral solution CPLEX finds packs the
+   assignment variables greedily, clustering the instances of one
+   filter on the same SM.  Decreasing-delay order places big instances
+   first so the search succeeds near the II lower bound; the sort is
+   stable, so equal-delay instances of one node stay adjacent and
+   cluster onto the same SM exactly as plain first-fit would pack
+   them.  Any assignment whose per-SM profiled load fits within the II
+   satisfies constraint (2). *)
+let pack ~strategy ~delays ~num_sms ~ii =
+  let n = Array.length delays in
+  let load = Array.make num_sms 0 in
+  let sm_of = Array.make n (-1) in
+  let ok = ref true in
+  let sorted =
+    List.stable_sort
+      (fun a b -> compare delays.(b) delays.(a))
+      (List.init n Fun.id)
+  in
+  List.iter
+    (fun i ->
+      let d = delays.(i) in
+      let best = ref (-1) in
+      (match strategy with
+      | First_fit ->
+        let p = ref 0 in
+        while !best < 0 && !p < num_sms do
+          if load.(!p) + d <= ii then best := !p;
+          incr p
+        done
+      | Best_fit ->
+        (* tightest feasible SM: maximum load that still fits, ties to
+           the lowest SM index (deterministic) *)
+        for p = 0 to num_sms - 1 do
+          if load.(p) + d <= ii && (!best < 0 || load.(p) > load.(!best))
+          then best := p
+        done
+      | Balanced ->
+        (* longest-processing-time balance: always the least-loaded SM,
+           ties to the lowest index; fails outright when even that SM
+           cannot take the instance *)
+        let m = ref 0 in
+        for p = 1 to num_sms - 1 do
+          if load.(p) < load.(!m) then m := p
+        done;
+        if load.(!m) + d <= ii then best := !m);
+      if !best < 0 then ok := false
+      else begin
+        sm_of.(i) <- !best;
+        load.(!best) <- load.(!best) + d
+      end)
+    sorted;
+  if !ok then Some sm_of else None
+
+(* --- phase 2: longest-path scheduling of A = T*f + o --- *)
+(* Difference constraints:
+   same SM : A_dst >= A_src + T*jlag + d_src
+   cross SM: A_dst >= A_src + T*jlag + T  (forces f separation) *)
+let place ~insts ~deps ~idx g (cfg : Select.config) ~num_sms ~ii ~sm_of =
+  let n = Array.length insts in
+  let delay_of (i : Instances.instance) = cfg.delay.(i.node) in
+  let edges =
+    List.map
+      (fun (d : Instances.dep) ->
+        let s = idx d.src and t = idx d.dst in
+        let w =
+          if s < 0 || sm_of.(s) = sm_of.(t) then (ii * d.jlag) + d.d_src
+          else (ii * d.jlag) + ii
+        in
+        (s, t, w))
+      deps
+  in
+  let a = Array.make n 0 in
+  let feasible = ref true in
+  (* a self-dependence with positive weight can never be satisfied *)
+  List.iter (fun (s, t, w) -> if s = t && w > 0 then feasible := false) edges;
+  let changed = ref true in
+  (* Longest-path relaxation combined with wrap-around repair.  Each
+     repair only increases some A by < T, and A values are bounded by
+     (n+2)*T in any sensible schedule; bail out beyond that. *)
+  let bound = (n + 3) * ii in
+  while !changed && !feasible do
+    changed := false;
+    List.iter
+      (fun (s, t, w) ->
+        if s <> t && a.(s) + w > a.(t) then begin
+          a.(t) <- a.(s) + w;
+          if a.(t) > bound then feasible := false else changed := true
+        end)
+      edges;
+    if not !changed then
+      (* wrap-around repair: o + d must stay within the II *)
+      Array.iteri
+        (fun i ai ->
+          let o = ai mod ii in
+          if o + delay_of insts.(i) >= ii then begin
+            a.(i) <- ((ai / ii) + 1) * ii;
+            if a.(i) > bound then feasible := false else changed := true
+          end)
+        a
+  done;
+  if not !feasible then `Infeasible
+  else begin
+    let entries =
+      Array.to_list
+        (Array.mapi
+           (fun i (inst : Instances.instance) ->
+             {
+               Swp_schedule.inst;
+               sm = sm_of.(i);
+               o = a.(i) mod ii;
+               f = a.(i) / ii;
+             })
+           insts)
+    in
+    let sched = { Swp_schedule.ii; entries; num_sms; config = cfg } in
+    match Swp_schedule.validate g sched with
+    | Ok () -> `Schedule sched
+    | Error m -> failwith ("Heuristic.solve: produced invalid schedule: " ^ m)
+  end
+
+let solve ?(strategy = First_fit) ?insts ?deps g (cfg : Select.config)
+    ~num_sms ~ii =
   let insts =
     Array.of_list
       (match insts with Some l -> l | None -> Instances.instances cfg)
@@ -9,110 +146,11 @@ let solve ?insts ?deps g (cfg : Select.config) ~num_sms ~ii =
   let itbl = Hashtbl.create (2 * n) in
   Array.iteri (fun i inst -> Hashtbl.replace itbl inst i) insts;
   let idx i = match Hashtbl.find_opt itbl i with Some x -> x | None -> -1 in
-  let delay_of (i : Instances.instance) = cfg.delay.(i.node) in
-  if Array.exists (fun i -> delay_of i >= ii) insts then `Infeasible
-  else begin
-    (* --- phase 1: first-fit assignment in instance order ---
-       The paper's ILP is a pure feasibility problem with no balancing
-       objective: the first integral solution CPLEX finds packs the
-       assignment variables greedily, clustering the instances of one
-       filter on the same SM.  First-fit in (node, k) order emulates
-       that — any assignment whose per-SM profiled load fits within the
-       II satisfies constraint (2). *)
-    ignore deps;
-    let load = Array.make num_sms 0 in
-    let sm_of = Array.make n (-1) in
-    let ok = ref true in
-    (* First-fit decreasing: big instances placed first so the search
-       succeeds near the II lower bound; the sort is stable, so equal-
-       delay instances of one node stay adjacent and cluster onto the
-       same SM exactly as plain first-fit would pack them. *)
-    let order = Array.init n Fun.id in
-    let sorted =
-      List.stable_sort
-        (fun a b -> compare (delay_of insts.(b)) (delay_of insts.(a)))
-        (Array.to_list order)
-    in
-    List.iter
-      (fun i ->
-        let d = delay_of insts.(i) in
-        let placed = ref false in
-        let p = ref 0 in
-        while (not !placed) && !p < num_sms do
-          if load.(!p) + d <= ii then begin
-            sm_of.(i) <- !p;
-            load.(!p) <- load.(!p) + d;
-            placed := true
-          end;
-          incr p
-        done;
-        if not !placed then ok := false)
-      sorted;
-    if not !ok then `Infeasible
-    else begin
-      (* --- phase 2: longest-path scheduling of A = T*f + o --- *)
-      (* Difference constraints:
-         same SM : A_dst >= A_src + T*jlag + d_src
-         cross SM: A_dst >= A_src + T*jlag + T  (forces f separation) *)
-      let edges =
-        List.map
-          (fun (d : Instances.dep) ->
-            let s = idx d.src and t = idx d.dst in
-            let w =
-              if s < 0 || sm_of.(s) = sm_of.(t) then (ii * d.jlag) + d.d_src
-              else (ii * d.jlag) + ii
-            in
-            (s, t, w))
-          deps
-      in
-      let a = Array.make n 0 in
-      let feasible = ref true in
-      (* a self-dependence with positive weight can never be satisfied *)
-      List.iter (fun (s, t, w) -> if s = t && w > 0 then feasible := false) edges;
-      let changed = ref true in
-      (* Longest-path relaxation combined with wrap-around repair.  Each
-         repair only increases some A by < T, and A values are bounded by
-         (n+2)*T in any sensible schedule; bail out beyond that. *)
-      let bound = (n + 3) * ii in
-      while !changed && !feasible do
-        changed := false;
-        List.iter
-          (fun (s, t, w) ->
-            if s <> t && a.(s) + w > a.(t) then begin
-              a.(t) <- a.(s) + w;
-              if a.(t) > bound then feasible := false else changed := true
-            end)
-          edges;
-        if not !changed then
-          (* wrap-around repair: o + d must stay within the II *)
-          Array.iteri
-            (fun i ai ->
-              let o = ai mod ii in
-              if o + delay_of insts.(i) >= ii then begin
-                a.(i) <- ((ai / ii) + 1) * ii;
-                if a.(i) > bound then feasible := false else changed := true
-              end)
-            a
-      done;
-      if not !feasible then `Infeasible
-      else begin
-        let entries =
-          Array.to_list
-            (Array.mapi
-               (fun i (inst : Instances.instance) ->
-                 {
-                   Swp_schedule.inst;
-                   sm = sm_of.(i);
-                   o = a.(i) mod ii;
-                   f = a.(i) / ii;
-                 })
-               insts)
-        in
-        let sched = { Swp_schedule.ii; entries; num_sms; config = cfg } in
-        match Swp_schedule.validate g sched with
-        | Ok () -> `Schedule sched
-        | Error m ->
-          failwith ("Heuristic.solve: produced invalid schedule: " ^ m)
-      end
-    end
-  end
+  let delays =
+    Array.map (fun (i : Instances.instance) -> cfg.delay.(i.node)) insts
+  in
+  if Array.exists (fun d -> d >= ii) delays then `Infeasible
+  else
+    match pack ~strategy ~delays ~num_sms ~ii with
+    | None -> `Infeasible
+    | Some sm_of -> place ~insts ~deps ~idx g cfg ~num_sms ~ii ~sm_of

@@ -19,6 +19,7 @@ let default_budget =
 
 type attempt = {
   ii : int;
+  arm : string;
   tried_exact : bool;
   feasible : bool;
   solve_time_s : float;
@@ -34,6 +35,7 @@ type stats = {
   attempts : int;
   relaxation : float;
   used_exact : bool;
+  refined : bool;
   attempt_log : attempt list;
 }
 
@@ -55,8 +57,8 @@ let pp_reason fmt (r : reason) =
     | `Range -> "range")
 
 let pp_attempt fmt (a : attempt) =
-  Format.fprintf fmt "II=%-6d %-10s %-10s %10.6fs %8d pivots %6d nodes%s" a.ii
-    (if a.tried_exact then "exact ILP" else "heuristic")
+  Format.fprintf fmt "II=%-6d %-6s %-10s %10.6fs %8d pivots %6d nodes%s" a.ii
+    a.arm
     (if a.feasible then "feasible" else "infeasible")
     a.solve_time_s a.lp_pivots a.bb_nodes
     (if a.budget_hit then "  [budget hit]" else "")
@@ -67,7 +69,9 @@ let pp_stats fmt (s : stats) =
     s.achieved_ii s.lower_bound
     (100.0 *. s.relaxation)
     s.attempts
-    (if s.used_exact then "exact" else "heuristic")
+    (if s.refined then "lns-refined"
+     else if s.used_exact then "exact"
+     else "heuristic")
 
 (* Canonical attempt-log serialization for reproducibility checks: every
    field of the committed search except wall times, which cannot be
@@ -76,15 +80,16 @@ let pp_stats fmt (s : stats) =
 let log_signature (s : stats) =
   let b = Buffer.create 256 in
   Buffer.add_string b
-    (Printf.sprintf "bound=%d achieved=%d attempts=%d exact=%b\n" s.lower_bound
-       s.achieved_ii s.attempts s.used_exact);
+    (Printf.sprintf "bound=%d achieved=%d attempts=%d exact=%b refined=%b\n"
+       s.lower_bound s.achieved_ii s.attempts s.used_exact s.refined);
   List.iter
     (fun a ->
       Buffer.add_string b
         (Printf.sprintf
-           "ii=%d exact=%b feasible=%b pivots=%d nodes=%d work=%d hit=%b\n"
-           a.ii a.tried_exact a.feasible a.lp_pivots a.bb_nodes a.work_units
-           a.budget_hit))
+           "ii=%d arm=%s exact=%b feasible=%b pivots=%d nodes=%d work=%d \
+            hit=%b\n"
+           a.ii a.arm a.tried_exact a.feasible a.lp_pivots a.bb_nodes
+           a.work_units a.budget_hit))
     s.attempt_log;
   Buffer.contents b
 
@@ -96,8 +101,18 @@ let m_budget_stops = Obs.Metrics.counter "ii_search.budget_stops"
 let h_attempt_s = Obs.Metrics.histogram "ii_search.attempt_seconds"
 let h_relax = Obs.Metrics.histogram "ii_search.relaxation"
 
-let search ?(solver = Auto 2000) ?(budget = default_budget)
-    ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg ~num_sms =
+(* The LP/cutting-plane bound pays a few exact-rational LP solves per
+   probe.  Pivot cost grows with both the tableau size (assignment
+   variables = instances x SMs) and the magnitude of the candidate II
+   (the rational coefficients it seeds grow with it), so the bound is
+   gated on both: small problems with small IIs are exactly where the
+   combinatorial bounds leave a provable gap anyway. *)
+let lp_bound_max_vars = 128
+let lp_bound_max_ii = 256
+
+let search ?(solver = Auto 2000) ?(portfolio = true) ?(lns_rounds = 12)
+    ?(budget = default_budget) ?(relax_step = 0.005) ?(max_relax = 4.0) g cfg
+    ~num_sms =
   Obs.Trace.with_span "ii_search" @@ fun () ->
   Obs.Metrics.inc m_searches;
   (* The instance/dependence expansion does not depend on the candidate II:
@@ -105,7 +120,16 @@ let search ?(solver = Auto 2000) ?(budget = default_budget)
   let insts = Instances.instances cfg in
   let deps = Instances.deps g cfg in
   match
-    (try Ok (Mii.lower_bound ~deps g cfg ~num_sms)
+    (try
+       let combinatorial = Mii.lower_bound ~deps g cfg ~num_sms in
+       (* Cutting-plane refinement of the floor: deterministic, bounded
+          work, each refuted candidate is an independent proof — see
+          {!Mii.lp_bound}.  Gated by problem size. *)
+       if
+         Instances.num_instances cfg * num_sms <= lp_bound_max_vars
+         && combinatorial <= lp_bound_max_ii
+       then Ok (Mii.lp_bound ~insts ~deps g cfg ~num_sms ~start:combinatorial)
+       else Ok combinatorial
      with Mii.Unschedulable m -> Error m)
   with
   | Error m ->
@@ -144,7 +168,8 @@ let search ?(solver = Auto 2000) ?(budget = default_budget)
     | None -> None
     | Some b -> Resil.Budget.exhausted_reason b
   in
-  let mk_attempt ~ii ~tried_exact ~feasible ~budget_hit ~t0 bb =
+  let mk_attempt ~ii ~arm ~arms_run ~tried_exact ~feasible ~budget_hit ~t0 bb
+      =
     let bb_nodes, lp_pivots =
       match bb with
       | Some (s : Lp.Branch_bound.stats) -> (s.nodes_explored, s.lp_pivots)
@@ -153,20 +178,21 @@ let search ?(solver = Auto 2000) ?(budget = default_budget)
     let a =
       {
         ii;
+        arm;
         tried_exact;
         feasible;
         solve_time_s = Sys.time () -. t0;
         lp_pivots;
         bb_nodes;
-        (* the +1 makes pure-heuristic attempts (no pivots, no nodes)
-           still drain a total-work ledger *)
-        work_units = lp_pivots + bb_nodes + 1;
+        (* one unit per arm raced (at least one even for injected
+           attempts) keeps pure-heuristic attempts draining a
+           total-work ledger, and makes the racing itself accountable *)
+        work_units = lp_pivots + bb_nodes + max 1 arms_run;
         budget_hit;
       }
     in
     Obs.Trace.add_attr "feasible" (Obs.Trace.Bool feasible);
-    Obs.Trace.add_attr "solver"
-      (Obs.Trace.Str (if tried_exact then "exact" else "heuristic"));
+    Obs.Trace.add_attr "arm" (Obs.Trace.Str arm);
     Obs.Trace.add_attr "pivots" (Obs.Trace.Int lp_pivots);
     Obs.Trace.add_attr "nodes" (Obs.Trace.Int bb_nodes);
     a
@@ -182,8 +208,10 @@ let search ?(solver = Auto 2000) ?(budget = default_budget)
     | None -> ());
     Obs.Metrics.inc m_attempts;
     if a.tried_exact then Obs.Metrics.inc m_exact;
+    Portfolio.record_arm a.arm ~feasible:a.feasible;
     Obs.Metrics.observe h_attempt_s a.solve_time_s
   in
+  let exact_gate_ok = Instances.num_instances cfg * num_sms <= 96 in
   let try_at ii =
     Obs.Trace.with_span "ii_search.attempt"
       ~attrs:[ ("ii", Obs.Trace.Int ii) ]
@@ -204,14 +232,25 @@ let search ?(solver = Auto 2000) ?(budget = default_budget)
     let injected =
       Resil.Inject.armed () && Resil.Inject.hit "ii_search.attempt"
     in
+    let arm = ref "none" in
+    let arms_run = ref 1 in
     let res =
       if injected then None
       else
         match solver with
-        | Heuristic -> (
-          match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
-          | `Schedule s -> Some (s, false)
-          | `Infeasible -> None)
+        | Heuristic ->
+          if portfolio then begin
+            let o = Portfolio.try_ii ?tok ~insts ~deps g cfg ~num_sms ~ii in
+            arm := o.Portfolio.arm;
+            arms_run := o.Portfolio.arms_run;
+            Option.map (fun s -> (s, false)) o.Portfolio.schedule
+          end
+          else (
+            match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
+            | `Schedule s ->
+              arm := "ffd";
+              Some (s, false)
+            | `Infeasible -> None)
         | Exact nb -> (
           (* Warm start: hand the ILP the heuristic's schedule as its
              incumbent — branch-and-bound verifies it against the full
@@ -228,25 +267,46 @@ let search ?(solver = Auto 2000) ?(budget = default_budget)
               ?budget:tok ~insts ~deps ?warm_start ~stats:bb g cfg ~num_sms
               ~ii
           with
-          | `Schedule s -> Some (s, true)
+          | `Schedule s ->
+            arm := "exact";
+            Some (s, true)
           | `Infeasible | `Budget_exhausted -> None)
-        | Auto nb -> (
-          match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
-          | `Schedule s -> Some (s, false)
-          | `Infeasible ->
-            (* The exact ILP is only worth invoking on problems small enough
-               for the branch-and-bound to stand a chance within its budget
-               (the assignment variables alone number instances x SMs). *)
-            if
-              Instances.num_instances cfg * num_sms > 96 || not (near_bound ii)
-            then None
-            else (
-              match
-                Ilp.solve ~node_budget:nb ?time_budget_s:budget.auto_time_s
-                  ?budget:tok ~insts ~deps ~stats:bb g cfg ~num_sms ~ii
-              with
-              | `Schedule s -> Some (s, true)
-              | `Infeasible | `Budget_exhausted -> None))
+        | Auto nb ->
+          if portfolio then begin
+            (* The exact arm is only admitted on problems small enough
+               for branch-and-bound to stand a chance within its budget
+               (the assignment variables alone number instances x SMs)
+               and near the bound, where the packing granularity is the
+               limiting factor. *)
+            let o =
+              Portfolio.try_ii ?tok
+                ~allow_exact:(exact_gate_ok && near_bound ii) ~node_budget:nb
+                ?time_budget_s:budget.auto_time_s ~insts ~deps g cfg ~num_sms
+                ~ii
+            in
+            arm := o.Portfolio.arm;
+            arms_run := o.Portfolio.arms_run;
+            bb := o.Portfolio.bb;
+            Option.map
+              (fun s -> (s, o.Portfolio.arm = "exact"))
+              o.Portfolio.schedule
+          end
+          else (
+            match Heuristic.solve ~insts ~deps g cfg ~num_sms ~ii with
+            | `Schedule s ->
+              arm := "ffd";
+              Some (s, false)
+            | `Infeasible ->
+              if (not exact_gate_ok) || not (near_bound ii) then None
+              else (
+                match
+                  Ilp.solve ~node_budget:nb ?time_budget_s:budget.auto_time_s
+                    ?budget:tok ~insts ~deps ~stats:bb g cfg ~num_sms ~ii
+                with
+                | `Schedule s ->
+                  arm := "exact";
+                  Some (s, true)
+                | `Infeasible | `Budget_exhausted -> None))
     in
     let tried_exact =
       match solver with
@@ -258,26 +318,66 @@ let search ?(solver = Auto 2000) ?(budget = default_budget)
       injected
       || (match tok with Some b -> Resil.Budget.over b | None -> false)
     in
-    (res, mk_attempt ~ii ~tried_exact ~feasible:(res <> None) ~budget_hit ~t0 !bb)
+    ( res,
+      mk_attempt ~ii ~arm:!arm ~arms_run:!arms_run ~tried_exact
+        ~feasible:(res <> None) ~budget_hit ~t0 !bb )
   in
   let max_ii = int_of_float (float_of_int lb *. (1.0 +. max_relax)) + 1 in
   let next_ii ii =
     max (ii + 1)
       (int_of_float (Float.round (float_of_int ii *. (1.0 +. relax_step))))
   in
-  let success ~ii ~attempts (s, used_exact) =
+  let success ~ii (s, from_exact) =
+    (* LNS refinement: the upward search stops at the first feasible
+       candidate; spend leftover rounds (and ledger) probing below it.
+       Runs serially after the parallel window committed, so the refined
+       schedule is a pure function of the committed search state. *)
+    let s, ii, refined =
+      let skip =
+        lns_rounds <= 0 || ii <= lb
+        || (match solver with Exact _ -> true | Heuristic | Auto _ -> false)
+      in
+      if skip then (s, ii, false)
+      else begin
+        let ledger_ok () = ledger_over () = None in
+        let commit_probe (p : Lns.probe) =
+          commit
+            {
+              ii = p.Lns.target;
+              arm = "lns";
+              tried_exact = p.Lns.exact_window;
+              feasible = p.Lns.feasible;
+              solve_time_s = p.Lns.time_s;
+              lp_pivots = p.Lns.lp_pivots;
+              bb_nodes = p.Lns.bb_nodes;
+              work_units = p.Lns.work_units;
+              budget_hit = false;
+            }
+        in
+        let s' =
+          Lns.refine ~rounds:lns_rounds ~ledger_ok ~commit:commit_probe ~insts
+            ~deps g cfg ~num_sms ~lb s
+        in
+        if s'.Swp_schedule.ii < ii then begin
+          Portfolio.record_lns ~from_ii:ii ~to_ii:s'.Swp_schedule.ii;
+          (s', s'.Swp_schedule.ii, true)
+        end
+        else (s, ii, false)
+      end
+    in
     let relaxation = float_of_int (ii - lb) /. float_of_int (max 1 lb) in
     Obs.Metrics.observe h_relax relaxation;
     Obs.Trace.add_attr "achieved_ii" (Obs.Trace.Int ii);
-    Obs.Trace.add_attr "attempts" (Obs.Trace.Int attempts);
+    Obs.Trace.add_attr "attempts" (Obs.Trace.Int (List.length !log));
     Ok
       ( s,
         {
           lower_bound = lb;
           achieved_ii = ii;
-          attempts;
+          attempts = List.length !log;
           relaxation;
-          used_exact;
+          used_exact = from_exact && not refined;
+          refined;
           attempt_log = List.rev !log;
         } )
   in
@@ -303,7 +403,7 @@ let search ?(solver = Auto 2000) ?(budget = default_budget)
      have stopped at, with exactly its attempt log (later probes are
      wasted work, not observable results).  K = 1 (no global pool, or
      nested under another fan-out) is the serial search, window of one. *)
-  let rec loop ii attempts =
+  let rec loop ii =
     match ledger_over () with
     | Some r -> stop_for r
     | None ->
@@ -321,25 +421,23 @@ let search ?(solver = Auto 2000) ?(budget = default_budget)
         take ii k []
       in
       let probes = Par.Pool.map_auto try_at window in
-      let rec scan cands probes attempts =
+      let rec scan cands probes =
         match (cands, probes) with
         | [], _ | _, [] ->
           (* window exhausted, nothing feasible: continue past it *)
-          loop
-            (next_ii (List.nth window (List.length window - 1)))
-            attempts
+          loop (next_ii (List.nth window (List.length window - 1)))
         | ii :: cands', (res, a) :: probes' -> (
           commit a;
           match res with
-          | Some r -> success ~ii ~attempts r
+          | Some r -> success ~ii r
           | None -> (
             (* the ledger is only consulted at commit points, the same
                points the serial search would consult it at *)
             match ledger_over () with
             | Some r -> stop_for r
-            | None -> scan cands' probes' (attempts + 1)))
+            | None -> scan cands' probes'))
       in
-      scan window probes attempts
+      scan window probes
     end
   in
-  loop lb 1
+  loop lb

@@ -65,12 +65,17 @@ val default_budget : budget
 
 type attempt = {
   ii : int;                (** candidate II of this attempt *)
+  arm : string;
+      (** the arm that produced this attempt's outcome: a portfolio arm
+          name (["ffd"] | ["bfd"] | ["bal"] | ["exact"]), ["lns"] for a
+          refinement probe, or ["none"] when nothing was feasible *)
   tried_exact : bool;      (** the exact ILP ran (possibly warm-started) *)
   feasible : bool;
   solve_time_s : float;    (** CPU seconds spent on this candidate *)
   lp_pivots : int;         (** simplex pivots across the ILP's relaxations *)
   bb_nodes : int;          (** branch-and-bound nodes explored *)
-  work_units : int;        (** [lp_pivots + bb_nodes + 1], the ledger charge *)
+  work_units : int;        (** [lp_pivots + bb_nodes + arms raced] (at
+                               least one), the ledger charge *)
   budget_hit : bool;       (** the per-attempt budget cut this solve short
                                (or a fault was injected here) *)
 }
@@ -81,6 +86,8 @@ type stats = {
   attempts : int;          (** candidate IIs tried *)
   relaxation : float;      (** (achieved - bound) / bound *)
   used_exact : bool;       (** whether the returned schedule came from the ILP *)
+  refined : bool;          (** LNS refinement improved the schedule below
+                               the first feasible candidate *)
   attempt_log : attempt list;
       (** one entry per candidate II, in search order (the last entry is
           the successful one when the search succeeds) *)
@@ -115,6 +122,8 @@ val log_signature : stats -> string
 
 val search :
   ?solver:solver ->
+  ?portfolio:bool ->
+  ?lns_rounds:int ->
   ?budget:budget ->
   ?relax_step:float ->
   ?max_relax:float ->
@@ -122,6 +131,17 @@ val search :
   Select.config ->
   num_sms:int ->
   (Swp_schedule.t * stats, error) result
-(** Defaults: [solver = Auto 2000], [budget = default_budget],
-    [relax_step = 0.005] (the paper's 0.5%), [max_relax = 4.0] (give up
-    beyond 5x the bound). *)
+(** Defaults: [solver = Auto 2000], [portfolio = true],
+    [lns_rounds = 12], [budget = default_budget], [relax_step = 0.005]
+    (the paper's 0.5%), [max_relax = 4.0] (give up beyond 5x the
+    bound).
+
+    [portfolio] races the {!Heuristic.all_strategies} packings (and, in
+    [Auto] mode near the bound on small problems, the cut-armed exact
+    ILP) per candidate II — see {!Portfolio.try_ii}; [false] restores
+    the historical first-fit-then-maybe-exact ladder.  [lns_rounds]
+    bounds the {!Lns.refine} probes run below the first feasible
+    candidate ([0] disables refinement; [Exact] mode never refines).
+    Both preserve byte-identical determinism: arms race in a fixed
+    order under work-unit budgets, and refinement probes run serially
+    at commit time. *)

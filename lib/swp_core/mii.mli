@@ -8,6 +8,13 @@
 
 val res_mii : Select.config -> num_sms:int -> int
 
+val res_mii_sharp : Select.config -> num_sms:int -> int
+(** k-cardinality sharpening of {!res_mii}: for every k, among the
+    [k*num_sms + 1] largest instance delays some SM hosts at least
+    [k+1], so the II is at least the sum of the [k+1] smallest of that
+    set.  Always [>= res_mii] (the plain average is the degenerate
+    bound); strictly larger on skewed delay distributions. *)
+
 exception Unschedulable of string
 (** Raised by {!rec_mii} (and {!lower_bound}) when a dependence cycle is
     infeasible at {e every} T — its [jlag] terms sum to zero or more, so
@@ -23,8 +30,13 @@ val rec_mii : ?deps:Instances.dep list -> Streamit.Graph.t -> Select.config -> i
     instance dependence graph is acyclic.  @raise Unschedulable when no T
     is feasible. *)
 
+type level =
+  | Classic  (** the original [max(ResMII, RecMII, 1 + max delay)] *)
+  | Sharp    (** [res_mii_sharp] in place of [ResMII] (the default) *)
+
 val lower_bound :
   ?deps:Instances.dep list ->
+  ?level:level ->
   Streamit.Graph.t ->
   Select.config ->
   num_sms:int ->
@@ -32,4 +44,35 @@ val lower_bound :
 (** [max(ResMII, RecMII, 1 + max delay)] — the last term because the
     no-wrap constraint (4) requires every instance to complete within one
     II.  [deps], here and in {!rec_mii}, supplies a precomputed dependence
-    expansion so the II search derives it once. *)
+    expansion so the II search derives it once.  [level] (default
+    [Sharp]) selects the resource bound; [Classic] preserves the
+    historical value for monotone-tightening comparisons.  Note the
+    recurrence side needs no sharpening: {!rec_mii} binary-searches exact
+    Bellman-Ford feasibility of the {e whole} difference system, which
+    already accounts for every composite cycle, not a per-simple-cycle
+    ratio approximation. *)
+
+val lp_bound :
+  ?insts:Instances.instance list ->
+  ?deps:Instances.dep list ->
+  ?work:int ->
+  ?cut_rounds:int ->
+  Streamit.Graph.t ->
+  Select.config ->
+  num_sms:int ->
+  start:int ->
+  int
+(** Cutting-plane lower bound from the LP relaxation, [>= start] (pass
+    the combinatorial {!lower_bound} as [start]).  Probes candidate IIs
+    upward: a candidate [T] is {e refuted} when the LP relaxation of the
+    full scheduling ILP at [T] — strengthened with the clique rows and
+    up to [cut_rounds] (default 2) rounds of violated cover cuts
+    ({!Ilp.cover_cuts}) — is proven infeasible; since every integral
+    schedule satisfies the relaxation and ILP feasibility is monotone in
+    [T], each refutation alone certifies [T+1] as a valid bound.
+    Exponential climb plus bisection maximize the refuted prefix under a
+    deterministic work allotment of [work] (default 2000) simplex pivots
+    (kept small because exact-rational pivot cost grows with the II
+    magnitude in the capacity coefficients, not just the tableau size);
+    exhaustion simply returns the best bound proven so far, so the
+    result is reproducible across runs and [--jobs] settings. *)

@@ -17,5 +17,6 @@ let () =
       ("check", Test_check.suite);
       ("par", Test_par.suite);
       ("resil", Test_resil.suite);
+      ("quality", Test_quality.suite);
       ("determinism", Test_determinism.suite);
     ]

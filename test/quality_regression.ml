@@ -1,0 +1,113 @@
+(* Quality-regression gate: compile every registry benchmark at the
+   unlimited budget and compare the achieved II against the checked-in
+   per-benchmark baseline (quality_baseline.json).  Any achieved II
+   strictly above its baseline fails the run; an II strictly below is
+   reported so the baseline can be ratcheted down.  Exit status 0 iff no
+   benchmark regressed.
+
+   The baseline file is a flat {"baseline": {"Name": ii, ...}} object;
+   the reader below handles exactly that shape (the repo carries no JSON
+   library, and the gate must not grow a dependency just to read it). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    (fun () -> really_input_string ic (in_channel_length ic))
+    ~finally:(fun () -> close_in ic)
+
+(* Pull every "name": <int> pair out of the "baseline" object.  Keys in
+   the preamble note contain no colon-integer pairs, but to be safe only
+   the text after "baseline" is scanned. *)
+let parse_baseline text =
+  let start =
+    match String.index_opt text '{' with
+    | Some _ -> (
+      let marker = "\"baseline\"" in
+      let rec find i =
+        if i + String.length marker > String.length text then
+          failwith "quality_baseline.json: no \"baseline\" object"
+        else if String.sub text i (String.length marker) = marker then
+          i + String.length marker
+        else find (i + 1)
+      in
+      find 0)
+    | None -> failwith "quality_baseline.json: not a JSON object"
+  in
+  let tail = String.sub text start (String.length text - start) in
+  let pairs = ref [] in
+  let n = String.length tail in
+  let i = ref 0 in
+  while !i < n do
+    if tail.[!i] = '"' then begin
+      let close =
+        match String.index_from_opt tail (!i + 1) '"' with
+        | Some c -> c
+        | None -> failwith "quality_baseline.json: unterminated string"
+      in
+      let key = String.sub tail (!i + 1) (close - !i - 1) in
+      let j = ref (close + 1) in
+      while !j < n && (tail.[!j] = ' ' || tail.[!j] = '\n') do incr j done;
+      if !j < n && tail.[!j] = ':' then begin
+        incr j;
+        while !j < n && (tail.[!j] = ' ' || tail.[!j] = '\n') do incr j done;
+        let k = ref !j in
+        while !k < n && tail.[!k] >= '0' && tail.[!k] <= '9' do incr k done;
+        if !k > !j then
+          pairs := (key, int_of_string (String.sub tail !j (!k - !j))) :: !pairs;
+        i := !k
+      end
+      else i := close + 1
+    end
+    else incr i
+  done;
+  List.rev !pairs
+
+let () =
+  let baseline_path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "quality_baseline.json"
+  in
+  let baseline = parse_baseline (read_file baseline_path) in
+  let failures = ref 0 in
+  Printf.printf "%-12s %10s %10s  %s\n" "benchmark" "baseline" "achieved" "";
+  List.iter
+    (fun (e : Benchmarks.Registry.entry) ->
+      let name = e.Benchmarks.Registry.name in
+      let g = Streamit.Flatten.flatten (e.Benchmarks.Registry.stream ()) in
+      match Swp_core.Compile.compile g with
+      | Error m ->
+        incr failures;
+        Printf.printf "%-12s %10s %10s  FAIL compile: %s\n" name "-" "-" m
+      | Ok c -> (
+        let achieved =
+          c.Swp_core.Compile.search_stats.Swp_core.Ii_search.achieved_ii
+        in
+        match List.assoc_opt name baseline with
+        | None ->
+          incr failures;
+          Printf.printf "%-12s %10s %10d  FAIL no baseline entry\n" name "-"
+            achieved
+        | Some base when achieved > base ->
+          incr failures;
+          Printf.printf "%-12s %10d %10d  FAIL regressed by %d\n" name base
+            achieved (achieved - base)
+        | Some base when achieved < base ->
+          Printf.printf
+            "%-12s %10d %10d  ok (improved by %d — ratchet the baseline)\n"
+            name base achieved (base - achieved)
+        | Some base -> Printf.printf "%-12s %10d %10d  ok\n" name base achieved))
+    Benchmarks.Registry.all;
+  (* Stale baseline entries for benchmarks that no longer exist are also
+     an error: they would silently stop gating anything. *)
+  List.iter
+    (fun (name, _) ->
+      if Benchmarks.Registry.find name = None then begin
+        incr failures;
+        Printf.printf "%-12s %10s %10s  FAIL stale baseline entry\n" name "?"
+          "-"
+      end)
+    baseline;
+  if !failures > 0 then begin
+    Printf.printf "%d quality regression(s)\n" !failures;
+    exit 1
+  end
+  else print_string "no quality regressions\n"

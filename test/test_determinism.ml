@@ -108,10 +108,13 @@ let budgeted name budget =
         (Swp_core.Compile.quality_name s_q)
         (Swp_core.Compile.quality_name p_q))
 
-(* 25 units degrade FMRadio (its search needs more committed attempts
-   than that); 100 let Bitonic finish heuristically with the ledger
-   active — both rungs of the ladder stay deterministic. *)
-let budgeted_cases = [ ("FMRadio", 25); ("Bitonic", 100) ]
+(* 25 units degrade BitonicRec (its search needs more committed
+   attempts than that, and the seeded fallback ramp must also stay
+   deterministic); 100 let DES finish as a refined schedule with the
+   ledger active, so portfolio arm racing AND LNS probes are both
+   exercised under work accounting — every rung of the ladder stays
+   deterministic. *)
+let budgeted_cases = [ ("BitonicRec", 25); ("DES", 100) ]
 
 (* ---- golden CUDA fixtures ------------------------------------------- *)
 
