@@ -718,7 +718,7 @@ let partime ~jobs =
 (* Every registry benchmark compiled under a descending ladder of
    work-unit budgets, down to zero.  The compiler must return Ok at
    every rung — the quality column records which rung of the
-   exact/heuristic/fallback ladder paid for it, and the achieved II
+   exact/refined/heuristic/fallback ladder paid for it, and the achieved II
    quantifies what the budget bought. *)
 (* achieved-over-bound gap, in percent of the bound *)
 let gap_pct (st : Swp_core.Ii_search.stats) =
@@ -766,7 +766,7 @@ let resil_bench () =
     "{\n\
     \  \"note\": \"full registry compiled under descending II-search \
      work-unit budgets (null = unlimited); quality records the \
-     degradation-ladder rung (exact/heuristic/degraded) and achieved_ii \
+     degradation-ladder rung (exact/refined/heuristic/degraded) and achieved_ii \
      what the budget bought; every rung must compile Ok\",\n\
     \  \"rows\": [\n";
   List.iteri

@@ -9,12 +9,14 @@
      speedup  <bench|file.str>   SWP/SWPNC/Serial speedups vs the CPU model
      trace    <bench|file.str>   full pipeline under span tracing; Chrome JSON
      sweep    <bench|file.str>   compile at several SM counts (--sms 2,4,6,8)
+     report   <bench|file.str>   compile flight record: bounds, attempts, spend
      list                        available built-in benchmarks
 
-   compile/run/speedup/trace accept --metrics to dump the metrics
-   registry snapshot after the command; compile/speedup/trace/sweep/fuzz
-   accept --jobs N to compile on an N-domain work pool (byte-identical
-   results to the serial pipeline). *)
+   Every compiling subcommand (compile, emit, buffers, run, speedup,
+   trace, sweep, fuzz, report) accepts --metrics to dump the metrics
+   registry snapshot after the command; compile/speedup/trace/sweep/fuzz/
+   report accept --jobs N to compile on an N-domain work pool
+   (byte-identical results to the serial pipeline). *)
 
 open Cmdliner
 open Streamit
@@ -312,18 +314,20 @@ let compile_cmd =
 
 let emit_cmd =
   let doc = "Emit the generated CUDA program on stdout (Sec. IV-C)." in
-  let run spec n =
+  let run spec n metrics =
     with_coarsening n @@ fun () ->
-    with_graph spec (fun g _ ->
-        match Swp_core.Compile.compile ~coarsening:n g with
-        | Error m ->
-          Printf.eprintf "error: compile: %s\n" m;
-          1
-        | Ok c ->
-          print_string (Cudagen.Kernel_gen.program c);
-          0)
+    dump_metrics metrics
+    @@ with_graph spec (fun g _ ->
+           match Swp_core.Compile.compile ~coarsening:n g with
+           | Error m ->
+             Printf.eprintf "error: compile: %s\n" m;
+             1
+           | Ok c ->
+             print_string (Cudagen.Kernel_gen.program c);
+             0)
   in
-  Cmd.v (Cmd.info "emit" ~doc) Term.(const run $ spec_arg $ coarsen_arg)
+  Cmd.v (Cmd.info "emit" ~doc)
+    Term.(const run $ spec_arg $ coarsen_arg $ metrics_arg)
 
 (* --- run --- *)
 
@@ -363,9 +367,10 @@ let run_cmd =
 
 let buffers_cmd =
   let doc = "Per-channel buffer sizing of the SWPn schedule (Table II detail)." in
-  let run spec n =
+  let run spec n metrics =
     with_coarsening n @@ fun () ->
-    with_graph spec (fun g _ ->
+    dump_metrics metrics
+    @@ with_graph spec (fun g _ ->
         match Swp_core.Compile.compile ~coarsening:n g with
         | Error m ->
           Printf.eprintf "error: compile: %s\n" m;
@@ -385,7 +390,8 @@ let buffers_cmd =
             sz.Swp_core.Buffer_layout.per_edge;
           0)
   in
-  Cmd.v (Cmd.info "buffers" ~doc) Term.(const run $ spec_arg $ coarsen_arg)
+  Cmd.v (Cmd.info "buffers" ~doc)
+    Term.(const run $ spec_arg $ coarsen_arg $ metrics_arg)
 
 (* --- speedup --- *)
 
@@ -466,15 +472,19 @@ let trace_cmd =
      Chrome trace-event JSON (load at ui.perfetto.dev) and print the span \
      tree."
   in
-  let run spec n jobs out metrics =
+  let run spec n jobs deadline budget on_budget out metrics =
     with_jobs jobs @@ fun () ->
     with_coarsening n @@ fun () ->
+    check_limits ~deadline ~budget @@ fun () ->
     Obs.Trace.reset ();
     Obs.Metrics.reset ();
     Obs.Trace.enable ();
     let code =
       with_graph spec (fun g _ ->
-          match Swp_core.Compile.compile ~coarsening:n g with
+          match
+            Swp_core.Compile.compile ~coarsening:n ?deadline ?budget
+              ~on_budget g
+          with
           | Error m ->
             Printf.eprintf "error: compile: %s\n" m;
             1
@@ -487,24 +497,27 @@ let trace_cmd =
             0)
     in
     Obs.Trace.disable ();
-    if code <> 0 then code
-    else begin
-      match
-        let oc = open_out out in
-        output_string oc (Obs.Trace.to_chrome_json ());
-        close_out oc
-      with
-      | () ->
-        Format.printf "%a@?" Obs.Trace.pp_tree ();
-        Printf.printf "wrote %s\n" out;
-        dump_metrics metrics 0
-      | exception Sys_error m ->
-        Printf.eprintf "error: %s\n" m;
-        1
-    end
+    (* The trace is written whatever the compile's outcome: a failed or
+       degraded compile is exactly the one worth inspecting, and every
+       span is closed on the exception path (Fun.protect), so the JSON
+       is always well-formed. *)
+    match
+      let oc = open_out out in
+      output_string oc (Obs.Trace.to_chrome_json ());
+      close_out oc
+    with
+    | () ->
+      Format.printf "%a@?" Obs.Trace.pp_tree ();
+      Printf.printf "wrote %s\n" out;
+      dump_metrics metrics code
+    | exception Sys_error m ->
+      Printf.eprintf "error: %s\n" m;
+      1
   in
   Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const run $ spec_arg $ coarsen_arg $ jobs_arg $ out_arg $ metrics_arg)
+    Term.(
+      const run $ spec_arg $ coarsen_arg $ jobs_arg $ deadline_arg
+      $ budget_arg $ on_budget_arg $ out_arg $ metrics_arg)
 
 (* --- fuzz --- *)
 
@@ -605,6 +618,135 @@ let fuzz_cmd =
       const run $ seeds_arg $ base_seed_arg $ iters_arg $ fuzz_jobs_arg
       $ faults_arg $ fuzz_deadline_arg $ metrics_arg)
 
+(* --- report --- *)
+
+let report_cmd =
+  let doc =
+    "Compile and print the flight-recorder report: which lower bound was \
+     binding (RecMII / ResMII / sharp / LP), the full II-search attempt \
+     timeline with the winning portfolio arm, per-stage work-unit spend, \
+     the configuration-sweep scoreboard, the degradation-rung rationale \
+     and the determinism signature."
+  in
+  let spec_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM" ~doc:"Built-in benchmark name or .str file.")
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench" ] ~docv:"NAME"
+          ~doc:
+            "Built-in benchmark to report on (alternative to the positional \
+             $(i,PROGRAM)).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the report as compact JSON instead of the human-readable \
+             explanation.")
+  in
+  let report_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Also write the report as compact JSON to $(docv).")
+  in
+  let timings_arg =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:
+            "Include wall-clock timings in the JSON report.  Timings are \
+             nondeterministic and excluded by default so reports are \
+             byte-identical across runs and --jobs widths.")
+  in
+  let events_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events" ] ~docv:"FILE"
+          ~doc:
+            "Record the structured decision-event log during the compile \
+             and write it to $(docv) as JSON lines (without timestamps, so \
+             the log is deterministic).")
+  in
+  let openmetrics_arg =
+    Arg.(
+      value & flag
+      & info [ "openmetrics" ]
+          ~doc:
+            "Print the metrics registry in OpenMetrics/Prometheus text \
+             exposition format after the report.")
+  in
+  let write_file path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  let run spec bench n jobs deadline budget on_budget no_portfolio lns_rounds
+      json out timings events openmetrics metrics =
+    match (spec, bench) with
+    | None, None ->
+      Printf.eprintf "error: give a PROGRAM argument or --bench NAME\n";
+      1
+    | Some _, Some _ ->
+      Printf.eprintf "error: give either PROGRAM or --bench, not both\n";
+      1
+    | Some s, None | None, Some s -> (
+      with_jobs jobs @@ fun () ->
+      with_coarsening n @@ fun () ->
+      check_limits ~deadline ~budget @@ fun () ->
+      check_lns_rounds lns_rounds @@ fun () ->
+      if events <> None then begin
+        Obs.Log.reset ();
+        Obs.Log.enable ()
+      end;
+      let code =
+        try
+          with_graph s (fun g _ ->
+            match
+              Swp_core.Compile.compile ~coarsening:n ?deadline ?budget
+                ~portfolio:(not no_portfolio) ~lns_rounds ~on_budget g
+            with
+            | Error m ->
+              Printf.eprintf "error: compile: %s\n" m;
+              1
+            | Ok c ->
+              let r = Swp_core.Report.assemble ~program:s c in
+              if json then
+                print_string (Swp_core.Report.to_json ~timings r ^ "\n")
+              else Format.printf "%a@." Swp_core.Report.pp_human r;
+              (match out with
+              | Some f ->
+                write_file f (Swp_core.Report.to_json ~timings r ^ "\n")
+              | None -> ());
+              (match events with
+              | Some f ->
+                write_file f (Obs.Log.to_json_lines ~timestamps:false ())
+              | None -> ());
+              if openmetrics then print_string (Obs.Export.to_openmetrics ());
+              0)
+        with Sys_error m ->
+          Printf.eprintf "error: %s\n" m;
+          1
+      in
+      Obs.Log.disable ();
+      dump_metrics metrics code)
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ spec_opt_arg $ bench_arg $ coarsen_arg $ jobs_arg
+      $ deadline_arg $ budget_arg $ on_budget_arg $ no_portfolio_arg
+      $ lns_rounds_arg $ json_arg $ report_out_arg $ timings_arg $ events_arg
+      $ openmetrics_arg $ metrics_arg)
+
 (* --- sweep --- *)
 
 let sweep_cmd =
@@ -684,4 +826,5 @@ let () =
           [
             list_cmd; info_cmd; profile_cmd; compile_cmd; emit_cmd; run_cmd;
             buffers_cmd; speedup_cmd; trace_cmd; fuzz_cmd; sweep_cmd;
+            report_cmd;
           ]))

@@ -171,6 +171,24 @@ let program (c : Swp_core.Compile.compiled) =
   let g = c.Swp_core.Compile.graph in
   let sizing = c.Swp_core.Compile.sizing in
   let buf = Buffer.create 16384 in
+  (* Provenance header: every artifact traces back to the schedule
+     decision that produced it.  Deterministic fields only — the header
+     must not break byte-identical serial-vs-parallel codegen. *)
+  let stats = c.Swp_core.Compile.search_stats in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "/* streamit_gpu artifact\n\
+       \ * quality: %s (%s)\n\
+       \ * II: %d (lower bound %d, binding %s)\n\
+       \ * schedule signature: %s\n\
+       \ */\n"
+       (Swp_core.Compile.quality_name c.Swp_core.Compile.quality)
+       (Swp_core.Compile.rationale_name
+          c.Swp_core.Compile.prov.Swp_core.Compile.rationale)
+       stats.Swp_core.Ii_search.achieved_ii
+       stats.Swp_core.Ii_search.lower_bound
+       stats.Swp_core.Ii_search.bounds.Swp_core.Mii.binding
+       (Swp_core.Report.schedule_signature c));
   Buffer.add_string buf "#include <cuda_runtime.h>\n#include <cstdio>\n\n";
   (* per-node region-offset helpers: ring of (stages+1) steady-state
      regions indexed by iteration *)

@@ -1,0 +1,90 @@
+(* OpenMetrics text exposition over the Metrics registry.
+
+   The registry names instruments [subsystem.noun.verb]; Prometheus
+   names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so dots (and any other
+   illegal character) become underscores.  Counters get the mandated
+   [_total] sample suffix; histograms expose [_count] and [_sum] plus
+   [_min]/[_max] gauges (the registry keeps extrema, not buckets). *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+(* Label values escape per the OpenMetrics ABNF: backslash, double
+   quote, and line feed. *)
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let labels_str labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label v))
+           labels)
+    ^ "}"
+
+let float_str f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let to_openmetrics () =
+  let items = Metrics.snapshot () in
+  let b = Buffer.create 4096 in
+  (* One TYPE line per metric family: snapshot is sorted by (name,
+     labels), so a family's cells are adjacent and the header goes on
+     the first. *)
+  let last_family = ref "" in
+  let family name kind =
+    if name <> !last_family then begin
+      last_family := name;
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (it : Metrics.snapshot_item) ->
+      let name = sanitize it.name in
+      let ls = labels_str it.labels in
+      match it.kind with
+      | `Counter v ->
+        family name "counter";
+        Buffer.add_string b (Printf.sprintf "%s_total%s %d\n" name ls v)
+      | `Gauge v ->
+        family name "gauge";
+        Buffer.add_string b (Printf.sprintf "%s%s %s\n" name ls (float_str v))
+      | `Histogram (count, sum, min_v, max_v) ->
+        family name "histogram";
+        Buffer.add_string b (Printf.sprintf "%s_count%s %d\n" name ls count);
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" name ls (float_str sum));
+        (* Extrema only exist once something was observed. *)
+        if count > 0 then begin
+          Buffer.add_string b
+            (Printf.sprintf "# TYPE %s_min gauge\n%s_min%s %s\n" name name ls
+               (float_str min_v));
+          Buffer.add_string b
+            (Printf.sprintf "# TYPE %s_max gauge\n%s_max%s %s\n" name name ls
+               (float_str max_v));
+          last_family := ""
+        end)
+    items;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

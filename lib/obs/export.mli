@@ -1,0 +1,20 @@
+(** OpenMetrics/Prometheus text exposition for the {!Metrics} registry.
+
+    [to_openmetrics ()] renders the current snapshot in the OpenMetrics
+    text format (the content type a Prometheus scrape endpoint serves),
+    ready for the future [serve] daemon to expose.  Conventions:
+
+    - dot-separated registry names are sanitized to underscore form
+      ([lp.pivots] → [lp_pivots]);
+    - counters carry the mandated [_total] sample suffix;
+    - histograms expose [_count] and [_sum], plus [_min]/[_max] gauges
+      when non-empty (the registry tracks extrema, not buckets);
+    - every family gets a [# TYPE] line; output ends with [# EOF]. *)
+
+val sanitize : string -> string
+(** Map a registry name to a legal Prometheus metric name. *)
+
+val escape_label : string -> string
+(** Escape a label value per the exposition-format ABNF. *)
+
+val to_openmetrics : unit -> string

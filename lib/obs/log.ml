@@ -1,0 +1,82 @@
+type value = Trace.value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  seq : int;
+  ts_us : float;
+  name : string;
+  attrs : (string * value) list;
+}
+
+(* Same per-domain-sink discipline as Trace: every domain appends to its
+   own buffer, the only shared state is the sink registry (mutex, touched
+   once per domain) and the sequence counter (atomic).  Export merges and
+   sorts by sequence, which for a single domain is append order. *)
+
+type sink = { mutable events : event list }
+
+let enabled = ref false
+let sinks : sink list ref = ref []
+let sinks_m = Mutex.create ()
+let next_seq = Atomic.make 0
+
+let sink_key : sink Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = { events = [] } in
+      Mutex.lock sinks_m;
+      sinks := s :: !sinks;
+      Mutex.unlock sinks_m;
+      s)
+
+let enable () = enabled := true
+let disable () = enabled := false
+let is_enabled () = !enabled
+
+let reset () =
+  Mutex.lock sinks_m;
+  List.iter (fun s -> s.events <- []) !sinks;
+  Mutex.unlock sinks_m;
+  Atomic.set next_seq 0
+
+let event ?(attrs = []) name =
+  if !enabled then begin
+    let s = Domain.DLS.get sink_key in
+    s.events <-
+      {
+        seq = Atomic.fetch_and_add next_seq 1;
+        ts_us = Unix.gettimeofday () *. 1e6;
+        name;
+        attrs;
+      }
+      :: s.events
+  end
+
+let events () =
+  Mutex.lock sinks_m;
+  let all = List.concat_map (fun s -> s.events) !sinks in
+  Mutex.unlock sinks_m;
+  List.sort (fun a b -> compare a.seq b.seq) all
+
+let find name = List.filter (fun e -> e.name = name) (events ())
+
+let json_of_value = function
+  | Int i -> string_of_int i
+  | Float f -> Report.num f
+  | Str s -> "\"" ^ Report.escape s ^ "\""
+  | Bool b -> if b then "true" else "false"
+
+let event_json ~timestamps e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"seq\":%d,\"name\":\"%s\"" e.seq (Report.escape e.name));
+  if timestamps then Buffer.add_string b (Printf.sprintf ",\"ts_us\":%.1f" e.ts_us);
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b
+        (Printf.sprintf ",\"%s\":%s" (Report.escape k) (json_of_value v)))
+    e.attrs;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let to_json_lines ?(timestamps = true) () =
+  String.concat ""
+    (List.map (fun e -> event_json ~timestamps e ^ "\n") (events ()))

@@ -1,0 +1,45 @@
+(** Structured event log: flat, append-only, domain-safe.
+
+    Where {!Trace} records {e durations} (nested spans), the log records
+    {e decisions} — point events with structured attributes ("committed
+    attempt at II 34 from arm dense", "degraded: budget exhausted at
+    stage.search").  The report assembler replays them to explain a
+    compile after the fact.
+
+    Disabled by default; a disabled {!event} is one ref read.  Like the
+    tracer, each domain appends to its own sink (domain-local storage)
+    and a global atomic hands out sequence numbers, so events from
+    parallel workers merge into one total order with no lock on the
+    record path. *)
+
+type value = Trace.value = Int of int | Float of float | Str of string | Bool of bool
+
+type event = {
+  seq : int;       (** global record order across all domains *)
+  ts_us : float;   (** wall-clock microseconds (excluded from
+                       deterministic exports) *)
+  name : string;
+  attrs : (string * value) list;
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drops every domain's recorded events and restarts sequence numbers
+    at 0; the enabled flag is unchanged. *)
+
+val event : ?attrs:(string * value) list -> string -> unit
+(** Record one event.  No-op when disabled. *)
+
+val events : unit -> event list
+(** All recorded events from every domain, in sequence order. *)
+
+val find : string -> event list
+(** Recorded events with the given name, in sequence order. *)
+
+val to_json_lines : ?timestamps:bool -> unit -> string
+(** One JSON object per line, in sequence order.  [~timestamps:false]
+    omits the wall-clock field, making the output deterministic for a
+    deterministic compile. *)

@@ -154,11 +154,14 @@ let to_json () =
       let labels =
         String.concat ","
           (List.map
-             (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" k v)
+             (fun (k, v) ->
+               Printf.sprintf "\"%s\":\"%s\"" (Report.escape k)
+                 (Report.escape v))
              it.labels)
       in
       Buffer.add_string b
-        (Printf.sprintf "{\"name\":\"%s\",\"labels\":{%s}," it.name labels);
+        (Printf.sprintf "{\"name\":\"%s\",\"labels\":{%s},"
+           (Report.escape it.name) labels);
       (match it.kind with
       | `Counter v ->
         Buffer.add_string b

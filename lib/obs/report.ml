@@ -1,0 +1,113 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One canonical float rendering shared by the compact and indented
+   printers, so a report serialized either way carries the same numbers
+   (the determinism signature hashes the compact form). *)
+let num f =
+  if Float.is_nan f then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (num f)
+  | Str s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | Arr xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        write b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\":";
+        write b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string doc =
+  let b = Buffer.create 1024 in
+  write b doc;
+  Buffer.contents b
+
+let rec write_indent b level = function
+  | (Null | Bool _ | Int _ | Float _ | Str _) as v -> write b v
+  | Arr [] -> Buffer.add_string b "[]"
+  | Arr xs ->
+    let pad = String.make ((level + 1) * 2) ' ' in
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad;
+        write_indent b (level + 1) x)
+      xs;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (String.make (level * 2) ' ');
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    let pad = String.make ((level + 1) * 2) ' ' in
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b pad;
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape k);
+        Buffer.add_string b "\": ";
+        write_indent b (level + 1) v)
+      fields;
+    Buffer.add_char b '\n';
+    Buffer.add_string b (String.make (level * 2) ' ');
+    Buffer.add_char b '}'
+
+let to_string_indent doc =
+  let b = Buffer.create 1024 in
+  write_indent b 0 doc;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let rec path keys doc =
+  match keys with
+  | [] -> Some doc
+  | k :: rest -> ( match member k doc with Some v -> path rest v | None -> None)

@@ -1,0 +1,38 @@
+(** Minimal JSON document model for structured reports.
+
+    The repo deliberately carries no JSON library; every exporter so far
+    (traces, metrics, bench results) prints JSON by hand.  Reports are
+    nested enough that hand-printing stops scaling, so this module gives
+    the one abstraction they need: a document tree with a
+    {b deterministic} serializer — field order is the construction
+    order, floats render through one canonical formatter — so the same
+    report built twice (or on different domain counts) serializes to the
+    same bytes and can be hashed for a determinism signature. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control chars). *)
+
+val num : float -> string
+(** Canonical float rendering: [nan] becomes [null], integral values get
+    one decimal ([12.0]), everything else [%.6g]. *)
+
+val to_string : t -> string
+(** Compact single-line serialization (the hashable form). *)
+
+val to_string_indent : t -> string
+(** Two-space indented serialization, newline-terminated. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on other constructors. *)
+
+val path : string list -> t -> t option
+(** Nested field lookup: [path ["a"; "b"] doc]. *)

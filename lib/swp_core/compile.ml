@@ -1,6 +1,22 @@
 type scheme = Swp_coalesced | Swp_non_coalesced
 type quality = Exact | Refined | Heuristic | Degraded
 
+type stage_spend = { stage : string; wall_s : float; work : int }
+
+type rationale =
+  | Completed
+  | Search_stopped of Ii_search.reason
+  | Fault_at of string
+  | Budget_exhausted of string * Resil.Budget.reason
+
+type prov = {
+  stage_spends : stage_spend list;
+  ledger_total : int;
+  rationale : rationale;
+  fallback_seed_ii : int option;
+  total_wall_s : float;
+}
+
 type compiled = {
   arch : Gpusim.Arch.t;
   scheme : scheme;
@@ -13,6 +29,7 @@ type compiled = {
   sizing : Buffer_layout.sizing;
   coarsening : int;
   quality : quality;
+  prov : prov;
 }
 
 let quality_name = function
@@ -22,6 +39,15 @@ let quality_name = function
   | Degraded -> "degraded"
 
 let pp_quality fmt q = Format.pp_print_string fmt (quality_name q)
+
+let rationale_name = function
+  | Completed -> "completed"
+  | Search_stopped r -> Format.asprintf "search stopped (%a)" Ii_search.pp_reason r
+  | Fault_at site -> Printf.sprintf "fault injected at %s" site
+  | Budget_exhausted (label, r) ->
+    Format.asprintf "%s exhausted (%a)" label Resil.Budget.pp_reason r
+
+let pp_rationale fmt r = Format.pp_print_string fmt (rationale_name r)
 
 let m_exact = Obs.Metrics.counter "compile.quality.exact"
 let m_refined = Obs.Metrics.counter "compile.quality.refined"
@@ -57,28 +83,70 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
   else if (match deadline with Some d -> d <= 0.0 | None -> false) then
     Error "invalid deadline: must be > 0 seconds"
   else begin
-    (* The wall-clock deadline covers the whole pipeline: profiling and
-       selection check this token cooperatively, and whatever real time
-       is left when the II search starts becomes its deadline.  Absent a
-       deadline no clock is ever read — budgeted compilation stays
-       deterministic. *)
-    let t_start = if deadline = None then 0.0 else Unix.gettimeofday () in
-    let outer =
-      Option.map
-        (fun s -> Resil.Budget.create ~label:"compile" ~wall_s:s ())
-        deadline
+    (* The compile ledger is the root of the budget-token tree: each
+       stage charges a sub-token, so charges roll up and the per-stage
+       spends sum exactly to the root's total.  A [deadline] arms the
+       root's wall clock — profiling and selection check their sub-token
+       cooperatively (the parent chain supplies the deadline), and
+       whatever real time is left when the II search starts becomes its
+       deadline.  Without a deadline the tokens are pure accounting and
+       never raise. *)
+    let t_start = Unix.gettimeofday () in
+    let ledger = Resil.Budget.create ~label:"compile" ?wall_s:deadline () in
+    let spends = ref [] in
+    (* Per-stage wall + work accounting.  [Fun.protect] so a fault or an
+       exhausted deadline raised mid-stage still records the partial
+       spend (the flight record of a failed compile must not dangle). *)
+    let staged name tok f =
+      let t0 = Unix.gettimeofday () in
+      Fun.protect f ~finally:(fun () ->
+          spends :=
+            {
+              stage = name;
+              wall_s = Unix.gettimeofday () -. t0;
+              work = Resil.Budget.consumed tok;
+            }
+            :: !spends)
     in
-    let finish ~quality rates profile config schedule search_stats =
-      inject "stage.layout";
+    let tok_profile = Resil.Budget.sub ~label:"compile/profile" ledger in
+    let tok_select = Resil.Budget.sub ~label:"compile/select" ledger in
+    let tok_search = Resil.Budget.sub ~label:"compile/search" ledger in
+    let tok_layout = Resil.Budget.sub ~label:"compile/layout" ledger in
+    let finish ~quality ~rationale ?fallback_seed_ii rates profile config
+        schedule search_stats =
       Obs.Trace.add_attr "ii" (Obs.Trace.Int schedule.Swp_schedule.ii);
       Obs.Trace.add_attr "quality" (Obs.Trace.Str (quality_name quality));
-      let sizing = Buffer_layout.size_buffers graph schedule ~coarsening in
+      let sizing =
+        staged "layout" tok_layout (fun () ->
+            inject "stage.layout";
+            let s = Buffer_layout.size_buffers graph schedule ~coarsening in
+            Resil.Budget.charge tok_layout
+              (List.length s.Buffer_layout.per_edge);
+            s)
+      in
       Obs.Metrics.inc
         (match quality with
         | Exact -> m_exact
         | Refined -> m_refined
         | Heuristic -> m_heuristic
         | Degraded -> m_degraded);
+      let prov =
+        {
+          stage_spends = List.rev !spends;
+          ledger_total = Resil.Budget.consumed ledger;
+          rationale;
+          fallback_seed_ii;
+          total_wall_s = Unix.gettimeofday () -. t_start;
+        }
+      in
+      Obs.Log.event "compile.finish"
+        ~attrs:
+          [
+            ("quality", Obs.Log.Str (quality_name quality));
+            ("ii", Obs.Log.Int schedule.Swp_schedule.ii);
+            ("rationale", Obs.Log.Str (rationale_name rationale));
+            ("ledger_total", Obs.Log.Int prov.ledger_total);
+          ];
       Ok
         {
           arch;
@@ -92,6 +160,7 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
           sizing;
           coarsening;
           quality;
+          prov;
         }
     in
     try
@@ -102,10 +171,16 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
         | Swp_coalesced -> Profile.Coalesced
         | Swp_non_coalesced -> Profile.Non_coalesced
       in
-      inject "stage.profile";
-      let profile = Profile.run ?budget:outer arch graph ~mode in
-      inject "stage.select";
-      let* config = Select.select ?budget:outer graph rates profile in
+      let profile =
+        staged "profile" tok_profile (fun () ->
+            inject "stage.profile";
+            Profile.run ~budget:tok_profile arch graph ~mode)
+      in
+      let* config =
+        staged "select" tok_select (fun () ->
+            inject "stage.select";
+            Select.select ~budget:tok_select graph rates profile)
+      in
       let search_budget =
         {
           Ii_search.default_budget with
@@ -117,24 +192,44 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
         }
       in
       let search_result =
-        (* A fault or budget exhaustion inside the search stage is
-           recoverable: the fallback scheduler below still has
-           everything it needs (the profile and configuration). *)
-        try
-          inject "stage.search";
-          Result.map_error
-            (fun e -> `Search e)
-            (match solver with
-            | Some s ->
-              Ii_search.search ~solver:s ?portfolio ?lns_rounds
-                ~budget:search_budget graph config ~num_sms
-            | None ->
-              Ii_search.search ?portfolio ?lns_rounds ~budget:search_budget
-                graph config ~num_sms)
-        with
-        | Resil.Inject.Injected site -> Error (`Fault site)
-        | Resil.Budget.Exhausted { label; reason } ->
-          Error (`Exhausted (label, reason))
+        staged "search" tok_search (fun () ->
+            (* A fault or budget exhaustion inside the search stage is
+               recoverable: the fallback scheduler below still has
+               everything it needs (the profile and configuration). *)
+            let r =
+              try
+                inject "stage.search";
+                Result.map_error
+                  (fun e -> `Search e)
+                  (match solver with
+                  | Some s ->
+                    Ii_search.search ~solver:s ?portfolio ?lns_rounds
+                      ~budget:search_budget graph config ~num_sms
+                  | None ->
+                    Ii_search.search ?portfolio ?lns_rounds
+                      ~budget:search_budget graph config ~num_sms
+                  )
+              with
+              | Resil.Inject.Injected site -> Error (`Fault site)
+              | Resil.Budget.Exhausted { label; reason } ->
+                Error (`Exhausted (label, reason))
+            in
+            (* The search runs its own enforcement ledger; the compile
+               ledger is charged post-hoc with the committed spend so the
+               stage accounting matches the attempt log exactly. *)
+            let committed =
+              match r with
+              | Ok (_, (st : Ii_search.stats)) -> st.Ii_search.attempt_log
+              | Error (`Search (e : Ii_search.error)) ->
+                e.Ii_search.attempt_log
+              | Error (`Fault _ | `Exhausted _) -> []
+            in
+            Resil.Budget.charge tok_search
+              (List.fold_left
+                 (fun acc (a : Ii_search.attempt) ->
+                   acc + a.Ii_search.work_units)
+                 0 committed);
+            r)
       in
       match search_result with
       | Ok (schedule, search_stats) ->
@@ -143,7 +238,8 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
           else if search_stats.Ii_search.used_exact then Exact
           else Heuristic
         in
-        finish ~quality rates profile config schedule search_stats
+        finish ~quality ~rationale:Completed rates profile config schedule
+          search_stats
       | Error err -> (
         let message =
           match err with
@@ -169,10 +265,13 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
              schedule at a relaxed II.  The search's committed attempt
              log is preserved in the synthesized stats so the degraded
              compile stays auditable. *)
-          let lower_bound, attempt_log =
+          let lower_bound, bounds, attempt_log =
             match err with
-            | `Search e -> (e.Ii_search.lower_bound, e.Ii_search.attempt_log)
-            | `Fault _ | `Exhausted _ -> (0, [])
+            | `Search e ->
+              ( e.Ii_search.lower_bound,
+                Option.value e.Ii_search.bounds ~default:Mii.unknown_bounds,
+                e.Ii_search.attempt_log )
+            | `Fault _ | `Exhausted _ -> (0, Mii.unknown_bounds, [])
           in
           (* Seed the fallback with the search's frontier: one past the
              last committed candidate (all committed candidates were
@@ -184,11 +283,27 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
             | a :: _ -> Some (a.Ii_search.ii + 1)
             | [] -> if lower_bound > 0 then Some lower_bound else None
           in
+          let rationale =
+            match err with
+            | `Search e -> Search_stopped e.Ii_search.reason
+            | `Fault site -> Fault_at site
+            | `Exhausted (label, reason) -> Budget_exhausted (label, reason)
+          in
+          Obs.Log.event "compile.degrade"
+            ~attrs:
+              [
+                ("rationale", Obs.Log.Str (rationale_name rationale));
+                ( "seed_ii",
+                  match seed_ii with
+                  | Some i -> Obs.Log.Int i
+                  | None -> Obs.Log.Str "none" );
+              ];
           let* schedule = Fallback.schedule ?seed_ii graph config ~num_sms in
           let achieved_ii = schedule.Swp_schedule.ii in
           let search_stats =
             {
               Ii_search.lower_bound;
+              bounds;
               achieved_ii;
               attempts = List.length attempt_log;
               relaxation =
@@ -201,7 +316,8 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
               attempt_log;
             }
           in
-          finish ~quality:Degraded rates profile config schedule search_stats)
+          finish ~quality:Degraded ~rationale ?fallback_seed_ii:seed_ii rates
+            profile config schedule search_stats)
     with
     | Resil.Inject.Injected site ->
       Error (Printf.sprintf "fault injected at %s" site)

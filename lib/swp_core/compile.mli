@@ -34,6 +34,36 @@ type quality =
           produced only when a budget/deadline ran out or a fault was
           injected in the search stage *)
 
+type stage_spend = {
+  stage : string;   (** ["profile"] | ["select"] | ["search"] | ["layout"] *)
+  wall_s : float;   (** stage wall time (nondeterministic, excluded from
+                        deterministic report serializations) *)
+  work : int;       (** deterministic work units charged to the stage's
+                        ledger sub-token *)
+}
+
+(** Why the compile landed on its quality rung. *)
+type rationale =
+  | Completed               (** the II search returned a schedule *)
+  | Search_stopped of Ii_search.reason
+      (** the search stopped (budget/deadline) and the fallback took over *)
+  | Fault_at of string      (** injected fault site that tripped degradation *)
+  | Budget_exhausted of string * Resil.Budget.reason
+      (** a non-search stage's budget token ran dry (label, axis) *)
+
+type prov = {
+  stage_spends : stage_spend list;  (** pipeline order *)
+  ledger_total : int;
+      (** root-ledger work total; equals the sum of the stage [work]
+          fields (every charge goes through a stage sub-token) *)
+  rationale : rationale;
+  fallback_seed_ii : int option;
+      (** the II the {!Fallback} scheduler was seeded with, when it ran *)
+  total_wall_s : float;
+}
+(** Compile provenance: the raw material of the flight-recorder report
+    ({!Report}). *)
+
 type compiled = {
   arch : Gpusim.Arch.t;
   scheme : scheme;
@@ -46,10 +76,13 @@ type compiled = {
   sizing : Buffer_layout.sizing;
   coarsening : int;
   quality : quality;
+  prov : prov;
 }
 
 val quality_name : quality -> string
 val pp_quality : Format.formatter -> quality -> unit
+val rationale_name : rationale -> string
+val pp_rationale : Format.formatter -> rationale -> unit
 
 val compile :
   ?arch:Gpusim.Arch.t ->

@@ -31,6 +31,7 @@ type attempt = {
 
 type stats = {
   lower_bound : int;
+  bounds : Mii.bounds;
   achieved_ii : int;
   attempts : int;
   relaxation : float;
@@ -45,6 +46,7 @@ type error = {
   message : string;
   reason : reason;
   lower_bound : int;
+  bounds : Mii.bounds option;
   attempt_log : attempt list;
 }
 
@@ -80,8 +82,10 @@ let pp_stats fmt (s : stats) =
 let log_signature (s : stats) =
   let b = Buffer.create 256 in
   Buffer.add_string b
-    (Printf.sprintf "bound=%d achieved=%d attempts=%d exact=%b refined=%b\n"
-       s.lower_bound s.achieved_ii s.attempts s.used_exact s.refined);
+    (Printf.sprintf
+       "bound=%d binding=%s achieved=%d attempts=%d exact=%b refined=%b\n"
+       s.lower_bound s.bounds.Mii.binding s.achieved_ii s.attempts s.used_exact
+       s.refined);
   List.iter
     (fun a ->
       Buffer.add_string b
@@ -121,28 +125,50 @@ let search ?(solver = Auto 2000) ?(portfolio = true) ?(lns_rounds = 12)
   let deps = Instances.deps g cfg in
   match
     (try
-       let combinatorial = Mii.lower_bound ~deps g cfg ~num_sms in
+       let bounds = Mii.bounds ~deps g cfg ~num_sms in
        (* Cutting-plane refinement of the floor: deterministic, bounded
           work, each refuted candidate is an independent proof — see
           {!Mii.lp_bound}.  Gated by problem size. *)
        if
          Instances.num_instances cfg * num_sms <= lp_bound_max_vars
-         && combinatorial <= lp_bound_max_ii
-       then Ok (Mii.lp_bound ~insts ~deps g cfg ~num_sms ~start:combinatorial)
-       else Ok combinatorial
+         && bounds.Mii.combinatorial <= lp_bound_max_ii
+       then
+         Ok
+           (Mii.with_lp bounds
+              (Mii.lp_bound ~insts ~deps g cfg ~num_sms
+                 ~start:bounds.Mii.combinatorial))
+       else Ok bounds
      with Mii.Unschedulable m -> Error m)
   with
   | Error m ->
     Obs.Metrics.inc m_failures;
+    Obs.Log.event "ii_search.unschedulable"
+      ~attrs:[ ("message", Obs.Log.Str m) ];
     Error
       {
         message = "unschedulable at any II: " ^ m;
         reason = `Unschedulable;
         lower_bound = 0;
+        bounds = None;
         attempt_log = [];
       }
-  | Ok lb ->
+  | Ok bounds ->
+  let lb = bounds.Mii.final in
   Obs.Trace.add_attr "lower_bound" (Obs.Trace.Int lb);
+  Obs.Log.event "ii_search.bounds"
+    ~attrs:
+      [
+        ("res_mii", Obs.Log.Int bounds.Mii.res_classic);
+        ("res_mii_sharp", Obs.Log.Int bounds.Mii.res_sharp);
+        ("rec_mii", Obs.Log.Int bounds.Mii.recurrence);
+        ("no_wrap", Obs.Log.Int bounds.Mii.no_wrap);
+        ( "lp",
+          match bounds.Mii.lp with
+          | Some v -> Obs.Log.Int v
+          | None -> Obs.Log.Str "skipped" );
+        ("final", Obs.Log.Int lb);
+        ("binding", Obs.Log.Str bounds.Mii.binding);
+      ];
   (* the exact ILP is only worth its cost near the II lower bound, where
      the heuristic's packing granularity is the limiting factor *)
   let near_bound ii = ii <= lb + (lb / 50) + 2 in
@@ -151,7 +177,21 @@ let search ?(solver = Auto 2000) ?(portfolio = true) ?(lns_rounds = 12)
     Obs.Metrics.inc m_failures;
     if reason = `Budget || reason = `Deadline then
       Obs.Metrics.inc m_budget_stops;
-    Error { message; reason; lower_bound = lb; attempt_log = List.rev !log }
+    Obs.Log.event "ii_search.stop"
+      ~attrs:
+        [
+          ( "reason",
+            Obs.Log.Str (Format.asprintf "%a" pp_reason reason) );
+          ("committed", Obs.Log.Int (List.length !log));
+        ];
+    Error
+      {
+        message;
+        reason;
+        lower_bound = lb;
+        bounds = Some bounds;
+        attempt_log = List.rev !log;
+      }
   in
   (* The search-wide ledger.  It is charged only when an attempt commits
      — never from inside a speculative probe — so parallel probing
@@ -203,6 +243,15 @@ let search ?(solver = Auto 2000) ?(portfolio = true) ?(lns_rounds = 12)
      bit-identical to the serial one. *)
   let commit (a : attempt) =
     log := a :: !log;
+    Obs.Log.event "ii_search.commit"
+      ~attrs:
+        [
+          ("ii", Obs.Log.Int a.ii);
+          ("arm", Obs.Log.Str a.arm);
+          ("feasible", Obs.Log.Bool a.feasible);
+          ("work_units", Obs.Log.Int a.work_units);
+          ("budget_hit", Obs.Log.Bool a.budget_hit);
+        ];
     (match ledger with
     | Some b -> Resil.Budget.charge b a.work_units
     | None -> ());
@@ -369,10 +418,17 @@ let search ?(solver = Auto 2000) ?(portfolio = true) ?(lns_rounds = 12)
     Obs.Metrics.observe h_relax relaxation;
     Obs.Trace.add_attr "achieved_ii" (Obs.Trace.Int ii);
     Obs.Trace.add_attr "attempts" (Obs.Trace.Int (List.length !log));
+    Obs.Log.event "ii_search.done"
+      ~attrs:
+        [
+          ("achieved_ii", Obs.Log.Int ii);
+          ("refined", Obs.Log.Bool refined);
+        ];
     Ok
       ( s,
         {
           lower_bound = lb;
+          bounds;
           achieved_ii = ii;
           attempts = List.length !log;
           relaxation;

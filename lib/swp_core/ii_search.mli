@@ -81,7 +81,9 @@ type attempt = {
 }
 
 type stats = {
-  lower_bound : int;       (** the starting II *)
+  lower_bound : int;       (** the starting II ([= bounds.final]) *)
+  bounds : Mii.bounds;     (** full lower-bound breakdown: which of
+                               RecMII / ResMII / sharp / LP was binding *)
   achieved_ii : int;
   attempts : int;          (** candidate IIs tried *)
   relaxation : float;      (** (achieved - bound) / bound *)
@@ -102,6 +104,9 @@ type error = {
   message : string;        (** one-line human-readable diagnostic *)
   reason : reason;
   lower_bound : int;       (** 0 when unschedulable before bounding *)
+  bounds : Mii.bounds option;
+      (** the bound breakdown when the search got that far ([None] only
+          for [`Unschedulable]) *)
   attempt_log : attempt list;  (** committed attempts up to the stop *)
 }
 

@@ -105,9 +105,9 @@ let rec_mii ?deps g cfg =
 
 type level = Classic | Sharp
 
-let lower_bound ?deps ?(level = Sharp) g cfg ~num_sms =
-  (* Constraint (4) — no wrap-around — needs T > d(v) for every scheduled
-     node, on top of the resource and recurrence bounds. *)
+(* Constraint (4) — no wrap-around — needs T > d(v) for every scheduled
+   node, on top of the resource and recurrence bounds. *)
+let no_wrap_bound (cfg : Select.config) =
   let max_delay =
     Array.fold_left
       (fun acc d -> max acc d)
@@ -116,12 +116,72 @@ let lower_bound ?deps ?(level = Sharp) g cfg ~num_sms =
          (fun v d -> if cfg.Select.reps.(v) > 0 then d else 0)
          cfg.Select.delay)
   in
+  max_delay + 1
+
+let lower_bound ?deps ?(level = Sharp) g cfg ~num_sms =
   let res =
     match level with
     | Classic -> res_mii cfg ~num_sms
     | Sharp -> res_mii_sharp cfg ~num_sms
   in
-  max (max_delay + 1) (max 1 (max res (rec_mii ?deps g cfg)))
+  max (no_wrap_bound cfg) (max 1 (max res (rec_mii ?deps g cfg)))
+
+(* --- Bound breakdown (provenance) ------------------------------------- *)
+
+type bounds = {
+  res_classic : int;
+  res_sharp : int;
+  recurrence : int;
+  no_wrap : int;
+  combinatorial : int;
+  lp : int option;
+  final : int;
+  binding : string;
+}
+
+let binding_name b =
+  match b.lp with
+  | Some v when v > b.combinatorial && v = b.final -> "lp"
+  | _ ->
+    if b.recurrence = b.final then "rec_mii"
+    else if b.res_classic = b.final then "res_mii"
+    else if b.res_sharp = b.final then "res_mii_sharp"
+    else if b.no_wrap = b.final then "no_wrap"
+    else "floor"
+
+let rebind b = { b with binding = binding_name b }
+
+let unknown_bounds =
+  {
+    res_classic = 0;
+    res_sharp = 0;
+    recurrence = 0;
+    no_wrap = 0;
+    combinatorial = 0;
+    lp = None;
+    final = 0;
+    binding = "unknown";
+  }
+
+let bounds ?deps g cfg ~num_sms =
+  let res_classic = res_mii cfg ~num_sms in
+  let res_sharp = res_mii_sharp cfg ~num_sms in
+  let recurrence = rec_mii ?deps g cfg in
+  let no_wrap = no_wrap_bound cfg in
+  let combinatorial = max no_wrap (max 1 (max res_sharp recurrence)) in
+  rebind
+    {
+      res_classic;
+      res_sharp;
+      recurrence;
+      no_wrap;
+      combinatorial;
+      lp = None;
+      final = combinatorial;
+      binding = "";
+    }
+
+let with_lp b v = rebind { b with lp = Some v; final = max b.final v }
 
 (* --- LP-relaxation / cutting-plane bound ------------------------------ *)
 

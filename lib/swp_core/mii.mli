@@ -52,6 +52,48 @@ val lower_bound :
     already accounts for every composite cycle, not a per-simple-cycle
     ratio approximation. *)
 
+(** {1 Bound breakdown}
+
+    The provenance machinery wants to answer "which bound was binding?"
+    — so alongside the scalar {!lower_bound} there is a record keeping
+    every component and the name of the one that determined the final
+    value. *)
+
+type bounds = {
+  res_classic : int;   (** classic {!res_mii} *)
+  res_sharp : int;     (** {!res_mii_sharp} *)
+  recurrence : int;    (** {!rec_mii} *)
+  no_wrap : int;       (** [1 + max live delay] (constraint (4)) *)
+  combinatorial : int; (** max of the above, floored at 1 — equals
+                           [lower_bound ~level:Sharp] *)
+  lp : int option;     (** cutting-plane refinement when attempted *)
+  final : int;         (** the search's starting II *)
+  binding : string;
+      (** which component is binding: ["lp"] | ["rec_mii"] |
+          ["res_mii"] | ["res_mii_sharp"] | ["no_wrap"] | ["floor"] |
+          ["unknown"].  When several tie, the first in that order wins
+          (a classic resource bound that already proves the value takes
+          precedence over its sharpening). *)
+}
+
+val bounds :
+  ?deps:Instances.dep list ->
+  Streamit.Graph.t ->
+  Select.config ->
+  num_sms:int ->
+  bounds
+(** All combinatorial components ([lp] is [None]; the II search grafts
+    it with {!with_lp} when the problem passes the LP gate).
+    @raise Unschedulable as {!rec_mii}. *)
+
+val with_lp : bounds -> int -> bounds
+(** Record an LP-bound result: sets [lp], raises [final] to it when it
+    is stronger, and recomputes [binding]. *)
+
+val unknown_bounds : bounds
+(** All-zero placeholder ([binding = "unknown"]) for compiles that never
+    reached the bounding step (e.g. a fault before the search). *)
+
 val lp_bound :
   ?insts:Instances.instance list ->
   ?deps:Instances.dep list ->

@@ -123,6 +123,15 @@ and run_uncached ?budget arch graph ~mode ~reg_options ~thread_options
   let runtimes =
     Array.of_list (Par.Pool.map_auto profile_node (List.init n Fun.id))
   in
+  (* Stage accounting: one work unit per simulated (node, regs, threads)
+     cell, charged once from the calling domain after the fan-out joins
+     (budget tokens must not be charged from workers).  A cache hit in
+     [run] charges nothing — the sweep was not repeated. *)
+  (match budget with
+  | Some b ->
+    Resil.Budget.charge b
+      (n * List.length reg_options * List.length thread_options)
+  | None -> ());
   { reg_options; thread_options; numfirings; mode; runtimes }
 
 let index_of l x =

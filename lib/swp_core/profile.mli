@@ -47,8 +47,10 @@ val run :
     cache is domain-safe, and an uncached sweep fans the per-filter
     timing grids out across {!Par.Pool.map_auto} (identical results in
     any width, node order preserved).  [budget] is checked cooperatively
-    at entry and before each filter's sweep; an exhausted token raises
-    {!Resil.Budget.Exhausted}. *)
+    at entry and before each filter's sweep (an exhausted token raises
+    {!Resil.Budget.Exhausted}) and, on a cache miss, charged one work
+    unit per simulated [(node, regs, threads)] cell for stage
+    accounting; a cache hit charges nothing. *)
 
 val clear_cache : unit -> unit
 (** Drop every memoized profile (benchmark drivers use this to time

@@ -1,0 +1,34 @@
+(** The compile flight recorder: assembles one structured provenance
+    record per {!Compile.compile} — per-stage work accounting, the full
+    II-search attempt timeline with arm attribution, the bound-gap
+    explanation, the degradation-rung rationale, the config-sweep
+    scoreboard, and a determinism signature.
+
+    The report is a pure function of the {!Compile.compiled} value, so
+    serial and [--jobs N] compiles of the same program serialize to
+    byte-identical reports.  Wall-clock timings are opt-in
+    ([~timings:true]) and excluded from the default (deterministic)
+    serializations. *)
+
+type t
+
+val assemble : ?program:string -> Compile.compiled -> t
+(** [program] labels the report (benchmark name or source path). *)
+
+val schedule_signature : Compile.compiled -> string
+(** MD5 hex digest of the schedule decision: the committed attempt-log
+    signature ({!Ii_search.log_signature}) plus the schedule assignment
+    and buffer sizing.  Independent of any rendered artifact — the CUDA
+    provenance header embeds this digest. *)
+
+val to_doc : ?timings:bool -> t -> Obs.Report.t
+(** The report as a JSON document (default [timings = false]). *)
+
+val to_json : ?timings:bool -> t -> string
+(** Compact JSON (the hashable, baseline-checked form). *)
+
+val to_json_indent : ?timings:bool -> t -> string
+
+val pp_human : Format.formatter -> t -> unit
+(** Indented human-readable explanation of the compile: achieved II vs
+    binding bound, per-attempt outcomes, stage spend, rung rationale. *)

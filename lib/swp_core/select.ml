@@ -1,5 +1,7 @@
 open Numeric
 
+type cand = { cand_regs : int; cand_threads : int; cand_norm : float option }
+
 type config = {
   regs : int;
   block_threads : int;
@@ -8,6 +10,7 @@ type config = {
   reps : int array;
   scale : int;
   norm_ii : float;
+  scoreboard : cand list;
 }
 
 (* Macro repetition vector: node v fires k'_v times where
@@ -54,9 +57,9 @@ let m_select_failures = Obs.Metrics.counter "select.failures"
 
 let rec select ?budget g rates (data : Profile.data) =
   Option.iter Resil.Budget.check budget;
-  Obs.Trace.with_span "select" (fun () -> select_untraced g rates data)
+  Obs.Trace.with_span "select" (fun () -> select_untraced ?budget g rates data)
 
-and select_untraced g rates (data : Profile.data) =
+and select_untraced ?budget g rates (data : Profile.data) =
   let n = Streamit.Graph.num_nodes g in
   let feasible_pair ri ti =
     (* feasible for ALL nodes: single compilation unit restriction *)
@@ -124,6 +127,7 @@ and select_untraced g rates (data : Profile.data) =
               reps;
               scale;
               norm_ii = norm;
+              scoreboard = [];
             } )
       end
     end
@@ -137,6 +141,26 @@ and select_untraced g rates (data : Profile.data) =
       (fun ri -> List.init nthreads (fun ti -> (ri, ti)))
       (List.init nregs Fun.id)
   in
+  let evals = Par.Pool.map_auto eval_pair pairs in
+  (* One work unit per candidate pair evaluated, charged once on the
+     calling domain (tokens are not domain-safe to charge from workers).
+     Pure accounting when the token has no work limit of its own. *)
+  (match budget with
+  | Some b -> Resil.Budget.charge b (List.length pairs)
+  | None -> ());
+  (* Every evaluated pair, in the serial iteration order, feasible or not
+     — the provenance report renders this as the sweep scoreboard. *)
+  let scoreboard =
+    List.map2
+      (fun (ri, ti) res ->
+        {
+          cand_regs = reg_opt ri;
+          cand_threads = thread_opt ti;
+          cand_norm =
+            (match res with Some (norm, _) -> Some norm | None -> None);
+        })
+      pairs evals
+  in
   let best =
     List.fold_left
       (fun best cand ->
@@ -144,15 +168,24 @@ and select_untraced g rates (data : Profile.data) =
         | None, best -> best
         | Some _, None -> cand
         | Some (norm, _), Some (b, _) -> if norm < b then cand else best)
-      None
-      (Par.Pool.map_auto eval_pair pairs)
+      None evals
   in
   match best with
   | Some (_, cfg) ->
+    let cfg = { cfg with scoreboard } in
     Obs.Metrics.inc m_selects;
     Obs.Trace.add_attr "regs" (Obs.Trace.Int cfg.regs);
     Obs.Trace.add_attr "block_threads" (Obs.Trace.Int cfg.block_threads);
     Obs.Trace.add_attr "scale" (Obs.Trace.Int cfg.scale);
+    Obs.Log.event "select.config"
+      ~attrs:
+        [
+          ("regs", Obs.Log.Int cfg.regs);
+          ("block_threads", Obs.Log.Int cfg.block_threads);
+          ("scale", Obs.Log.Int cfg.scale);
+          ("norm_ii", Obs.Log.Float cfg.norm_ii);
+          ("candidates", Obs.Log.Int (List.length scoreboard));
+        ];
     Ok cfg
   | None ->
     Obs.Metrics.inc m_select_failures;

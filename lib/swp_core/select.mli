@@ -7,6 +7,20 @@
     resource II: total per-steady-state execution time divided by the
     tokens the steady state produces at the sink. *)
 
+type cand = {
+  cand_regs : int;
+  cand_threads : int;
+  cand_norm : float option;
+      (** work-normalised candidate II; [None] when the pair was
+          infeasible for some filter.  Kept as an option (not a float
+          sentinel) so configs stay structurally comparable — schedules
+          embed their config and the determinism suite compares them
+          with [(=)]. *)
+}
+(** One evaluated (registers, threads-per-block) candidate of the
+    Fig. 7 sweep — the provenance report renders the full list as the
+    selection scoreboard. *)
+
 type config = {
   regs : int;            (** chosen register cap (bestRegs) *)
   block_threads : int;   (** chosen block size (bestThreads) *)
@@ -18,14 +32,18 @@ type config = {
   scale : int;
       (** how many original steady states one macro steady state spans *)
   norm_ii : float;       (** the winning work-normalised candidate II *)
+  scoreboard : cand list;
+      (** every evaluated candidate pair in sweep order (empty on
+          hand-constructed configs) *)
 }
 
 val select :
   ?budget:Resil.Budget.t ->
   Streamit.Graph.t -> Streamit.Sdf.rates -> Profile.data -> (config, string) result
 (** [Error] when no (regs, threads) pair is feasible for every filter.
-    [budget] is checked cooperatively at entry; an exhausted token
-    raises {!Resil.Budget.Exhausted}. *)
+    [budget] is checked cooperatively at entry (an exhausted token
+    raises {!Resil.Budget.Exhausted}) and charged one work unit per
+    candidate pair evaluated, for stage accounting. *)
 
 val macro_reps :
   Streamit.Graph.t -> Streamit.Sdf.rates -> threads:int array -> int array * int

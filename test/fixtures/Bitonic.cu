@@ -1,3 +1,8 @@
+/* streamit_gpu artifact
+ * quality: heuristic (completed)
+ * II: 9011 (lower bound 9011, binding no_wrap)
+ * schedule signature: 247dd07badbc6fc1ccf635d65da9d027
+ */
 #include <cuda_runtime.h>
 #include <cstdio>
 

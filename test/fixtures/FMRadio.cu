@@ -1,3 +1,8 @@
+/* streamit_gpu artifact
+ * quality: heuristic (completed)
+ * II: 33636 (lower bound 33636, binding res_mii_sharp)
+ * schedule signature: 715546b5ce49a8a44e84656ea3e01158
+ */
 #include <cuda_runtime.h>
 #include <cstdio>
 

@@ -19,4 +19,5 @@ let () =
       ("resil", Test_resil.suite);
       ("quality", Test_quality.suite);
       ("determinism", Test_determinism.suite);
+      ("report", Test_report.suite);
     ]

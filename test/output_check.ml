@@ -1,0 +1,34 @@
+(* Assert that a captured CLI output file contains each expected
+   substring — the dune glue for the --metrics smoke rules: capture a
+   subcommand's stdout, then require the metrics dump (non-empty, with
+   the pipeline counters actually bumped) to be present. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    (fun () -> really_input_string ic (in_channel_length ic))
+    ~finally:(fun () -> close_in ic)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let () =
+  if Array.length Sys.argv < 3 then begin
+    prerr_endline "usage: output_check FILE SUBSTRING [SUBSTRING...]";
+    exit 2
+  end;
+  let file = Sys.argv.(1) in
+  let text = read_file file in
+  let missing = ref [] in
+  for i = 2 to Array.length Sys.argv - 1 do
+    if not (contains text Sys.argv.(i)) then
+      missing := Sys.argv.(i) :: !missing
+  done;
+  match !missing with
+  | [] -> ()
+  | ms ->
+    Printf.eprintf "%s: expected output missing: %s\n" file
+      (String.concat ", " (List.map (Printf.sprintf "%S") (List.rev ms)));
+    exit 1

@@ -153,6 +153,7 @@ let boundary_fixture () =
       reps = [| 1; 1 |];
       scale = 1;
       norm_ii = 0.0;
+      scoreboard = [];
     }
   in
   (g, cfg)

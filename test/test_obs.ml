@@ -310,6 +310,117 @@ let metrics_tests =
           (contains json "test.snap"));
   ]
 
+(* ---- registry edge cases and the OpenMetrics exposition ------------- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let export_tests =
+  [
+    t "empty histogram: nan extrema, exporters stay well-formed" (fun () ->
+        Obs.Metrics.reset ();
+        let h = Obs.Metrics.histogram "edge.empty_hist" in
+        ignore h;
+        let item =
+          List.find
+            (fun (i : Obs.Metrics.snapshot_item) -> i.name = "edge.empty_hist")
+            (Obs.Metrics.snapshot ())
+        in
+        (match item.kind with
+        | `Histogram (count, sum, min_v, max_v) ->
+          Alcotest.(check int) "count 0" 0 count;
+          Alcotest.(check (float 1e-9)) "sum 0" 0.0 sum;
+          Alcotest.(check bool) "min nan" true (Float.is_nan min_v);
+          Alcotest.(check bool) "max nan" true (Float.is_nan max_v)
+        | _ -> Alcotest.fail "expected a histogram");
+        Alcotest.(check bool) "json still parses" true
+          (json_parses (Obs.Metrics.to_json ()));
+        let om = Obs.Export.to_openmetrics () in
+        Alcotest.(check bool) "count sample present" true
+          (contains om "edge_empty_hist_count 0\n");
+        (* extrema gauges must not be exported for an empty histogram *)
+        Alcotest.(check bool) "no _min for empty histogram" false
+          (contains om "edge_empty_hist_min");
+        Alcotest.(check bool) "no _max for empty histogram" false
+          (contains om "edge_empty_hist_max"));
+    t "counter overflow wraps without raising" (fun () ->
+        Obs.Metrics.reset ();
+        let c = Obs.Metrics.counter "edge.overflow" in
+        Obs.Metrics.add c max_int;
+        Obs.Metrics.inc c;
+        (* native int overflow wraps (two's complement); the registry
+           must neither raise nor lose the handle *)
+        Alcotest.(check int) "wrapped to min_int" min_int
+          (Obs.Metrics.value c);
+        Obs.Metrics.add c 1;
+        Alcotest.(check int) "still accumulating" (min_int + 1)
+          (Obs.Metrics.value c);
+        Alcotest.(check bool) "openmetrics renders the wrapped value" true
+          (contains
+             (Obs.Export.to_openmetrics ())
+             (Printf.sprintf "edge_overflow_total %d\n" (min_int + 1))));
+    t "openmetrics: name sanitization and label escaping" (fun () ->
+        Obs.Metrics.reset ();
+        let c =
+          Obs.Metrics.counter
+            ~labels:[ ("path", "a\"b\\c\nd") ]
+            "edge.dots.and-dashes"
+        in
+        Obs.Metrics.inc c;
+        let om = Obs.Export.to_openmetrics () in
+        Alcotest.(check bool) "dots and dashes become underscores" true
+          (contains om "edge_dots_and_dashes_total");
+        Alcotest.(check bool) "label value escaped per the ABNF" true
+          (contains om "{path=\"a\\\"b\\\\c\\nd\"} 1\n");
+        Alcotest.(check string) "escape_label round trip" "a\\\"b\\\\c\\nd"
+          (Obs.Export.escape_label "a\"b\\c\nd"));
+    t "openmetrics: families typed once, EOF-terminated" (fun () ->
+        Obs.Metrics.reset ();
+        let a = Obs.Metrics.counter ~labels:[ ("k", "1") ] "edge.family" in
+        let b = Obs.Metrics.counter ~labels:[ ("k", "2") ] "edge.family" in
+        Obs.Metrics.inc a;
+        Obs.Metrics.add b 2;
+        let h = Obs.Metrics.histogram "edge.family_hist" in
+        Obs.Metrics.observe h 4.5;
+        let g = Obs.Metrics.gauge "edge.family_gauge" in
+        Obs.Metrics.set g Float.infinity;
+        let om = Obs.Export.to_openmetrics () in
+        let lines = String.split_on_char '\n' (String.trim om) in
+        Alcotest.(check string) "terminator" "# EOF"
+          (List.nth lines (List.length lines - 1));
+        let type_lines =
+          List.filter (fun l -> contains l "# TYPE edge_family ") lines
+        in
+        Alcotest.(check int) "one TYPE line for the two-cell family" 1
+          (List.length type_lines);
+        Alcotest.(check bool) "both cells exported" true
+          (contains om "edge_family_total{k=\"1\"} 1\n"
+          && contains om "edge_family_total{k=\"2\"} 2\n");
+        Alcotest.(check bool) "histogram count/sum/extrema" true
+          (contains om "edge_family_hist_count 1\n"
+          && contains om "edge_family_hist_sum 4.5\n"
+          && contains om "edge_family_hist_min 4.5\n"
+          && contains om "edge_family_hist_max 4.5\n");
+        Alcotest.(check bool) "infinite gauge renders +Inf" true
+          (contains om "edge_family_gauge +Inf\n");
+        (* every non-comment line is "name[{labels}] value" *)
+        List.iter
+          (fun l ->
+            if l <> "" && l.[0] <> '#' then
+              match String.rindex_opt l ' ' with
+              | None -> Alcotest.failf "malformed sample line: %s" l
+              | Some i -> (
+                let v = String.sub l (i + 1) (String.length l - i - 1) in
+                match v with
+                | "NaN" | "+Inf" | "-Inf" -> ()
+                | _ ->
+                  if Float.of_string_opt v = None then
+                    Alcotest.failf "unparsable sample value in: %s" l))
+          lines);
+  ]
+
 (* End-to-end smoke: compile FMRadio with tracing on; the trace must
    parse as JSON and contain every pipeline-stage span. *)
 let smoke_tests =
@@ -443,4 +554,6 @@ let concurrency_tests =
         Obs.Trace.reset ());
   ]
 
-let suite = trace_tests @ metrics_tests @ concurrency_tests @ smoke_tests
+let suite =
+  trace_tests @ metrics_tests @ export_tests @ concurrency_tests
+  @ smoke_tests
