@@ -1,0 +1,310 @@
+(* Wire protocol for [streamit_gpu serve]: newline-delimited JSON.
+
+   One request object per line in, one response object per line out,
+   in request order.  The repo already has a JSON *writer*
+   ([Obs.Report]); this module adds the minimal reader the daemon
+   needs — objects, arrays, strings, numbers, booleans, null, UTF-8
+   passed through opaquely — plus the typed request/response layer.
+
+   Request schema (all fields optional unless noted):
+     {"op": "compile" | "stats" | "shutdown",      // default "compile"
+      "id": <any json, echoed back verbatim>,
+      "program": "<builtin benchmark name>",       // one of program/src
+      "src": "<inline .str source>",               //   required for compile
+      "num_sms": N, "coarsening": N, "scheme": "SWP"|"SWPNC",
+      "budget": N, "portfolio": bool, "lns_rounds": N,
+      "warm": bool,                                // default true
+      "artifacts": ["schedule","layout","cuda","report"]}  // default none
+
+   Response: {"id": ..., "status": "ok"|"error", and for ok compiles
+   "cache": "hit"|"miss"|"incremental", "key", "ii", "quality",
+   "signature", plus any requested artifacts inline as strings}. *)
+
+module J = Obs.Report
+
+exception Parse_error of string
+
+(* --- reader --- *)
+
+let parse (s : string) : J.t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (if !pos >= n then fail "unterminated escape";
+         match s.[!pos] with
+         | '"' -> Buffer.add_char b '"'; advance ()
+         | '\\' -> Buffer.add_char b '\\'; advance ()
+         | '/' -> Buffer.add_char b '/'; advance ()
+         | 'n' -> Buffer.add_char b '\n'; advance ()
+         | 'r' -> Buffer.add_char b '\r'; advance ()
+         | 't' -> Buffer.add_char b '\t'; advance ()
+         | 'b' -> Buffer.add_char b '\b'; advance ()
+         | 'f' -> Buffer.add_char b '\012'; advance ()
+         | 'u' ->
+           if !pos + 4 >= n then fail "truncated \\u escape";
+           let hex = String.sub s (!pos + 1) 4 in
+           let code =
+             match int_of_string_opt ("0x" ^ hex) with
+             | Some c -> c
+             | None -> fail "bad \\u escape"
+           in
+           (* Encode the code point as UTF-8; surrogate pairs are rare
+              enough in compiler requests that the BMP suffices. *)
+           if code < 0x80 then Buffer.add_char b (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+           end;
+           pos := !pos + 5
+         | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> J.Int i
+    | None -> (
+      match float_of_string_opt text with
+      | Some f -> J.Float f
+      | None -> fail ("bad number " ^ text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        J.Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        J.Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        J.Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        J.Arr (elements [])
+      end
+    | Some '"' -> J.Str (parse_string ())
+    | Some 't' -> literal "true" (J.Bool true)
+    | Some 'f' -> literal "false" (J.Bool false)
+    | Some 'n' -> literal "null" J.Null
+    | Some _ -> parse_number ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* --- typed requests --- *)
+
+type op = Compile | Stats | Shutdown
+
+type request = {
+  id : J.t option;
+  op : op;
+  program : string option;
+  src : string option;
+  num_sms : int option;
+  coarsening : int;
+  scheme : Swp_core.Compile.scheme;
+  budget : int option;
+  portfolio : bool option;
+  lns_rounds : int option;
+  warm : bool;
+  artifacts : string list;
+}
+
+let mem_str = function J.Str s -> Some s | _ -> None
+let mem_int = function J.Int i -> Some i | _ -> None
+let mem_bool = function J.Bool b -> Some b | _ -> None
+
+let field doc name conv = Option.bind (J.member name doc) conv
+
+let request_of_json doc =
+  match doc with
+  | J.Obj _ ->
+    let op =
+      match field doc "op" mem_str with
+      | None | Some "compile" -> Ok Compile
+      | Some "stats" -> Ok Stats
+      | Some "shutdown" -> Ok Shutdown
+      | Some other -> Error (Printf.sprintf "unknown op %S" other)
+    in
+    Result.bind op (fun op ->
+        let scheme =
+          match field doc "scheme" mem_str with
+          | None | Some "SWP" -> Ok Swp_core.Compile.Swp_coalesced
+          | Some "SWPNC" -> Ok Swp_core.Compile.Swp_non_coalesced
+          | Some other -> Error (Printf.sprintf "unknown scheme %S" other)
+        in
+        Result.bind scheme (fun scheme ->
+            let artifacts =
+              match J.member "artifacts" doc with
+              | Some (J.Arr xs) ->
+                List.fold_left
+                  (fun acc x ->
+                    Result.bind acc (fun acc ->
+                        match x with
+                        | J.Str
+                            (("schedule" | "layout" | "cuda" | "report") as a)
+                          ->
+                          Ok (a :: acc)
+                        | J.Str other ->
+                          Error (Printf.sprintf "unknown artifact %S" other)
+                        | _ -> Error "artifacts must be strings"))
+                  (Ok []) xs
+                |> Result.map List.rev
+              | None -> Ok []
+              | Some _ -> Error "artifacts must be an array"
+            in
+            Result.bind artifacts (fun artifacts ->
+            Ok
+              {
+                id = J.member "id" doc;
+                op;
+                program = field doc "program" mem_str;
+                src = field doc "src" mem_str;
+                num_sms = field doc "num_sms" mem_int;
+                coarsening =
+                  Option.value (field doc "coarsening" mem_int) ~default:1;
+                scheme;
+                budget = field doc "budget" mem_int;
+                portfolio = field doc "portfolio" mem_bool;
+                lns_rounds = field doc "lns_rounds" mem_int;
+                warm = Option.value (field doc "warm" mem_bool) ~default:true;
+                artifacts;
+              })))
+  | _ -> Error "request must be a JSON object"
+
+let parse_request line =
+  match parse line with
+  | exception Parse_error m -> Error ("invalid JSON: " ^ m)
+  | doc -> request_of_json doc
+
+(* --- responses --- *)
+
+let id_field r = [ ("id", Option.value r.id ~default:J.Null) ]
+
+let error_response ?req ?id message =
+  (* [req] when the request parsed; bare [id] when only the raw JSON
+     did (clients correlate responses by id either way). *)
+  let idv =
+    match (req, id) with
+    | Some r, _ -> Option.value r.id ~default:J.Null
+    | None, Some v -> v
+    | None, None -> J.Null
+  in
+  J.to_string
+    (J.Obj
+       [ ("id", idv); ("status", J.Str "error"); ("error", J.Str message) ])
+
+let ok_response req (e : Store.entry) (outcome : Service.outcome) =
+  let artifact name body =
+    if List.mem name req.artifacts then [ (name, J.Str body) ] else []
+  in
+  J.to_string
+    (J.Obj
+       (id_field req
+       @ [
+           ("status", J.Str "ok");
+           ("cache", J.Str (Service.outcome_name outcome));
+           ("key", J.Str e.Store.key);
+           ("ii", J.Int e.Store.ii);
+           ("quality", J.Str e.Store.quality);
+           ("signature", J.Str e.Store.signature);
+         ]
+       @ artifact "schedule" e.Store.schedule
+       @ artifact "layout" e.Store.layout
+       @ artifact "cuda" e.Store.cuda
+       @ artifact "report" e.Store.report))
+
+let shutdown_response req =
+  J.to_string (J.Obj (id_field req @ [ ("status", J.Str "ok"); ("bye", J.Bool true) ]))

@@ -1,0 +1,40 @@
+(** Newline-delimited JSON protocol for [streamit_gpu serve]: one
+    request object per line, one response per line, in order.
+    Includes the minimal JSON reader the daemon needs (the repo's
+    [Obs.Report] is writer-only). *)
+
+exception Parse_error of string
+
+val parse : string -> Obs.Report.t
+(** Parse one JSON document.  @raise Parse_error on malformed input or
+    trailing bytes. *)
+
+type op = Compile | Stats | Shutdown
+
+type request = {
+  id : Obs.Report.t option;  (** echoed back verbatim *)
+  op : op;
+  program : string option;  (** builtin benchmark name *)
+  src : string option;  (** inline .str source *)
+  num_sms : int option;
+  coarsening : int;
+  scheme : Swp_core.Compile.scheme;
+  budget : int option;
+  portfolio : bool option;
+  lns_rounds : int option;
+  warm : bool;
+  artifacts : string list;
+      (** subset of ["schedule"; "layout"; "cuda"; "report"] to inline
+          in the response *)
+}
+
+val request_of_json : Obs.Report.t -> (request, string) result
+val parse_request : string -> (request, string) result
+
+val ok_response : request -> Store.entry -> Service.outcome -> string
+val error_response : ?req:request -> ?id:Obs.Report.t -> string -> string
+(** [req] when the request parsed; bare [id] when only the raw JSON
+    did. *)
+
+
+val shutdown_response : request -> string

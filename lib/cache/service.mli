@@ -1,0 +1,48 @@
+(** The compile service behind [streamit_gpu serve]: canonicalize the
+    graph, hash it with the options ({!Key.digest}), and compile only
+    on a genuine miss.  Byte-deterministic compilation (the PR 4/5
+    invariant) is what makes a hit provably safe: equal key means
+    equal artifacts.
+
+    Concurrent requests for one key are single-flighted (one compile,
+    everyone shares the result).  A full-key miss whose body-free
+    skeleton ({!Key.skeleton_digest}) matches an earlier compile — the
+    "one filter's work function changed" case — is recompiled
+    incrementally: the per-node profile memo ({!Swp_core.Profile})
+    re-simulates only the changed filter, and the II search is
+    warm-started through [Compile.compile ?seed_ii] with the
+    previously achieved II.  The hint can only influence a [Degraded]
+    result (the fallback ramp), so degraded warm results are returned
+    but never stored; everything cached remains byte-identical to a
+    cold compile of its key. *)
+
+type outcome = Hit | Miss | Incremental
+
+val outcome_name : outcome -> string
+
+type t
+
+val create : ?dir:string -> ?capacity:int -> ?warm:bool -> unit -> t
+(** [dir]/[capacity] configure the {!Store}; [warm = false] disables
+    incremental warm starts service-wide. *)
+
+val get :
+  ?warm:bool ->
+  t ->
+  Streamit.Graph.t ->
+  Key.options ->
+  (Store.entry * outcome, string) result
+(** Look up or compile.  [warm = false] disables the warm-start hint
+    for this request only.  Coalesced waiters on another request's
+    in-flight compile report [Hit]. *)
+
+val get_many :
+  ?warm:bool ->
+  t ->
+  (Streamit.Graph.t * Key.options) list ->
+  (Store.entry * outcome, string) result list
+(** Fan a batch across {!Par.Pool.map_auto}; single-flight guarantees
+    each distinct key compiles once.  Results in request order. *)
+
+val compiles : t -> int
+(** Number of actual compiles performed (misses that did work). *)

@@ -1,0 +1,217 @@
+(* Content-addressed artifact store: key digest -> rendered compile
+   artifacts.  Two tiers: a bounded in-memory LRU map (hot working
+   set) and an optional on-disk directory (persistence across daemon
+   restarts).  Entries are immutable — a digest fully determines its
+   artifacts — so there is no invalidation beyond eviction: a changed
+   graph, option or compiler version simply hashes to a different key,
+   and old entries age out of the LRU (disk entries are left in place;
+   they are content-addressed and never wrong, only unused). *)
+
+type entry = {
+  key : string;  (** hex digest from {!Key.digest} *)
+  ii : int;
+  quality : string;
+  signature : string;  (** {!Swp_core.Report.schedule_signature} *)
+  schedule : string;
+  layout : string;
+  cuda : string;
+  report : string;  (** compact provenance JSON, no timings *)
+}
+
+let m_mem_hits = Obs.Metrics.counter "cache.store.mem_hits"
+let m_disk_hits = Obs.Metrics.counter "cache.store.disk_hits"
+let m_misses = Obs.Metrics.counter "cache.store.misses"
+let m_evictions = Obs.Metrics.counter "cache.store.evictions"
+
+type slot = { e : entry; mutable tick : int }
+
+type t = {
+  m : Mutex.t;
+  mem : (string, slot) Hashtbl.t;
+  mutable clock : int;
+  capacity : int;
+  dir : string option;
+}
+
+let create ?dir ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Store.create: capacity must be >= 1";
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+  | Some d when not (Sys.is_directory d) ->
+    invalid_arg (Printf.sprintf "Store.create: %s is not a directory" d)
+  | _ -> ());
+  { m = Mutex.create (); mem = Hashtbl.create 64; clock = 0; capacity; dir }
+
+(* --- entry (de)serialization: explicit lengths, byte-exact --- *)
+
+let format_magic = "streamit-cache-entry v1"
+
+let serialize (e : entry) =
+  let b = Buffer.create (String.length e.cuda + 1024) in
+  Buffer.add_string b (format_magic ^ "\n");
+  Buffer.add_string b (Printf.sprintf "key %s\n" e.key);
+  Buffer.add_string b (Printf.sprintf "ii %d\n" e.ii);
+  Buffer.add_string b (Printf.sprintf "quality %s\n" e.quality);
+  Buffer.add_string b (Printf.sprintf "signature %s\n" e.signature);
+  let section name body =
+    Buffer.add_string b
+      (Printf.sprintf "%s %d\n" name (String.length body));
+    Buffer.add_string b body;
+    Buffer.add_char b '\n'
+  in
+  section "schedule" e.schedule;
+  section "layout" e.layout;
+  section "cuda" e.cuda;
+  section "report" e.report;
+  Buffer.contents b
+
+exception Corrupt of string
+
+let deserialize s =
+  let pos = ref 0 in
+  let line () =
+    match String.index_from_opt s !pos '\n' with
+    | None -> raise (Corrupt "truncated header")
+    | Some i ->
+      let l = String.sub s !pos (i - !pos) in
+      pos := i + 1;
+      l
+  in
+  let field name =
+    let l = line () in
+    match String.index_opt l ' ' with
+    | Some i when String.sub l 0 i = name ->
+      String.sub l (i + 1) (String.length l - i - 1)
+    | _ -> raise (Corrupt ("expected field " ^ name))
+  in
+  let section name =
+    let len =
+      match int_of_string_opt (field name) with
+      | Some n when n >= 0 -> n
+      | _ -> raise (Corrupt ("bad length for section " ^ name))
+    in
+    if !pos + len + 1 > String.length s then
+      raise (Corrupt ("truncated section " ^ name));
+    let body = String.sub s !pos len in
+    pos := !pos + len;
+    if s.[!pos] <> '\n' then
+      raise (Corrupt ("missing terminator after section " ^ name));
+    incr pos;
+    body
+  in
+  if line () <> format_magic then raise (Corrupt "bad magic");
+  let key = field "key" in
+  let ii =
+    match int_of_string_opt (field "ii") with
+    | Some n -> n
+    | None -> raise (Corrupt "bad ii")
+  in
+  let quality = field "quality" in
+  let signature = field "signature" in
+  let schedule = section "schedule" in
+  let layout = section "layout" in
+  let cuda = section "cuda" in
+  let report = section "report" in
+  { key; ii; quality; signature; schedule; layout; cuda; report }
+
+(* --- disk tier --- *)
+
+let path_of dir key = Filename.concat dir (key ^ ".entry")
+
+let disk_read dir key =
+  let p = path_of dir key in
+  if not (Sys.file_exists p) then None
+  else
+    try
+      let ic = open_in_bin p in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let e = deserialize s in
+      (* Content addressing makes corruption detectable for free. *)
+      if e.key = key then Some e else None
+    with Corrupt _ | Sys_error _ | End_of_file -> None
+
+let disk_write dir (e : entry) =
+  let p = path_of dir e.key in
+  let tmp = p ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (serialize e);
+  close_out oc;
+  (* Atomic publish: a crashed daemon never leaves a half-written
+     entry under its final name. *)
+  Sys.rename tmp p
+
+(* --- LRU map (caller holds t.m) --- *)
+
+let touch t slot =
+  t.clock <- t.clock + 1;
+  slot.tick <- t.clock
+
+let evict_if_full t =
+  if Hashtbl.length t.mem >= t.capacity then begin
+    (* Scan for the stalest slot: the capacity is small (hundreds) and
+       eviction is rare, so O(n) beats maintaining an intrusive list;
+       the scan order doesn't matter because the minimum tick is
+       unique. *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k s ->
+        match !victim with
+        | Some (_, best) when best <= s.tick -> ()
+        | _ -> victim := Some (k, s.tick))
+      t.mem;
+    match !victim with
+    | Some (k, _) ->
+      Obs.Metrics.inc m_evictions;
+      Hashtbl.remove t.mem k
+    | None -> ()
+  end
+
+let insert_locked t e =
+  match Hashtbl.find_opt t.mem e.key with
+  | Some slot -> touch t slot
+  | None ->
+    evict_if_full t;
+    let slot = { e; tick = 0 } in
+    touch t slot;
+    Hashtbl.add t.mem e.key slot
+
+(* --- public API --- *)
+
+let find t key =
+  Mutex.lock t.m;
+  let hit =
+    match Hashtbl.find_opt t.mem key with
+    | Some slot ->
+      touch t slot;
+      Some slot.e
+    | None -> None
+  in
+  Mutex.unlock t.m;
+  match hit with
+  | Some e ->
+    Obs.Metrics.inc m_mem_hits;
+    Some e
+  | None -> (
+    match Option.bind t.dir (fun d -> disk_read d key) with
+    | Some e ->
+      Obs.Metrics.inc m_disk_hits;
+      Mutex.lock t.m;
+      insert_locked t e;
+      Mutex.unlock t.m;
+      Some e
+    | None ->
+      Obs.Metrics.inc m_misses;
+      None)
+
+let put t e =
+  Mutex.lock t.m;
+  insert_locked t e;
+  Mutex.unlock t.m;
+  Option.iter (fun d -> disk_write d e) t.dir
+
+let mem_size t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.mem in
+  Mutex.unlock t.m;
+  n

@@ -1,0 +1,39 @@
+(** Two-tier content-addressed artifact store: a bounded in-memory LRU
+    map over an optional on-disk directory.  Entries are immutable and
+    self-describing (the digest determines the artifacts), so there is
+    no invalidation protocol: changed inputs hash to new keys, old
+    in-memory entries age out via LRU, and disk entries — atomically
+    published via rename — are simply never read again.  Thread-safe;
+    all counters go to the [cache.store.*] metrics. *)
+
+type entry = {
+  key : string;
+  ii : int;
+  quality : string;
+  signature : string;
+  schedule : string;
+  layout : string;
+  cuda : string;
+  report : string;
+}
+
+type t
+
+val create : ?dir:string -> ?capacity:int -> unit -> t
+(** [capacity] bounds the in-memory tier (default 256, must be >= 1).
+    [dir] enables the disk tier (created if absent). *)
+
+val find : t -> string -> entry option
+(** Memory first, then disk (promoting into memory).  A disk entry
+    whose stored key disagrees with its filename — torn write,
+    tampering — is treated as a miss. *)
+
+val put : t -> entry -> unit
+val mem_size : t -> int
+
+val serialize : entry -> string
+val deserialize : string -> entry
+(** Length-framed byte-exact codec used by the disk tier.
+    @raise Corrupt on malformed input. *)
+
+exception Corrupt of string

@@ -149,8 +149,8 @@ let run ?(cfg = Gen.default) ?iters ?num_sms ?solver ?max_firings
   let should_stop =
     Option.map
       (fun d ->
-        let t_end = Unix.gettimeofday () +. d in
-        fun () -> Unix.gettimeofday () > t_end)
+        let t_end = Resil.Clock.now () +. d in
+        fun () -> Resil.Clock.now () > t_end)
       deadline
   in
   let contain index seed =

@@ -54,22 +54,49 @@ let rec skip_ws st =
 
 let lex_number st =
   let start = st.pos in
+  let peek_at k =
+    if st.pos + k < String.length st.src then Some st.src.[st.pos + k]
+    else None
+  in
   while (match peek st with Some c when is_digit c -> true | _ -> false) do
     advance st
   done;
-  let is_float =
+  let has_frac =
     match (peek st, peek2 st) with
     | Some '.', Some c when is_digit c -> true
     | _ -> false
   in
-  if is_float then begin
+  if has_frac then begin
     advance st;
     while (match peek st with Some c when is_digit c -> true | _ -> false) do
       advance st
-    done;
-    Token.FLOAT (float_of_string (String.sub st.src start (st.pos - start)))
-  end
-  else Token.INT (int_of_string (String.sub st.src start (st.pos - start)))
+    done
+  end;
+  (* Optional exponent [eE][+-]?digits.  Taken only when a digit
+     actually follows the (possibly signed) 'e', so an identifier
+     hugging a number ("16elems") still lexes as INT then IDENT, and
+     "1e+" stays INT PLUS rather than a lex error.  Needed so the
+     canonical float formatter's output ("1e+16") round-trips. *)
+  let has_exp =
+    match peek st with
+    | Some ('e' | 'E') -> (
+      match peek2 st with
+      | Some c when is_digit c -> true
+      | Some ('+' | '-') -> (
+        match peek_at 2 with Some c when is_digit c -> true | _ -> false)
+      | _ -> false)
+    | _ -> false
+  in
+  if has_exp then begin
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    while (match peek st with Some c when is_digit c -> true | _ -> false) do
+      advance st
+    done
+  end;
+  let text = String.sub st.src start (st.pos - start) in
+  if has_frac || has_exp then Token.FLOAT (float_of_string text)
+  else Token.INT (int_of_string text)
 
 let lex_ident st =
   let start = st.pos in

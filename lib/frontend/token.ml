@@ -21,7 +21,10 @@ let keywords =
 
 let to_string = function
   | INT n -> string_of_int n
-  | FLOAT f -> string_of_float f
+  (* Canonical rendering (never OCaml's "1." style): error messages
+     and round-tripped sources stay re-lexable and match the canonical
+     form used by every other textual artifact. *)
+  | FLOAT f -> Obs.Canon.to_string f
   | IDENT s -> s
   | KW s -> s
   | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"

@@ -40,7 +40,7 @@ let most_fractional_var int_vars (sol : Solution.t) =
 let solve ?(node_budget = 10_000) ?time_budget_s ?budget ?first_solution
     ?incumbent ?(use_reference_lp = false) ?cuts ?(cut_rounds = 8) problem =
   let deadline =
-    Option.map (fun b -> Sys.time () +. b) time_budget_s
+    Option.map (fun b -> Resil.Clock.now () +. b) time_budget_s
   in
   let dir, obj = Problem.objective problem in
   let feasibility_only = Linexpr.is_constant obj in
@@ -118,7 +118,7 @@ let solve ?(node_budget = 10_000) ?time_budget_s ?budget ?first_solution
          stack := rest;
          if !explored >= node_budget then raise Budget;
          (match deadline with
-         | Some d when Sys.time () > d -> raise Budget
+         | Some d when Resil.Clock.now () > d -> raise Budget
          | _ -> ());
          (* Cooperative budget check: one work unit per node, and the
             token's own limits (work and, if armed, wall clock). *)
@@ -240,7 +240,7 @@ let solve ?(node_budget = 10_000) ?time_budget_s ?budget ?first_solution
   Obs.Metrics.observe h_depth (float_of_int !maxdepth);
   let budget_hit =
     !explored >= node_budget || !lp_budget_hit
-    || (match deadline with Some d -> Sys.time () > d | None -> false)
+    || (match deadline with Some d -> Resil.Clock.now () > d | None -> false)
     || (match budget with Some b -> Resil.Budget.over b | None -> false)
   in
   match !incumbent with

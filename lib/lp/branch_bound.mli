@@ -33,7 +33,8 @@ val solve :
   Problem.t ->
   Solution.outcome * stats
 (** [solve p] solves the MILP.  [node_budget] defaults to [10_000] and
-    [time_budget_s] (CPU seconds, unlimited by default) directly mirrors
+    [time_budget_s] (wall-clock seconds via [Resil.Clock], unlimited by
+    default) directly mirrors
     the paper's 20-second CPLEX allotment per candidate II;
     [first_solution] defaults to [true] when the objective is constant and
     [false] otherwise.

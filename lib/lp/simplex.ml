@@ -334,7 +334,7 @@ let run_phase ?deadline ?budget t ~max_col =
   let rec loop () =
     if !pivots > max_pivots then raise Pivot_limit;
     (match deadline with
-    | Some d when !pivots land 15 = 0 && Sys.time () > d -> raise Pivot_limit
+    | Some d when !pivots land 15 = 0 && Resil.Clock.now () > d -> raise Pivot_limit
     | _ -> ());
     (* Work-unit exhaustion is checked every pivot (an int compare);
        the wall-clock guard shares the deadline throttle above. *)
@@ -601,7 +601,7 @@ module Dense_core = struct
     let rec loop () =
       if !pivots > max_pivots then raise Pivot_limit;
       (match deadline with
-      | Some d when !pivots land 15 = 0 && Sys.time () > d ->
+      | Some d when !pivots land 15 = 0 && Resil.Clock.now () > d ->
         raise Pivot_limit
       | _ -> ());
       (match budget with

@@ -36,7 +36,7 @@ val solve_with_bounds :
 (** Like {!solve} but with per-variable bound overrides (used by
     branch-and-bound to impose branching decisions without mutating the
     problem).  Arrays are indexed by variable id and must cover every
-    variable.  [deadline] is an absolute [Sys.time ()] value past which
+    variable.  [deadline] is an absolute [Resil.Clock.now ()] value past which
     pivoting aborts with [Budget_exhausted None].  [budget], when given,
     is charged one work unit per pivot and checked cooperatively: an
     exhausted token (work units, or its wall-clock deadline) also aborts

@@ -1,0 +1,63 @@
+(* Canonical float rendering, shared by every textual artifact.
+
+   Three sites used to carry private copies of this logic
+   ([Export.float_str], [Report.num], [Metrics.json_num]) and they had
+   drifted: the JSON writers printed non-integer floats at [%.6g]
+   (lossy — two distinct floats could render identically), the
+   OpenMetrics exporter at [%.17g] (round-trippable but ugly: 0.1
+   became 0.10000000000000001), infinities leaked through [Report.num]
+   as the invalid JSON token [inf], and the [-0.0] sign was dropped or
+   kept depending on which copy ran.  One implementation now serves all
+   of them; only the representation of non-finite values differs per
+   format, because JSON and OpenMetrics genuinely disagree there.
+
+   Finite values render as:
+   - integers with |f| < 1e15 as ["%.1f"] ("42.0") — exact in this
+     range, and the trailing [.0] keeps the value visibly a float.
+     [-0.0] keeps its sign ("-0.0"): the sign bit survives a
+     round-trip, so dropping it would un-canonicalize re-parsed data.
+   - everything else (including integers at or above 1e15, where
+     ["%.1f"] would print digits the float cannot actually resolve) as
+     the shortest decimal string that parses back to exactly the same
+     bits: try [%.15g], [%.16g], [%.17g] in turn and keep the first
+     that round-trips.  17 significant digits always round-trip for
+     IEEE double, so the fallback is total. *)
+
+let shortest f =
+  let try_prec p =
+    let s = Printf.sprintf "%.*g" p f in
+    if float_of_string s = f then Some s else None
+  in
+  match try_prec 15 with
+  | Some s -> s
+  | None -> (
+    match try_prec 16 with
+    | Some s -> s
+    | None -> Printf.sprintf "%.17g" f)
+
+let finite f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* sprintf "%.1f" (-0.0) already yields "-0.0"; this branch is
+       sign-correct as-is. *)
+    Printf.sprintf "%.1f" f
+  else shortest f
+
+(* Total rendering for contexts that can say anything (human text,
+   property tests). *)
+let to_string f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else finite f
+
+(* JSON has no lexical form for non-finite numbers; [null] is the
+   conventional spelling and what consumers of the report already
+   handle. *)
+let json f = if Float.is_finite f then finite f else "null"
+
+(* OpenMetrics mandates these exact spellings. *)
+let openmetrics f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else finite f

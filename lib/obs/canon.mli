@@ -1,0 +1,25 @@
+(** Canonical float rendering shared by all textual artifacts (JSON
+    reports, metrics snapshots, OpenMetrics exposition, frontend
+    tokens).  Finite floats render identically everywhere: integers
+    below 1e15 as ["42.0"] (sign of [-0.0] preserved), everything else
+    as the shortest decimal string that round-trips to the same bits.
+    The variants differ only on NaN/infinity, where the target formats
+    genuinely disagree. *)
+
+val finite : float -> string
+(** Canonical form of a finite float.  Unspecified on NaN/infinity —
+    use one of the total variants below. *)
+
+val shortest : float -> string
+(** Shortest [%g] form that round-trips ([%.15g] → [%.16g] → [%.17g]).
+    Exposed for tests; [finite] already uses it. *)
+
+val to_string : float -> string
+(** Total: non-finite values as ["nan"], ["inf"], ["-inf"]. *)
+
+val json : float -> string
+(** JSON number token; non-finite values become ["null"]. *)
+
+val openmetrics : float -> string
+(** OpenMetrics sample value; non-finite as ["NaN"], ["+Inf"],
+    ["-Inf"]. *)

@@ -39,12 +39,7 @@ let labels_str labels =
            labels)
     ^ "}"
 
-let float_str f =
-  if Float.is_nan f then "NaN"
-  else if f = Float.infinity then "+Inf"
-  else if f = Float.neg_infinity then "-Inf"
-  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.17g" f
+let float_str = Canon.openmetrics
 
 let to_openmetrics () =
   let items = Metrics.snapshot () in

@@ -18,3 +18,7 @@ val escape_label : string -> string
 (** Escape a label value per the exposition-format ABNF. *)
 
 val to_openmetrics : unit -> string
+
+val float_str : float -> string
+(** Sample-value rendering ({!Canon.openmetrics}); exposed so tests
+    can assert all exporters share one formatter. *)

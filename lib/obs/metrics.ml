@@ -139,11 +139,7 @@ let labels_suffix labels =
     ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
     ^ "}"
 
-let json_num f =
-  if Float.is_nan f then "null"
-  else if Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.6g" f
+let json_num = Canon.json
 
 let to_json () =
   let b = Buffer.create 1024 in

@@ -69,3 +69,7 @@ val pp_text : Format.formatter -> unit -> unit
 
 val reset : unit -> unit
 (** Zero all instruments in place (registered handles stay live). *)
+
+val json_num : float -> string
+(** Snapshot-JSON number rendering ({!Canon.json}); exposed so tests
+    can assert all exporters share one formatter. *)

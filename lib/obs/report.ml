@@ -25,11 +25,9 @@ let escape s =
 
 (* One canonical float rendering shared by the compact and indented
    printers, so a report serialized either way carries the same numbers
-   (the determinism signature hashes the compact form). *)
-let num f =
-  if Float.is_nan f then "null"
-  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.6g" f
+   (the determinism signature hashes the compact form).  Delegates to
+   [Canon.json]: shortest round-trip form, non-finite as [null]. *)
+let num = Canon.json
 
 let rec write b = function
   | Null -> Buffer.add_string b "null"

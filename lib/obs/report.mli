@@ -22,8 +22,9 @@ val escape : string -> string
 (** JSON string-body escaping (quotes, backslash, control chars). *)
 
 val num : float -> string
-(** Canonical float rendering: [nan] becomes [null], integral values get
-    one decimal ([12.0]), everything else [%.6g]. *)
+(** Canonical float rendering ({!Canon.json}): non-finite values become
+    [null], integral values get one decimal ([12.0]), everything else
+    the shortest decimal string that round-trips. *)
 
 val to_string : t -> string
 (** Compact single-line serialization (the hashable form). *)

@@ -6,7 +6,7 @@ type t = {
   label : string;
   mutable used : int;
   limit : int option;
-  deadline : float option; (* absolute Unix.gettimeofday, already armed *)
+  deadline : float option; (* absolute Clock.now, already armed *)
   parent : t option;
 }
 
@@ -20,7 +20,7 @@ let create ?(label = "budget") ?work ?wall_s () =
   let deadline =
     match wall_s with
     | None -> None
-    | Some s -> Some (Unix.gettimeofday () +. s)
+    | Some s -> Some (Clock.now () +. s)
   in
   { label; used = 0; limit = work; deadline; parent = None }
 
@@ -55,7 +55,7 @@ let over_wall t =
      a work-unit-only token stays deterministic. *)
   if not (has_deadline t) then false
   else begin
-    let now = Unix.gettimeofday () in
+    let now = Clock.now () in
     let rec go t =
       (match t.deadline with Some d -> now > d | None -> false)
       || (match t.parent with Some p -> go p | None -> false)

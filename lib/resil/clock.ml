@@ -1,0 +1,65 @@
+(* A single wall-clock source for every deadline in the compiler.
+
+   Before this module existed the codebase mixed two clock domains:
+   [Compile.compile] armed deadlines from [Unix.gettimeofday] (wall
+   time) while the solver layers (simplex, branch-and-bound, the II
+   search, LNS probes) measured against [Sys.time] (process CPU time).
+   Process CPU time advances roughly N x faster than wall time when N
+   domains are busy, so under [--jobs N] a deadline expressed in wall
+   seconds fired early by about a factor of N — and late when the
+   process was blocked on I/O.  Every timed component now reads the
+   same clock through [now].
+
+   The source is substitutable so tests can drive deadlines with a
+   fake clock instead of sleeping.  Substitution is test-only and
+   process-global; production code never calls [set_source]. *)
+
+let default_source () = Unix.gettimeofday ()
+
+let source = ref default_source
+
+(* Monotonicity guard: gettimeofday can step backwards under NTP
+   adjustment.  Deadline arithmetic assumes time never runs backwards,
+   so clamp to the high-water mark.  An [Atomic] keeps the guard safe
+   to read from worker domains; a concurrent update just means two
+   domains race to publish the larger value. *)
+let high_water = Atomic.make neg_infinity
+
+let now () =
+  let t = !source () in
+  let rec clamp () =
+    let hw = Atomic.get high_water in
+    if t >= hw then
+      if Atomic.compare_and_set high_water hw t then t else clamp ()
+    else hw
+  in
+  clamp ()
+
+let set_source f =
+  source := f;
+  (* A fake clock may legitimately start below the high-water mark left
+     by the real clock; reset the guard so tests observe their own
+     timeline. *)
+  Atomic.set high_water neg_infinity
+
+let reset_source () = set_source default_source
+
+let with_source f body =
+  let saved = !source in
+  set_source f;
+  Fun.protect body ~finally:(fun () ->
+      source := saved;
+      Atomic.set high_water neg_infinity)
+
+(* A deterministic fake clock for tests: starts at [t0] and advances by
+   [step] seconds on every read, so code that polls a deadline sees
+   time pass without sleeping.  CAS loop because Atomic has no float
+   fetch-and-add. *)
+let ticker ?(t0 = 0.0) ~step () =
+  let t = Atomic.make t0 in
+  fun () ->
+    let rec go () =
+      let cur = Atomic.get t in
+      if Atomic.compare_and_set t cur (cur +. step) then cur else go ()
+    in
+    go ()

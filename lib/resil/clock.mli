@@ -1,0 +1,29 @@
+(** The single wall-clock source for all deadline accounting.
+
+    Every component that measures elapsed time against a deadline —
+    [Budget] wall guards, simplex and branch-and-bound time limits, II
+    search attempt timing, LNS probes, [Compile]'s stage spends — must
+    read this clock rather than [Sys.time] (process CPU time, which
+    advances ~N x wall speed under [--jobs N]) or a raw
+    [Unix.gettimeofday].  The source is substitutable so tests can
+    drive time deterministically. *)
+
+val now : unit -> float
+(** Current time in seconds.  Wall clock, clamped monotonic: a read
+    never returns less than a previous read under the same source. *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the clock source (test-only; process-global).  Resets the
+    monotonicity high-water mark so the new source starts fresh. *)
+
+val reset_source : unit -> unit
+(** Restore the default [Unix.gettimeofday] source. *)
+
+val with_source : (unit -> float) -> (unit -> 'a) -> 'a
+(** [with_source fake f] runs [f] with the clock read from [fake],
+    restoring the previous source afterwards (even on exception). *)
+
+val ticker : ?t0:float -> step:float -> unit -> unit -> float
+(** [ticker ~t0 ~step ()] makes a deterministic fake source that
+    returns [t0], [t0 +. step], [t0 +. 2*.step], ... on successive
+    reads.  Thread-safe. *)

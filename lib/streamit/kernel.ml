@@ -442,6 +442,28 @@ let rename fn f =
     work = List.map rs f.work;
   }
 
+(* Alpha-canonical form: every identifier (tables, state, locals, loop
+   indices) renamed to "x0", "x1", ... in first-appearance order under
+   [rename]'s fixed traversal (tables, then state, then work), and the
+   display name dropped.  Two filters that differ only in naming map to
+   the same canonical value, so structural keys built on it — the
+   profile node memo, the schedule cache key — are name-irrelevant.
+   Semantics are preserved: [rename] applies one consistent mapping to
+   binders and references alike. *)
+let alpha_canonical f =
+  let map = Hashtbl.create 16 in
+  let next = ref 0 in
+  let fn x =
+    match Hashtbl.find_opt map x with
+    | Some y -> y
+    | None ->
+      let y = "x" ^ string_of_int !next in
+      incr next;
+      Hashtbl.add map x y;
+      y
+  in
+  { (rename fn f) with name = "" }
+
 (* --- pretty printing --- *)
 
 let string_of_unop = function

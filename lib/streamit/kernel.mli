@@ -146,6 +146,15 @@ val rename : (string -> string) -> filter -> filter
 (** Renames all identifiers (locals, tables); used when fusing or when
     emitting all filters into a single CUDA compilation unit. *)
 
+val alpha_canonical : filter -> filter
+(** Semantics-preserving canonical form: identifiers renamed to
+    ["x0"], ["x1"], ... in first-appearance order and the display name
+    dropped, so filters differing only in naming compare structurally
+    equal.  Used as a name-irrelevant memo/cache key component. *)
+
+val string_of_unop : unop -> string
+val string_of_binop : binop -> string
+
 val pp_stmt : Format.formatter -> stmt -> unit
 val pp_filter : Format.formatter -> filter -> unit
 

@@ -60,8 +60,8 @@ let inject site = if Resil.Inject.armed () then Resil.Inject.fire site
 
 let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
     ?(coarsening = 1) ?solver ?portfolio ?lns_rounds
-    ?(scheme = Swp_coalesced) ?deadline ?budget ?(on_budget = `Degrade) graph
-    =
+    ?(scheme = Swp_coalesced) ?deadline ?budget ?(on_budget = `Degrade)
+    ?seed_ii graph =
   let num_sms = Option.value num_sms ~default:arch.Gpusim.Arch.num_sms in
   Obs.Trace.with_span "compile"
     ~attrs:
@@ -91,19 +91,19 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
        whatever real time is left when the II search starts becomes its
        deadline.  Without a deadline the tokens are pure accounting and
        never raise. *)
-    let t_start = Unix.gettimeofday () in
+    let t_start = Resil.Clock.now () in
     let ledger = Resil.Budget.create ~label:"compile" ?wall_s:deadline () in
     let spends = ref [] in
     (* Per-stage wall + work accounting.  [Fun.protect] so a fault or an
        exhausted deadline raised mid-stage still records the partial
        spend (the flight record of a failed compile must not dangle). *)
     let staged name tok f =
-      let t0 = Unix.gettimeofday () in
+      let t0 = Resil.Clock.now () in
       Fun.protect f ~finally:(fun () ->
           spends :=
             {
               stage = name;
-              wall_s = Unix.gettimeofday () -. t0;
+              wall_s = Resil.Clock.now () -. t0;
               work = Resil.Budget.consumed tok;
             }
             :: !spends)
@@ -136,7 +136,7 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
           ledger_total = Resil.Budget.consumed ledger;
           rationale;
           fallback_seed_ii;
-          total_wall_s = Unix.gettimeofday () -. t_start;
+          total_wall_s = Resil.Clock.now () -. t_start;
         }
       in
       Obs.Log.event "compile.finish"
@@ -187,7 +187,7 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
           Ii_search.total_work = budget;
           wall_clock_s =
             Option.map
-              (fun d -> Float.max 0.0 (d -. (Unix.gettimeofday () -. t_start)))
+              (fun d -> Float.max 0.0 (d -. (Resil.Clock.now () -. t_start)))
               deadline;
         }
       in
@@ -275,13 +275,18 @@ let compile ?(arch = Gpusim.Arch.geforce_8800_gts_512) ?num_sms
           in
           (* Seed the fallback with the search's frontier: one past the
              last committed candidate (all committed candidates were
-             infeasible or the search would have returned Ok), or the
-             bound itself when nothing committed.  Quality stays
-             [Degraded] — the seed only shrinks the relaxation. *)
+             infeasible or the search would have returned Ok); else the
+             caller's [?seed_ii] hint (the serve cache warm-starts here
+             from a previously achieved II when only one filter
+             changed); else the bound itself.  Quality stays [Degraded]
+             — the seed only shrinks the relaxation. *)
           let seed_ii =
             match List.rev attempt_log with
             | a :: _ -> Some (a.Ii_search.ii + 1)
-            | [] -> if lower_bound > 0 then Some lower_bound else None
+            | [] -> (
+              match seed_ii with
+              | Some h -> Some (max h lower_bound)
+              | None -> if lower_bound > 0 then Some lower_bound else None)
           in
           let rationale =
             match err with

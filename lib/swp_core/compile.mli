@@ -95,6 +95,7 @@ val compile :
   ?deadline:float ->
   ?budget:int ->
   ?on_budget:[ `Degrade | `Fail ] ->
+  ?seed_ii:int ->
   Streamit.Graph.t ->
   (compiled, string) result
 (** Defaults: the GeForce 8800 GTS 512 with all 16 SMs, coarsening 1,
@@ -111,6 +112,15 @@ val compile :
     runs out, [`Degrade] (the default) falls back down the ladder to a
     validated serial schedule with [quality = Degraded], while [`Fail]
     returns a structured one-line [Error].
+
+    [seed_ii] is a warm-start hint for the degradation ladder: when the
+    search commits no attempts before exhaustion, the fallback ramp
+    starts from [max seed_ii lower_bound] instead of the bound alone.
+    The serve cache passes a previously achieved II here when
+    recompiling a graph in which a single filter changed.  It never
+    influences a compile that completes its search (the attempt log
+    takes precedence), so non-degraded results are byte-identical with
+    or without the hint.
 
     Invalid arguments ([coarsening]/[num_sms] < 1, negative [budget],
     non-positive [deadline]) are reported as [Error], not exceptions.

@@ -221,7 +221,7 @@ let search ?(solver = Auto 2000) ?(portfolio = true) ?(lns_rounds = 12)
         arm;
         tried_exact;
         feasible;
-        solve_time_s = Sys.time () -. t0;
+        solve_time_s = Resil.Clock.now () -. t0;
         lp_pivots;
         bb_nodes;
         (* one unit per arm raced (at least one even for injected
@@ -265,7 +265,7 @@ let search ?(solver = Auto 2000) ?(portfolio = true) ?(lns_rounds = 12)
     Obs.Trace.with_span "ii_search.attempt"
       ~attrs:[ ("ii", Obs.Trace.Int ii) ]
     @@ fun () ->
-    let t0 = Sys.time () in
+    let t0 = Resil.Clock.now () in
     let bb = ref None in
     (* Per-attempt work allotment: a fresh token per probe, so probes
        stay pure functions of their candidate II under parallel

@@ -206,7 +206,7 @@ let refine ?(rounds = 12) ?(node_budget = 600) ?(window_work = 1500)
     in
     let best = ref s0 in
     let probe_at target =
-      let t0 = Sys.time () in
+      let t0 = Resil.Clock.now () in
       Obs.Metrics.inc m_probes;
       let sm_of = sm_of_schedule !best in
       let load, moved = repair ~n ~delays ~num_sms ~target sm_of in
@@ -261,7 +261,7 @@ let refine ?(rounds = 12) ?(node_budget = 600) ?(window_work = 1500)
           lp_pivots = !pivots;
           bb_nodes = !nodes;
           work_units = 1 + !pivots + !nodes;
-          time_s = Sys.time () -. t0;
+          time_s = Resil.Clock.now () -. t0;
         }
       in
       (sched, probe)

@@ -39,15 +39,56 @@ let cache :
 
 let cache_m = Mutex.create ()
 
+(* Per-node memo underneath the whole-graph cache: a node's sweep is a
+   pure function of (arch, node kind, mode, options, numfirings) alone
+   — no cross-node coupling — so a graph that differs from previously
+   profiled ones in a single filter re-simulates only that filter.
+   Keys hold the alpha-canonical node kind, making the memo
+   name-irrelevant: renaming a filter or its locals still hits.  This
+   is the incremental-recompile workhorse behind the serve cache. *)
+let node_cache :
+    ( Gpusim.Arch.t * Streamit.Graph.node_kind * mode * int list * int list
+      * int,
+      float array array )
+    Hashtbl.t =
+  Hashtbl.create 64
+
+let node_cache_m = Mutex.create ()
+let node_cache_bound = 1024
+
+let canonical_kind (k : Streamit.Graph.node_kind) =
+  match k with
+  | Streamit.Graph.NFilter f ->
+    Streamit.Graph.NFilter (Streamit.Kernel.alpha_canonical f)
+  | Streamit.Graph.NSplitter _ | Streamit.Graph.NJoiner _ -> k
+
 let clear_cache () =
   Mutex.lock cache_m;
   Hashtbl.reset cache;
-  Mutex.unlock cache_m
+  Mutex.unlock cache_m;
+  Mutex.lock node_cache_m;
+  Hashtbl.reset node_cache;
+  Mutex.unlock node_cache_m
 
 let cache_bound = 64
 let m_cache_hits = Obs.Metrics.counter "profile.cache.hits"
 let m_cache_misses = Obs.Metrics.counter "profile.cache.misses"
 let m_cache_evictions = Obs.Metrics.counter "profile.cache.evictions"
+let m_node_hits = Obs.Metrics.counter "profile.node_cache.hits"
+let m_node_misses = Obs.Metrics.counter "profile.node_cache.misses"
+let m_node_evictions = Obs.Metrics.counter "profile.node_cache.evictions"
+
+type memo_stats = { node_hits : int; node_misses : int; node_entries : int }
+
+let memo_stats () =
+  Mutex.lock node_cache_m;
+  let entries = Hashtbl.length node_cache in
+  Mutex.unlock node_cache_m;
+  {
+    node_hits = Obs.Metrics.value m_node_hits;
+    node_misses = Obs.Metrics.value m_node_misses;
+    node_entries = entries;
+  }
 
 let rec run ?(reg_options = default_reg_options)
     ?(thread_options = default_thread_options) ?(numfirings = 0) ?budget arch
@@ -73,6 +114,18 @@ let rec run ?(reg_options = default_reg_options)
       | Some d ->
         Obs.Metrics.inc m_cache_hits;
         Obs.Trace.add_attr "cache" (Obs.Trace.Str "hit");
+        (* Charge exactly what the sweep would have cost: work units
+           account the *logical* work of the compile, so the budget
+           ledger — and every report built from it — is byte-identical
+           whether or not the cache was warm.  The serve cache's
+           byte-identity guarantee depends on this. *)
+        (match budget with
+        | Some b ->
+          Resil.Budget.charge b
+            (Streamit.Graph.num_nodes graph
+            * List.length reg_options
+            * List.length thread_options)
+        | None -> ());
         d
       | None ->
         Obs.Metrics.inc m_cache_misses;
@@ -103,22 +156,55 @@ and run_uncached ?budget arch graph ~mode ~reg_options ~thread_options
        unwinds here (the pool join re-raises the exhaustion). *)
     Option.iter Resil.Budget.check budget;
     let node = Streamit.Graph.node graph v in
-    Array.map
-      (fun regs ->
+    let nkey =
+      ( arch,
+        canonical_kind node.Streamit.Graph.kind,
+        mode,
+        reg_options,
+        thread_options,
+        numfirings )
+    in
+    let memoized =
+      Mutex.lock node_cache_m;
+      let c = Hashtbl.find_opt node_cache nkey in
+      Mutex.unlock node_cache_m;
+      c
+    in
+    match memoized with
+    | Some grid ->
+      Obs.Metrics.inc m_node_hits;
+      (* Return a copy: callers receive a fresh grid they may alias
+         into [data.runtimes]; the memo keeps its own. *)
+      Array.map Array.copy grid
+    | None ->
+      Obs.Metrics.inc m_node_misses;
+      let grid =
         Array.map
-          (fun threads ->
-            let layout = layout_for arch mode node ~threads in
-            match
-              Timing.pass_of_node arch node ~threads ~regs_cap:regs ~layout
-            with
-            | None -> infinity
-            | Some pass ->
-              let iterations = numfirings / threads in
-              float_of_int
-                ((iterations * Timing.combine_solo pass)
-                + arch.Arch.kernel_launch_cycles))
-          (Array.of_list thread_options))
-      (Array.of_list reg_options)
+          (fun regs ->
+            Array.map
+              (fun threads ->
+                let layout = layout_for arch mode node ~threads in
+                match
+                  Timing.pass_of_node arch node ~threads ~regs_cap:regs
+                    ~layout
+                with
+                | None -> infinity
+                | Some pass ->
+                  let iterations = numfirings / threads in
+                  float_of_int
+                    ((iterations * Timing.combine_solo pass)
+                    + arch.Arch.kernel_launch_cycles))
+              (Array.of_list thread_options))
+          (Array.of_list reg_options)
+      in
+      Mutex.lock node_cache_m;
+      if Hashtbl.length node_cache >= node_cache_bound then begin
+        Obs.Metrics.inc m_node_evictions;
+        Hashtbl.reset node_cache
+      end;
+      Hashtbl.replace node_cache nkey (Array.map Array.copy grid);
+      Mutex.unlock node_cache_m;
+      grid
   in
   let runtimes =
     Array.of_list (Par.Pool.map_auto profile_node (List.init n Fun.id))
@@ -126,7 +212,8 @@ and run_uncached ?budget arch graph ~mode ~reg_options ~thread_options
   (* Stage accounting: one work unit per simulated (node, regs, threads)
      cell, charged once from the calling domain after the fan-out joins
      (budget tokens must not be charged from workers).  A cache hit in
-     [run] charges nothing — the sweep was not repeated. *)
+     [run] charges the same amount: work units count logical work, so
+     the ledger is independent of cache warmth. *)
   (match budget with
   | Some b ->
     Resil.Budget.charge b

@@ -53,8 +53,18 @@ val run :
     accounting; a cache hit charges nothing. *)
 
 val clear_cache : unit -> unit
-(** Drop every memoized profile (benchmark drivers use this to time
-    cold sweeps fairly). *)
+(** Drop every memoized profile — the whole-graph cache and the
+    per-node memo (benchmark drivers use this to time cold sweeps
+    fairly). *)
+
+type memo_stats = { node_hits : int; node_misses : int; node_entries : int }
+
+val memo_stats : unit -> memo_stats
+(** Counters and current size of the per-node memo that sits under the
+    whole-graph cache.  Per-node sweeps are keyed on the
+    alpha-canonical node kind (name-irrelevant), so recompiling a graph
+    in which a single filter changed re-simulates only that filter —
+    the incremental-recompile path reported by the serve daemon. *)
 
 val time_of : data -> node:int -> regs:int -> threads:int -> float
 (** Lookup by option values rather than indices.

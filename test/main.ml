@@ -17,6 +17,8 @@ let () =
       ("check", Test_check.suite);
       ("par", Test_par.suite);
       ("resil", Test_resil.suite);
+      ("clock", Test_clock.suite);
+      ("cache", Test_cache.suite);
       ("quality", Test_quality.suite);
       ("determinism", Test_determinism.suite);
       ("report", Test_report.suite);

@@ -1,0 +1,305 @@
+(* The content-addressed schedule cache behind `streamit_gpu serve`:
+   key canonicalization and sensitivity, the byte-identity guarantee
+   (a hit returns exactly the bytes a cold compile would produce),
+   single-flight coalescing, the two-tier store, and the incremental
+   warm-start path. *)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let flatten_src src =
+  Streamit.Flatten.flatten (Frontend.Parser.parse_program src)
+
+(* A tiny three-filter pipeline, plus variants that differ only in
+   naming (same key expected) or only in one filter's body (same
+   skeleton, different key). *)
+let base_src =
+  {|
+filter A pop 0 push 1 { push(1.0); }
+filter B pop 1 push 1 { push(pop() * 2.0); }
+filter C pop 1 push 0 { let x = pop(); }
+pipeline P { add A; add B; add C; }
+|}
+
+let renamed_src =
+  {|
+filter Z pop 0 push 1 { push(1.0); }
+filter Y pop 1 push 1 { push(pop() * 2.0); }
+filter W pop 1 push 0 { let q = pop(); }
+pipeline Q { add Z; add Y; add W; }
+|}
+
+let body_changed_src =
+  {|
+filter A pop 0 push 1 { push(1.0); }
+filter B pop 1 push 1 { push(pop() * 3.0); }
+filter C pop 1 push 0 { let x = pop(); }
+pipeline P { add A; add B; add C; }
+|}
+
+let opts = Cache.Key.default_options
+
+let ok = function
+  | Ok v -> v
+  | Error m -> Alcotest.fail m
+
+let equal_entry (a : Cache.Store.entry) (b : Cache.Store.entry) = a = b
+
+let check_entry msg a b =
+  Alcotest.(check bool) (msg ^ ": byte-identical entries") true
+    (equal_entry a b)
+
+(* ---- Key ------------------------------------------------------------- *)
+
+let key_tests =
+  [
+    t "digest is naming-irrelevant" (fun () ->
+        let g = flatten_src base_src and r = flatten_src renamed_src in
+        Alcotest.(check string) "renamed graph, same key"
+          (Cache.Key.digest g opts) (Cache.Key.digest r opts);
+        Alcotest.(check string) "same skeleton too"
+          (Cache.Key.skeleton_digest g opts)
+          (Cache.Key.skeleton_digest r opts));
+    t "digest agrees with the canonical form" (fun () ->
+        let g = flatten_src base_src in
+        Alcotest.(check string) "digest(canonical g) = digest(g)"
+          (Cache.Key.digest g opts)
+          (Cache.Key.digest (Cache.Key.canonical_graph g) opts);
+        Alcotest.(check string) "serialize too"
+          (Cache.Key.serialize g)
+          (Cache.Key.serialize (Cache.Key.canonical_graph g)));
+    t "digest is body-sensitive, skeleton is not" (fun () ->
+        let g = flatten_src base_src and m = flatten_src body_changed_src in
+        Alcotest.(check bool) "body change, new key" true
+          (Cache.Key.digest g opts <> Cache.Key.digest m opts);
+        Alcotest.(check string) "body change, same skeleton"
+          (Cache.Key.skeleton_digest g opts)
+          (Cache.Key.skeleton_digest m opts));
+    t "digest is option-sensitive" (fun () ->
+        let g = flatten_src base_src in
+        let base = Cache.Key.digest g opts in
+        let variants =
+          [
+            ("coarsening", { opts with Cache.Key.coarsening = 2 });
+            ("num_sms", { opts with Cache.Key.num_sms = Some 4 });
+            ("budget", { opts with Cache.Key.budget = Some 10 });
+            ( "scheme",
+              { opts with Cache.Key.scheme = Swp_core.Compile.Swp_non_coalesced }
+            );
+            ("portfolio", { opts with Cache.Key.portfolio = Some false });
+            ("lns_rounds", { opts with Cache.Key.lns_rounds = Some 0 });
+          ]
+        in
+        List.iter
+          (fun (what, o) ->
+            Alcotest.(check bool) (what ^ " change, new key") true
+              (Cache.Key.digest g o <> base))
+          variants);
+    t "digest is float-bit-sensitive" (fun () ->
+        (* 2.0 vs the next float up: far below %g precision, still a
+           different key *)
+        let v = {|
+filter A pop 0 push 1 { push(1.0); }
+filter B pop 1 push 1 { push(pop() * 2.0000000000000004); }
+filter C pop 1 push 0 { let x = pop(); }
+pipeline P { add A; add B; add C; }
+|}
+        in
+        let g = flatten_src base_src and m = flatten_src v in
+        Alcotest.(check bool) "ulp change, new key" true
+          (Cache.Key.digest g opts <> Cache.Key.digest m opts));
+  ]
+
+(* ---- Store ----------------------------------------------------------- *)
+
+let entry k =
+  {
+    Cache.Store.key = k;
+    ii = 42;
+    quality = "exact";
+    signature = "sig-" ^ k;
+    schedule = "sched\nlines";
+    layout = "layout";
+    cuda = "__global__ void k() {}\n";
+    report = "{\"ii\":42}";
+  }
+
+let store_tests =
+  [
+    t "serialize/deserialize round-trips" (fun () ->
+        let e = entry "k1" in
+        check_entry "round-trip" e
+          (Cache.Store.deserialize (Cache.Store.serialize e)));
+    t "deserialize rejects garbage" (fun () ->
+        List.iter
+          (fun s ->
+            try
+              ignore (Cache.Store.deserialize s);
+              Alcotest.fail "expected Corrupt"
+            with Cache.Store.Corrupt _ -> ())
+          [ ""; "garbage"; "streamit-cache-entry v1\n9999999 x" ]);
+    t "in-memory tier hits and LRU-evicts" (fun () ->
+        let s = Cache.Store.create ~capacity:2 () in
+        Cache.Store.put s (entry "a");
+        Cache.Store.put s (entry "b");
+        Alcotest.(check bool) "a present" true
+          (Cache.Store.find s "a" <> None);
+        (* touch a so b is the least recently used *)
+        Cache.Store.put s (entry "c");
+        Alcotest.(check int) "capacity held" 2 (Cache.Store.mem_size s);
+        Alcotest.(check bool) "b evicted" true (Cache.Store.find s "b" = None);
+        Alcotest.(check bool) "a survives" true
+          (Cache.Store.find s "a" <> None);
+        Alcotest.(check bool) "c present" true
+          (Cache.Store.find s "c" <> None));
+    t "disk tier persists across store instances" (fun () ->
+        let dir = "cache_store_disk_test" in
+        let s1 = Cache.Store.create ~dir () in
+        Cache.Store.put s1 (entry "k-disk");
+        let s2 = Cache.Store.create ~dir () in
+        (match Cache.Store.find s2 "k-disk" with
+        | Some e -> check_entry "disk round-trip" (entry "k-disk") e
+        | None -> Alcotest.fail "disk entry not found");
+        (* an entry whose stored key disagrees with its filename is a
+           miss, not a crash *)
+        let oc = open_out (Filename.concat dir "deadbeef.entry") in
+        output_string oc (Cache.Store.serialize (entry "not-deadbeef"));
+        close_out oc;
+        Alcotest.(check bool) "key-mismatched file is a miss" true
+          (Cache.Store.find s2 "deadbeef" = None);
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir);
+  ]
+
+(* ---- Service --------------------------------------------------------- *)
+
+let registry_graphs () =
+  List.map
+    (fun (e : Benchmarks.Registry.entry) ->
+      (e.name, Streamit.Flatten.flatten (e.stream ())))
+    Benchmarks.Registry.all
+
+let service_tests =
+  [
+    t "hit is byte-identical to cold compile (all 8 benchmarks)" (fun () ->
+        List.iter
+          (fun (name, g) ->
+            (* cold: fresh service, fresh profile memo *)
+            let svc1 = Cache.Service.create () in
+            Swp_core.Profile.clear_cache ();
+            let e1, o1 = ok (Cache.Service.get svc1 g opts) in
+            Alcotest.(check string) (name ^ ": first is a miss") "miss"
+              (Cache.Service.outcome_name o1);
+            (* hit on the same service *)
+            let e2, o2 = ok (Cache.Service.get svc1 g opts) in
+            Alcotest.(check string) (name ^ ": second is a hit") "hit"
+              (Cache.Service.outcome_name o2);
+            check_entry (name ^ ": hit vs cold") e1 e2;
+            (* a second cold compile — now under a warm profile memo —
+               must still produce the same bytes *)
+            let svc2 = Cache.Service.create () in
+            let e3, _ = ok (Cache.Service.get svc2 g opts) in
+            check_entry (name ^ ": warm-memo cold vs cold") e1 e3)
+          (registry_graphs ()));
+    t "naming-only edit hits with identical bytes" (fun () ->
+        let svc = Cache.Service.create () in
+        let e1, _ = ok (Cache.Service.get svc (flatten_src base_src) opts) in
+        let e2, o2 =
+          ok (Cache.Service.get svc (flatten_src renamed_src) opts)
+        in
+        Alcotest.(check string) "renamed graph hits" "hit"
+          (Cache.Service.outcome_name o2);
+        check_entry "renamed" e1 e2);
+    t "one-filter body change recompiles incrementally" (fun () ->
+        let svc = Cache.Service.create () in
+        let _ = ok (Cache.Service.get svc (flatten_src base_src) opts) in
+        let e_inc, o =
+          ok (Cache.Service.get svc (flatten_src body_changed_src) opts)
+        in
+        Alcotest.(check string) "incremental outcome" "incremental"
+          (Cache.Service.outcome_name o);
+        (* the warm-started result must equal a cold compile of the
+           changed graph, byte for byte *)
+        let svc2 = Cache.Service.create () in
+        Swp_core.Profile.clear_cache ();
+        let e_cold, _ =
+          ok (Cache.Service.get svc2 (flatten_src body_changed_src) opts)
+        in
+        Alcotest.(check bool) "non-degraded (stored path)" true
+          (e_inc.Cache.Store.quality <> "degraded");
+        check_entry "incremental vs cold" e_inc e_cold);
+    t "warm=false disables the incremental path" (fun () ->
+        let svc = Cache.Service.create ~warm:false () in
+        let _ = ok (Cache.Service.get svc (flatten_src base_src) opts) in
+        let _, o =
+          ok (Cache.Service.get svc (flatten_src body_changed_src) opts)
+        in
+        Alcotest.(check string) "plain miss" "miss"
+          (Cache.Service.outcome_name o));
+    t "concurrent same-key requests compile exactly once" (fun () ->
+        let g = flatten_src base_src in
+        let svc = Cache.Service.create () in
+        Par.Pool.set_jobs 4;
+        let results =
+          Fun.protect
+            ~finally:(fun () -> Par.Pool.set_jobs 1)
+            (fun () ->
+              Cache.Service.get_many svc (List.init 8 (fun _ -> (g, opts))))
+        in
+        Alcotest.(check int) "one compile" 1 (Cache.Service.compiles svc);
+        let entries =
+          List.map (fun r -> fst (ok r)) results
+        in
+        let first = List.hd entries in
+        List.iteri
+          (fun i e -> check_entry (Printf.sprintf "request %d" i) first e)
+          entries);
+  ]
+
+(* ---- Protocol -------------------------------------------------------- *)
+
+let protocol_tests =
+  [
+    t "request parsing: defaults and validation" (fun () ->
+        (match
+           Cache.Protocol.parse_request
+             {|{"op":"compile","program":"Bitonic"}|}
+         with
+        | Ok r ->
+          Alcotest.(check bool) "compile op" true
+            (r.Cache.Protocol.op = Cache.Protocol.Compile);
+          Alcotest.(check (option string)) "program" (Some "Bitonic")
+            r.Cache.Protocol.program;
+          Alcotest.(check int) "default coarsening" 1
+            r.Cache.Protocol.coarsening;
+          Alcotest.(check bool) "warm by default" true r.Cache.Protocol.warm
+        | Error m -> Alcotest.fail m);
+        List.iter
+          (fun bad ->
+            match Cache.Protocol.parse_request bad with
+            | Ok _ -> Alcotest.fail ("accepted: " ^ bad)
+            | Error _ -> ())
+          [
+            "";
+            "{";
+            "[1,2]";
+            {|{"op":"frobnicate"}|};
+            {|{"op":"compile","scheme":"SWP2"}|};
+            {|{"op":"compile","program":"Bitonic","artifacts":["cuda","nope"]}|};
+            {|{"op":"compile","program":"Bitonic","artifacts":"cuda"}|};
+          ]);
+    t "JSON reader round-trips through the report printer" (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check string) s s
+              (Obs.Report.to_string (Cache.Protocol.parse s)))
+          [
+            {|{"a":[1,2.5,"x\n",true,null],"b":{"c":-3}}|};
+            {|[]|};
+            {|"A\\"|};
+            {|-0.5|};
+          ]);
+  ]
+
+let suite = key_tests @ store_tests @ service_tests @ protocol_tests

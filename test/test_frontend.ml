@@ -38,6 +38,48 @@ let lexer_tests =
           Alcotest.(check int) "line" 2 line);
   ]
 
+(* Token.to_string now renders FLOAT through the canonical formatter
+   (Obs.Canon), and the lexer accepts the exponent forms that
+   formatter can emit.  Round trip: printing any float token and
+   re-lexing it must give back the same bits. *)
+let roundtrip_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"float tokens round-trip through the lexer"
+         ~count:300
+         QCheck.(make Gen.(map abs_float float))
+         (fun f ->
+           QCheck.assume (Float.is_finite f);
+           match toks (Obs.Canon.finite f) with
+           | [ Frontend.Token.FLOAT g; Frontend.Token.EOF ] ->
+             Int64.bits_of_float g = Int64.bits_of_float f
+           | _ -> false));
+    t "exponent forms lex as floats" (fun () ->
+        List.iter
+          (fun (src, want) ->
+            match toks src with
+            | [ Frontend.Token.FLOAT f; Frontend.Token.EOF ] ->
+              Alcotest.(check (float 1e-9)) src want f
+            | _ -> Alcotest.fail ("not a single FLOAT: " ^ src))
+          [
+            ("1e5", 1e5);
+            ("1e+16", 1e16);
+            ("1.5E-3", 1.5e-3);
+            ("2.5e2", 250.0);
+          ]);
+    t "exponent needs digits: 16elems stays INT + IDENT" (fun () ->
+        match toks "16elems" with
+        | [ Frontend.Token.INT 16; Frontend.Token.IDENT "elems";
+            Frontend.Token.EOF ] ->
+          ()
+        | _ -> Alcotest.fail "expected INT 16, IDENT elems");
+    t "float token printing is canonical" (fun () ->
+        Alcotest.(check string) "half" "0.5"
+          (Frontend.Token.to_string (Frontend.Token.FLOAT 0.5));
+        Alcotest.(check string) "integral" "3.0"
+          (Frontend.Token.to_string (Frontend.Token.FLOAT 3.0)));
+  ]
+
 let simple_src =
   {|
 filter Doubler pop 1 push 1 {
@@ -170,4 +212,4 @@ filter Rev pop 4 push 4 {
         | Error m -> Alcotest.fail m);
   ]
 
-let suite = lexer_tests @ parser_tests
+let suite = lexer_tests @ roundtrip_tests @ parser_tests

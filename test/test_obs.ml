@@ -554,6 +554,83 @@ let concurrency_tests =
         Obs.Trace.reset ());
   ]
 
+(* ---- Canon: the one float formatter behind every exporter ---------- *)
+
+(* export.ml (OpenMetrics), report.ml (JSON documents) and metrics.ml
+   (snapshot JSON) each used to carry their own formatter; they
+   diverged on -0.0, non-finite values and integers >= 1e15.  All
+   three now delegate to Obs.Canon, and on finite floats they must
+   agree to the byte. *)
+
+let interesting_floats =
+  [
+    0.0; -0.0; 1.0; -1.0; 0.5; -0.5; 1e-3; 0.1; 3.14159265358979312;
+    1e15; -1e15; 1e15 +. 2.0; 1.7976931348623157e308; 4.9e-324;
+    1234567890.0; 2.0000000000000004;
+  ]
+
+let canon_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        oneofl interesting_floats;
+        float;
+        map (fun (m, e) -> ldexp m e) (pair (float_bound_inclusive 1.0) (int_range (-60) 60));
+      ])
+
+let canon_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"all former call sites agree and round-trip"
+       ~count:500
+       (QCheck.make canon_gen)
+       (fun f ->
+         QCheck.assume (Float.is_finite f);
+         let s = Obs.Canon.finite f in
+         (* the three exporters agree with finite and with each other *)
+         Obs.Export.float_str f = s
+         && Obs.Report.num f = s
+         && Obs.Metrics.json_num f = s
+         && Obs.Canon.to_string f = s
+         (* and the rendering round-trips to the same bits *)
+         && Int64.bits_of_float (float_of_string s) = Int64.bits_of_float f))
+
+let canon_tests =
+  [
+    canon_prop;
+    t "canonical fixed points" (fun () ->
+        List.iter
+          (fun (f, want) ->
+            Alcotest.(check string)
+              (Printf.sprintf "canon %h" f)
+              want (Obs.Canon.finite f))
+          [
+            (0.0, "0.0");
+            (-0.0, "-0.0");
+            (42.0, "42.0");
+            (0.5, "0.5");
+            (0.1, "0.1");
+            (1e15, "1e+15");
+            (3.14159265358979312, "3.141592653589793");
+            (2.0000000000000004, "2.0000000000000004");
+          ]);
+    t "non-finite values per target format" (fun () ->
+        Alcotest.(check string) "json nan" "null" (Obs.Report.num Float.nan);
+        Alcotest.(check string) "json inf" "null"
+          (Obs.Report.num Float.infinity);
+        Alcotest.(check string) "metrics inf" "null"
+          (Obs.Metrics.json_num Float.neg_infinity);
+        Alcotest.(check string) "openmetrics nan" "NaN"
+          (Obs.Export.float_str Float.nan);
+        Alcotest.(check string) "openmetrics +inf" "+Inf"
+          (Obs.Export.float_str Float.infinity);
+        Alcotest.(check string) "openmetrics -inf" "-Inf"
+          (Obs.Export.float_str Float.neg_infinity);
+        Alcotest.(check string) "plain text" "inf"
+          (Obs.Canon.to_string Float.infinity);
+        Alcotest.(check string) "plain text nan" "nan"
+          (Obs.Canon.to_string Float.nan));
+  ]
+
 let suite =
   trace_tests @ metrics_tests @ export_tests @ concurrency_tests
-  @ smoke_tests
+  @ smoke_tests @ canon_tests
