@@ -269,10 +269,36 @@ let profile_cmd =
 let coarsen_arg =
   Arg.(value & opt int 8 & info [ "coarsening"; "n" ] ~doc:"SWPn coarsening factor.")
 
+let target_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("cuda", Kir.Ir.Cuda);
+             ("wgsl", Kir.Ir.Wgsl);
+             ("opencl", Kir.Ir.Opencl);
+             ("metal", Kir.Ir.Metal);
+           ])
+        Kir.Ir.Cuda
+    & info [ "target" ] ~docv:"BACKEND"
+        ~doc:
+          "Codegen backend: $(b,cuda) (default), $(b,wgsl), $(b,opencl) or \
+           $(b,metal).  The schedule is backend-independent; only the \
+           printed kernel changes.")
+
+(* The CUDA path stays on [Kernel_gen.program] for its codegen
+   metrics/trace span; bytes are pinned equal to the KIR printer by the
+   golden fixtures. *)
+let emit_target t c =
+  match t with
+  | Kir.Ir.Cuda -> Cudagen.Kernel_gen.program c
+  | t -> Kir.Backend.emit_compiled t c
+
 let compile_cmd =
   let doc = "Compile through the full pipeline of Fig. 5; print the schedule." in
-  let run spec n jobs deadline budget on_budget no_portfolio lns_rounds
-      metrics =
+  let run spec n target jobs deadline budget on_budget no_portfolio
+      lns_rounds metrics =
     with_jobs jobs @@ fun () ->
     with_coarsening n @@ fun () ->
     check_limits ~deadline ~budget @@ fun () ->
@@ -302,19 +328,34 @@ let compile_cmd =
                gt.Swp_core.Executor.ii_cycles gt.Swp_core.Executor.bus_cycles
                gt.Swp_core.Executor.kernel_cycles
                gt.Swp_core.Executor.cycles_per_steady;
-             0)
+             (* codegen for the selected target, structurally linted; the
+                kernel itself goes to `emit`, this is the health line *)
+             (match
+                Kir.Backend.emit_checked target (Kir.Lower.lower c)
+              with
+             | Ok src ->
+               Printf.printf "codegen: %s ok, %d lines\n"
+                 (Kir.Ir.target_name target)
+                 (List.length (String.split_on_char '\n' src));
+               0
+             | Error e ->
+               Printf.eprintf "error: codegen: %s\n" e;
+               1))
   in
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
-      const run $ spec_arg $ coarsen_arg $ jobs_arg $ deadline_arg
-      $ budget_arg $ on_budget_arg $ no_portfolio_arg $ lns_rounds_arg
-      $ metrics_arg)
+      const run $ spec_arg $ coarsen_arg $ target_arg $ jobs_arg
+      $ deadline_arg $ budget_arg $ on_budget_arg $ no_portfolio_arg
+      $ lns_rounds_arg $ metrics_arg)
 
 (* --- emit --- *)
 
 let emit_cmd =
-  let doc = "Emit the generated CUDA program on stdout (Sec. IV-C)." in
-  let run spec n metrics =
+  let doc =
+    "Emit the generated kernel program on stdout (Sec. IV-C); --target \
+     selects the backend."
+  in
+  let run spec n target metrics =
     with_coarsening n @@ fun () ->
     dump_metrics metrics
     @@ with_graph spec (fun g _ ->
@@ -323,11 +364,11 @@ let emit_cmd =
              Printf.eprintf "error: compile: %s\n" m;
              1
            | Ok c ->
-             print_string (Cudagen.Kernel_gen.program c);
+             print_string (emit_target target c);
              0)
   in
   Cmd.v (Cmd.info "emit" ~doc)
-    Term.(const run $ spec_arg $ coarsen_arg $ metrics_arg)
+    Term.(const run $ spec_arg $ coarsen_arg $ target_arg $ metrics_arg)
 
 (* --- run --- *)
 
@@ -865,6 +906,7 @@ let serve_options_of_request (r : Cache.Protocol.request) =
         budget = r.Cache.Protocol.budget;
         portfolio = r.Cache.Protocol.portfolio;
         lns_rounds = r.Cache.Protocol.lns_rounds;
+        target = r.Cache.Protocol.target;
       }
 
 let serve_stats_response service (req : Cache.Protocol.request) =

@@ -29,7 +29,7 @@ module T = Streamit.Types
 (* Bumped whenever the compiler can produce different artifacts for an
    unchanged (graph, options) pair; stale on-disk entries then miss
    instead of serving old bytes. *)
-let compiler_version = "streamit-gpu/8"
+let compiler_version = "streamit-gpu/9"
 
 (* --- canonical graph form --- *)
 
@@ -290,6 +290,10 @@ type options = {
   budget : int option;
   portfolio : bool option;
   lns_rounds : int option;
+  target : Kir.Ir.target;
+      (** codegen backend the rendered kernel artifact is printed for;
+          part of the key because the "kernel" section of an entry is a
+          function of it — a WGSL request must never alias a CUDA one *)
 }
 
 let default_options =
@@ -301,12 +305,14 @@ let default_options =
     budget = None;
     portfolio = None;
     lns_rounds = None;
+    target = Kir.Ir.Cuda;
   }
 
 let options_string (o : options) =
   let opt f = function None -> "none" | Some v -> f v in
   Printf.sprintf
-    "arch=%s sms=%d coarsening=%d scheme=%s budget=%s portfolio=%s lns=%s"
+    "arch=%s sms=%d coarsening=%d scheme=%s budget=%s portfolio=%s lns=%s \
+     target=%s"
     o.arch.Gpusim.Arch.name
     (Option.value o.num_sms ~default:o.arch.Gpusim.Arch.num_sms)
     o.coarsening
@@ -316,6 +322,7 @@ let options_string (o : options) =
     (opt string_of_int o.budget)
     (opt string_of_bool o.portfolio)
     (opt string_of_int o.lns_rounds)
+    (Kir.Ir.target_name o.target)
 
 let hash s = Digest.to_hex (Digest.string s)
 

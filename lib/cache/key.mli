@@ -37,6 +37,9 @@ type options = {
   budget : int option;
   portfolio : bool option;
   lns_rounds : int option;
+  target : Kir.Ir.target;
+      (** codegen backend for the rendered kernel artifact; part of the
+          key so requests for different targets never alias *)
 }
 
 val default_options : options

@@ -13,8 +13,12 @@
       "src": "<inline .str source>",               //   required for compile
       "num_sms": N, "coarsening": N, "scheme": "SWP"|"SWPNC",
       "budget": N, "portfolio": bool, "lns_rounds": N,
+      "target": "cuda"|"wgsl"|"opencl"|"metal",    // default "cuda"
       "warm": bool,                                // default true
-      "artifacts": ["schedule","layout","cuda","report"]}  // default none
+      "artifacts": ["schedule","layout","kernel","report"]}  // default none
+
+   "cuda" is accepted as a legacy alias for the "kernel" artifact; both
+   select the entry's kernel source, printed for the request's target.
 
    Response: {"id": ..., "status": "ok"|"error", and for ok compiles
    "cache": "hit"|"miss"|"incremental", "key", "ii", "quality",
@@ -198,6 +202,7 @@ type request = {
   budget : int option;
   portfolio : bool option;
   lns_rounds : int option;
+  target : Kir.Ir.target;
   warm : bool;
   artifacts : string list;
 }
@@ -226,6 +231,15 @@ let request_of_json doc =
           | Some other -> Error (Printf.sprintf "unknown scheme %S" other)
         in
         Result.bind scheme (fun scheme ->
+            let target =
+              match field doc "target" mem_str with
+              | None -> Ok Kir.Ir.Cuda
+              | Some s -> (
+                match Kir.Ir.target_of_string s with
+                | Some t -> Ok t
+                | None -> Error (Printf.sprintf "unknown target %S" s))
+            in
+            Result.bind target (fun target ->
             let artifacts =
               match J.member "artifacts" doc with
               | Some (J.Arr xs) ->
@@ -234,8 +248,8 @@ let request_of_json doc =
                     Result.bind acc (fun acc ->
                         match x with
                         | J.Str
-                            (("schedule" | "layout" | "cuda" | "report") as a)
-                          ->
+                            (("schedule" | "layout" | "kernel" | "cuda"
+                             | "report") as a) ->
                           Ok (a :: acc)
                         | J.Str other ->
                           Error (Printf.sprintf "unknown artifact %S" other)
@@ -259,9 +273,10 @@ let request_of_json doc =
                 budget = field doc "budget" mem_int;
                 portfolio = field doc "portfolio" mem_bool;
                 lns_rounds = field doc "lns_rounds" mem_int;
+                target;
                 warm = Option.value (field doc "warm" mem_bool) ~default:true;
                 artifacts;
-              })))
+              }))))
   | _ -> Error "request must be a JSON object"
 
 let parse_request line =
@@ -303,7 +318,9 @@ let ok_response req (e : Store.entry) (outcome : Service.outcome) =
          ]
        @ artifact "schedule" e.Store.schedule
        @ artifact "layout" e.Store.layout
-       @ artifact "cuda" e.Store.cuda
+       @ artifact "kernel" e.Store.kernel
+       (* legacy alias: pre-v2 clients ask for "cuda" *)
+       @ artifact "cuda" e.Store.kernel
        @ artifact "report" e.Store.report))
 
 let shutdown_response req =

@@ -22,10 +22,12 @@ type request = {
   budget : int option;
   portfolio : bool option;
   lns_rounds : int option;
+  target : Kir.Ir.target;  (** codegen backend, default [Cuda] *)
   warm : bool;
   artifacts : string list;
-      (** subset of ["schedule"; "layout"; "cuda"; "report"] to inline
-          in the response *)
+      (** subset of ["schedule"; "layout"; "kernel"; "cuda"; "report"]
+          to inline in the response ("cuda" is a legacy alias for
+          "kernel") *)
 }
 
 val request_of_json : Obs.Report.t -> (request, string) result

@@ -96,7 +96,7 @@ let schedule_text (c : Compile.compiled) =
   Format.asprintf "%a" (Swp_core.Swp_schedule.pp c.Compile.graph)
     c.Compile.schedule
 
-let render key (c : Compile.compiled) =
+let render key ~(target : Kir.Ir.target) (c : Compile.compiled) =
   {
     Store.key;
     ii = c.Compile.schedule.Swp_core.Swp_schedule.ii;
@@ -104,7 +104,14 @@ let render key (c : Compile.compiled) =
     signature = Swp_core.Report.schedule_signature c;
     schedule = schedule_text c;
     layout = layout_text c;
-    cuda = Cudagen.Kernel_gen.program c;
+    kernel =
+      (* The CUDA path goes through [Kernel_gen.program] for the codegen
+         metrics/trace span it carries; the bytes are identical to
+         [Kir.Backend.emit_compiled Cuda c] (pinned by the golden
+         fixtures). *)
+      (match target with
+      | Kir.Ir.Cuda -> Cudagen.Kernel_gen.program c
+      | t -> Kir.Backend.emit_compiled t c);
     (* No program name (requests may name the same graph differently)
        and no timings: the report must be a pure function of the key. *)
     report = Swp_core.Report.to_json (Swp_core.Report.assemble c);
@@ -186,7 +193,7 @@ let get ?(warm = true) t graph (o : Key.options) =
       let result =
         match run_compile t o ?seed_ii:hint (Key.canonical_graph graph) with
         | Ok c ->
-          let e = render key c in
+          let e = render key ~target:o.Key.target c in
           (* A Degraded result produced under a warm-start hint may
              have been shaped by it (the fallback ramp seeds from the
              hint); refuse to cache it so a later cold compile of the

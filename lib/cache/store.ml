@@ -14,7 +14,10 @@ type entry = {
   signature : string;  (** {!Swp_core.Report.schedule_signature} *)
   schedule : string;
   layout : string;
-  cuda : string;
+  kernel : string;
+      (** printed kernel source for the key's codegen target — the
+          target is part of {!Key.options}, so one digest always maps
+          to one backend's bytes *)
   report : string;  (** compact provenance JSON, no timings *)
 }
 
@@ -44,10 +47,13 @@ let create ?dir ?(capacity = 256) () =
 
 (* --- entry (de)serialization: explicit lengths, byte-exact --- *)
 
-let format_magic = "streamit-cache-entry v1"
+(* v2: the "cuda" section became target-generic "kernel"; v1 entries
+   fail the magic check and read as misses, which is the correct
+   behaviour for a format change. *)
+let format_magic = "streamit-cache-entry v2"
 
 let serialize (e : entry) =
-  let b = Buffer.create (String.length e.cuda + 1024) in
+  let b = Buffer.create (String.length e.kernel + 1024) in
   Buffer.add_string b (format_magic ^ "\n");
   Buffer.add_string b (Printf.sprintf "key %s\n" e.key);
   Buffer.add_string b (Printf.sprintf "ii %d\n" e.ii);
@@ -61,7 +67,7 @@ let serialize (e : entry) =
   in
   section "schedule" e.schedule;
   section "layout" e.layout;
-  section "cuda" e.cuda;
+  section "kernel" e.kernel;
   section "report" e.report;
   Buffer.contents b
 
@@ -110,9 +116,9 @@ let deserialize s =
   let signature = field "signature" in
   let schedule = section "schedule" in
   let layout = section "layout" in
-  let cuda = section "cuda" in
+  let kernel = section "kernel" in
   let report = section "report" in
-  { key; ii; quality; signature; schedule; layout; cuda; report }
+  { key; ii; quality; signature; schedule; layout; kernel; report }
 
 (* --- disk tier --- *)
 

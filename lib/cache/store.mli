@@ -13,7 +13,8 @@ type entry = {
   signature : string;
   schedule : string;
   layout : string;
-  cuda : string;
+  kernel : string;
+      (** kernel source printed for the key's codegen target *)
   report : string;
 }
 

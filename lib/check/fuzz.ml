@@ -1,9 +1,10 @@
 (* Differential fuzzing driver.
 
    For each seed: generate a stream ({!Gen}), compile it through the full
-   pipeline, check the structural invariants ({!Invariants}), and run the
-   three-way differential oracle ({!Oracle}).  Failures are shrunk
-   ({!Shrink}) under the same property before being reported.
+   pipeline, check the structural invariants ({!Invariants}), run the
+   four-way differential oracle ({!Oracle}), and emit + structurally lint
+   every codegen backend ({!Kir.Backend}, {!Kir.Lint}).  Failures are
+   shrunk ({!Shrink}) under the same property before being reported.
 
    Programs the pipeline legitimately declines to compile (infeasible
    configuration, II search giving up) are counted as skips, as are
@@ -92,7 +93,28 @@ let check_stream ?(iters = 2) ?num_sms ?solver ?max_firings ~input s =
             | Interp.Firing_violation m -> Error ("interp: " ^ m))
           with
           | Error m -> Error m
-          | Ok () -> Ok Pass)
+          | Ok () -> (
+            (* all four backends must print structurally sound kernels
+               for the program the oracle just validated *)
+            match
+              (try
+                 let p = Kir.Lower.lower c in
+                 let rec lint = function
+                   | [] -> Ok ()
+                   | t :: rest -> (
+                     match Kir.Backend.emit_checked t p with
+                     | Ok _ -> lint rest
+                     | Error e -> Error ("lint: " ^ e))
+                 in
+                 lint Kir.Ir.all_targets
+               with
+              | Kir.Ir.Unsupported m -> Error ("lint: unsupported: " ^ m)
+              | Failure m -> Error ("crash: " ^ m)
+              | Invalid_argument m -> Error ("crash: " ^ m)
+              | Assert_failure _ -> Error "crash: assertion failure")
+            with
+            | Error m -> Error m
+            | Ok () -> Ok Pass))
       end)
 
 let check_outcome ?iters ?num_sms ?solver ?max_firings ~input s =

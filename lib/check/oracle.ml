@@ -1,6 +1,6 @@
-(* Three-way differential oracle.
+(* Four-way differential oracle.
 
-   One compiled program, three executions that share nothing but the
+   One compiled program, four executions that share nothing but the
    work-function evaluator:
 
    - {!Streamit.Interp}: the FIFO reference interpreter (semantic ground
@@ -8,7 +8,11 @@
    - {!Swp_core.Funcsim}: the device functional simulator — ring buffers,
      shuffled layouts (eqs. (9)-(11)), staging predicates;
    - {!Replay}: flat token-indexed channels executed in global schedule
-     time order with the (8a)/(8b) visibility rules enforced per read.
+     time order with the (8a)/(8b) visibility rules enforced per read;
+   - {!Kir.Eval}: direct execution of the lowered portable kernel IR —
+     the same program every backend printer renders, so a lowering bug
+     (dropped buffer, wrong fire order, bad index map) diverges here
+     even when the schedule itself is sound.
 
    Output streams must agree token-for-token, bit-for-bit: all legs
    evaluate each firing with the same expression evaluator in the same
@@ -69,14 +73,29 @@ let differential (c : Swp_core.Compile.compiled) ~input ~iters =
     | Replay.Violation m -> Error ("replay: " ^ m)
     | Failure m -> Error ("replay: " ^ m)
   in
-  match (funcsim, replay) with
-  | Error m, _ | _, Error m -> Error m
-  | Ok funcsim, Ok replay -> (
+  let kir_eval =
+    try
+      Ok (Array.of_list (Kir.Eval.run (Kir.Lower.lower c) ~input ~iters))
+    with
+    | Kir.Eval.Uninitialized_read m ->
+      Error ("kir-eval: uninitialized read: " ^ m)
+    | Kir.Ir.Unsupported m -> Error ("kir-eval: unsupported: " ^ m)
+    | Failure m -> Error ("kir-eval: " ^ m)
+  in
+  match (funcsim, replay, kir_eval) with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m -> Error m
+  | Ok funcsim, Ok replay, Ok kir_eval -> (
     match
       compare_streams ~ref_name:"interpreter" ~ref_tokens:interp
         ~name:"funcsim" ~tokens:funcsim
     with
     | Error m -> Error m
-    | Ok () ->
-      compare_streams ~ref_name:"interpreter" ~ref_tokens:interp ~name:"replay"
-        ~tokens:replay)
+    | Ok () -> (
+      match
+        compare_streams ~ref_name:"interpreter" ~ref_tokens:interp
+          ~name:"replay" ~tokens:replay
+      with
+      | Error m -> Error m
+      | Ok () ->
+        compare_streams ~ref_name:"interpreter" ~ref_tokens:interp
+          ~name:"kir-eval" ~tokens:kir_eval))

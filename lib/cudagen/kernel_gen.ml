@@ -1,129 +1,19 @@
+(* CUDA program assembly — now a thin driver over the portable kernel
+   IR: [Kir.Lower] turns the compiled schedule into a {!Kir.Ir.program}
+   and [Kir.Print_cuda] prints it.  The output is byte-identical to the
+   pre-KIR one-pass generator (pinned by test/fixtures/codegen/*.cu).
+
+   This module keeps the historical API surface (splitter/joiner
+   conversion, [swp_kernel], [profile_driver], [program]) plus the
+   codegen observability counters. *)
+
 open Streamit
 
-let splitter_filter (sp : Ast.splitter) branches =
-  match sp with
-  | Ast.Duplicate ->
-    let body =
-      Kernel.Build.(
-        [ let_ "x" pop ]
-        @ List.init branches (fun _ -> push (v "x")))
-    in
-    Kernel.make_filter ~name:"duplicate_splitter" ~pop:1 ~push:branches body
-  | Ast.Round_robin ws ->
-    let sum = List.fold_left ( + ) 0 ws in
-    let body = List.init sum (fun _ -> Kernel.Push Kernel.Pop) in
-    Kernel.make_filter ~name:"rr_splitter" ~pop:sum ~push:sum body
-
-let joiner_filter ws =
-  let sum = List.fold_left ( + ) 0 ws in
-  let body = List.init sum (fun _ -> Kernel.Push Kernel.Pop) in
-  Kernel.make_filter ~name:"rr_joiner" ~pop:sum ~push:sum body
-
-let filter_of_node (node : Graph.node) =
-  match node.Graph.kind with
-  | Graph.NFilter f -> Kernel.rename (fun x -> x) { f with name = node.Graph.name }
-  | Graph.NSplitter (sp, k) ->
-    { (splitter_filter sp k) with Kernel.name = node.Graph.name }
-  | Graph.NJoiner ws -> { (joiner_filter ws) with Kernel.name = node.Graph.name }
-
-let style_of (c : Swp_core.Compile.compiled) =
-  match c.Swp_core.Compile.scheme with
-  | Swp_core.Compile.Swp_coalesced -> Emit.Coalesced_indices
-  | Swp_core.Compile.Swp_non_coalesced -> Emit.Natural_indices
-
-let buffer_name (e : Graph.edge) =
-  Printf.sprintf "buf_%d_%d__%d_%d" e.Graph.src e.Graph.src_port e.Graph.dst
-    e.Graph.dst_port
-
-let work_functions c =
-  let g = c.Swp_core.Compile.graph in
-  let style = style_of c in
-  let buf = Buffer.create 4096 in
-  Array.iter
-    (fun node ->
-      Buffer.add_string buf (Emit.c_of_filter ~style (filter_of_node node));
-      Buffer.add_char buf '\n')
-    g.Graph.nodes;
-  Buffer.contents buf
+let splitter_filter = Kir.Lower.splitter_filter
+let joiner_filter = Kir.Lower.joiner_filter
 
 let swp_kernel (c : Swp_core.Compile.compiled) =
-  let g = c.Swp_core.Compile.graph in
-  let sched = c.Swp_core.Compile.schedule in
-  let cfg = c.Swp_core.Compile.config in
-  let buf = Buffer.create 8192 in
-  Buffer.add_string buf (work_functions c);
-  let stages = Swp_core.Swp_schedule.stages sched in
-  (* buffer parameters: one pointer per channel plus the I/O streams *)
-  let params =
-    (List.map
-       (fun (e : Graph.edge) -> Printf.sprintf "float* %s" (buffer_name e))
-       g.Graph.edges
-    @ [ "const float* stream_in"; "float* stream_out"; "int iterations" ])
-    |> String.concat ", "
-  in
-  Buffer.add_string buf
-    (Printf.sprintf "__global__ void swp_kernel(%s)\n{\n" params);
-  Buffer.add_string buf "  int tid = threadIdx.x;\n";
-  Buffer.add_string buf "  int sm = blockIdx.x;\n";
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  /* staging predicates, one per pipeline stage (depth %d) */\n\
-       \  __shared__ int stage_on[%d];\n\
-       \  if (tid == 0) for (int s = 0; s < %d; s++) stage_on[s] = 0;\n\
-       \  __syncthreads();\n"
-       stages stages stages);
-  Buffer.add_string buf
-    (Printf.sprintf
-       "  for (int it = 0; it < iterations + %d; it++) {\n\
-       \    if (tid == 0) { for (int s = %d; s > 0; s--) stage_on[s] = \
-        stage_on[s-1]; stage_on[0] = (it < iterations); }\n\
-       \    __syncthreads();\n"
-       stages (stages - 1));
-  Buffer.add_string buf "    switch (sm) {\n";
-  let by_sm = Array.make sched.Swp_core.Swp_schedule.num_sms [] in
-  List.iter
-    (fun (e : Swp_core.Swp_schedule.entry) -> by_sm.(e.sm) <- e :: by_sm.(e.sm))
-    sched.Swp_core.Swp_schedule.entries;
-  Array.iteri
-    (fun sm entries ->
-      if entries <> [] then begin
-        Buffer.add_string buf (Printf.sprintf "    case %d: {\n" sm);
-        let ordered =
-          List.sort
-            (fun (a : Swp_core.Swp_schedule.entry) b -> compare a.o b.o)
-            entries
-        in
-        List.iter
-          (fun (e : Swp_core.Swp_schedule.entry) ->
-            let v = e.inst.Swp_core.Instances.node in
-            let node = Graph.node g v in
-            let f = filter_of_node node in
-            let in_buf =
-              match Graph.in_edges g v with
-              | edge :: _ -> buffer_name edge
-              | [] -> "stream_in"
-            in
-            let out_buf =
-              match Graph.out_edges g v with
-              | edge :: _ -> buffer_name edge
-              | [] -> "stream_out"
-            in
-            Buffer.add_string buf
-              (Printf.sprintf
-                 "      /* (%s, k=%d) o=%d f=%d threads=%d */\n\
-                  \      if (stage_on[%d] && tid < %d)\n\
-                  \        %s(%s + region_%d(it - %d), %s + region_%d(it - \
-                  %d), tid);\n"
-                 node.Graph.name e.inst.Swp_core.Instances.k e.o e.f
-                 cfg.Swp_core.Select.threads.(v) e.f
-                 cfg.Swp_core.Select.threads.(v) (Emit.work_fn_name f) in_buf
-                 v e.f out_buf v e.f))
-          ordered;
-        Buffer.add_string buf "      break; }\n"
-      end)
-    by_sm;
-  Buffer.add_string buf "    }\n    /* II boundary */\n  }\n}\n";
-  Buffer.contents buf
+  Kir.Print_cuda.kernel (Kir.Lower.lower c)
 
 let profile_driver (f : Kernel.filter) ~numfirings =
   let buf = Buffer.create 2048 in
@@ -169,73 +59,7 @@ let m_filters = Obs.Metrics.counter "cudagen.filters"
 let program (c : Swp_core.Compile.compiled) =
   Obs.Trace.with_span "codegen" @@ fun () ->
   let g = c.Swp_core.Compile.graph in
-  let sizing = c.Swp_core.Compile.sizing in
-  let buf = Buffer.create 16384 in
-  (* Provenance header: every artifact traces back to the schedule
-     decision that produced it.  Deterministic fields only — the header
-     must not break byte-identical serial-vs-parallel codegen. *)
-  let stats = c.Swp_core.Compile.search_stats in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "/* streamit_gpu artifact\n\
-       \ * quality: %s (%s)\n\
-       \ * II: %d (lower bound %d, binding %s)\n\
-       \ * schedule signature: %s\n\
-       \ */\n"
-       (Swp_core.Compile.quality_name c.Swp_core.Compile.quality)
-       (Swp_core.Compile.rationale_name
-          c.Swp_core.Compile.prov.Swp_core.Compile.rationale)
-       stats.Swp_core.Ii_search.achieved_ii
-       stats.Swp_core.Ii_search.lower_bound
-       stats.Swp_core.Ii_search.bounds.Swp_core.Mii.binding
-       (Swp_core.Report.schedule_signature c));
-  Buffer.add_string buf "#include <cuda_runtime.h>\n#include <cstdio>\n\n";
-  (* per-node region-offset helpers: ring of (stages+1) steady-state
-     regions indexed by iteration *)
-  let stages = Swp_core.Swp_schedule.stages c.Swp_core.Compile.schedule in
-  Array.iter
-    (fun (node : Graph.node) ->
-      let v = node.Graph.id in
-      let tokens =
-        match Graph.out_edges g v with
-        | e :: _ ->
-          Swp_core.Buffer_layout.steady_tokens g c.Swp_core.Compile.config e
-        | [] -> 0
-      in
-      Buffer.add_string buf
-        (Printf.sprintf
-           "static __device__ inline int region_%d(int it) { return ((it %% \
-            %d) + %d) %% %d * %d; }\n"
-           v (stages + 1) (stages + 1) (stages + 1) tokens))
-    g.Graph.nodes;
-  Buffer.add_char buf '\n';
-  Buffer.add_string buf (swp_kernel c);
-  (* host side *)
-  Buffer.add_string buf "\nint main()\n{\n";
-  List.iter
-    (fun ((e : Graph.edge), bytes) ->
-      Buffer.add_string buf
-        (Printf.sprintf "  float* %s; cudaMalloc(&%s, %d);\n" (buffer_name e)
-           (buffer_name e) bytes))
-    sizing.Swp_core.Buffer_layout.per_edge;
-  Buffer.add_string buf
-    "  float *stream_in, *stream_out;\n\
-     \  /* input shuffled on the host per eq. (9) before upload */\n\
-     \  cudaMalloc(&stream_in, 1 << 20);\n\
-     \  cudaMalloc(&stream_out, 1 << 20);\n";
-  let args =
-    (List.map
-       (fun ((e : Graph.edge), _) -> buffer_name e)
-       sizing.Swp_core.Buffer_layout.per_edge
-    @ [ "stream_in"; "stream_out"; "1024" ])
-    |> String.concat ", "
-  in
-  Buffer.add_string buf
-    (Printf.sprintf "  swp_kernel<<<%d, %d>>>(%s);\n"
-       c.Swp_core.Compile.schedule.Swp_core.Swp_schedule.num_sms
-       c.Swp_core.Compile.config.Swp_core.Select.block_threads args);
-  Buffer.add_string buf "  cudaDeviceSynchronize();\n  return 0;\n}\n";
-  let src = Buffer.contents buf in
+  let src = Kir.Print_cuda.print (Kir.Lower.lower c) in
   let lines = String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 src in
   Obs.Metrics.add m_lines lines;
   Obs.Metrics.add m_filters (Array.length g.Graph.nodes);

@@ -1,0 +1,19 @@
+(* Backend dispatch: one lowered program, four printers. *)
+
+let emit (t : Ir.target) (p : Ir.program) =
+  match t with
+  | Ir.Cuda -> Print_cuda.print p
+  | Ir.Wgsl -> Print_wgsl.print p
+  | Ir.Opencl -> Print_cfam.print Print_cfam.Opencl p
+  | Ir.Metal -> Print_cfam.print Print_cfam.Metal p
+
+(* Lower once, print one target. *)
+let emit_compiled (t : Ir.target) (c : Swp_core.Compile.compiled) =
+  emit t (Lower.lower c)
+
+(* Emit and structurally lint in one step. *)
+let emit_checked (t : Ir.target) (p : Ir.program) =
+  let src = emit t p in
+  match Lint.check t p src with
+  | Ok () -> Ok src
+  | Error e -> Error (Printf.sprintf "%s: %s" (Ir.target_name t) e)

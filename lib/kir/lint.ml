@@ -1,0 +1,288 @@
+(* Per-backend structural linter.
+
+   No GPU toolchain exists in CI, so the emitted kernels can never be
+   compiled there.  This linter is the cheap stand-in: it rejects the
+   classes of printer bugs that survive the KIR-eval oracle — the
+   oracle checks the lowering, not the printed text:
+
+   - unbalanced braces / parens / brackets (after stripping comments
+     and literals);
+   - program-level names (work functions, region helpers, channel
+     buffers) used before their declaration, or declared more than
+     once (the gensym-collision class);
+   - a barrier inside [tid]-dependent control flow — fatal on WGSL
+     (uniform-control-flow is a hard validation rule) and a deadlock
+     on the other three, so it is enforced for every target;
+   - the kernel must contain at least one barrier (the staging
+     predicate handoff cannot be correct without one). *)
+
+let barrier_token = function
+  | Ir.Cuda -> "__syncthreads"
+  | Ir.Wgsl -> "workgroupBarrier"
+  | Ir.Opencl -> "barrier"
+  | Ir.Metal -> "threadgroup_barrier"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+(* Blank out comments and string/char literals, preserving length and
+   newlines so positions stay meaningful. *)
+let strip src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let i = ref 0 in
+  let blank j = if Bytes.get out j <> '\n' then Bytes.set out j ' ' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        blank !i;
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      blank !i;
+      blank (!i + 1);
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && !i + 1 < n && src.[!i + 1] = '/' then begin
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2;
+          closed := true
+        end
+        else begin
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      blank !i;
+      incr i;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\\' && !i + 1 < n then begin
+          blank !i;
+          blank (!i + 1);
+          i := !i + 2
+        end
+        else if src.[!i] = quote then begin
+          blank !i;
+          incr i;
+          closed := true
+        end
+        else begin
+          blank !i;
+          incr i
+        end
+      done
+    end
+    else incr i
+  done;
+  Bytes.to_string out
+
+(* All positions where [name] occurs as a whole identifier. *)
+let word_occurrences src name =
+  let n = String.length src and m = String.length name in
+  let acc = ref [] in
+  let i = ref 0 in
+  while !i + m <= n do
+    if
+      String.sub src !i m = name
+      && ((!i = 0) || not (is_ident_char src.[!i - 1]))
+      && (!i + m = n || not (is_ident_char src.[!i + m]))
+    then acc := !i :: !acc;
+    incr i
+  done;
+  List.rev !acc
+
+let find_sub src pat =
+  let n = String.length src and m = String.length pat in
+  let rec go i = if i + m > n then None
+    else if String.sub src i m = pat then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let check_balance src =
+  let stack = ref [] in
+  let err = ref None in
+  String.iteri
+    (fun pos c ->
+      if !err = None then
+        match c with
+        | '{' | '(' | '[' -> stack := (c, pos) :: !stack
+        | '}' | ')' | ']' -> (
+          let opener = match c with '}' -> '{' | ')' -> '(' | _ -> '[' in
+          match !stack with
+          | (o, _) :: rest when o = opener -> stack := rest
+          | _ -> err := Some (Printf.sprintf "unbalanced '%c' at byte %d" c pos))
+        | _ -> ())
+    src;
+  match (!err, !stack) with
+  | Some e, _ -> Error e
+  | None, (o, pos) :: _ ->
+    Error (Printf.sprintf "unclosed '%c' opened at byte %d" o pos)
+  | None, [] -> Ok ()
+
+(* Raw (non-word-bounded) substring occurrence positions. *)
+let sub_occurrences src pat =
+  let n = String.length src and m = String.length pat in
+  let acc = ref [] in
+  for i = 0 to n - m do
+    if String.sub src i m = pat then acc := i :: !acc
+  done;
+  List.rev !acc
+
+(* [name] must first occur inside its declaration [patterns] (each
+   pattern contains the name); with [unique], a second
+   declaration-shaped occurrence is a name collision. *)
+let check_decl ?(unique = true) src ~name ~patterns =
+  let occ = word_occurrences src name in
+  let decls =
+    List.concat_map
+      (fun pat ->
+        match find_sub pat name with
+        | Some off -> List.map (fun i -> i + off) (sub_occurrences src pat)
+        | None -> [])
+      patterns
+  in
+  match (occ, decls) with
+  | [], _ -> Error (Printf.sprintf "%s never appears" name)
+  | _, [] -> Error (Printf.sprintf "%s has no declaration" name)
+  | first :: _, _ ->
+    if not (List.mem first decls) then
+      Error (Printf.sprintf "%s used before its declaration" name)
+    else if unique && List.length decls > 1 then
+      Error (Printf.sprintf "%s declared %d times" name (List.length decls))
+    else Ok ()
+
+(* Reject a barrier under tid-dependent control flow.  Tracks the brace
+   stack; a brace opened by an if/for/while header whose text mentions
+   [tid] (and any else-branch of such an if) is non-uniform. *)
+let check_barrier_uniformity src ~barrier =
+  let n = String.length src in
+  let stack = ref [] in
+  let last_popped = ref false in
+  let err = ref None in
+  let i = ref 0 in
+  let starts_word j w =
+    let m = String.length w in
+    j + m <= n
+    && String.sub src j m = w
+    && (j = 0 || not (is_ident_char src.[j - 1]))
+    && (j + m = n || not (is_ident_char src.[j + m]))
+  in
+  while !i < n && !err = None do
+    if starts_word !i "if" || starts_word !i "for" || starts_word !i "while"
+    then begin
+      (* header runs to the '{' or, for brace-less bodies, the ';' *)
+      let j = ref !i in
+      while !j < n && src.[!j] <> '{' && src.[!j] <> ';' do
+        incr j
+      done;
+      let header = String.sub src !i (!j - !i) in
+      let tid_dep = word_occurrences header "tid" <> [] in
+      if !j < n && src.[!j] = '{' then begin
+        stack := tid_dep :: !stack;
+        i := !j + 1
+      end
+      else begin
+        (* brace-less body: treat the statement itself as guarded *)
+        (if tid_dep then
+           let body = String.sub src !i (!j - !i) in
+           if word_occurrences body barrier <> [] then
+             err :=
+               Some
+                 (Printf.sprintf "%s under tid-dependent guard at byte %d"
+                    barrier !i));
+        i := !j + 1
+      end
+    end
+    else if starts_word !i "else" then begin
+      (* else-branch inherits the popped if's uniformity *)
+      let j = ref (!i + 4) in
+      while !j < n && (src.[!j] = ' ' || src.[!j] = '\n') do
+        incr j
+      done;
+      if !j < n && src.[!j] = '{' then begin
+        stack := !last_popped :: !stack;
+        i := !j + 1
+      end
+      else i := !i + 4
+    end
+    else if src.[!i] = '{' then begin
+      stack := false :: !stack;
+      incr i
+    end
+    else if src.[!i] = '}' then begin
+      (match !stack with
+      | top :: rest ->
+        last_popped := top;
+        stack := rest
+      | [] -> ());
+      incr i
+    end
+    else if starts_word !i barrier then begin
+      if List.exists (fun g -> g) !stack then
+        err :=
+          Some
+            (Printf.sprintf "%s inside tid-dependent control flow at byte %d"
+               barrier !i);
+      i := !i + String.length barrier
+    end
+    else incr i
+  done;
+  match !err with Some e -> Error e | None -> Ok ()
+
+let decl_patterns target kind name =
+  match (target, kind) with
+  | Ir.Wgsl, `Fn -> [ "fn " ^ name ^ "(" ]
+  | (Ir.Cuda | Ir.Opencl | Ir.Metal), `Fn -> [ "void " ^ name ^ "(" ]
+  | Ir.Wgsl, `Region -> [ "fn " ^ name ^ "(" ]
+  | (Ir.Cuda | Ir.Opencl | Ir.Metal), `Region -> [ "int " ^ name ^ "(" ]
+  | Ir.Wgsl, `Buffer -> [ "> " ^ name ^ ":" ]
+  | Ir.Cuda, `Buffer -> [ "float* " ^ name ]
+  | Ir.Opencl, `Buffer -> [ "__global float* " ^ name ]
+  | Ir.Metal, `Buffer -> [ "device float* " ^ name ]
+
+let check (target : Ir.target) (p : Ir.program) src =
+  let s = strip src in
+  let ( let* ) = Result.bind in
+  let* () = check_balance s in
+  let* () =
+    if word_occurrences s (barrier_token target) = [] then
+      Error (Printf.sprintf "no %s in kernel" (barrier_token target))
+    else Ok ()
+  in
+  let* () = check_barrier_uniformity s ~barrier:(barrier_token target) in
+  let rec all = function
+    | [] -> Ok ()
+    | (name, kind) :: rest ->
+      (* the CUDA/Metal host code re-declares buffer names (cudaMalloc /
+         newBuffer), so uniqueness is only enforced for functions *)
+      let unique = kind <> `Buffer in
+      let* () =
+        check_decl ~unique s ~name ~patterns:(decl_patterns target kind name)
+      in
+      all rest
+  in
+  let names =
+    List.map (fun (w : Ir.work_fn) -> (w.Ir.w_name, `Fn)) p.Ir.work_fns
+    @ List.map
+        (fun (v, _) -> (Printf.sprintf "region_%d" v, `Region))
+        p.Ir.regions
+    @ List.map
+        (fun (b : Ir.buffer) -> (b.Ir.b_name, `Buffer))
+        (Array.to_list p.Ir.buffers)
+  in
+  all names
+
+let check_err target p src =
+  match check target p src with
+  | Ok () -> Ok ()
+  | Error e -> Error (Printf.sprintf "%s: %s" (Ir.target_name target) e)

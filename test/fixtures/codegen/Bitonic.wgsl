@@ -1,0 +1,815 @@
+// streamit_gpu artifact (wgsl)
+// quality: heuristic (completed)
+// II: 9011 (lower bound 9011, binding no_wrap)
+// schedule signature: 247dd07badbc6fc1ccf635d65da9d027
+// dispatch: 16 workgroups x 512 threads; host loops handled by the iterations uniform
+
+@group(0) @binding(0) var<storage, read_write> buf_0_0__2_0: array<f32>;
+@group(0) @binding(1) var<storage, read_write> buf_2_0__1_0: array<f32>;
+@group(0) @binding(2) var<storage, read_write> buf_0_1__3_0: array<f32>;
+@group(0) @binding(3) var<storage, read_write> buf_3_0__1_1: array<f32>;
+@group(0) @binding(4) var<storage, read_write> buf_0_2__4_0: array<f32>;
+@group(0) @binding(5) var<storage, read_write> buf_4_0__1_2: array<f32>;
+@group(0) @binding(6) var<storage, read_write> buf_0_3__5_0: array<f32>;
+@group(0) @binding(7) var<storage, read_write> buf_5_0__1_3: array<f32>;
+@group(0) @binding(8) var<storage, read_write> buf_6_0__8_0: array<f32>;
+@group(0) @binding(9) var<storage, read_write> buf_8_0__7_0: array<f32>;
+@group(0) @binding(10) var<storage, read_write> buf_6_1__9_0: array<f32>;
+@group(0) @binding(11) var<storage, read_write> buf_9_0__7_1: array<f32>;
+@group(0) @binding(12) var<storage, read_write> buf_10_0__12_0: array<f32>;
+@group(0) @binding(13) var<storage, read_write> buf_12_0__11_0: array<f32>;
+@group(0) @binding(14) var<storage, read_write> buf_10_1__13_0: array<f32>;
+@group(0) @binding(15) var<storage, read_write> buf_13_0__11_1: array<f32>;
+@group(0) @binding(16) var<storage, read_write> buf_10_2__14_0: array<f32>;
+@group(0) @binding(17) var<storage, read_write> buf_14_0__11_2: array<f32>;
+@group(0) @binding(18) var<storage, read_write> buf_10_3__15_0: array<f32>;
+@group(0) @binding(19) var<storage, read_write> buf_15_0__11_3: array<f32>;
+@group(0) @binding(20) var<storage, read_write> buf_17_0__19_0: array<f32>;
+@group(0) @binding(21) var<storage, read_write> buf_19_0__18_0: array<f32>;
+@group(0) @binding(22) var<storage, read_write> buf_17_1__20_0: array<f32>;
+@group(0) @binding(23) var<storage, read_write> buf_20_0__18_1: array<f32>;
+@group(0) @binding(24) var<storage, read_write> buf_21_0__23_0: array<f32>;
+@group(0) @binding(25) var<storage, read_write> buf_23_0__22_0: array<f32>;
+@group(0) @binding(26) var<storage, read_write> buf_21_1__24_0: array<f32>;
+@group(0) @binding(27) var<storage, read_write> buf_24_0__22_1: array<f32>;
+@group(0) @binding(28) var<storage, read_write> buf_21_2__25_0: array<f32>;
+@group(0) @binding(29) var<storage, read_write> buf_25_0__22_2: array<f32>;
+@group(0) @binding(30) var<storage, read_write> buf_21_3__26_0: array<f32>;
+@group(0) @binding(31) var<storage, read_write> buf_26_0__22_3: array<f32>;
+@group(0) @binding(32) var<storage, read_write> buf_1_0__6_0: array<f32>;
+@group(0) @binding(33) var<storage, read_write> buf_7_0__10_0: array<f32>;
+@group(0) @binding(34) var<storage, read_write> buf_11_0__16_0: array<f32>;
+@group(0) @binding(35) var<storage, read_write> buf_16_0__17_0: array<f32>;
+@group(0) @binding(36) var<storage, read_write> buf_18_0__21_0: array<f32>;
+@group(0) @binding(37) var<storage, read> stream_in: array<f32>;
+@group(0) @binding(38) var<storage, read_write> stream_out: array<f32>;
+@group(0) @binding(39) var<uniform> iterations: i32;
+
+var<workgroup> stage_on: array<i32, 16>;
+
+fn region_0(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_1(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 4096; }
+fn region_2(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_3(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_4(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_5(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_6(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 2048; }
+fn region_7(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 4096; }
+fn region_8(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 2048; }
+fn region_9(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 2048; }
+fn region_10(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_11(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 4096; }
+fn region_12(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_13(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_14(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_15(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_16(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 4096; }
+fn region_17(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 2048; }
+fn region_18(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 4096; }
+fn region_19(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 2048; }
+fn region_20(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 2048; }
+fn region_21(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_22(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 0; }
+fn region_23(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_24(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_25(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+fn region_26(it: i32) -> i32 { return ((it % 17) + 17) % 17 * 1024; }
+
+fn work_split_stage_p1_d1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_stage_p1_d1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp1_b0_d1_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_0_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = min(a, b);
+    w[(j + 1)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_2_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp1_b1_d1_desc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = max(a, b);
+    w[(j + 1)] = min(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_3_0__1_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp1_b2_d1_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_0_2__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = min(a, b);
+    w[(j + 1)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_4_0__1_2[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp1_b3_d1_desc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_0_3__5_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = max(a, b);
+    w[(j + 1)] = min(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_5_0__1_3[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_stage_p2_d2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_1_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_6_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_1_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_6_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_1_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_6_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_1_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_6_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_1_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_6_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_1_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_6_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_1_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_6_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_1_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_6_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_stage_p2_d2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_8_0__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_7_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_8_0__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_7_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_8_0__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_7_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_8_0__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_7_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_8_0__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_7_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_8_0__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_7_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_8_0__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_7_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_8_0__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_7_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp2_b0_d2_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 4>;
+  for (var j: i32 = 0; j < 4; j++) {
+    let _t1: i32 = i32(buf_6_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 2)];
+    w[j] = min(a, b);
+    w[(j + 2)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 4; j++) {
+    buf_8_0__7_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp2_b1_d2_desc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 4>;
+  for (var j: i32 = 0; j < 4; j++) {
+    let _t1: i32 = i32(buf_6_1__9_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 2)];
+    w[j] = max(a, b);
+    w[(j + 2)] = min(a, b);
+  }
+  for (var j: i32 = 0; j < 4; j++) {
+    buf_9_0__7_1[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_stage_p2_d1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_stage_p2_d1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_11_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_11_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_11_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_11_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_11_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_11_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_11_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_11_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp2_b0_d1_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_10_0__12_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = min(a, b);
+    w[(j + 1)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_12_0__11_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp2_b1_d1_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_10_1__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = min(a, b);
+    w[(j + 1)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_13_0__11_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp2_b2_d1_desc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_10_2__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = max(a, b);
+    w[(j + 1)] = min(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_14_0__11_2[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp2_b3_d1_desc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_10_3__15_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = max(a, b);
+    w[(j + 1)] = min(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_15_0__11_3[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp3_d4_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: i32 = i32(buf_11_0__16_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 4; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 4)];
+    w[j] = min(a, b);
+    w[(j + 4)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 8; j++) {
+    buf_16_0__17_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_stage_p3_d2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_16_0__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_17_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_16_0__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_17_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_16_0__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_17_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_16_0__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_17_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_16_0__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_17_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_16_0__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_17_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_16_0__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_17_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_16_0__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_17_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_stage_p3_d2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_19_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_18_0__21_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_19_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_18_0__21_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_19_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_18_0__21_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_19_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_18_0__21_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_19_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_18_0__21_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_19_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_18_0__21_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_19_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_18_0__21_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_19_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_18_0__21_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp3_b0_d2_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 4>;
+  for (var j: i32 = 0; j < 4; j++) {
+    let _t1: i32 = i32(buf_17_0__19_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 2)];
+    w[j] = min(a, b);
+    w[(j + 2)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 4; j++) {
+    buf_19_0__18_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp3_b1_d2_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 4>;
+  for (var j: i32 = 0; j < 4; j++) {
+    let _t1: i32 = i32(buf_17_1__20_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 2)];
+    w[j] = min(a, b);
+    w[(j + 2)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 4; j++) {
+    buf_20_0__18_1[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_stage_p3_d1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_18_0__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_21_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_18_0__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_21_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_18_0__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_21_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_18_0__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_21_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_18_0__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_21_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_18_0__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_21_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_18_0__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_21_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_18_0__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_21_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_stage_p3_d1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_23_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_23_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_23_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_23_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_23_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_23_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_23_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_23_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp3_b0_d1_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_21_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = min(a, b);
+    w[(j + 1)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_23_0__22_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp3_b1_d1_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_21_1__24_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = min(a, b);
+    w[(j + 1)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_24_0__22_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp3_b2_d1_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_21_2__25_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = min(a, b);
+    w[(j + 1)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_25_0__22_2[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEp3_b3_d1_asc(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var w: array<i32, 2>;
+  for (var j: i32 = 0; j < 2; j++) {
+    let _t1: i32 = i32(buf_21_3__26_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+    w[j] = _t1;
+  }
+  for (var j: i32 = 0; j < 1; j++) {
+    var a: f32 = w[j];
+    var b: f32 = w[(j + 1)];
+    w[j] = min(a, b);
+    w[(j + 1)] = max(a, b);
+  }
+  for (var j: i32 = 0; j < 2; j++) {
+    buf_26_0__22_3[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(w[j]); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+@compute @workgroup_size(512, 1, 1)
+fn swp_kernel(@builtin(local_invocation_id) lid: vec3<u32>,
+              @builtin(workgroup_id) wid: vec3<u32>) {
+  let tid: i32 = i32(lid.x);
+  let sm: i32 = i32(wid.x);
+  // staging predicates, one per pipeline stage (depth 16)
+  if tid == 0 { for (var s: i32 = 0; s < 16; s++) { stage_on[s] = 0; } }
+  workgroupBarrier();
+  for (var it: i32 = 0; it < iterations + 16; it++) {
+    if tid == 0 {
+      for (var s: i32 = 15; s > 0; s--) { stage_on[s] = stage_on[s-1]; }
+      stage_on[0] = select(0, 1, it < iterations);
+    }
+    workgroupBarrier();
+    switch sm {
+      case 0: {
+        // (CEp3_d4_asc, k=0) o=0 f=9 threads=512
+        if stage_on[9] != 0 && tid < 512 {
+          work_CEp3_d4_asc(region_16(it - 9), region_16(it - 9), tid);
+        }
+      }
+      case 1: {
+        // (CEp2_b0_d2_asc, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_CEp2_b0_d2_asc(region_8(it - 4), region_8(it - 4), tid);
+        }
+        // (split_stage_p1_d1, k=0) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_stage_p1_d1(region_0(it - 0), region_0(it - 0), tid);
+        }
+      }
+      case 2: {
+        // (CEp2_b1_d2_desc, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_CEp2_b1_d2_desc(region_9(it - 4), region_9(it - 4), tid);
+        }
+        // (join_stage_p1_d1, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_join_stage_p1_d1(region_1(it - 2), region_1(it - 2), tid);
+        }
+      }
+      case 3: {
+        // (CEp3_b0_d2_asc, k=0) o=0 f=11 threads=512
+        if stage_on[11] != 0 && tid < 512 {
+          work_CEp3_b0_d2_asc(region_19(it - 11), region_19(it - 11), tid);
+        }
+        // (CEp1_b0_d1_asc, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_CEp1_b0_d1_asc(region_2(it - 1), region_2(it - 1), tid);
+        }
+      }
+      case 4: {
+        // (CEp3_b1_d2_asc, k=0) o=0 f=11 threads=512
+        if stage_on[11] != 0 && tid < 512 {
+          work_CEp3_b1_d2_asc(region_20(it - 11), region_20(it - 11), tid);
+        }
+        // (CEp1_b1_d1_desc, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_CEp1_b1_d1_desc(region_3(it - 1), region_3(it - 1), tid);
+        }
+      }
+      case 5: {
+        // (split_stage_p2_d2, k=0) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_split_stage_p2_d2(region_6(it - 3), region_6(it - 3), tid);
+        }
+        // (CEp1_b3_d1_desc, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_CEp1_b3_d1_desc(region_5(it - 1), region_5(it - 1), tid);
+        }
+        // (CEp1_b2_d1_asc, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_CEp1_b2_d1_asc(region_4(it - 1), region_4(it - 1), tid);
+        }
+      }
+      case 6: {
+        // (join_stage_p2_d2, k=0) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_stage_p2_d2(region_7(it - 5), region_7(it - 5), tid);
+        }
+        // (join_stage_p2_d1, k=0) o=2610 f=7 threads=512
+        if stage_on[7] != 0 && tid < 512 {
+          work_join_stage_p2_d1(region_11(it - 7), region_11(it - 7), tid);
+        }
+        // (split_stage_p2_d1, k=0) o=2610 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_split_stage_p2_d1(region_10(it - 5), region_10(it - 5), tid);
+        }
+      }
+      case 7: {
+        // (CEp2_b2_d1_desc, k=0) o=2610 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_CEp2_b2_d1_desc(region_14(it - 6), region_14(it - 6), tid);
+        }
+        // (CEp2_b1_d1_asc, k=0) o=2610 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_CEp2_b1_d1_asc(region_13(it - 6), region_13(it - 6), tid);
+        }
+        // (CEp2_b0_d1_asc, k=0) o=2610 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_CEp2_b0_d1_asc(region_12(it - 6), region_12(it - 6), tid);
+        }
+      }
+      case 8: {
+        // (join_stage_p3_d2, k=0) o=0 f=12 threads=512
+        if stage_on[12] != 0 && tid < 512 {
+          work_join_stage_p3_d2(region_18(it - 12), region_18(it - 12), tid);
+        }
+        // (split_stage_p3_d2, k=0) o=0 f=10 threads=512
+        if stage_on[10] != 0 && tid < 512 {
+          work_split_stage_p3_d2(region_17(it - 10), region_17(it - 10), tid);
+        }
+        // (CEp2_b3_d1_desc, k=0) o=2610 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_CEp2_b3_d1_desc(region_15(it - 6), region_15(it - 6), tid);
+        }
+      }
+      case 9: {
+        // (join_stage_p3_d1, k=0) o=0 f=15 threads=512
+        if stage_on[15] != 0 && tid < 512 {
+          work_join_stage_p3_d1(region_22(it - 15), region_22(it - 15), tid);
+        }
+        // (split_stage_p3_d1, k=0) o=0 f=13 threads=512
+        if stage_on[13] != 0 && tid < 512 {
+          work_split_stage_p3_d1(region_21(it - 13), region_21(it - 13), tid);
+        }
+        // (CEp3_b0_d1_asc, k=0) o=2610 f=13 threads=512
+        if stage_on[13] != 0 && tid < 512 {
+          work_CEp3_b0_d1_asc(region_23(it - 13), region_23(it - 13), tid);
+        }
+      }
+      case 10: {
+        // (CEp3_b3_d1_asc, k=0) o=0 f=14 threads=512
+        if stage_on[14] != 0 && tid < 512 {
+          work_CEp3_b3_d1_asc(region_26(it - 14), region_26(it - 14), tid);
+        }
+        // (CEp3_b2_d1_asc, k=0) o=0 f=14 threads=512
+        if stage_on[14] != 0 && tid < 512 {
+          work_CEp3_b2_d1_asc(region_25(it - 14), region_25(it - 14), tid);
+        }
+        // (CEp3_b1_d1_asc, k=0) o=0 f=14 threads=512
+        if stage_on[14] != 0 && tid < 512 {
+          work_CEp3_b1_d1_asc(region_24(it - 14), region_24(it - 14), tid);
+        }
+      }
+      default: {}
+    }
+    // II boundary
+    workgroupBarrier();
+  }
+}

@@ -1,0 +1,1126 @@
+/* streamit_gpu artifact (metal)
+ * quality: refined (completed)
+ * II: 4808 (lower bound 4540, binding res_mii)
+ * schedule signature: 8220e77e56b463c617fdadf4944595e7
+ */
+#include <metal_stdlib>
+using namespace metal;
+
+static inline int region_0(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_1(int it) { return ((it % 23) + 23) % 23 * 4096; }
+static inline int region_2(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_3(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_4(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_5(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_6(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_7(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_8(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_9(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_10(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_11(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_12(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_13(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_14(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_15(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_16(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_17(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_18(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_19(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_20(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_21(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_22(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_23(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_24(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_25(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_26(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_27(int it) { return ((it % 23) + 23) % 23 * 4096; }
+static inline int region_28(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_29(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_30(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_31(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_32(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_33(int it) { return ((it % 23) + 23) % 23 * 0; }
+static inline int region_34(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_35(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_36(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_37(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_38(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_39(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_40(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_41(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_42(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_43(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_44(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_45(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_46(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_47(int it) { return ((it % 23) + 23) % 23 * 2048; }
+static inline int region_48(int it) { return ((it % 23) + 23) % 23 * 1024; }
+static inline int region_49(int it) { return ((it % 23) + 23) % 23 * 1024; }
+
+static void work_split_sorthalves_23(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t8; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_sorthalves_23(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t8; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_sorthalves_14(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_sorthalves_14(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_13(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEdesc_12(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_mergecmp_17(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_mergecmp_17(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_15(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_16(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_mergerec_20(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_mergerec_20(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_19(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_18(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_sorthalves_3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_sorthalves_3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_2(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEdesc_1(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_mergecmp_6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_mergecmp_6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEdesc_4(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEdesc_5(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_mergerec_9(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_mergerec_9(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEdesc_8(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEdesc_7(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_mergecmp_28(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_mergecmp_28(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_24(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_25(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_26(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_27(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_mergerec_43(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t8; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_mergerec_43(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t8; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_mergecmp_38(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_mergecmp_38(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_36(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_37(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_mergerec_41(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_mergerec_41(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_40(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_39(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_mergecmp_31(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_mergecmp_31(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_29(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_30(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_mergerec_34(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_mergerec_34(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = _t4; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_33(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_CEasc_32(const device int* in, device int* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  int _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int a = _t1;
+  int _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  int b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = min(a, b); _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = max(a, b); _push++;
+  (void)_pop; (void)_push;
+}
+
+kernel void swp_kernel(device float* buf_2_0__4_0 [[buffer(0)]],
+                       device float* buf_4_0__3_0 [[buffer(1)]],
+                       device float* buf_2_1__5_0 [[buffer(2)]],
+                       device float* buf_5_0__3_1 [[buffer(3)]],
+                       device float* buf_6_0__8_0 [[buffer(4)]],
+                       device float* buf_8_0__7_0 [[buffer(5)]],
+                       device float* buf_6_1__9_0 [[buffer(6)]],
+                       device float* buf_9_0__7_1 [[buffer(7)]],
+                       device float* buf_10_0__12_0 [[buffer(8)]],
+                       device float* buf_12_0__11_0 [[buffer(9)]],
+                       device float* buf_10_1__13_0 [[buffer(10)]],
+                       device float* buf_13_0__11_1 [[buffer(11)]],
+                       device float* buf_7_0__10_0 [[buffer(12)]],
+                       device float* buf_3_0__6_0 [[buffer(13)]],
+                       device float* buf_0_0__2_0 [[buffer(14)]],
+                       device float* buf_11_0__1_0 [[buffer(15)]],
+                       device float* buf_14_0__16_0 [[buffer(16)]],
+                       device float* buf_16_0__15_0 [[buffer(17)]],
+                       device float* buf_14_1__17_0 [[buffer(18)]],
+                       device float* buf_17_0__15_1 [[buffer(19)]],
+                       device float* buf_18_0__20_0 [[buffer(20)]],
+                       device float* buf_20_0__19_0 [[buffer(21)]],
+                       device float* buf_18_1__21_0 [[buffer(22)]],
+                       device float* buf_21_0__19_1 [[buffer(23)]],
+                       device float* buf_22_0__24_0 [[buffer(24)]],
+                       device float* buf_24_0__23_0 [[buffer(25)]],
+                       device float* buf_22_1__25_0 [[buffer(26)]],
+                       device float* buf_25_0__23_1 [[buffer(27)]],
+                       device float* buf_19_0__22_0 [[buffer(28)]],
+                       device float* buf_15_0__18_0 [[buffer(29)]],
+                       device float* buf_0_1__14_0 [[buffer(30)]],
+                       device float* buf_23_0__1_1 [[buffer(31)]],
+                       device float* buf_26_0__28_0 [[buffer(32)]],
+                       device float* buf_28_0__27_0 [[buffer(33)]],
+                       device float* buf_26_1__29_0 [[buffer(34)]],
+                       device float* buf_29_0__27_1 [[buffer(35)]],
+                       device float* buf_26_2__30_0 [[buffer(36)]],
+                       device float* buf_30_0__27_2 [[buffer(37)]],
+                       device float* buf_26_3__31_0 [[buffer(38)]],
+                       device float* buf_31_0__27_3 [[buffer(39)]],
+                       device float* buf_34_0__36_0 [[buffer(40)]],
+                       device float* buf_36_0__35_0 [[buffer(41)]],
+                       device float* buf_34_1__37_0 [[buffer(42)]],
+                       device float* buf_37_0__35_1 [[buffer(43)]],
+                       device float* buf_38_0__40_0 [[buffer(44)]],
+                       device float* buf_40_0__39_0 [[buffer(45)]],
+                       device float* buf_38_1__41_0 [[buffer(46)]],
+                       device float* buf_41_0__39_1 [[buffer(47)]],
+                       device float* buf_35_0__38_0 [[buffer(48)]],
+                       device float* buf_32_0__34_0 [[buffer(49)]],
+                       device float* buf_39_0__33_0 [[buffer(50)]],
+                       device float* buf_42_0__44_0 [[buffer(51)]],
+                       device float* buf_44_0__43_0 [[buffer(52)]],
+                       device float* buf_42_1__45_0 [[buffer(53)]],
+                       device float* buf_45_0__43_1 [[buffer(54)]],
+                       device float* buf_46_0__48_0 [[buffer(55)]],
+                       device float* buf_48_0__47_0 [[buffer(56)]],
+                       device float* buf_46_1__49_0 [[buffer(57)]],
+                       device float* buf_49_0__47_1 [[buffer(58)]],
+                       device float* buf_43_0__46_0 [[buffer(59)]],
+                       device float* buf_32_1__42_0 [[buffer(60)]],
+                       device float* buf_47_0__33_1 [[buffer(61)]],
+                       device float* buf_27_0__32_0 [[buffer(62)]],
+                       device float* buf_1_0__26_0 [[buffer(63)]],
+                       const device float* stream_in [[buffer(64)]],
+                       device float* stream_out [[buffer(65)]],
+                       constant int& iterations [[buffer(66)]],
+                       uint tid_u [[thread_position_in_threadgroup]],
+                       uint sm_u [[threadgroup_position_in_grid]])
+{
+  int tid = (int)tid_u;
+  int sm = (int)sm_u;
+  /* staging predicates, one per pipeline stage (depth 22) */
+  threadgroup int stage_on[22];
+  if (tid == 0) for (int s = 0; s < 22; s++) stage_on[s] = 0;
+  threadgroup_barrier(mem_flags::mem_threadgroup);
+  for (int it = 0; it < iterations + 22; it++) {
+    if (tid == 0) { for (int s = 21; s > 0; s--) stage_on[s] = stage_on[s-1]; stage_on[0] = (it < iterations); }
+    threadgroup_barrier(mem_flags::mem_threadgroup);
+    switch (sm) {
+    case 0: {
+      /* (split_mergecmp_38, k=0) o=0 f=15 threads=512 */
+      if (stage_on[15] && tid < 512)
+        work_split_mergecmp_38(buf_32_0__34_0 + region_34(it - 15), buf_34_0__36_0 + region_34(it - 15), tid);
+      /* (CEasc_24, k=0) o=0 f=12 threads=512 */
+      if (stage_on[12] && tid < 512)
+        work_CEasc_24(buf_26_0__28_0 + region_28(it - 12), buf_28_0__27_0 + region_28(it - 12), tid);
+      /* (split_sorthalves_23, k=0) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_sorthalves_23(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      break; }
+    case 1: {
+      /* (split_mergecmp_38, k=1) o=0 f=15 threads=512 */
+      if (stage_on[15] && tid < 512)
+        work_split_mergecmp_38(buf_32_0__34_0 + region_34(it - 15), buf_34_0__36_0 + region_34(it - 15), tid);
+      /* (CEasc_25, k=0) o=0 f=12 threads=512 */
+      if (stage_on[12] && tid < 512)
+        work_CEasc_25(buf_26_1__29_0 + region_29(it - 12), buf_29_0__27_1 + region_29(it - 12), tid);
+      /* (join_sorthalves_23, k=0) o=0 f=10 threads=512 */
+      if (stage_on[10] && tid < 512)
+        work_join_sorthalves_23(buf_11_0__1_0 + region_1(it - 10), buf_1_0__26_0 + region_1(it - 10), tid);
+      break; }
+    case 2: {
+      /* (join_mergecmp_38, k=0) o=0 f=17 threads=512 */
+      if (stage_on[17] && tid < 512)
+        work_join_mergecmp_38(buf_36_0__35_0 + region_35(it - 17), buf_35_0__38_0 + region_35(it - 17), tid);
+      /* (split_mergerec_43, k=0) o=0 f=14 threads=512 */
+      if (stage_on[14] && tid < 512)
+        work_split_mergerec_43(buf_27_0__32_0 + region_32(it - 14), buf_32_0__34_0 + region_32(it - 14), tid);
+      /* (CEasc_26, k=0) o=0 f=12 threads=512 */
+      if (stage_on[12] && tid < 512)
+        work_CEasc_26(buf_26_2__30_0 + region_30(it - 12), buf_30_0__27_2 + region_30(it - 12), tid);
+      break; }
+    case 3: {
+      /* (join_mergecmp_38, k=1) o=0 f=17 threads=512 */
+      if (stage_on[17] && tid < 512)
+        work_join_mergecmp_38(buf_36_0__35_0 + region_35(it - 17), buf_35_0__38_0 + region_35(it - 17), tid);
+      /* (join_mergerec_43, k=0) o=0 f=21 threads=512 */
+      if (stage_on[21] && tid < 512)
+        work_join_mergerec_43(buf_39_0__33_0 + region_33(it - 21), stream_out + region_33(it - 21), tid);
+      /* (CEasc_27, k=0) o=0 f=12 threads=512 */
+      if (stage_on[12] && tid < 512)
+        work_CEasc_27(buf_26_3__31_0 + region_31(it - 12), buf_31_0__27_3 + region_31(it - 12), tid);
+      break; }
+    case 4: {
+      /* (CEasc_29, k=0) o=0 f=16 threads=512 */
+      if (stage_on[16] && tid < 512)
+        work_CEasc_29(buf_42_0__44_0 + region_44(it - 16), buf_44_0__43_0 + region_44(it - 16), tid);
+      /* (split_mergerec_41, k=0) o=0 f=18 threads=512 */
+      if (stage_on[18] && tid < 512)
+        work_split_mergerec_41(buf_35_0__38_0 + region_38(it - 18), buf_38_0__40_0 + region_38(it - 18), tid);
+      /* (CEasc_19, k=0) o=0 f=8 threads=512 */
+      if (stage_on[8] && tid < 512)
+        work_CEasc_19(buf_10_0__12_0 + region_12(it - 8), buf_12_0__11_0 + region_12(it - 8), tid);
+      /* (split_sorthalves_14, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_split_sorthalves_14(buf_0_0__2_0 + region_2(it - 1), buf_2_0__4_0 + region_2(it - 1), tid);
+      break; }
+    case 5: {
+      /* (CEasc_30, k=0) o=0 f=16 threads=512 */
+      if (stage_on[16] && tid < 512)
+        work_CEasc_30(buf_42_1__45_0 + region_45(it - 16), buf_45_0__43_1 + region_45(it - 16), tid);
+      /* (join_mergerec_41, k=0) o=0 f=20 threads=512 */
+      if (stage_on[20] && tid < 512)
+        work_join_mergerec_41(buf_40_0__39_0 + region_39(it - 20), buf_39_0__33_0 + region_39(it - 20), tid);
+      /* (CEasc_18, k=0) o=0 f=8 threads=512 */
+      if (stage_on[8] && tid < 512)
+        work_CEasc_18(buf_10_1__13_0 + region_13(it - 8), buf_13_0__11_1 + region_13(it - 8), tid);
+      /* (join_sorthalves_14, k=0) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_join_sorthalves_14(buf_4_0__3_0 + region_3(it - 3), buf_3_0__6_0 + region_3(it - 3), tid);
+      break; }
+    case 6: {
+      /* (split_mergerec_34, k=0) o=0 f=18 threads=512 */
+      if (stage_on[18] && tid < 512)
+        work_split_mergerec_34(buf_43_0__46_0 + region_46(it - 18), buf_46_0__48_0 + region_46(it - 18), tid);
+      /* (CEasc_2, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_CEasc_2(buf_14_0__16_0 + region_16(it - 2), buf_16_0__15_0 + region_16(it - 2), tid);
+      /* (split_mergerec_20, k=0) o=0 f=7 threads=512 */
+      if (stage_on[7] && tid < 512)
+        work_split_mergerec_20(buf_7_0__10_0 + region_10(it - 7), buf_10_0__12_0 + region_10(it - 7), tid);
+      /* (CEasc_33, k=0) o=1586 f=18 threads=512 */
+      if (stage_on[18] && tid < 512)
+        work_CEasc_33(buf_46_0__48_0 + region_48(it - 18), buf_48_0__47_0 + region_48(it - 18), tid);
+      break; }
+    case 7: {
+      /* (CEasc_32, k=0) o=0 f=19 threads=512 */
+      if (stage_on[19] && tid < 512)
+        work_CEasc_32(buf_46_1__49_0 + region_49(it - 19), buf_49_0__47_1 + region_49(it - 19), tid);
+      /* (CEdesc_1, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_CEdesc_1(buf_14_1__17_0 + region_17(it - 2), buf_17_0__15_1 + region_17(it - 2), tid);
+      /* (join_mergerec_20, k=0) o=0 f=9 threads=512 */
+      if (stage_on[9] && tid < 512)
+        work_join_mergerec_20(buf_12_0__11_0 + region_11(it - 9), buf_11_0__1_0 + region_11(it - 9), tid);
+      /* (join_mergerec_34, k=0) o=1586 f=19 threads=512 */
+      if (stage_on[19] && tid < 512)
+        work_join_mergerec_34(buf_48_0__47_0 + region_47(it - 19), buf_47_0__33_1 + region_47(it - 19), tid);
+      break; }
+    case 8: {
+      /* (split_mergecmp_31, k=0) o=0 f=15 threads=512 */
+      if (stage_on[15] && tid < 512)
+        work_split_mergecmp_31(buf_32_1__42_0 + region_42(it - 15), buf_42_0__44_0 + region_42(it - 15), tid);
+      /* (CEasc_36, k=0) o=0 f=16 threads=512 */
+      if (stage_on[16] && tid < 512)
+        work_CEasc_36(buf_34_0__36_0 + region_36(it - 16), buf_36_0__35_0 + region_36(it - 16), tid);
+      /* (split_sorthalves_3, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_split_sorthalves_3(buf_0_1__14_0 + region_14(it - 1), buf_14_0__16_0 + region_14(it - 1), tid);
+      /* (split_mergecmp_17, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_split_mergecmp_17(buf_3_0__6_0 + region_6(it - 4), buf_6_0__8_0 + region_6(it - 4), tid);
+      break; }
+    case 9: {
+      /* (split_mergecmp_31, k=1) o=0 f=15 threads=512 */
+      if (stage_on[15] && tid < 512)
+        work_split_mergecmp_31(buf_32_1__42_0 + region_42(it - 15), buf_42_0__44_0 + region_42(it - 15), tid);
+      /* (CEasc_37, k=0) o=0 f=16 threads=512 */
+      if (stage_on[16] && tid < 512)
+        work_CEasc_37(buf_34_1__37_0 + region_37(it - 16), buf_37_0__35_1 + region_37(it - 16), tid);
+      /* (join_sorthalves_3, k=0) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_join_sorthalves_3(buf_16_0__15_0 + region_15(it - 3), buf_15_0__18_0 + region_15(it - 3), tid);
+      /* (split_mergecmp_17, k=1) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_split_mergecmp_17(buf_3_0__6_0 + region_6(it - 4), buf_6_0__8_0 + region_6(it - 4), tid);
+      break; }
+    case 10: {
+      /* (join_mergecmp_31, k=0) o=0 f=17 threads=512 */
+      if (stage_on[17] && tid < 512)
+        work_join_mergecmp_31(buf_44_0__43_0 + region_43(it - 17), buf_43_0__46_0 + region_43(it - 17), tid);
+      /* (CEasc_40, k=0) o=0 f=19 threads=512 */
+      if (stage_on[19] && tid < 512)
+        work_CEasc_40(buf_38_0__40_0 + region_40(it - 19), buf_40_0__39_0 + region_40(it - 19), tid);
+      /* (split_mergerec_9, k=0) o=0 f=7 threads=512 */
+      if (stage_on[7] && tid < 512)
+        work_split_mergerec_9(buf_19_0__22_0 + region_22(it - 7), buf_22_0__24_0 + region_22(it - 7), tid);
+      /* (join_mergecmp_17, k=0) o=0 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_join_mergecmp_17(buf_8_0__7_0 + region_7(it - 6), buf_7_0__10_0 + region_7(it - 6), tid);
+      break; }
+    case 11: {
+      /* (join_mergecmp_31, k=1) o=0 f=17 threads=512 */
+      if (stage_on[17] && tid < 512)
+        work_join_mergecmp_31(buf_44_0__43_0 + region_43(it - 17), buf_43_0__46_0 + region_43(it - 17), tid);
+      /* (CEasc_39, k=0) o=0 f=19 threads=512 */
+      if (stage_on[19] && tid < 512)
+        work_CEasc_39(buf_38_1__41_0 + region_41(it - 19), buf_41_0__39_1 + region_41(it - 19), tid);
+      /* (join_mergerec_9, k=0) o=0 f=9 threads=512 */
+      if (stage_on[9] && tid < 512)
+        work_join_mergerec_9(buf_24_0__23_0 + region_23(it - 9), buf_23_0__1_1 + region_23(it - 9), tid);
+      /* (join_mergecmp_17, k=1) o=0 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_join_mergecmp_17(buf_8_0__7_0 + region_7(it - 6), buf_7_0__10_0 + region_7(it - 6), tid);
+      break; }
+    case 12: {
+      /* (split_mergecmp_28, k=0) o=0 f=11 threads=512 */
+      if (stage_on[11] && tid < 512)
+        work_split_mergecmp_28(buf_1_0__26_0 + region_26(it - 11), buf_26_0__28_0 + region_26(it - 11), tid);
+      /* (CEdesc_4, k=0) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_CEdesc_4(buf_18_0__20_0 + region_20(it - 5), buf_20_0__19_0 + region_20(it - 5), tid);
+      /* (split_mergecmp_6, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_split_mergecmp_6(buf_15_0__18_0 + region_18(it - 4), buf_18_0__20_0 + region_18(it - 4), tid);
+      /* (CEasc_13, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_CEasc_13(buf_2_0__4_0 + region_4(it - 2), buf_4_0__3_0 + region_4(it - 2), tid);
+      break; }
+    case 13: {
+      /* (split_mergecmp_28, k=1) o=0 f=11 threads=512 */
+      if (stage_on[11] && tid < 512)
+        work_split_mergecmp_28(buf_1_0__26_0 + region_26(it - 11), buf_26_0__28_0 + region_26(it - 11), tid);
+      /* (CEdesc_5, k=0) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_CEdesc_5(buf_18_1__21_0 + region_21(it - 5), buf_21_0__19_1 + region_21(it - 5), tid);
+      /* (split_mergecmp_6, k=1) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_split_mergecmp_6(buf_15_0__18_0 + region_18(it - 4), buf_18_0__20_0 + region_18(it - 4), tid);
+      /* (CEdesc_12, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_CEdesc_12(buf_2_1__5_0 + region_5(it - 2), buf_5_0__3_1 + region_5(it - 2), tid);
+      break; }
+    case 14: {
+      /* (join_mergecmp_28, k=0) o=0 f=13 threads=512 */
+      if (stage_on[13] && tid < 512)
+        work_join_mergecmp_28(buf_28_0__27_0 + region_27(it - 13), buf_27_0__32_0 + region_27(it - 13), tid);
+      /* (CEdesc_8, k=0) o=0 f=8 threads=512 */
+      if (stage_on[8] && tid < 512)
+        work_CEdesc_8(buf_22_0__24_0 + region_24(it - 8), buf_24_0__23_0 + region_24(it - 8), tid);
+      /* (join_mergecmp_6, k=0) o=0 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_join_mergecmp_6(buf_20_0__19_0 + region_19(it - 6), buf_19_0__22_0 + region_19(it - 6), tid);
+      /* (CEasc_15, k=0) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_CEasc_15(buf_6_0__8_0 + region_8(it - 5), buf_8_0__7_0 + region_8(it - 5), tid);
+      break; }
+    case 15: {
+      /* (join_mergecmp_28, k=1) o=0 f=13 threads=512 */
+      if (stage_on[13] && tid < 512)
+        work_join_mergecmp_28(buf_28_0__27_0 + region_27(it - 13), buf_27_0__32_0 + region_27(it - 13), tid);
+      /* (CEdesc_7, k=0) o=0 f=8 threads=512 */
+      if (stage_on[8] && tid < 512)
+        work_CEdesc_7(buf_22_1__25_0 + region_25(it - 8), buf_25_0__23_1 + region_25(it - 8), tid);
+      /* (join_mergecmp_6, k=1) o=0 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_join_mergecmp_6(buf_20_0__19_0 + region_19(it - 6), buf_19_0__22_0 + region_19(it - 6), tid);
+      /* (CEasc_16, k=0) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_CEasc_16(buf_6_1__9_0 + region_9(it - 5), buf_9_0__7_1 + region_9(it - 5), tid);
+      break; }
+    }
+    /* II boundary */
+  }
+}
+
+/* host launch (Metal):
+ *   dispatchThreadgroups: 16 threadgroups x 512 threads
+ *   newBuffer buf_2_0__4_0: 94208 bytes
+ *   newBuffer buf_4_0__3_0: 94208 bytes
+ *   newBuffer buf_2_1__5_0: 94208 bytes
+ *   newBuffer buf_5_0__3_1: 94208 bytes
+ *   newBuffer buf_6_0__8_0: 94208 bytes
+ *   newBuffer buf_8_0__7_0: 94208 bytes
+ *   newBuffer buf_6_1__9_0: 94208 bytes
+ *   newBuffer buf_9_0__7_1: 94208 bytes
+ *   newBuffer buf_10_0__12_0: 94208 bytes
+ *   newBuffer buf_12_0__11_0: 94208 bytes
+ *   newBuffer buf_10_1__13_0: 94208 bytes
+ *   newBuffer buf_13_0__11_1: 94208 bytes
+ *   newBuffer buf_7_0__10_0: 188416 bytes
+ *   newBuffer buf_3_0__6_0: 188416 bytes
+ *   newBuffer buf_0_0__2_0: 188416 bytes
+ *   newBuffer buf_11_0__1_0: 188416 bytes
+ *   newBuffer buf_14_0__16_0: 94208 bytes
+ *   newBuffer buf_16_0__15_0: 94208 bytes
+ *   newBuffer buf_14_1__17_0: 94208 bytes
+ *   newBuffer buf_17_0__15_1: 94208 bytes
+ *   newBuffer buf_18_0__20_0: 94208 bytes
+ *   newBuffer buf_20_0__19_0: 94208 bytes
+ *   newBuffer buf_18_1__21_0: 94208 bytes
+ *   newBuffer buf_21_0__19_1: 94208 bytes
+ *   newBuffer buf_22_0__24_0: 94208 bytes
+ *   newBuffer buf_24_0__23_0: 94208 bytes
+ *   newBuffer buf_22_1__25_0: 94208 bytes
+ *   newBuffer buf_25_0__23_1: 94208 bytes
+ *   newBuffer buf_19_0__22_0: 188416 bytes
+ *   newBuffer buf_15_0__18_0: 188416 bytes
+ *   newBuffer buf_0_1__14_0: 188416 bytes
+ *   newBuffer buf_23_0__1_1: 188416 bytes
+ *   newBuffer buf_26_0__28_0: 94208 bytes
+ *   newBuffer buf_28_0__27_0: 94208 bytes
+ *   newBuffer buf_26_1__29_0: 94208 bytes
+ *   newBuffer buf_29_0__27_1: 94208 bytes
+ *   newBuffer buf_26_2__30_0: 94208 bytes
+ *   newBuffer buf_30_0__27_2: 94208 bytes
+ *   newBuffer buf_26_3__31_0: 94208 bytes
+ *   newBuffer buf_31_0__27_3: 94208 bytes
+ *   newBuffer buf_34_0__36_0: 94208 bytes
+ *   newBuffer buf_36_0__35_0: 94208 bytes
+ *   newBuffer buf_34_1__37_0: 94208 bytes
+ *   newBuffer buf_37_0__35_1: 94208 bytes
+ *   newBuffer buf_38_0__40_0: 94208 bytes
+ *   newBuffer buf_40_0__39_0: 94208 bytes
+ *   newBuffer buf_38_1__41_0: 94208 bytes
+ *   newBuffer buf_41_0__39_1: 94208 bytes
+ *   newBuffer buf_35_0__38_0: 188416 bytes
+ *   newBuffer buf_32_0__34_0: 188416 bytes
+ *   newBuffer buf_39_0__33_0: 188416 bytes
+ *   newBuffer buf_42_0__44_0: 94208 bytes
+ *   newBuffer buf_44_0__43_0: 94208 bytes
+ *   newBuffer buf_42_1__45_0: 94208 bytes
+ *   newBuffer buf_45_0__43_1: 94208 bytes
+ *   newBuffer buf_46_0__48_0: 94208 bytes
+ *   newBuffer buf_48_0__47_0: 94208 bytes
+ *   newBuffer buf_46_1__49_0: 94208 bytes
+ *   newBuffer buf_49_0__47_1: 94208 bytes
+ *   newBuffer buf_43_0__46_0: 188416 bytes
+ *   newBuffer buf_32_1__42_0: 188416 bytes
+ *   newBuffer buf_47_0__33_1: 188416 bytes
+ *   newBuffer buf_27_0__32_0: 376832 bytes
+ *   newBuffer buf_1_0__26_0: 376832 bytes
+ *   stream_in/stream_out: 1 << 20 bytes, input shuffled per eq. (9); iterations = 1024
+ */

@@ -1,0 +1,1122 @@
+// streamit_gpu artifact (wgsl)
+// quality: refined (completed)
+// II: 4808 (lower bound 4540, binding res_mii)
+// schedule signature: 8220e77e56b463c617fdadf4944595e7
+// dispatch: 16 workgroups x 512 threads; host loops handled by the iterations uniform
+
+@group(0) @binding(0) var<storage, read_write> buf_2_0__4_0: array<f32>;
+@group(0) @binding(1) var<storage, read_write> buf_4_0__3_0: array<f32>;
+@group(0) @binding(2) var<storage, read_write> buf_2_1__5_0: array<f32>;
+@group(0) @binding(3) var<storage, read_write> buf_5_0__3_1: array<f32>;
+@group(0) @binding(4) var<storage, read_write> buf_6_0__8_0: array<f32>;
+@group(0) @binding(5) var<storage, read_write> buf_8_0__7_0: array<f32>;
+@group(0) @binding(6) var<storage, read_write> buf_6_1__9_0: array<f32>;
+@group(0) @binding(7) var<storage, read_write> buf_9_0__7_1: array<f32>;
+@group(0) @binding(8) var<storage, read_write> buf_10_0__12_0: array<f32>;
+@group(0) @binding(9) var<storage, read_write> buf_12_0__11_0: array<f32>;
+@group(0) @binding(10) var<storage, read_write> buf_10_1__13_0: array<f32>;
+@group(0) @binding(11) var<storage, read_write> buf_13_0__11_1: array<f32>;
+@group(0) @binding(12) var<storage, read_write> buf_7_0__10_0: array<f32>;
+@group(0) @binding(13) var<storage, read_write> buf_3_0__6_0: array<f32>;
+@group(0) @binding(14) var<storage, read_write> buf_0_0__2_0: array<f32>;
+@group(0) @binding(15) var<storage, read_write> buf_11_0__1_0: array<f32>;
+@group(0) @binding(16) var<storage, read_write> buf_14_0__16_0: array<f32>;
+@group(0) @binding(17) var<storage, read_write> buf_16_0__15_0: array<f32>;
+@group(0) @binding(18) var<storage, read_write> buf_14_1__17_0: array<f32>;
+@group(0) @binding(19) var<storage, read_write> buf_17_0__15_1: array<f32>;
+@group(0) @binding(20) var<storage, read_write> buf_18_0__20_0: array<f32>;
+@group(0) @binding(21) var<storage, read_write> buf_20_0__19_0: array<f32>;
+@group(0) @binding(22) var<storage, read_write> buf_18_1__21_0: array<f32>;
+@group(0) @binding(23) var<storage, read_write> buf_21_0__19_1: array<f32>;
+@group(0) @binding(24) var<storage, read_write> buf_22_0__24_0: array<f32>;
+@group(0) @binding(25) var<storage, read_write> buf_24_0__23_0: array<f32>;
+@group(0) @binding(26) var<storage, read_write> buf_22_1__25_0: array<f32>;
+@group(0) @binding(27) var<storage, read_write> buf_25_0__23_1: array<f32>;
+@group(0) @binding(28) var<storage, read_write> buf_19_0__22_0: array<f32>;
+@group(0) @binding(29) var<storage, read_write> buf_15_0__18_0: array<f32>;
+@group(0) @binding(30) var<storage, read_write> buf_0_1__14_0: array<f32>;
+@group(0) @binding(31) var<storage, read_write> buf_23_0__1_1: array<f32>;
+@group(0) @binding(32) var<storage, read_write> buf_26_0__28_0: array<f32>;
+@group(0) @binding(33) var<storage, read_write> buf_28_0__27_0: array<f32>;
+@group(0) @binding(34) var<storage, read_write> buf_26_1__29_0: array<f32>;
+@group(0) @binding(35) var<storage, read_write> buf_29_0__27_1: array<f32>;
+@group(0) @binding(36) var<storage, read_write> buf_26_2__30_0: array<f32>;
+@group(0) @binding(37) var<storage, read_write> buf_30_0__27_2: array<f32>;
+@group(0) @binding(38) var<storage, read_write> buf_26_3__31_0: array<f32>;
+@group(0) @binding(39) var<storage, read_write> buf_31_0__27_3: array<f32>;
+@group(0) @binding(40) var<storage, read_write> buf_34_0__36_0: array<f32>;
+@group(0) @binding(41) var<storage, read_write> buf_36_0__35_0: array<f32>;
+@group(0) @binding(42) var<storage, read_write> buf_34_1__37_0: array<f32>;
+@group(0) @binding(43) var<storage, read_write> buf_37_0__35_1: array<f32>;
+@group(0) @binding(44) var<storage, read_write> buf_38_0__40_0: array<f32>;
+@group(0) @binding(45) var<storage, read_write> buf_40_0__39_0: array<f32>;
+@group(0) @binding(46) var<storage, read_write> buf_38_1__41_0: array<f32>;
+@group(0) @binding(47) var<storage, read_write> buf_41_0__39_1: array<f32>;
+@group(0) @binding(48) var<storage, read_write> buf_35_0__38_0: array<f32>;
+@group(0) @binding(49) var<storage, read_write> buf_32_0__34_0: array<f32>;
+@group(0) @binding(50) var<storage, read_write> buf_39_0__33_0: array<f32>;
+@group(0) @binding(51) var<storage, read_write> buf_42_0__44_0: array<f32>;
+@group(0) @binding(52) var<storage, read_write> buf_44_0__43_0: array<f32>;
+@group(0) @binding(53) var<storage, read_write> buf_42_1__45_0: array<f32>;
+@group(0) @binding(54) var<storage, read_write> buf_45_0__43_1: array<f32>;
+@group(0) @binding(55) var<storage, read_write> buf_46_0__48_0: array<f32>;
+@group(0) @binding(56) var<storage, read_write> buf_48_0__47_0: array<f32>;
+@group(0) @binding(57) var<storage, read_write> buf_46_1__49_0: array<f32>;
+@group(0) @binding(58) var<storage, read_write> buf_49_0__47_1: array<f32>;
+@group(0) @binding(59) var<storage, read_write> buf_43_0__46_0: array<f32>;
+@group(0) @binding(60) var<storage, read_write> buf_32_1__42_0: array<f32>;
+@group(0) @binding(61) var<storage, read_write> buf_47_0__33_1: array<f32>;
+@group(0) @binding(62) var<storage, read_write> buf_27_0__32_0: array<f32>;
+@group(0) @binding(63) var<storage, read_write> buf_1_0__26_0: array<f32>;
+@group(0) @binding(64) var<storage, read> stream_in: array<f32>;
+@group(0) @binding(65) var<storage, read_write> stream_out: array<f32>;
+@group(0) @binding(66) var<uniform> iterations: i32;
+
+var<workgroup> stage_on: array<i32, 22>;
+
+fn region_0(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_1(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 4096; }
+fn region_2(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_3(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_4(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_5(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_6(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_7(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_8(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_9(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_10(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_11(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_12(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_13(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_14(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_15(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_16(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_17(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_18(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_19(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_20(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_21(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_22(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_23(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_24(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_25(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_26(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_27(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 4096; }
+fn region_28(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_29(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_30(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_31(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_32(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_33(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 0; }
+fn region_34(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_35(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_36(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_37(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_38(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_39(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_40(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_41(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_42(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_43(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_44(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_45(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_46(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_47(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 2048; }
+fn region_48(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+fn region_49(it: i32) -> i32 { return ((it % 23) + 23) % 23 * 1024; }
+
+fn work_split_sorthalves_23(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_sorthalves_23(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_11_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_11_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_11_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_11_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_11_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_11_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_11_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_11_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_sorthalves_14(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_0_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_0_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_0_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_0_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_sorthalves_14(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_4_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_3_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_4_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_3_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_4_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_3_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_4_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_3_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_13(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_2_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_2_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_4_0__3_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_4_0__3_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEdesc_12(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_2_1__5_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_2_1__5_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_5_0__3_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  buf_5_0__3_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_mergecmp_17(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_3_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_6_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_3_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_6_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_mergecmp_17(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_8_0__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_7_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_8_0__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_7_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_15(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_6_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_6_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_8_0__7_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_8_0__7_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_16(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_6_1__9_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_6_1__9_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_9_0__7_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_9_0__7_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_mergerec_20(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_7_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_mergerec_20(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_11_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_11_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_11_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_11_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_19(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_10_0__12_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_10_0__12_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_12_0__11_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_12_0__11_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_18(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_10_1__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_10_1__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_13_0__11_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_13_0__11_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_sorthalves_3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_0_1__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_14_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_0_1__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_14_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_0_1__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_14_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_0_1__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_14_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_sorthalves_3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_16_0__15_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_15_0__18_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_16_0__15_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_15_0__18_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_16_0__15_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_15_0__18_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_16_0__15_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_15_0__18_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_14_0__16_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_14_0__16_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_16_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_16_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEdesc_1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_14_1__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_14_1__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_17_0__15_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  buf_17_0__15_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_mergecmp_6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_15_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_18_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_15_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_18_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_mergecmp_6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_20_0__19_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_19_0__22_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_20_0__19_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_19_0__22_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEdesc_4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_18_0__20_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_18_0__20_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_20_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  buf_20_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEdesc_5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_18_1__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_18_1__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_21_0__19_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  buf_21_0__19_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_mergerec_9(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_19_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_22_0__24_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_19_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_22_0__24_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_19_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_22_0__24_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_19_0__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_22_0__24_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_mergerec_9(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_24_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_23_0__1_1[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_24_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_23_0__1_1[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_24_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_23_0__1_1[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_24_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_23_0__1_1[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEdesc_8(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_22_0__24_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_22_0__24_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_24_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  buf_24_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEdesc_7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_22_1__25_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_22_1__25_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_25_0__23_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  buf_25_0__23_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_mergecmp_28(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_1_0__26_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_26_0__28_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_1_0__26_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_26_0__28_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_1_0__26_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_26_0__28_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_1_0__26_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_26_0__28_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_mergecmp_28(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_28_0__27_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_27_0__32_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_28_0__27_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_27_0__32_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_28_0__27_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_27_0__32_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_28_0__27_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_27_0__32_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_24(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_26_0__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_26_0__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_28_0__27_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_28_0__27_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_25(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_26_1__29_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_26_1__29_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_29_0__27_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_29_0__27_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_26(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_26_2__30_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_26_2__30_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_30_0__27_2[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_30_0__27_2[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_27(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_26_3__31_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_26_3__31_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_31_0__27_3[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_31_0__27_3[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_mergerec_43(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_27_0__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_32_0__34_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_27_0__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_32_0__34_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_27_0__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_32_0__34_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_27_0__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_32_0__34_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_27_0__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_32_0__34_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_27_0__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_32_0__34_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_27_0__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_32_0__34_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_27_0__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_32_0__34_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_mergerec_43(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_39_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_39_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_39_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_39_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_39_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_39_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_39_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_39_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_mergecmp_38(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_32_0__34_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_34_0__36_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_32_0__34_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_34_0__36_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_mergecmp_38(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_36_0__35_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_35_0__38_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_36_0__35_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_35_0__38_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_36(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_34_0__36_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_34_0__36_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_36_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_36_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_37(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_34_1__37_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_34_1__37_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_37_0__35_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_37_0__35_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_mergerec_41(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_35_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_38_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_35_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_38_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_35_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_38_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_35_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_38_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_mergerec_41(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_40_0__39_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_39_0__33_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_40_0__39_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_39_0__33_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_40_0__39_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_39_0__33_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_40_0__39_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_39_0__33_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_40(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_38_0__40_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_38_0__40_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_40_0__39_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_40_0__39_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_39(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_38_1__41_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_38_1__41_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_41_0__39_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_41_0__39_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_mergecmp_31(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_32_1__42_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_42_0__44_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_32_1__42_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_42_0__44_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_mergecmp_31(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_44_0__43_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_43_0__46_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_44_0__43_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_43_0__46_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_29(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_42_0__44_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_42_0__44_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_44_0__43_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_44_0__43_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_30(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_42_1__45_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_42_1__45_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_45_0__43_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_45_0__43_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_mergerec_34(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_43_0__46_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_46_0__48_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_43_0__46_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_46_0__48_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_43_0__46_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_46_0__48_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_43_0__46_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_46_0__48_0[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_mergerec_34(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_48_0__47_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_47_0__33_1[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_48_0__47_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_47_0__33_1[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_48_0__47_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_47_0__33_1[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_48_0__47_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 4 + (tid % 128))]; _pop++;
+  buf_47_0__33_1[out_base + (128 * (_push) + (tid / 128) * 128 * 4 + (tid % 128))] = f32(_t4); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_33(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_46_0__48_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_46_0__48_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_48_0__47_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_48_0__47_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_CEasc_32(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: i32 = i32(buf_46_1__49_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var a: i32 = _t1;
+  let _t2: i32 = i32(buf_46_1__49_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]); _pop++;
+  var b: i32 = _t2;
+  buf_49_0__47_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(min(a, b)); _push++;
+  buf_49_0__47_1[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(max(a, b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+@compute @workgroup_size(512, 1, 1)
+fn swp_kernel(@builtin(local_invocation_id) lid: vec3<u32>,
+              @builtin(workgroup_id) wid: vec3<u32>) {
+  let tid: i32 = i32(lid.x);
+  let sm: i32 = i32(wid.x);
+  // staging predicates, one per pipeline stage (depth 22)
+  if tid == 0 { for (var s: i32 = 0; s < 22; s++) { stage_on[s] = 0; } }
+  workgroupBarrier();
+  for (var it: i32 = 0; it < iterations + 22; it++) {
+    if tid == 0 {
+      for (var s: i32 = 21; s > 0; s--) { stage_on[s] = stage_on[s-1]; }
+      stage_on[0] = select(0, 1, it < iterations);
+    }
+    workgroupBarrier();
+    switch sm {
+      case 0: {
+        // (split_mergecmp_38, k=0) o=0 f=15 threads=512
+        if stage_on[15] != 0 && tid < 512 {
+          work_split_mergecmp_38(region_34(it - 15), region_34(it - 15), tid);
+        }
+        // (CEasc_24, k=0) o=0 f=12 threads=512
+        if stage_on[12] != 0 && tid < 512 {
+          work_CEasc_24(region_28(it - 12), region_28(it - 12), tid);
+        }
+        // (split_sorthalves_23, k=0) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_sorthalves_23(region_0(it - 0), region_0(it - 0), tid);
+        }
+      }
+      case 1: {
+        // (split_mergecmp_38, k=1) o=0 f=15 threads=512
+        if stage_on[15] != 0 && tid < 512 {
+          work_split_mergecmp_38(region_34(it - 15), region_34(it - 15), tid);
+        }
+        // (CEasc_25, k=0) o=0 f=12 threads=512
+        if stage_on[12] != 0 && tid < 512 {
+          work_CEasc_25(region_29(it - 12), region_29(it - 12), tid);
+        }
+        // (join_sorthalves_23, k=0) o=0 f=10 threads=512
+        if stage_on[10] != 0 && tid < 512 {
+          work_join_sorthalves_23(region_1(it - 10), region_1(it - 10), tid);
+        }
+      }
+      case 2: {
+        // (join_mergecmp_38, k=0) o=0 f=17 threads=512
+        if stage_on[17] != 0 && tid < 512 {
+          work_join_mergecmp_38(region_35(it - 17), region_35(it - 17), tid);
+        }
+        // (split_mergerec_43, k=0) o=0 f=14 threads=512
+        if stage_on[14] != 0 && tid < 512 {
+          work_split_mergerec_43(region_32(it - 14), region_32(it - 14), tid);
+        }
+        // (CEasc_26, k=0) o=0 f=12 threads=512
+        if stage_on[12] != 0 && tid < 512 {
+          work_CEasc_26(region_30(it - 12), region_30(it - 12), tid);
+        }
+      }
+      case 3: {
+        // (join_mergecmp_38, k=1) o=0 f=17 threads=512
+        if stage_on[17] != 0 && tid < 512 {
+          work_join_mergecmp_38(region_35(it - 17), region_35(it - 17), tid);
+        }
+        // (join_mergerec_43, k=0) o=0 f=21 threads=512
+        if stage_on[21] != 0 && tid < 512 {
+          work_join_mergerec_43(region_33(it - 21), region_33(it - 21), tid);
+        }
+        // (CEasc_27, k=0) o=0 f=12 threads=512
+        if stage_on[12] != 0 && tid < 512 {
+          work_CEasc_27(region_31(it - 12), region_31(it - 12), tid);
+        }
+      }
+      case 4: {
+        // (CEasc_29, k=0) o=0 f=16 threads=512
+        if stage_on[16] != 0 && tid < 512 {
+          work_CEasc_29(region_44(it - 16), region_44(it - 16), tid);
+        }
+        // (split_mergerec_41, k=0) o=0 f=18 threads=512
+        if stage_on[18] != 0 && tid < 512 {
+          work_split_mergerec_41(region_38(it - 18), region_38(it - 18), tid);
+        }
+        // (CEasc_19, k=0) o=0 f=8 threads=512
+        if stage_on[8] != 0 && tid < 512 {
+          work_CEasc_19(region_12(it - 8), region_12(it - 8), tid);
+        }
+        // (split_sorthalves_14, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_split_sorthalves_14(region_2(it - 1), region_2(it - 1), tid);
+        }
+      }
+      case 5: {
+        // (CEasc_30, k=0) o=0 f=16 threads=512
+        if stage_on[16] != 0 && tid < 512 {
+          work_CEasc_30(region_45(it - 16), region_45(it - 16), tid);
+        }
+        // (join_mergerec_41, k=0) o=0 f=20 threads=512
+        if stage_on[20] != 0 && tid < 512 {
+          work_join_mergerec_41(region_39(it - 20), region_39(it - 20), tid);
+        }
+        // (CEasc_18, k=0) o=0 f=8 threads=512
+        if stage_on[8] != 0 && tid < 512 {
+          work_CEasc_18(region_13(it - 8), region_13(it - 8), tid);
+        }
+        // (join_sorthalves_14, k=0) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_join_sorthalves_14(region_3(it - 3), region_3(it - 3), tid);
+        }
+      }
+      case 6: {
+        // (split_mergerec_34, k=0) o=0 f=18 threads=512
+        if stage_on[18] != 0 && tid < 512 {
+          work_split_mergerec_34(region_46(it - 18), region_46(it - 18), tid);
+        }
+        // (CEasc_2, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_CEasc_2(region_16(it - 2), region_16(it - 2), tid);
+        }
+        // (split_mergerec_20, k=0) o=0 f=7 threads=512
+        if stage_on[7] != 0 && tid < 512 {
+          work_split_mergerec_20(region_10(it - 7), region_10(it - 7), tid);
+        }
+        // (CEasc_33, k=0) o=1586 f=18 threads=512
+        if stage_on[18] != 0 && tid < 512 {
+          work_CEasc_33(region_48(it - 18), region_48(it - 18), tid);
+        }
+      }
+      case 7: {
+        // (CEasc_32, k=0) o=0 f=19 threads=512
+        if stage_on[19] != 0 && tid < 512 {
+          work_CEasc_32(region_49(it - 19), region_49(it - 19), tid);
+        }
+        // (CEdesc_1, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_CEdesc_1(region_17(it - 2), region_17(it - 2), tid);
+        }
+        // (join_mergerec_20, k=0) o=0 f=9 threads=512
+        if stage_on[9] != 0 && tid < 512 {
+          work_join_mergerec_20(region_11(it - 9), region_11(it - 9), tid);
+        }
+        // (join_mergerec_34, k=0) o=1586 f=19 threads=512
+        if stage_on[19] != 0 && tid < 512 {
+          work_join_mergerec_34(region_47(it - 19), region_47(it - 19), tid);
+        }
+      }
+      case 8: {
+        // (split_mergecmp_31, k=0) o=0 f=15 threads=512
+        if stage_on[15] != 0 && tid < 512 {
+          work_split_mergecmp_31(region_42(it - 15), region_42(it - 15), tid);
+        }
+        // (CEasc_36, k=0) o=0 f=16 threads=512
+        if stage_on[16] != 0 && tid < 512 {
+          work_CEasc_36(region_36(it - 16), region_36(it - 16), tid);
+        }
+        // (split_sorthalves_3, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_split_sorthalves_3(region_14(it - 1), region_14(it - 1), tid);
+        }
+        // (split_mergecmp_17, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_split_mergecmp_17(region_6(it - 4), region_6(it - 4), tid);
+        }
+      }
+      case 9: {
+        // (split_mergecmp_31, k=1) o=0 f=15 threads=512
+        if stage_on[15] != 0 && tid < 512 {
+          work_split_mergecmp_31(region_42(it - 15), region_42(it - 15), tid);
+        }
+        // (CEasc_37, k=0) o=0 f=16 threads=512
+        if stage_on[16] != 0 && tid < 512 {
+          work_CEasc_37(region_37(it - 16), region_37(it - 16), tid);
+        }
+        // (join_sorthalves_3, k=0) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_join_sorthalves_3(region_15(it - 3), region_15(it - 3), tid);
+        }
+        // (split_mergecmp_17, k=1) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_split_mergecmp_17(region_6(it - 4), region_6(it - 4), tid);
+        }
+      }
+      case 10: {
+        // (join_mergecmp_31, k=0) o=0 f=17 threads=512
+        if stage_on[17] != 0 && tid < 512 {
+          work_join_mergecmp_31(region_43(it - 17), region_43(it - 17), tid);
+        }
+        // (CEasc_40, k=0) o=0 f=19 threads=512
+        if stage_on[19] != 0 && tid < 512 {
+          work_CEasc_40(region_40(it - 19), region_40(it - 19), tid);
+        }
+        // (split_mergerec_9, k=0) o=0 f=7 threads=512
+        if stage_on[7] != 0 && tid < 512 {
+          work_split_mergerec_9(region_22(it - 7), region_22(it - 7), tid);
+        }
+        // (join_mergecmp_17, k=0) o=0 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_join_mergecmp_17(region_7(it - 6), region_7(it - 6), tid);
+        }
+      }
+      case 11: {
+        // (join_mergecmp_31, k=1) o=0 f=17 threads=512
+        if stage_on[17] != 0 && tid < 512 {
+          work_join_mergecmp_31(region_43(it - 17), region_43(it - 17), tid);
+        }
+        // (CEasc_39, k=0) o=0 f=19 threads=512
+        if stage_on[19] != 0 && tid < 512 {
+          work_CEasc_39(region_41(it - 19), region_41(it - 19), tid);
+        }
+        // (join_mergerec_9, k=0) o=0 f=9 threads=512
+        if stage_on[9] != 0 && tid < 512 {
+          work_join_mergerec_9(region_23(it - 9), region_23(it - 9), tid);
+        }
+        // (join_mergecmp_17, k=1) o=0 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_join_mergecmp_17(region_7(it - 6), region_7(it - 6), tid);
+        }
+      }
+      case 12: {
+        // (split_mergecmp_28, k=0) o=0 f=11 threads=512
+        if stage_on[11] != 0 && tid < 512 {
+          work_split_mergecmp_28(region_26(it - 11), region_26(it - 11), tid);
+        }
+        // (CEdesc_4, k=0) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_CEdesc_4(region_20(it - 5), region_20(it - 5), tid);
+        }
+        // (split_mergecmp_6, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_split_mergecmp_6(region_18(it - 4), region_18(it - 4), tid);
+        }
+        // (CEasc_13, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_CEasc_13(region_4(it - 2), region_4(it - 2), tid);
+        }
+      }
+      case 13: {
+        // (split_mergecmp_28, k=1) o=0 f=11 threads=512
+        if stage_on[11] != 0 && tid < 512 {
+          work_split_mergecmp_28(region_26(it - 11), region_26(it - 11), tid);
+        }
+        // (CEdesc_5, k=0) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_CEdesc_5(region_21(it - 5), region_21(it - 5), tid);
+        }
+        // (split_mergecmp_6, k=1) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_split_mergecmp_6(region_18(it - 4), region_18(it - 4), tid);
+        }
+        // (CEdesc_12, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_CEdesc_12(region_5(it - 2), region_5(it - 2), tid);
+        }
+      }
+      case 14: {
+        // (join_mergecmp_28, k=0) o=0 f=13 threads=512
+        if stage_on[13] != 0 && tid < 512 {
+          work_join_mergecmp_28(region_27(it - 13), region_27(it - 13), tid);
+        }
+        // (CEdesc_8, k=0) o=0 f=8 threads=512
+        if stage_on[8] != 0 && tid < 512 {
+          work_CEdesc_8(region_24(it - 8), region_24(it - 8), tid);
+        }
+        // (join_mergecmp_6, k=0) o=0 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_join_mergecmp_6(region_19(it - 6), region_19(it - 6), tid);
+        }
+        // (CEasc_15, k=0) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_CEasc_15(region_8(it - 5), region_8(it - 5), tid);
+        }
+      }
+      case 15: {
+        // (join_mergecmp_28, k=1) o=0 f=13 threads=512
+        if stage_on[13] != 0 && tid < 512 {
+          work_join_mergecmp_28(region_27(it - 13), region_27(it - 13), tid);
+        }
+        // (CEdesc_7, k=0) o=0 f=8 threads=512
+        if stage_on[8] != 0 && tid < 512 {
+          work_CEdesc_7(region_25(it - 8), region_25(it - 8), tid);
+        }
+        // (join_mergecmp_6, k=1) o=0 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_join_mergecmp_6(region_19(it - 6), region_19(it - 6), tid);
+        }
+        // (CEasc_16, k=0) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_CEasc_16(region_9(it - 5), region_9(it - 5), tid);
+        }
+      }
+      default: {}
+    }
+    // II boundary
+    workgroupBarrier();
+  }
+}

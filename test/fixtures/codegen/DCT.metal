@@ -1,0 +1,890 @@
+/* streamit_gpu artifact (metal)
+ * quality: heuristic (completed)
+ * II: 66404 (lower bound 66404, binding res_mii_sharp)
+ * schedule signature: 53bae1c0771a5de168a8c58a494ec1ce
+ */
+#include <metal_stdlib>
+using namespace metal;
+
+static inline int region_0(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_1(int it) { return ((it % 7) + 7) % 7 * 32768; }
+static inline int region_2(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_3(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_4(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_5(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_6(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_7(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_8(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_9(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_10(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_11(int it) { return ((it % 7) + 7) % 7 * 0; }
+static inline int region_12(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_13(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_14(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_15(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_16(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_17(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_18(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_19(int it) { return ((it % 7) + 7) % 7 * 4096; }
+
+static void work_split_dct_rank_rows(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t8; _push++;
+  float _t9 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t9; _push++;
+  float _t10 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t10; _push++;
+  float _t11 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t11; _push++;
+  float _t12 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t12; _push++;
+  float _t13 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t13; _push++;
+  float _t14 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t14; _push++;
+  float _t15 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t15; _push++;
+  float _t16 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t16; _push++;
+  float _t17 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t17; _push++;
+  float _t18 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t18; _push++;
+  float _t19 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t19; _push++;
+  float _t20 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t20; _push++;
+  float _t21 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t21; _push++;
+  float _t22 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t22; _push++;
+  float _t23 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t23; _push++;
+  float _t24 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t24; _push++;
+  float _t25 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t25; _push++;
+  float _t26 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t26; _push++;
+  float _t27 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t27; _push++;
+  float _t28 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t28; _push++;
+  float _t29 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t29; _push++;
+  float _t30 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t30; _push++;
+  float _t31 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t31; _push++;
+  float _t32 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t32; _push++;
+  float _t33 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t33; _push++;
+  float _t34 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t34; _push++;
+  float _t35 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t35; _push++;
+  float _t36 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t36; _push++;
+  float _t37 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t37; _push++;
+  float _t38 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t38; _push++;
+  float _t39 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t39; _push++;
+  float _t40 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t40; _push++;
+  float _t41 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t41; _push++;
+  float _t42 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t42; _push++;
+  float _t43 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t43; _push++;
+  float _t44 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t44; _push++;
+  float _t45 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t45; _push++;
+  float _t46 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t46; _push++;
+  float _t47 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t47; _push++;
+  float _t48 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t48; _push++;
+  float _t49 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t49; _push++;
+  float _t50 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t50; _push++;
+  float _t51 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t51; _push++;
+  float _t52 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t52; _push++;
+  float _t53 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t53; _push++;
+  float _t54 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t54; _push++;
+  float _t55 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t55; _push++;
+  float _t56 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t56; _push++;
+  float _t57 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t57; _push++;
+  float _t58 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t58; _push++;
+  float _t59 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t59; _push++;
+  float _t60 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t60; _push++;
+  float _t61 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t61; _push++;
+  float _t62 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t62; _push++;
+  float _t63 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t63; _push++;
+  float _t64 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t64; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_dct_rank_rows(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t8; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_rows0_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_rows0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows0_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_rows1_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_rows1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows1_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_rows2_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_rows2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows2_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_rows3_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_rows3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows3_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_rows4_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_rows4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows4_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_rows5_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_rows5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows5_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_rows6_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_rows6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows6_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_rows7_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_rows7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows7_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+static void work_split_dct_rank_cols(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t8; _push++;
+  float _t9 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t9; _push++;
+  float _t10 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t10; _push++;
+  float _t11 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t11; _push++;
+  float _t12 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t12; _push++;
+  float _t13 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t13; _push++;
+  float _t14 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t14; _push++;
+  float _t15 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t15; _push++;
+  float _t16 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t16; _push++;
+  float _t17 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t17; _push++;
+  float _t18 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t18; _push++;
+  float _t19 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t19; _push++;
+  float _t20 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t20; _push++;
+  float _t21 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t21; _push++;
+  float _t22 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t22; _push++;
+  float _t23 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t23; _push++;
+  float _t24 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t24; _push++;
+  float _t25 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t25; _push++;
+  float _t26 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t26; _push++;
+  float _t27 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t27; _push++;
+  float _t28 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t28; _push++;
+  float _t29 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t29; _push++;
+  float _t30 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t30; _push++;
+  float _t31 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t31; _push++;
+  float _t32 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t32; _push++;
+  float _t33 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t33; _push++;
+  float _t34 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t34; _push++;
+  float _t35 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t35; _push++;
+  float _t36 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t36; _push++;
+  float _t37 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t37; _push++;
+  float _t38 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t38; _push++;
+  float _t39 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t39; _push++;
+  float _t40 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t40; _push++;
+  float _t41 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t41; _push++;
+  float _t42 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t42; _push++;
+  float _t43 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t43; _push++;
+  float _t44 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t44; _push++;
+  float _t45 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t45; _push++;
+  float _t46 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t46; _push++;
+  float _t47 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t47; _push++;
+  float _t48 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t48; _push++;
+  float _t49 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t49; _push++;
+  float _t50 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t50; _push++;
+  float _t51 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t51; _push++;
+  float _t52 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t52; _push++;
+  float _t53 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t53; _push++;
+  float _t54 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t54; _push++;
+  float _t55 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t55; _push++;
+  float _t56 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t56; _push++;
+  float _t57 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t57; _push++;
+  float _t58 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t58; _push++;
+  float _t59 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t59; _push++;
+  float _t60 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t60; _push++;
+  float _t61 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t61; _push++;
+  float _t62 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t62; _push++;
+  float _t63 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t63; _push++;
+  float _t64 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t64; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_dct_rank_cols(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t8; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_cols0_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_cols0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols0_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_cols1_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_cols1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols1_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_cols2_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_cols2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols2_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_cols3_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_cols3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols3_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_cols4_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_cols4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols4_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_cols5_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_cols5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols5_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_cols6_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_cols6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols6_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DCT1D_cols7_coeff[64] = { 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f };
+static void work_DCT1D_cols7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float row[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (int k = 0; k < 8; k++) {
+    float acc = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols7_coeff[((k * 8) + j)]));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = acc; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+kernel void swp_kernel(device float* buf_0_0__2_0 [[buffer(0)]],
+                       device float* buf_2_0__1_0 [[buffer(1)]],
+                       device float* buf_0_1__3_0 [[buffer(2)]],
+                       device float* buf_3_0__1_1 [[buffer(3)]],
+                       device float* buf_0_2__4_0 [[buffer(4)]],
+                       device float* buf_4_0__1_2 [[buffer(5)]],
+                       device float* buf_0_3__5_0 [[buffer(6)]],
+                       device float* buf_5_0__1_3 [[buffer(7)]],
+                       device float* buf_0_4__6_0 [[buffer(8)]],
+                       device float* buf_6_0__1_4 [[buffer(9)]],
+                       device float* buf_0_5__7_0 [[buffer(10)]],
+                       device float* buf_7_0__1_5 [[buffer(11)]],
+                       device float* buf_0_6__8_0 [[buffer(12)]],
+                       device float* buf_8_0__1_6 [[buffer(13)]],
+                       device float* buf_0_7__9_0 [[buffer(14)]],
+                       device float* buf_9_0__1_7 [[buffer(15)]],
+                       device float* buf_10_0__12_0 [[buffer(16)]],
+                       device float* buf_12_0__11_0 [[buffer(17)]],
+                       device float* buf_10_1__13_0 [[buffer(18)]],
+                       device float* buf_13_0__11_1 [[buffer(19)]],
+                       device float* buf_10_2__14_0 [[buffer(20)]],
+                       device float* buf_14_0__11_2 [[buffer(21)]],
+                       device float* buf_10_3__15_0 [[buffer(22)]],
+                       device float* buf_15_0__11_3 [[buffer(23)]],
+                       device float* buf_10_4__16_0 [[buffer(24)]],
+                       device float* buf_16_0__11_4 [[buffer(25)]],
+                       device float* buf_10_5__17_0 [[buffer(26)]],
+                       device float* buf_17_0__11_5 [[buffer(27)]],
+                       device float* buf_10_6__18_0 [[buffer(28)]],
+                       device float* buf_18_0__11_6 [[buffer(29)]],
+                       device float* buf_10_7__19_0 [[buffer(30)]],
+                       device float* buf_19_0__11_7 [[buffer(31)]],
+                       device float* buf_1_0__10_0 [[buffer(32)]],
+                       const device float* stream_in [[buffer(33)]],
+                       device float* stream_out [[buffer(34)]],
+                       constant int& iterations [[buffer(35)]],
+                       uint tid_u [[thread_position_in_threadgroup]],
+                       uint sm_u [[threadgroup_position_in_grid]])
+{
+  int tid = (int)tid_u;
+  int sm = (int)sm_u;
+  /* staging predicates, one per pipeline stage (depth 6) */
+  threadgroup int stage_on[6];
+  if (tid == 0) for (int s = 0; s < 6; s++) stage_on[s] = 0;
+  threadgroup_barrier(mem_flags::mem_threadgroup);
+  for (int it = 0; it < iterations + 6; it++) {
+    if (tid == 0) { for (int s = 5; s > 0; s--) stage_on[s] = stage_on[s-1]; stage_on[0] = (it < iterations); }
+    threadgroup_barrier(mem_flags::mem_threadgroup);
+    switch (sm) {
+    case 0: {
+      /* (DCT1D_rows0, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DCT1D_rows0(buf_0_0__2_0 + region_2(it - 1), buf_2_0__1_0 + region_2(it - 1), tid);
+      /* (split_dct_rank_rows, k=0) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_dct_rank_rows(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      break; }
+    case 1: {
+      /* (split_dct_rank_cols, k=0) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_split_dct_rank_cols(buf_1_0__10_0 + region_10(it - 3), buf_10_0__12_0 + region_10(it - 3), tid);
+      /* (DCT1D_rows1, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DCT1D_rows1(buf_0_1__3_0 + region_3(it - 1), buf_3_0__1_1 + region_3(it - 1), tid);
+      break; }
+    case 2: {
+      /* (DCT1D_rows2, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DCT1D_rows2(buf_0_2__4_0 + region_4(it - 1), buf_4_0__1_2 + region_4(it - 1), tid);
+      /* (join_dct_rank_rows, k=5) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_join_dct_rank_rows(buf_2_0__1_0 + region_1(it - 2), buf_1_0__10_0 + region_1(it - 2), tid);
+      /* (join_dct_rank_rows, k=4) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_join_dct_rank_rows(buf_2_0__1_0 + region_1(it - 2), buf_1_0__10_0 + region_1(it - 2), tid);
+      /* (join_dct_rank_rows, k=3) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_join_dct_rank_rows(buf_2_0__1_0 + region_1(it - 2), buf_1_0__10_0 + region_1(it - 2), tid);
+      /* (join_dct_rank_rows, k=2) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_join_dct_rank_rows(buf_2_0__1_0 + region_1(it - 2), buf_1_0__10_0 + region_1(it - 2), tid);
+      /* (join_dct_rank_rows, k=1) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_join_dct_rank_rows(buf_2_0__1_0 + region_1(it - 2), buf_1_0__10_0 + region_1(it - 2), tid);
+      /* (join_dct_rank_rows, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_join_dct_rank_rows(buf_2_0__1_0 + region_1(it - 2), buf_1_0__10_0 + region_1(it - 2), tid);
+      break; }
+    case 3: {
+      /* (join_dct_rank_cols, k=3) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_dct_rank_cols(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_dct_rank_cols, k=2) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_dct_rank_cols(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_dct_rank_cols, k=1) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_dct_rank_cols(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_dct_rank_cols, k=0) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_dct_rank_cols(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (DCT1D_rows3, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DCT1D_rows3(buf_0_3__5_0 + region_5(it - 1), buf_5_0__1_3 + region_5(it - 1), tid);
+      /* (join_dct_rank_rows, k=7) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_join_dct_rank_rows(buf_2_0__1_0 + region_1(it - 2), buf_1_0__10_0 + region_1(it - 2), tid);
+      /* (join_dct_rank_rows, k=6) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_join_dct_rank_rows(buf_2_0__1_0 + region_1(it - 2), buf_1_0__10_0 + region_1(it - 2), tid);
+      break; }
+    case 4: {
+      /* (join_dct_rank_cols, k=7) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_dct_rank_cols(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_dct_rank_cols, k=6) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_dct_rank_cols(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_dct_rank_cols, k=5) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_dct_rank_cols(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_dct_rank_cols, k=4) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_dct_rank_cols(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (DCT1D_rows4, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DCT1D_rows4(buf_0_4__6_0 + region_6(it - 1), buf_6_0__1_4 + region_6(it - 1), tid);
+      break; }
+    case 5: {
+      /* (DCT1D_rows5, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DCT1D_rows5(buf_0_5__7_0 + region_7(it - 1), buf_7_0__1_5 + region_7(it - 1), tid);
+      break; }
+    case 6: {
+      /* (DCT1D_rows6, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DCT1D_rows6(buf_0_6__8_0 + region_8(it - 1), buf_8_0__1_6 + region_8(it - 1), tid);
+      break; }
+    case 7: {
+      /* (DCT1D_rows7, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DCT1D_rows7(buf_0_7__9_0 + region_9(it - 1), buf_9_0__1_7 + region_9(it - 1), tid);
+      break; }
+    case 8: {
+      /* (DCT1D_cols0, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DCT1D_cols0(buf_10_0__12_0 + region_12(it - 4), buf_12_0__11_0 + region_12(it - 4), tid);
+      break; }
+    case 9: {
+      /* (DCT1D_cols1, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DCT1D_cols1(buf_10_1__13_0 + region_13(it - 4), buf_13_0__11_1 + region_13(it - 4), tid);
+      break; }
+    case 10: {
+      /* (DCT1D_cols2, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DCT1D_cols2(buf_10_2__14_0 + region_14(it - 4), buf_14_0__11_2 + region_14(it - 4), tid);
+      break; }
+    case 11: {
+      /* (DCT1D_cols3, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DCT1D_cols3(buf_10_3__15_0 + region_15(it - 4), buf_15_0__11_3 + region_15(it - 4), tid);
+      break; }
+    case 12: {
+      /* (DCT1D_cols4, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DCT1D_cols4(buf_10_4__16_0 + region_16(it - 4), buf_16_0__11_4 + region_16(it - 4), tid);
+      break; }
+    case 13: {
+      /* (DCT1D_cols5, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DCT1D_cols5(buf_10_5__17_0 + region_17(it - 4), buf_17_0__11_5 + region_17(it - 4), tid);
+      break; }
+    case 14: {
+      /* (DCT1D_cols6, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DCT1D_cols6(buf_10_6__18_0 + region_18(it - 4), buf_18_0__11_6 + region_18(it - 4), tid);
+      break; }
+    case 15: {
+      /* (DCT1D_cols7, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DCT1D_cols7(buf_10_7__19_0 + region_19(it - 4), buf_19_0__11_7 + region_19(it - 4), tid);
+      break; }
+    }
+    /* II boundary */
+  }
+}
+
+/* host launch (Metal):
+ *   dispatchThreadgroups: 16 threadgroups x 512 threads
+ *   newBuffer buf_0_0__2_0: 114688 bytes
+ *   newBuffer buf_2_0__1_0: 114688 bytes
+ *   newBuffer buf_0_1__3_0: 114688 bytes
+ *   newBuffer buf_3_0__1_1: 114688 bytes
+ *   newBuffer buf_0_2__4_0: 114688 bytes
+ *   newBuffer buf_4_0__1_2: 114688 bytes
+ *   newBuffer buf_0_3__5_0: 114688 bytes
+ *   newBuffer buf_5_0__1_3: 114688 bytes
+ *   newBuffer buf_0_4__6_0: 114688 bytes
+ *   newBuffer buf_6_0__1_4: 114688 bytes
+ *   newBuffer buf_0_5__7_0: 114688 bytes
+ *   newBuffer buf_7_0__1_5: 114688 bytes
+ *   newBuffer buf_0_6__8_0: 114688 bytes
+ *   newBuffer buf_8_0__1_6: 114688 bytes
+ *   newBuffer buf_0_7__9_0: 114688 bytes
+ *   newBuffer buf_9_0__1_7: 114688 bytes
+ *   newBuffer buf_10_0__12_0: 114688 bytes
+ *   newBuffer buf_12_0__11_0: 114688 bytes
+ *   newBuffer buf_10_1__13_0: 114688 bytes
+ *   newBuffer buf_13_0__11_1: 114688 bytes
+ *   newBuffer buf_10_2__14_0: 114688 bytes
+ *   newBuffer buf_14_0__11_2: 114688 bytes
+ *   newBuffer buf_10_3__15_0: 114688 bytes
+ *   newBuffer buf_15_0__11_3: 114688 bytes
+ *   newBuffer buf_10_4__16_0: 114688 bytes
+ *   newBuffer buf_16_0__11_4: 114688 bytes
+ *   newBuffer buf_10_5__17_0: 114688 bytes
+ *   newBuffer buf_17_0__11_5: 114688 bytes
+ *   newBuffer buf_10_6__18_0: 114688 bytes
+ *   newBuffer buf_18_0__11_6: 114688 bytes
+ *   newBuffer buf_10_7__19_0: 114688 bytes
+ *   newBuffer buf_19_0__11_7: 114688 bytes
+ *   newBuffer buf_1_0__10_0: 917504 bytes
+ *   stream_in/stream_out: 1 << 20 bytes, input shuffled per eq. (9); iterations = 1024
+ */

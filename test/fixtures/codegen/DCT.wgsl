@@ -1,0 +1,907 @@
+// streamit_gpu artifact (wgsl)
+// quality: heuristic (completed)
+// II: 66404 (lower bound 66404, binding res_mii_sharp)
+// schedule signature: 53bae1c0771a5de168a8c58a494ec1ce
+// dispatch: 16 workgroups x 512 threads; host loops handled by the iterations uniform
+
+@group(0) @binding(0) var<storage, read_write> buf_0_0__2_0: array<f32>;
+@group(0) @binding(1) var<storage, read_write> buf_2_0__1_0: array<f32>;
+@group(0) @binding(2) var<storage, read_write> buf_0_1__3_0: array<f32>;
+@group(0) @binding(3) var<storage, read_write> buf_3_0__1_1: array<f32>;
+@group(0) @binding(4) var<storage, read_write> buf_0_2__4_0: array<f32>;
+@group(0) @binding(5) var<storage, read_write> buf_4_0__1_2: array<f32>;
+@group(0) @binding(6) var<storage, read_write> buf_0_3__5_0: array<f32>;
+@group(0) @binding(7) var<storage, read_write> buf_5_0__1_3: array<f32>;
+@group(0) @binding(8) var<storage, read_write> buf_0_4__6_0: array<f32>;
+@group(0) @binding(9) var<storage, read_write> buf_6_0__1_4: array<f32>;
+@group(0) @binding(10) var<storage, read_write> buf_0_5__7_0: array<f32>;
+@group(0) @binding(11) var<storage, read_write> buf_7_0__1_5: array<f32>;
+@group(0) @binding(12) var<storage, read_write> buf_0_6__8_0: array<f32>;
+@group(0) @binding(13) var<storage, read_write> buf_8_0__1_6: array<f32>;
+@group(0) @binding(14) var<storage, read_write> buf_0_7__9_0: array<f32>;
+@group(0) @binding(15) var<storage, read_write> buf_9_0__1_7: array<f32>;
+@group(0) @binding(16) var<storage, read_write> buf_10_0__12_0: array<f32>;
+@group(0) @binding(17) var<storage, read_write> buf_12_0__11_0: array<f32>;
+@group(0) @binding(18) var<storage, read_write> buf_10_1__13_0: array<f32>;
+@group(0) @binding(19) var<storage, read_write> buf_13_0__11_1: array<f32>;
+@group(0) @binding(20) var<storage, read_write> buf_10_2__14_0: array<f32>;
+@group(0) @binding(21) var<storage, read_write> buf_14_0__11_2: array<f32>;
+@group(0) @binding(22) var<storage, read_write> buf_10_3__15_0: array<f32>;
+@group(0) @binding(23) var<storage, read_write> buf_15_0__11_3: array<f32>;
+@group(0) @binding(24) var<storage, read_write> buf_10_4__16_0: array<f32>;
+@group(0) @binding(25) var<storage, read_write> buf_16_0__11_4: array<f32>;
+@group(0) @binding(26) var<storage, read_write> buf_10_5__17_0: array<f32>;
+@group(0) @binding(27) var<storage, read_write> buf_17_0__11_5: array<f32>;
+@group(0) @binding(28) var<storage, read_write> buf_10_6__18_0: array<f32>;
+@group(0) @binding(29) var<storage, read_write> buf_18_0__11_6: array<f32>;
+@group(0) @binding(30) var<storage, read_write> buf_10_7__19_0: array<f32>;
+@group(0) @binding(31) var<storage, read_write> buf_19_0__11_7: array<f32>;
+@group(0) @binding(32) var<storage, read_write> buf_1_0__10_0: array<f32>;
+@group(0) @binding(33) var<storage, read> stream_in: array<f32>;
+@group(0) @binding(34) var<storage, read_write> stream_out: array<f32>;
+@group(0) @binding(35) var<uniform> iterations: i32;
+
+var<workgroup> stage_on: array<i32, 6>;
+
+fn region_0(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_1(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 32768; }
+fn region_2(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_3(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_4(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_5(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_6(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_7(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_8(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_9(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_10(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_11(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 0; }
+fn region_12(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_13(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_14(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_15(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_16(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_17(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_18(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_19(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+
+fn work_split_dct_rank_rows(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t8); _push++;
+  let _t9: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t9); _push++;
+  let _t10: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t10); _push++;
+  let _t11: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t11); _push++;
+  let _t12: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t12); _push++;
+  let _t13: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t13); _push++;
+  let _t14: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t14); _push++;
+  let _t15: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t15); _push++;
+  let _t16: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t16); _push++;
+  let _t17: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t17); _push++;
+  let _t18: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t18); _push++;
+  let _t19: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t19); _push++;
+  let _t20: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t20); _push++;
+  let _t21: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t21); _push++;
+  let _t22: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t22); _push++;
+  let _t23: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t23); _push++;
+  let _t24: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t24); _push++;
+  let _t25: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t25); _push++;
+  let _t26: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t26); _push++;
+  let _t27: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t27); _push++;
+  let _t28: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t28); _push++;
+  let _t29: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t29); _push++;
+  let _t30: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t30); _push++;
+  let _t31: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t31); _push++;
+  let _t32: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t32); _push++;
+  let _t33: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t33); _push++;
+  let _t34: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t34); _push++;
+  let _t35: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t35); _push++;
+  let _t36: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t36); _push++;
+  let _t37: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t37); _push++;
+  let _t38: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t38); _push++;
+  let _t39: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t39); _push++;
+  let _t40: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t40); _push++;
+  let _t41: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t41); _push++;
+  let _t42: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t42); _push++;
+  let _t43: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t43); _push++;
+  let _t44: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t44); _push++;
+  let _t45: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t45); _push++;
+  let _t46: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t46); _push++;
+  let _t47: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t47); _push++;
+  let _t48: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t48); _push++;
+  let _t49: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t49); _push++;
+  let _t50: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t50); _push++;
+  let _t51: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t51); _push++;
+  let _t52: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t52); _push++;
+  let _t53: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t53); _push++;
+  let _t54: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t54); _push++;
+  let _t55: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t55); _push++;
+  let _t56: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t56); _push++;
+  let _t57: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t57); _push++;
+  let _t58: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t58); _push++;
+  let _t59: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t59); _push++;
+  let _t60: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t60); _push++;
+  let _t61: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t61); _push++;
+  let _t62: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t62); _push++;
+  let _t63: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t63); _push++;
+  let _t64: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t64); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_dct_rank_rows(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_rows0_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_rows0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows0_coeff[((k * 8) + j)]));
+    }
+    buf_2_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_rows1_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_rows1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows1_coeff[((k * 8) + j)]));
+    }
+    buf_3_0__1_1[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_rows2_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_rows2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_2__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows2_coeff[((k * 8) + j)]));
+    }
+    buf_4_0__1_2[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_rows3_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_rows3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_3__5_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows3_coeff[((k * 8) + j)]));
+    }
+    buf_5_0__1_3[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_rows4_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_rows4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_4__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows4_coeff[((k * 8) + j)]));
+    }
+    buf_6_0__1_4[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_rows5_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_rows5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_5__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows5_coeff[((k * 8) + j)]));
+    }
+    buf_7_0__1_5[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_rows6_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_rows6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_6__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows6_coeff[((k * 8) + j)]));
+    }
+    buf_8_0__1_6[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_rows7_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_rows7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_7__9_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_rows7_coeff[((k * 8) + j)]));
+    }
+    buf_9_0__1_7[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_dct_rank_cols(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t8); _push++;
+  let _t9: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t9); _push++;
+  let _t10: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t10); _push++;
+  let _t11: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t11); _push++;
+  let _t12: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t12); _push++;
+  let _t13: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t13); _push++;
+  let _t14: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t14); _push++;
+  let _t15: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t15); _push++;
+  let _t16: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t16); _push++;
+  let _t17: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t17); _push++;
+  let _t18: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t18); _push++;
+  let _t19: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t19); _push++;
+  let _t20: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t20); _push++;
+  let _t21: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t21); _push++;
+  let _t22: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t22); _push++;
+  let _t23: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t23); _push++;
+  let _t24: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t24); _push++;
+  let _t25: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t25); _push++;
+  let _t26: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t26); _push++;
+  let _t27: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t27); _push++;
+  let _t28: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t28); _push++;
+  let _t29: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t29); _push++;
+  let _t30: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t30); _push++;
+  let _t31: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t31); _push++;
+  let _t32: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t32); _push++;
+  let _t33: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t33); _push++;
+  let _t34: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t34); _push++;
+  let _t35: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t35); _push++;
+  let _t36: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t36); _push++;
+  let _t37: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t37); _push++;
+  let _t38: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t38); _push++;
+  let _t39: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t39); _push++;
+  let _t40: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t40); _push++;
+  let _t41: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t41); _push++;
+  let _t42: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t42); _push++;
+  let _t43: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t43); _push++;
+  let _t44: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t44); _push++;
+  let _t45: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t45); _push++;
+  let _t46: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t46); _push++;
+  let _t47: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t47); _push++;
+  let _t48: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t48); _push++;
+  let _t49: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t49); _push++;
+  let _t50: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t50); _push++;
+  let _t51: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t51); _push++;
+  let _t52: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t52); _push++;
+  let _t53: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t53); _push++;
+  let _t54: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t54); _push++;
+  let _t55: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t55); _push++;
+  let _t56: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t56); _push++;
+  let _t57: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t57); _push++;
+  let _t58: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t58); _push++;
+  let _t59: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t59); _push++;
+  let _t60: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t60); _push++;
+  let _t61: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t61); _push++;
+  let _t62: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t62); _push++;
+  let _t63: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t63); _push++;
+  let _t64: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t64); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_dct_rank_cols(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_cols0_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_cols0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_0__12_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols0_coeff[((k * 8) + j)]));
+    }
+    buf_12_0__11_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_cols1_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_cols1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_1__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols1_coeff[((k * 8) + j)]));
+    }
+    buf_13_0__11_1[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_cols2_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_cols2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_2__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols2_coeff[((k * 8) + j)]));
+    }
+    buf_14_0__11_2[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_cols3_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_cols3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_3__15_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols3_coeff[((k * 8) + j)]));
+    }
+    buf_15_0__11_3[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_cols4_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_cols4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_4__16_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols4_coeff[((k * 8) + j)]));
+    }
+    buf_16_0__11_4[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_cols5_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_cols5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_5__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols5_coeff[((k * 8) + j)]));
+    }
+    buf_17_0__11_5[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_cols6_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_cols6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_6__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols6_coeff[((k * 8) + j)]));
+    }
+    buf_18_0__11_6[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DCT1D_cols7_coeff: array<f32, 64> = array<f32, 64>(0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.353553391f, 0.49039264f, 0.415734806f, 0.277785117f, 0.097545161f, -0.097545161f, -0.277785117f, -0.415734806f, -0.49039264f, 0.461939766f, 0.191341716f, -0.191341716f, -0.461939766f, -0.461939766f, -0.191341716f, 0.191341716f, 0.461939766f, 0.415734806f, -0.097545161f, -0.49039264f, -0.277785117f, 0.277785117f, 0.49039264f, 0.097545161f, -0.415734806f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.353553391f, -0.353553391f, -0.353553391f, 0.353553391f, 0.277785117f, -0.49039264f, 0.097545161f, 0.415734806f, -0.415734806f, -0.097545161f, 0.49039264f, -0.277785117f, 0.191341716f, -0.461939766f, 0.461939766f, -0.191341716f, -0.191341716f, 0.461939766f, -0.461939766f, 0.191341716f, 0.097545161f, -0.277785117f, 0.415734806f, -0.49039264f, 0.49039264f, -0.415734806f, 0.277785117f, -0.097545161f);
+
+fn work_DCT1D_cols7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var row: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_7__19_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    row[j] = _t1;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var acc: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      acc = (acc + (row[j] * DCT1D_cols7_coeff[((k * 8) + j)]));
+    }
+    buf_19_0__11_7[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(acc); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+@compute @workgroup_size(512, 1, 1)
+fn swp_kernel(@builtin(local_invocation_id) lid: vec3<u32>,
+              @builtin(workgroup_id) wid: vec3<u32>) {
+  let tid: i32 = i32(lid.x);
+  let sm: i32 = i32(wid.x);
+  // staging predicates, one per pipeline stage (depth 6)
+  if tid == 0 { for (var s: i32 = 0; s < 6; s++) { stage_on[s] = 0; } }
+  workgroupBarrier();
+  for (var it: i32 = 0; it < iterations + 6; it++) {
+    if tid == 0 {
+      for (var s: i32 = 5; s > 0; s--) { stage_on[s] = stage_on[s-1]; }
+      stage_on[0] = select(0, 1, it < iterations);
+    }
+    workgroupBarrier();
+    switch sm {
+      case 0: {
+        // (DCT1D_rows0, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DCT1D_rows0(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (split_dct_rank_rows, k=0) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_dct_rank_rows(region_0(it - 0), region_0(it - 0), tid);
+        }
+      }
+      case 1: {
+        // (split_dct_rank_cols, k=0) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_split_dct_rank_cols(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (DCT1D_rows1, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DCT1D_rows1(region_3(it - 1), region_3(it - 1), tid);
+        }
+      }
+      case 2: {
+        // (DCT1D_rows2, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DCT1D_rows2(region_4(it - 1), region_4(it - 1), tid);
+        }
+        // (join_dct_rank_rows, k=5) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_join_dct_rank_rows(region_1(it - 2), region_1(it - 2), tid);
+        }
+        // (join_dct_rank_rows, k=4) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_join_dct_rank_rows(region_1(it - 2), region_1(it - 2), tid);
+        }
+        // (join_dct_rank_rows, k=3) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_join_dct_rank_rows(region_1(it - 2), region_1(it - 2), tid);
+        }
+        // (join_dct_rank_rows, k=2) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_join_dct_rank_rows(region_1(it - 2), region_1(it - 2), tid);
+        }
+        // (join_dct_rank_rows, k=1) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_join_dct_rank_rows(region_1(it - 2), region_1(it - 2), tid);
+        }
+        // (join_dct_rank_rows, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_join_dct_rank_rows(region_1(it - 2), region_1(it - 2), tid);
+        }
+      }
+      case 3: {
+        // (join_dct_rank_cols, k=3) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_dct_rank_cols(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_dct_rank_cols, k=2) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_dct_rank_cols(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_dct_rank_cols, k=1) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_dct_rank_cols(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_dct_rank_cols, k=0) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_dct_rank_cols(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (DCT1D_rows3, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DCT1D_rows3(region_5(it - 1), region_5(it - 1), tid);
+        }
+        // (join_dct_rank_rows, k=7) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_join_dct_rank_rows(region_1(it - 2), region_1(it - 2), tid);
+        }
+        // (join_dct_rank_rows, k=6) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_join_dct_rank_rows(region_1(it - 2), region_1(it - 2), tid);
+        }
+      }
+      case 4: {
+        // (join_dct_rank_cols, k=7) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_dct_rank_cols(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_dct_rank_cols, k=6) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_dct_rank_cols(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_dct_rank_cols, k=5) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_dct_rank_cols(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_dct_rank_cols, k=4) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_dct_rank_cols(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (DCT1D_rows4, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DCT1D_rows4(region_6(it - 1), region_6(it - 1), tid);
+        }
+      }
+      case 5: {
+        // (DCT1D_rows5, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DCT1D_rows5(region_7(it - 1), region_7(it - 1), tid);
+        }
+      }
+      case 6: {
+        // (DCT1D_rows6, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DCT1D_rows6(region_8(it - 1), region_8(it - 1), tid);
+        }
+      }
+      case 7: {
+        // (DCT1D_rows7, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DCT1D_rows7(region_9(it - 1), region_9(it - 1), tid);
+        }
+      }
+      case 8: {
+        // (DCT1D_cols0, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DCT1D_cols0(region_12(it - 4), region_12(it - 4), tid);
+        }
+      }
+      case 9: {
+        // (DCT1D_cols1, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DCT1D_cols1(region_13(it - 4), region_13(it - 4), tid);
+        }
+      }
+      case 10: {
+        // (DCT1D_cols2, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DCT1D_cols2(region_14(it - 4), region_14(it - 4), tid);
+        }
+      }
+      case 11: {
+        // (DCT1D_cols3, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DCT1D_cols3(region_15(it - 4), region_15(it - 4), tid);
+        }
+      }
+      case 12: {
+        // (DCT1D_cols4, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DCT1D_cols4(region_16(it - 4), region_16(it - 4), tid);
+        }
+      }
+      case 13: {
+        // (DCT1D_cols5, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DCT1D_cols5(region_17(it - 4), region_17(it - 4), tid);
+        }
+      }
+      case 14: {
+        // (DCT1D_cols6, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DCT1D_cols6(region_18(it - 4), region_18(it - 4), tid);
+        }
+      }
+      case 15: {
+        // (DCT1D_cols7, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DCT1D_cols7(region_19(it - 4), region_19(it - 4), tid);
+        }
+      }
+      default: {}
+    }
+    // II boundary
+    workgroupBarrier();
+  }
+}

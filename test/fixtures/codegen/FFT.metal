@@ -1,0 +1,1151 @@
+/* streamit_gpu artifact (metal)
+ * quality: heuristic (completed)
+ * II: 162404 (lower bound 162404, binding res_mii_sharp)
+ * schedule signature: 13d636dd52d112c95644671e7fb1f054
+ */
+#include <metal_stdlib>
+using namespace metal;
+
+static inline int region_0(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_1(int it) { return ((it % 7) + 7) % 7 * 65536; }
+static inline int region_2(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_3(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_4(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_5(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_6(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_7(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_8(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_9(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_10(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_11(int it) { return ((it % 7) + 7) % 7 * 0; }
+static inline int region_12(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_13(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_14(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_15(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_16(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_17(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_18(int it) { return ((it % 7) + 7) % 7 * 8192; }
+static inline int region_19(int it) { return ((it % 7) + 7) % 7 * 8192; }
+
+static void work_split_fft_rank1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t8; _push++;
+  float _t9 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t9; _push++;
+  float _t10 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t10; _push++;
+  float _t11 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t11; _push++;
+  float _t12 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t12; _push++;
+  float _t13 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t13; _push++;
+  float _t14 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t14; _push++;
+  float _t15 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t15; _push++;
+  float _t16 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t16; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_fft_rank1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t8; _push++;
+  float _t9 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t9; _push++;
+  float _t10 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t10; _push++;
+  float _t11 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t11; _push++;
+  float _t12 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t12; _push++;
+  float _t13 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t13; _push++;
+  float _t14 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t14; _push++;
+  float _t15 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t15; _push++;
+  float _t16 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t16; _push++;
+  float _t17 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t17; _push++;
+  float _t18 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t18; _push++;
+  float _t19 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t19; _push++;
+  float _t20 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t20; _push++;
+  float _t21 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t21; _push++;
+  float _t22 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t22; _push++;
+  float _t23 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t23; _push++;
+  float _t24 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t24; _push++;
+  float _t25 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t25; _push++;
+  float _t26 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t26; _push++;
+  float _t27 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t27; _push++;
+  float _t28 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t28; _push++;
+  float _t29 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t29; _push++;
+  float _t30 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t30; _push++;
+  float _t31 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t31; _push++;
+  float _t32 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t32; _push++;
+  float _t33 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t33; _push++;
+  float _t34 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t34; _push++;
+  float _t35 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t35; _push++;
+  float _t36 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t36; _push++;
+  float _t37 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t37; _push++;
+  float _t38 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t38; _push++;
+  float _t39 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t39; _push++;
+  float _t40 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t40; _push++;
+  float _t41 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t41; _push++;
+  float _t42 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t42; _push++;
+  float _t43 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t43; _push++;
+  float _t44 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t44; _push++;
+  float _t45 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t45; _push++;
+  float _t46 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t46; _push++;
+  float _t47 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t47; _push++;
+  float _t48 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t48; _push++;
+  float _t49 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t49; _push++;
+  float _t50 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t50; _push++;
+  float _t51 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t51; _push++;
+  float _t52 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t52; _push++;
+  float _t53 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t53; _push++;
+  float _t54 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t54; _push++;
+  float _t55 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t55; _push++;
+  float _t56 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t56; _push++;
+  float _t57 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t57; _push++;
+  float _t58 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t58; _push++;
+  float _t59 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t59; _push++;
+  float _t60 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t60; _push++;
+  float _t61 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t61; _push++;
+  float _t62 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t62; _push++;
+  float _t63 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t63; _push++;
+  float _t64 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t64; _push++;
+  float _t65 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t65; _push++;
+  float _t66 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t66; _push++;
+  float _t67 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t67; _push++;
+  float _t68 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t68; _push++;
+  float _t69 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t69; _push++;
+  float _t70 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t70; _push++;
+  float _t71 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t71; _push++;
+  float _t72 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t72; _push++;
+  float _t73 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t73; _push++;
+  float _t74 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t74; _push++;
+  float _t75 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t75; _push++;
+  float _t76 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t76; _push++;
+  float _t77 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t77; _push++;
+  float _t78 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t78; _push++;
+  float _t79 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t79; _push++;
+  float _t80 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t80; _push++;
+  float _t81 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t81; _push++;
+  float _t82 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t82; _push++;
+  float _t83 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t83; _push++;
+  float _t84 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t84; _push++;
+  float _t85 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t85; _push++;
+  float _t86 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t86; _push++;
+  float _t87 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t87; _push++;
+  float _t88 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t88; _push++;
+  float _t89 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t89; _push++;
+  float _t90 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t90; _push++;
+  float _t91 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t91; _push++;
+  float _t92 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t92; _push++;
+  float _t93 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t93; _push++;
+  float _t94 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t94; _push++;
+  float _t95 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t95; _push++;
+  float _t96 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t96; _push++;
+  float _t97 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t97; _push++;
+  float _t98 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t98; _push++;
+  float _t99 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t99; _push++;
+  float _t100 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t100; _push++;
+  float _t101 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t101; _push++;
+  float _t102 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t102; _push++;
+  float _t103 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t103; _push++;
+  float _t104 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t104; _push++;
+  float _t105 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t105; _push++;
+  float _t106 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t106; _push++;
+  float _t107 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t107; _push++;
+  float _t108 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t108; _push++;
+  float _t109 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t109; _push++;
+  float _t110 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t110; _push++;
+  float _t111 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t111; _push++;
+  float _t112 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t112; _push++;
+  float _t113 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t113; _push++;
+  float _t114 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t114; _push++;
+  float _t115 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t115; _push++;
+  float _t116 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t116; _push++;
+  float _t117 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t117; _push++;
+  float _t118 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t118; _push++;
+  float _t119 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t119; _push++;
+  float _t120 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t120; _push++;
+  float _t121 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t121; _push++;
+  float _t122 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t122; _push++;
+  float _t123 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t123; _push++;
+  float _t124 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t124; _push++;
+  float _t125 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t125; _push++;
+  float _t126 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t126; _push++;
+  float _t127 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t127; _push++;
+  float _t128 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t128; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8Tw_j0_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8Tw_j0_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+constant float DFT8Tw_j0_twc[8] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f };
+constant float DFT8Tw_j0_tws[8] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f };
+static void work_DFT8Tw_j0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8Tw_j0_cosT[((k * 8) + j)];
+      float s = DFT8Tw_j0_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    float pr = ((sr * DFT8Tw_j0_twc[k]) - (si * DFT8Tw_j0_tws[k]));
+    float pi = ((sr * DFT8Tw_j0_tws[k]) + (si * DFT8Tw_j0_twc[k]));
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pi; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8Tw_j1_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8Tw_j1_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+constant float DFT8Tw_j1_twc[8] = { 1.0f, 0.995184727f, 0.98078528f, 0.956940336f, 0.923879533f, 0.881921264f, 0.831469612f, 0.773010453f };
+constant float DFT8Tw_j1_tws[8] = { -0.0f, -0.0980171403f, -0.195090322f, -0.290284677f, -0.382683432f, -0.471396737f, -0.555570233f, -0.634393284f };
+static void work_DFT8Tw_j1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8Tw_j1_cosT[((k * 8) + j)];
+      float s = DFT8Tw_j1_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    float pr = ((sr * DFT8Tw_j1_twc[k]) - (si * DFT8Tw_j1_tws[k]));
+    float pi = ((sr * DFT8Tw_j1_tws[k]) + (si * DFT8Tw_j1_twc[k]));
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pi; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8Tw_j2_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8Tw_j2_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+constant float DFT8Tw_j2_twc[8] = { 1.0f, 0.98078528f, 0.923879533f, 0.831469612f, 0.707106781f, 0.555570233f, 0.382683432f, 0.195090322f };
+constant float DFT8Tw_j2_tws[8] = { -0.0f, -0.195090322f, -0.382683432f, -0.555570233f, -0.707106781f, -0.831469612f, -0.923879533f, -0.98078528f };
+static void work_DFT8Tw_j2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8Tw_j2_cosT[((k * 8) + j)];
+      float s = DFT8Tw_j2_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    float pr = ((sr * DFT8Tw_j2_twc[k]) - (si * DFT8Tw_j2_tws[k]));
+    float pi = ((sr * DFT8Tw_j2_tws[k]) + (si * DFT8Tw_j2_twc[k]));
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pi; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8Tw_j3_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8Tw_j3_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+constant float DFT8Tw_j3_twc[8] = { 1.0f, 0.956940336f, 0.831469612f, 0.634393284f, 0.382683432f, 0.0980171403f, -0.195090322f, -0.471396737f };
+constant float DFT8Tw_j3_tws[8] = { -0.0f, -0.290284677f, -0.555570233f, -0.773010453f, -0.923879533f, -0.995184727f, -0.98078528f, -0.881921264f };
+static void work_DFT8Tw_j3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8Tw_j3_cosT[((k * 8) + j)];
+      float s = DFT8Tw_j3_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    float pr = ((sr * DFT8Tw_j3_twc[k]) - (si * DFT8Tw_j3_tws[k]));
+    float pi = ((sr * DFT8Tw_j3_tws[k]) + (si * DFT8Tw_j3_twc[k]));
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pi; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8Tw_j4_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8Tw_j4_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+constant float DFT8Tw_j4_twc[8] = { 1.0f, 0.923879533f, 0.707106781f, 0.382683432f, 6.123234e-17f, -0.382683432f, -0.707106781f, -0.923879533f };
+constant float DFT8Tw_j4_tws[8] = { -0.0f, -0.382683432f, -0.707106781f, -0.923879533f, -1.0f, -0.923879533f, -0.707106781f, -0.382683432f };
+static void work_DFT8Tw_j4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8Tw_j4_cosT[((k * 8) + j)];
+      float s = DFT8Tw_j4_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    float pr = ((sr * DFT8Tw_j4_twc[k]) - (si * DFT8Tw_j4_tws[k]));
+    float pi = ((sr * DFT8Tw_j4_tws[k]) + (si * DFT8Tw_j4_twc[k]));
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pi; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8Tw_j5_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8Tw_j5_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+constant float DFT8Tw_j5_twc[8] = { 1.0f, 0.881921264f, 0.555570233f, 0.0980171403f, -0.382683432f, -0.773010453f, -0.98078528f, -0.956940336f };
+constant float DFT8Tw_j5_tws[8] = { -0.0f, -0.471396737f, -0.831469612f, -0.995184727f, -0.923879533f, -0.634393284f, -0.195090322f, 0.290284677f };
+static void work_DFT8Tw_j5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8Tw_j5_cosT[((k * 8) + j)];
+      float s = DFT8Tw_j5_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    float pr = ((sr * DFT8Tw_j5_twc[k]) - (si * DFT8Tw_j5_tws[k]));
+    float pi = ((sr * DFT8Tw_j5_tws[k]) + (si * DFT8Tw_j5_twc[k]));
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pi; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8Tw_j6_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8Tw_j6_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+constant float DFT8Tw_j6_twc[8] = { 1.0f, 0.831469612f, 0.382683432f, -0.195090322f, -0.707106781f, -0.98078528f, -0.923879533f, -0.555570233f };
+constant float DFT8Tw_j6_tws[8] = { -0.0f, -0.555570233f, -0.923879533f, -0.98078528f, -0.707106781f, -0.195090322f, 0.382683432f, 0.831469612f };
+static void work_DFT8Tw_j6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8Tw_j6_cosT[((k * 8) + j)];
+      float s = DFT8Tw_j6_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    float pr = ((sr * DFT8Tw_j6_twc[k]) - (si * DFT8Tw_j6_tws[k]));
+    float pi = ((sr * DFT8Tw_j6_tws[k]) + (si * DFT8Tw_j6_twc[k]));
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pi; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8Tw_j7_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8Tw_j7_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+constant float DFT8Tw_j7_twc[8] = { 1.0f, 0.773010453f, 0.195090322f, -0.471396737f, -0.923879533f, -0.956940336f, -0.555570233f, 0.0980171403f };
+constant float DFT8Tw_j7_tws[8] = { -0.0f, -0.634393284f, -0.98078528f, -0.881921264f, -0.382683432f, 0.290284677f, 0.831469612f, 0.995184727f };
+static void work_DFT8Tw_j7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8Tw_j7_cosT[((k * 8) + j)];
+      float s = DFT8Tw_j7_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    float pr = ((sr * DFT8Tw_j7_twc[k]) - (si * DFT8Tw_j7_tws[k]));
+    float pi = ((sr * DFT8Tw_j7_tws[k]) + (si * DFT8Tw_j7_twc[k]));
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = pi; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+static void work_split_fft_rank2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t8; _push++;
+  float _t9 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t9; _push++;
+  float _t10 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t10; _push++;
+  float _t11 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t11; _push++;
+  float _t12 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t12; _push++;
+  float _t13 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t13; _push++;
+  float _t14 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t14; _push++;
+  float _t15 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t15; _push++;
+  float _t16 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t16; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_fft_rank2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t8; _push++;
+  float _t9 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t9; _push++;
+  float _t10 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t10; _push++;
+  float _t11 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t11; _push++;
+  float _t12 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t12; _push++;
+  float _t13 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t13; _push++;
+  float _t14 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t14; _push++;
+  float _t15 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t15; _push++;
+  float _t16 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t16; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8_k0_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8_k0_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+static void work_DFT8_k0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8_k0_cosT[((k * 8) + j)];
+      float s = DFT8_k0_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = sr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = si; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8_k1_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8_k1_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+static void work_DFT8_k1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8_k1_cosT[((k * 8) + j)];
+      float s = DFT8_k1_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = sr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = si; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8_k2_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8_k2_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+static void work_DFT8_k2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8_k2_cosT[((k * 8) + j)];
+      float s = DFT8_k2_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = sr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = si; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8_k3_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8_k3_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+static void work_DFT8_k3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8_k3_cosT[((k * 8) + j)];
+      float s = DFT8_k3_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = sr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = si; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8_k4_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8_k4_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+static void work_DFT8_k4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8_k4_cosT[((k * 8) + j)];
+      float s = DFT8_k4_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = sr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = si; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8_k5_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8_k5_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+static void work_DFT8_k5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8_k5_cosT[((k * 8) + j)];
+      float s = DFT8_k5_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = sr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = si; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8_k6_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8_k6_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+static void work_DFT8_k6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8_k6_cosT[((k * 8) + j)];
+      float s = DFT8_k6_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = sr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = si; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+constant float DFT8_k7_cosT[64] = { 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f };
+constant float DFT8_k7_sinT[64] = { -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f };
+static void work_DFT8_k7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float re[8] = {0};
+  float im[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (int k = 0; k < 8; k++) {
+    float sr = 0.0f;
+    float si = 0.0f;
+    for (int j = 0; j < 8; j++) {
+      float c = DFT8_k7_cosT[((k * 8) + j)];
+      float s = DFT8_k7_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = sr; _push++;
+    out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = si; _push++;
+  }
+  (void)_pop; (void)_push;
+}
+
+kernel void swp_kernel(device float* buf_0_0__2_0 [[buffer(0)]],
+                       device float* buf_2_0__1_0 [[buffer(1)]],
+                       device float* buf_0_1__3_0 [[buffer(2)]],
+                       device float* buf_3_0__1_1 [[buffer(3)]],
+                       device float* buf_0_2__4_0 [[buffer(4)]],
+                       device float* buf_4_0__1_2 [[buffer(5)]],
+                       device float* buf_0_3__5_0 [[buffer(6)]],
+                       device float* buf_5_0__1_3 [[buffer(7)]],
+                       device float* buf_0_4__6_0 [[buffer(8)]],
+                       device float* buf_6_0__1_4 [[buffer(9)]],
+                       device float* buf_0_5__7_0 [[buffer(10)]],
+                       device float* buf_7_0__1_5 [[buffer(11)]],
+                       device float* buf_0_6__8_0 [[buffer(12)]],
+                       device float* buf_8_0__1_6 [[buffer(13)]],
+                       device float* buf_0_7__9_0 [[buffer(14)]],
+                       device float* buf_9_0__1_7 [[buffer(15)]],
+                       device float* buf_10_0__12_0 [[buffer(16)]],
+                       device float* buf_12_0__11_0 [[buffer(17)]],
+                       device float* buf_10_1__13_0 [[buffer(18)]],
+                       device float* buf_13_0__11_1 [[buffer(19)]],
+                       device float* buf_10_2__14_0 [[buffer(20)]],
+                       device float* buf_14_0__11_2 [[buffer(21)]],
+                       device float* buf_10_3__15_0 [[buffer(22)]],
+                       device float* buf_15_0__11_3 [[buffer(23)]],
+                       device float* buf_10_4__16_0 [[buffer(24)]],
+                       device float* buf_16_0__11_4 [[buffer(25)]],
+                       device float* buf_10_5__17_0 [[buffer(26)]],
+                       device float* buf_17_0__11_5 [[buffer(27)]],
+                       device float* buf_10_6__18_0 [[buffer(28)]],
+                       device float* buf_18_0__11_6 [[buffer(29)]],
+                       device float* buf_10_7__19_0 [[buffer(30)]],
+                       device float* buf_19_0__11_7 [[buffer(31)]],
+                       device float* buf_1_0__10_0 [[buffer(32)]],
+                       const device float* stream_in [[buffer(33)]],
+                       device float* stream_out [[buffer(34)]],
+                       constant int& iterations [[buffer(35)]],
+                       uint tid_u [[thread_position_in_threadgroup]],
+                       uint sm_u [[threadgroup_position_in_grid]])
+{
+  int tid = (int)tid_u;
+  int sm = (int)sm_u;
+  /* staging predicates, one per pipeline stage (depth 6) */
+  threadgroup int stage_on[6];
+  if (tid == 0) for (int s = 0; s < 6; s++) stage_on[s] = 0;
+  threadgroup_barrier(mem_flags::mem_threadgroup);
+  for (int it = 0; it < iterations + 6; it++) {
+    if (tid == 0) { for (int s = 5; s > 0; s--) stage_on[s] = stage_on[s-1]; stage_on[0] = (it < iterations); }
+    threadgroup_barrier(mem_flags::mem_threadgroup);
+    switch (sm) {
+    case 0: {
+      /* (DFT8Tw_j0, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DFT8Tw_j0(buf_0_0__2_0 + region_2(it - 1), buf_2_0__1_0 + region_2(it - 1), tid);
+      /* (split_fft_rank1, k=4) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_fft_rank1(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (split_fft_rank1, k=3) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_fft_rank1(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (split_fft_rank1, k=2) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_fft_rank1(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (split_fft_rank1, k=1) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_fft_rank1(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (split_fft_rank1, k=0) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_fft_rank1(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      break; }
+    case 1: {
+      /* (split_fft_rank2, k=1) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_split_fft_rank2(buf_1_0__10_0 + region_10(it - 3), buf_10_0__12_0 + region_10(it - 3), tid);
+      /* (split_fft_rank2, k=0) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_split_fft_rank2(buf_1_0__10_0 + region_10(it - 3), buf_10_0__12_0 + region_10(it - 3), tid);
+      /* (DFT8Tw_j1, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DFT8Tw_j1(buf_0_1__3_0 + region_3(it - 1), buf_3_0__1_1 + region_3(it - 1), tid);
+      /* (split_fft_rank1, k=7) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_fft_rank1(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (split_fft_rank1, k=6) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_fft_rank1(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (split_fft_rank1, k=5) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_fft_rank1(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      break; }
+    case 2: {
+      /* (split_fft_rank2, k=6) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_split_fft_rank2(buf_1_0__10_0 + region_10(it - 3), buf_10_0__12_0 + region_10(it - 3), tid);
+      /* (split_fft_rank2, k=5) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_split_fft_rank2(buf_1_0__10_0 + region_10(it - 3), buf_10_0__12_0 + region_10(it - 3), tid);
+      /* (split_fft_rank2, k=4) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_split_fft_rank2(buf_1_0__10_0 + region_10(it - 3), buf_10_0__12_0 + region_10(it - 3), tid);
+      /* (split_fft_rank2, k=3) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_split_fft_rank2(buf_1_0__10_0 + region_10(it - 3), buf_10_0__12_0 + region_10(it - 3), tid);
+      /* (split_fft_rank2, k=2) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_split_fft_rank2(buf_1_0__10_0 + region_10(it - 3), buf_10_0__12_0 + region_10(it - 3), tid);
+      /* (DFT8Tw_j2, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DFT8Tw_j2(buf_0_2__4_0 + region_4(it - 1), buf_4_0__1_2 + region_4(it - 1), tid);
+      break; }
+    case 3: {
+      /* (join_fft_rank2, k=3) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_fft_rank2(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_fft_rank2, k=2) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_fft_rank2(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_fft_rank2, k=1) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_fft_rank2(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_fft_rank2, k=0) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_fft_rank2(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (split_fft_rank2, k=7) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_split_fft_rank2(buf_1_0__10_0 + region_10(it - 3), buf_10_0__12_0 + region_10(it - 3), tid);
+      /* (DFT8Tw_j3, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DFT8Tw_j3(buf_0_3__5_0 + region_5(it - 1), buf_5_0__1_3 + region_5(it - 1), tid);
+      break; }
+    case 4: {
+      /* (join_fft_rank2, k=7) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_fft_rank2(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_fft_rank2, k=6) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_fft_rank2(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_fft_rank2, k=5) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_fft_rank2(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (join_fft_rank2, k=4) o=0 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_fft_rank2(buf_12_0__11_0 + region_11(it - 5), stream_out + region_11(it - 5), tid);
+      /* (DFT8Tw_j4, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DFT8Tw_j4(buf_0_4__6_0 + region_6(it - 1), buf_6_0__1_4 + region_6(it - 1), tid);
+      break; }
+    case 5: {
+      /* (DFT8Tw_j5, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DFT8Tw_j5(buf_0_5__7_0 + region_7(it - 1), buf_7_0__1_5 + region_7(it - 1), tid);
+      break; }
+    case 6: {
+      /* (DFT8Tw_j6, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DFT8Tw_j6(buf_0_6__8_0 + region_8(it - 1), buf_8_0__1_6 + region_8(it - 1), tid);
+      break; }
+    case 7: {
+      /* (DFT8Tw_j7, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_DFT8Tw_j7(buf_0_7__9_0 + region_9(it - 1), buf_9_0__1_7 + region_9(it - 1), tid);
+      break; }
+    case 8: {
+      /* (DFT8_k0, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DFT8_k0(buf_10_0__12_0 + region_12(it - 4), buf_12_0__11_0 + region_12(it - 4), tid);
+      /* (join_fft_rank1, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_join_fft_rank1(buf_2_0__1_0 + region_1(it - 2), buf_1_0__10_0 + region_1(it - 2), tid);
+      break; }
+    case 9: {
+      /* (DFT8_k1, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DFT8_k1(buf_10_1__13_0 + region_13(it - 4), buf_13_0__11_1 + region_13(it - 4), tid);
+      break; }
+    case 10: {
+      /* (DFT8_k2, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DFT8_k2(buf_10_2__14_0 + region_14(it - 4), buf_14_0__11_2 + region_14(it - 4), tid);
+      break; }
+    case 11: {
+      /* (DFT8_k3, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DFT8_k3(buf_10_3__15_0 + region_15(it - 4), buf_15_0__11_3 + region_15(it - 4), tid);
+      break; }
+    case 12: {
+      /* (DFT8_k4, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DFT8_k4(buf_10_4__16_0 + region_16(it - 4), buf_16_0__11_4 + region_16(it - 4), tid);
+      break; }
+    case 13: {
+      /* (DFT8_k5, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DFT8_k5(buf_10_5__17_0 + region_17(it - 4), buf_17_0__11_5 + region_17(it - 4), tid);
+      break; }
+    case 14: {
+      /* (DFT8_k6, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DFT8_k6(buf_10_6__18_0 + region_18(it - 4), buf_18_0__11_6 + region_18(it - 4), tid);
+      break; }
+    case 15: {
+      /* (DFT8_k7, k=0) o=0 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_DFT8_k7(buf_10_7__19_0 + region_19(it - 4), buf_19_0__11_7 + region_19(it - 4), tid);
+      break; }
+    }
+    /* II boundary */
+  }
+}
+
+/* host launch (Metal):
+ *   dispatchThreadgroups: 16 threadgroups x 512 threads
+ *   newBuffer buf_0_0__2_0: 229376 bytes
+ *   newBuffer buf_2_0__1_0: 229376 bytes
+ *   newBuffer buf_0_1__3_0: 229376 bytes
+ *   newBuffer buf_3_0__1_1: 229376 bytes
+ *   newBuffer buf_0_2__4_0: 229376 bytes
+ *   newBuffer buf_4_0__1_2: 229376 bytes
+ *   newBuffer buf_0_3__5_0: 229376 bytes
+ *   newBuffer buf_5_0__1_3: 229376 bytes
+ *   newBuffer buf_0_4__6_0: 229376 bytes
+ *   newBuffer buf_6_0__1_4: 229376 bytes
+ *   newBuffer buf_0_5__7_0: 229376 bytes
+ *   newBuffer buf_7_0__1_5: 229376 bytes
+ *   newBuffer buf_0_6__8_0: 229376 bytes
+ *   newBuffer buf_8_0__1_6: 229376 bytes
+ *   newBuffer buf_0_7__9_0: 229376 bytes
+ *   newBuffer buf_9_0__1_7: 229376 bytes
+ *   newBuffer buf_10_0__12_0: 229376 bytes
+ *   newBuffer buf_12_0__11_0: 229376 bytes
+ *   newBuffer buf_10_1__13_0: 229376 bytes
+ *   newBuffer buf_13_0__11_1: 229376 bytes
+ *   newBuffer buf_10_2__14_0: 229376 bytes
+ *   newBuffer buf_14_0__11_2: 229376 bytes
+ *   newBuffer buf_10_3__15_0: 229376 bytes
+ *   newBuffer buf_15_0__11_3: 229376 bytes
+ *   newBuffer buf_10_4__16_0: 229376 bytes
+ *   newBuffer buf_16_0__11_4: 229376 bytes
+ *   newBuffer buf_10_5__17_0: 229376 bytes
+ *   newBuffer buf_17_0__11_5: 229376 bytes
+ *   newBuffer buf_10_6__18_0: 229376 bytes
+ *   newBuffer buf_18_0__11_6: 229376 bytes
+ *   newBuffer buf_10_7__19_0: 229376 bytes
+ *   newBuffer buf_19_0__11_7: 229376 bytes
+ *   newBuffer buf_1_0__10_0: 1835008 bytes
+ *   stream_in/stream_out: 1 << 20 bytes, input shuffled per eq. (9); iterations = 1024
+ */

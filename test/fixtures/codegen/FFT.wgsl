@@ -1,0 +1,1175 @@
+// streamit_gpu artifact (wgsl)
+// quality: heuristic (completed)
+// II: 162404 (lower bound 162404, binding res_mii_sharp)
+// schedule signature: 13d636dd52d112c95644671e7fb1f054
+// dispatch: 16 workgroups x 512 threads; host loops handled by the iterations uniform
+
+@group(0) @binding(0) var<storage, read_write> buf_0_0__2_0: array<f32>;
+@group(0) @binding(1) var<storage, read_write> buf_2_0__1_0: array<f32>;
+@group(0) @binding(2) var<storage, read_write> buf_0_1__3_0: array<f32>;
+@group(0) @binding(3) var<storage, read_write> buf_3_0__1_1: array<f32>;
+@group(0) @binding(4) var<storage, read_write> buf_0_2__4_0: array<f32>;
+@group(0) @binding(5) var<storage, read_write> buf_4_0__1_2: array<f32>;
+@group(0) @binding(6) var<storage, read_write> buf_0_3__5_0: array<f32>;
+@group(0) @binding(7) var<storage, read_write> buf_5_0__1_3: array<f32>;
+@group(0) @binding(8) var<storage, read_write> buf_0_4__6_0: array<f32>;
+@group(0) @binding(9) var<storage, read_write> buf_6_0__1_4: array<f32>;
+@group(0) @binding(10) var<storage, read_write> buf_0_5__7_0: array<f32>;
+@group(0) @binding(11) var<storage, read_write> buf_7_0__1_5: array<f32>;
+@group(0) @binding(12) var<storage, read_write> buf_0_6__8_0: array<f32>;
+@group(0) @binding(13) var<storage, read_write> buf_8_0__1_6: array<f32>;
+@group(0) @binding(14) var<storage, read_write> buf_0_7__9_0: array<f32>;
+@group(0) @binding(15) var<storage, read_write> buf_9_0__1_7: array<f32>;
+@group(0) @binding(16) var<storage, read_write> buf_10_0__12_0: array<f32>;
+@group(0) @binding(17) var<storage, read_write> buf_12_0__11_0: array<f32>;
+@group(0) @binding(18) var<storage, read_write> buf_10_1__13_0: array<f32>;
+@group(0) @binding(19) var<storage, read_write> buf_13_0__11_1: array<f32>;
+@group(0) @binding(20) var<storage, read_write> buf_10_2__14_0: array<f32>;
+@group(0) @binding(21) var<storage, read_write> buf_14_0__11_2: array<f32>;
+@group(0) @binding(22) var<storage, read_write> buf_10_3__15_0: array<f32>;
+@group(0) @binding(23) var<storage, read_write> buf_15_0__11_3: array<f32>;
+@group(0) @binding(24) var<storage, read_write> buf_10_4__16_0: array<f32>;
+@group(0) @binding(25) var<storage, read_write> buf_16_0__11_4: array<f32>;
+@group(0) @binding(26) var<storage, read_write> buf_10_5__17_0: array<f32>;
+@group(0) @binding(27) var<storage, read_write> buf_17_0__11_5: array<f32>;
+@group(0) @binding(28) var<storage, read_write> buf_10_6__18_0: array<f32>;
+@group(0) @binding(29) var<storage, read_write> buf_18_0__11_6: array<f32>;
+@group(0) @binding(30) var<storage, read_write> buf_10_7__19_0: array<f32>;
+@group(0) @binding(31) var<storage, read_write> buf_19_0__11_7: array<f32>;
+@group(0) @binding(32) var<storage, read_write> buf_1_0__10_0: array<f32>;
+@group(0) @binding(33) var<storage, read> stream_in: array<f32>;
+@group(0) @binding(34) var<storage, read_write> stream_out: array<f32>;
+@group(0) @binding(35) var<uniform> iterations: i32;
+
+var<workgroup> stage_on: array<i32, 6>;
+
+fn region_0(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_1(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 65536; }
+fn region_2(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_3(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_4(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_5(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_6(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_7(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_8(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_9(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_10(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_11(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 0; }
+fn region_12(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_13(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_14(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_15(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_16(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_17(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_18(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+fn region_19(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 8192; }
+
+fn work_split_fft_rank1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t8); _push++;
+  let _t9: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t9); _push++;
+  let _t10: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t10); _push++;
+  let _t11: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t11); _push++;
+  let _t12: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t12); _push++;
+  let _t13: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t13); _push++;
+  let _t14: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t14); _push++;
+  let _t15: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t15); _push++;
+  let _t16: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t16); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_fft_rank1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t8); _push++;
+  let _t9: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t9); _push++;
+  let _t10: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t10); _push++;
+  let _t11: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t11); _push++;
+  let _t12: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t12); _push++;
+  let _t13: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t13); _push++;
+  let _t14: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t14); _push++;
+  let _t15: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t15); _push++;
+  let _t16: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t16); _push++;
+  let _t17: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t17); _push++;
+  let _t18: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t18); _push++;
+  let _t19: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t19); _push++;
+  let _t20: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t20); _push++;
+  let _t21: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t21); _push++;
+  let _t22: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t22); _push++;
+  let _t23: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t23); _push++;
+  let _t24: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t24); _push++;
+  let _t25: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t25); _push++;
+  let _t26: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t26); _push++;
+  let _t27: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t27); _push++;
+  let _t28: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t28); _push++;
+  let _t29: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t29); _push++;
+  let _t30: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t30); _push++;
+  let _t31: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t31); _push++;
+  let _t32: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t32); _push++;
+  let _t33: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t33); _push++;
+  let _t34: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t34); _push++;
+  let _t35: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t35); _push++;
+  let _t36: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t36); _push++;
+  let _t37: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t37); _push++;
+  let _t38: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t38); _push++;
+  let _t39: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t39); _push++;
+  let _t40: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t40); _push++;
+  let _t41: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t41); _push++;
+  let _t42: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t42); _push++;
+  let _t43: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t43); _push++;
+  let _t44: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t44); _push++;
+  let _t45: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t45); _push++;
+  let _t46: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t46); _push++;
+  let _t47: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t47); _push++;
+  let _t48: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t48); _push++;
+  let _t49: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t49); _push++;
+  let _t50: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t50); _push++;
+  let _t51: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t51); _push++;
+  let _t52: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t52); _push++;
+  let _t53: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t53); _push++;
+  let _t54: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t54); _push++;
+  let _t55: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t55); _push++;
+  let _t56: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t56); _push++;
+  let _t57: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t57); _push++;
+  let _t58: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t58); _push++;
+  let _t59: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t59); _push++;
+  let _t60: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t60); _push++;
+  let _t61: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t61); _push++;
+  let _t62: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t62); _push++;
+  let _t63: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t63); _push++;
+  let _t64: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t64); _push++;
+  let _t65: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t65); _push++;
+  let _t66: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t66); _push++;
+  let _t67: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t67); _push++;
+  let _t68: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t68); _push++;
+  let _t69: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t69); _push++;
+  let _t70: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t70); _push++;
+  let _t71: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t71); _push++;
+  let _t72: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t72); _push++;
+  let _t73: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t73); _push++;
+  let _t74: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t74); _push++;
+  let _t75: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t75); _push++;
+  let _t76: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t76); _push++;
+  let _t77: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t77); _push++;
+  let _t78: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t78); _push++;
+  let _t79: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t79); _push++;
+  let _t80: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t80); _push++;
+  let _t81: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t81); _push++;
+  let _t82: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t82); _push++;
+  let _t83: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t83); _push++;
+  let _t84: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t84); _push++;
+  let _t85: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t85); _push++;
+  let _t86: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t86); _push++;
+  let _t87: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t87); _push++;
+  let _t88: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t88); _push++;
+  let _t89: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t89); _push++;
+  let _t90: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t90); _push++;
+  let _t91: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t91); _push++;
+  let _t92: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t92); _push++;
+  let _t93: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t93); _push++;
+  let _t94: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t94); _push++;
+  let _t95: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t95); _push++;
+  let _t96: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t96); _push++;
+  let _t97: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t97); _push++;
+  let _t98: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t98); _push++;
+  let _t99: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t99); _push++;
+  let _t100: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t100); _push++;
+  let _t101: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t101); _push++;
+  let _t102: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t102); _push++;
+  let _t103: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t103); _push++;
+  let _t104: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t104); _push++;
+  let _t105: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t105); _push++;
+  let _t106: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t106); _push++;
+  let _t107: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t107); _push++;
+  let _t108: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t108); _push++;
+  let _t109: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t109); _push++;
+  let _t110: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t110); _push++;
+  let _t111: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t111); _push++;
+  let _t112: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t112); _push++;
+  let _t113: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t113); _push++;
+  let _t114: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t114); _push++;
+  let _t115: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t115); _push++;
+  let _t116: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t116); _push++;
+  let _t117: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t117); _push++;
+  let _t118: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t118); _push++;
+  let _t119: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t119); _push++;
+  let _t120: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t120); _push++;
+  let _t121: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t121); _push++;
+  let _t122: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t122); _push++;
+  let _t123: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t123); _push++;
+  let _t124: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t124); _push++;
+  let _t125: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t125); _push++;
+  let _t126: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t126); _push++;
+  let _t127: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t127); _push++;
+  let _t128: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_1_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t128); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8Tw_j0_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8Tw_j0_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+var<private> DFT8Tw_j0_twc: array<f32, 8> = array<f32, 8>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f);
+var<private> DFT8Tw_j0_tws: array<f32, 8> = array<f32, 8>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f);
+
+fn work_DFT8Tw_j0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_0_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8Tw_j0_cosT[((k * 8) + j)];
+      var s: f32 = DFT8Tw_j0_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    var pr: f32 = ((sr * DFT8Tw_j0_twc[k]) - (si * DFT8Tw_j0_tws[k]));
+    var pi: f32 = ((sr * DFT8Tw_j0_tws[k]) + (si * DFT8Tw_j0_twc[k]));
+    buf_2_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pr); _push++;
+    buf_2_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pi); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8Tw_j1_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8Tw_j1_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+var<private> DFT8Tw_j1_twc: array<f32, 8> = array<f32, 8>(1.0f, 0.995184727f, 0.98078528f, 0.956940336f, 0.923879533f, 0.881921264f, 0.831469612f, 0.773010453f);
+var<private> DFT8Tw_j1_tws: array<f32, 8> = array<f32, 8>(-0.0f, -0.0980171403f, -0.195090322f, -0.290284677f, -0.382683432f, -0.471396737f, -0.555570233f, -0.634393284f);
+
+fn work_DFT8Tw_j1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8Tw_j1_cosT[((k * 8) + j)];
+      var s: f32 = DFT8Tw_j1_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    var pr: f32 = ((sr * DFT8Tw_j1_twc[k]) - (si * DFT8Tw_j1_tws[k]));
+    var pi: f32 = ((sr * DFT8Tw_j1_tws[k]) + (si * DFT8Tw_j1_twc[k]));
+    buf_3_0__1_1[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pr); _push++;
+    buf_3_0__1_1[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pi); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8Tw_j2_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8Tw_j2_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+var<private> DFT8Tw_j2_twc: array<f32, 8> = array<f32, 8>(1.0f, 0.98078528f, 0.923879533f, 0.831469612f, 0.707106781f, 0.555570233f, 0.382683432f, 0.195090322f);
+var<private> DFT8Tw_j2_tws: array<f32, 8> = array<f32, 8>(-0.0f, -0.195090322f, -0.382683432f, -0.555570233f, -0.707106781f, -0.831469612f, -0.923879533f, -0.98078528f);
+
+fn work_DFT8Tw_j2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_2__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_0_2__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8Tw_j2_cosT[((k * 8) + j)];
+      var s: f32 = DFT8Tw_j2_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    var pr: f32 = ((sr * DFT8Tw_j2_twc[k]) - (si * DFT8Tw_j2_tws[k]));
+    var pi: f32 = ((sr * DFT8Tw_j2_tws[k]) + (si * DFT8Tw_j2_twc[k]));
+    buf_4_0__1_2[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pr); _push++;
+    buf_4_0__1_2[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pi); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8Tw_j3_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8Tw_j3_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+var<private> DFT8Tw_j3_twc: array<f32, 8> = array<f32, 8>(1.0f, 0.956940336f, 0.831469612f, 0.634393284f, 0.382683432f, 0.0980171403f, -0.195090322f, -0.471396737f);
+var<private> DFT8Tw_j3_tws: array<f32, 8> = array<f32, 8>(-0.0f, -0.290284677f, -0.555570233f, -0.773010453f, -0.923879533f, -0.995184727f, -0.98078528f, -0.881921264f);
+
+fn work_DFT8Tw_j3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_3__5_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_0_3__5_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8Tw_j3_cosT[((k * 8) + j)];
+      var s: f32 = DFT8Tw_j3_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    var pr: f32 = ((sr * DFT8Tw_j3_twc[k]) - (si * DFT8Tw_j3_tws[k]));
+    var pi: f32 = ((sr * DFT8Tw_j3_tws[k]) + (si * DFT8Tw_j3_twc[k]));
+    buf_5_0__1_3[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pr); _push++;
+    buf_5_0__1_3[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pi); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8Tw_j4_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8Tw_j4_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+var<private> DFT8Tw_j4_twc: array<f32, 8> = array<f32, 8>(1.0f, 0.923879533f, 0.707106781f, 0.382683432f, 6.123234e-17f, -0.382683432f, -0.707106781f, -0.923879533f);
+var<private> DFT8Tw_j4_tws: array<f32, 8> = array<f32, 8>(-0.0f, -0.382683432f, -0.707106781f, -0.923879533f, -1.0f, -0.923879533f, -0.707106781f, -0.382683432f);
+
+fn work_DFT8Tw_j4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_4__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_0_4__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8Tw_j4_cosT[((k * 8) + j)];
+      var s: f32 = DFT8Tw_j4_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    var pr: f32 = ((sr * DFT8Tw_j4_twc[k]) - (si * DFT8Tw_j4_tws[k]));
+    var pi: f32 = ((sr * DFT8Tw_j4_tws[k]) + (si * DFT8Tw_j4_twc[k]));
+    buf_6_0__1_4[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pr); _push++;
+    buf_6_0__1_4[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pi); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8Tw_j5_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8Tw_j5_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+var<private> DFT8Tw_j5_twc: array<f32, 8> = array<f32, 8>(1.0f, 0.881921264f, 0.555570233f, 0.0980171403f, -0.382683432f, -0.773010453f, -0.98078528f, -0.956940336f);
+var<private> DFT8Tw_j5_tws: array<f32, 8> = array<f32, 8>(-0.0f, -0.471396737f, -0.831469612f, -0.995184727f, -0.923879533f, -0.634393284f, -0.195090322f, 0.290284677f);
+
+fn work_DFT8Tw_j5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_5__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_0_5__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8Tw_j5_cosT[((k * 8) + j)];
+      var s: f32 = DFT8Tw_j5_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    var pr: f32 = ((sr * DFT8Tw_j5_twc[k]) - (si * DFT8Tw_j5_tws[k]));
+    var pi: f32 = ((sr * DFT8Tw_j5_tws[k]) + (si * DFT8Tw_j5_twc[k]));
+    buf_7_0__1_5[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pr); _push++;
+    buf_7_0__1_5[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pi); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8Tw_j6_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8Tw_j6_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+var<private> DFT8Tw_j6_twc: array<f32, 8> = array<f32, 8>(1.0f, 0.831469612f, 0.382683432f, -0.195090322f, -0.707106781f, -0.98078528f, -0.923879533f, -0.555570233f);
+var<private> DFT8Tw_j6_tws: array<f32, 8> = array<f32, 8>(-0.0f, -0.555570233f, -0.923879533f, -0.98078528f, -0.707106781f, -0.195090322f, 0.382683432f, 0.831469612f);
+
+fn work_DFT8Tw_j6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_6__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_0_6__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8Tw_j6_cosT[((k * 8) + j)];
+      var s: f32 = DFT8Tw_j6_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    var pr: f32 = ((sr * DFT8Tw_j6_twc[k]) - (si * DFT8Tw_j6_tws[k]));
+    var pi: f32 = ((sr * DFT8Tw_j6_tws[k]) + (si * DFT8Tw_j6_twc[k]));
+    buf_8_0__1_6[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pr); _push++;
+    buf_8_0__1_6[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pi); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8Tw_j7_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8Tw_j7_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+var<private> DFT8Tw_j7_twc: array<f32, 8> = array<f32, 8>(1.0f, 0.773010453f, 0.195090322f, -0.471396737f, -0.923879533f, -0.956940336f, -0.555570233f, 0.0980171403f);
+var<private> DFT8Tw_j7_tws: array<f32, 8> = array<f32, 8>(-0.0f, -0.634393284f, -0.98078528f, -0.881921264f, -0.382683432f, 0.290284677f, 0.831469612f, 0.995184727f);
+
+fn work_DFT8Tw_j7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_0_7__9_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_0_7__9_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8Tw_j7_cosT[((k * 8) + j)];
+      var s: f32 = DFT8Tw_j7_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    var pr: f32 = ((sr * DFT8Tw_j7_twc[k]) - (si * DFT8Tw_j7_tws[k]));
+    var pi: f32 = ((sr * DFT8Tw_j7_tws[k]) + (si * DFT8Tw_j7_twc[k]));
+    buf_9_0__1_7[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pr); _push++;
+    buf_9_0__1_7[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(pi); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_fft_rank2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t8); _push++;
+  let _t9: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t9); _push++;
+  let _t10: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t10); _push++;
+  let _t11: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t11); _push++;
+  let _t12: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t12); _push++;
+  let _t13: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t13); _push++;
+  let _t14: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t14); _push++;
+  let _t15: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t15); _push++;
+  let _t16: f32 = buf_1_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t16); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_fft_rank2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t8); _push++;
+  let _t9: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t9); _push++;
+  let _t10: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t10); _push++;
+  let _t11: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t11); _push++;
+  let _t12: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t12); _push++;
+  let _t13: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t13); _push++;
+  let _t14: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t14); _push++;
+  let _t15: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t15); _push++;
+  let _t16: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t16); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8_k0_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8_k0_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+
+fn work_DFT8_k0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_0__12_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_10_0__12_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8_k0_cosT[((k * 8) + j)];
+      var s: f32 = DFT8_k0_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    buf_12_0__11_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(sr); _push++;
+    buf_12_0__11_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(si); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8_k1_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8_k1_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+
+fn work_DFT8_k1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_1__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_10_1__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8_k1_cosT[((k * 8) + j)];
+      var s: f32 = DFT8_k1_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    buf_13_0__11_1[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(sr); _push++;
+    buf_13_0__11_1[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(si); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8_k2_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8_k2_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+
+fn work_DFT8_k2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_2__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_10_2__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8_k2_cosT[((k * 8) + j)];
+      var s: f32 = DFT8_k2_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    buf_14_0__11_2[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(sr); _push++;
+    buf_14_0__11_2[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(si); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8_k3_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8_k3_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+
+fn work_DFT8_k3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_3__15_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_10_3__15_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8_k3_cosT[((k * 8) + j)];
+      var s: f32 = DFT8_k3_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    buf_15_0__11_3[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(sr); _push++;
+    buf_15_0__11_3[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(si); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8_k4_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8_k4_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+
+fn work_DFT8_k4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_4__16_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_10_4__16_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8_k4_cosT[((k * 8) + j)];
+      var s: f32 = DFT8_k4_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    buf_16_0__11_4[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(sr); _push++;
+    buf_16_0__11_4[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(si); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8_k5_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8_k5_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+
+fn work_DFT8_k5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_5__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_10_5__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8_k5_cosT[((k * 8) + j)];
+      var s: f32 = DFT8_k5_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    buf_17_0__11_5[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(sr); _push++;
+    buf_17_0__11_5[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(si); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8_k6_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8_k6_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+
+fn work_DFT8_k6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_6__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_10_6__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8_k6_cosT[((k * 8) + j)];
+      var s: f32 = DFT8_k6_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    buf_18_0__11_6[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(sr); _push++;
+    buf_18_0__11_6[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(si); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> DFT8_k7_cosT: array<f32, 64> = array<f32, 64>(1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f, 0.707106781f, 6.123234e-17f, -0.707106781f, -1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, 1.0f, 6.123234e-17f, -1.0f, -1.8369702e-16f, 1.0f, 3.061617e-16f, -1.0f, -4.2862638e-16f, 1.0f, -0.707106781f, -1.8369702e-16f, 0.707106781f, -1.0f, 0.707106781f, 5.5109106e-16f, -0.707106781f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -1.0f, 1.0f, -0.707106781f, 3.061617e-16f, 0.707106781f, -1.0f, 0.707106781f, -2.69484194e-15f, -0.707106781f, 1.0f, -1.8369702e-16f, -1.0f, 5.5109106e-16f, 1.0f, -2.69484194e-15f, -1.0f, -4.904777e-16f, 1.0f, 0.707106781f, -4.2862638e-16f, -0.707106781f, -1.0f, -0.707106781f, -4.904777e-16f, 0.707106781f);
+var<private> DFT8_k7_sinT: array<f32, 64> = array<f32, 64>(-0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.0f, -0.707106781f, -1.0f, -0.707106781f, -1.2246468e-16f, 0.707106781f, 1.0f, 0.707106781f, -0.0f, -1.0f, -1.2246468e-16f, 1.0f, 2.4492936e-16f, -1.0f, -3.6739404e-16f, 1.0f, -0.0f, -0.707106781f, 1.0f, -0.707106781f, -3.6739404e-16f, 0.707106781f, -1.0f, 0.707106781f, -0.0f, -1.2246468e-16f, 2.4492936e-16f, -3.6739404e-16f, 4.8985872e-16f, -6.123234e-16f, 7.34788079e-16f, -8.57252759e-16f, -0.0f, 0.707106781f, -1.0f, 0.707106781f, -6.123234e-16f, -0.707106781f, 1.0f, -0.707106781f, -0.0f, 1.0f, -3.6739404e-16f, -1.0f, 7.34788079e-16f, 1.0f, -1.10218212e-15f, -1.0f, -0.0f, 0.707106781f, 1.0f, 0.707106781f, -8.57252759e-16f, -0.707106781f, -1.0f, -0.707106781f);
+
+fn work_DFT8_k7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var re: array<f32, 8>;
+  var im: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_10_7__19_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    re[j] = _t1;
+    let _t2: f32 = buf_10_7__19_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    im[j] = _t2;
+  }
+  for (var k: i32 = 0; k < 8; k++) {
+    var sr: f32 = 0.0f;
+    var si: f32 = 0.0f;
+    for (var j: i32 = 0; j < 8; j++) {
+      var c: f32 = DFT8_k7_cosT[((k * 8) + j)];
+      var s: f32 = DFT8_k7_sinT[((k * 8) + j)];
+      sr = ((sr + (re[j] * c)) - (im[j] * s));
+      si = ((si + (re[j] * s)) + (im[j] * c));
+    }
+    buf_19_0__11_7[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(sr); _push++;
+    buf_19_0__11_7[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(si); _push++;
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+@compute @workgroup_size(512, 1, 1)
+fn swp_kernel(@builtin(local_invocation_id) lid: vec3<u32>,
+              @builtin(workgroup_id) wid: vec3<u32>) {
+  let tid: i32 = i32(lid.x);
+  let sm: i32 = i32(wid.x);
+  // staging predicates, one per pipeline stage (depth 6)
+  if tid == 0 { for (var s: i32 = 0; s < 6; s++) { stage_on[s] = 0; } }
+  workgroupBarrier();
+  for (var it: i32 = 0; it < iterations + 6; it++) {
+    if tid == 0 {
+      for (var s: i32 = 5; s > 0; s--) { stage_on[s] = stage_on[s-1]; }
+      stage_on[0] = select(0, 1, it < iterations);
+    }
+    workgroupBarrier();
+    switch sm {
+      case 0: {
+        // (DFT8Tw_j0, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DFT8Tw_j0(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (split_fft_rank1, k=4) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_fft_rank1(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (split_fft_rank1, k=3) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_fft_rank1(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (split_fft_rank1, k=2) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_fft_rank1(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (split_fft_rank1, k=1) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_fft_rank1(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (split_fft_rank1, k=0) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_fft_rank1(region_0(it - 0), region_0(it - 0), tid);
+        }
+      }
+      case 1: {
+        // (split_fft_rank2, k=1) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_split_fft_rank2(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (split_fft_rank2, k=0) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_split_fft_rank2(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (DFT8Tw_j1, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DFT8Tw_j1(region_3(it - 1), region_3(it - 1), tid);
+        }
+        // (split_fft_rank1, k=7) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_fft_rank1(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (split_fft_rank1, k=6) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_fft_rank1(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (split_fft_rank1, k=5) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_fft_rank1(region_0(it - 0), region_0(it - 0), tid);
+        }
+      }
+      case 2: {
+        // (split_fft_rank2, k=6) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_split_fft_rank2(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (split_fft_rank2, k=5) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_split_fft_rank2(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (split_fft_rank2, k=4) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_split_fft_rank2(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (split_fft_rank2, k=3) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_split_fft_rank2(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (split_fft_rank2, k=2) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_split_fft_rank2(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (DFT8Tw_j2, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DFT8Tw_j2(region_4(it - 1), region_4(it - 1), tid);
+        }
+      }
+      case 3: {
+        // (join_fft_rank2, k=3) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_fft_rank2(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_fft_rank2, k=2) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_fft_rank2(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_fft_rank2, k=1) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_fft_rank2(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_fft_rank2, k=0) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_fft_rank2(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (split_fft_rank2, k=7) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_split_fft_rank2(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (DFT8Tw_j3, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DFT8Tw_j3(region_5(it - 1), region_5(it - 1), tid);
+        }
+      }
+      case 4: {
+        // (join_fft_rank2, k=7) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_fft_rank2(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_fft_rank2, k=6) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_fft_rank2(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_fft_rank2, k=5) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_fft_rank2(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (join_fft_rank2, k=4) o=0 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_fft_rank2(region_11(it - 5), region_11(it - 5), tid);
+        }
+        // (DFT8Tw_j4, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DFT8Tw_j4(region_6(it - 1), region_6(it - 1), tid);
+        }
+      }
+      case 5: {
+        // (DFT8Tw_j5, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DFT8Tw_j5(region_7(it - 1), region_7(it - 1), tid);
+        }
+      }
+      case 6: {
+        // (DFT8Tw_j6, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DFT8Tw_j6(region_8(it - 1), region_8(it - 1), tid);
+        }
+      }
+      case 7: {
+        // (DFT8Tw_j7, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_DFT8Tw_j7(region_9(it - 1), region_9(it - 1), tid);
+        }
+      }
+      case 8: {
+        // (DFT8_k0, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DFT8_k0(region_12(it - 4), region_12(it - 4), tid);
+        }
+        // (join_fft_rank1, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_join_fft_rank1(region_1(it - 2), region_1(it - 2), tid);
+        }
+      }
+      case 9: {
+        // (DFT8_k1, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DFT8_k1(region_13(it - 4), region_13(it - 4), tid);
+        }
+      }
+      case 10: {
+        // (DFT8_k2, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DFT8_k2(region_14(it - 4), region_14(it - 4), tid);
+        }
+      }
+      case 11: {
+        // (DFT8_k3, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DFT8_k3(region_15(it - 4), region_15(it - 4), tid);
+        }
+      }
+      case 12: {
+        // (DFT8_k4, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DFT8_k4(region_16(it - 4), region_16(it - 4), tid);
+        }
+      }
+      case 13: {
+        // (DFT8_k5, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DFT8_k5(region_17(it - 4), region_17(it - 4), tid);
+        }
+      }
+      case 14: {
+        // (DFT8_k6, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DFT8_k6(region_18(it - 4), region_18(it - 4), tid);
+        }
+      }
+      case 15: {
+        // (DFT8_k7, k=0) o=0 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_DFT8_k7(region_19(it - 4), region_19(it - 4), tid);
+        }
+      }
+      default: {}
+    }
+    // II boundary
+    workgroupBarrier();
+  }
+}

@@ -1,0 +1,1300 @@
+/* streamit_gpu artifact (metal)
+ * quality: heuristic (completed)
+ * II: 33636 (lower bound 33636, binding res_mii_sharp)
+ * schedule signature: 715546b5ce49a8a44e84656ea3e01158
+ */
+#include <metal_stdlib>
+using namespace metal;
+
+static inline int region_0(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_1(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_2(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_3(int it) { return ((it % 8) + 8) % 8 * 5120; }
+static inline int region_4(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_5(int it) { return ((it % 8) + 8) % 8 * 1024; }
+static inline int region_6(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_7(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_8(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_9(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_10(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_11(int it) { return ((it % 8) + 8) % 8 * 1024; }
+static inline int region_12(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_13(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_14(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_15(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_16(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_17(int it) { return ((it % 8) + 8) % 8 * 1024; }
+static inline int region_18(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_19(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_20(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_21(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_22(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_23(int it) { return ((it % 8) + 8) % 8 * 1024; }
+static inline int region_24(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_25(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_26(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_27(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_28(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_29(int it) { return ((it % 8) + 8) % 8 * 1024; }
+static inline int region_30(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_31(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_32(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_33(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_34(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_35(int it) { return ((it % 8) + 8) % 8 * 1024; }
+static inline int region_36(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_37(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_38(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_39(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_40(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_41(int it) { return ((it % 8) + 8) % 8 * 1024; }
+static inline int region_42(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_43(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_44(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_45(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_46(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_47(int it) { return ((it % 8) + 8) % 8 * 1024; }
+static inline int region_48(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_49(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_50(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_51(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_52(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_53(int it) { return ((it % 8) + 8) % 8 * 1024; }
+static inline int region_54(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_55(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_56(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_57(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_58(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_59(int it) { return ((it % 8) + 8) % 8 * 1024; }
+static inline int region_60(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_61(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_62(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_63(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_64(int it) { return ((it % 8) + 8) % 8 * 0; }
+
+constant float FrontLPF_taps[28] = { 0.00133380195f, 0.00166377302f, -0.0025234102f, -0.00402183209f, 0.00628579642f, 0.00947459282f, -0.0138085066f, -0.0196250473f, 0.0274976855f, 0.0385135313f, -0.0550267643f, -0.0832184333f, 0.145890048f, 0.448758006f, 0.448758006f, 0.145890048f, -0.0832184333f, -0.0550267643f, 0.0385135313f, 0.0274976855f, -0.0196250473f, -0.0138085066f, 0.00947459282f, 0.00628579642f, -0.00402183209f, -0.0025234102f, 0.00166377302f, 0.00133380195f };
+static void work_FrontLPF(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * FrontLPF_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_FMDemod(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float x = (in[(128 * (_pop + (0)) + (tid / 128) * 128 * 1 + (tid % 128))] * in[(128 * (_pop + (1)) + (tid / 128) * 128 * 1 + (tid % 128))]);
+  float y = (x / (1.0f + ((0.28f * x) * x)));
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (0.5f * y); _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_equalizer(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_equalizer(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = _t8; _push++;
+  float _t9 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = _t9; _push++;
+  float _t10 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = _t10; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_bpf0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bpf0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF0_hi_taps[28] = { -0.000638954838f, -0.00166377302f, -0.00335766562f, -0.00566248714f, -0.00765153057f, -0.00753141007f, -0.00305487997f, 0.00774312141f, 0.0257168311f, 0.0499867523f, 0.0777811971f, 0.104861343f, 0.12645479f, 0.138442352f, 0.138442352f, 0.12645479f, 0.104861343f, 0.0777811971f, 0.0499867523f, 0.0257168311f, 0.00774312141f, -0.00305487997f, -0.00753141007f, -0.00765153057f, -0.00566248714f, -0.00335766562f, -0.00166377302f, -0.000638954838f };
+static void work_EqLPF0_hi(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF0_hi_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF0_lo_taps[28] = { 0.00160831878f, 0.00217382421f, 0.0034700391f, 0.00567019611f, 0.00886205531f, 0.0130288795f, 0.0180416833f, 0.023664182f, 0.0295703628f, 0.0353730701f, 0.0406606274f, 0.0450374915f, 0.0481643737f, 0.0497932537f, 0.0497932537f, 0.0481643737f, 0.0450374915f, 0.0406606274f, 0.0353730701f, 0.0295703628f, 0.023664182f, 0.0180416833f, 0.0130288795f, 0.00886205531f, 0.00567019611f, 0.0034700391f, 0.00217382421f, 0.00160831878f };
+static void work_EqLPF0_lo(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF0_lo_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Subtract0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float a = _t1;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (a - b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqGain0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.0f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_bpf1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bpf1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF1_hi_taps[28] = { -0.000610999209f, 0.00090042747f, 0.00320473796f, 0.00548614167f, 0.00488051558f, -0.00188794937f, -0.0148493425f, -0.0277505841f, -0.028762478f, -0.00597682831f, 0.0447466767f, 0.114436891f, 0.182338246f, 0.224329154f, 0.224329154f, 0.182338246f, 0.114436891f, 0.0447466767f, -0.00597682831f, -0.028762478f, -0.0277505841f, -0.0148493425f, -0.00188794937f, 0.00488051558f, 0.00548614167f, 0.00320473796f, 0.00090042747f, -0.000610999209f };
+static void work_EqLPF1_hi(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF1_hi_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF1_lo_taps[28] = { -0.000638954838f, -0.00166377302f, -0.00335766562f, -0.00566248714f, -0.00765153057f, -0.00753141007f, -0.00305487997f, 0.00774312141f, 0.0257168311f, 0.0499867523f, 0.0777811971f, 0.104861343f, 0.12645479f, 0.138442352f, 0.138442352f, 0.12645479f, 0.104861343f, 0.0777811971f, 0.0499867523f, 0.0257168311f, 0.00774312141f, -0.00305487997f, -0.00753141007f, -0.00765153057f, -0.00566248714f, -0.00335766562f, -0.00166377302f, -0.000638954838f };
+static void work_EqLPF1_lo(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF1_lo_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Subtract1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float a = _t1;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (a - b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqGain1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.1f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_bpf2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bpf2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF2_hi_taps[28] = { 0.00159263956f, 3.0270405e-18f, -0.00301310319f, -0.0051464115f, -0.00111414458f, 0.0103241822f, 0.0185724003f, 0.00690214114f, -0.0266203939f, -0.0535016094f, -0.0286473041f, 0.0691756452f, 0.205912559f, 0.305739987f, 0.305739987f, 0.205912559f, 0.0691756452f, -0.0286473041f, -0.0535016094f, -0.0266203939f, 0.00690214114f, 0.0185724003f, 0.0103241822f, -0.00111414458f, -0.0051464115f, -0.00301310319f, 3.0270405e-18f, 0.00159263956f };
+static void work_EqLPF2_hi(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF2_hi_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF2_lo_taps[28] = { -0.000610999209f, 0.00090042747f, 0.00320473796f, 0.00548614167f, 0.00488051558f, -0.00188794937f, -0.0148493425f, -0.0277505841f, -0.028762478f, -0.00597682831f, 0.0447466767f, 0.114436891f, 0.182338246f, 0.224329154f, 0.224329154f, 0.182338246f, 0.114436891f, 0.0447466767f, -0.00597682831f, -0.028762478f, -0.0277505841f, -0.0148493425f, -0.00188794937f, 0.00488051558f, 0.00548614167f, 0.00320473796f, 0.00090042747f, -0.000610999209f };
+static void work_EqLPF2_lo(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF2_lo_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Subtract2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float a = _t1;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (a - b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqGain2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.2f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_bpf3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bpf3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF3_hi_taps[28] = { -0.00187488947f, -0.00090042747f, 0.00278507589f, 0.00465341427f, -0.00287945046f, -0.013384223f, -0.00455876246f, 0.0241080061f, 0.027926208f, -0.0254864329f, -0.0762027239f, -0.00923374403f, 0.193000517f, 0.381050487f, 0.381050487f, 0.193000517f, -0.00923374403f, -0.0762027239f, -0.0254864329f, 0.027926208f, 0.0241080061f, -0.00455876246f, -0.013384223f, -0.00287945046f, 0.00465341427f, 0.00278507589f, -0.00090042747f, -0.00187488947f };
+static void work_EqLPF3_hi(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF3_hi_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF3_lo_taps[28] = { 0.00159263956f, 3.0270405e-18f, -0.00301310319f, -0.0051464115f, -0.00111414458f, 0.0103241822f, 0.0185724003f, 0.00690214114f, -0.0266203939f, -0.0535016094f, -0.0286473041f, 0.0691756452f, 0.205912559f, 0.305739987f, 0.305739987f, 0.205912559f, 0.0691756452f, -0.0286473041f, -0.0535016094f, -0.0266203939f, 0.00690214114f, 0.0185724003f, 0.0103241822f, -0.00111414458f, -0.0051464115f, -0.00301310319f, 3.0270405e-18f, 0.00159263956f };
+static void work_EqLPF3_lo(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF3_lo_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Subtract3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float a = _t1;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (a - b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqGain3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.3f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_bpf4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bpf4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF4_hi_taps[28] = { 0.00133380195f, 0.00166377302f, -0.0025234102f, -0.00402183209f, 0.00628579642f, 0.00947459282f, -0.0138085066f, -0.0196250473f, 0.0274976855f, 0.0385135313f, -0.0550267643f, -0.0832184333f, 0.145890048f, 0.448758006f, 0.448758006f, 0.145890048f, -0.0832184333f, -0.0550267643f, 0.0385135313f, 0.0274976855f, -0.0196250473f, -0.0138085066f, 0.00947459282f, 0.00628579642f, -0.00402183209f, -0.0025234102f, 0.00166377302f, 0.00133380195f };
+static void work_EqLPF4_hi(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF4_hi_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF4_lo_taps[28] = { -0.00187488947f, -0.00090042747f, 0.00278507589f, 0.00465341427f, -0.00287945046f, -0.013384223f, -0.00455876246f, 0.0241080061f, 0.027926208f, -0.0254864329f, -0.0762027239f, -0.00923374403f, 0.193000517f, 0.381050487f, 0.381050487f, 0.193000517f, -0.00923374403f, -0.0762027239f, -0.0254864329f, 0.027926208f, 0.0241080061f, -0.00455876246f, -0.013384223f, -0.00287945046f, 0.00465341427f, 0.00278507589f, -0.00090042747f, -0.00187488947f };
+static void work_EqLPF4_lo(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF4_lo_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Subtract4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float a = _t1;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (a - b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqGain4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.4f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_bpf5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bpf5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF5_hi_taps[28] = { -0.000206989725f, -0.00217382421f, 0.00223126653f, 0.00327047432f, -0.00841018658f, -0.000631183934f, 0.0189886122f, -0.0137509639f, -0.0270623783f, 0.0481354955f, 0.0157808255f, -0.117325842f, 0.0729288181f, 0.507511599f, 0.507511599f, 0.0729288181f, -0.117325842f, 0.0157808255f, 0.0481354955f, -0.0270623783f, -0.0137509639f, 0.0189886122f, -0.000631183934f, -0.00841018658f, 0.00327047432f, 0.00223126653f, -0.00217382421f, -0.000206989725f };
+static void work_EqLPF5_hi(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF5_hi_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF5_lo_taps[28] = { 0.00133380195f, 0.00166377302f, -0.0025234102f, -0.00402183209f, 0.00628579642f, 0.00947459282f, -0.0138085066f, -0.0196250473f, 0.0274976855f, 0.0385135313f, -0.0550267643f, -0.0832184333f, 0.145890048f, 0.448758006f, 0.448758006f, 0.145890048f, -0.0832184333f, -0.0550267643f, 0.0385135313f, 0.0274976855f, -0.0196250473f, -0.0138085066f, 0.00947459282f, 0.00628579642f, -0.00402183209f, -0.0025234102f, 0.00166377302f, 0.00133380195f };
+static void work_EqLPF5_lo(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF5_lo_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Subtract5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float a = _t1;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (a - b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqGain5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.5f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_bpf6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bpf6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF6_hi_taps[28] = { -0.0010107198f, 0.00235293037f, -0.00191217343f, -0.00242171743f, 0.00881936251f, -0.00854090629f, -0.00603453866f, 0.0268820649f, -0.0283478402f, -0.0102059778f, 0.0723548309f, -0.0952121073f, -0.0129549202f, 0.556138972f, 0.556138972f, -0.0129549202f, -0.0952121073f, 0.0723548309f, -0.0102059778f, -0.0283478402f, 0.0268820649f, -0.00603453866f, -0.00854090629f, 0.00881936251f, -0.00242171743f, -0.00191217343f, 0.00235293037f, -0.0010107198f };
+static void work_EqLPF6_hi(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF6_hi_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF6_lo_taps[28] = { -0.000206989725f, -0.00217382421f, 0.00223126653f, 0.00327047432f, -0.00841018658f, -0.000631183934f, 0.0189886122f, -0.0137509639f, -0.0270623783f, 0.0481354955f, 0.0157808255f, -0.117325842f, 0.0729288181f, 0.507511599f, 0.507511599f, 0.0729288181f, -0.117325842f, 0.0157808255f, 0.0481354955f, -0.0270623783f, -0.0137509639f, 0.0189886122f, -0.000631183934f, -0.00841018658f, 0.00327047432f, 0.00223126653f, -0.00217382421f, -0.000206989725f };
+static void work_EqLPF6_lo(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF6_lo_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Subtract6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float a = _t1;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (a - b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqGain6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.6f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_bpf7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bpf7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF7_hi_taps[28] = { 0.00178458265f, -0.00217382421f, 0.00156998493f, 0.00150083853f, -0.00742987489f, 0.0132654237f, -0.0126825367f, -0.000435941012f, 0.0261718412f, -0.0541374335f, 0.0636680808f, -0.0274738667f, -0.0965431314f, 0.59366988f, 0.59366988f, -0.0965431314f, -0.0274738667f, 0.0636680808f, -0.0541374335f, 0.0261718412f, -0.000435941012f, -0.0126825367f, 0.0132654237f, -0.00742987489f, 0.00150083853f, 0.00156998493f, -0.00217382421f, 0.00178458265f };
+static void work_EqLPF7_hi(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF7_hi_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF7_lo_taps[28] = { -0.0010107198f, 0.00235293037f, -0.00191217343f, -0.00242171743f, 0.00881936251f, -0.00854090629f, -0.00603453866f, 0.0268820649f, -0.0283478402f, -0.0102059778f, 0.0723548309f, -0.0952121073f, -0.0129549202f, 0.556138972f, 0.556138972f, -0.0129549202f, -0.0952121073f, 0.0723548309f, -0.0102059778f, -0.0283478402f, 0.0268820649f, -0.00603453866f, -0.00854090629f, 0.00881936251f, -0.00242171743f, -0.00191217343f, 0.00235293037f, -0.0010107198f };
+static void work_EqLPF7_lo(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF7_lo_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Subtract7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float a = _t1;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (a - b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqGain7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.7f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_bpf8(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bpf8(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF8_hi_taps[28] = { -0.00177476534f, 0.00166377302f, -0.00120883401f, -0.000535262628f, 0.00452510256f, -0.0110821334f, 0.0192877531f, -0.0266519987f, 0.029170019f, -0.0216311993f, -0.00244437259f, 0.0534295231f, -0.163024533f, 0.619355481f, 0.619355481f, -0.163024533f, 0.0534295231f, -0.00244437259f, -0.0216311993f, 0.029170019f, -0.0266519987f, 0.0192877531f, -0.0110821334f, 0.00452510256f, -0.000535262628f, -0.00120883401f, 0.00166377302f, -0.00177476534f };
+static void work_EqLPF8_hi(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF8_hi_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF8_lo_taps[28] = { 0.00178458265f, -0.00217382421f, 0.00156998493f, 0.00150083853f, -0.00742987489f, 0.0132654237f, -0.0126825367f, -0.000435941012f, 0.0261718412f, -0.0541374335f, 0.0636680808f, -0.0274738667f, -0.0965431314f, 0.59366988f, 0.59366988f, -0.0965431314f, -0.0274738667f, 0.0636680808f, -0.0541374335f, 0.0261718412f, -0.000435941012f, -0.0126825367f, 0.0132654237f, -0.00742987489f, 0.00150083853f, 0.00156998493f, -0.00217382421f, 0.00178458265f };
+static void work_EqLPF8_lo(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF8_lo_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Subtract8(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float a = _t1;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (a - b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqGain8(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.8f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_split_bpf9(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bpf9(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = _t2; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF9_hi_taps[28] = { 0.000985579014f, -0.00090042747f, 0.00083308268f, -0.000446254112f, -0.000697458879f, 0.00312795723f, -0.00747310993f, 0.0145014294f, -0.0252554758f, 0.0414165438f, -0.0663521135f, 0.108730123f, -0.200619055f, 0.632683276f, 0.632683276f, -0.200619055f, 0.108730123f, -0.0663521135f, 0.0414165438f, -0.0252554758f, 0.0145014294f, -0.00747310993f, 0.00312795723f, -0.000697458879f, -0.000446254112f, 0.00083308268f, -0.00090042747f, 0.000985579014f };
+static void work_EqLPF9_hi(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF9_hi_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+constant float EqLPF9_lo_taps[28] = { -0.00177476534f, 0.00166377302f, -0.00120883401f, -0.000535262628f, 0.00452510256f, -0.0110821334f, 0.0192877531f, -0.0266519987f, 0.029170019f, -0.0216311993f, -0.00244437259f, 0.0534295231f, -0.163024533f, 0.619355481f, 0.619355481f, -0.163024533f, 0.0534295231f, -0.00244437259f, -0.0216311993f, 0.029170019f, -0.0266519987f, 0.0192877531f, -0.0110821334f, 0.00452510256f, -0.000535262628f, -0.00120883401f, 0.00166377302f, -0.00177476534f };
+static void work_EqLPF9_lo(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF9_lo_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Subtract9(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float a = _t1;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  float b = _t2;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (a - b); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqGain9(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.9f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_EqCombine(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 10; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+    acc = (acc + _t1);
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  (void)_pop; (void)_push;
+}
+
+kernel void swp_kernel(device float* buf_4_0__6_0 [[buffer(0)]],
+                       device float* buf_6_0__5_0 [[buffer(1)]],
+                       device float* buf_4_1__7_0 [[buffer(2)]],
+                       device float* buf_7_0__5_1 [[buffer(3)]],
+                       device float* buf_5_0__8_0 [[buffer(4)]],
+                       device float* buf_8_0__9_0 [[buffer(5)]],
+                       device float* buf_2_0__4_0 [[buffer(6)]],
+                       device float* buf_9_0__3_0 [[buffer(7)]],
+                       device float* buf_10_0__12_0 [[buffer(8)]],
+                       device float* buf_12_0__11_0 [[buffer(9)]],
+                       device float* buf_10_1__13_0 [[buffer(10)]],
+                       device float* buf_13_0__11_1 [[buffer(11)]],
+                       device float* buf_11_0__14_0 [[buffer(12)]],
+                       device float* buf_14_0__15_0 [[buffer(13)]],
+                       device float* buf_2_1__10_0 [[buffer(14)]],
+                       device float* buf_15_0__3_1 [[buffer(15)]],
+                       device float* buf_16_0__18_0 [[buffer(16)]],
+                       device float* buf_18_0__17_0 [[buffer(17)]],
+                       device float* buf_16_1__19_0 [[buffer(18)]],
+                       device float* buf_19_0__17_1 [[buffer(19)]],
+                       device float* buf_17_0__20_0 [[buffer(20)]],
+                       device float* buf_20_0__21_0 [[buffer(21)]],
+                       device float* buf_2_2__16_0 [[buffer(22)]],
+                       device float* buf_21_0__3_2 [[buffer(23)]],
+                       device float* buf_22_0__24_0 [[buffer(24)]],
+                       device float* buf_24_0__23_0 [[buffer(25)]],
+                       device float* buf_22_1__25_0 [[buffer(26)]],
+                       device float* buf_25_0__23_1 [[buffer(27)]],
+                       device float* buf_23_0__26_0 [[buffer(28)]],
+                       device float* buf_26_0__27_0 [[buffer(29)]],
+                       device float* buf_2_3__22_0 [[buffer(30)]],
+                       device float* buf_27_0__3_3 [[buffer(31)]],
+                       device float* buf_28_0__30_0 [[buffer(32)]],
+                       device float* buf_30_0__29_0 [[buffer(33)]],
+                       device float* buf_28_1__31_0 [[buffer(34)]],
+                       device float* buf_31_0__29_1 [[buffer(35)]],
+                       device float* buf_29_0__32_0 [[buffer(36)]],
+                       device float* buf_32_0__33_0 [[buffer(37)]],
+                       device float* buf_2_4__28_0 [[buffer(38)]],
+                       device float* buf_33_0__3_4 [[buffer(39)]],
+                       device float* buf_34_0__36_0 [[buffer(40)]],
+                       device float* buf_36_0__35_0 [[buffer(41)]],
+                       device float* buf_34_1__37_0 [[buffer(42)]],
+                       device float* buf_37_0__35_1 [[buffer(43)]],
+                       device float* buf_35_0__38_0 [[buffer(44)]],
+                       device float* buf_38_0__39_0 [[buffer(45)]],
+                       device float* buf_2_5__34_0 [[buffer(46)]],
+                       device float* buf_39_0__3_5 [[buffer(47)]],
+                       device float* buf_40_0__42_0 [[buffer(48)]],
+                       device float* buf_42_0__41_0 [[buffer(49)]],
+                       device float* buf_40_1__43_0 [[buffer(50)]],
+                       device float* buf_43_0__41_1 [[buffer(51)]],
+                       device float* buf_41_0__44_0 [[buffer(52)]],
+                       device float* buf_44_0__45_0 [[buffer(53)]],
+                       device float* buf_2_6__40_0 [[buffer(54)]],
+                       device float* buf_45_0__3_6 [[buffer(55)]],
+                       device float* buf_46_0__48_0 [[buffer(56)]],
+                       device float* buf_48_0__47_0 [[buffer(57)]],
+                       device float* buf_46_1__49_0 [[buffer(58)]],
+                       device float* buf_49_0__47_1 [[buffer(59)]],
+                       device float* buf_47_0__50_0 [[buffer(60)]],
+                       device float* buf_50_0__51_0 [[buffer(61)]],
+                       device float* buf_2_7__46_0 [[buffer(62)]],
+                       device float* buf_51_0__3_7 [[buffer(63)]],
+                       device float* buf_52_0__54_0 [[buffer(64)]],
+                       device float* buf_54_0__53_0 [[buffer(65)]],
+                       device float* buf_52_1__55_0 [[buffer(66)]],
+                       device float* buf_55_0__53_1 [[buffer(67)]],
+                       device float* buf_53_0__56_0 [[buffer(68)]],
+                       device float* buf_56_0__57_0 [[buffer(69)]],
+                       device float* buf_2_8__52_0 [[buffer(70)]],
+                       device float* buf_57_0__3_8 [[buffer(71)]],
+                       device float* buf_58_0__60_0 [[buffer(72)]],
+                       device float* buf_60_0__59_0 [[buffer(73)]],
+                       device float* buf_58_1__61_0 [[buffer(74)]],
+                       device float* buf_61_0__59_1 [[buffer(75)]],
+                       device float* buf_59_0__62_0 [[buffer(76)]],
+                       device float* buf_62_0__63_0 [[buffer(77)]],
+                       device float* buf_2_9__58_0 [[buffer(78)]],
+                       device float* buf_63_0__3_9 [[buffer(79)]],
+                       device float* buf_0_0__1_0 [[buffer(80)]],
+                       device float* buf_1_0__2_0 [[buffer(81)]],
+                       device float* buf_3_0__64_0 [[buffer(82)]],
+                       const device float* stream_in [[buffer(83)]],
+                       device float* stream_out [[buffer(84)]],
+                       constant int& iterations [[buffer(85)]],
+                       uint tid_u [[thread_position_in_threadgroup]],
+                       uint sm_u [[threadgroup_position_in_grid]])
+{
+  int tid = (int)tid_u;
+  int sm = (int)sm_u;
+  /* staging predicates, one per pipeline stage (depth 7) */
+  threadgroup int stage_on[7];
+  if (tid == 0) for (int s = 0; s < 7; s++) stage_on[s] = 0;
+  threadgroup_barrier(mem_flags::mem_threadgroup);
+  for (int it = 0; it < iterations + 7; it++) {
+    if (tid == 0) { for (int s = 6; s > 0; s--) stage_on[s] = stage_on[s-1]; stage_on[0] = (it < iterations); }
+    threadgroup_barrier(mem_flags::mem_threadgroup);
+    switch (sm) {
+    case 0: {
+      /* (FrontLPF, k=0) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_FrontLPF(stream_in + region_0(it - 0), buf_0_0__1_0 + region_0(it - 0), tid);
+      /* (EqLPF0_hi, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF0_hi(buf_4_0__6_0 + region_6(it - 3), buf_6_0__5_0 + region_6(it - 3), tid);
+      break; }
+    case 1: {
+      /* (EqLPF1_hi, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF1_hi(buf_10_0__12_0 + region_12(it - 3), buf_12_0__11_0 + region_12(it - 3), tid);
+      /* (EqLPF0_lo, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF0_lo(buf_4_1__7_0 + region_7(it - 3), buf_7_0__5_1 + region_7(it - 3), tid);
+      break; }
+    case 2: {
+      /* (EqLPF2_hi, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF2_hi(buf_16_0__18_0 + region_18(it - 3), buf_18_0__17_0 + region_18(it - 3), tid);
+      /* (EqLPF1_lo, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF1_lo(buf_10_1__13_0 + region_13(it - 3), buf_13_0__11_1 + region_13(it - 3), tid);
+      break; }
+    case 3: {
+      /* (EqLPF3_hi, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF3_hi(buf_22_0__24_0 + region_24(it - 3), buf_24_0__23_0 + region_24(it - 3), tid);
+      /* (EqLPF2_lo, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF2_lo(buf_16_1__19_0 + region_19(it - 3), buf_19_0__17_1 + region_19(it - 3), tid);
+      break; }
+    case 4: {
+      /* (EqLPF4_hi, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF4_hi(buf_28_0__30_0 + region_30(it - 3), buf_30_0__29_0 + region_30(it - 3), tid);
+      /* (EqLPF3_lo, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF3_lo(buf_22_1__25_0 + region_25(it - 3), buf_25_0__23_1 + region_25(it - 3), tid);
+      break; }
+    case 5: {
+      /* (EqLPF5_hi, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF5_hi(buf_34_0__36_0 + region_36(it - 3), buf_36_0__35_0 + region_36(it - 3), tid);
+      /* (EqLPF4_lo, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF4_lo(buf_28_1__31_0 + region_31(it - 3), buf_31_0__29_1 + region_31(it - 3), tid);
+      break; }
+    case 6: {
+      /* (EqLPF6_hi, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF6_hi(buf_40_0__42_0 + region_42(it - 3), buf_42_0__41_0 + region_42(it - 3), tid);
+      /* (EqLPF5_lo, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF5_lo(buf_34_1__37_0 + region_37(it - 3), buf_37_0__35_1 + region_37(it - 3), tid);
+      break; }
+    case 7: {
+      /* (EqLPF7_hi, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF7_hi(buf_46_0__48_0 + region_48(it - 3), buf_48_0__47_0 + region_48(it - 3), tid);
+      /* (EqLPF6_lo, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF6_lo(buf_40_1__43_0 + region_43(it - 3), buf_43_0__41_1 + region_43(it - 3), tid);
+      break; }
+    case 8: {
+      /* (EqLPF8_hi, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF8_hi(buf_52_0__54_0 + region_54(it - 3), buf_54_0__53_0 + region_54(it - 3), tid);
+      /* (EqLPF7_lo, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF7_lo(buf_46_1__49_0 + region_49(it - 3), buf_49_0__47_1 + region_49(it - 3), tid);
+      break; }
+    case 9: {
+      /* (EqLPF9_hi, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF9_hi(buf_58_0__60_0 + region_60(it - 3), buf_60_0__59_0 + region_60(it - 3), tid);
+      /* (EqLPF8_lo, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF8_lo(buf_52_1__55_0 + region_55(it - 3), buf_55_0__53_1 + region_55(it - 3), tid);
+      break; }
+    case 10: {
+      /* (FMDemod, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_FMDemod(buf_0_0__1_0 + region_1(it - 1), buf_1_0__2_0 + region_1(it - 1), tid);
+      /* (EqLPF9_lo, k=0) o=1842 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_EqLPF9_lo(buf_58_1__61_0 + region_61(it - 3), buf_61_0__59_1 + region_61(it - 3), tid);
+      /* (join_bpf5, k=0) o=1842 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_bpf5(buf_36_0__35_0 + region_35(it - 4), buf_35_0__38_0 + region_35(it - 4), tid);
+      /* (join_bpf4, k=0) o=1842 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_bpf4(buf_30_0__29_0 + region_29(it - 4), buf_29_0__32_0 + region_29(it - 4), tid);
+      /* (join_bpf3, k=0) o=1842 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_bpf3(buf_24_0__23_0 + region_23(it - 4), buf_23_0__26_0 + region_23(it - 4), tid);
+      /* (join_bpf2, k=0) o=1842 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_bpf2(buf_18_0__17_0 + region_17(it - 4), buf_17_0__20_0 + region_17(it - 4), tid);
+      /* (join_bpf1, k=0) o=1842 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_bpf1(buf_12_0__11_0 + region_11(it - 4), buf_11_0__14_0 + region_11(it - 4), tid);
+      /* (join_bpf0, k=0) o=1842 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_bpf0(buf_6_0__5_0 + region_5(it - 4), buf_5_0__8_0 + region_5(it - 4), tid);
+      /* (split_equalizer, k=0) o=1842 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_split_equalizer(buf_1_0__2_0 + region_2(it - 1), buf_2_0__4_0 + region_2(it - 1), tid);
+      /* (join_equalizer, k=0) o=2596 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_join_equalizer(buf_9_0__3_0 + region_3(it - 6), buf_3_0__64_0 + region_3(it - 6), tid);
+      /* (EqCombine, k=0) o=5718 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_EqCombine(buf_3_0__64_0 + region_64(it - 6), stream_out + region_64(it - 6), tid);
+      break; }
+    case 11: {
+      /* (join_bpf9, k=0) o=1842 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_bpf9(buf_60_0__59_0 + region_59(it - 4), buf_59_0__62_0 + region_59(it - 4), tid);
+      /* (split_bpf9, k=0) o=1842 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_split_bpf9(buf_2_9__58_0 + region_58(it - 2), buf_58_0__60_0 + region_58(it - 2), tid);
+      /* (join_bpf8, k=0) o=1842 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_bpf8(buf_54_0__53_0 + region_53(it - 4), buf_53_0__56_0 + region_53(it - 4), tid);
+      /* (split_bpf8, k=0) o=1842 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_split_bpf8(buf_2_8__52_0 + region_52(it - 2), buf_52_0__54_0 + region_52(it - 2), tid);
+      /* (join_bpf7, k=0) o=1842 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_bpf7(buf_48_0__47_0 + region_47(it - 4), buf_47_0__50_0 + region_47(it - 4), tid);
+      /* (split_bpf7, k=0) o=1842 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_split_bpf7(buf_2_7__46_0 + region_46(it - 2), buf_46_0__48_0 + region_46(it - 2), tid);
+      /* (join_bpf6, k=0) o=1842 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_bpf6(buf_42_0__41_0 + region_41(it - 4), buf_41_0__44_0 + region_41(it - 4), tid);
+      /* (split_bpf6, k=0) o=1842 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_split_bpf6(buf_2_6__40_0 + region_40(it - 2), buf_40_0__42_0 + region_40(it - 2), tid);
+      /* (Subtract5, k=0) o=1842 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_Subtract5(buf_35_0__38_0 + region_38(it - 5), buf_38_0__39_0 + region_38(it - 5), tid);
+      /* (split_bpf5, k=0) o=1842 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_split_bpf5(buf_2_5__34_0 + region_34(it - 2), buf_34_0__36_0 + region_34(it - 2), tid);
+      /* (Subtract4, k=0) o=1842 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_Subtract4(buf_29_0__32_0 + region_32(it - 5), buf_32_0__33_0 + region_32(it - 5), tid);
+      /* (split_bpf4, k=0) o=1842 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_split_bpf4(buf_2_4__28_0 + region_28(it - 2), buf_28_0__30_0 + region_28(it - 2), tid);
+      /* (Subtract3, k=0) o=1842 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_Subtract3(buf_23_0__26_0 + region_26(it - 5), buf_26_0__27_0 + region_26(it - 5), tid);
+      /* (split_bpf3, k=0) o=1842 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_split_bpf3(buf_2_3__22_0 + region_22(it - 2), buf_22_0__24_0 + region_22(it - 2), tid);
+      /* (Subtract2, k=0) o=1842 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_Subtract2(buf_17_0__20_0 + region_20(it - 5), buf_20_0__21_0 + region_20(it - 5), tid);
+      /* (split_bpf2, k=0) o=1842 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_split_bpf2(buf_2_2__16_0 + region_16(it - 2), buf_16_0__18_0 + region_16(it - 2), tid);
+      /* (Subtract1, k=0) o=1842 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_Subtract1(buf_11_0__14_0 + region_14(it - 5), buf_14_0__15_0 + region_14(it - 5), tid);
+      /* (split_bpf1, k=0) o=1842 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_split_bpf1(buf_2_1__10_0 + region_10(it - 2), buf_10_0__12_0 + region_10(it - 2), tid);
+      /* (Subtract0, k=0) o=1842 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_Subtract0(buf_5_0__8_0 + region_8(it - 5), buf_8_0__9_0 + region_8(it - 5), tid);
+      /* (split_bpf0, k=0) o=1842 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_split_bpf0(buf_2_0__4_0 + region_4(it - 2), buf_4_0__6_0 + region_4(it - 2), tid);
+      /* (EqGain5, k=0) o=2596 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_EqGain5(buf_38_0__39_0 + region_39(it - 5), buf_39_0__3_5 + region_39(it - 5), tid);
+      /* (EqGain4, k=0) o=2596 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_EqGain4(buf_32_0__33_0 + region_33(it - 5), buf_33_0__3_4 + region_33(it - 5), tid);
+      /* (EqGain3, k=0) o=2596 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_EqGain3(buf_26_0__27_0 + region_27(it - 5), buf_27_0__3_3 + region_27(it - 5), tid);
+      /* (EqGain2, k=0) o=2596 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_EqGain2(buf_20_0__21_0 + region_21(it - 5), buf_21_0__3_2 + region_21(it - 5), tid);
+      /* (EqGain1, k=0) o=2596 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_EqGain1(buf_14_0__15_0 + region_15(it - 5), buf_15_0__3_1 + region_15(it - 5), tid);
+      /* (EqGain0, k=0) o=2596 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_EqGain0(buf_8_0__9_0 + region_9(it - 5), buf_9_0__3_0 + region_9(it - 5), tid);
+      /* (Subtract9, k=0) o=2916 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Subtract9(buf_59_0__62_0 + region_62(it - 4), buf_62_0__63_0 + region_62(it - 4), tid);
+      /* (Subtract8, k=0) o=2916 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Subtract8(buf_53_0__56_0 + region_56(it - 4), buf_56_0__57_0 + region_56(it - 4), tid);
+      /* (Subtract7, k=0) o=2916 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Subtract7(buf_47_0__50_0 + region_50(it - 4), buf_50_0__51_0 + region_50(it - 4), tid);
+      /* (Subtract6, k=0) o=2916 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Subtract6(buf_41_0__44_0 + region_44(it - 4), buf_44_0__45_0 + region_44(it - 4), tid);
+      /* (EqGain9, k=0) o=3670 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_EqGain9(buf_62_0__63_0 + region_63(it - 4), buf_63_0__3_9 + region_63(it - 4), tid);
+      /* (EqGain8, k=0) o=3670 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_EqGain8(buf_56_0__57_0 + region_57(it - 4), buf_57_0__3_8 + region_57(it - 4), tid);
+      /* (EqGain7, k=0) o=3670 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_EqGain7(buf_50_0__51_0 + region_51(it - 4), buf_51_0__3_7 + region_51(it - 4), tid);
+      /* (EqGain6, k=0) o=3670 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_EqGain6(buf_44_0__45_0 + region_45(it - 4), buf_45_0__3_6 + region_45(it - 4), tid);
+      break; }
+    }
+    /* II boundary */
+  }
+}
+
+/* host launch (Metal):
+ *   dispatchThreadgroups: 16 threadgroups x 512 threads
+ *   newBuffer buf_4_0__6_0: 16492 bytes
+ *   newBuffer buf_6_0__5_0: 16384 bytes
+ *   newBuffer buf_4_1__7_0: 16492 bytes
+ *   newBuffer buf_7_0__5_1: 16384 bytes
+ *   newBuffer buf_5_0__8_0: 32768 bytes
+ *   newBuffer buf_8_0__9_0: 16384 bytes
+ *   newBuffer buf_2_0__4_0: 16384 bytes
+ *   newBuffer buf_9_0__3_0: 16384 bytes
+ *   newBuffer buf_10_0__12_0: 16492 bytes
+ *   newBuffer buf_12_0__11_0: 16384 bytes
+ *   newBuffer buf_10_1__13_0: 16492 bytes
+ *   newBuffer buf_13_0__11_1: 16384 bytes
+ *   newBuffer buf_11_0__14_0: 32768 bytes
+ *   newBuffer buf_14_0__15_0: 16384 bytes
+ *   newBuffer buf_2_1__10_0: 16384 bytes
+ *   newBuffer buf_15_0__3_1: 16384 bytes
+ *   newBuffer buf_16_0__18_0: 16492 bytes
+ *   newBuffer buf_18_0__17_0: 16384 bytes
+ *   newBuffer buf_16_1__19_0: 16492 bytes
+ *   newBuffer buf_19_0__17_1: 16384 bytes
+ *   newBuffer buf_17_0__20_0: 32768 bytes
+ *   newBuffer buf_20_0__21_0: 16384 bytes
+ *   newBuffer buf_2_2__16_0: 16384 bytes
+ *   newBuffer buf_21_0__3_2: 16384 bytes
+ *   newBuffer buf_22_0__24_0: 16492 bytes
+ *   newBuffer buf_24_0__23_0: 16384 bytes
+ *   newBuffer buf_22_1__25_0: 16492 bytes
+ *   newBuffer buf_25_0__23_1: 16384 bytes
+ *   newBuffer buf_23_0__26_0: 32768 bytes
+ *   newBuffer buf_26_0__27_0: 16384 bytes
+ *   newBuffer buf_2_3__22_0: 16384 bytes
+ *   newBuffer buf_27_0__3_3: 16384 bytes
+ *   newBuffer buf_28_0__30_0: 16492 bytes
+ *   newBuffer buf_30_0__29_0: 16384 bytes
+ *   newBuffer buf_28_1__31_0: 16492 bytes
+ *   newBuffer buf_31_0__29_1: 16384 bytes
+ *   newBuffer buf_29_0__32_0: 32768 bytes
+ *   newBuffer buf_32_0__33_0: 16384 bytes
+ *   newBuffer buf_2_4__28_0: 16384 bytes
+ *   newBuffer buf_33_0__3_4: 16384 bytes
+ *   newBuffer buf_34_0__36_0: 16492 bytes
+ *   newBuffer buf_36_0__35_0: 16384 bytes
+ *   newBuffer buf_34_1__37_0: 16492 bytes
+ *   newBuffer buf_37_0__35_1: 16384 bytes
+ *   newBuffer buf_35_0__38_0: 32768 bytes
+ *   newBuffer buf_38_0__39_0: 16384 bytes
+ *   newBuffer buf_2_5__34_0: 16384 bytes
+ *   newBuffer buf_39_0__3_5: 16384 bytes
+ *   newBuffer buf_40_0__42_0: 16492 bytes
+ *   newBuffer buf_42_0__41_0: 16384 bytes
+ *   newBuffer buf_40_1__43_0: 16492 bytes
+ *   newBuffer buf_43_0__41_1: 16384 bytes
+ *   newBuffer buf_41_0__44_0: 32768 bytes
+ *   newBuffer buf_44_0__45_0: 16384 bytes
+ *   newBuffer buf_2_6__40_0: 16384 bytes
+ *   newBuffer buf_45_0__3_6: 16384 bytes
+ *   newBuffer buf_46_0__48_0: 16492 bytes
+ *   newBuffer buf_48_0__47_0: 16384 bytes
+ *   newBuffer buf_46_1__49_0: 16492 bytes
+ *   newBuffer buf_49_0__47_1: 16384 bytes
+ *   newBuffer buf_47_0__50_0: 32768 bytes
+ *   newBuffer buf_50_0__51_0: 16384 bytes
+ *   newBuffer buf_2_7__46_0: 16384 bytes
+ *   newBuffer buf_51_0__3_7: 16384 bytes
+ *   newBuffer buf_52_0__54_0: 16492 bytes
+ *   newBuffer buf_54_0__53_0: 16384 bytes
+ *   newBuffer buf_52_1__55_0: 16492 bytes
+ *   newBuffer buf_55_0__53_1: 16384 bytes
+ *   newBuffer buf_53_0__56_0: 32768 bytes
+ *   newBuffer buf_56_0__57_0: 16384 bytes
+ *   newBuffer buf_2_8__52_0: 16384 bytes
+ *   newBuffer buf_57_0__3_8: 16384 bytes
+ *   newBuffer buf_58_0__60_0: 16492 bytes
+ *   newBuffer buf_60_0__59_0: 16384 bytes
+ *   newBuffer buf_58_1__61_0: 16492 bytes
+ *   newBuffer buf_61_0__59_1: 16384 bytes
+ *   newBuffer buf_59_0__62_0: 32768 bytes
+ *   newBuffer buf_62_0__63_0: 16384 bytes
+ *   newBuffer buf_2_9__58_0: 16384 bytes
+ *   newBuffer buf_63_0__3_9: 16384 bytes
+ *   newBuffer buf_0_0__1_0: 16388 bytes
+ *   newBuffer buf_1_0__2_0: 16384 bytes
+ *   newBuffer buf_3_0__64_0: 163840 bytes
+ *   stream_in/stream_out: 1 << 20 bytes, input shuffled per eq. (9); iterations = 1024
+ */

@@ -1,0 +1,1303 @@
+// streamit_gpu artifact (wgsl)
+// quality: heuristic (completed)
+// II: 33636 (lower bound 33636, binding res_mii_sharp)
+// schedule signature: 715546b5ce49a8a44e84656ea3e01158
+// dispatch: 16 workgroups x 512 threads; host loops handled by the iterations uniform
+
+@group(0) @binding(0) var<storage, read_write> buf_4_0__6_0: array<f32>;
+@group(0) @binding(1) var<storage, read_write> buf_6_0__5_0: array<f32>;
+@group(0) @binding(2) var<storage, read_write> buf_4_1__7_0: array<f32>;
+@group(0) @binding(3) var<storage, read_write> buf_7_0__5_1: array<f32>;
+@group(0) @binding(4) var<storage, read_write> buf_5_0__8_0: array<f32>;
+@group(0) @binding(5) var<storage, read_write> buf_8_0__9_0: array<f32>;
+@group(0) @binding(6) var<storage, read_write> buf_2_0__4_0: array<f32>;
+@group(0) @binding(7) var<storage, read_write> buf_9_0__3_0: array<f32>;
+@group(0) @binding(8) var<storage, read_write> buf_10_0__12_0: array<f32>;
+@group(0) @binding(9) var<storage, read_write> buf_12_0__11_0: array<f32>;
+@group(0) @binding(10) var<storage, read_write> buf_10_1__13_0: array<f32>;
+@group(0) @binding(11) var<storage, read_write> buf_13_0__11_1: array<f32>;
+@group(0) @binding(12) var<storage, read_write> buf_11_0__14_0: array<f32>;
+@group(0) @binding(13) var<storage, read_write> buf_14_0__15_0: array<f32>;
+@group(0) @binding(14) var<storage, read_write> buf_2_1__10_0: array<f32>;
+@group(0) @binding(15) var<storage, read_write> buf_15_0__3_1: array<f32>;
+@group(0) @binding(16) var<storage, read_write> buf_16_0__18_0: array<f32>;
+@group(0) @binding(17) var<storage, read_write> buf_18_0__17_0: array<f32>;
+@group(0) @binding(18) var<storage, read_write> buf_16_1__19_0: array<f32>;
+@group(0) @binding(19) var<storage, read_write> buf_19_0__17_1: array<f32>;
+@group(0) @binding(20) var<storage, read_write> buf_17_0__20_0: array<f32>;
+@group(0) @binding(21) var<storage, read_write> buf_20_0__21_0: array<f32>;
+@group(0) @binding(22) var<storage, read_write> buf_2_2__16_0: array<f32>;
+@group(0) @binding(23) var<storage, read_write> buf_21_0__3_2: array<f32>;
+@group(0) @binding(24) var<storage, read_write> buf_22_0__24_0: array<f32>;
+@group(0) @binding(25) var<storage, read_write> buf_24_0__23_0: array<f32>;
+@group(0) @binding(26) var<storage, read_write> buf_22_1__25_0: array<f32>;
+@group(0) @binding(27) var<storage, read_write> buf_25_0__23_1: array<f32>;
+@group(0) @binding(28) var<storage, read_write> buf_23_0__26_0: array<f32>;
+@group(0) @binding(29) var<storage, read_write> buf_26_0__27_0: array<f32>;
+@group(0) @binding(30) var<storage, read_write> buf_2_3__22_0: array<f32>;
+@group(0) @binding(31) var<storage, read_write> buf_27_0__3_3: array<f32>;
+@group(0) @binding(32) var<storage, read_write> buf_28_0__30_0: array<f32>;
+@group(0) @binding(33) var<storage, read_write> buf_30_0__29_0: array<f32>;
+@group(0) @binding(34) var<storage, read_write> buf_28_1__31_0: array<f32>;
+@group(0) @binding(35) var<storage, read_write> buf_31_0__29_1: array<f32>;
+@group(0) @binding(36) var<storage, read_write> buf_29_0__32_0: array<f32>;
+@group(0) @binding(37) var<storage, read_write> buf_32_0__33_0: array<f32>;
+@group(0) @binding(38) var<storage, read_write> buf_2_4__28_0: array<f32>;
+@group(0) @binding(39) var<storage, read_write> buf_33_0__3_4: array<f32>;
+@group(0) @binding(40) var<storage, read_write> buf_34_0__36_0: array<f32>;
+@group(0) @binding(41) var<storage, read_write> buf_36_0__35_0: array<f32>;
+@group(0) @binding(42) var<storage, read_write> buf_34_1__37_0: array<f32>;
+@group(0) @binding(43) var<storage, read_write> buf_37_0__35_1: array<f32>;
+@group(0) @binding(44) var<storage, read_write> buf_35_0__38_0: array<f32>;
+@group(0) @binding(45) var<storage, read_write> buf_38_0__39_0: array<f32>;
+@group(0) @binding(46) var<storage, read_write> buf_2_5__34_0: array<f32>;
+@group(0) @binding(47) var<storage, read_write> buf_39_0__3_5: array<f32>;
+@group(0) @binding(48) var<storage, read_write> buf_40_0__42_0: array<f32>;
+@group(0) @binding(49) var<storage, read_write> buf_42_0__41_0: array<f32>;
+@group(0) @binding(50) var<storage, read_write> buf_40_1__43_0: array<f32>;
+@group(0) @binding(51) var<storage, read_write> buf_43_0__41_1: array<f32>;
+@group(0) @binding(52) var<storage, read_write> buf_41_0__44_0: array<f32>;
+@group(0) @binding(53) var<storage, read_write> buf_44_0__45_0: array<f32>;
+@group(0) @binding(54) var<storage, read_write> buf_2_6__40_0: array<f32>;
+@group(0) @binding(55) var<storage, read_write> buf_45_0__3_6: array<f32>;
+@group(0) @binding(56) var<storage, read_write> buf_46_0__48_0: array<f32>;
+@group(0) @binding(57) var<storage, read_write> buf_48_0__47_0: array<f32>;
+@group(0) @binding(58) var<storage, read_write> buf_46_1__49_0: array<f32>;
+@group(0) @binding(59) var<storage, read_write> buf_49_0__47_1: array<f32>;
+@group(0) @binding(60) var<storage, read_write> buf_47_0__50_0: array<f32>;
+@group(0) @binding(61) var<storage, read_write> buf_50_0__51_0: array<f32>;
+@group(0) @binding(62) var<storage, read_write> buf_2_7__46_0: array<f32>;
+@group(0) @binding(63) var<storage, read_write> buf_51_0__3_7: array<f32>;
+@group(0) @binding(64) var<storage, read_write> buf_52_0__54_0: array<f32>;
+@group(0) @binding(65) var<storage, read_write> buf_54_0__53_0: array<f32>;
+@group(0) @binding(66) var<storage, read_write> buf_52_1__55_0: array<f32>;
+@group(0) @binding(67) var<storage, read_write> buf_55_0__53_1: array<f32>;
+@group(0) @binding(68) var<storage, read_write> buf_53_0__56_0: array<f32>;
+@group(0) @binding(69) var<storage, read_write> buf_56_0__57_0: array<f32>;
+@group(0) @binding(70) var<storage, read_write> buf_2_8__52_0: array<f32>;
+@group(0) @binding(71) var<storage, read_write> buf_57_0__3_8: array<f32>;
+@group(0) @binding(72) var<storage, read_write> buf_58_0__60_0: array<f32>;
+@group(0) @binding(73) var<storage, read_write> buf_60_0__59_0: array<f32>;
+@group(0) @binding(74) var<storage, read_write> buf_58_1__61_0: array<f32>;
+@group(0) @binding(75) var<storage, read_write> buf_61_0__59_1: array<f32>;
+@group(0) @binding(76) var<storage, read_write> buf_59_0__62_0: array<f32>;
+@group(0) @binding(77) var<storage, read_write> buf_62_0__63_0: array<f32>;
+@group(0) @binding(78) var<storage, read_write> buf_2_9__58_0: array<f32>;
+@group(0) @binding(79) var<storage, read_write> buf_63_0__3_9: array<f32>;
+@group(0) @binding(80) var<storage, read_write> buf_0_0__1_0: array<f32>;
+@group(0) @binding(81) var<storage, read_write> buf_1_0__2_0: array<f32>;
+@group(0) @binding(82) var<storage, read_write> buf_3_0__64_0: array<f32>;
+@group(0) @binding(83) var<storage, read> stream_in: array<f32>;
+@group(0) @binding(84) var<storage, read_write> stream_out: array<f32>;
+@group(0) @binding(85) var<uniform> iterations: i32;
+
+var<workgroup> stage_on: array<i32, 7>;
+
+fn region_0(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_1(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_2(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_3(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 5120; }
+fn region_4(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_5(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 1024; }
+fn region_6(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_7(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_8(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_9(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_10(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_11(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 1024; }
+fn region_12(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_13(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_14(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_15(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_16(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_17(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 1024; }
+fn region_18(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_19(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_20(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_21(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_22(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_23(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 1024; }
+fn region_24(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_25(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_26(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_27(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_28(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_29(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 1024; }
+fn region_30(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_31(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_32(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_33(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_34(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_35(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 1024; }
+fn region_36(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_37(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_38(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_39(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_40(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_41(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 1024; }
+fn region_42(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_43(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_44(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_45(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_46(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_47(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 1024; }
+fn region_48(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_49(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_50(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_51(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_52(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_53(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 1024; }
+fn region_54(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_55(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_56(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_57(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_58(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_59(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 1024; }
+fn region_60(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_61(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_62(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_63(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_64(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 0; }
+
+var<private> FrontLPF_taps: array<f32, 28> = array<f32, 28>(0.00133380195f, 0.00166377302f, -0.0025234102f, -0.00402183209f, 0.00628579642f, 0.00947459282f, -0.0138085066f, -0.0196250473f, 0.0274976855f, 0.0385135313f, -0.0550267643f, -0.0832184333f, 0.145890048f, 0.448758006f, 0.448758006f, 0.145890048f, -0.0832184333f, -0.0550267643f, 0.0385135313f, 0.0274976855f, -0.0196250473f, -0.0138085066f, 0.00947459282f, 0.00628579642f, -0.00402183209f, -0.0025234102f, 0.00166377302f, 0.00133380195f);
+
+fn work_FrontLPF(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (stream_in[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * FrontLPF_taps[j]));
+  }
+  buf_0_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_FMDemod(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var x: f32 = (buf_0_0__1_0[in_base + (128 * (_pop + (0)) + (tid / 128) * 128 * 1 + (tid % 128))] * buf_0_0__1_0[in_base + (128 * (_pop + (1)) + (tid / 128) * 128 * 1 + (tid % 128))]);
+  var y: f32 = (x / (1.0f + ((0.28f * x) * x)));
+  buf_1_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((0.5f * y)); _push++;
+  let _t1: f32 = buf_0_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_equalizer(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_1_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(x); _push++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(x); _push++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(x); _push++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(x); _push++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(x); _push++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(x); _push++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(x); _push++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(x); _push++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(x); _push++;
+  buf_2_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_equalizer(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_9_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  buf_3_0__64_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_9_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  buf_3_0__64_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_9_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  buf_3_0__64_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_9_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  buf_3_0__64_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_9_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  buf_3_0__64_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_9_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  buf_3_0__64_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_9_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  buf_3_0__64_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_9_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  buf_3_0__64_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(_t8); _push++;
+  let _t9: f32 = buf_9_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  buf_3_0__64_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(_t9); _push++;
+  let _t10: f32 = buf_9_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+  buf_3_0__64_0[out_base + (128 * (_push) + (tid / 128) * 128 * 10 + (tid % 128))] = f32(_t10); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_bpf0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_4_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  buf_4_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bpf0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_6_0__5_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_5_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_6_0__5_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_5_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF0_hi_taps: array<f32, 28> = array<f32, 28>(-0.000638954838f, -0.00166377302f, -0.00335766562f, -0.00566248714f, -0.00765153057f, -0.00753141007f, -0.00305487997f, 0.00774312141f, 0.0257168311f, 0.0499867523f, 0.0777811971f, 0.104861343f, 0.12645479f, 0.138442352f, 0.138442352f, 0.12645479f, 0.104861343f, 0.0777811971f, 0.0499867523f, 0.0257168311f, 0.00774312141f, -0.00305487997f, -0.00753141007f, -0.00765153057f, -0.00566248714f, -0.00335766562f, -0.00166377302f, -0.000638954838f);
+
+fn work_EqLPF0_hi(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_4_0__6_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF0_hi_taps[j]));
+  }
+  buf_6_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_4_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF0_lo_taps: array<f32, 28> = array<f32, 28>(0.00160831878f, 0.00217382421f, 0.0034700391f, 0.00567019611f, 0.00886205531f, 0.0130288795f, 0.0180416833f, 0.023664182f, 0.0295703628f, 0.0353730701f, 0.0406606274f, 0.0450374915f, 0.0481643737f, 0.0497932537f, 0.0497932537f, 0.0481643737f, 0.0450374915f, 0.0406606274f, 0.0353730701f, 0.0295703628f, 0.023664182f, 0.0180416833f, 0.0130288795f, 0.00886205531f, 0.00567019611f, 0.0034700391f, 0.00217382421f, 0.00160831878f);
+
+fn work_EqLPF0_lo(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_4_1__7_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF0_lo_taps[j]));
+  }
+  buf_7_0__5_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_4_1__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Subtract0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_5_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var a: f32 = _t1;
+  let _t2: f32 = buf_5_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var b: f32 = _t2;
+  buf_8_0__9_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((a - b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqGain0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_8_0__9_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_9_0__3_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.0f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_bpf1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_1__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  buf_10_0__12_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bpf1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_11_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_12_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_11_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF1_hi_taps: array<f32, 28> = array<f32, 28>(-0.000610999209f, 0.00090042747f, 0.00320473796f, 0.00548614167f, 0.00488051558f, -0.00188794937f, -0.0148493425f, -0.0277505841f, -0.028762478f, -0.00597682831f, 0.0447466767f, 0.114436891f, 0.182338246f, 0.224329154f, 0.224329154f, 0.182338246f, 0.114436891f, 0.0447466767f, -0.00597682831f, -0.028762478f, -0.0277505841f, -0.0148493425f, -0.00188794937f, 0.00488051558f, 0.00548614167f, 0.00320473796f, 0.00090042747f, -0.000610999209f);
+
+fn work_EqLPF1_hi(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_10_0__12_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF1_hi_taps[j]));
+  }
+  buf_12_0__11_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_10_0__12_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF1_lo_taps: array<f32, 28> = array<f32, 28>(-0.000638954838f, -0.00166377302f, -0.00335766562f, -0.00566248714f, -0.00765153057f, -0.00753141007f, -0.00305487997f, 0.00774312141f, 0.0257168311f, 0.0499867523f, 0.0777811971f, 0.104861343f, 0.12645479f, 0.138442352f, 0.138442352f, 0.12645479f, 0.104861343f, 0.0777811971f, 0.0499867523f, 0.0257168311f, 0.00774312141f, -0.00305487997f, -0.00753141007f, -0.00765153057f, -0.00566248714f, -0.00335766562f, -0.00166377302f, -0.000638954838f);
+
+fn work_EqLPF1_lo(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_10_1__13_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF1_lo_taps[j]));
+  }
+  buf_13_0__11_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_10_1__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Subtract1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_11_0__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var a: f32 = _t1;
+  let _t2: f32 = buf_11_0__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var b: f32 = _t2;
+  buf_14_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((a - b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqGain1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_14_0__15_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_15_0__3_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.1f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_bpf2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_2__16_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_16_0__18_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  buf_16_0__18_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bpf2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_18_0__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_17_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_18_0__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_17_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF2_hi_taps: array<f32, 28> = array<f32, 28>(0.00159263956f, 3.0270405e-18f, -0.00301310319f, -0.0051464115f, -0.00111414458f, 0.0103241822f, 0.0185724003f, 0.00690214114f, -0.0266203939f, -0.0535016094f, -0.0286473041f, 0.0691756452f, 0.205912559f, 0.305739987f, 0.305739987f, 0.205912559f, 0.0691756452f, -0.0286473041f, -0.0535016094f, -0.0266203939f, 0.00690214114f, 0.0185724003f, 0.0103241822f, -0.00111414458f, -0.0051464115f, -0.00301310319f, 3.0270405e-18f, 0.00159263956f);
+
+fn work_EqLPF2_hi(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_16_0__18_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF2_hi_taps[j]));
+  }
+  buf_18_0__17_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_16_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF2_lo_taps: array<f32, 28> = array<f32, 28>(-0.000610999209f, 0.00090042747f, 0.00320473796f, 0.00548614167f, 0.00488051558f, -0.00188794937f, -0.0148493425f, -0.0277505841f, -0.028762478f, -0.00597682831f, 0.0447466767f, 0.114436891f, 0.182338246f, 0.224329154f, 0.224329154f, 0.182338246f, 0.114436891f, 0.0447466767f, -0.00597682831f, -0.028762478f, -0.0277505841f, -0.0148493425f, -0.00188794937f, 0.00488051558f, 0.00548614167f, 0.00320473796f, 0.00090042747f, -0.000610999209f);
+
+fn work_EqLPF2_lo(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_16_1__19_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF2_lo_taps[j]));
+  }
+  buf_19_0__17_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_16_1__19_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Subtract2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_17_0__20_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var a: f32 = _t1;
+  let _t2: f32 = buf_17_0__20_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var b: f32 = _t2;
+  buf_20_0__21_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((a - b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqGain2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_20_0__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_21_0__3_2[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.2f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_bpf3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_3__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_22_0__24_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  buf_22_0__24_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bpf3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_24_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_23_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_24_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_23_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF3_hi_taps: array<f32, 28> = array<f32, 28>(-0.00187488947f, -0.00090042747f, 0.00278507589f, 0.00465341427f, -0.00287945046f, -0.013384223f, -0.00455876246f, 0.0241080061f, 0.027926208f, -0.0254864329f, -0.0762027239f, -0.00923374403f, 0.193000517f, 0.381050487f, 0.381050487f, 0.193000517f, -0.00923374403f, -0.0762027239f, -0.0254864329f, 0.027926208f, 0.0241080061f, -0.00455876246f, -0.013384223f, -0.00287945046f, 0.00465341427f, 0.00278507589f, -0.00090042747f, -0.00187488947f);
+
+fn work_EqLPF3_hi(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_22_0__24_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF3_hi_taps[j]));
+  }
+  buf_24_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_22_0__24_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF3_lo_taps: array<f32, 28> = array<f32, 28>(0.00159263956f, 3.0270405e-18f, -0.00301310319f, -0.0051464115f, -0.00111414458f, 0.0103241822f, 0.0185724003f, 0.00690214114f, -0.0266203939f, -0.0535016094f, -0.0286473041f, 0.0691756452f, 0.205912559f, 0.305739987f, 0.305739987f, 0.205912559f, 0.0691756452f, -0.0286473041f, -0.0535016094f, -0.0266203939f, 0.00690214114f, 0.0185724003f, 0.0103241822f, -0.00111414458f, -0.0051464115f, -0.00301310319f, 3.0270405e-18f, 0.00159263956f);
+
+fn work_EqLPF3_lo(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_22_1__25_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF3_lo_taps[j]));
+  }
+  buf_25_0__23_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_22_1__25_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Subtract3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_23_0__26_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var a: f32 = _t1;
+  let _t2: f32 = buf_23_0__26_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var b: f32 = _t2;
+  buf_26_0__27_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((a - b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqGain3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_26_0__27_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_27_0__3_3[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.3f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_bpf4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_4__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_28_0__30_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  buf_28_0__30_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bpf4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_30_0__29_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_29_0__32_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_30_0__29_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_29_0__32_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF4_hi_taps: array<f32, 28> = array<f32, 28>(0.00133380195f, 0.00166377302f, -0.0025234102f, -0.00402183209f, 0.00628579642f, 0.00947459282f, -0.0138085066f, -0.0196250473f, 0.0274976855f, 0.0385135313f, -0.0550267643f, -0.0832184333f, 0.145890048f, 0.448758006f, 0.448758006f, 0.145890048f, -0.0832184333f, -0.0550267643f, 0.0385135313f, 0.0274976855f, -0.0196250473f, -0.0138085066f, 0.00947459282f, 0.00628579642f, -0.00402183209f, -0.0025234102f, 0.00166377302f, 0.00133380195f);
+
+fn work_EqLPF4_hi(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_28_0__30_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF4_hi_taps[j]));
+  }
+  buf_30_0__29_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_28_0__30_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF4_lo_taps: array<f32, 28> = array<f32, 28>(-0.00187488947f, -0.00090042747f, 0.00278507589f, 0.00465341427f, -0.00287945046f, -0.013384223f, -0.00455876246f, 0.0241080061f, 0.027926208f, -0.0254864329f, -0.0762027239f, -0.00923374403f, 0.193000517f, 0.381050487f, 0.381050487f, 0.193000517f, -0.00923374403f, -0.0762027239f, -0.0254864329f, 0.027926208f, 0.0241080061f, -0.00455876246f, -0.013384223f, -0.00287945046f, 0.00465341427f, 0.00278507589f, -0.00090042747f, -0.00187488947f);
+
+fn work_EqLPF4_lo(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_28_1__31_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF4_lo_taps[j]));
+  }
+  buf_31_0__29_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_28_1__31_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Subtract4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_29_0__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var a: f32 = _t1;
+  let _t2: f32 = buf_29_0__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var b: f32 = _t2;
+  buf_32_0__33_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((a - b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqGain4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_32_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_33_0__3_4[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.4f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_bpf5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_5__34_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_34_0__36_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  buf_34_0__36_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bpf5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_36_0__35_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_35_0__38_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_36_0__35_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_35_0__38_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF5_hi_taps: array<f32, 28> = array<f32, 28>(-0.000206989725f, -0.00217382421f, 0.00223126653f, 0.00327047432f, -0.00841018658f, -0.000631183934f, 0.0189886122f, -0.0137509639f, -0.0270623783f, 0.0481354955f, 0.0157808255f, -0.117325842f, 0.0729288181f, 0.507511599f, 0.507511599f, 0.0729288181f, -0.117325842f, 0.0157808255f, 0.0481354955f, -0.0270623783f, -0.0137509639f, 0.0189886122f, -0.000631183934f, -0.00841018658f, 0.00327047432f, 0.00223126653f, -0.00217382421f, -0.000206989725f);
+
+fn work_EqLPF5_hi(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_34_0__36_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF5_hi_taps[j]));
+  }
+  buf_36_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_34_0__36_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF5_lo_taps: array<f32, 28> = array<f32, 28>(0.00133380195f, 0.00166377302f, -0.0025234102f, -0.00402183209f, 0.00628579642f, 0.00947459282f, -0.0138085066f, -0.0196250473f, 0.0274976855f, 0.0385135313f, -0.0550267643f, -0.0832184333f, 0.145890048f, 0.448758006f, 0.448758006f, 0.145890048f, -0.0832184333f, -0.0550267643f, 0.0385135313f, 0.0274976855f, -0.0196250473f, -0.0138085066f, 0.00947459282f, 0.00628579642f, -0.00402183209f, -0.0025234102f, 0.00166377302f, 0.00133380195f);
+
+fn work_EqLPF5_lo(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_34_1__37_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF5_lo_taps[j]));
+  }
+  buf_37_0__35_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_34_1__37_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Subtract5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_35_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var a: f32 = _t1;
+  let _t2: f32 = buf_35_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var b: f32 = _t2;
+  buf_38_0__39_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((a - b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqGain5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_38_0__39_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_39_0__3_5[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.5f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_bpf6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_6__40_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_40_0__42_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  buf_40_0__42_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bpf6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_42_0__41_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_41_0__44_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_42_0__41_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_41_0__44_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF6_hi_taps: array<f32, 28> = array<f32, 28>(-0.0010107198f, 0.00235293037f, -0.00191217343f, -0.00242171743f, 0.00881936251f, -0.00854090629f, -0.00603453866f, 0.0268820649f, -0.0283478402f, -0.0102059778f, 0.0723548309f, -0.0952121073f, -0.0129549202f, 0.556138972f, 0.556138972f, -0.0129549202f, -0.0952121073f, 0.0723548309f, -0.0102059778f, -0.0283478402f, 0.0268820649f, -0.00603453866f, -0.00854090629f, 0.00881936251f, -0.00242171743f, -0.00191217343f, 0.00235293037f, -0.0010107198f);
+
+fn work_EqLPF6_hi(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_40_0__42_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF6_hi_taps[j]));
+  }
+  buf_42_0__41_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_40_0__42_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF6_lo_taps: array<f32, 28> = array<f32, 28>(-0.000206989725f, -0.00217382421f, 0.00223126653f, 0.00327047432f, -0.00841018658f, -0.000631183934f, 0.0189886122f, -0.0137509639f, -0.0270623783f, 0.0481354955f, 0.0157808255f, -0.117325842f, 0.0729288181f, 0.507511599f, 0.507511599f, 0.0729288181f, -0.117325842f, 0.0157808255f, 0.0481354955f, -0.0270623783f, -0.0137509639f, 0.0189886122f, -0.000631183934f, -0.00841018658f, 0.00327047432f, 0.00223126653f, -0.00217382421f, -0.000206989725f);
+
+fn work_EqLPF6_lo(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_40_1__43_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF6_lo_taps[j]));
+  }
+  buf_43_0__41_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_40_1__43_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Subtract6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_41_0__44_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var a: f32 = _t1;
+  let _t2: f32 = buf_41_0__44_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var b: f32 = _t2;
+  buf_44_0__45_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((a - b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqGain6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_44_0__45_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_45_0__3_6[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.6f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_bpf7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_7__46_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_46_0__48_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  buf_46_0__48_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bpf7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_48_0__47_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_47_0__50_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_48_0__47_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_47_0__50_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF7_hi_taps: array<f32, 28> = array<f32, 28>(0.00178458265f, -0.00217382421f, 0.00156998493f, 0.00150083853f, -0.00742987489f, 0.0132654237f, -0.0126825367f, -0.000435941012f, 0.0261718412f, -0.0541374335f, 0.0636680808f, -0.0274738667f, -0.0965431314f, 0.59366988f, 0.59366988f, -0.0965431314f, -0.0274738667f, 0.0636680808f, -0.0541374335f, 0.0261718412f, -0.000435941012f, -0.0126825367f, 0.0132654237f, -0.00742987489f, 0.00150083853f, 0.00156998493f, -0.00217382421f, 0.00178458265f);
+
+fn work_EqLPF7_hi(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_46_0__48_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF7_hi_taps[j]));
+  }
+  buf_48_0__47_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_46_0__48_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF7_lo_taps: array<f32, 28> = array<f32, 28>(-0.0010107198f, 0.00235293037f, -0.00191217343f, -0.00242171743f, 0.00881936251f, -0.00854090629f, -0.00603453866f, 0.0268820649f, -0.0283478402f, -0.0102059778f, 0.0723548309f, -0.0952121073f, -0.0129549202f, 0.556138972f, 0.556138972f, -0.0129549202f, -0.0952121073f, 0.0723548309f, -0.0102059778f, -0.0283478402f, 0.0268820649f, -0.00603453866f, -0.00854090629f, 0.00881936251f, -0.00242171743f, -0.00191217343f, 0.00235293037f, -0.0010107198f);
+
+fn work_EqLPF7_lo(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_46_1__49_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF7_lo_taps[j]));
+  }
+  buf_49_0__47_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_46_1__49_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Subtract7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_47_0__50_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var a: f32 = _t1;
+  let _t2: f32 = buf_47_0__50_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var b: f32 = _t2;
+  buf_50_0__51_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((a - b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqGain7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_50_0__51_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_51_0__3_7[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.7f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_bpf8(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_8__52_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_52_0__54_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  buf_52_0__54_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bpf8(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_54_0__53_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_53_0__56_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_54_0__53_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_53_0__56_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF8_hi_taps: array<f32, 28> = array<f32, 28>(-0.00177476534f, 0.00166377302f, -0.00120883401f, -0.000535262628f, 0.00452510256f, -0.0110821334f, 0.0192877531f, -0.0266519987f, 0.029170019f, -0.0216311993f, -0.00244437259f, 0.0534295231f, -0.163024533f, 0.619355481f, 0.619355481f, -0.163024533f, 0.0534295231f, -0.00244437259f, -0.0216311993f, 0.029170019f, -0.0266519987f, 0.0192877531f, -0.0110821334f, 0.00452510256f, -0.000535262628f, -0.00120883401f, 0.00166377302f, -0.00177476534f);
+
+fn work_EqLPF8_hi(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_52_0__54_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF8_hi_taps[j]));
+  }
+  buf_54_0__53_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_52_0__54_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF8_lo_taps: array<f32, 28> = array<f32, 28>(0.00178458265f, -0.00217382421f, 0.00156998493f, 0.00150083853f, -0.00742987489f, 0.0132654237f, -0.0126825367f, -0.000435941012f, 0.0261718412f, -0.0541374335f, 0.0636680808f, -0.0274738667f, -0.0965431314f, 0.59366988f, 0.59366988f, -0.0965431314f, -0.0274738667f, 0.0636680808f, -0.0541374335f, 0.0261718412f, -0.000435941012f, -0.0126825367f, 0.0132654237f, -0.00742987489f, 0.00150083853f, 0.00156998493f, -0.00217382421f, 0.00178458265f);
+
+fn work_EqLPF8_lo(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_52_1__55_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF8_lo_taps[j]));
+  }
+  buf_55_0__53_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_52_1__55_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Subtract8(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_53_0__56_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var a: f32 = _t1;
+  let _t2: f32 = buf_53_0__56_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var b: f32 = _t2;
+  buf_56_0__57_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((a - b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqGain8(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_56_0__57_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_57_0__3_8[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.8f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_bpf9(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_9__58_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_58_0__60_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  buf_58_0__60_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bpf9(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_60_0__59_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_59_0__62_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_60_0__59_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  buf_59_0__62_0[out_base + (128 * (_push) + (tid / 128) * 128 * 2 + (tid % 128))] = f32(_t2); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF9_hi_taps: array<f32, 28> = array<f32, 28>(0.000985579014f, -0.00090042747f, 0.00083308268f, -0.000446254112f, -0.000697458879f, 0.00312795723f, -0.00747310993f, 0.0145014294f, -0.0252554758f, 0.0414165438f, -0.0663521135f, 0.108730123f, -0.200619055f, 0.632683276f, 0.632683276f, -0.200619055f, 0.108730123f, -0.0663521135f, 0.0414165438f, -0.0252554758f, 0.0145014294f, -0.00747310993f, 0.00312795723f, -0.000697458879f, -0.000446254112f, 0.00083308268f, -0.00090042747f, 0.000985579014f);
+
+fn work_EqLPF9_hi(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_58_0__60_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF9_hi_taps[j]));
+  }
+  buf_60_0__59_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_58_0__60_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> EqLPF9_lo_taps: array<f32, 28> = array<f32, 28>(-0.00177476534f, 0.00166377302f, -0.00120883401f, -0.000535262628f, 0.00452510256f, -0.0110821334f, 0.0192877531f, -0.0266519987f, 0.029170019f, -0.0216311993f, -0.00244437259f, 0.0534295231f, -0.163024533f, 0.619355481f, 0.619355481f, -0.163024533f, 0.0534295231f, -0.00244437259f, -0.0216311993f, 0.029170019f, -0.0266519987f, 0.0192877531f, -0.0110821334f, 0.00452510256f, -0.000535262628f, -0.00120883401f, 0.00166377302f, -0.00177476534f);
+
+fn work_EqLPF9_lo(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_58_1__61_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * EqLPF9_lo_taps[j]));
+  }
+  buf_61_0__59_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_58_1__61_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Subtract9(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_59_0__62_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var a: f32 = _t1;
+  let _t2: f32 = buf_59_0__62_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 2 + (tid % 128))]; _pop++;
+  var b: f32 = _t2;
+  buf_62_0__63_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((a - b)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqGain9(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_62_0__63_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_63_0__3_9[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.9f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_EqCombine(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 10; j++) {
+    let _t1: f32 = buf_3_0__64_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 10 + (tid % 128))]; _pop++;
+    acc = (acc + _t1);
+  }
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+@compute @workgroup_size(512, 1, 1)
+fn swp_kernel(@builtin(local_invocation_id) lid: vec3<u32>,
+              @builtin(workgroup_id) wid: vec3<u32>) {
+  let tid: i32 = i32(lid.x);
+  let sm: i32 = i32(wid.x);
+  // staging predicates, one per pipeline stage (depth 7)
+  if tid == 0 { for (var s: i32 = 0; s < 7; s++) { stage_on[s] = 0; } }
+  workgroupBarrier();
+  for (var it: i32 = 0; it < iterations + 7; it++) {
+    if tid == 0 {
+      for (var s: i32 = 6; s > 0; s--) { stage_on[s] = stage_on[s-1]; }
+      stage_on[0] = select(0, 1, it < iterations);
+    }
+    workgroupBarrier();
+    switch sm {
+      case 0: {
+        // (FrontLPF, k=0) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_FrontLPF(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (EqLPF0_hi, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF0_hi(region_6(it - 3), region_6(it - 3), tid);
+        }
+      }
+      case 1: {
+        // (EqLPF1_hi, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF1_hi(region_12(it - 3), region_12(it - 3), tid);
+        }
+        // (EqLPF0_lo, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF0_lo(region_7(it - 3), region_7(it - 3), tid);
+        }
+      }
+      case 2: {
+        // (EqLPF2_hi, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF2_hi(region_18(it - 3), region_18(it - 3), tid);
+        }
+        // (EqLPF1_lo, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF1_lo(region_13(it - 3), region_13(it - 3), tid);
+        }
+      }
+      case 3: {
+        // (EqLPF3_hi, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF3_hi(region_24(it - 3), region_24(it - 3), tid);
+        }
+        // (EqLPF2_lo, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF2_lo(region_19(it - 3), region_19(it - 3), tid);
+        }
+      }
+      case 4: {
+        // (EqLPF4_hi, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF4_hi(region_30(it - 3), region_30(it - 3), tid);
+        }
+        // (EqLPF3_lo, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF3_lo(region_25(it - 3), region_25(it - 3), tid);
+        }
+      }
+      case 5: {
+        // (EqLPF5_hi, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF5_hi(region_36(it - 3), region_36(it - 3), tid);
+        }
+        // (EqLPF4_lo, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF4_lo(region_31(it - 3), region_31(it - 3), tid);
+        }
+      }
+      case 6: {
+        // (EqLPF6_hi, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF6_hi(region_42(it - 3), region_42(it - 3), tid);
+        }
+        // (EqLPF5_lo, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF5_lo(region_37(it - 3), region_37(it - 3), tid);
+        }
+      }
+      case 7: {
+        // (EqLPF7_hi, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF7_hi(region_48(it - 3), region_48(it - 3), tid);
+        }
+        // (EqLPF6_lo, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF6_lo(region_43(it - 3), region_43(it - 3), tid);
+        }
+      }
+      case 8: {
+        // (EqLPF8_hi, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF8_hi(region_54(it - 3), region_54(it - 3), tid);
+        }
+        // (EqLPF7_lo, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF7_lo(region_49(it - 3), region_49(it - 3), tid);
+        }
+      }
+      case 9: {
+        // (EqLPF9_hi, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF9_hi(region_60(it - 3), region_60(it - 3), tid);
+        }
+        // (EqLPF8_lo, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF8_lo(region_55(it - 3), region_55(it - 3), tid);
+        }
+      }
+      case 10: {
+        // (FMDemod, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_FMDemod(region_1(it - 1), region_1(it - 1), tid);
+        }
+        // (EqLPF9_lo, k=0) o=1842 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_EqLPF9_lo(region_61(it - 3), region_61(it - 3), tid);
+        }
+        // (join_bpf5, k=0) o=1842 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_bpf5(region_35(it - 4), region_35(it - 4), tid);
+        }
+        // (join_bpf4, k=0) o=1842 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_bpf4(region_29(it - 4), region_29(it - 4), tid);
+        }
+        // (join_bpf3, k=0) o=1842 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_bpf3(region_23(it - 4), region_23(it - 4), tid);
+        }
+        // (join_bpf2, k=0) o=1842 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_bpf2(region_17(it - 4), region_17(it - 4), tid);
+        }
+        // (join_bpf1, k=0) o=1842 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_bpf1(region_11(it - 4), region_11(it - 4), tid);
+        }
+        // (join_bpf0, k=0) o=1842 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_bpf0(region_5(it - 4), region_5(it - 4), tid);
+        }
+        // (split_equalizer, k=0) o=1842 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_split_equalizer(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (join_equalizer, k=0) o=2596 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_join_equalizer(region_3(it - 6), region_3(it - 6), tid);
+        }
+        // (EqCombine, k=0) o=5718 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_EqCombine(region_64(it - 6), region_64(it - 6), tid);
+        }
+      }
+      case 11: {
+        // (join_bpf9, k=0) o=1842 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_bpf9(region_59(it - 4), region_59(it - 4), tid);
+        }
+        // (split_bpf9, k=0) o=1842 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_split_bpf9(region_58(it - 2), region_58(it - 2), tid);
+        }
+        // (join_bpf8, k=0) o=1842 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_bpf8(region_53(it - 4), region_53(it - 4), tid);
+        }
+        // (split_bpf8, k=0) o=1842 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_split_bpf8(region_52(it - 2), region_52(it - 2), tid);
+        }
+        // (join_bpf7, k=0) o=1842 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_bpf7(region_47(it - 4), region_47(it - 4), tid);
+        }
+        // (split_bpf7, k=0) o=1842 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_split_bpf7(region_46(it - 2), region_46(it - 2), tid);
+        }
+        // (join_bpf6, k=0) o=1842 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_bpf6(region_41(it - 4), region_41(it - 4), tid);
+        }
+        // (split_bpf6, k=0) o=1842 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_split_bpf6(region_40(it - 2), region_40(it - 2), tid);
+        }
+        // (Subtract5, k=0) o=1842 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_Subtract5(region_38(it - 5), region_38(it - 5), tid);
+        }
+        // (split_bpf5, k=0) o=1842 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_split_bpf5(region_34(it - 2), region_34(it - 2), tid);
+        }
+        // (Subtract4, k=0) o=1842 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_Subtract4(region_32(it - 5), region_32(it - 5), tid);
+        }
+        // (split_bpf4, k=0) o=1842 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_split_bpf4(region_28(it - 2), region_28(it - 2), tid);
+        }
+        // (Subtract3, k=0) o=1842 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_Subtract3(region_26(it - 5), region_26(it - 5), tid);
+        }
+        // (split_bpf3, k=0) o=1842 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_split_bpf3(region_22(it - 2), region_22(it - 2), tid);
+        }
+        // (Subtract2, k=0) o=1842 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_Subtract2(region_20(it - 5), region_20(it - 5), tid);
+        }
+        // (split_bpf2, k=0) o=1842 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_split_bpf2(region_16(it - 2), region_16(it - 2), tid);
+        }
+        // (Subtract1, k=0) o=1842 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_Subtract1(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (split_bpf1, k=0) o=1842 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_split_bpf1(region_10(it - 2), region_10(it - 2), tid);
+        }
+        // (Subtract0, k=0) o=1842 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_Subtract0(region_8(it - 5), region_8(it - 5), tid);
+        }
+        // (split_bpf0, k=0) o=1842 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_split_bpf0(region_4(it - 2), region_4(it - 2), tid);
+        }
+        // (EqGain5, k=0) o=2596 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_EqGain5(region_39(it - 5), region_39(it - 5), tid);
+        }
+        // (EqGain4, k=0) o=2596 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_EqGain4(region_33(it - 5), region_33(it - 5), tid);
+        }
+        // (EqGain3, k=0) o=2596 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_EqGain3(region_27(it - 5), region_27(it - 5), tid);
+        }
+        // (EqGain2, k=0) o=2596 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_EqGain2(region_21(it - 5), region_21(it - 5), tid);
+        }
+        // (EqGain1, k=0) o=2596 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_EqGain1(region_15(it - 5), region_15(it - 5), tid);
+        }
+        // (EqGain0, k=0) o=2596 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_EqGain0(region_9(it - 5), region_9(it - 5), tid);
+        }
+        // (Subtract9, k=0) o=2916 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Subtract9(region_62(it - 4), region_62(it - 4), tid);
+        }
+        // (Subtract8, k=0) o=2916 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Subtract8(region_56(it - 4), region_56(it - 4), tid);
+        }
+        // (Subtract7, k=0) o=2916 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Subtract7(region_50(it - 4), region_50(it - 4), tid);
+        }
+        // (Subtract6, k=0) o=2916 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Subtract6(region_44(it - 4), region_44(it - 4), tid);
+        }
+        // (EqGain9, k=0) o=3670 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_EqGain9(region_63(it - 4), region_63(it - 4), tid);
+        }
+        // (EqGain8, k=0) o=3670 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_EqGain8(region_57(it - 4), region_57(it - 4), tid);
+        }
+        // (EqGain7, k=0) o=3670 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_EqGain7(region_51(it - 4), region_51(it - 4), tid);
+        }
+        // (EqGain6, k=0) o=3670 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_EqGain6(region_45(it - 4), region_45(it - 4), tid);
+        }
+      }
+      default: {}
+    }
+    // II boundary
+    workgroupBarrier();
+  }
+}

@@ -1,0 +1,1580 @@
+/* streamit_gpu artifact (metal)
+ * quality: refined (completed)
+ * II: 142126 (lower bound 141771, binding res_mii)
+ * schedule signature: 58bd7959f63b54da3099eb7a355b09aa
+ */
+#include <metal_stdlib>
+using namespace metal;
+
+static inline int region_0(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_1(int it) { return ((it % 8) + 8) % 8 * 32768; }
+static inline int region_2(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_3(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_4(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_5(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_6(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_7(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_8(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_9(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_10(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_11(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_12(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_13(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_14(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_15(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_16(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_17(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_18(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_19(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_20(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_21(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_22(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_23(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_24(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_25(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_26(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_27(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_28(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_29(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_30(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_31(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_32(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_33(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_34(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_35(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_36(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_37(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_38(int it) { return ((it % 8) + 8) % 8 * 512; }
+static inline int region_39(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_40(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_41(int it) { return ((it % 8) + 8) % 8 * 4096; }
+static inline int region_42(int it) { return ((it % 8) + 8) % 8 * 0; }
+
+static void work_split_bank(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float x = _t1;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = x; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = x; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_bank(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t8; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Analysis0_taps[28] = { -0.00234461681f, -0.00320814694f, -0.00476149529f, -0.00657152888f, -0.00755257784f, -0.00614969504f, -0.000749004059f, 0.0097911405f, 0.0256479474f, 0.0457454255f, 0.0677848349f, 0.0886207813f, 0.104906087f, 0.113843569f, 0.113843569f, 0.104906087f, 0.0886207813f, 0.0677848349f, 0.0457454255f, 0.0256479474f, 0.0097911405f, -0.000749004059f, -0.00614969504f, -0.00755257784f, -0.00657152888f, -0.00476149529f, -0.00320814694f, -0.00234461681f };
+static void work_Analysis0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis0_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Down0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d0 = _t2;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d1 = _t3;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d2 = _t4;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d3 = _t5;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d4 = _t6;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d5 = _t7;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d6 = _t8;
+  (void)_pop; (void)_push;
+}
+
+static void work_Up0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Synthesis0_taps[28] = { 0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f };
+static void work_Synthesis0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis0_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Gain0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.0f); _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Analysis1_taps[28] = { -0.000174311059f, 0.001407292f, 0.00486573025f, 0.00998395108f, 0.0131515074f, 0.00774164696f, -0.0112828683f, -0.0410606607f, -0.0682613149f, -0.0742631754f, -0.0465440444f, 0.0108755976f, 0.0759894583f, 0.119054028f, 0.119054028f, 0.0759894583f, 0.0108755976f, -0.0465440444f, -0.0742631754f, -0.0682613149f, -0.0410606607f, -0.0112828683f, 0.00774164696f, 0.0131515074f, 0.00998395108f, 0.00486573025f, 0.001407292f, -0.000174311059f };
+static void work_Analysis1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis1_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Down1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d0 = _t2;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d1 = _t3;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d2 = _t4;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d3 = _t5;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d4 = _t6;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d5 = _t7;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d6 = _t8;
+  (void)_pop; (void)_push;
+}
+
+static void work_Up1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Synthesis1_taps[28] = { 0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f };
+static void work_Synthesis1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis1_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Gain1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.0f); _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Analysis2_taps[28] = { 0.0013747011f, 0.00285681757f, 0.00160155673f, -0.00636439783f, -0.0169314389f, -0.0125717525f, 0.018322384f, 0.0528620826f, 0.0435140518f, -0.0244437489f, -0.0944848999f, -0.0857702088f, 0.0117407759f, 0.10972082f, 0.10972082f, 0.0117407759f, -0.0857702088f, -0.0944848999f, -0.0244437489f, 0.0435140518f, 0.0528620826f, 0.018322384f, -0.0125717525f, -0.0169314389f, -0.00636439783f, 0.00160155673f, 0.00285681757f, 0.0013747011f };
+static void work_Analysis2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis2_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Down2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d0 = _t2;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d1 = _t3;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d2 = _t4;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d3 = _t5;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d4 = _t6;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d5 = _t7;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d6 = _t8;
+  (void)_pop; (void)_push;
+}
+
+static void work_Up2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Synthesis2_taps[28] = { 0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f };
+static void work_Synthesis2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis2_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Gain2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.0f); _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Analysis3_taps[28] = { 0.00170179708f, -0.000292617082f, -0.00549062669f, -0.00291221111f, 0.0150044465f, 0.0169187326f, -0.0246577806f, -0.0468457699f, 0.0199110911f, 0.0838006531f, 0.00967786533f, -0.106178347f, -0.0564652615f, 0.0961711032f, 0.0961711032f, -0.0564652615f, -0.106178347f, 0.00967786533f, 0.0838006531f, 0.0199110911f, -0.0468457699f, -0.0246577806f, 0.0169187326f, 0.0150044465f, -0.00291221111f, -0.00549062669f, -0.000292617082f, 0.00170179708f };
+static void work_Analysis3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis3_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Down3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d0 = _t2;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d1 = _t3;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d2 = _t4;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d3 = _t5;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d4 = _t6;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d5 = _t7;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d6 = _t8;
+  (void)_pop; (void)_push;
+}
+
+static void work_Up3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Synthesis3_taps[28] = { 0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f };
+static void work_Synthesis3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis3_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Gain3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.0f); _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Analysis4_taps[28] = { 0.0005162345f, -0.00297099109f, 0.000540779528f, 0.00960027344f, -0.00802004375f, -0.0206155354f, 0.0300455926f, 0.0250395857f, -0.0656380709f, -0.00825364393f, 0.0982610156f, -0.0322088495f, -0.105639074f, 0.0789255847f, 0.0789255847f, -0.105639074f, -0.0322088495f, 0.0982610156f, -0.00825364393f, -0.0656380709f, 0.0250395857f, 0.0300455926f, -0.0206155354f, -0.00802004375f, 0.00960027344f, 0.000540779528f, -0.00297099109f, 0.0005162345f };
+static void work_Analysis4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis4_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Down4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d0 = _t2;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d1 = _t3;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d2 = _t4;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d3 = _t5;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d4 = _t6;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d5 = _t7;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d6 = _t8;
+  (void)_pop; (void)_push;
+}
+
+static void work_Up4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Synthesis4_taps[28] = { 0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f };
+static void work_Synthesis4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis4_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Gain4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.0f); _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Analysis5_taps[28] = { -0.00112818804f, -0.000866606136f, 0.00527962499f, -0.0077550412f, -0.00166760118f, 0.0235200946f, -0.0342787694f, 0.0052064607f, 0.0530220256f, -0.080580241f, 0.028661681f, 0.0703897913f, -0.119206098f, 0.0586470002f, 0.0586470002f, -0.119206098f, 0.0703897913f, 0.028661681f, -0.080580241f, 0.0530220256f, 0.0052064607f, -0.0342787694f, 0.0235200946f, -0.00166760118f, -0.0077550412f, 0.00527962499f, -0.000866606136f, -0.00112818804f };
+static void work_Analysis5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis5_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Down5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d0 = _t2;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d1 = _t3;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d2 = _t4;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d3 = _t5;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d4 = _t6;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d5 = _t7;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d6 = _t8;
+  (void)_pop; (void)_push;
+}
+
+static void work_Up5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Synthesis5_taps[28] = { 0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f };
+static void work_Synthesis5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis5_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Gain5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.0f); _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Analysis6_taps[28] = { -0.00176980988f, 0.00263285815f, -0.00260078701f, -0.000983333353f, 0.0107931632f, -0.0255207898f, 0.0371946322f, -0.0336976134f, 0.0067231527f, 0.0396944943f, -0.0870777825f, 0.110421795f, -0.0925934229f, 0.0361146444f, 0.0361146444f, -0.0925934229f, 0.110421795f, -0.0870777825f, 0.0396944943f, 0.0067231527f, -0.0336976134f, 0.0371946322f, -0.0255207898f, 0.0107931632f, -0.000983333353f, -0.00260078701f, 0.00263285815f, -0.00176980988f };
+static void work_Analysis6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis6_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Down6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d0 = _t2;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d1 = _t3;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d2 = _t4;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d3 = _t5;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d4 = _t6;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d5 = _t7;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d6 = _t8;
+  (void)_pop; (void)_push;
+}
+
+static void work_Up6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Synthesis6_taps[28] = { 0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f };
+static void work_Synthesis6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis6_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Gain6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.0f); _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Analysis7_taps[28] = { -0.00083831934f, 0.00189389643f, -0.00426484824f, 0.00884766268f, -0.0162807732f, 0.0265407354f, -0.0386811262f, 0.0508306224f, -0.0604923926f, 0.0650922177f, -0.0626377463f, 0.0523043335f, -0.0347711363f, 0.0121944231f, 0.0121944231f, -0.0347711363f, 0.0523043335f, -0.0626377463f, 0.0650922177f, -0.0604923926f, 0.0508306224f, -0.0386811262f, 0.0265407354f, -0.0162807732f, 0.00884766268f, -0.00426484824f, 0.00189389643f, -0.00083831934f };
+static void work_Analysis7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis7_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Down7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d0 = _t2;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d1 = _t3;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d2 = _t4;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d3 = _t5;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d4 = _t6;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d5 = _t7;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  float _d6 = _t8;
+  (void)_pop; (void)_push;
+}
+
+static void work_Up7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = 0.0f; _push++;
+  (void)_pop; (void)_push;
+}
+
+constant float Synthesis7_taps[28] = { 0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f };
+static void work_Synthesis7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 28; j++) {
+    acc = (acc + (in[(128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis7_taps[j]));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  float _d0 = _t1;
+  (void)_pop; (void)_push;
+}
+
+static void work_Gain7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = (_t1 * 1.0f); _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_Combine(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float acc = 0.0f;
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    acc = (acc + _t1);
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  (void)_pop; (void)_push;
+}
+
+kernel void swp_kernel(device float* buf_2_0__3_0 [[buffer(0)]],
+                       device float* buf_3_0__4_0 [[buffer(1)]],
+                       device float* buf_4_0__5_0 [[buffer(2)]],
+                       device float* buf_5_0__6_0 [[buffer(3)]],
+                       device float* buf_0_0__2_0 [[buffer(4)]],
+                       device float* buf_6_0__1_0 [[buffer(5)]],
+                       device float* buf_7_0__8_0 [[buffer(6)]],
+                       device float* buf_8_0__9_0 [[buffer(7)]],
+                       device float* buf_9_0__10_0 [[buffer(8)]],
+                       device float* buf_10_0__11_0 [[buffer(9)]],
+                       device float* buf_0_1__7_0 [[buffer(10)]],
+                       device float* buf_11_0__1_1 [[buffer(11)]],
+                       device float* buf_12_0__13_0 [[buffer(12)]],
+                       device float* buf_13_0__14_0 [[buffer(13)]],
+                       device float* buf_14_0__15_0 [[buffer(14)]],
+                       device float* buf_15_0__16_0 [[buffer(15)]],
+                       device float* buf_0_2__12_0 [[buffer(16)]],
+                       device float* buf_16_0__1_2 [[buffer(17)]],
+                       device float* buf_17_0__18_0 [[buffer(18)]],
+                       device float* buf_18_0__19_0 [[buffer(19)]],
+                       device float* buf_19_0__20_0 [[buffer(20)]],
+                       device float* buf_20_0__21_0 [[buffer(21)]],
+                       device float* buf_0_3__17_0 [[buffer(22)]],
+                       device float* buf_21_0__1_3 [[buffer(23)]],
+                       device float* buf_22_0__23_0 [[buffer(24)]],
+                       device float* buf_23_0__24_0 [[buffer(25)]],
+                       device float* buf_24_0__25_0 [[buffer(26)]],
+                       device float* buf_25_0__26_0 [[buffer(27)]],
+                       device float* buf_0_4__22_0 [[buffer(28)]],
+                       device float* buf_26_0__1_4 [[buffer(29)]],
+                       device float* buf_27_0__28_0 [[buffer(30)]],
+                       device float* buf_28_0__29_0 [[buffer(31)]],
+                       device float* buf_29_0__30_0 [[buffer(32)]],
+                       device float* buf_30_0__31_0 [[buffer(33)]],
+                       device float* buf_0_5__27_0 [[buffer(34)]],
+                       device float* buf_31_0__1_5 [[buffer(35)]],
+                       device float* buf_32_0__33_0 [[buffer(36)]],
+                       device float* buf_33_0__34_0 [[buffer(37)]],
+                       device float* buf_34_0__35_0 [[buffer(38)]],
+                       device float* buf_35_0__36_0 [[buffer(39)]],
+                       device float* buf_0_6__32_0 [[buffer(40)]],
+                       device float* buf_36_0__1_6 [[buffer(41)]],
+                       device float* buf_37_0__38_0 [[buffer(42)]],
+                       device float* buf_38_0__39_0 [[buffer(43)]],
+                       device float* buf_39_0__40_0 [[buffer(44)]],
+                       device float* buf_40_0__41_0 [[buffer(45)]],
+                       device float* buf_0_7__37_0 [[buffer(46)]],
+                       device float* buf_41_0__1_7 [[buffer(47)]],
+                       device float* buf_1_0__42_0 [[buffer(48)]],
+                       const device float* stream_in [[buffer(49)]],
+                       device float* stream_out [[buffer(50)]],
+                       constant int& iterations [[buffer(51)]],
+                       uint tid_u [[thread_position_in_threadgroup]],
+                       uint sm_u [[threadgroup_position_in_grid]])
+{
+  int tid = (int)tid_u;
+  int sm = (int)sm_u;
+  /* staging predicates, one per pipeline stage (depth 7) */
+  threadgroup int stage_on[7];
+  if (tid == 0) for (int s = 0; s < 7; s++) stage_on[s] = 0;
+  threadgroup_barrier(mem_flags::mem_threadgroup);
+  for (int it = 0; it < iterations + 7; it++) {
+    if (tid == 0) { for (int s = 6; s > 0; s--) stage_on[s] = stage_on[s-1]; stage_on[0] = (it < iterations); }
+    threadgroup_barrier(mem_flags::mem_threadgroup);
+    switch (sm) {
+    case 0: {
+      /* (Analysis0, k=7) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis0(buf_0_0__2_0 + region_2(it - 1), buf_2_0__3_0 + region_2(it - 1), tid);
+      /* (Analysis0, k=6) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis0(buf_0_0__2_0 + region_2(it - 1), buf_2_0__3_0 + region_2(it - 1), tid);
+      /* (Analysis0, k=5) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis0(buf_0_0__2_0 + region_2(it - 1), buf_2_0__3_0 + region_2(it - 1), tid);
+      /* (Analysis0, k=4) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis0(buf_0_0__2_0 + region_2(it - 1), buf_2_0__3_0 + region_2(it - 1), tid);
+      /* (Analysis0, k=3) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis0(buf_0_0__2_0 + region_2(it - 1), buf_2_0__3_0 + region_2(it - 1), tid);
+      /* (Analysis0, k=2) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis0(buf_0_0__2_0 + region_2(it - 1), buf_2_0__3_0 + region_2(it - 1), tid);
+      /* (Analysis0, k=1) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis0(buf_0_0__2_0 + region_2(it - 1), buf_2_0__3_0 + region_2(it - 1), tid);
+      /* (Analysis0, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis0(buf_0_0__2_0 + region_2(it - 1), buf_2_0__3_0 + region_2(it - 1), tid);
+      /* (Combine, k=1) o=1048 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_Combine(buf_1_0__42_0 + region_42(it - 6), stream_out + region_42(it - 6), tid);
+      /* (Combine, k=0) o=1048 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_Combine(buf_1_0__42_0 + region_42(it - 6), stream_out + region_42(it - 6), tid);
+      /* (Gain0, k=3) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain0(buf_5_0__6_0 + region_6(it - 4), buf_6_0__1_0 + region_6(it - 4), tid);
+      /* (Gain0, k=1) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain0(buf_5_0__6_0 + region_6(it - 4), buf_6_0__1_0 + region_6(it - 4), tid);
+      /* (Gain0, k=0) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain0(buf_5_0__6_0 + region_6(it - 4), buf_6_0__1_0 + region_6(it - 4), tid);
+      break; }
+    case 1: {
+      /* (split_bank, k=1) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_bank(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (Combine, k=3) o=1048 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_Combine(buf_1_0__42_0 + region_42(it - 6), stream_out + region_42(it - 6), tid);
+      /* (Combine, k=2) o=1048 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_Combine(buf_1_0__42_0 + region_42(it - 6), stream_out + region_42(it - 6), tid);
+      /* (Synthesis0, k=7) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis0(buf_4_0__5_0 + region_5(it - 3), buf_5_0__6_0 + region_5(it - 3), tid);
+      /* (Synthesis0, k=6) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis0(buf_4_0__5_0 + region_5(it - 3), buf_5_0__6_0 + region_5(it - 3), tid);
+      /* (Synthesis0, k=5) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis0(buf_4_0__5_0 + region_5(it - 3), buf_5_0__6_0 + region_5(it - 3), tid);
+      /* (Synthesis0, k=4) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis0(buf_4_0__5_0 + region_5(it - 3), buf_5_0__6_0 + region_5(it - 3), tid);
+      /* (Synthesis0, k=3) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis0(buf_4_0__5_0 + region_5(it - 3), buf_5_0__6_0 + region_5(it - 3), tid);
+      /* (Synthesis0, k=2) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis0(buf_4_0__5_0 + region_5(it - 3), buf_5_0__6_0 + region_5(it - 3), tid);
+      /* (Synthesis0, k=1) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis0(buf_4_0__5_0 + region_5(it - 3), buf_5_0__6_0 + region_5(it - 3), tid);
+      /* (Synthesis0, k=0) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis0(buf_4_0__5_0 + region_5(it - 3), buf_5_0__6_0 + region_5(it - 3), tid);
+      break; }
+    case 2: {
+      /* (Analysis1, k=7) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis1(buf_0_1__7_0 + region_7(it - 1), buf_7_0__8_0 + region_7(it - 1), tid);
+      /* (Analysis1, k=6) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis1(buf_0_1__7_0 + region_7(it - 1), buf_7_0__8_0 + region_7(it - 1), tid);
+      /* (Analysis1, k=5) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis1(buf_0_1__7_0 + region_7(it - 1), buf_7_0__8_0 + region_7(it - 1), tid);
+      /* (Analysis1, k=4) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis1(buf_0_1__7_0 + region_7(it - 1), buf_7_0__8_0 + region_7(it - 1), tid);
+      /* (Analysis1, k=3) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis1(buf_0_1__7_0 + region_7(it - 1), buf_7_0__8_0 + region_7(it - 1), tid);
+      /* (Analysis1, k=2) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis1(buf_0_1__7_0 + region_7(it - 1), buf_7_0__8_0 + region_7(it - 1), tid);
+      /* (Analysis1, k=1) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis1(buf_0_1__7_0 + region_7(it - 1), buf_7_0__8_0 + region_7(it - 1), tid);
+      /* (Analysis1, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis1(buf_0_1__7_0 + region_7(it - 1), buf_7_0__8_0 + region_7(it - 1), tid);
+      /* (split_bank, k=2) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_bank(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (Combine, k=5) o=1048 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_Combine(buf_1_0__42_0 + region_42(it - 6), stream_out + region_42(it - 6), tid);
+      /* (Combine, k=4) o=1048 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_Combine(buf_1_0__42_0 + region_42(it - 6), stream_out + region_42(it - 6), tid);
+      break; }
+    case 3: {
+      /* (split_bank, k=3) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_bank(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (Combine, k=7) o=1048 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_Combine(buf_1_0__42_0 + region_42(it - 6), stream_out + region_42(it - 6), tid);
+      /* (Combine, k=6) o=1048 f=6 threads=512 */
+      if (stage_on[6] && tid < 512)
+        work_Combine(buf_1_0__42_0 + region_42(it - 6), stream_out + region_42(it - 6), tid);
+      /* (Synthesis1, k=7) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis1(buf_9_0__10_0 + region_10(it - 3), buf_10_0__11_0 + region_10(it - 3), tid);
+      /* (Synthesis1, k=6) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis1(buf_9_0__10_0 + region_10(it - 3), buf_10_0__11_0 + region_10(it - 3), tid);
+      /* (Synthesis1, k=5) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis1(buf_9_0__10_0 + region_10(it - 3), buf_10_0__11_0 + region_10(it - 3), tid);
+      /* (Synthesis1, k=4) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis1(buf_9_0__10_0 + region_10(it - 3), buf_10_0__11_0 + region_10(it - 3), tid);
+      /* (Synthesis1, k=3) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis1(buf_9_0__10_0 + region_10(it - 3), buf_10_0__11_0 + region_10(it - 3), tid);
+      /* (Synthesis1, k=2) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis1(buf_9_0__10_0 + region_10(it - 3), buf_10_0__11_0 + region_10(it - 3), tid);
+      /* (Synthesis1, k=1) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis1(buf_9_0__10_0 + region_10(it - 3), buf_10_0__11_0 + region_10(it - 3), tid);
+      /* (Synthesis1, k=0) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis1(buf_9_0__10_0 + region_10(it - 3), buf_10_0__11_0 + region_10(it - 3), tid);
+      break; }
+    case 4: {
+      /* (Analysis2, k=7) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis2(buf_0_2__12_0 + region_12(it - 1), buf_12_0__13_0 + region_12(it - 1), tid);
+      /* (Analysis2, k=6) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis2(buf_0_2__12_0 + region_12(it - 1), buf_12_0__13_0 + region_12(it - 1), tid);
+      /* (Analysis2, k=5) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis2(buf_0_2__12_0 + region_12(it - 1), buf_12_0__13_0 + region_12(it - 1), tid);
+      /* (Analysis2, k=4) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis2(buf_0_2__12_0 + region_12(it - 1), buf_12_0__13_0 + region_12(it - 1), tid);
+      /* (Analysis2, k=3) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis2(buf_0_2__12_0 + region_12(it - 1), buf_12_0__13_0 + region_12(it - 1), tid);
+      /* (Analysis2, k=2) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis2(buf_0_2__12_0 + region_12(it - 1), buf_12_0__13_0 + region_12(it - 1), tid);
+      /* (Analysis2, k=1) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis2(buf_0_2__12_0 + region_12(it - 1), buf_12_0__13_0 + region_12(it - 1), tid);
+      /* (Analysis2, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis2(buf_0_2__12_0 + region_12(it - 1), buf_12_0__13_0 + region_12(it - 1), tid);
+      /* (split_bank, k=5) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_bank(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (join_bank, k=2) o=1048 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_bank(buf_6_0__1_0 + region_1(it - 5), buf_1_0__42_0 + region_1(it - 5), tid);
+      /* (join_bank, k=1) o=1048 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_bank(buf_6_0__1_0 + region_1(it - 5), buf_1_0__42_0 + region_1(it - 5), tid);
+      break; }
+    case 5: {
+      /* (split_bank, k=0) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_bank(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (Synthesis2, k=7) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis2(buf_14_0__15_0 + region_15(it - 3), buf_15_0__16_0 + region_15(it - 3), tid);
+      /* (Synthesis2, k=6) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis2(buf_14_0__15_0 + region_15(it - 3), buf_15_0__16_0 + region_15(it - 3), tid);
+      /* (Synthesis2, k=5) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis2(buf_14_0__15_0 + region_15(it - 3), buf_15_0__16_0 + region_15(it - 3), tid);
+      /* (Synthesis2, k=4) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis2(buf_14_0__15_0 + region_15(it - 3), buf_15_0__16_0 + region_15(it - 3), tid);
+      /* (Synthesis2, k=3) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis2(buf_14_0__15_0 + region_15(it - 3), buf_15_0__16_0 + region_15(it - 3), tid);
+      /* (Synthesis2, k=2) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis2(buf_14_0__15_0 + region_15(it - 3), buf_15_0__16_0 + region_15(it - 3), tid);
+      /* (Synthesis2, k=1) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis2(buf_14_0__15_0 + region_15(it - 3), buf_15_0__16_0 + region_15(it - 3), tid);
+      /* (Synthesis2, k=0) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis2(buf_14_0__15_0 + region_15(it - 3), buf_15_0__16_0 + region_15(it - 3), tid);
+      /* (join_bank, k=5) o=1048 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_bank(buf_6_0__1_0 + region_1(it - 5), buf_1_0__42_0 + region_1(it - 5), tid);
+      /* (join_bank, k=4) o=1048 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_bank(buf_6_0__1_0 + region_1(it - 5), buf_1_0__42_0 + region_1(it - 5), tid);
+      break; }
+    case 6: {
+      /* (Analysis3, k=7) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis3(buf_0_3__17_0 + region_17(it - 1), buf_17_0__18_0 + region_17(it - 1), tid);
+      /* (Analysis3, k=6) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis3(buf_0_3__17_0 + region_17(it - 1), buf_17_0__18_0 + region_17(it - 1), tid);
+      /* (Analysis3, k=5) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis3(buf_0_3__17_0 + region_17(it - 1), buf_17_0__18_0 + region_17(it - 1), tid);
+      /* (Analysis3, k=4) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis3(buf_0_3__17_0 + region_17(it - 1), buf_17_0__18_0 + region_17(it - 1), tid);
+      /* (Analysis3, k=3) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis3(buf_0_3__17_0 + region_17(it - 1), buf_17_0__18_0 + region_17(it - 1), tid);
+      /* (Analysis3, k=2) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis3(buf_0_3__17_0 + region_17(it - 1), buf_17_0__18_0 + region_17(it - 1), tid);
+      /* (Analysis3, k=1) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis3(buf_0_3__17_0 + region_17(it - 1), buf_17_0__18_0 + region_17(it - 1), tid);
+      /* (Analysis3, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis3(buf_0_3__17_0 + region_17(it - 1), buf_17_0__18_0 + region_17(it - 1), tid);
+      /* (split_bank, k=4) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_bank(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (join_bank, k=7) o=1048 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_bank(buf_6_0__1_0 + region_1(it - 5), buf_1_0__42_0 + region_1(it - 5), tid);
+      /* (join_bank, k=6) o=1048 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_bank(buf_6_0__1_0 + region_1(it - 5), buf_1_0__42_0 + region_1(it - 5), tid);
+      break; }
+    case 7: {
+      /* (Down0, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Down0(buf_2_0__3_0 + region_3(it - 2), buf_3_0__4_0 + region_3(it - 2), tid);
+      /* (split_bank, k=7) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_bank(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (split_bank, k=6) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_bank(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (Synthesis3, k=7) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis3(buf_19_0__20_0 + region_20(it - 3), buf_20_0__21_0 + region_20(it - 3), tid);
+      /* (Synthesis3, k=6) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis3(buf_19_0__20_0 + region_20(it - 3), buf_20_0__21_0 + region_20(it - 3), tid);
+      /* (Synthesis3, k=5) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis3(buf_19_0__20_0 + region_20(it - 3), buf_20_0__21_0 + region_20(it - 3), tid);
+      /* (Synthesis3, k=4) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis3(buf_19_0__20_0 + region_20(it - 3), buf_20_0__21_0 + region_20(it - 3), tid);
+      /* (Synthesis3, k=3) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis3(buf_19_0__20_0 + region_20(it - 3), buf_20_0__21_0 + region_20(it - 3), tid);
+      /* (Synthesis3, k=2) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis3(buf_19_0__20_0 + region_20(it - 3), buf_20_0__21_0 + region_20(it - 3), tid);
+      /* (Synthesis3, k=1) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis3(buf_19_0__20_0 + region_20(it - 3), buf_20_0__21_0 + region_20(it - 3), tid);
+      /* (Synthesis3, k=0) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis3(buf_19_0__20_0 + region_20(it - 3), buf_20_0__21_0 + region_20(it - 3), tid);
+      /* (Gain0, k=5) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain0(buf_5_0__6_0 + region_6(it - 4), buf_6_0__1_0 + region_6(it - 4), tid);
+      /* (Gain0, k=4) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain0(buf_5_0__6_0 + region_6(it - 4), buf_6_0__1_0 + region_6(it - 4), tid);
+      /* (Gain0, k=2) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain0(buf_5_0__6_0 + region_6(it - 4), buf_6_0__1_0 + region_6(it - 4), tid);
+      /* (Up0, k=0) o=1048 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Up0(buf_3_0__4_0 + region_4(it - 2), buf_4_0__5_0 + region_4(it - 2), tid);
+      break; }
+    case 8: {
+      /* (Analysis4, k=7) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis4(buf_0_4__22_0 + region_22(it - 1), buf_22_0__23_0 + region_22(it - 1), tid);
+      /* (Analysis4, k=6) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis4(buf_0_4__22_0 + region_22(it - 1), buf_22_0__23_0 + region_22(it - 1), tid);
+      /* (Analysis4, k=5) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis4(buf_0_4__22_0 + region_22(it - 1), buf_22_0__23_0 + region_22(it - 1), tid);
+      /* (Analysis4, k=4) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis4(buf_0_4__22_0 + region_22(it - 1), buf_22_0__23_0 + region_22(it - 1), tid);
+      /* (Analysis4, k=3) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis4(buf_0_4__22_0 + region_22(it - 1), buf_22_0__23_0 + region_22(it - 1), tid);
+      /* (Analysis4, k=2) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis4(buf_0_4__22_0 + region_22(it - 1), buf_22_0__23_0 + region_22(it - 1), tid);
+      /* (Analysis4, k=1) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis4(buf_0_4__22_0 + region_22(it - 1), buf_22_0__23_0 + region_22(it - 1), tid);
+      /* (Analysis4, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis4(buf_0_4__22_0 + region_22(it - 1), buf_22_0__23_0 + region_22(it - 1), tid);
+      /* (Down3, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Down3(buf_17_0__18_0 + region_18(it - 2), buf_18_0__19_0 + region_18(it - 2), tid);
+      /* (Down2, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Down2(buf_12_0__13_0 + region_13(it - 2), buf_13_0__14_0 + region_13(it - 2), tid);
+      /* (Down1, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Down1(buf_7_0__8_0 + region_8(it - 2), buf_8_0__9_0 + region_8(it - 2), tid);
+      /* (Up3, k=0) o=1048 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Up3(buf_18_0__19_0 + region_19(it - 2), buf_19_0__20_0 + region_19(it - 2), tid);
+      /* (Up2, k=0) o=1048 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Up2(buf_13_0__14_0 + region_14(it - 2), buf_14_0__15_0 + region_14(it - 2), tid);
+      /* (Up1, k=0) o=1048 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Up1(buf_8_0__9_0 + region_9(it - 2), buf_9_0__10_0 + region_9(it - 2), tid);
+      /* (Down4, k=0) o=16818 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Down4(buf_22_0__23_0 + region_23(it - 1), buf_23_0__24_0 + region_23(it - 1), tid);
+      break; }
+    case 9: {
+      /* (Down7, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Down7(buf_37_0__38_0 + region_38(it - 2), buf_38_0__39_0 + region_38(it - 2), tid);
+      /* (Down6, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Down6(buf_32_0__33_0 + region_33(it - 2), buf_33_0__34_0 + region_33(it - 2), tid);
+      /* (Down5, k=0) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Down5(buf_27_0__28_0 + region_28(it - 2), buf_28_0__29_0 + region_28(it - 2), tid);
+      /* (Up7, k=0) o=1048 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Up7(buf_38_0__39_0 + region_39(it - 2), buf_39_0__40_0 + region_39(it - 2), tid);
+      /* (Up6, k=0) o=1048 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Up6(buf_33_0__34_0 + region_34(it - 2), buf_34_0__35_0 + region_34(it - 2), tid);
+      /* (Up5, k=0) o=1048 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Up5(buf_28_0__29_0 + region_29(it - 2), buf_29_0__30_0 + region_29(it - 2), tid);
+      /* (Up4, k=0) o=16818 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Up4(buf_23_0__24_0 + region_24(it - 2), buf_24_0__25_0 + region_24(it - 2), tid);
+      /* (Synthesis4, k=7) o=17866 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Synthesis4(buf_24_0__25_0 + region_25(it - 2), buf_25_0__26_0 + region_25(it - 2), tid);
+      /* (Synthesis4, k=6) o=17866 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Synthesis4(buf_24_0__25_0 + region_25(it - 2), buf_25_0__26_0 + region_25(it - 2), tid);
+      /* (Synthesis4, k=5) o=17866 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Synthesis4(buf_24_0__25_0 + region_25(it - 2), buf_25_0__26_0 + region_25(it - 2), tid);
+      /* (Synthesis4, k=4) o=17866 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Synthesis4(buf_24_0__25_0 + region_25(it - 2), buf_25_0__26_0 + region_25(it - 2), tid);
+      /* (Synthesis4, k=3) o=17866 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Synthesis4(buf_24_0__25_0 + region_25(it - 2), buf_25_0__26_0 + region_25(it - 2), tid);
+      /* (Synthesis4, k=2) o=17866 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Synthesis4(buf_24_0__25_0 + region_25(it - 2), buf_25_0__26_0 + region_25(it - 2), tid);
+      /* (Synthesis4, k=1) o=17866 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Synthesis4(buf_24_0__25_0 + region_25(it - 2), buf_25_0__26_0 + region_25(it - 2), tid);
+      /* (Synthesis4, k=0) o=17866 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_Synthesis4(buf_24_0__25_0 + region_25(it - 2), buf_25_0__26_0 + region_25(it - 2), tid);
+      break; }
+    case 10: {
+      /* (Analysis5, k=7) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis5(buf_0_5__27_0 + region_27(it - 1), buf_27_0__28_0 + region_27(it - 1), tid);
+      /* (Analysis5, k=6) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis5(buf_0_5__27_0 + region_27(it - 1), buf_27_0__28_0 + region_27(it - 1), tid);
+      /* (Analysis5, k=5) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis5(buf_0_5__27_0 + region_27(it - 1), buf_27_0__28_0 + region_27(it - 1), tid);
+      /* (Analysis5, k=4) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis5(buf_0_5__27_0 + region_27(it - 1), buf_27_0__28_0 + region_27(it - 1), tid);
+      /* (Analysis5, k=3) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis5(buf_0_5__27_0 + region_27(it - 1), buf_27_0__28_0 + region_27(it - 1), tid);
+      /* (Analysis5, k=2) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis5(buf_0_5__27_0 + region_27(it - 1), buf_27_0__28_0 + region_27(it - 1), tid);
+      /* (Analysis5, k=1) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis5(buf_0_5__27_0 + region_27(it - 1), buf_27_0__28_0 + region_27(it - 1), tid);
+      /* (Analysis5, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis5(buf_0_5__27_0 + region_27(it - 1), buf_27_0__28_0 + region_27(it - 1), tid);
+      /* (Gain2, k=0) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain2(buf_15_0__16_0 + region_16(it - 4), buf_16_0__1_2 + region_16(it - 4), tid);
+      /* (Gain1, k=7) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain1(buf_10_0__11_0 + region_11(it - 4), buf_11_0__1_1 + region_11(it - 4), tid);
+      /* (Gain1, k=6) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain1(buf_10_0__11_0 + region_11(it - 4), buf_11_0__1_1 + region_11(it - 4), tid);
+      /* (Gain1, k=5) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain1(buf_10_0__11_0 + region_11(it - 4), buf_11_0__1_1 + region_11(it - 4), tid);
+      /* (Gain1, k=4) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain1(buf_10_0__11_0 + region_11(it - 4), buf_11_0__1_1 + region_11(it - 4), tid);
+      /* (Gain1, k=3) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain1(buf_10_0__11_0 + region_11(it - 4), buf_11_0__1_1 + region_11(it - 4), tid);
+      /* (Gain1, k=2) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain1(buf_10_0__11_0 + region_11(it - 4), buf_11_0__1_1 + region_11(it - 4), tid);
+      /* (Gain1, k=1) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain1(buf_10_0__11_0 + region_11(it - 4), buf_11_0__1_1 + region_11(it - 4), tid);
+      /* (Gain1, k=0) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain1(buf_10_0__11_0 + region_11(it - 4), buf_11_0__1_1 + region_11(it - 4), tid);
+      /* (Gain0, k=7) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain0(buf_5_0__6_0 + region_6(it - 4), buf_6_0__1_0 + region_6(it - 4), tid);
+      /* (Gain0, k=6) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain0(buf_5_0__6_0 + region_6(it - 4), buf_6_0__1_0 + region_6(it - 4), tid);
+      break; }
+    case 11: {
+      /* (Synthesis5, k=7) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis5(buf_29_0__30_0 + region_30(it - 3), buf_30_0__31_0 + region_30(it - 3), tid);
+      /* (Synthesis5, k=6) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis5(buf_29_0__30_0 + region_30(it - 3), buf_30_0__31_0 + region_30(it - 3), tid);
+      /* (Synthesis5, k=5) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis5(buf_29_0__30_0 + region_30(it - 3), buf_30_0__31_0 + region_30(it - 3), tid);
+      /* (Synthesis5, k=4) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis5(buf_29_0__30_0 + region_30(it - 3), buf_30_0__31_0 + region_30(it - 3), tid);
+      /* (Synthesis5, k=3) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis5(buf_29_0__30_0 + region_30(it - 3), buf_30_0__31_0 + region_30(it - 3), tid);
+      /* (Synthesis5, k=2) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis5(buf_29_0__30_0 + region_30(it - 3), buf_30_0__31_0 + region_30(it - 3), tid);
+      /* (Synthesis5, k=1) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis5(buf_29_0__30_0 + region_30(it - 3), buf_30_0__31_0 + region_30(it - 3), tid);
+      /* (Synthesis5, k=0) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis5(buf_29_0__30_0 + region_30(it - 3), buf_30_0__31_0 + region_30(it - 3), tid);
+      /* (Gain3, k=3) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain3(buf_20_0__21_0 + region_21(it - 4), buf_21_0__1_3 + region_21(it - 4), tid);
+      /* (Gain3, k=2) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain3(buf_20_0__21_0 + region_21(it - 4), buf_21_0__1_3 + region_21(it - 4), tid);
+      /* (Gain3, k=1) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain3(buf_20_0__21_0 + region_21(it - 4), buf_21_0__1_3 + region_21(it - 4), tid);
+      /* (Gain3, k=0) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain3(buf_20_0__21_0 + region_21(it - 4), buf_21_0__1_3 + region_21(it - 4), tid);
+      /* (Gain2, k=7) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain2(buf_15_0__16_0 + region_16(it - 4), buf_16_0__1_2 + region_16(it - 4), tid);
+      /* (Gain2, k=6) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain2(buf_15_0__16_0 + region_16(it - 4), buf_16_0__1_2 + region_16(it - 4), tid);
+      /* (Gain2, k=5) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain2(buf_15_0__16_0 + region_16(it - 4), buf_16_0__1_2 + region_16(it - 4), tid);
+      /* (Gain2, k=4) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain2(buf_15_0__16_0 + region_16(it - 4), buf_16_0__1_2 + region_16(it - 4), tid);
+      /* (Gain2, k=3) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain2(buf_15_0__16_0 + region_16(it - 4), buf_16_0__1_2 + region_16(it - 4), tid);
+      /* (Gain2, k=2) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain2(buf_15_0__16_0 + region_16(it - 4), buf_16_0__1_2 + region_16(it - 4), tid);
+      /* (Gain2, k=1) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain2(buf_15_0__16_0 + region_16(it - 4), buf_16_0__1_2 + region_16(it - 4), tid);
+      break; }
+    case 12: {
+      /* (Analysis6, k=7) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis6(buf_0_6__32_0 + region_32(it - 1), buf_32_0__33_0 + region_32(it - 1), tid);
+      /* (Analysis6, k=6) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis6(buf_0_6__32_0 + region_32(it - 1), buf_32_0__33_0 + region_32(it - 1), tid);
+      /* (Analysis6, k=5) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis6(buf_0_6__32_0 + region_32(it - 1), buf_32_0__33_0 + region_32(it - 1), tid);
+      /* (Analysis6, k=4) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis6(buf_0_6__32_0 + region_32(it - 1), buf_32_0__33_0 + region_32(it - 1), tid);
+      /* (Analysis6, k=3) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis6(buf_0_6__32_0 + region_32(it - 1), buf_32_0__33_0 + region_32(it - 1), tid);
+      /* (Analysis6, k=2) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis6(buf_0_6__32_0 + region_32(it - 1), buf_32_0__33_0 + region_32(it - 1), tid);
+      /* (Analysis6, k=1) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis6(buf_0_6__32_0 + region_32(it - 1), buf_32_0__33_0 + region_32(it - 1), tid);
+      /* (Analysis6, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis6(buf_0_6__32_0 + region_32(it - 1), buf_32_0__33_0 + region_32(it - 1), tid);
+      /* (Gain3, k=7) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain3(buf_20_0__21_0 + region_21(it - 4), buf_21_0__1_3 + region_21(it - 4), tid);
+      /* (Gain3, k=6) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain3(buf_20_0__21_0 + region_21(it - 4), buf_21_0__1_3 + region_21(it - 4), tid);
+      /* (Gain3, k=5) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain3(buf_20_0__21_0 + region_21(it - 4), buf_21_0__1_3 + region_21(it - 4), tid);
+      /* (Gain3, k=4) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain3(buf_20_0__21_0 + region_21(it - 4), buf_21_0__1_3 + region_21(it - 4), tid);
+      /* (Gain4, k=6) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain4(buf_25_0__26_0 + region_26(it - 3), buf_26_0__1_4 + region_26(it - 3), tid);
+      /* (Gain4, k=5) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain4(buf_25_0__26_0 + region_26(it - 3), buf_26_0__1_4 + region_26(it - 3), tid);
+      /* (Gain4, k=4) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain4(buf_25_0__26_0 + region_26(it - 3), buf_26_0__1_4 + region_26(it - 3), tid);
+      /* (Gain4, k=3) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain4(buf_25_0__26_0 + region_26(it - 3), buf_26_0__1_4 + region_26(it - 3), tid);
+      /* (Gain4, k=2) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain4(buf_25_0__26_0 + region_26(it - 3), buf_26_0__1_4 + region_26(it - 3), tid);
+      /* (Gain4, k=1) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain4(buf_25_0__26_0 + region_26(it - 3), buf_26_0__1_4 + region_26(it - 3), tid);
+      /* (Gain4, k=0) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain4(buf_25_0__26_0 + region_26(it - 3), buf_26_0__1_4 + region_26(it - 3), tid);
+      break; }
+    case 13: {
+      /* (Synthesis6, k=7) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis6(buf_34_0__35_0 + region_35(it - 3), buf_35_0__36_0 + region_35(it - 3), tid);
+      /* (Synthesis6, k=6) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis6(buf_34_0__35_0 + region_35(it - 3), buf_35_0__36_0 + region_35(it - 3), tid);
+      /* (Synthesis6, k=5) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis6(buf_34_0__35_0 + region_35(it - 3), buf_35_0__36_0 + region_35(it - 3), tid);
+      /* (Synthesis6, k=4) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis6(buf_34_0__35_0 + region_35(it - 3), buf_35_0__36_0 + region_35(it - 3), tid);
+      /* (Synthesis6, k=3) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis6(buf_34_0__35_0 + region_35(it - 3), buf_35_0__36_0 + region_35(it - 3), tid);
+      /* (Synthesis6, k=2) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis6(buf_34_0__35_0 + region_35(it - 3), buf_35_0__36_0 + region_35(it - 3), tid);
+      /* (Synthesis6, k=1) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis6(buf_34_0__35_0 + region_35(it - 3), buf_35_0__36_0 + region_35(it - 3), tid);
+      /* (Synthesis6, k=0) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis6(buf_34_0__35_0 + region_35(it - 3), buf_35_0__36_0 + region_35(it - 3), tid);
+      /* (Gain5, k=7) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain5(buf_30_0__31_0 + region_31(it - 4), buf_31_0__1_5 + region_31(it - 4), tid);
+      /* (Gain5, k=6) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain5(buf_30_0__31_0 + region_31(it - 4), buf_31_0__1_5 + region_31(it - 4), tid);
+      /* (Gain5, k=5) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain5(buf_30_0__31_0 + region_31(it - 4), buf_31_0__1_5 + region_31(it - 4), tid);
+      /* (Gain5, k=4) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain5(buf_30_0__31_0 + region_31(it - 4), buf_31_0__1_5 + region_31(it - 4), tid);
+      /* (Gain5, k=3) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain5(buf_30_0__31_0 + region_31(it - 4), buf_31_0__1_5 + region_31(it - 4), tid);
+      /* (Gain5, k=2) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain5(buf_30_0__31_0 + region_31(it - 4), buf_31_0__1_5 + region_31(it - 4), tid);
+      /* (Gain5, k=1) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain5(buf_30_0__31_0 + region_31(it - 4), buf_31_0__1_5 + region_31(it - 4), tid);
+      /* (Gain5, k=0) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain5(buf_30_0__31_0 + region_31(it - 4), buf_31_0__1_5 + region_31(it - 4), tid);
+      /* (Gain6, k=1) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain6(buf_35_0__36_0 + region_36(it - 3), buf_36_0__1_6 + region_36(it - 3), tid);
+      /* (Gain6, k=0) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain6(buf_35_0__36_0 + region_36(it - 3), buf_36_0__1_6 + region_36(it - 3), tid);
+      /* (Gain4, k=7) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain4(buf_25_0__26_0 + region_26(it - 3), buf_26_0__1_4 + region_26(it - 3), tid);
+      break; }
+    case 14: {
+      /* (Analysis7, k=7) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis7(buf_0_7__37_0 + region_37(it - 1), buf_37_0__38_0 + region_37(it - 1), tid);
+      /* (Analysis7, k=6) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis7(buf_0_7__37_0 + region_37(it - 1), buf_37_0__38_0 + region_37(it - 1), tid);
+      /* (Analysis7, k=5) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis7(buf_0_7__37_0 + region_37(it - 1), buf_37_0__38_0 + region_37(it - 1), tid);
+      /* (Analysis7, k=4) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis7(buf_0_7__37_0 + region_37(it - 1), buf_37_0__38_0 + region_37(it - 1), tid);
+      /* (Analysis7, k=3) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis7(buf_0_7__37_0 + region_37(it - 1), buf_37_0__38_0 + region_37(it - 1), tid);
+      /* (Analysis7, k=2) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis7(buf_0_7__37_0 + region_37(it - 1), buf_37_0__38_0 + region_37(it - 1), tid);
+      /* (Analysis7, k=1) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis7(buf_0_7__37_0 + region_37(it - 1), buf_37_0__38_0 + region_37(it - 1), tid);
+      /* (Analysis7, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_Analysis7(buf_0_7__37_0 + region_37(it - 1), buf_37_0__38_0 + region_37(it - 1), tid);
+      /* (Gain7, k=4) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain7(buf_40_0__41_0 + region_41(it - 4), buf_41_0__1_7 + region_41(it - 4), tid);
+      /* (Gain7, k=3) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain7(buf_40_0__41_0 + region_41(it - 4), buf_41_0__1_7 + region_41(it - 4), tid);
+      /* (Gain7, k=2) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain7(buf_40_0__41_0 + region_41(it - 4), buf_41_0__1_7 + region_41(it - 4), tid);
+      /* (Gain7, k=1) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain7(buf_40_0__41_0 + region_41(it - 4), buf_41_0__1_7 + region_41(it - 4), tid);
+      /* (Gain7, k=0) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain7(buf_40_0__41_0 + region_41(it - 4), buf_41_0__1_7 + region_41(it - 4), tid);
+      /* (Gain6, k=7) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain6(buf_35_0__36_0 + region_36(it - 4), buf_36_0__1_6 + region_36(it - 4), tid);
+      /* (Gain6, k=6) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain6(buf_35_0__36_0 + region_36(it - 4), buf_36_0__1_6 + region_36(it - 4), tid);
+      /* (Gain6, k=5) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain6(buf_35_0__36_0 + region_36(it - 4), buf_36_0__1_6 + region_36(it - 4), tid);
+      /* (Gain6, k=4) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain6(buf_35_0__36_0 + region_36(it - 4), buf_36_0__1_6 + region_36(it - 4), tid);
+      /* (Gain6, k=3) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain6(buf_35_0__36_0 + region_36(it - 4), buf_36_0__1_6 + region_36(it - 4), tid);
+      /* (Gain6, k=2) o=1048 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_Gain6(buf_35_0__36_0 + region_36(it - 4), buf_36_0__1_6 + region_36(it - 4), tid);
+      break; }
+    case 15: {
+      /* (Synthesis7, k=7) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis7(buf_39_0__40_0 + region_40(it - 3), buf_40_0__41_0 + region_40(it - 3), tid);
+      /* (Synthesis7, k=6) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis7(buf_39_0__40_0 + region_40(it - 3), buf_40_0__41_0 + region_40(it - 3), tid);
+      /* (Synthesis7, k=5) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis7(buf_39_0__40_0 + region_40(it - 3), buf_40_0__41_0 + region_40(it - 3), tid);
+      /* (Synthesis7, k=4) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis7(buf_39_0__40_0 + region_40(it - 3), buf_40_0__41_0 + region_40(it - 3), tid);
+      /* (Synthesis7, k=3) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis7(buf_39_0__40_0 + region_40(it - 3), buf_40_0__41_0 + region_40(it - 3), tid);
+      /* (Synthesis7, k=2) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis7(buf_39_0__40_0 + region_40(it - 3), buf_40_0__41_0 + region_40(it - 3), tid);
+      /* (Synthesis7, k=1) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis7(buf_39_0__40_0 + region_40(it - 3), buf_40_0__41_0 + region_40(it - 3), tid);
+      /* (Synthesis7, k=0) o=1048 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Synthesis7(buf_39_0__40_0 + region_40(it - 3), buf_40_0__41_0 + region_40(it - 3), tid);
+      /* (join_bank, k=3) o=1048 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_bank(buf_6_0__1_0 + region_1(it - 5), buf_1_0__42_0 + region_1(it - 5), tid);
+      /* (join_bank, k=0) o=1048 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_join_bank(buf_6_0__1_0 + region_1(it - 5), buf_1_0__42_0 + region_1(it - 5), tid);
+      /* (Gain7, k=7) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain7(buf_40_0__41_0 + region_41(it - 3), buf_41_0__1_7 + region_41(it - 3), tid);
+      /* (Gain7, k=6) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain7(buf_40_0__41_0 + region_41(it - 3), buf_41_0__1_7 + region_41(it - 3), tid);
+      /* (Gain7, k=5) o=17866 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_Gain7(buf_40_0__41_0 + region_41(it - 3), buf_41_0__1_7 + region_41(it - 3), tid);
+      break; }
+    }
+    /* II boundary */
+  }
+}
+
+/* host launch (Metal):
+ *   dispatchThreadgroups: 16 threadgroups x 512 threads
+ *   newBuffer buf_2_0__3_0: 131072 bytes
+ *   newBuffer buf_3_0__4_0: 16384 bytes
+ *   newBuffer buf_4_0__5_0: 131180 bytes
+ *   newBuffer buf_5_0__6_0: 131072 bytes
+ *   newBuffer buf_0_0__2_0: 131180 bytes
+ *   newBuffer buf_6_0__1_0: 131072 bytes
+ *   newBuffer buf_7_0__8_0: 131072 bytes
+ *   newBuffer buf_8_0__9_0: 16384 bytes
+ *   newBuffer buf_9_0__10_0: 131180 bytes
+ *   newBuffer buf_10_0__11_0: 131072 bytes
+ *   newBuffer buf_0_1__7_0: 131180 bytes
+ *   newBuffer buf_11_0__1_1: 131072 bytes
+ *   newBuffer buf_12_0__13_0: 131072 bytes
+ *   newBuffer buf_13_0__14_0: 16384 bytes
+ *   newBuffer buf_14_0__15_0: 131180 bytes
+ *   newBuffer buf_15_0__16_0: 131072 bytes
+ *   newBuffer buf_0_2__12_0: 131180 bytes
+ *   newBuffer buf_16_0__1_2: 131072 bytes
+ *   newBuffer buf_17_0__18_0: 131072 bytes
+ *   newBuffer buf_18_0__19_0: 16384 bytes
+ *   newBuffer buf_19_0__20_0: 131180 bytes
+ *   newBuffer buf_20_0__21_0: 131072 bytes
+ *   newBuffer buf_0_3__17_0: 131180 bytes
+ *   newBuffer buf_21_0__1_3: 131072 bytes
+ *   newBuffer buf_22_0__23_0: 131072 bytes
+ *   newBuffer buf_23_0__24_0: 16384 bytes
+ *   newBuffer buf_24_0__25_0: 131180 bytes
+ *   newBuffer buf_25_0__26_0: 131072 bytes
+ *   newBuffer buf_0_4__22_0: 131180 bytes
+ *   newBuffer buf_26_0__1_4: 131072 bytes
+ *   newBuffer buf_27_0__28_0: 131072 bytes
+ *   newBuffer buf_28_0__29_0: 16384 bytes
+ *   newBuffer buf_29_0__30_0: 131180 bytes
+ *   newBuffer buf_30_0__31_0: 131072 bytes
+ *   newBuffer buf_0_5__27_0: 131180 bytes
+ *   newBuffer buf_31_0__1_5: 131072 bytes
+ *   newBuffer buf_32_0__33_0: 131072 bytes
+ *   newBuffer buf_33_0__34_0: 16384 bytes
+ *   newBuffer buf_34_0__35_0: 131180 bytes
+ *   newBuffer buf_35_0__36_0: 131072 bytes
+ *   newBuffer buf_0_6__32_0: 131180 bytes
+ *   newBuffer buf_36_0__1_6: 131072 bytes
+ *   newBuffer buf_37_0__38_0: 131072 bytes
+ *   newBuffer buf_38_0__39_0: 16384 bytes
+ *   newBuffer buf_39_0__40_0: 131180 bytes
+ *   newBuffer buf_40_0__41_0: 131072 bytes
+ *   newBuffer buf_0_7__37_0: 131180 bytes
+ *   newBuffer buf_41_0__1_7: 131072 bytes
+ *   newBuffer buf_1_0__42_0: 1048576 bytes
+ *   stream_in/stream_out: 1 << 20 bytes, input shuffled per eq. (9); iterations = 1024
+ */

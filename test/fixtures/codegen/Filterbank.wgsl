@@ -1,0 +1,1779 @@
+// streamit_gpu artifact (wgsl)
+// quality: refined (completed)
+// II: 142126 (lower bound 141771, binding res_mii)
+// schedule signature: 58bd7959f63b54da3099eb7a355b09aa
+// dispatch: 16 workgroups x 512 threads; host loops handled by the iterations uniform
+
+@group(0) @binding(0) var<storage, read_write> buf_2_0__3_0: array<f32>;
+@group(0) @binding(1) var<storage, read_write> buf_3_0__4_0: array<f32>;
+@group(0) @binding(2) var<storage, read_write> buf_4_0__5_0: array<f32>;
+@group(0) @binding(3) var<storage, read_write> buf_5_0__6_0: array<f32>;
+@group(0) @binding(4) var<storage, read_write> buf_0_0__2_0: array<f32>;
+@group(0) @binding(5) var<storage, read_write> buf_6_0__1_0: array<f32>;
+@group(0) @binding(6) var<storage, read_write> buf_7_0__8_0: array<f32>;
+@group(0) @binding(7) var<storage, read_write> buf_8_0__9_0: array<f32>;
+@group(0) @binding(8) var<storage, read_write> buf_9_0__10_0: array<f32>;
+@group(0) @binding(9) var<storage, read_write> buf_10_0__11_0: array<f32>;
+@group(0) @binding(10) var<storage, read_write> buf_0_1__7_0: array<f32>;
+@group(0) @binding(11) var<storage, read_write> buf_11_0__1_1: array<f32>;
+@group(0) @binding(12) var<storage, read_write> buf_12_0__13_0: array<f32>;
+@group(0) @binding(13) var<storage, read_write> buf_13_0__14_0: array<f32>;
+@group(0) @binding(14) var<storage, read_write> buf_14_0__15_0: array<f32>;
+@group(0) @binding(15) var<storage, read_write> buf_15_0__16_0: array<f32>;
+@group(0) @binding(16) var<storage, read_write> buf_0_2__12_0: array<f32>;
+@group(0) @binding(17) var<storage, read_write> buf_16_0__1_2: array<f32>;
+@group(0) @binding(18) var<storage, read_write> buf_17_0__18_0: array<f32>;
+@group(0) @binding(19) var<storage, read_write> buf_18_0__19_0: array<f32>;
+@group(0) @binding(20) var<storage, read_write> buf_19_0__20_0: array<f32>;
+@group(0) @binding(21) var<storage, read_write> buf_20_0__21_0: array<f32>;
+@group(0) @binding(22) var<storage, read_write> buf_0_3__17_0: array<f32>;
+@group(0) @binding(23) var<storage, read_write> buf_21_0__1_3: array<f32>;
+@group(0) @binding(24) var<storage, read_write> buf_22_0__23_0: array<f32>;
+@group(0) @binding(25) var<storage, read_write> buf_23_0__24_0: array<f32>;
+@group(0) @binding(26) var<storage, read_write> buf_24_0__25_0: array<f32>;
+@group(0) @binding(27) var<storage, read_write> buf_25_0__26_0: array<f32>;
+@group(0) @binding(28) var<storage, read_write> buf_0_4__22_0: array<f32>;
+@group(0) @binding(29) var<storage, read_write> buf_26_0__1_4: array<f32>;
+@group(0) @binding(30) var<storage, read_write> buf_27_0__28_0: array<f32>;
+@group(0) @binding(31) var<storage, read_write> buf_28_0__29_0: array<f32>;
+@group(0) @binding(32) var<storage, read_write> buf_29_0__30_0: array<f32>;
+@group(0) @binding(33) var<storage, read_write> buf_30_0__31_0: array<f32>;
+@group(0) @binding(34) var<storage, read_write> buf_0_5__27_0: array<f32>;
+@group(0) @binding(35) var<storage, read_write> buf_31_0__1_5: array<f32>;
+@group(0) @binding(36) var<storage, read_write> buf_32_0__33_0: array<f32>;
+@group(0) @binding(37) var<storage, read_write> buf_33_0__34_0: array<f32>;
+@group(0) @binding(38) var<storage, read_write> buf_34_0__35_0: array<f32>;
+@group(0) @binding(39) var<storage, read_write> buf_35_0__36_0: array<f32>;
+@group(0) @binding(40) var<storage, read_write> buf_0_6__32_0: array<f32>;
+@group(0) @binding(41) var<storage, read_write> buf_36_0__1_6: array<f32>;
+@group(0) @binding(42) var<storage, read_write> buf_37_0__38_0: array<f32>;
+@group(0) @binding(43) var<storage, read_write> buf_38_0__39_0: array<f32>;
+@group(0) @binding(44) var<storage, read_write> buf_39_0__40_0: array<f32>;
+@group(0) @binding(45) var<storage, read_write> buf_40_0__41_0: array<f32>;
+@group(0) @binding(46) var<storage, read_write> buf_0_7__37_0: array<f32>;
+@group(0) @binding(47) var<storage, read_write> buf_41_0__1_7: array<f32>;
+@group(0) @binding(48) var<storage, read_write> buf_1_0__42_0: array<f32>;
+@group(0) @binding(49) var<storage, read> stream_in: array<f32>;
+@group(0) @binding(50) var<storage, read_write> stream_out: array<f32>;
+@group(0) @binding(51) var<uniform> iterations: i32;
+
+var<workgroup> stage_on: array<i32, 7>;
+
+fn region_0(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_1(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 32768; }
+fn region_2(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_3(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_4(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_5(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_6(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_7(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_8(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_9(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_10(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_11(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_12(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_13(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_14(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_15(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_16(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_17(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_18(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_19(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_20(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_21(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_22(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_23(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_24(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_25(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_26(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_27(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_28(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_29(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_30(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_31(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_32(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_33(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_34(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_35(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_36(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_37(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_38(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 512; }
+fn region_39(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_40(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_41(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 4096; }
+fn region_42(it: i32) -> i32 { return ((it % 8) + 8) % 8 * 0; }
+
+fn work_split_bank(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var x: f32 = _t1;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(x); _push++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(x); _push++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(x); _push++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(x); _push++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(x); _push++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(x); _push++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(x); _push++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(x); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_bank(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_6_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__42_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_6_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__42_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_6_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__42_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_6_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__42_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_6_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__42_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_6_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__42_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_6_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__42_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_6_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_1_0__42_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Analysis0_taps: array<f32, 28> = array<f32, 28>(-0.00234461681f, -0.00320814694f, -0.00476149529f, -0.00657152888f, -0.00755257784f, -0.00614969504f, -0.000749004059f, 0.0097911405f, 0.0256479474f, 0.0457454255f, 0.0677848349f, 0.0886207813f, 0.104906087f, 0.113843569f, 0.113843569f, 0.104906087f, 0.0886207813f, 0.0677848349f, 0.0457454255f, 0.0256479474f, 0.0097911405f, -0.000749004059f, -0.00614969504f, -0.00755257784f, -0.00657152888f, -0.00476149529f, -0.00320814694f, -0.00234461681f);
+
+fn work_Analysis0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_0_0__2_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis0_taps[j]));
+  }
+  buf_2_0__3_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_0_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Down0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_3_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_2_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t2;
+  let _t3: f32 = buf_2_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d1: f32 = _t3;
+  let _t4: f32 = buf_2_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d2: f32 = _t4;
+  let _t5: f32 = buf_2_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d3: f32 = _t5;
+  let _t6: f32 = buf_2_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d4: f32 = _t6;
+  let _t7: f32 = buf_2_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d5: f32 = _t7;
+  let _t8: f32 = buf_2_0__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d6: f32 = _t8;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Up0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_3_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_4_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  buf_4_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_4_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_4_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_4_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_4_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_4_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_4_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Synthesis0_taps: array<f32, 28> = array<f32, 28>(0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f);
+
+fn work_Synthesis0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_4_0__5_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis0_taps[j]));
+  }
+  buf_5_0__6_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_4_0__5_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Gain0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_5_0__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_6_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.0f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Analysis1_taps: array<f32, 28> = array<f32, 28>(-0.000174311059f, 0.001407292f, 0.00486573025f, 0.00998395108f, 0.0131515074f, 0.00774164696f, -0.0112828683f, -0.0410606607f, -0.0682613149f, -0.0742631754f, -0.0465440444f, 0.0108755976f, 0.0759894583f, 0.119054028f, 0.119054028f, 0.0759894583f, 0.0108755976f, -0.0465440444f, -0.0742631754f, -0.0682613149f, -0.0410606607f, -0.0112828683f, 0.00774164696f, 0.0131515074f, 0.00998395108f, 0.00486573025f, 0.001407292f, -0.000174311059f);
+
+fn work_Analysis1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_0_1__7_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis1_taps[j]));
+  }
+  buf_7_0__8_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_0_1__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Down1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_7_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_8_0__9_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_7_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t2;
+  let _t3: f32 = buf_7_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d1: f32 = _t3;
+  let _t4: f32 = buf_7_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d2: f32 = _t4;
+  let _t5: f32 = buf_7_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d3: f32 = _t5;
+  let _t6: f32 = buf_7_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d4: f32 = _t6;
+  let _t7: f32 = buf_7_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d5: f32 = _t7;
+  let _t8: f32 = buf_7_0__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d6: f32 = _t8;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Up1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_8_0__9_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_9_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  buf_9_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_9_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_9_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_9_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_9_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_9_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_9_0__10_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Synthesis1_taps: array<f32, 28> = array<f32, 28>(0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f);
+
+fn work_Synthesis1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_9_0__10_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis1_taps[j]));
+  }
+  buf_10_0__11_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_9_0__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Gain1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_10_0__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_11_0__1_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.0f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Analysis2_taps: array<f32, 28> = array<f32, 28>(0.0013747011f, 0.00285681757f, 0.00160155673f, -0.00636439783f, -0.0169314389f, -0.0125717525f, 0.018322384f, 0.0528620826f, 0.0435140518f, -0.0244437489f, -0.0944848999f, -0.0857702088f, 0.0117407759f, 0.10972082f, 0.10972082f, 0.0117407759f, -0.0857702088f, -0.0944848999f, -0.0244437489f, 0.0435140518f, 0.0528620826f, 0.018322384f, -0.0125717525f, -0.0169314389f, -0.00636439783f, 0.00160155673f, 0.00285681757f, 0.0013747011f);
+
+fn work_Analysis2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_0_2__12_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis2_taps[j]));
+  }
+  buf_12_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_0_2__12_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Down2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_12_0__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_13_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_12_0__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t2;
+  let _t3: f32 = buf_12_0__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d1: f32 = _t3;
+  let _t4: f32 = buf_12_0__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d2: f32 = _t4;
+  let _t5: f32 = buf_12_0__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d3: f32 = _t5;
+  let _t6: f32 = buf_12_0__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d4: f32 = _t6;
+  let _t7: f32 = buf_12_0__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d5: f32 = _t7;
+  let _t8: f32 = buf_12_0__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d6: f32 = _t8;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Up2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_13_0__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_14_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  buf_14_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_14_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_14_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_14_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_14_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_14_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_14_0__15_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Synthesis2_taps: array<f32, 28> = array<f32, 28>(0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f);
+
+fn work_Synthesis2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_14_0__15_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis2_taps[j]));
+  }
+  buf_15_0__16_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_14_0__15_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Gain2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_15_0__16_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_16_0__1_2[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.0f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Analysis3_taps: array<f32, 28> = array<f32, 28>(0.00170179708f, -0.000292617082f, -0.00549062669f, -0.00291221111f, 0.0150044465f, 0.0169187326f, -0.0246577806f, -0.0468457699f, 0.0199110911f, 0.0838006531f, 0.00967786533f, -0.106178347f, -0.0564652615f, 0.0961711032f, 0.0961711032f, -0.0564652615f, -0.106178347f, 0.00967786533f, 0.0838006531f, 0.0199110911f, -0.0468457699f, -0.0246577806f, 0.0169187326f, 0.0150044465f, -0.00291221111f, -0.00549062669f, -0.000292617082f, 0.00170179708f);
+
+fn work_Analysis3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_0_3__17_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis3_taps[j]));
+  }
+  buf_17_0__18_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_0_3__17_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Down3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_17_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_18_0__19_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_17_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t2;
+  let _t3: f32 = buf_17_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d1: f32 = _t3;
+  let _t4: f32 = buf_17_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d2: f32 = _t4;
+  let _t5: f32 = buf_17_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d3: f32 = _t5;
+  let _t6: f32 = buf_17_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d4: f32 = _t6;
+  let _t7: f32 = buf_17_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d5: f32 = _t7;
+  let _t8: f32 = buf_17_0__18_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d6: f32 = _t8;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Up3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_18_0__19_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_19_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  buf_19_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_19_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_19_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_19_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_19_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_19_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_19_0__20_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Synthesis3_taps: array<f32, 28> = array<f32, 28>(0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f);
+
+fn work_Synthesis3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_19_0__20_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis3_taps[j]));
+  }
+  buf_20_0__21_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_19_0__20_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Gain3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_20_0__21_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_21_0__1_3[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.0f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Analysis4_taps: array<f32, 28> = array<f32, 28>(0.0005162345f, -0.00297099109f, 0.000540779528f, 0.00960027344f, -0.00802004375f, -0.0206155354f, 0.0300455926f, 0.0250395857f, -0.0656380709f, -0.00825364393f, 0.0982610156f, -0.0322088495f, -0.105639074f, 0.0789255847f, 0.0789255847f, -0.105639074f, -0.0322088495f, 0.0982610156f, -0.00825364393f, -0.0656380709f, 0.0250395857f, 0.0300455926f, -0.0206155354f, -0.00802004375f, 0.00960027344f, 0.000540779528f, -0.00297099109f, 0.0005162345f);
+
+fn work_Analysis4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_0_4__22_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis4_taps[j]));
+  }
+  buf_22_0__23_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_0_4__22_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Down4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_22_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_23_0__24_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_22_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t2;
+  let _t3: f32 = buf_22_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d1: f32 = _t3;
+  let _t4: f32 = buf_22_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d2: f32 = _t4;
+  let _t5: f32 = buf_22_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d3: f32 = _t5;
+  let _t6: f32 = buf_22_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d4: f32 = _t6;
+  let _t7: f32 = buf_22_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d5: f32 = _t7;
+  let _t8: f32 = buf_22_0__23_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d6: f32 = _t8;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Up4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_23_0__24_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_24_0__25_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  buf_24_0__25_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_24_0__25_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_24_0__25_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_24_0__25_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_24_0__25_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_24_0__25_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_24_0__25_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Synthesis4_taps: array<f32, 28> = array<f32, 28>(0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f);
+
+fn work_Synthesis4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_24_0__25_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis4_taps[j]));
+  }
+  buf_25_0__26_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_24_0__25_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Gain4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_25_0__26_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_26_0__1_4[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.0f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Analysis5_taps: array<f32, 28> = array<f32, 28>(-0.00112818804f, -0.000866606136f, 0.00527962499f, -0.0077550412f, -0.00166760118f, 0.0235200946f, -0.0342787694f, 0.0052064607f, 0.0530220256f, -0.080580241f, 0.028661681f, 0.0703897913f, -0.119206098f, 0.0586470002f, 0.0586470002f, -0.119206098f, 0.0703897913f, 0.028661681f, -0.080580241f, 0.0530220256f, 0.0052064607f, -0.0342787694f, 0.0235200946f, -0.00166760118f, -0.0077550412f, 0.00527962499f, -0.000866606136f, -0.00112818804f);
+
+fn work_Analysis5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_0_5__27_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis5_taps[j]));
+  }
+  buf_27_0__28_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_0_5__27_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Down5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_27_0__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_28_0__29_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_27_0__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t2;
+  let _t3: f32 = buf_27_0__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d1: f32 = _t3;
+  let _t4: f32 = buf_27_0__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d2: f32 = _t4;
+  let _t5: f32 = buf_27_0__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d3: f32 = _t5;
+  let _t6: f32 = buf_27_0__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d4: f32 = _t6;
+  let _t7: f32 = buf_27_0__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d5: f32 = _t7;
+  let _t8: f32 = buf_27_0__28_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d6: f32 = _t8;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Up5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_28_0__29_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_29_0__30_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  buf_29_0__30_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_29_0__30_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_29_0__30_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_29_0__30_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_29_0__30_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_29_0__30_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_29_0__30_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Synthesis5_taps: array<f32, 28> = array<f32, 28>(0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f);
+
+fn work_Synthesis5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_29_0__30_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis5_taps[j]));
+  }
+  buf_30_0__31_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_29_0__30_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Gain5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_30_0__31_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_31_0__1_5[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.0f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Analysis6_taps: array<f32, 28> = array<f32, 28>(-0.00176980988f, 0.00263285815f, -0.00260078701f, -0.000983333353f, 0.0107931632f, -0.0255207898f, 0.0371946322f, -0.0336976134f, 0.0067231527f, 0.0396944943f, -0.0870777825f, 0.110421795f, -0.0925934229f, 0.0361146444f, 0.0361146444f, -0.0925934229f, 0.110421795f, -0.0870777825f, 0.0396944943f, 0.0067231527f, -0.0336976134f, 0.0371946322f, -0.0255207898f, 0.0107931632f, -0.000983333353f, -0.00260078701f, 0.00263285815f, -0.00176980988f);
+
+fn work_Analysis6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_0_6__32_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis6_taps[j]));
+  }
+  buf_32_0__33_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_0_6__32_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Down6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_32_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_33_0__34_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_32_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t2;
+  let _t3: f32 = buf_32_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d1: f32 = _t3;
+  let _t4: f32 = buf_32_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d2: f32 = _t4;
+  let _t5: f32 = buf_32_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d3: f32 = _t5;
+  let _t6: f32 = buf_32_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d4: f32 = _t6;
+  let _t7: f32 = buf_32_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d5: f32 = _t7;
+  let _t8: f32 = buf_32_0__33_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d6: f32 = _t8;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Up6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_33_0__34_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_34_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  buf_34_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_34_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_34_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_34_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_34_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_34_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_34_0__35_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Synthesis6_taps: array<f32, 28> = array<f32, 28>(0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f);
+
+fn work_Synthesis6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_34_0__35_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis6_taps[j]));
+  }
+  buf_35_0__36_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_34_0__35_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Gain6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_35_0__36_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_36_0__1_6[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.0f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Analysis7_taps: array<f32, 28> = array<f32, 28>(-0.00083831934f, 0.00189389643f, -0.00426484824f, 0.00884766268f, -0.0162807732f, 0.0265407354f, -0.0386811262f, 0.0508306224f, -0.0604923926f, 0.0650922177f, -0.0626377463f, 0.0523043335f, -0.0347711363f, 0.0121944231f, 0.0121944231f, -0.0347711363f, 0.0523043335f, -0.0626377463f, 0.0650922177f, -0.0604923926f, 0.0508306224f, -0.0386811262f, 0.0265407354f, -0.0162807732f, 0.00884766268f, -0.00426484824f, 0.00189389643f, -0.00083831934f);
+
+fn work_Analysis7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_0_7__37_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Analysis7_taps[j]));
+  }
+  buf_37_0__38_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_0_7__37_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Down7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_37_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_38_0__39_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_37_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t2;
+  let _t3: f32 = buf_37_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d1: f32 = _t3;
+  let _t4: f32 = buf_37_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d2: f32 = _t4;
+  let _t5: f32 = buf_37_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d3: f32 = _t5;
+  let _t6: f32 = buf_37_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d4: f32 = _t6;
+  let _t7: f32 = buf_37_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d5: f32 = _t7;
+  let _t8: f32 = buf_37_0__38_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  var _d6: f32 = _t8;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Up7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_38_0__39_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_39_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  buf_39_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_39_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_39_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_39_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_39_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_39_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  buf_39_0__40_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(0.0f); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+var<private> Synthesis7_taps: array<f32, 28> = array<f32, 28>(0.000147995886f, -0.00090042747f, -0.00271361585f, -0.00553057706f, -0.0086438421f, -0.0101887538f, -0.00747310993f, 0.00217755438f, 0.020318715f, 0.0464402047f, 0.0775797046f, 0.108730123f, 0.133993916f, 0.148153686f, 0.148153686f, 0.133993916f, 0.108730123f, 0.0775797046f, 0.0464402047f, 0.020318715f, 0.00217755438f, -0.00747310993f, -0.0101887538f, -0.0086438421f, -0.00553057706f, -0.00271361585f, -0.00090042747f, 0.000147995886f);
+
+fn work_Synthesis7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 28; j++) {
+    acc = (acc + (buf_39_0__40_0[in_base + (128 * (_pop + (j)) + (tid / 128) * 128 * 1 + (tid % 128))] * Synthesis7_taps[j]));
+  }
+  buf_40_0__41_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  let _t1: f32 = buf_39_0__40_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  var _d0: f32 = _t1;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Gain7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_40_0__41_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_41_0__1_7[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32((_t1 * 1.0f)); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_Combine(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_1_0__42_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+    acc = (acc + _t1);
+  }
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+@compute @workgroup_size(512, 1, 1)
+fn swp_kernel(@builtin(local_invocation_id) lid: vec3<u32>,
+              @builtin(workgroup_id) wid: vec3<u32>) {
+  let tid: i32 = i32(lid.x);
+  let sm: i32 = i32(wid.x);
+  // staging predicates, one per pipeline stage (depth 7)
+  if tid == 0 { for (var s: i32 = 0; s < 7; s++) { stage_on[s] = 0; } }
+  workgroupBarrier();
+  for (var it: i32 = 0; it < iterations + 7; it++) {
+    if tid == 0 {
+      for (var s: i32 = 6; s > 0; s--) { stage_on[s] = stage_on[s-1]; }
+      stage_on[0] = select(0, 1, it < iterations);
+    }
+    workgroupBarrier();
+    switch sm {
+      case 0: {
+        // (Analysis0, k=7) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis0(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (Analysis0, k=6) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis0(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (Analysis0, k=5) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis0(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (Analysis0, k=4) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis0(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (Analysis0, k=3) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis0(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (Analysis0, k=2) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis0(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (Analysis0, k=1) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis0(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (Analysis0, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis0(region_2(it - 1), region_2(it - 1), tid);
+        }
+        // (Combine, k=1) o=1048 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_Combine(region_42(it - 6), region_42(it - 6), tid);
+        }
+        // (Combine, k=0) o=1048 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_Combine(region_42(it - 6), region_42(it - 6), tid);
+        }
+        // (Gain0, k=3) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain0(region_6(it - 4), region_6(it - 4), tid);
+        }
+        // (Gain0, k=1) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain0(region_6(it - 4), region_6(it - 4), tid);
+        }
+        // (Gain0, k=0) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain0(region_6(it - 4), region_6(it - 4), tid);
+        }
+      }
+      case 1: {
+        // (split_bank, k=1) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_bank(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (Combine, k=3) o=1048 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_Combine(region_42(it - 6), region_42(it - 6), tid);
+        }
+        // (Combine, k=2) o=1048 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_Combine(region_42(it - 6), region_42(it - 6), tid);
+        }
+        // (Synthesis0, k=7) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis0(region_5(it - 3), region_5(it - 3), tid);
+        }
+        // (Synthesis0, k=6) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis0(region_5(it - 3), region_5(it - 3), tid);
+        }
+        // (Synthesis0, k=5) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis0(region_5(it - 3), region_5(it - 3), tid);
+        }
+        // (Synthesis0, k=4) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis0(region_5(it - 3), region_5(it - 3), tid);
+        }
+        // (Synthesis0, k=3) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis0(region_5(it - 3), region_5(it - 3), tid);
+        }
+        // (Synthesis0, k=2) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis0(region_5(it - 3), region_5(it - 3), tid);
+        }
+        // (Synthesis0, k=1) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis0(region_5(it - 3), region_5(it - 3), tid);
+        }
+        // (Synthesis0, k=0) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis0(region_5(it - 3), region_5(it - 3), tid);
+        }
+      }
+      case 2: {
+        // (Analysis1, k=7) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis1(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (Analysis1, k=6) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis1(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (Analysis1, k=5) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis1(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (Analysis1, k=4) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis1(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (Analysis1, k=3) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis1(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (Analysis1, k=2) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis1(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (Analysis1, k=1) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis1(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (Analysis1, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis1(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (split_bank, k=2) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_bank(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (Combine, k=5) o=1048 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_Combine(region_42(it - 6), region_42(it - 6), tid);
+        }
+        // (Combine, k=4) o=1048 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_Combine(region_42(it - 6), region_42(it - 6), tid);
+        }
+      }
+      case 3: {
+        // (split_bank, k=3) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_bank(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (Combine, k=7) o=1048 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_Combine(region_42(it - 6), region_42(it - 6), tid);
+        }
+        // (Combine, k=6) o=1048 f=6 threads=512
+        if stage_on[6] != 0 && tid < 512 {
+          work_Combine(region_42(it - 6), region_42(it - 6), tid);
+        }
+        // (Synthesis1, k=7) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis1(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (Synthesis1, k=6) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis1(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (Synthesis1, k=5) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis1(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (Synthesis1, k=4) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis1(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (Synthesis1, k=3) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis1(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (Synthesis1, k=2) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis1(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (Synthesis1, k=1) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis1(region_10(it - 3), region_10(it - 3), tid);
+        }
+        // (Synthesis1, k=0) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis1(region_10(it - 3), region_10(it - 3), tid);
+        }
+      }
+      case 4: {
+        // (Analysis2, k=7) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis2(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (Analysis2, k=6) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis2(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (Analysis2, k=5) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis2(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (Analysis2, k=4) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis2(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (Analysis2, k=3) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis2(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (Analysis2, k=2) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis2(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (Analysis2, k=1) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis2(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (Analysis2, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis2(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (split_bank, k=5) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_bank(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (join_bank, k=2) o=1048 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_bank(region_1(it - 5), region_1(it - 5), tid);
+        }
+        // (join_bank, k=1) o=1048 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_bank(region_1(it - 5), region_1(it - 5), tid);
+        }
+      }
+      case 5: {
+        // (split_bank, k=0) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_bank(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (Synthesis2, k=7) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis2(region_15(it - 3), region_15(it - 3), tid);
+        }
+        // (Synthesis2, k=6) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis2(region_15(it - 3), region_15(it - 3), tid);
+        }
+        // (Synthesis2, k=5) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis2(region_15(it - 3), region_15(it - 3), tid);
+        }
+        // (Synthesis2, k=4) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis2(region_15(it - 3), region_15(it - 3), tid);
+        }
+        // (Synthesis2, k=3) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis2(region_15(it - 3), region_15(it - 3), tid);
+        }
+        // (Synthesis2, k=2) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis2(region_15(it - 3), region_15(it - 3), tid);
+        }
+        // (Synthesis2, k=1) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis2(region_15(it - 3), region_15(it - 3), tid);
+        }
+        // (Synthesis2, k=0) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis2(region_15(it - 3), region_15(it - 3), tid);
+        }
+        // (join_bank, k=5) o=1048 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_bank(region_1(it - 5), region_1(it - 5), tid);
+        }
+        // (join_bank, k=4) o=1048 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_bank(region_1(it - 5), region_1(it - 5), tid);
+        }
+      }
+      case 6: {
+        // (Analysis3, k=7) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis3(region_17(it - 1), region_17(it - 1), tid);
+        }
+        // (Analysis3, k=6) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis3(region_17(it - 1), region_17(it - 1), tid);
+        }
+        // (Analysis3, k=5) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis3(region_17(it - 1), region_17(it - 1), tid);
+        }
+        // (Analysis3, k=4) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis3(region_17(it - 1), region_17(it - 1), tid);
+        }
+        // (Analysis3, k=3) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis3(region_17(it - 1), region_17(it - 1), tid);
+        }
+        // (Analysis3, k=2) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis3(region_17(it - 1), region_17(it - 1), tid);
+        }
+        // (Analysis3, k=1) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis3(region_17(it - 1), region_17(it - 1), tid);
+        }
+        // (Analysis3, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis3(region_17(it - 1), region_17(it - 1), tid);
+        }
+        // (split_bank, k=4) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_bank(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (join_bank, k=7) o=1048 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_bank(region_1(it - 5), region_1(it - 5), tid);
+        }
+        // (join_bank, k=6) o=1048 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_bank(region_1(it - 5), region_1(it - 5), tid);
+        }
+      }
+      case 7: {
+        // (Down0, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Down0(region_3(it - 2), region_3(it - 2), tid);
+        }
+        // (split_bank, k=7) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_bank(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (split_bank, k=6) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_bank(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (Synthesis3, k=7) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis3(region_20(it - 3), region_20(it - 3), tid);
+        }
+        // (Synthesis3, k=6) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis3(region_20(it - 3), region_20(it - 3), tid);
+        }
+        // (Synthesis3, k=5) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis3(region_20(it - 3), region_20(it - 3), tid);
+        }
+        // (Synthesis3, k=4) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis3(region_20(it - 3), region_20(it - 3), tid);
+        }
+        // (Synthesis3, k=3) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis3(region_20(it - 3), region_20(it - 3), tid);
+        }
+        // (Synthesis3, k=2) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis3(region_20(it - 3), region_20(it - 3), tid);
+        }
+        // (Synthesis3, k=1) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis3(region_20(it - 3), region_20(it - 3), tid);
+        }
+        // (Synthesis3, k=0) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis3(region_20(it - 3), region_20(it - 3), tid);
+        }
+        // (Gain0, k=5) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain0(region_6(it - 4), region_6(it - 4), tid);
+        }
+        // (Gain0, k=4) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain0(region_6(it - 4), region_6(it - 4), tid);
+        }
+        // (Gain0, k=2) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain0(region_6(it - 4), region_6(it - 4), tid);
+        }
+        // (Up0, k=0) o=1048 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Up0(region_4(it - 2), region_4(it - 2), tid);
+        }
+      }
+      case 8: {
+        // (Analysis4, k=7) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis4(region_22(it - 1), region_22(it - 1), tid);
+        }
+        // (Analysis4, k=6) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis4(region_22(it - 1), region_22(it - 1), tid);
+        }
+        // (Analysis4, k=5) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis4(region_22(it - 1), region_22(it - 1), tid);
+        }
+        // (Analysis4, k=4) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis4(region_22(it - 1), region_22(it - 1), tid);
+        }
+        // (Analysis4, k=3) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis4(region_22(it - 1), region_22(it - 1), tid);
+        }
+        // (Analysis4, k=2) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis4(region_22(it - 1), region_22(it - 1), tid);
+        }
+        // (Analysis4, k=1) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis4(region_22(it - 1), region_22(it - 1), tid);
+        }
+        // (Analysis4, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis4(region_22(it - 1), region_22(it - 1), tid);
+        }
+        // (Down3, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Down3(region_18(it - 2), region_18(it - 2), tid);
+        }
+        // (Down2, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Down2(region_13(it - 2), region_13(it - 2), tid);
+        }
+        // (Down1, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Down1(region_8(it - 2), region_8(it - 2), tid);
+        }
+        // (Up3, k=0) o=1048 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Up3(region_19(it - 2), region_19(it - 2), tid);
+        }
+        // (Up2, k=0) o=1048 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Up2(region_14(it - 2), region_14(it - 2), tid);
+        }
+        // (Up1, k=0) o=1048 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Up1(region_9(it - 2), region_9(it - 2), tid);
+        }
+        // (Down4, k=0) o=16818 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Down4(region_23(it - 1), region_23(it - 1), tid);
+        }
+      }
+      case 9: {
+        // (Down7, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Down7(region_38(it - 2), region_38(it - 2), tid);
+        }
+        // (Down6, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Down6(region_33(it - 2), region_33(it - 2), tid);
+        }
+        // (Down5, k=0) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Down5(region_28(it - 2), region_28(it - 2), tid);
+        }
+        // (Up7, k=0) o=1048 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Up7(region_39(it - 2), region_39(it - 2), tid);
+        }
+        // (Up6, k=0) o=1048 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Up6(region_34(it - 2), region_34(it - 2), tid);
+        }
+        // (Up5, k=0) o=1048 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Up5(region_29(it - 2), region_29(it - 2), tid);
+        }
+        // (Up4, k=0) o=16818 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Up4(region_24(it - 2), region_24(it - 2), tid);
+        }
+        // (Synthesis4, k=7) o=17866 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Synthesis4(region_25(it - 2), region_25(it - 2), tid);
+        }
+        // (Synthesis4, k=6) o=17866 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Synthesis4(region_25(it - 2), region_25(it - 2), tid);
+        }
+        // (Synthesis4, k=5) o=17866 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Synthesis4(region_25(it - 2), region_25(it - 2), tid);
+        }
+        // (Synthesis4, k=4) o=17866 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Synthesis4(region_25(it - 2), region_25(it - 2), tid);
+        }
+        // (Synthesis4, k=3) o=17866 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Synthesis4(region_25(it - 2), region_25(it - 2), tid);
+        }
+        // (Synthesis4, k=2) o=17866 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Synthesis4(region_25(it - 2), region_25(it - 2), tid);
+        }
+        // (Synthesis4, k=1) o=17866 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Synthesis4(region_25(it - 2), region_25(it - 2), tid);
+        }
+        // (Synthesis4, k=0) o=17866 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_Synthesis4(region_25(it - 2), region_25(it - 2), tid);
+        }
+      }
+      case 10: {
+        // (Analysis5, k=7) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis5(region_27(it - 1), region_27(it - 1), tid);
+        }
+        // (Analysis5, k=6) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis5(region_27(it - 1), region_27(it - 1), tid);
+        }
+        // (Analysis5, k=5) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis5(region_27(it - 1), region_27(it - 1), tid);
+        }
+        // (Analysis5, k=4) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis5(region_27(it - 1), region_27(it - 1), tid);
+        }
+        // (Analysis5, k=3) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis5(region_27(it - 1), region_27(it - 1), tid);
+        }
+        // (Analysis5, k=2) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis5(region_27(it - 1), region_27(it - 1), tid);
+        }
+        // (Analysis5, k=1) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis5(region_27(it - 1), region_27(it - 1), tid);
+        }
+        // (Analysis5, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis5(region_27(it - 1), region_27(it - 1), tid);
+        }
+        // (Gain2, k=0) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain2(region_16(it - 4), region_16(it - 4), tid);
+        }
+        // (Gain1, k=7) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain1(region_11(it - 4), region_11(it - 4), tid);
+        }
+        // (Gain1, k=6) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain1(region_11(it - 4), region_11(it - 4), tid);
+        }
+        // (Gain1, k=5) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain1(region_11(it - 4), region_11(it - 4), tid);
+        }
+        // (Gain1, k=4) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain1(region_11(it - 4), region_11(it - 4), tid);
+        }
+        // (Gain1, k=3) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain1(region_11(it - 4), region_11(it - 4), tid);
+        }
+        // (Gain1, k=2) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain1(region_11(it - 4), region_11(it - 4), tid);
+        }
+        // (Gain1, k=1) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain1(region_11(it - 4), region_11(it - 4), tid);
+        }
+        // (Gain1, k=0) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain1(region_11(it - 4), region_11(it - 4), tid);
+        }
+        // (Gain0, k=7) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain0(region_6(it - 4), region_6(it - 4), tid);
+        }
+        // (Gain0, k=6) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain0(region_6(it - 4), region_6(it - 4), tid);
+        }
+      }
+      case 11: {
+        // (Synthesis5, k=7) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis5(region_30(it - 3), region_30(it - 3), tid);
+        }
+        // (Synthesis5, k=6) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis5(region_30(it - 3), region_30(it - 3), tid);
+        }
+        // (Synthesis5, k=5) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis5(region_30(it - 3), region_30(it - 3), tid);
+        }
+        // (Synthesis5, k=4) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis5(region_30(it - 3), region_30(it - 3), tid);
+        }
+        // (Synthesis5, k=3) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis5(region_30(it - 3), region_30(it - 3), tid);
+        }
+        // (Synthesis5, k=2) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis5(region_30(it - 3), region_30(it - 3), tid);
+        }
+        // (Synthesis5, k=1) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis5(region_30(it - 3), region_30(it - 3), tid);
+        }
+        // (Synthesis5, k=0) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis5(region_30(it - 3), region_30(it - 3), tid);
+        }
+        // (Gain3, k=3) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain3(region_21(it - 4), region_21(it - 4), tid);
+        }
+        // (Gain3, k=2) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain3(region_21(it - 4), region_21(it - 4), tid);
+        }
+        // (Gain3, k=1) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain3(region_21(it - 4), region_21(it - 4), tid);
+        }
+        // (Gain3, k=0) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain3(region_21(it - 4), region_21(it - 4), tid);
+        }
+        // (Gain2, k=7) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain2(region_16(it - 4), region_16(it - 4), tid);
+        }
+        // (Gain2, k=6) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain2(region_16(it - 4), region_16(it - 4), tid);
+        }
+        // (Gain2, k=5) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain2(region_16(it - 4), region_16(it - 4), tid);
+        }
+        // (Gain2, k=4) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain2(region_16(it - 4), region_16(it - 4), tid);
+        }
+        // (Gain2, k=3) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain2(region_16(it - 4), region_16(it - 4), tid);
+        }
+        // (Gain2, k=2) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain2(region_16(it - 4), region_16(it - 4), tid);
+        }
+        // (Gain2, k=1) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain2(region_16(it - 4), region_16(it - 4), tid);
+        }
+      }
+      case 12: {
+        // (Analysis6, k=7) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis6(region_32(it - 1), region_32(it - 1), tid);
+        }
+        // (Analysis6, k=6) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis6(region_32(it - 1), region_32(it - 1), tid);
+        }
+        // (Analysis6, k=5) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis6(region_32(it - 1), region_32(it - 1), tid);
+        }
+        // (Analysis6, k=4) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis6(region_32(it - 1), region_32(it - 1), tid);
+        }
+        // (Analysis6, k=3) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis6(region_32(it - 1), region_32(it - 1), tid);
+        }
+        // (Analysis6, k=2) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis6(region_32(it - 1), region_32(it - 1), tid);
+        }
+        // (Analysis6, k=1) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis6(region_32(it - 1), region_32(it - 1), tid);
+        }
+        // (Analysis6, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis6(region_32(it - 1), region_32(it - 1), tid);
+        }
+        // (Gain3, k=7) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain3(region_21(it - 4), region_21(it - 4), tid);
+        }
+        // (Gain3, k=6) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain3(region_21(it - 4), region_21(it - 4), tid);
+        }
+        // (Gain3, k=5) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain3(region_21(it - 4), region_21(it - 4), tid);
+        }
+        // (Gain3, k=4) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain3(region_21(it - 4), region_21(it - 4), tid);
+        }
+        // (Gain4, k=6) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain4(region_26(it - 3), region_26(it - 3), tid);
+        }
+        // (Gain4, k=5) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain4(region_26(it - 3), region_26(it - 3), tid);
+        }
+        // (Gain4, k=4) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain4(region_26(it - 3), region_26(it - 3), tid);
+        }
+        // (Gain4, k=3) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain4(region_26(it - 3), region_26(it - 3), tid);
+        }
+        // (Gain4, k=2) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain4(region_26(it - 3), region_26(it - 3), tid);
+        }
+        // (Gain4, k=1) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain4(region_26(it - 3), region_26(it - 3), tid);
+        }
+        // (Gain4, k=0) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain4(region_26(it - 3), region_26(it - 3), tid);
+        }
+      }
+      case 13: {
+        // (Synthesis6, k=7) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis6(region_35(it - 3), region_35(it - 3), tid);
+        }
+        // (Synthesis6, k=6) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis6(region_35(it - 3), region_35(it - 3), tid);
+        }
+        // (Synthesis6, k=5) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis6(region_35(it - 3), region_35(it - 3), tid);
+        }
+        // (Synthesis6, k=4) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis6(region_35(it - 3), region_35(it - 3), tid);
+        }
+        // (Synthesis6, k=3) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis6(region_35(it - 3), region_35(it - 3), tid);
+        }
+        // (Synthesis6, k=2) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis6(region_35(it - 3), region_35(it - 3), tid);
+        }
+        // (Synthesis6, k=1) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis6(region_35(it - 3), region_35(it - 3), tid);
+        }
+        // (Synthesis6, k=0) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis6(region_35(it - 3), region_35(it - 3), tid);
+        }
+        // (Gain5, k=7) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain5(region_31(it - 4), region_31(it - 4), tid);
+        }
+        // (Gain5, k=6) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain5(region_31(it - 4), region_31(it - 4), tid);
+        }
+        // (Gain5, k=5) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain5(region_31(it - 4), region_31(it - 4), tid);
+        }
+        // (Gain5, k=4) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain5(region_31(it - 4), region_31(it - 4), tid);
+        }
+        // (Gain5, k=3) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain5(region_31(it - 4), region_31(it - 4), tid);
+        }
+        // (Gain5, k=2) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain5(region_31(it - 4), region_31(it - 4), tid);
+        }
+        // (Gain5, k=1) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain5(region_31(it - 4), region_31(it - 4), tid);
+        }
+        // (Gain5, k=0) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain5(region_31(it - 4), region_31(it - 4), tid);
+        }
+        // (Gain6, k=1) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain6(region_36(it - 3), region_36(it - 3), tid);
+        }
+        // (Gain6, k=0) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain6(region_36(it - 3), region_36(it - 3), tid);
+        }
+        // (Gain4, k=7) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain4(region_26(it - 3), region_26(it - 3), tid);
+        }
+      }
+      case 14: {
+        // (Analysis7, k=7) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis7(region_37(it - 1), region_37(it - 1), tid);
+        }
+        // (Analysis7, k=6) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis7(region_37(it - 1), region_37(it - 1), tid);
+        }
+        // (Analysis7, k=5) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis7(region_37(it - 1), region_37(it - 1), tid);
+        }
+        // (Analysis7, k=4) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis7(region_37(it - 1), region_37(it - 1), tid);
+        }
+        // (Analysis7, k=3) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis7(region_37(it - 1), region_37(it - 1), tid);
+        }
+        // (Analysis7, k=2) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis7(region_37(it - 1), region_37(it - 1), tid);
+        }
+        // (Analysis7, k=1) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis7(region_37(it - 1), region_37(it - 1), tid);
+        }
+        // (Analysis7, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_Analysis7(region_37(it - 1), region_37(it - 1), tid);
+        }
+        // (Gain7, k=4) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain7(region_41(it - 4), region_41(it - 4), tid);
+        }
+        // (Gain7, k=3) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain7(region_41(it - 4), region_41(it - 4), tid);
+        }
+        // (Gain7, k=2) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain7(region_41(it - 4), region_41(it - 4), tid);
+        }
+        // (Gain7, k=1) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain7(region_41(it - 4), region_41(it - 4), tid);
+        }
+        // (Gain7, k=0) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain7(region_41(it - 4), region_41(it - 4), tid);
+        }
+        // (Gain6, k=7) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain6(region_36(it - 4), region_36(it - 4), tid);
+        }
+        // (Gain6, k=6) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain6(region_36(it - 4), region_36(it - 4), tid);
+        }
+        // (Gain6, k=5) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain6(region_36(it - 4), region_36(it - 4), tid);
+        }
+        // (Gain6, k=4) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain6(region_36(it - 4), region_36(it - 4), tid);
+        }
+        // (Gain6, k=3) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain6(region_36(it - 4), region_36(it - 4), tid);
+        }
+        // (Gain6, k=2) o=1048 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_Gain6(region_36(it - 4), region_36(it - 4), tid);
+        }
+      }
+      case 15: {
+        // (Synthesis7, k=7) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis7(region_40(it - 3), region_40(it - 3), tid);
+        }
+        // (Synthesis7, k=6) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis7(region_40(it - 3), region_40(it - 3), tid);
+        }
+        // (Synthesis7, k=5) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis7(region_40(it - 3), region_40(it - 3), tid);
+        }
+        // (Synthesis7, k=4) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis7(region_40(it - 3), region_40(it - 3), tid);
+        }
+        // (Synthesis7, k=3) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis7(region_40(it - 3), region_40(it - 3), tid);
+        }
+        // (Synthesis7, k=2) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis7(region_40(it - 3), region_40(it - 3), tid);
+        }
+        // (Synthesis7, k=1) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis7(region_40(it - 3), region_40(it - 3), tid);
+        }
+        // (Synthesis7, k=0) o=1048 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Synthesis7(region_40(it - 3), region_40(it - 3), tid);
+        }
+        // (join_bank, k=3) o=1048 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_bank(region_1(it - 5), region_1(it - 5), tid);
+        }
+        // (join_bank, k=0) o=1048 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_join_bank(region_1(it - 5), region_1(it - 5), tid);
+        }
+        // (Gain7, k=7) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain7(region_41(it - 3), region_41(it - 3), tid);
+        }
+        // (Gain7, k=6) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain7(region_41(it - 3), region_41(it - 3), tid);
+        }
+        // (Gain7, k=5) o=17866 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_Gain7(region_41(it - 3), region_41(it - 3), tid);
+        }
+      }
+      default: {}
+    }
+    // II boundary
+    workgroupBarrier();
+  }
+}

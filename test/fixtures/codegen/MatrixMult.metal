@@ -1,0 +1,1303 @@
+/* streamit_gpu artifact (metal)
+ * quality: heuristic (completed)
+ * II: 224819 (lower bound 224819, binding no_wrap)
+ * schedule signature: 346d4e6ed2c6446debbd0a7f69fde47f
+ */
+#include <metal_stdlib>
+using namespace metal;
+
+static inline int region_0(int it) { return ((it % 7) + 7) % 7 * 32768; }
+static inline int region_1(int it) { return ((it % 7) + 7) % 7 * 524288; }
+static inline int region_2(int it) { return ((it % 7) + 7) % 7 * 262144; }
+static inline int region_3(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_4(int it) { return ((it % 7) + 7) % 7 * 32768; }
+static inline int region_5(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_6(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_7(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_8(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_9(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_10(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_11(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_12(int it) { return ((it % 7) + 7) % 7 * 4096; }
+static inline int region_13(int it) { return ((it % 7) + 7) % 7 * 262144; }
+static inline int region_14(int it) { return ((it % 7) + 7) % 7 * 0; }
+
+static void work_split_opsplit(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t8; _push++;
+  float _t9 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t9; _push++;
+  float _t10 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t10; _push++;
+  float _t11 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t11; _push++;
+  float _t12 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t12; _push++;
+  float _t13 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t13; _push++;
+  float _t14 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t14; _push++;
+  float _t15 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t15; _push++;
+  float _t16 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t16; _push++;
+  float _t17 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t17; _push++;
+  float _t18 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t18; _push++;
+  float _t19 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t19; _push++;
+  float _t20 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t20; _push++;
+  float _t21 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t21; _push++;
+  float _t22 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t22; _push++;
+  float _t23 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t23; _push++;
+  float _t24 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t24; _push++;
+  float _t25 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t25; _push++;
+  float _t26 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t26; _push++;
+  float _t27 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t27; _push++;
+  float _t28 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t28; _push++;
+  float _t29 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t29; _push++;
+  float _t30 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t30; _push++;
+  float _t31 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t31; _push++;
+  float _t32 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t32; _push++;
+  float _t33 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t33; _push++;
+  float _t34 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t34; _push++;
+  float _t35 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t35; _push++;
+  float _t36 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t36; _push++;
+  float _t37 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t37; _push++;
+  float _t38 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t38; _push++;
+  float _t39 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t39; _push++;
+  float _t40 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t40; _push++;
+  float _t41 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t41; _push++;
+  float _t42 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t42; _push++;
+  float _t43 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t43; _push++;
+  float _t44 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t44; _push++;
+  float _t45 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t45; _push++;
+  float _t46 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t46; _push++;
+  float _t47 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t47; _push++;
+  float _t48 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t48; _push++;
+  float _t49 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t49; _push++;
+  float _t50 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t50; _push++;
+  float _t51 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t51; _push++;
+  float _t52 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t52; _push++;
+  float _t53 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t53; _push++;
+  float _t54 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t54; _push++;
+  float _t55 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t55; _push++;
+  float _t56 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t56; _push++;
+  float _t57 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t57; _push++;
+  float _t58 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t58; _push++;
+  float _t59 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t59; _push++;
+  float _t60 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t60; _push++;
+  float _t61 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t61; _push++;
+  float _t62 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t62; _push++;
+  float _t63 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t63; _push++;
+  float _t64 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t64; _push++;
+  float _t65 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t65; _push++;
+  float _t66 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t66; _push++;
+  float _t67 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t67; _push++;
+  float _t68 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t68; _push++;
+  float _t69 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t69; _push++;
+  float _t70 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t70; _push++;
+  float _t71 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t71; _push++;
+  float _t72 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t72; _push++;
+  float _t73 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t73; _push++;
+  float _t74 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t74; _push++;
+  float _t75 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t75; _push++;
+  float _t76 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t76; _push++;
+  float _t77 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t77; _push++;
+  float _t78 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t78; _push++;
+  float _t79 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t79; _push++;
+  float _t80 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t80; _push++;
+  float _t81 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t81; _push++;
+  float _t82 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t82; _push++;
+  float _t83 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t83; _push++;
+  float _t84 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t84; _push++;
+  float _t85 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t85; _push++;
+  float _t86 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t86; _push++;
+  float _t87 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t87; _push++;
+  float _t88 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t88; _push++;
+  float _t89 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t89; _push++;
+  float _t90 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t90; _push++;
+  float _t91 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t91; _push++;
+  float _t92 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t92; _push++;
+  float _t93 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t93; _push++;
+  float _t94 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t94; _push++;
+  float _t95 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t95; _push++;
+  float _t96 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t96; _push++;
+  float _t97 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t97; _push++;
+  float _t98 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t98; _push++;
+  float _t99 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t99; _push++;
+  float _t100 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t100; _push++;
+  float _t101 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t101; _push++;
+  float _t102 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t102; _push++;
+  float _t103 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t103; _push++;
+  float _t104 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t104; _push++;
+  float _t105 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t105; _push++;
+  float _t106 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t106; _push++;
+  float _t107 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t107; _push++;
+  float _t108 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t108; _push++;
+  float _t109 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t109; _push++;
+  float _t110 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t110; _push++;
+  float _t111 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t111; _push++;
+  float _t112 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t112; _push++;
+  float _t113 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t113; _push++;
+  float _t114 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t114; _push++;
+  float _t115 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t115; _push++;
+  float _t116 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t116; _push++;
+  float _t117 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t117; _push++;
+  float _t118 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t118; _push++;
+  float _t119 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t119; _push++;
+  float _t120 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t120; _push++;
+  float _t121 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t121; _push++;
+  float _t122 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t122; _push++;
+  float _t123 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t123; _push++;
+  float _t124 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t124; _push++;
+  float _t125 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t125; _push++;
+  float _t126 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t126; _push++;
+  float _t127 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t127; _push++;
+  float _t128 = in[(128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = _t128; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_opsplit(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t8; _push++;
+  float _t9 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t9; _push++;
+  float _t10 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t10; _push++;
+  float _t11 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t11; _push++;
+  float _t12 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t12; _push++;
+  float _t13 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t13; _push++;
+  float _t14 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t14; _push++;
+  float _t15 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t15; _push++;
+  float _t16 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = _t16; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_RepeatRowsA(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float m[64] = {0};
+  for (int j = 0; j < 64; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+    m[j] = _t1;
+  }
+  for (int r = 0; r < 8; r++) {
+    for (int t = 0; t < 8; t++) {
+      for (int c = 0; c < 8; c++) {
+        out[(128 * (_push) + (tid / 128) * 128 * 512 + (tid % 128))] = m[((r * 8) + c)]; _push++;
+      }
+    }
+  }
+  (void)_pop; (void)_push;
+}
+
+static void work_split_transpose_B(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = _t8; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_join_transpose_B(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t1; _push++;
+  float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t2; _push++;
+  float _t3 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t3; _push++;
+  float _t4 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t4; _push++;
+  float _t5 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t5; _push++;
+  float _t6 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t6; _push++;
+  float _t7 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t7; _push++;
+  float _t8 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t8; _push++;
+  float _t9 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t9; _push++;
+  float _t10 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t10; _push++;
+  float _t11 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t11; _push++;
+  float _t12 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t12; _push++;
+  float _t13 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t13; _push++;
+  float _t14 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t14; _push++;
+  float _t15 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t15; _push++;
+  float _t16 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t16; _push++;
+  float _t17 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t17; _push++;
+  float _t18 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t18; _push++;
+  float _t19 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t19; _push++;
+  float _t20 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t20; _push++;
+  float _t21 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t21; _push++;
+  float _t22 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t22; _push++;
+  float _t23 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t23; _push++;
+  float _t24 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t24; _push++;
+  float _t25 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t25; _push++;
+  float _t26 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t26; _push++;
+  float _t27 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t27; _push++;
+  float _t28 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t28; _push++;
+  float _t29 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t29; _push++;
+  float _t30 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t30; _push++;
+  float _t31 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t31; _push++;
+  float _t32 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t32; _push++;
+  float _t33 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t33; _push++;
+  float _t34 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t34; _push++;
+  float _t35 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t35; _push++;
+  float _t36 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t36; _push++;
+  float _t37 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t37; _push++;
+  float _t38 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t38; _push++;
+  float _t39 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t39; _push++;
+  float _t40 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t40; _push++;
+  float _t41 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t41; _push++;
+  float _t42 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t42; _push++;
+  float _t43 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t43; _push++;
+  float _t44 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t44; _push++;
+  float _t45 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t45; _push++;
+  float _t46 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t46; _push++;
+  float _t47 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t47; _push++;
+  float _t48 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t48; _push++;
+  float _t49 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t49; _push++;
+  float _t50 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t50; _push++;
+  float _t51 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t51; _push++;
+  float _t52 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t52; _push++;
+  float _t53 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t53; _push++;
+  float _t54 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t54; _push++;
+  float _t55 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t55; _push++;
+  float _t56 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t56; _push++;
+  float _t57 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t57; _push++;
+  float _t58 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t58; _push++;
+  float _t59 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t59; _push++;
+  float _t60 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t60; _push++;
+  float _t61 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t61; _push++;
+  float _t62 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t62; _push++;
+  float _t63 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t63; _push++;
+  float _t64 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = _t64; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_TB0(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_TB1(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_TB2(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_TB3(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_TB4(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_TB5(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_TB6(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_TB7(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = _t1; _push++;
+  (void)_pop; (void)_push;
+}
+
+static void work_RepeatB(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float g[64] = {0};
+  for (int j = 0; j < 64; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+    g[j] = _t1;
+  }
+  for (int t = 0; t < 8; t++) {
+    for (int j = 0; j < 64; j++) {
+      out[(128 * (_push) + (tid / 128) * 128 * 512 + (tid % 128))] = g[j]; _push++;
+    }
+  }
+  (void)_pop; (void)_push;
+}
+
+static void work_DotProduct(const device float* in, device float* out, int tid)
+{
+  int _pop = 0;
+  int _push = 0;
+  float a[8] = {0};
+  for (int j = 0; j < 8; j++) {
+    float _t1 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    a[j] = _t1;
+  }
+  float acc = 0.0f;
+  for (int j = 0; j < 8; j++) {
+    float _t2 = in[(128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    acc = (acc + (a[j] * _t2));
+  }
+  out[(128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = acc; _push++;
+  (void)_pop; (void)_push;
+}
+
+kernel void swp_kernel(device float* buf_0_0__2_0 [[buffer(0)]],
+                       device float* buf_2_0__1_0 [[buffer(1)]],
+                       device float* buf_3_0__5_0 [[buffer(2)]],
+                       device float* buf_5_0__4_0 [[buffer(3)]],
+                       device float* buf_3_1__6_0 [[buffer(4)]],
+                       device float* buf_6_0__4_1 [[buffer(5)]],
+                       device float* buf_3_2__7_0 [[buffer(6)]],
+                       device float* buf_7_0__4_2 [[buffer(7)]],
+                       device float* buf_3_3__8_0 [[buffer(8)]],
+                       device float* buf_8_0__4_3 [[buffer(9)]],
+                       device float* buf_3_4__9_0 [[buffer(10)]],
+                       device float* buf_9_0__4_4 [[buffer(11)]],
+                       device float* buf_3_5__10_0 [[buffer(12)]],
+                       device float* buf_10_0__4_5 [[buffer(13)]],
+                       device float* buf_3_6__11_0 [[buffer(14)]],
+                       device float* buf_11_0__4_6 [[buffer(15)]],
+                       device float* buf_3_7__12_0 [[buffer(16)]],
+                       device float* buf_12_0__4_7 [[buffer(17)]],
+                       device float* buf_4_0__13_0 [[buffer(18)]],
+                       device float* buf_0_1__3_0 [[buffer(19)]],
+                       device float* buf_13_0__1_1 [[buffer(20)]],
+                       device float* buf_1_0__14_0 [[buffer(21)]],
+                       const device float* stream_in [[buffer(22)]],
+                       device float* stream_out [[buffer(23)]],
+                       constant int& iterations [[buffer(24)]],
+                       uint tid_u [[thread_position_in_threadgroup]],
+                       uint sm_u [[threadgroup_position_in_grid]])
+{
+  int tid = (int)tid_u;
+  int sm = (int)sm_u;
+  /* staging predicates, one per pipeline stage (depth 6) */
+  threadgroup int stage_on[6];
+  if (tid == 0) for (int s = 0; s < 6; s++) stage_on[s] = 0;
+  threadgroup_barrier(mem_flags::mem_threadgroup);
+  for (int it = 0; it < iterations + 6; it++) {
+    if (tid == 0) { for (int s = 5; s > 0; s--) stage_on[s] = stage_on[s-1]; stage_on[0] = (it < iterations); }
+    threadgroup_barrier(mem_flags::mem_threadgroup);
+    switch (sm) {
+    case 0: {
+      /* (RepeatRowsA, k=0) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_RepeatRowsA(buf_0_0__2_0 + region_2(it - 1), buf_2_0__1_0 + region_2(it - 1), tid);
+      break; }
+    case 1: {
+      /* (join_transpose_B, k=0) o=0 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_join_transpose_B(buf_5_0__4_0 + region_4(it - 3), buf_4_0__13_0 + region_4(it - 3), tid);
+      /* (split_opsplit, k=0) o=0 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_opsplit(stream_in + region_0(it - 0), buf_0_0__2_0 + region_0(it - 0), tid);
+      /* (DotProduct, k=2) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=1) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=0) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (RepeatB, k=0) o=16946 f=3 threads=512 */
+      if (stage_on[3] && tid < 512)
+        work_RepeatB(buf_4_0__13_0 + region_13(it - 3), buf_13_0__1_1 + region_13(it - 3), tid);
+      /* (split_transpose_B, k=0) o=33330 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_split_transpose_B(buf_0_1__3_0 + region_3(it - 0), buf_3_0__5_0 + region_3(it - 0), tid);
+      /* (TB0, k=0) o=35940 f=0 threads=512 */
+      if (stage_on[0] && tid < 512)
+        work_TB0(buf_3_0__5_0 + region_5(it - 0), buf_5_0__4_0 + region_5(it - 0), tid);
+      break; }
+    case 2: {
+      /* (split_transpose_B, k=1) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_split_transpose_B(buf_0_1__3_0 + region_3(it - 1), buf_3_0__5_0 + region_3(it - 1), tid);
+      /* (TB0, k=1) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB0(buf_3_0__5_0 + region_5(it - 1), buf_5_0__4_0 + region_5(it - 1), tid);
+      /* (DotProduct, k=36) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=35) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=34) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=33) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=32) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=31) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=30) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=29) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=28) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=27) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=26) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=25) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=24) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=23) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=22) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=21) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=20) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=19) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=18) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=17) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=16) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=15) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=14) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=13) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=12) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=11) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=10) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=9) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=8) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=7) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=6) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=5) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=4) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=3) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      break; }
+    case 3: {
+      /* (TB0, k=4) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB0(buf_3_0__5_0 + region_5(it - 2), buf_5_0__4_0 + region_5(it - 2), tid);
+      /* (TB0, k=3) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB0(buf_3_0__5_0 + region_5(it - 2), buf_5_0__4_0 + region_5(it - 2), tid);
+      /* (TB0, k=2) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB0(buf_3_0__5_0 + region_5(it - 2), buf_5_0__4_0 + region_5(it - 2), tid);
+      /* (DotProduct, k=63) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=62) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=61) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=60) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=59) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=58) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=57) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=56) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=55) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=54) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=53) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=52) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=51) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=50) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=49) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=48) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=47) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=46) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=45) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=44) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=43) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=42) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=41) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=40) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=39) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=38) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (DotProduct, k=37) o=16946 f=5 threads=512 */
+      if (stage_on[5] && tid < 512)
+        work_DotProduct(buf_1_0__14_0 + region_14(it - 5), stream_out + region_14(it - 5), tid);
+      /* (join_opsplit, k=9) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=8) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=7) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=6) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=5) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=4) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=3) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=2) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=1) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=0) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      break; }
+    case 4: {
+      /* (TB0, k=5) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB0(buf_3_0__5_0 + region_5(it - 2), buf_5_0__4_0 + region_5(it - 2), tid);
+      /* (join_opsplit, k=57) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=56) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=55) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=54) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=53) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=52) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=51) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=50) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=49) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=48) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=47) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=46) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=45) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=44) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=43) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=42) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=41) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=40) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=39) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=38) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=37) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=36) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=35) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=34) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=33) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=32) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=31) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=30) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=29) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=28) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=27) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=26) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=25) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=24) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=23) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=22) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=21) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=20) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=19) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=18) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=17) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=16) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=15) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=14) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=13) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=12) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=11) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=10) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      break; }
+    case 5: {
+      /* (TB7, k=1) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB7(buf_3_7__12_0 + region_12(it - 2), buf_12_0__4_7 + region_12(it - 2), tid);
+      /* (TB6, k=1) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB6(buf_3_6__11_0 + region_11(it - 2), buf_11_0__4_6 + region_11(it - 2), tid);
+      /* (TB5, k=1) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB5(buf_3_5__10_0 + region_10(it - 2), buf_10_0__4_5 + region_10(it - 2), tid);
+      /* (TB4, k=1) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB4(buf_3_4__9_0 + region_9(it - 2), buf_9_0__4_4 + region_9(it - 2), tid);
+      /* (TB3, k=1) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB3(buf_3_3__8_0 + region_8(it - 2), buf_8_0__4_3 + region_8(it - 2), tid);
+      /* (TB2, k=1) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB2(buf_3_2__7_0 + region_7(it - 2), buf_7_0__4_2 + region_7(it - 2), tid);
+      /* (TB1, k=1) o=0 f=2 threads=512 */
+      if (stage_on[2] && tid < 512)
+        work_TB1(buf_3_1__6_0 + region_6(it - 2), buf_6_0__4_1 + region_6(it - 2), tid);
+      /* (split_transpose_B, k=7) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_split_transpose_B(buf_0_1__3_0 + region_3(it - 1), buf_3_0__5_0 + region_3(it - 1), tid);
+      /* (split_transpose_B, k=6) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_split_transpose_B(buf_0_1__3_0 + region_3(it - 1), buf_3_0__5_0 + region_3(it - 1), tid);
+      /* (split_transpose_B, k=5) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_split_transpose_B(buf_0_1__3_0 + region_3(it - 1), buf_3_0__5_0 + region_3(it - 1), tid);
+      /* (split_transpose_B, k=4) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_split_transpose_B(buf_0_1__3_0 + region_3(it - 1), buf_3_0__5_0 + region_3(it - 1), tid);
+      /* (split_transpose_B, k=3) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_split_transpose_B(buf_0_1__3_0 + region_3(it - 1), buf_3_0__5_0 + region_3(it - 1), tid);
+      /* (split_transpose_B, k=2) o=0 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_split_transpose_B(buf_0_1__3_0 + region_3(it - 1), buf_3_0__5_0 + region_3(it - 1), tid);
+      /* (TB7, k=7) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB7(buf_3_7__12_0 + region_12(it - 1), buf_12_0__4_7 + region_12(it - 1), tid);
+      /* (TB7, k=6) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB7(buf_3_7__12_0 + region_12(it - 1), buf_12_0__4_7 + region_12(it - 1), tid);
+      /* (TB7, k=5) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB7(buf_3_7__12_0 + region_12(it - 1), buf_12_0__4_7 + region_12(it - 1), tid);
+      /* (TB7, k=4) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB7(buf_3_7__12_0 + region_12(it - 1), buf_12_0__4_7 + region_12(it - 1), tid);
+      /* (TB7, k=3) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB7(buf_3_7__12_0 + region_12(it - 1), buf_12_0__4_7 + region_12(it - 1), tid);
+      /* (TB7, k=2) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB7(buf_3_7__12_0 + region_12(it - 1), buf_12_0__4_7 + region_12(it - 1), tid);
+      /* (TB6, k=7) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB6(buf_3_6__11_0 + region_11(it - 1), buf_11_0__4_6 + region_11(it - 1), tid);
+      /* (TB6, k=6) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB6(buf_3_6__11_0 + region_11(it - 1), buf_11_0__4_6 + region_11(it - 1), tid);
+      /* (TB6, k=5) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB6(buf_3_6__11_0 + region_11(it - 1), buf_11_0__4_6 + region_11(it - 1), tid);
+      /* (TB6, k=4) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB6(buf_3_6__11_0 + region_11(it - 1), buf_11_0__4_6 + region_11(it - 1), tid);
+      /* (TB6, k=3) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB6(buf_3_6__11_0 + region_11(it - 1), buf_11_0__4_6 + region_11(it - 1), tid);
+      /* (TB6, k=2) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB6(buf_3_6__11_0 + region_11(it - 1), buf_11_0__4_6 + region_11(it - 1), tid);
+      /* (TB5, k=7) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB5(buf_3_5__10_0 + region_10(it - 1), buf_10_0__4_5 + region_10(it - 1), tid);
+      /* (TB5, k=6) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB5(buf_3_5__10_0 + region_10(it - 1), buf_10_0__4_5 + region_10(it - 1), tid);
+      /* (TB5, k=5) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB5(buf_3_5__10_0 + region_10(it - 1), buf_10_0__4_5 + region_10(it - 1), tid);
+      /* (TB5, k=4) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB5(buf_3_5__10_0 + region_10(it - 1), buf_10_0__4_5 + region_10(it - 1), tid);
+      /* (TB5, k=3) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB5(buf_3_5__10_0 + region_10(it - 1), buf_10_0__4_5 + region_10(it - 1), tid);
+      /* (TB5, k=2) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB5(buf_3_5__10_0 + region_10(it - 1), buf_10_0__4_5 + region_10(it - 1), tid);
+      /* (TB4, k=7) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB4(buf_3_4__9_0 + region_9(it - 1), buf_9_0__4_4 + region_9(it - 1), tid);
+      /* (TB4, k=6) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB4(buf_3_4__9_0 + region_9(it - 1), buf_9_0__4_4 + region_9(it - 1), tid);
+      /* (TB4, k=5) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB4(buf_3_4__9_0 + region_9(it - 1), buf_9_0__4_4 + region_9(it - 1), tid);
+      /* (TB4, k=4) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB4(buf_3_4__9_0 + region_9(it - 1), buf_9_0__4_4 + region_9(it - 1), tid);
+      /* (TB4, k=3) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB4(buf_3_4__9_0 + region_9(it - 1), buf_9_0__4_4 + region_9(it - 1), tid);
+      /* (TB4, k=2) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB4(buf_3_4__9_0 + region_9(it - 1), buf_9_0__4_4 + region_9(it - 1), tid);
+      /* (TB3, k=7) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB3(buf_3_3__8_0 + region_8(it - 1), buf_8_0__4_3 + region_8(it - 1), tid);
+      /* (TB3, k=6) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB3(buf_3_3__8_0 + region_8(it - 1), buf_8_0__4_3 + region_8(it - 1), tid);
+      /* (TB3, k=5) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB3(buf_3_3__8_0 + region_8(it - 1), buf_8_0__4_3 + region_8(it - 1), tid);
+      /* (TB3, k=4) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB3(buf_3_3__8_0 + region_8(it - 1), buf_8_0__4_3 + region_8(it - 1), tid);
+      /* (TB3, k=3) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB3(buf_3_3__8_0 + region_8(it - 1), buf_8_0__4_3 + region_8(it - 1), tid);
+      /* (TB3, k=2) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB3(buf_3_3__8_0 + region_8(it - 1), buf_8_0__4_3 + region_8(it - 1), tid);
+      /* (TB2, k=7) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB2(buf_3_2__7_0 + region_7(it - 1), buf_7_0__4_2 + region_7(it - 1), tid);
+      /* (TB2, k=6) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB2(buf_3_2__7_0 + region_7(it - 1), buf_7_0__4_2 + region_7(it - 1), tid);
+      /* (TB2, k=5) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB2(buf_3_2__7_0 + region_7(it - 1), buf_7_0__4_2 + region_7(it - 1), tid);
+      /* (TB2, k=4) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB2(buf_3_2__7_0 + region_7(it - 1), buf_7_0__4_2 + region_7(it - 1), tid);
+      /* (TB2, k=3) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB2(buf_3_2__7_0 + region_7(it - 1), buf_7_0__4_2 + region_7(it - 1), tid);
+      /* (TB2, k=2) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB2(buf_3_2__7_0 + region_7(it - 1), buf_7_0__4_2 + region_7(it - 1), tid);
+      /* (TB1, k=7) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB1(buf_3_1__6_0 + region_6(it - 1), buf_6_0__4_1 + region_6(it - 1), tid);
+      /* (TB1, k=6) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB1(buf_3_1__6_0 + region_6(it - 1), buf_6_0__4_1 + region_6(it - 1), tid);
+      /* (TB1, k=5) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB1(buf_3_1__6_0 + region_6(it - 1), buf_6_0__4_1 + region_6(it - 1), tid);
+      /* (TB1, k=4) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB1(buf_3_1__6_0 + region_6(it - 1), buf_6_0__4_1 + region_6(it - 1), tid);
+      /* (TB1, k=3) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB1(buf_3_1__6_0 + region_6(it - 1), buf_6_0__4_1 + region_6(it - 1), tid);
+      /* (TB1, k=2) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB1(buf_3_1__6_0 + region_6(it - 1), buf_6_0__4_1 + region_6(it - 1), tid);
+      /* (TB0, k=7) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB0(buf_3_0__5_0 + region_5(it - 1), buf_5_0__4_0 + region_5(it - 1), tid);
+      /* (TB0, k=6) o=2610 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB0(buf_3_0__5_0 + region_5(it - 1), buf_5_0__4_0 + region_5(it - 1), tid);
+      /* (join_opsplit, k=63) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=62) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=61) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=60) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=59) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (join_opsplit, k=58) o=16946 f=4 threads=512 */
+      if (stage_on[4] && tid < 512)
+        work_join_opsplit(buf_2_0__1_0 + region_1(it - 4), buf_1_0__14_0 + region_1(it - 4), tid);
+      /* (TB7, k=0) o=33330 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB7(buf_3_7__12_0 + region_12(it - 1), buf_12_0__4_7 + region_12(it - 1), tid);
+      /* (TB6, k=0) o=33330 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB6(buf_3_6__11_0 + region_11(it - 1), buf_11_0__4_6 + region_11(it - 1), tid);
+      /* (TB5, k=0) o=33330 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB5(buf_3_5__10_0 + region_10(it - 1), buf_10_0__4_5 + region_10(it - 1), tid);
+      /* (TB4, k=0) o=33330 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB4(buf_3_4__9_0 + region_9(it - 1), buf_9_0__4_4 + region_9(it - 1), tid);
+      /* (TB3, k=0) o=33330 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB3(buf_3_3__8_0 + region_8(it - 1), buf_8_0__4_3 + region_8(it - 1), tid);
+      /* (TB2, k=0) o=33330 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB2(buf_3_2__7_0 + region_7(it - 1), buf_7_0__4_2 + region_7(it - 1), tid);
+      /* (TB1, k=0) o=33330 f=1 threads=512 */
+      if (stage_on[1] && tid < 512)
+        work_TB1(buf_3_1__6_0 + region_6(it - 1), buf_6_0__4_1 + region_6(it - 1), tid);
+      break; }
+    }
+    /* II boundary */
+  }
+}
+
+/* host launch (Metal):
+ *   dispatchThreadgroups: 16 threadgroups x 512 threads
+ *   newBuffer buf_0_0__2_0: 917504 bytes
+ *   newBuffer buf_2_0__1_0: 7340032 bytes
+ *   newBuffer buf_3_0__5_0: 114688 bytes
+ *   newBuffer buf_5_0__4_0: 114688 bytes
+ *   newBuffer buf_3_1__6_0: 114688 bytes
+ *   newBuffer buf_6_0__4_1: 114688 bytes
+ *   newBuffer buf_3_2__7_0: 114688 bytes
+ *   newBuffer buf_7_0__4_2: 114688 bytes
+ *   newBuffer buf_3_3__8_0: 114688 bytes
+ *   newBuffer buf_8_0__4_3: 114688 bytes
+ *   newBuffer buf_3_4__9_0: 114688 bytes
+ *   newBuffer buf_9_0__4_4: 114688 bytes
+ *   newBuffer buf_3_5__10_0: 114688 bytes
+ *   newBuffer buf_10_0__4_5: 114688 bytes
+ *   newBuffer buf_3_6__11_0: 114688 bytes
+ *   newBuffer buf_11_0__4_6: 114688 bytes
+ *   newBuffer buf_3_7__12_0: 114688 bytes
+ *   newBuffer buf_12_0__4_7: 114688 bytes
+ *   newBuffer buf_4_0__13_0: 917504 bytes
+ *   newBuffer buf_0_1__3_0: 917504 bytes
+ *   newBuffer buf_13_0__1_1: 7340032 bytes
+ *   newBuffer buf_1_0__14_0: 14680064 bytes
+ *   stream_in/stream_out: 1 << 20 bytes, input shuffled per eq. (9); iterations = 1024
+ */

@@ -1,0 +1,1485 @@
+// streamit_gpu artifact (wgsl)
+// quality: heuristic (completed)
+// II: 224819 (lower bound 224819, binding no_wrap)
+// schedule signature: 346d4e6ed2c6446debbd0a7f69fde47f
+// dispatch: 16 workgroups x 512 threads; host loops handled by the iterations uniform
+
+@group(0) @binding(0) var<storage, read_write> buf_0_0__2_0: array<f32>;
+@group(0) @binding(1) var<storage, read_write> buf_2_0__1_0: array<f32>;
+@group(0) @binding(2) var<storage, read_write> buf_3_0__5_0: array<f32>;
+@group(0) @binding(3) var<storage, read_write> buf_5_0__4_0: array<f32>;
+@group(0) @binding(4) var<storage, read_write> buf_3_1__6_0: array<f32>;
+@group(0) @binding(5) var<storage, read_write> buf_6_0__4_1: array<f32>;
+@group(0) @binding(6) var<storage, read_write> buf_3_2__7_0: array<f32>;
+@group(0) @binding(7) var<storage, read_write> buf_7_0__4_2: array<f32>;
+@group(0) @binding(8) var<storage, read_write> buf_3_3__8_0: array<f32>;
+@group(0) @binding(9) var<storage, read_write> buf_8_0__4_3: array<f32>;
+@group(0) @binding(10) var<storage, read_write> buf_3_4__9_0: array<f32>;
+@group(0) @binding(11) var<storage, read_write> buf_9_0__4_4: array<f32>;
+@group(0) @binding(12) var<storage, read_write> buf_3_5__10_0: array<f32>;
+@group(0) @binding(13) var<storage, read_write> buf_10_0__4_5: array<f32>;
+@group(0) @binding(14) var<storage, read_write> buf_3_6__11_0: array<f32>;
+@group(0) @binding(15) var<storage, read_write> buf_11_0__4_6: array<f32>;
+@group(0) @binding(16) var<storage, read_write> buf_3_7__12_0: array<f32>;
+@group(0) @binding(17) var<storage, read_write> buf_12_0__4_7: array<f32>;
+@group(0) @binding(18) var<storage, read_write> buf_4_0__13_0: array<f32>;
+@group(0) @binding(19) var<storage, read_write> buf_0_1__3_0: array<f32>;
+@group(0) @binding(20) var<storage, read_write> buf_13_0__1_1: array<f32>;
+@group(0) @binding(21) var<storage, read_write> buf_1_0__14_0: array<f32>;
+@group(0) @binding(22) var<storage, read> stream_in: array<f32>;
+@group(0) @binding(23) var<storage, read_write> stream_out: array<f32>;
+@group(0) @binding(24) var<uniform> iterations: i32;
+
+var<workgroup> stage_on: array<i32, 6>;
+
+fn region_0(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 32768; }
+fn region_1(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 524288; }
+fn region_2(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 262144; }
+fn region_3(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_4(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 32768; }
+fn region_5(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_6(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_7(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_8(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_9(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_10(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_11(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_12(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 4096; }
+fn region_13(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 262144; }
+fn region_14(it: i32) -> i32 { return ((it % 7) + 7) % 7 * 0; }
+
+fn work_split_opsplit(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t8); _push++;
+  let _t9: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t9); _push++;
+  let _t10: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t10); _push++;
+  let _t11: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t11); _push++;
+  let _t12: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t12); _push++;
+  let _t13: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t13); _push++;
+  let _t14: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t14); _push++;
+  let _t15: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t15); _push++;
+  let _t16: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t16); _push++;
+  let _t17: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t17); _push++;
+  let _t18: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t18); _push++;
+  let _t19: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t19); _push++;
+  let _t20: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t20); _push++;
+  let _t21: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t21); _push++;
+  let _t22: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t22); _push++;
+  let _t23: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t23); _push++;
+  let _t24: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t24); _push++;
+  let _t25: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t25); _push++;
+  let _t26: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t26); _push++;
+  let _t27: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t27); _push++;
+  let _t28: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t28); _push++;
+  let _t29: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t29); _push++;
+  let _t30: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t30); _push++;
+  let _t31: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t31); _push++;
+  let _t32: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t32); _push++;
+  let _t33: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t33); _push++;
+  let _t34: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t34); _push++;
+  let _t35: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t35); _push++;
+  let _t36: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t36); _push++;
+  let _t37: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t37); _push++;
+  let _t38: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t38); _push++;
+  let _t39: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t39); _push++;
+  let _t40: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t40); _push++;
+  let _t41: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t41); _push++;
+  let _t42: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t42); _push++;
+  let _t43: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t43); _push++;
+  let _t44: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t44); _push++;
+  let _t45: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t45); _push++;
+  let _t46: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t46); _push++;
+  let _t47: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t47); _push++;
+  let _t48: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t48); _push++;
+  let _t49: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t49); _push++;
+  let _t50: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t50); _push++;
+  let _t51: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t51); _push++;
+  let _t52: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t52); _push++;
+  let _t53: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t53); _push++;
+  let _t54: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t54); _push++;
+  let _t55: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t55); _push++;
+  let _t56: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t56); _push++;
+  let _t57: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t57); _push++;
+  let _t58: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t58); _push++;
+  let _t59: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t59); _push++;
+  let _t60: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t60); _push++;
+  let _t61: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t61); _push++;
+  let _t62: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t62); _push++;
+  let _t63: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t63); _push++;
+  let _t64: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t64); _push++;
+  let _t65: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t65); _push++;
+  let _t66: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t66); _push++;
+  let _t67: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t67); _push++;
+  let _t68: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t68); _push++;
+  let _t69: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t69); _push++;
+  let _t70: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t70); _push++;
+  let _t71: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t71); _push++;
+  let _t72: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t72); _push++;
+  let _t73: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t73); _push++;
+  let _t74: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t74); _push++;
+  let _t75: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t75); _push++;
+  let _t76: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t76); _push++;
+  let _t77: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t77); _push++;
+  let _t78: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t78); _push++;
+  let _t79: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t79); _push++;
+  let _t80: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t80); _push++;
+  let _t81: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t81); _push++;
+  let _t82: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t82); _push++;
+  let _t83: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t83); _push++;
+  let _t84: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t84); _push++;
+  let _t85: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t85); _push++;
+  let _t86: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t86); _push++;
+  let _t87: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t87); _push++;
+  let _t88: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t88); _push++;
+  let _t89: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t89); _push++;
+  let _t90: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t90); _push++;
+  let _t91: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t91); _push++;
+  let _t92: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t92); _push++;
+  let _t93: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t93); _push++;
+  let _t94: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t94); _push++;
+  let _t95: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t95); _push++;
+  let _t96: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t96); _push++;
+  let _t97: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t97); _push++;
+  let _t98: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t98); _push++;
+  let _t99: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t99); _push++;
+  let _t100: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t100); _push++;
+  let _t101: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t101); _push++;
+  let _t102: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t102); _push++;
+  let _t103: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t103); _push++;
+  let _t104: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t104); _push++;
+  let _t105: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t105); _push++;
+  let _t106: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t106); _push++;
+  let _t107: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t107); _push++;
+  let _t108: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t108); _push++;
+  let _t109: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t109); _push++;
+  let _t110: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t110); _push++;
+  let _t111: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t111); _push++;
+  let _t112: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t112); _push++;
+  let _t113: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t113); _push++;
+  let _t114: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t114); _push++;
+  let _t115: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t115); _push++;
+  let _t116: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t116); _push++;
+  let _t117: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t117); _push++;
+  let _t118: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t118); _push++;
+  let _t119: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t119); _push++;
+  let _t120: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t120); _push++;
+  let _t121: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t121); _push++;
+  let _t122: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t122); _push++;
+  let _t123: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t123); _push++;
+  let _t124: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t124); _push++;
+  let _t125: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t125); _push++;
+  let _t126: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t126); _push++;
+  let _t127: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t127); _push++;
+  let _t128: f32 = stream_in[in_base + (128 * (_pop) + (tid / 128) * 128 * 128 + (tid % 128))]; _pop++;
+  buf_0_0__2_0[out_base + (128 * (_push) + (tid / 128) * 128 * 128 + (tid % 128))] = f32(_t128); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_opsplit(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t8); _push++;
+  let _t9: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t9); _push++;
+  let _t10: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t10); _push++;
+  let _t11: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t11); _push++;
+  let _t12: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t12); _push++;
+  let _t13: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t13); _push++;
+  let _t14: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t14); _push++;
+  let _t15: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t15); _push++;
+  let _t16: f32 = buf_2_0__1_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+  buf_1_0__14_0[out_base + (128 * (_push) + (tid / 128) * 128 * 16 + (tid % 128))] = f32(_t16); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_RepeatRowsA(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var m: array<f32, 64>;
+  for (var j: i32 = 0; j < 64; j++) {
+    let _t1: f32 = buf_0_0__2_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+    m[j] = _t1;
+  }
+  for (var r: i32 = 0; r < 8; r++) {
+    for (var t: i32 = 0; t < 8; t++) {
+      for (var c: i32 = 0; c < 8; c++) {
+        buf_2_0__1_0[out_base + (128 * (_push) + (tid / 128) * 128 * 512 + (tid % 128))] = f32(m[((r * 8) + c)]); _push++;
+      }
+    }
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_split_transpose_B(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_3_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_3_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_3_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_3_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_3_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_3_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_3_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_0_1__3_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 8 + (tid % 128))]; _pop++;
+  buf_3_0__5_0[out_base + (128 * (_push) + (tid / 128) * 128 * 8 + (tid % 128))] = f32(_t8); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_join_transpose_B(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t1); _push++;
+  let _t2: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t2); _push++;
+  let _t3: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t3); _push++;
+  let _t4: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t4); _push++;
+  let _t5: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t5); _push++;
+  let _t6: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t6); _push++;
+  let _t7: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t7); _push++;
+  let _t8: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t8); _push++;
+  let _t9: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t9); _push++;
+  let _t10: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t10); _push++;
+  let _t11: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t11); _push++;
+  let _t12: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t12); _push++;
+  let _t13: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t13); _push++;
+  let _t14: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t14); _push++;
+  let _t15: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t15); _push++;
+  let _t16: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t16); _push++;
+  let _t17: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t17); _push++;
+  let _t18: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t18); _push++;
+  let _t19: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t19); _push++;
+  let _t20: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t20); _push++;
+  let _t21: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t21); _push++;
+  let _t22: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t22); _push++;
+  let _t23: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t23); _push++;
+  let _t24: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t24); _push++;
+  let _t25: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t25); _push++;
+  let _t26: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t26); _push++;
+  let _t27: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t27); _push++;
+  let _t28: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t28); _push++;
+  let _t29: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t29); _push++;
+  let _t30: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t30); _push++;
+  let _t31: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t31); _push++;
+  let _t32: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t32); _push++;
+  let _t33: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t33); _push++;
+  let _t34: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t34); _push++;
+  let _t35: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t35); _push++;
+  let _t36: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t36); _push++;
+  let _t37: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t37); _push++;
+  let _t38: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t38); _push++;
+  let _t39: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t39); _push++;
+  let _t40: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t40); _push++;
+  let _t41: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t41); _push++;
+  let _t42: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t42); _push++;
+  let _t43: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t43); _push++;
+  let _t44: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t44); _push++;
+  let _t45: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t45); _push++;
+  let _t46: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t46); _push++;
+  let _t47: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t47); _push++;
+  let _t48: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t48); _push++;
+  let _t49: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t49); _push++;
+  let _t50: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t50); _push++;
+  let _t51: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t51); _push++;
+  let _t52: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t52); _push++;
+  let _t53: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t53); _push++;
+  let _t54: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t54); _push++;
+  let _t55: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t55); _push++;
+  let _t56: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t56); _push++;
+  let _t57: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t57); _push++;
+  let _t58: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t58); _push++;
+  let _t59: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t59); _push++;
+  let _t60: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t60); _push++;
+  let _t61: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t61); _push++;
+  let _t62: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t62); _push++;
+  let _t63: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t63); _push++;
+  let _t64: f32 = buf_5_0__4_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+  buf_4_0__13_0[out_base + (128 * (_push) + (tid / 128) * 128 * 64 + (tid % 128))] = f32(_t64); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_TB0(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_3_0__5_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_5_0__4_0[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_TB1(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_3_1__6_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_6_0__4_1[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_TB2(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_3_2__7_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_7_0__4_2[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_TB3(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_3_3__8_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_8_0__4_3[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_TB4(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_3_4__9_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_9_0__4_4[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_TB5(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_3_5__10_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_10_0__4_5[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_TB6(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_3_6__11_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_11_0__4_6[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_TB7(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  let _t1: f32 = buf_3_7__12_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 1 + (tid % 128))]; _pop++;
+  buf_12_0__4_7[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(_t1); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_RepeatB(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var g: array<f32, 64>;
+  for (var j: i32 = 0; j < 64; j++) {
+    let _t1: f32 = buf_4_0__13_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 64 + (tid % 128))]; _pop++;
+    g[j] = _t1;
+  }
+  for (var t: i32 = 0; t < 8; t++) {
+    for (var j: i32 = 0; j < 64; j++) {
+      buf_13_0__1_1[out_base + (128 * (_push) + (tid / 128) * 128 * 512 + (tid % 128))] = f32(g[j]); _push++;
+    }
+  }
+  _ = _pop;
+  _ = _push;
+}
+
+fn work_DotProduct(in_base: i32, out_base: i32, tid: i32) {
+  var _pop: i32 = 0;
+  var _push: i32 = 0;
+  var a: array<f32, 8>;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t1: f32 = buf_1_0__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    a[j] = _t1;
+  }
+  var acc: f32 = 0.0f;
+  for (var j: i32 = 0; j < 8; j++) {
+    let _t2: f32 = buf_1_0__14_0[in_base + (128 * (_pop) + (tid / 128) * 128 * 16 + (tid % 128))]; _pop++;
+    acc = (acc + (a[j] * _t2));
+  }
+  stream_out[out_base + (128 * (_push) + (tid / 128) * 128 * 1 + (tid % 128))] = f32(acc); _push++;
+  _ = _pop;
+  _ = _push;
+}
+
+@compute @workgroup_size(512, 1, 1)
+fn swp_kernel(@builtin(local_invocation_id) lid: vec3<u32>,
+              @builtin(workgroup_id) wid: vec3<u32>) {
+  let tid: i32 = i32(lid.x);
+  let sm: i32 = i32(wid.x);
+  // staging predicates, one per pipeline stage (depth 6)
+  if tid == 0 { for (var s: i32 = 0; s < 6; s++) { stage_on[s] = 0; } }
+  workgroupBarrier();
+  for (var it: i32 = 0; it < iterations + 6; it++) {
+    if tid == 0 {
+      for (var s: i32 = 5; s > 0; s--) { stage_on[s] = stage_on[s-1]; }
+      stage_on[0] = select(0, 1, it < iterations);
+    }
+    workgroupBarrier();
+    switch sm {
+      case 0: {
+        // (RepeatRowsA, k=0) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_RepeatRowsA(region_2(it - 1), region_2(it - 1), tid);
+        }
+      }
+      case 1: {
+        // (join_transpose_B, k=0) o=0 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_join_transpose_B(region_4(it - 3), region_4(it - 3), tid);
+        }
+        // (split_opsplit, k=0) o=0 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_opsplit(region_0(it - 0), region_0(it - 0), tid);
+        }
+        // (DotProduct, k=2) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=1) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=0) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (RepeatB, k=0) o=16946 f=3 threads=512
+        if stage_on[3] != 0 && tid < 512 {
+          work_RepeatB(region_13(it - 3), region_13(it - 3), tid);
+        }
+        // (split_transpose_B, k=0) o=33330 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_split_transpose_B(region_3(it - 0), region_3(it - 0), tid);
+        }
+        // (TB0, k=0) o=35940 f=0 threads=512
+        if stage_on[0] != 0 && tid < 512 {
+          work_TB0(region_5(it - 0), region_5(it - 0), tid);
+        }
+      }
+      case 2: {
+        // (split_transpose_B, k=1) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_split_transpose_B(region_3(it - 1), region_3(it - 1), tid);
+        }
+        // (TB0, k=1) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB0(region_5(it - 1), region_5(it - 1), tid);
+        }
+        // (DotProduct, k=36) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=35) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=34) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=33) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=32) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=31) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=30) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=29) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=28) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=27) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=26) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=25) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=24) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=23) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=22) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=21) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=20) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=19) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=18) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=17) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=16) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=15) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=14) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=13) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=12) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=11) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=10) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=9) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=8) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=7) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=6) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=5) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=4) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=3) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+      }
+      case 3: {
+        // (TB0, k=4) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB0(region_5(it - 2), region_5(it - 2), tid);
+        }
+        // (TB0, k=3) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB0(region_5(it - 2), region_5(it - 2), tid);
+        }
+        // (TB0, k=2) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB0(region_5(it - 2), region_5(it - 2), tid);
+        }
+        // (DotProduct, k=63) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=62) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=61) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=60) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=59) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=58) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=57) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=56) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=55) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=54) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=53) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=52) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=51) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=50) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=49) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=48) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=47) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=46) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=45) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=44) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=43) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=42) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=41) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=40) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=39) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=38) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (DotProduct, k=37) o=16946 f=5 threads=512
+        if stage_on[5] != 0 && tid < 512 {
+          work_DotProduct(region_14(it - 5), region_14(it - 5), tid);
+        }
+        // (join_opsplit, k=9) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=8) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=7) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=6) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=5) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=4) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=3) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=2) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=1) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=0) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+      }
+      case 4: {
+        // (TB0, k=5) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB0(region_5(it - 2), region_5(it - 2), tid);
+        }
+        // (join_opsplit, k=57) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=56) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=55) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=54) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=53) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=52) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=51) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=50) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=49) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=48) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=47) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=46) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=45) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=44) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=43) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=42) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=41) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=40) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=39) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=38) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=37) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=36) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=35) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=34) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=33) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=32) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=31) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=30) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=29) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=28) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=27) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=26) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=25) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=24) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=23) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=22) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=21) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=20) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=19) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=18) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=17) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=16) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=15) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=14) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=13) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=12) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=11) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=10) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+      }
+      case 5: {
+        // (TB7, k=1) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB7(region_12(it - 2), region_12(it - 2), tid);
+        }
+        // (TB6, k=1) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB6(region_11(it - 2), region_11(it - 2), tid);
+        }
+        // (TB5, k=1) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB5(region_10(it - 2), region_10(it - 2), tid);
+        }
+        // (TB4, k=1) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB4(region_9(it - 2), region_9(it - 2), tid);
+        }
+        // (TB3, k=1) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB3(region_8(it - 2), region_8(it - 2), tid);
+        }
+        // (TB2, k=1) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB2(region_7(it - 2), region_7(it - 2), tid);
+        }
+        // (TB1, k=1) o=0 f=2 threads=512
+        if stage_on[2] != 0 && tid < 512 {
+          work_TB1(region_6(it - 2), region_6(it - 2), tid);
+        }
+        // (split_transpose_B, k=7) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_split_transpose_B(region_3(it - 1), region_3(it - 1), tid);
+        }
+        // (split_transpose_B, k=6) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_split_transpose_B(region_3(it - 1), region_3(it - 1), tid);
+        }
+        // (split_transpose_B, k=5) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_split_transpose_B(region_3(it - 1), region_3(it - 1), tid);
+        }
+        // (split_transpose_B, k=4) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_split_transpose_B(region_3(it - 1), region_3(it - 1), tid);
+        }
+        // (split_transpose_B, k=3) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_split_transpose_B(region_3(it - 1), region_3(it - 1), tid);
+        }
+        // (split_transpose_B, k=2) o=0 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_split_transpose_B(region_3(it - 1), region_3(it - 1), tid);
+        }
+        // (TB7, k=7) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB7(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (TB7, k=6) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB7(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (TB7, k=5) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB7(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (TB7, k=4) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB7(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (TB7, k=3) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB7(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (TB7, k=2) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB7(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (TB6, k=7) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB6(region_11(it - 1), region_11(it - 1), tid);
+        }
+        // (TB6, k=6) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB6(region_11(it - 1), region_11(it - 1), tid);
+        }
+        // (TB6, k=5) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB6(region_11(it - 1), region_11(it - 1), tid);
+        }
+        // (TB6, k=4) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB6(region_11(it - 1), region_11(it - 1), tid);
+        }
+        // (TB6, k=3) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB6(region_11(it - 1), region_11(it - 1), tid);
+        }
+        // (TB6, k=2) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB6(region_11(it - 1), region_11(it - 1), tid);
+        }
+        // (TB5, k=7) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB5(region_10(it - 1), region_10(it - 1), tid);
+        }
+        // (TB5, k=6) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB5(region_10(it - 1), region_10(it - 1), tid);
+        }
+        // (TB5, k=5) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB5(region_10(it - 1), region_10(it - 1), tid);
+        }
+        // (TB5, k=4) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB5(region_10(it - 1), region_10(it - 1), tid);
+        }
+        // (TB5, k=3) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB5(region_10(it - 1), region_10(it - 1), tid);
+        }
+        // (TB5, k=2) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB5(region_10(it - 1), region_10(it - 1), tid);
+        }
+        // (TB4, k=7) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB4(region_9(it - 1), region_9(it - 1), tid);
+        }
+        // (TB4, k=6) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB4(region_9(it - 1), region_9(it - 1), tid);
+        }
+        // (TB4, k=5) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB4(region_9(it - 1), region_9(it - 1), tid);
+        }
+        // (TB4, k=4) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB4(region_9(it - 1), region_9(it - 1), tid);
+        }
+        // (TB4, k=3) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB4(region_9(it - 1), region_9(it - 1), tid);
+        }
+        // (TB4, k=2) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB4(region_9(it - 1), region_9(it - 1), tid);
+        }
+        // (TB3, k=7) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB3(region_8(it - 1), region_8(it - 1), tid);
+        }
+        // (TB3, k=6) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB3(region_8(it - 1), region_8(it - 1), tid);
+        }
+        // (TB3, k=5) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB3(region_8(it - 1), region_8(it - 1), tid);
+        }
+        // (TB3, k=4) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB3(region_8(it - 1), region_8(it - 1), tid);
+        }
+        // (TB3, k=3) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB3(region_8(it - 1), region_8(it - 1), tid);
+        }
+        // (TB3, k=2) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB3(region_8(it - 1), region_8(it - 1), tid);
+        }
+        // (TB2, k=7) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB2(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (TB2, k=6) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB2(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (TB2, k=5) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB2(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (TB2, k=4) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB2(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (TB2, k=3) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB2(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (TB2, k=2) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB2(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (TB1, k=7) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB1(region_6(it - 1), region_6(it - 1), tid);
+        }
+        // (TB1, k=6) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB1(region_6(it - 1), region_6(it - 1), tid);
+        }
+        // (TB1, k=5) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB1(region_6(it - 1), region_6(it - 1), tid);
+        }
+        // (TB1, k=4) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB1(region_6(it - 1), region_6(it - 1), tid);
+        }
+        // (TB1, k=3) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB1(region_6(it - 1), region_6(it - 1), tid);
+        }
+        // (TB1, k=2) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB1(region_6(it - 1), region_6(it - 1), tid);
+        }
+        // (TB0, k=7) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB0(region_5(it - 1), region_5(it - 1), tid);
+        }
+        // (TB0, k=6) o=2610 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB0(region_5(it - 1), region_5(it - 1), tid);
+        }
+        // (join_opsplit, k=63) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=62) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=61) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=60) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=59) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (join_opsplit, k=58) o=16946 f=4 threads=512
+        if stage_on[4] != 0 && tid < 512 {
+          work_join_opsplit(region_1(it - 4), region_1(it - 4), tid);
+        }
+        // (TB7, k=0) o=33330 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB7(region_12(it - 1), region_12(it - 1), tid);
+        }
+        // (TB6, k=0) o=33330 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB6(region_11(it - 1), region_11(it - 1), tid);
+        }
+        // (TB5, k=0) o=33330 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB5(region_10(it - 1), region_10(it - 1), tid);
+        }
+        // (TB4, k=0) o=33330 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB4(region_9(it - 1), region_9(it - 1), tid);
+        }
+        // (TB3, k=0) o=33330 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB3(region_8(it - 1), region_8(it - 1), tid);
+        }
+        // (TB2, k=0) o=33330 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB2(region_7(it - 1), region_7(it - 1), tid);
+        }
+        // (TB1, k=0) o=33330 f=1 threads=512
+        if stage_on[1] != 0 && tid < 512 {
+          work_TB1(region_6(it - 1), region_6(it - 1), tid);
+        }
+      }
+      default: {}
+    }
+    // II boundary
+    workgroupBarrier();
+  }
+}

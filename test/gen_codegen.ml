@@ -1,0 +1,43 @@
+(* Golden-fixture generator: compile one registry benchmark and write
+   its kernel for all four codegen targets.  Every kernel passes the
+   structural linter before it is written, so a fixture can never pin a
+   kernel the linter would reject.
+
+   Used by the per-benchmark dune rules in test/dune; after an
+   intentional schedule or printer change, regenerate everything with
+
+     dune build @codegen; dune promote
+
+   (or target one backend: @codegen-wgsl etc.). *)
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let () =
+  match Sys.argv with
+  | [| _; bench; out_cu; out_wgsl; out_cl; out_metal |] -> (
+    let e =
+      match Benchmarks.Registry.find bench with
+      | Some e -> e
+      | None -> die "gen_codegen: unknown benchmark %s" bench
+    in
+    let g = Streamit.Flatten.flatten (e.Benchmarks.Registry.stream ()) in
+    match Swp_core.Compile.compile g with
+    | Error m -> die "gen_codegen: %s: compile: %s" bench m
+    | Ok c ->
+      let p = Kir.Lower.lower c in
+      let write path target =
+        match Kir.Backend.emit_checked target p with
+        | Error m -> die "gen_codegen: %s: %s" bench m
+        | Ok src ->
+          let oc = open_out_bin path in
+          output_string oc src;
+          close_out oc
+      in
+      write out_cu Kir.Ir.Cuda;
+      write out_wgsl Kir.Ir.Wgsl;
+      write out_cl Kir.Ir.Opencl;
+      write out_metal Kir.Ir.Metal)
+  | _ ->
+    die
+      "usage: gen_codegen <benchmark> <out.cu> <out.wgsl> <out.cl> \
+       <out.metal>"

@@ -87,6 +87,7 @@ let key_tests =
             );
             ("portfolio", { opts with Cache.Key.portfolio = Some false });
             ("lns_rounds", { opts with Cache.Key.lns_rounds = Some 0 });
+            ("target", { opts with Cache.Key.target = Kir.Ir.Wgsl });
           ]
         in
         List.iter
@@ -119,7 +120,7 @@ let entry k =
     signature = "sig-" ^ k;
     schedule = "sched\nlines";
     layout = "layout";
-    cuda = "__global__ void k() {}\n";
+    kernel = "__global__ void k() {}\n";
     report = "{\"ii\":42}";
   }
 
@@ -136,7 +137,14 @@ let store_tests =
               ignore (Cache.Store.deserialize s);
               Alcotest.fail "expected Corrupt"
             with Cache.Store.Corrupt _ -> ())
-          [ ""; "garbage"; "streamit-cache-entry v1\n9999999 x" ]);
+          [
+            "";
+            "garbage";
+            "streamit-cache-entry v2\n9999999 x";
+            (* v1 entries (pre-target format) must read as corrupt, not
+               as entries with a misnamed kernel section *)
+            "streamit-cache-entry v1\nkey k\nii 1\nquality q\nsignature s\n";
+          ]);
     t "in-memory tier hits and LRU-evicts" (fun () ->
         let s = Cache.Store.create ~capacity:2 () in
         Cache.Store.put s (entry "a");
@@ -202,6 +210,33 @@ let service_tests =
             let e3, _ = ok (Cache.Service.get svc2 g opts) in
             check_entry (name ^ ": warm-memo cold vs cold") e1 e3)
           (registry_graphs ()));
+    t "wgsl and cuda requests for one graph never alias" (fun () ->
+        let g = flatten_src base_src in
+        let wgsl_opts = { opts with Cache.Key.target = Kir.Ir.Wgsl } in
+        Alcotest.(check bool) "distinct keys" true
+          (Cache.Key.digest g opts <> Cache.Key.digest g wgsl_opts);
+        let svc = Cache.Service.create () in
+        let e_cuda, o1 = ok (Cache.Service.get svc g opts) in
+        let e_wgsl, o2 = ok (Cache.Service.get svc g wgsl_opts) in
+        (* the second target misses — it cannot be served the first
+           target's entry *)
+        Alcotest.(check string) "cuda misses" "miss"
+          (Cache.Service.outcome_name o1);
+        Alcotest.(check string) "wgsl misses too" "miss"
+          (Cache.Service.outcome_name o2);
+        Alcotest.(check bool) "distinct entries" true
+          (e_cuda.Cache.Store.key <> e_wgsl.Cache.Store.key);
+        Alcotest.(check bool) "distinct kernel bytes" true
+          (e_cuda.Cache.Store.kernel <> e_wgsl.Cache.Store.kernel);
+        (* and each target's repeat request hits its own entry *)
+        let e_cuda2, o3 = ok (Cache.Service.get svc g opts) in
+        let e_wgsl2, o4 = ok (Cache.Service.get svc g wgsl_opts) in
+        Alcotest.(check string) "cuda hit" "hit"
+          (Cache.Service.outcome_name o3);
+        Alcotest.(check string) "wgsl hit" "hit"
+          (Cache.Service.outcome_name o4);
+        check_entry "cuda stable" e_cuda e_cuda2;
+        check_entry "wgsl stable" e_wgsl e_wgsl2);
     t "naming-only edit hits with identical bytes" (fun () ->
         let svc = Cache.Service.create () in
         let e1, _ = ok (Cache.Service.get svc (flatten_src base_src) opts) in

@@ -2,9 +2,10 @@
    pool-backed pipeline (profile sweep, config selection, speculative II
    probing) at --jobs 4 must produce byte-identical results to the
    serial pipeline — same schedule, same buffer layout, same generated
-   CUDA.  Three benchmarks are additionally pinned against golden CUDA
-   fixtures so that an accidental (even deterministic) change to the
-   generator or the scheduler shows up as a diff. *)
+   CUDA.  Every benchmark is additionally pinned against its golden
+   CUDA fixture (fixtures/codegen/, shared with the dune diff rules) so
+   that an accidental (even deterministic) change to the generator or
+   the scheduler shows up as a diff. *)
 
 let t name f = Alcotest.test_case name `Quick f
 
@@ -124,9 +125,14 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
     ~finally:(fun () -> close_in ic)
 
-let fixture_benchmarks = [ "FMRadio"; "DES"; "Bitonic" ]
+let fixture_benchmarks =
+  [
+    "FMRadio"; "DES"; "Bitonic"; "BitonicRec"; "DCT"; "FFT"; "Filterbank";
+    "MatrixMult";
+  ]
 
-let fixture_path name = Filename.concat "fixtures" (name ^ ".cu")
+let fixture_path name =
+  Filename.concat (Filename.concat "fixtures" "codegen") (name ^ ".cu")
 
 let first_diff a b =
   let n = min (String.length a) (String.length b) in
