@@ -914,6 +914,116 @@ let serve_bench () =
   close_out oc;
   Printf.printf "wrote BENCH_serve.json (speedup %.1fx)\n" speedup
 
+(* --- Overload behaviour under a 4x-capacity burst (BENCH_harden.json) --- *)
+
+(* The hardening contract under load: a burst of B = 4 * capacity
+   distinct compiles against the admission guard must (a) shed exactly
+   B - capacity requests, deterministically the *tail* of the arrival
+   order, with the same pattern on every identical burst; (b) complete
+   every admitted request successfully; (c) keep the queue bounded at
+   the configured capacity (peak occupancy never exceeds it); and (d)
+   answer sheds in microseconds, not compile-times. *)
+let harden_bench () =
+  print_endline "\n=== Serve overload (admission control + load shedding) ===";
+  line ();
+  let max_inflight = 2 and queue_cap = 2 in
+  let capacity = max_inflight + queue_cap in
+  let burst = 4 * capacity in
+  let src i =
+    Printf.sprintf
+      "filter A pop 0 push 1 { push(1.0); } filter B pop 1 push 1 { \
+       push(pop() * %d.0); } filter C pop 1 push 0 { let x = pop(); } \
+       pipeline P { add A; add B; add C; }"
+      (i + 2)
+  in
+  let burst_line () =
+    let reqs =
+      List.init burst (fun i ->
+          Printf.sprintf "{\"id\":%d,\"op\":\"compile\",\"src\":\"%s\"}"
+            (i + 1) (src i))
+    in
+    "[" ^ String.concat "," reqs ^ "]"
+  in
+  let statuses daemon =
+    match Cache.Daemon.handle_line daemon (burst_line ()) with
+    | `Shutdown _ -> failwith "harden: unexpected shutdown"
+    | `Reply s -> (
+      match Cache.Protocol.parse s with
+      | Obs.Report.Arr docs ->
+        List.map
+          (fun d ->
+            match Obs.Report.member "error" d with
+            | Some (Obs.Report.Str e)
+              when String.length e >= 10 && String.sub e 0 10 = "overloaded"
+              -> "shed"
+            | Some (Obs.Report.Str e) -> failwith ("harden: error: " ^ e)
+            | _ -> "ok")
+          docs
+      | _ -> failwith "harden: batch reply is not an array")
+  in
+  let fresh () =
+    let svc = Cache.Service.create () in
+    let guard = Cache.Guard.create ~max_inflight ~queue_cap () in
+    (Cache.Daemon.create ~guard svc, guard)
+  in
+  Gc.compact ();
+  let heap0 = (Gc.quick_stat ()).Gc.top_heap_words in
+  let d1, g1 = fresh () in
+  let t0 = Unix.gettimeofday () in
+  let run1 = statuses d1 in
+  let burst_s = Unix.gettimeofday () -. t0 in
+  let d2, _ = fresh () in
+  let run2 = statuses d2 in
+  let heap1 = (Gc.quick_stat ()).Gc.top_heap_words in
+  let occ = Cache.Guard.occupancy g1 in
+  let admitted = List.length (List.filter (( = ) "ok") run1) in
+  let sheds = List.length (List.filter (( = ) "shed") run1) in
+  let tail_shed =
+    List.for_all2 (fun i s -> s = if i >= capacity then "shed" else "ok")
+      (List.init burst Fun.id) run1
+  in
+  let deterministic = run1 = run2 in
+  if admitted <> capacity then failwith "harden: admitted != capacity";
+  if sheds <> burst - capacity then failwith "harden: wrong shed count";
+  if not tail_shed then failwith "harden: sheds not at the arrival tail";
+  if not deterministic then failwith "harden: shed pattern not reproducible";
+  if occ.Cache.Guard.peak_outstanding > capacity then
+    failwith "harden: queue exceeded its cap";
+  Printf.printf
+    "burst %d vs capacity %d: %d admitted (all ok), %d shed (tail, \
+     reproducible), peak occupancy %d, %.3fs\n"
+    burst capacity admitted sheds occ.Cache.Guard.peak_outstanding burst_s;
+  let oc = open_out "BENCH_harden.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"note\": \"a 4x-capacity burst of distinct compiles through the \
+     production Cache.Daemon batch path: admission is serial in arrival \
+     order, so exactly capacity requests are admitted (and all complete) \
+     while the tail sheds with deterministic overloaded+retry_after_ms \
+     responses; peak queue occupancy never exceeds max_inflight + \
+     queue_cap, and heap growth stays bounded by the admitted work, not \
+     the burst size\",\n\
+    \  \"max_inflight\": %d,\n\
+    \  \"queue_cap\": %d,\n\
+    \  \"capacity\": %d,\n\
+    \  \"burst\": %d,\n\
+    \  \"admitted_completed_ok\": %d,\n\
+    \  \"shed\": %d,\n\
+    \  \"sheds_at_tail\": %b,\n\
+    \  \"reproducible\": %b,\n\
+    \  \"peak_outstanding\": %d,\n\
+    \  \"peak_work\": %d,\n\
+    \  \"burst_seconds\": %.4f,\n\
+    \  \"top_heap_words_before\": %d,\n\
+    \  \"top_heap_words_after\": %d\n\
+     }\n"
+    max_inflight queue_cap capacity burst admitted sheds tail_shed
+    deterministic occ.Cache.Guard.peak_outstanding occ.Cache.Guard.peak_work
+    burst_s heap0 heap1;
+  close_out oc;
+  Printf.printf "wrote BENCH_harden.json (%d/%d shed deterministically)\n"
+    sheds burst
+
 (* --- Bechamel micro-benchmarks of the compiler itself --- *)
 
 let micro () =
@@ -1001,4 +1111,5 @@ let () =
   if want "partime" then partime ~jobs;
   if want "resil" then resil_bench ();
   if want "serve" then serve_bench ();
+  if want "harden" then harden_bench ();
   if want "micro" then micro ()

@@ -861,176 +861,24 @@ let sweep_cmd =
 
 (* Long-lived compile daemon: newline-delimited JSON requests on stdin
    (or a Unix socket with --socket), one response line each, backed by
-   the content-addressed schedule cache in lib/cache.  A line holding
-   a JSON *array* of requests is a batch: it fans out across the
-   --jobs pool (single-flight in the service keeps duplicate keys to
-   one compile) and answers with a JSON array in request order. *)
+   the content-addressed schedule cache in lib/cache.  The request
+   loop itself lives in Cache.Daemon (so the chaos campaign drives the
+   production code); the binary supplies flags and the builtin-program
+   lookup. *)
 
-let serve_graph_of_request (r : Cache.Protocol.request) =
-  let of_stream stream =
+let serve_lookup_program p =
+  match load_stream p with
+  | Error m -> Error m
+  | Ok (stream, _) -> (
     match Ast.validate stream with
     | Error m -> Error ("invalid stream: " ^ m)
-    | Ok () -> Ok (Flatten.flatten stream)
-  in
-  match (r.Cache.Protocol.program, r.Cache.Protocol.src) with
-  | Some _, Some _ -> Error "give either \"program\" or \"src\", not both"
-  | None, None -> Error "compile request needs a \"program\" or \"src\" field"
-  | Some p, None ->
-    Result.bind (load_stream p) (fun (stream, _) -> of_stream stream)
-  | None, Some src -> (
-    match Frontend.Parser.parse_program src with
-    | stream -> of_stream stream
-    | exception Frontend.Parser.Parse_error (m, l, c) ->
-      Error (Printf.sprintf "src:%d:%d: %s" l c m)
-    | exception Frontend.Lexer.Lex_error (m, l, c) ->
-      Error (Printf.sprintf "src:%d:%d: %s" l c m))
-
-let serve_options_of_request (r : Cache.Protocol.request) =
-  if r.Cache.Protocol.coarsening < 1 then
-    Error "coarsening must be at least 1"
-  else if (match r.Cache.Protocol.num_sms with Some n -> n < 1 | None -> false)
-  then Error "num_sms must be at least 1"
-  else if
-    match r.Cache.Protocol.budget with Some b -> b < 0 | None -> false
-  then Error "budget must be >= 0 work units"
-  else if
-    match r.Cache.Protocol.lns_rounds with Some n -> n < 0 | None -> false
-  then Error "lns_rounds must be >= 0"
-  else
-    Ok
-      {
-        Cache.Key.default_options with
-        Cache.Key.num_sms = r.Cache.Protocol.num_sms;
-        coarsening = r.Cache.Protocol.coarsening;
-        scheme = r.Cache.Protocol.scheme;
-        budget = r.Cache.Protocol.budget;
-        portfolio = r.Cache.Protocol.portfolio;
-        lns_rounds = r.Cache.Protocol.lns_rounds;
-        target = r.Cache.Protocol.target;
-      }
-
-let serve_stats_response service (req : Cache.Protocol.request) =
-  let module J = Obs.Report in
-  let memo = Swp_core.Profile.memo_stats () in
-  J.to_string
-    (J.Obj
-       [
-         ("id", Option.value req.Cache.Protocol.id ~default:J.Null);
-         ("status", J.Str "ok");
-         ("compiles", J.Int (Cache.Service.compiles service));
-         ( "profile_node_memo",
-           J.Obj
-             [
-               ("hits", J.Int memo.Swp_core.Profile.node_hits);
-               ("misses", J.Int memo.Swp_core.Profile.node_misses);
-               ("entries", J.Int memo.Swp_core.Profile.node_entries);
-             ] );
-       ])
-
-let serve_compile service (req : Cache.Protocol.request) =
-  match serve_graph_of_request req with
-  | Error m -> Cache.Protocol.error_response ~req m
-  | Ok g -> (
-    match serve_options_of_request req with
-    | Error m -> Cache.Protocol.error_response ~req m
-    | Ok opts -> (
-      match
-        Cache.Service.get ~warm:req.Cache.Protocol.warm service g opts
-      with
-      | Ok (e, outcome) -> Cache.Protocol.ok_response req e outcome
-      | Error m -> Cache.Protocol.error_response ~req m
-      | exception e ->
-        (* The daemon must survive anything a single request throws. *)
-        Cache.Protocol.error_response ~req
-          ("internal error: " ^ Printexc.to_string e)))
-
-let serve_one service (req : Cache.Protocol.request) =
-  match req.Cache.Protocol.op with
-  | Cache.Protocol.Compile -> serve_compile service req
-  | Cache.Protocol.Stats -> serve_stats_response service req
-  | Cache.Protocol.Shutdown ->
-    (* Only meaningful at the top level; inside a batch it is refused
-       so an array can never half-kill the daemon. *)
-    Cache.Protocol.error_response ~req "shutdown is not allowed in a batch"
-
-(* One input line -> `Reply response | `Shutdown response. *)
-let serve_handle_line service line =
-  match Cache.Protocol.parse line with
-  | exception Cache.Protocol.Parse_error m ->
-    `Reply (Cache.Protocol.error_response ("invalid JSON: " ^ m))
-  | Obs.Report.Arr docs ->
-    let responses =
-      Par.Pool.map_auto
-        (fun doc ->
-          match Cache.Protocol.request_of_json doc with
-          | Error m ->
-            Cache.Protocol.error_response ?id:(Obs.Report.member "id" doc) m
-          | Ok req -> serve_one service req)
-        docs
-    in
-    `Reply ("[" ^ String.concat "," responses ^ "]")
-  | doc -> (
-    match Cache.Protocol.request_of_json doc with
-    | Error m ->
-      `Reply
-        (Cache.Protocol.error_response ?id:(Obs.Report.member "id" doc) m)
-    | Ok req -> (
-      match req.Cache.Protocol.op with
-      | Cache.Protocol.Shutdown ->
-        `Shutdown (Cache.Protocol.shutdown_response req)
-      | Cache.Protocol.Compile | Cache.Protocol.Stats ->
-        `Reply (serve_one service req)))
-
-(* Returns true when a shutdown request ended the stream (vs EOF). *)
-let serve_channel service ic oc =
-  let reply s =
-    output_string oc s;
-    output_char oc '\n';
-    flush oc
-  in
-  let rec loop () =
-    match input_line ic with
-    | exception End_of_file -> false
-    | line when String.trim line = "" -> loop ()
-    | line -> (
-      match serve_handle_line service line with
-      | `Reply s ->
-        reply s;
-        loop ()
-      | `Shutdown s ->
-        reply s;
-        true)
-  in
-  loop ()
-
-let serve_socket service path =
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let cleanup () =
-    (try Unix.close sock with Unix.Unix_error _ -> ());
-    try Unix.unlink path with Unix.Unix_error _ -> ()
-  in
-  at_exit cleanup;
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 16;
-  (* A client that disconnects mid-response must not kill the daemon. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
-  let stop = ref false in
-  while not !stop do
-    let fd, _ = Unix.accept sock in
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    (try stop := serve_channel service ic oc
-     with Sys_error _ | Unix.Unix_error _ -> ());
-    try Unix.close fd with Unix.Unix_error _ -> ()
-  done;
-  0
+    | Ok () -> Ok (Flatten.flatten stream))
 
 let serve_cmd =
   let doc =
     "Run the compile daemon: newline-delimited JSON requests on stdin (or a \
-     Unix socket), served from a content-addressed schedule cache."
+     Unix socket), served from a content-addressed schedule cache with \
+     admission control, load shedding and crash-safe cache recovery."
   in
   let socket_arg =
     Arg.(
@@ -1048,9 +896,10 @@ let serve_cmd =
       & info [ "cache-dir" ] ~docv:"DIR"
           ~doc:
             "Persist cache entries to $(docv) (created if absent) and serve \
-             from it across restarts.  Entries are content-addressed, so a \
-             directory shared between daemon versions stays correct: a new \
-             compiler version simply misses.")
+             from it across restarts.  Entries are content-addressed and \
+             checksummed; a startup scrub quarantines (never deletes) torn \
+             or corrupt files into $(docv)/quarantine, and disk errors \
+             degrade the daemon to memory-only instead of killing it.")
   in
   let capacity_arg =
     Arg.(
@@ -1066,28 +915,165 @@ let serve_cmd =
             "Disable incremental recompilation (per-node profile memo reuse \
              and II-search warm starts on skeleton-equal graphs).")
   in
-  let run socket cache_dir capacity no_warm jobs metrics =
+  let max_inflight_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Compile requests allowed to execute concurrently.")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Compile requests allowed to wait beyond --max-inflight before \
+             the daemon sheds with a deterministic \"overloaded\" error and \
+             a retry-after hint.")
+  in
+  let ledger_cap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ledger-cap" ] ~docv:"WORK"
+          ~doc:
+            "Cap the summed declared work units (request budgets) of \
+             outstanding compiles; requests beyond it are shed.  Unlimited \
+             when absent.")
+  in
+  let breaker_threshold_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-threshold" ] ~docv:"N"
+          ~doc:
+            "Consecutive compile crashes after which a cache key is \
+             poisoned: further requests for it are refused outright until a \
+             compile of that key succeeds.")
+  in
+  let max_line_bytes_arg =
+    Arg.(
+      value
+      & opt int Cache.Daemon.default_max_line_bytes
+      & info [ "max-line-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Longest request line the daemon will buffer; an over-limit \
+             line is answered with a single error response instead of \
+             growing an unbounded buffer.")
+  in
+  let health_arg =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Print one health JSON object (compiler version, cache and \
+             scrub state, admission-ledger occupancy, breaker state) and \
+             exit instead of serving.")
+  in
+  let run socket cache_dir capacity no_warm max_inflight queue_cap ledger_cap
+      breaker_threshold max_line_bytes health jobs metrics =
     with_jobs jobs @@ fun () ->
     if capacity < 1 then begin
       Printf.eprintf "error: --cache-capacity must be at least 1\n";
       1
     end
+    else if max_inflight < 1 then begin
+      Printf.eprintf "error: --max-inflight must be at least 1\n";
+      1
+    end
+    else if queue_cap < 0 then begin
+      Printf.eprintf "error: --queue-cap must be >= 0\n";
+      1
+    end
+    else if (match ledger_cap with Some c -> c < 1 | None -> false) then begin
+      Printf.eprintf "error: --ledger-cap must be at least 1\n";
+      1
+    end
+    else if breaker_threshold < 1 then begin
+      Printf.eprintf "error: --breaker-threshold must be at least 1\n";
+      1
+    end
+    else if max_line_bytes < 1024 then begin
+      Printf.eprintf "error: --max-line-bytes must be at least 1024\n";
+      1
+    end
     else
       let service =
-        Cache.Service.create ?dir:cache_dir ~capacity ~warm:(not no_warm) ()
+        Cache.Service.create ?dir:cache_dir ~capacity ~warm:(not no_warm)
+          ~breaker_threshold ()
       in
-      dump_metrics metrics
-      @@
-      match socket with
-      | None ->
-        ignore (serve_channel service stdin stdout);
-        0
-      | Some path -> serve_socket service path
+      let guard =
+        Cache.Guard.create ~max_inflight ~queue_cap ?work_cap:ledger_cap ()
+      in
+      let daemon =
+        Cache.Daemon.create ~guard ~max_line_bytes
+          ~lookup_program:serve_lookup_program service
+      in
+      if health then begin
+        print_endline
+          (Obs.Report.to_string
+             (Obs.Report.Obj
+                (("status", Obs.Report.Str "ok")
+                :: Cache.Daemon.health_json daemon)));
+        dump_metrics metrics 0
+      end
+      else
+        dump_metrics metrics
+        @@
+        match socket with
+        | None ->
+          ignore (Cache.Daemon.serve_channel daemon stdin stdout);
+          0
+        | Some path -> Cache.Daemon.serve_socket daemon path
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ cache_dir_arg $ capacity_arg $ no_warm_arg
-      $ jobs_arg $ metrics_arg)
+      $ max_inflight_arg $ queue_cap_arg $ ledger_cap_arg
+      $ breaker_threshold_arg $ max_line_bytes_arg $ health_arg $ jobs_arg
+      $ metrics_arg)
+
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let doc =
+    "Run the serve-daemon chaos campaign: per-seed fault injection \
+     (store/protocol/admission/compile sites), disk corruption with scrub \
+     recovery, overload bursts and a byte-identity audit of every surviving \
+     cached artifact, all against the production daemon loop."
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"N" ~doc:"Chaos seeds to run (>= 1).")
+  in
+  let base_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "base-seed" ] ~docv:"SEED" ~doc:"First seed of the range.")
+  in
+  let keep_arg =
+    Arg.(
+      value & flag
+      & info [ "keep" ]
+          ~doc:
+            "Keep each seed's scratch directory (cache, quarantine, event \
+             log) instead of deleting it on success.")
+  in
+  let run seeds base_seed keep metrics =
+    if seeds < 1 then begin
+      Printf.eprintf "error: --seeds must be at least 1\n";
+      1
+    end
+    else begin
+      let stats, failures = Check.Serve_chaos.run ~base_seed ~seeds ~keep () in
+      List.iter
+        (fun f -> Format.printf "FAIL %a@." Check.Serve_chaos.pp_failure f)
+        failures;
+      Format.printf "%a@." Check.Serve_chaos.pp_stats stats;
+      dump_metrics metrics (if failures = [] then 0 else 1)
+    end
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ seeds_arg $ base_seed_arg $ keep_arg $ metrics_arg)
 
 let () =
   let doc = "StreamIt-to-GPU software-pipelining compiler (CGO 2009 reproduction)" in
@@ -1099,5 +1085,5 @@ let () =
           [
             list_cmd; info_cmd; profile_cmd; compile_cmd; emit_cmd; run_cmd;
             buffers_cmd; speedup_cmd; trace_cmd; fuzz_cmd; sweep_cmd;
-            report_cmd; serve_cmd;
+            report_cmd; serve_cmd; chaos_cmd;
           ]))

@@ -1,0 +1,55 @@
+(** The serve daemon's request loop: newline-delimited JSON requests
+    in, one response line each, backed by {!Service} with {!Guard}
+    admission control in front.  Lives in the library (rather than the
+    binary) so the chaos campaign and the tests drive the exact
+    production loop.
+
+    Hardening: request lines are read through
+    {!Protocol.read_bounded_line} (an over-limit line yields one error
+    response, not an unbounded buffer); compile requests are admitted
+    serially in arrival order before any parsing, so load sheds are
+    deterministic; a shutdown request drains — refuses new admissions,
+    waits for in-flight work, and reports the final counters. *)
+
+type t
+
+val default_max_line_bytes : int
+(** 4 MiB. *)
+
+val create :
+  ?guard:Guard.t ->
+  ?max_line_bytes:int ->
+  ?lookup_program:(string -> (Streamit.Graph.t, string) result) ->
+  Service.t ->
+  t
+(** [lookup_program] resolves a request's ["program"] field (builtin
+    benchmark names, file loading — policy the binary supplies); the
+    default refuses every name.  Inline ["src"] is always parsed by
+    the daemon itself.  [max_line_bytes] must be >= 1024. *)
+
+val service : t -> Service.t
+val guard : t -> Guard.t
+
+val graph_of_request :
+  t -> Protocol.request -> (Streamit.Graph.t, string) result
+
+val options_of_request : Protocol.request -> (Key.options, string) result
+
+val health_json : t -> (string * Obs.Report.t) list
+(** The ping op's body (version, cache health, guard occupancy,
+    breaker state) — also what [--health] prints. *)
+
+val handle_line :
+  t -> string -> [ `Reply of string | `Shutdown of string ]
+(** One already-read input line to its response.  A JSON array is a
+    batch: admitted serially in order, executed on the {!Par.Pool},
+    answered as a JSON array in request order. *)
+
+val serve_channel : t -> in_channel -> out_channel -> bool
+(** Serve until EOF or shutdown; [true] iff a shutdown request (vs
+    EOF) ended the stream. *)
+
+val serve_socket : t -> string -> int
+(** Serve one client at a time on a Unix domain socket at the given
+    path (stale socket files are replaced; the socket is removed on
+    exit).  Returns the process exit code. *)

@@ -3,16 +3,26 @@
    One request object per line in, one response object per line out,
    in request order.  The repo already has a JSON *writer*
    ([Obs.Report]); this module adds the minimal reader the daemon
-   needs — objects, arrays, strings, numbers, booleans, null, UTF-8
-   passed through opaquely — plus the typed request/response layer.
+   needs — objects, arrays, strings, numbers, booleans, null — plus
+   the typed request/response layer.
+
+   The reader is hardened for a long-lived daemon fed by untrusted
+   clients: duplicate object keys, non-finite numbers (1e999 parses to
+   infinity and would silently coerce) and invalid UTF-8 inside
+   strings are all rejected — the last matters because request ids are
+   echoed back verbatim, and echoing invalid UTF-8 would make the
+   daemon emit invalid JSON.  Typed fields are strict: a present field
+   of the wrong type is an error, never silently ignored.  Input lines
+   are read through {!read_bounded_line}, so one huge line costs a
+   bounded buffer and a one-line error response, not an OOM.
 
    Request schema (all fields optional unless noted):
-     {"op": "compile" | "stats" | "shutdown",      // default "compile"
+     {"op": "compile" | "stats" | "ping" | "shutdown", // default "compile"
       "id": <any json, echoed back verbatim>,
       "program": "<builtin benchmark name>",       // one of program/src
       "src": "<inline .str source>",               //   required for compile
       "num_sms": N, "coarsening": N, "scheme": "SWP"|"SWPNC",
-      "budget": N, "portfolio": bool, "lns_rounds": N,
+      "budget": N, "deadline": SECONDS, "portfolio": bool, "lns_rounds": N,
       "target": "cuda"|"wgsl"|"opencl"|"metal",    // default "cuda"
       "warm": bool,                                // default true
       "artifacts": ["schedule","layout","kernel","report"]}  // default none
@@ -20,17 +30,66 @@
    "cuda" is accepted as a legacy alias for the "kernel" artifact; both
    select the entry's kernel source, printed for the request's target.
 
+   "deadline" is a per-request wall-clock bound in seconds; results
+   compiled under one are returned but never cached (Service's taint
+   rule), since a deadline can shape the artifact nondeterministically.
+
    Response: {"id": ..., "status": "ok"|"error", and for ok compiles
    "cache": "hit"|"miss"|"incremental", "key", "ii", "quality",
-   "signature", plus any requested artifacts inline as strings}. *)
+   "signature", plus any requested artifacts inline as strings}.  A
+   request shed by admission control answers
+   {"id": ..., "status": "error", "error": "overloaded: ...",
+    "retry_after_ms": N}. *)
 
 module J = Obs.Report
 
 exception Parse_error of string
 
+(* --- UTF-8 validation --- *)
+
+(* Strict validation (rejects overlongs and surrogates): the daemon
+   echoes string fields back, so accepting invalid UTF-8 here would
+   mean emitting it later. *)
+let utf8_valid s =
+  let n = String.length s in
+  let byte i = Char.code s.[i] in
+  let cont i = i < n && byte i land 0xC0 = 0x80 in
+  let rec go i =
+    if i >= n then true
+    else
+      let c = byte i in
+      if c < 0x80 then go (i + 1)
+      else if c < 0xC2 then false (* bare continuation or overlong lead *)
+      else if c < 0xE0 then cont (i + 1) && go (i + 2)
+      else if c < 0xF0 then
+        let b1_ok =
+          i + 1 < n
+          &&
+          let b1 = byte (i + 1) in
+          if c = 0xE0 then b1 >= 0xA0 && b1 <= 0xBF (* no overlongs *)
+          else if c = 0xED then b1 >= 0x80 && b1 <= 0x9F (* no surrogates *)
+          else b1 land 0xC0 = 0x80
+        in
+        b1_ok && cont (i + 2) && go (i + 3)
+      else if c < 0xF5 then
+        let b1_ok =
+          i + 1 < n
+          &&
+          let b1 = byte (i + 1) in
+          if c = 0xF0 then b1 >= 0x90 && b1 <= 0xBF
+          else if c = 0xF4 then b1 >= 0x80 && b1 <= 0x8F (* <= U+10FFFF *)
+          else b1 land 0xC0 = 0x80
+        in
+        b1_ok && cont (i + 2) && cont (i + 3) && go (i + 4)
+      else false
+  in
+  go 0
+
 (* --- reader --- *)
 
 let parse (s : string) : J.t =
+  if Resil.Inject.hit "protocol.decode" then
+    raise (Parse_error "injected fault: protocol.decode");
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
@@ -104,7 +163,9 @@ let parse (s : string) : J.t =
         go ()
     in
     go ();
-    Buffer.contents b
+    let out = Buffer.contents b in
+    if not (utf8_valid out) then fail "invalid UTF-8 in string";
+    out
   in
   let parse_number () =
     let start = !pos in
@@ -121,7 +182,8 @@ let parse (s : string) : J.t =
     | Some i -> J.Int i
     | None -> (
       match float_of_string_opt text with
-      | Some f -> J.Float f
+      | Some f when Float.is_finite f -> J.Float f
+      | Some _ -> fail ("number out of range " ^ text)
       | None -> fail ("bad number " ^ text))
   in
   let rec parse_value () =
@@ -139,6 +201,9 @@ let parse (s : string) : J.t =
         let rec members acc =
           skip_ws ();
           let k = parse_string () in
+          (* Duplicate keys are a classic smuggling vector (readers
+             disagree on which copy wins); refuse them outright. *)
+          if List.mem_assoc k acc then fail (Printf.sprintf "duplicate key %S" k);
           skip_ws ();
           expect ':';
           let v = parse_value () in
@@ -187,9 +252,37 @@ let parse (s : string) : J.t =
   if !pos <> n then fail "trailing garbage";
   v
 
+(* --- bounded line reads --- *)
+
+type read_result = Line of string | Truncated | Eof
+
+let read_bounded_line ~max_bytes ic =
+  let b = Buffer.create 256 in
+  (* Over-limit: stop buffering but keep consuming to the newline, so
+     the stream stays line-synchronized and the next request parses. *)
+  let rec discard () =
+    match input_char ic with
+    | '\n' -> Truncated
+    | _ -> discard ()
+    | exception End_of_file -> Truncated
+  in
+  let rec go () =
+    match input_char ic with
+    | '\n' -> Line (Buffer.contents b)
+    | c ->
+      if Buffer.length b >= max_bytes then discard ()
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    | exception End_of_file ->
+      if Buffer.length b = 0 then Eof else Line (Buffer.contents b)
+  in
+  go ()
+
 (* --- typed requests --- *)
 
-type op = Compile | Stats | Shutdown
+type op = Compile | Stats | Ping | Shutdown
 
 type request = {
   id : J.t option;
@@ -200,6 +293,7 @@ type request = {
   coarsening : int;
   scheme : Swp_core.Compile.scheme;
   budget : int option;
+  deadline : float option;
   portfolio : bool option;
   lns_rounds : int option;
   target : Kir.Ir.target;
@@ -207,76 +301,106 @@ type request = {
   artifacts : string list;
 }
 
-let mem_str = function J.Str s -> Some s | _ -> None
-let mem_int = function J.Int i -> Some i | _ -> None
-let mem_bool = function J.Bool b -> Some b | _ -> None
+let ( let* ) = Result.bind
 
-let field doc name conv = Option.bind (J.member name doc) conv
+(* Strict extraction: absent is fine, the wrong type is an error — a
+   request that says {"budget": 1e23} meant *something*, and silently
+   compiling without a budget is the wrong answer. *)
+let typed doc name conv expect =
+  match J.member name doc with
+  | None -> Ok None
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok (Some x)
+    | None -> Error (Printf.sprintf "%s must be %s" name expect))
+
+let str_field doc name =
+  typed doc name (function J.Str s -> Some s | _ -> None) "a string"
+
+let int_field doc name =
+  typed doc name (function J.Int i -> Some i | _ -> None) "an integer"
+
+let bool_field doc name =
+  typed doc name (function J.Bool b -> Some b | _ -> None) "a boolean"
+
+let num_field doc name =
+  typed doc name
+    (function J.Int i -> Some (float_of_int i) | J.Float f -> Some f | _ -> None)
+    "a number"
 
 let request_of_json doc =
   match doc with
   | J.Obj _ ->
-    let op =
-      match field doc "op" mem_str with
-      | None | Some "compile" -> Ok Compile
-      | Some "stats" -> Ok Stats
-      | Some "shutdown" -> Ok Shutdown
-      | Some other -> Error (Printf.sprintf "unknown op %S" other)
+    let* op =
+      match J.member "op" doc with
+      | None | Some (J.Str "compile") -> Ok Compile
+      | Some (J.Str "stats") -> Ok Stats
+      | Some (J.Str "ping") -> Ok Ping
+      | Some (J.Str "shutdown") -> Ok Shutdown
+      | Some (J.Str other) -> Error (Printf.sprintf "unknown op %S" other)
+      | Some _ -> Error "op must be a string"
     in
-    Result.bind op (fun op ->
-        let scheme =
-          match field doc "scheme" mem_str with
-          | None | Some "SWP" -> Ok Swp_core.Compile.Swp_coalesced
-          | Some "SWPNC" -> Ok Swp_core.Compile.Swp_non_coalesced
-          | Some other -> Error (Printf.sprintf "unknown scheme %S" other)
-        in
-        Result.bind scheme (fun scheme ->
-            let target =
-              match field doc "target" mem_str with
-              | None -> Ok Kir.Ir.Cuda
-              | Some s -> (
-                match Kir.Ir.target_of_string s with
-                | Some t -> Ok t
-                | None -> Error (Printf.sprintf "unknown target %S" s))
-            in
-            Result.bind target (fun target ->
-            let artifacts =
-              match J.member "artifacts" doc with
-              | Some (J.Arr xs) ->
-                List.fold_left
-                  (fun acc x ->
-                    Result.bind acc (fun acc ->
-                        match x with
-                        | J.Str
-                            (("schedule" | "layout" | "kernel" | "cuda"
-                             | "report") as a) ->
-                          Ok (a :: acc)
-                        | J.Str other ->
-                          Error (Printf.sprintf "unknown artifact %S" other)
-                        | _ -> Error "artifacts must be strings"))
-                  (Ok []) xs
-                |> Result.map List.rev
-              | None -> Ok []
-              | Some _ -> Error "artifacts must be an array"
-            in
-            Result.bind artifacts (fun artifacts ->
-            Ok
-              {
-                id = J.member "id" doc;
-                op;
-                program = field doc "program" mem_str;
-                src = field doc "src" mem_str;
-                num_sms = field doc "num_sms" mem_int;
-                coarsening =
-                  Option.value (field doc "coarsening" mem_int) ~default:1;
-                scheme;
-                budget = field doc "budget" mem_int;
-                portfolio = field doc "portfolio" mem_bool;
-                lns_rounds = field doc "lns_rounds" mem_int;
-                target;
-                warm = Option.value (field doc "warm" mem_bool) ~default:true;
-                artifacts;
-              }))))
+    let* scheme =
+      match J.member "scheme" doc with
+      | None | Some (J.Str "SWP") -> Ok Swp_core.Compile.Swp_coalesced
+      | Some (J.Str "SWPNC") -> Ok Swp_core.Compile.Swp_non_coalesced
+      | Some (J.Str other) -> Error (Printf.sprintf "unknown scheme %S" other)
+      | Some _ -> Error "scheme must be a string"
+    in
+    let* target =
+      match J.member "target" doc with
+      | None -> Ok Kir.Ir.Cuda
+      | Some (J.Str s) -> (
+        match Kir.Ir.target_of_string s with
+        | Some t -> Ok t
+        | None -> Error (Printf.sprintf "unknown target %S" s))
+      | Some _ -> Error "target must be a string"
+    in
+    let* artifacts =
+      match J.member "artifacts" doc with
+      | Some (J.Arr xs) ->
+        List.fold_left
+          (fun acc x ->
+            Result.bind acc (fun acc ->
+                match x with
+                | J.Str
+                    (("schedule" | "layout" | "kernel" | "cuda" | "report")
+                    as a) ->
+                  Ok (a :: acc)
+                | J.Str other ->
+                  Error (Printf.sprintf "unknown artifact %S" other)
+                | _ -> Error "artifacts must be strings"))
+          (Ok []) xs
+        |> Result.map List.rev
+      | None -> Ok []
+      | Some _ -> Error "artifacts must be an array"
+    in
+    let* program = str_field doc "program" in
+    let* src = str_field doc "src" in
+    let* num_sms = int_field doc "num_sms" in
+    let* coarsening = int_field doc "coarsening" in
+    let* budget = int_field doc "budget" in
+    let* deadline = num_field doc "deadline" in
+    let* portfolio = bool_field doc "portfolio" in
+    let* lns_rounds = int_field doc "lns_rounds" in
+    let* warm = bool_field doc "warm" in
+    Ok
+      {
+        id = J.member "id" doc;
+        op;
+        program;
+        src;
+        num_sms;
+        coarsening = Option.value coarsening ~default:1;
+        scheme;
+        budget;
+        deadline;
+        portfolio;
+        lns_rounds;
+        target;
+        warm = Option.value warm ~default:true;
+        artifacts;
+      }
   | _ -> Error "request must be a JSON object"
 
 let parse_request line =
@@ -288,18 +412,34 @@ let parse_request line =
 
 let id_field r = [ ("id", Option.value r.id ~default:J.Null) ]
 
-let error_response ?req ?id message =
+let resolve_id ?req ?id () =
   (* [req] when the request parsed; bare [id] when only the raw JSON
      did (clients correlate responses by id either way). *)
-  let idv =
-    match (req, id) with
-    | Some r, _ -> Option.value r.id ~default:J.Null
-    | None, Some v -> v
-    | None, None -> J.Null
-  in
+  match (req, id) with
+  | Some r, _ -> Option.value r.id ~default:J.Null
+  | None, Some v -> v
+  | None, None -> J.Null
+
+let error_response ?req ?id message =
   J.to_string
     (J.Obj
-       [ ("id", idv); ("status", J.Str "error"); ("error", J.Str message) ])
+       [
+         ("id", resolve_id ?req ?id ());
+         ("status", J.Str "error");
+         ("error", J.Str message);
+       ])
+
+let overloaded_response ?req ?id ~reason ~retry_after_ms () =
+  (* The shed path must stay deterministic under a fixed admission
+     state: same request order, same sheds, same hints. *)
+  J.to_string
+    (J.Obj
+       [
+         ("id", resolve_id ?req ?id ());
+         ("status", J.Str "error");
+         ("error", J.Str ("overloaded: " ^ reason));
+         ("retry_after_ms", J.Int retry_after_ms);
+       ])
 
 let ok_response req (e : Store.entry) (outcome : Service.outcome) =
   let artifact name body =
@@ -323,5 +463,7 @@ let ok_response req (e : Store.entry) (outcome : Service.outcome) =
        @ artifact "cuda" e.Store.kernel
        @ artifact "report" e.Store.report))
 
-let shutdown_response req =
-  J.to_string (J.Obj (id_field req @ [ ("status", J.Str "ok"); ("bye", J.Bool true) ]))
+let shutdown_response ?(drain = []) req =
+  J.to_string
+    (J.Obj
+       (id_field req @ [ ("status", J.Str "ok"); ("bye", J.Bool true) ] @ drain))

@@ -14,7 +14,13 @@
     previously achieved II.  The hint can only influence a [Degraded]
     result (the fallback ramp), so degraded warm results are returned
     but never stored; everything cached remains byte-identical to a
-    cold compile of its key. *)
+    cold compile of its key.  A per-request [?deadline] likewise
+    taints: deadline-shaped results are returned but never stored.
+
+    A compile that crashes (escaped exception) is contained — waiters
+    get an error instead of hanging — and counts against the key's
+    poison breaker: after [breaker_threshold] consecutive crashes the
+    key is refused outright until a success resets it. *)
 
 type outcome = Hit | Miss | Incremental
 
@@ -22,19 +28,29 @@ val outcome_name : outcome -> string
 
 type t
 
-val create : ?dir:string -> ?capacity:int -> ?warm:bool -> unit -> t
+val create :
+  ?dir:string ->
+  ?capacity:int ->
+  ?warm:bool ->
+  ?breaker_threshold:int ->
+  unit ->
+  t
 (** [dir]/[capacity] configure the {!Store}; [warm = false] disables
-    incremental warm starts service-wide. *)
+    incremental warm starts service-wide; [breaker_threshold] (default
+    3, must be >= 1) is how many consecutive compile crashes poison a
+    key. *)
 
 val get :
   ?warm:bool ->
+  ?deadline:float ->
   t ->
   Streamit.Graph.t ->
   Key.options ->
   (Store.entry * outcome, string) result
 (** Look up or compile.  [warm = false] disables the warm-start hint
-    for this request only.  Coalesced waiters on another request's
-    in-flight compile report [Hit]. *)
+    for this request only.  [deadline] bounds the compile in wall-clock
+    seconds; the result is never cached.  Coalesced waiters on another
+    request's in-flight compile report [Hit]. *)
 
 val get_many :
   ?warm:bool ->
@@ -46,3 +62,14 @@ val get_many :
 
 val compiles : t -> int
 (** Number of actual compiles performed (misses that did work). *)
+
+val store : t -> Store.t
+(** The underlying store, for health reporting and scrub stats. *)
+
+val poisoned : t -> string -> bool
+(** Is this key's circuit breaker open? *)
+
+val crash_count : t -> string -> int
+
+val breaker_open_count : t -> int
+(** Number of keys currently poisoned. *)

@@ -5,7 +5,24 @@
    artifacts — so there is no invalidation beyond eviction: a changed
    graph, option or compiler version simply hashes to a different key,
    and old entries age out of the LRU (disk entries are left in place;
-   they are content-addressed and never wrong, only unused). *)
+   they are content-addressed and never wrong, only unused).
+
+   The disk tier is hardened against the daemon's failure modes:
+
+   - entries carry an MD5 checksum over their payload, so a torn or
+     bit-flipped file is detected before any field is trusted;
+   - a startup scrub walks the directory and *quarantines* (moves into
+     [dir/quarantine], never silently deletes) every file that fails
+     the checksum, the key/filename match or the codec, plus stale
+     [.tmp] debris from a crashed writer;
+   - writes fsync the entry file before the atomic rename and fsync
+     the directory after it, so a published entry survives power loss;
+   - any disk I/O error (ENOSPC, EIO, ...) permanently degrades the
+     store to memory-only for the rest of the process — the daemon
+     keeps serving, it just stops persisting — instead of failing
+     requests;
+   - [Resil.Inject] sites ["store.read"] and ["store.write"] let the
+     chaos campaign fire those I/O errors deterministically. *)
 
 type entry = {
   key : string;  (** hex digest from {!Key.digest} *)
@@ -25,8 +42,14 @@ let m_mem_hits = Obs.Metrics.counter "cache.store.mem_hits"
 let m_disk_hits = Obs.Metrics.counter "cache.store.disk_hits"
 let m_misses = Obs.Metrics.counter "cache.store.misses"
 let m_evictions = Obs.Metrics.counter "cache.store.evictions"
+let m_quarantined = Obs.Metrics.counter "cache.store.quarantined"
+let m_scrub_scanned = Obs.Metrics.counter "cache.store.scrub_scanned"
+let m_disk_errors = Obs.Metrics.counter "cache.store.disk_errors"
+let m_disk_degraded = Obs.Metrics.counter "cache.store.disk_degraded"
 
 type slot = { e : entry; mutable tick : int }
+
+type scrub_stats = { scanned : int; quarantined : int }
 
 type t = {
   m : Mutex.t;
@@ -34,27 +57,20 @@ type t = {
   mutable clock : int;
   capacity : int;
   dir : string option;
+  mutable disk_ok : bool;  (** cleared forever on the first I/O error *)
+  mutable quarantined : int;  (** startup scrub + runtime reads *)
+  scrub : scrub_stats;  (** what the startup scrub saw *)
 }
-
-let create ?dir ?(capacity = 256) () =
-  if capacity < 1 then invalid_arg "Store.create: capacity must be >= 1";
-  (match dir with
-  | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
-  | Some d when not (Sys.is_directory d) ->
-    invalid_arg (Printf.sprintf "Store.create: %s is not a directory" d)
-  | _ -> ());
-  { m = Mutex.create (); mem = Hashtbl.create 64; clock = 0; capacity; dir }
 
 (* --- entry (de)serialization: explicit lengths, byte-exact --- *)
 
-(* v2: the "cuda" section became target-generic "kernel"; v1 entries
-   fail the magic check and read as misses, which is the correct
-   behaviour for a format change. *)
-let format_magic = "streamit-cache-entry v2"
+(* v3: a checksum line after the magic guards the whole payload; v1/v2
+   entries fail the magic check and read as corrupt, which quarantines
+   them at scrub time — the correct behaviour for a format change. *)
+let format_magic = "streamit-cache-entry v3"
 
-let serialize (e : entry) =
+let serialize_payload (e : entry) =
   let b = Buffer.create (String.length e.kernel + 1024) in
-  Buffer.add_string b (format_magic ^ "\n");
   Buffer.add_string b (Printf.sprintf "key %s\n" e.key);
   Buffer.add_string b (Printf.sprintf "ii %d\n" e.ii);
   Buffer.add_string b (Printf.sprintf "quality %s\n" e.quality);
@@ -70,6 +86,15 @@ let serialize (e : entry) =
   section "kernel" e.kernel;
   section "report" e.report;
   Buffer.contents b
+
+let serialize (e : entry) =
+  let payload = serialize_payload e in
+  String.concat ""
+    [
+      format_magic; "\n";
+      "checksum "; Digest.to_hex (Digest.string payload); "\n";
+      payload;
+    ]
 
 exception Corrupt of string
 
@@ -106,6 +131,10 @@ let deserialize s =
     body
   in
   if line () <> format_magic then raise (Corrupt "bad magic");
+  let checksum = field "checksum" in
+  let payload = String.sub s !pos (String.length s - !pos) in
+  if Digest.to_hex (Digest.string payload) <> checksum then
+    raise (Corrupt "checksum mismatch");
   let key = field "key" in
   let ii =
     match int_of_string_opt (field "ii") with
@@ -123,29 +152,168 @@ let deserialize s =
 (* --- disk tier --- *)
 
 let path_of dir key = Filename.concat dir (key ^ ".entry")
+let quarantine_dir dir = Filename.concat dir "quarantine"
 
-let disk_read dir key =
+(* Move a suspect file aside where an operator can inspect it.  Never
+   deletes: if even the rename fails the file simply stays put (and
+   keeps reading as a miss).  Returns whether the move happened. *)
+let quarantine_file dir p =
+  let q = quarantine_dir dir in
+  (try if not (Sys.file_exists q) then Unix.mkdir q 0o755
+   with Unix.Unix_error _ -> ());
+  match Sys.rename p (Filename.concat q (Filename.basename p)) with
+  | () ->
+    Obs.Metrics.inc m_quarantined;
+    true
+  | exception Sys_error _ -> false
+
+let degrade t why =
+  Obs.Metrics.inc m_disk_errors;
+  if t.disk_ok then begin
+    t.disk_ok <- false;
+    Obs.Metrics.inc m_disk_degraded;
+    (* One line on stderr so an operator learns the daemon went
+       memory-only; requests keep succeeding either way. *)
+    Printf.eprintf "cache: disk degraded to memory-only (%s)\n%!" why
+  end
+
+let record_quarantine t moved = if moved then t.quarantined <- t.quarantined + 1
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let disk_read t dir key =
   let p = path_of dir key in
   if not (Sys.file_exists p) then None
   else
-    try
-      let ic = open_in_bin p in
-      let s = really_input_string ic (in_channel_length ic) in
-      close_in ic;
-      let e = deserialize s in
-      (* Content addressing makes corruption detectable for free. *)
-      if e.key = key then Some e else None
-    with Corrupt _ | Sys_error _ | End_of_file -> None
+    match
+      if Resil.Inject.hit "store.read" then `Io "injected fault: store.read"
+      else
+        match read_file p with
+        | s -> (
+          match deserialize s with
+          | e -> `Entry e
+          | exception Corrupt why -> `Corrupt why)
+        | exception (Sys_error m | Failure m) -> `Io m
+        | exception End_of_file -> `Corrupt "short read"
+    with
+    | `Entry e when e.key = key -> Some e
+    | `Entry _ ->
+      (* Content addressing makes tampering detectable for free. *)
+      record_quarantine t (quarantine_file dir p);
+      None
+    | `Corrupt _ ->
+      record_quarantine t (quarantine_file dir p);
+      None
+    | `Io why ->
+      degrade t why;
+      None
 
-let disk_write dir (e : entry) =
+let fsync_dir dir =
+  (* Persist the rename itself.  Directory fsync is not supported on
+     every platform; failing to sync the directory is strictly less
+     safe but not an error worth degrading over. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let disk_write t dir (e : entry) =
   let p = path_of dir e.key in
   let tmp = p ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc (serialize e);
-  close_out oc;
-  (* Atomic publish: a crashed daemon never leaves a half-written
-     entry under its final name. *)
-  Sys.rename tmp p
+  match
+    if Resil.Inject.hit "store.write" then
+      failwith "injected fault: store.write"
+    else begin
+      let oc = open_out_bin tmp in
+      (match
+         output_string oc (serialize e);
+         flush oc;
+         Unix.fsync (Unix.descr_of_out_channel oc)
+       with
+      | () -> close_out oc
+      | exception ex ->
+        close_out_noerr oc;
+        raise ex);
+      (* Atomic publish: a crashed daemon never leaves a half-written
+         entry under its final name; the directory fsync makes the
+         publication itself survive power loss. *)
+      Sys.rename tmp p;
+      fsync_dir dir
+    end
+  with
+  | () -> ()
+  | exception (Sys_error m | Failure m) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    degrade t m
+  | exception Unix.Unix_error (err, fn, _) ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    degrade t (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+
+(* --- startup scrub --- *)
+
+(* Walk the directory once before serving from it: anything that is
+   not a verifiably intact entry under its own key is quarantined.
+   Stale [.tmp] files are debris from a writer that died before its
+   rename — also quarantined (they were never published, but an
+   operator may still want the bytes). *)
+let scrub dir =
+  let scanned = ref 0 and quarantined = ref 0 in
+  let files = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort compare files;
+  Array.iter
+    (fun f ->
+      let p = Filename.concat dir f in
+      let is_file = try not (Sys.is_directory p) with Sys_error _ -> false in
+      if is_file then
+        if Filename.check_suffix f ".tmp" then begin
+          incr scanned;
+          Obs.Metrics.inc m_scrub_scanned;
+          if quarantine_file dir p then incr quarantined
+        end
+        else if Filename.check_suffix f ".entry" then begin
+          incr scanned;
+          Obs.Metrics.inc m_scrub_scanned;
+          let expected_key = Filename.chop_suffix f ".entry" in
+          let ok =
+            match read_file p with
+            | s -> (
+              match deserialize s with
+              | e -> e.key = expected_key
+              | exception Corrupt _ -> false)
+            | exception (Sys_error _ | End_of_file) -> false
+          in
+          if not ok && quarantine_file dir p then incr quarantined
+        end)
+    files;
+  { scanned = !scanned; quarantined = !quarantined }
+
+let create ?dir ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Store.create: capacity must be >= 1";
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> Unix.mkdir d 0o755
+  | Some d when not (Sys.is_directory d) ->
+    invalid_arg (Printf.sprintf "Store.create: %s is not a directory" d)
+  | _ -> ());
+  let scrub_stats =
+    match dir with
+    | Some d -> scrub d
+    | None -> { scanned = 0; quarantined = 0 }
+  in
+  {
+    m = Mutex.create ();
+    mem = Hashtbl.create 64;
+    clock = 0;
+    capacity;
+    dir;
+    disk_ok = true;
+    quarantined = scrub_stats.quarantined;
+    scrub = scrub_stats;
+  }
 
 (* --- LRU map (caller holds t.m) --- *)
 
@@ -199,7 +367,11 @@ let find t key =
     Obs.Metrics.inc m_mem_hits;
     Some e
   | None -> (
-    match Option.bind t.dir (fun d -> disk_read d key) with
+    let disk =
+      if t.disk_ok then Option.bind t.dir (fun d -> disk_read t d key)
+      else None
+    in
+    match disk with
     | Some e ->
       Obs.Metrics.inc m_disk_hits;
       Mutex.lock t.m;
@@ -214,10 +386,42 @@ let put t e =
   Mutex.lock t.m;
   insert_locked t e;
   Mutex.unlock t.m;
-  Option.iter (fun d -> disk_write d e) t.dir
+  if t.disk_ok then Option.iter (fun d -> disk_write t d e) t.dir
 
 let mem_size t =
   Mutex.lock t.m;
   let n = Hashtbl.length t.mem in
   Mutex.unlock t.m;
   n
+
+(* --- health (for the serve ping op) --- *)
+
+type disk_state = No_disk | Disk_ok | Disk_degraded
+
+type health = {
+  mem_entries : int;
+  disk : disk_state;
+  quarantined_total : int;
+  scrub_scanned : int;
+  scrub_quarantined : int;
+}
+
+let disk_state_name = function
+  | No_disk -> "none"
+  | Disk_ok -> "ok"
+  | Disk_degraded -> "degraded"
+
+let health t =
+  {
+    mem_entries = mem_size t;
+    disk =
+      (match t.dir with
+      | None -> No_disk
+      | Some _ -> if t.disk_ok then Disk_ok else Disk_degraded);
+    quarantined_total = t.quarantined;
+    scrub_scanned = t.scrub.scanned;
+    scrub_quarantined = t.scrub.quarantined;
+  }
+
+let scrub_stats t = t.scrub
+let disk_degraded t = t.dir <> None && not t.disk_ok

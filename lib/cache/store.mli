@@ -3,8 +3,15 @@
     self-describing (the digest determines the artifacts), so there is
     no invalidation protocol: changed inputs hash to new keys, old
     in-memory entries age out via LRU, and disk entries — atomically
-    published via rename — are simply never read again.  Thread-safe;
-    all counters go to the [cache.store.*] metrics. *)
+    published via fsynced temp-file + rename — are simply never read
+    again.  Thread-safe; all counters go to the [cache.store.*]
+    metrics.
+
+    Crash safety: entries are checksummed, a startup scrub quarantines
+    (never silently deletes) torn or corrupt files into
+    [dir/quarantine], and the first disk I/O error (ENOSPC, EIO, an
+    injected ["store.read"]/["store.write"] fault) permanently degrades
+    the store to memory-only instead of failing requests. *)
 
 type entry = {
   key : string;
@@ -20,21 +27,47 @@ type entry = {
 
 type t
 
+type scrub_stats = { scanned : int; quarantined : int }
+
 val create : ?dir:string -> ?capacity:int -> unit -> t
 (** [capacity] bounds the in-memory tier (default 256, must be >= 1).
-    [dir] enables the disk tier (created if absent). *)
+    [dir] enables the disk tier (created if absent) and runs the
+    startup scrub over it before the store is used. *)
 
 val find : t -> string -> entry option
 (** Memory first, then disk (promoting into memory).  A disk entry
-    whose stored key disagrees with its filename — torn write,
-    tampering — is treated as a miss. *)
+    whose checksum, codec or stored key disagrees with its filename —
+    torn write, tampering — is quarantined and treated as a miss; a
+    disk read error degrades the store to memory-only and misses. *)
 
 val put : t -> entry -> unit
 val mem_size : t -> int
 
 val serialize : entry -> string
 val deserialize : string -> entry
-(** Length-framed byte-exact codec used by the disk tier.
-    @raise Corrupt on malformed input. *)
+(** Length-framed byte-exact codec used by the disk tier; the payload
+    is guarded by an MD5 checksum line.
+    @raise Corrupt on malformed input or a checksum mismatch. *)
 
 exception Corrupt of string
+
+val quarantine_dir : string -> string
+(** Where a store rooted at the given directory quarantines suspect
+    files ([dir/quarantine]). *)
+
+(** {2 Health (the serve [ping] op)} *)
+
+type disk_state = No_disk | Disk_ok | Disk_degraded
+
+type health = {
+  mem_entries : int;
+  disk : disk_state;
+  quarantined_total : int;  (** startup scrub + runtime reads *)
+  scrub_scanned : int;
+  scrub_quarantined : int;
+}
+
+val disk_state_name : disk_state -> string
+val health : t -> health
+val scrub_stats : t -> scrub_stats
+val disk_degraded : t -> bool

@@ -19,6 +19,7 @@ let () =
       ("resil", Test_resil.suite);
       ("clock", Test_clock.suite);
       ("cache", Test_cache.suite);
+      ("serve_guard", Test_guard.suite);
       ("kir", Test_kir.suite);
       ("quality", Test_quality.suite);
       ("determinism", Test_determinism.suite);

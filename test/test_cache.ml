@@ -6,6 +6,16 @@
 
 let t name f = Alcotest.test_case name `Quick f
 
+let rm_rf dir =
+  let rec go p =
+    if Sys.is_directory p then begin
+      Array.iter (fun f -> go (Filename.concat p f)) (Sys.readdir p);
+      Sys.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists dir then go dir
+
 let flatten_src src =
   Streamit.Flatten.flatten (Frontend.Parser.parse_program src)
 
@@ -168,16 +178,67 @@ let store_tests =
         | Some e -> check_entry "disk round-trip" (entry "k-disk") e
         | None -> Alcotest.fail "disk entry not found");
         (* an entry whose stored key disagrees with its filename is a
-           miss, not a crash *)
+           miss, not a crash — and the suspect file is quarantined, not
+           deleted *)
         let oc = open_out (Filename.concat dir "deadbeef.entry") in
         output_string oc (Cache.Store.serialize (entry "not-deadbeef"));
         close_out oc;
         Alcotest.(check bool) "key-mismatched file is a miss" true
           (Cache.Store.find s2 "deadbeef" = None);
-        Array.iter
-          (fun f -> Sys.remove (Filename.concat dir f))
-          (Sys.readdir dir);
-        Sys.rmdir dir);
+        Alcotest.(check bool) "key-mismatched file was quarantined" true
+          (Sys.file_exists
+             (Filename.concat (Cache.Store.quarantine_dir dir)
+                "deadbeef.entry"));
+        rm_rf dir);
+    t "startup scrub quarantines torn writes, never deletes" (fun () ->
+        let dir = "cache_store_scrub_test" in
+        rm_rf dir;
+        let s1 = Cache.Store.create ~dir () in
+        Cache.Store.put s1 (entry "intact");
+        Cache.Store.put s1 (entry "torn");
+        (* simulate a torn write: truncate the published entry *)
+        let p = Filename.concat dir "torn.entry" in
+        let full = In_channel.with_open_bin p In_channel.input_all in
+        Out_channel.with_open_bin p (fun oc ->
+            Out_channel.output_string oc
+              (String.sub full 0 (String.length full / 2)));
+        (* and writer debris from a crash before the rename *)
+        Out_channel.with_open_bin (Filename.concat dir "junk.entry.tmp")
+          (fun oc -> Out_channel.output_string oc "half a payload");
+        let s2 = Cache.Store.create ~dir () in
+        let scrub = Cache.Store.scrub_stats s2 in
+        Alcotest.(check int) "scrub scanned all files" 3
+          scrub.Cache.Store.scanned;
+        Alcotest.(check int) "scrub quarantined torn + debris" 2
+          scrub.Cache.Store.quarantined;
+        Alcotest.(check bool) "intact entry survives" true
+          (Cache.Store.find s2 "intact" <> None);
+        Alcotest.(check bool) "torn entry is a miss" true
+          (Cache.Store.find s2 "torn" = None);
+        let q = Cache.Store.quarantine_dir dir in
+        Alcotest.(check bool) "torn bytes preserved in quarantine" true
+          (Sys.file_exists (Filename.concat q "torn.entry"));
+        Alcotest.(check bool) "debris preserved in quarantine" true
+          (Sys.file_exists (Filename.concat q "junk.entry.tmp"));
+        rm_rf dir);
+    t "injected disk faults degrade to memory-only, not failure" (fun () ->
+        let dir = "cache_store_degrade_test" in
+        rm_rf dir;
+        let s = Cache.Store.create ~dir () in
+        Resil.Inject.arm [ { Resil.Inject.site = "store.write"; at = 1 } ];
+        Cache.Store.put s (entry "k1");
+        Resil.Inject.disarm ();
+        Alcotest.(check bool) "store degraded after write fault" true
+          (Cache.Store.disk_degraded s);
+        Alcotest.(check bool) "entry still served from memory" true
+          (Cache.Store.find s "k1" <> None);
+        Alcotest.(check bool) "nothing published to disk" true
+          (not (Sys.file_exists (Filename.concat dir "k1.entry")));
+        (* later writes stay memory-only instead of retrying the disk *)
+        Cache.Store.put s (entry "k2");
+        Alcotest.(check bool) "degradation is sticky" true
+          (not (Sys.file_exists (Filename.concat dir "k2.entry")));
+        rm_rf dir);
   ]
 
 (* ---- Service --------------------------------------------------------- *)
